@@ -1,0 +1,104 @@
+// E14 — forward-only (the paper's model) vs signed assignments (our
+// exactness extension). On undirected networks the forward-only model is
+// a lower bound that is occasionally strict (backward bottleneck
+// crossings can be required); signed mode always matches the naive
+// oracle. This harness quantifies the gap frequency, its magnitude, and
+// the runtime cost of the larger signed assignment sets.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  std::cout << "E14: forward-only vs signed assignments on undirected "
+               "3-bottleneck graphs (d = 2, " << trials << " trials)\n\n";
+  Xoshiro256 rng(seed);
+  int gaps = 0;
+  double worst_gap = 0.0;
+  double fwd_ms_total = 0.0, signed_ms_total = 0.0;
+  int fwd_assignments_total = 0, signed_assignments_total = 0;
+  int evaluated = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    ClusteredParams params;
+    params.nodes_s = static_cast<int>(rng.uniform_int(3, 5));
+    params.nodes_t = static_cast<int>(rng.uniform_int(3, 5));
+    params.extra_edges_s = static_cast<int>(rng.uniform_int(1, 3));
+    params.extra_edges_t = static_cast<int>(rng.uniform_int(1, 3));
+    params.bottleneck_links = 3;
+    params.cluster_caps = {1, 3};
+    params.bottleneck_caps = {1, 3};
+    params.cluster_probs = {0.05, 0.45};
+    params.bottleneck_probs = {0.05, 0.45};
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    const FlowDemand demand{g.source, g.sink, 2};
+    const BottleneckPartition partition =
+        partition_from_sides(g.net, g.source, g.sink, g.side_s);
+
+    BottleneckOptions fwd;
+    fwd.assignments.mode = AssignmentMode::kForwardOnly;
+    BottleneckOptions sgn;
+    sgn.assignments.mode = AssignmentMode::kSigned;
+
+    Stopwatch sw;
+    const BottleneckResult r_fwd =
+        reliability_bottleneck(g.net, demand, partition, fwd);
+    fwd_ms_total += sw.elapsed_ms();
+    sw.reset();
+    const BottleneckResult r_sgn =
+        reliability_bottleneck(g.net, demand, partition, sgn);
+    signed_ms_total += sw.elapsed_ms();
+
+    const double naive = reliability_naive(g.net, demand).reliability;
+    if (std::abs(r_sgn.reliability - naive) > 1e-9) {
+      std::cout << "ERROR: signed mode diverged from naive on trial " << trial
+                << "\n";
+      return 1;
+    }
+    const double gap = naive - r_fwd.reliability;
+    if (gap > 1e-9) {
+      ++gaps;
+      worst_gap = std::max(worst_gap, gap);
+    }
+    fwd_assignments_total += r_fwd.num_assignments;
+    signed_assignments_total += r_sgn.num_assignments;
+    ++evaluated;
+  }
+
+  TextTable table({"metric", "forward-only (paper)", "signed (ours)"});
+  table.new_row()
+      .add_cell("exact on all trials")
+      .add_cell(gaps == 0 ? "yes" : "NO")
+      .add_cell("yes");
+  table.new_row()
+      .add_cell("trials with under-count")
+      .add_cell(gaps)
+      .add_cell(0);
+  table.new_row()
+      .add_cell("worst reliability gap")
+      .add_cell(worst_gap, 6)
+      .add_cell(0.0, 6);
+  table.new_row()
+      .add_cell("mean |D|")
+      .add_cell(static_cast<double>(fwd_assignments_total) / evaluated, 4)
+      .add_cell(static_cast<double>(signed_assignments_total) / evaluated, 4);
+  table.new_row()
+      .add_cell("mean runtime (ms)")
+      .add_cell(fwd_ms_total / evaluated, 4)
+      .add_cell(signed_ms_total / evaluated, 4);
+  table.print(std::cout);
+  std::cout << "\nExpected shape: forward-only under-counts on a small "
+               "fraction of instances; signed costs more assignments but "
+               "is exact everywhere.\n";
+  return 0;
+}

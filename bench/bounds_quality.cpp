@@ -1,0 +1,68 @@
+// E22 — quality of the polynomial-time reliability bounds: how tight is
+// the [lower, upper] envelope around the exact value across workload
+// families, and how often does it decide feasibility questions (e.g.
+// "is R >= 0.99?") without any exponential work?
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 40));
+
+  std::cout << "E22: bound tightness across workload families (" << trials
+            << " instances each, d = 2)\n\n";
+  TextTable table({"family", "mean width", "max width", "mean rel err of mid",
+                   "envelope holds"});
+
+  Xoshiro256 rng(4711);
+  struct Family {
+    const char* name;
+    int id;
+  };
+  for (const Family family : {Family{"two-cluster", 0}, Family{"random", 1},
+                              Family{"ladder", 2}}) {
+    OnlineStats width, mid_err;
+    double max_width = 0.0;
+    bool holds = true;
+    for (int trial = 0; trial < trials; ++trial) {
+      GeneratedNetwork g;
+      if (family.id == 0) {
+        ClusteredParams params;
+        params.bottleneck_links = 2;
+        params.bottleneck_caps = {2, 2};
+        g = clustered_bottleneck(rng, params);
+      } else if (family.id == 1) {
+        g = random_connected(rng, 7, 7, {1, 3}, {0.05, 0.3});
+      } else {
+        g = ladder_network(5, 2, 0.1);
+      }
+      const FlowDemand demand{g.source, g.sink, 2};
+      const ReliabilityBounds bounds = reliability_bounds(g.net, demand);
+      const double exact = reliability_naive(g.net, demand).reliability;
+      holds &= bounds.contains(exact);
+      const double w = bounds.upper - bounds.lower;
+      width.add(w);
+      max_width = std::max(max_width, w);
+      const double mid = 0.5 * (bounds.upper + bounds.lower);
+      if (exact > 0.0) mid_err.add(std::abs(mid - exact) / exact);
+    }
+    table.new_row()
+        .add_cell(family.name)
+        .add_cell(width.mean(), 4)
+        .add_cell(max_width, 4)
+        .add_cell(mid_err.mean(), 4)
+        .add_cell(holds ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the envelope always holds; it is tightest "
+               "on bottlenecked topologies (the critical cut is in the "
+               "family) and loosest on well-connected random graphs.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E24 — closing the loop between the paper's static snapshot model and
+// actual churn dynamics: run the discrete-event simulator with link
+// up/down processes whose stationary unavailability equals each link's
+// p(e), and compare the measured time-average availability with the
+// analytic reliability. Also reports what ONLY the simulator can say:
+// interruption rate and outage durations.
+
+#include <cmath>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double duration = args.get_double("duration", 100'000.0);
+
+  std::cout << "E24: analytic reliability vs simulated time-average "
+               "availability (duration " << duration << ", repair time 5)\n\n";
+  TextTable table({"topology", "|E|", "R analytic", "sim availability",
+                   "|diff|", "interruptions", "mean outage", "sim_ms"});
+
+  struct Case {
+    const char* name;
+    GeneratedNetwork g;
+    Capacity d;
+  };
+  Xoshiro256 rng(2718);
+  ClusteredParams cluster;
+  cluster.bottleneck_links = 2;
+  cluster.bottleneck_caps = {2, 2};
+  std::vector<Case> cases;
+  cases.push_back({"two-cluster", clustered_bottleneck(rng, cluster), 2});
+  cases.push_back({"fig2 bridge", make_fig2_bridge_graph(0.1), 1});
+  cases.push_back({"fig4", make_fig4_graph(0.15), 2});
+  cases.push_back({"ladder-5", ladder_network(5, 1, 0.08), 1});
+
+  for (Case& c : cases) {
+    const FlowDemand demand{c.g.source, c.g.sink, c.d};
+    const double analytic =
+        compute_reliability(c.g.net, demand).result.reliability;
+    SimulationOptions options;
+    options.duration = duration;
+    Stopwatch sw;
+    const SimulationReport report = simulate_availability(
+        c.g.net, demand, dynamics_from_probabilities(c.g.net), options);
+    const double sim_ms = sw.elapsed_ms();
+    table.new_row()
+        .add_cell(c.name)
+        .add_cell(c.g.net.num_edges())
+        .add_cell(analytic, 5)
+        .add_cell(report.availability, 5)
+        .add_cell(std::abs(report.availability - analytic), 5)
+        .add_cell(report.interruptions)
+        .add_cell(report.mean_outage, 4)
+        .add_cell(sim_ms, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: simulated availability converges to the "
+               "analytic reliability (validating the snapshot model); the "
+               "interruption rate and outage lengths are the extra insight "
+               "only dynamics provide.\n";
+  return 0;
+}

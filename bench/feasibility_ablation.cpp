@@ -1,0 +1,73 @@
+// E15 — side-array feasibility engines (§III-C): one bounded max-flow per
+// (configuration, assignment) pair — the paper's procedure — vs the
+// polymatroid fast path (2^k max-flows per configuration plus arithmetic,
+// via the Gale condition). The argument is the demand d; larger d means
+// more assignments, which is exactly where the polymatroid path wins.
+
+#include <benchmark/benchmark.h>
+
+#include "core/side_array.hpp"
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+struct Instance {
+  GeneratedNetwork g;
+  BottleneckPartition partition;
+  AssignmentSet assignments;
+  SideProblem side;
+  Capacity d;
+};
+
+Instance make_instance(Capacity d) {
+  Xoshiro256 rng(4242 + static_cast<std::uint64_t>(d));
+  ClusteredParams params;
+  params.nodes_s = 5;
+  params.nodes_t = 5;
+  params.extra_edges_s = 6;
+  params.extra_edges_t = 6;
+  params.bottleneck_links = 3;
+  params.cluster_caps = {1, d};
+  params.bottleneck_caps = {d, d};
+  Instance inst{clustered_bottleneck(rng, params), {}, {}, {}, d};
+  inst.partition = partition_from_sides(inst.g.net, inst.g.source,
+                                        inst.g.sink, inst.g.side_s);
+  AssignmentOptions opts;
+  opts.mode = AssignmentMode::kForwardOnly;
+  inst.assignments =
+      enumerate_assignments(inst.g.net, inst.partition, d, opts);
+  inst.side = make_side_problem(inst.g.net, {inst.g.source, inst.g.sink, d},
+                                inst.partition, /*source_side=*/true);
+  return inst;
+}
+
+void run(benchmark::State& state, FeasibilityMethod method) {
+  const Instance inst = make_instance(state.range(0));
+  SideArrayOptions options;
+  options.feasibility = method;
+  options.parallel = false;
+  std::uint64_t calls = 0;
+  for (auto _ : state) {
+    auto array = build_side_array(inst.side, inst.assignments, inst.d,
+                                  options, &calls);
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetLabel("|D| = " + std::to_string(inst.assignments.size()));
+  state.counters["maxflow_calls_per_iter"] =
+      static_cast<double>(calls) / static_cast<double>(state.iterations());
+}
+
+void BM_PerAssignment(benchmark::State& state) {
+  run(state, FeasibilityMethod::kPerAssignment);
+}
+void BM_Polymatroid(benchmark::State& state) {
+  run(state, FeasibilityMethod::kPolymatroid);
+}
+
+BENCHMARK(BM_PerAssignment)->DenseRange(1, 5, 1);
+BENCHMARK(BM_Polymatroid)->DenseRange(1, 5, 1);
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,63 @@
+// E20 — frontier-DP connectivity oracle vs the flow-based exact methods
+// for rate-1 demands: the frontier method's cost tracks the network's
+// frontier WIDTH, not its size, so ladder-like overlays with hundreds of
+// links stay exact while 2^|E| enumeration dies at ~21 links and even
+// pruned factoring grows quickly.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int max_rungs = static_cast<int>(args.get_int("max-rungs", 60));
+
+  std::cout << "E20: frontier DP vs naive vs factoring on ladders (d = 1, "
+               "p = 0.1)\n\n";
+  TextTable table({"rungs", "|E|", "frontier_ms", "factoring_ms", "naive_ms",
+                   "R", "agree"});
+  for (int rungs = 4; rungs <= max_rungs; rungs *= 2) {
+    const GeneratedNetwork g = ladder_network(rungs, 1, 0.1);
+    const FlowDemand demand{g.source, g.sink, 1};
+
+    Stopwatch sw;
+    const double r_frontier =
+        reliability_connectivity(g.net, demand).reliability;
+    const double frontier_ms = sw.elapsed_ms();
+
+    std::string factoring_ms = "-";
+    std::string naive_ms = "-";
+    bool agree = true;
+    if (g.net.num_edges() <= 34) {
+      sw.reset();
+      const double r_f = reliability_factoring(g.net, demand).reliability;
+      factoring_ms = format_double(sw.elapsed_ms(), 4);
+      agree &= std::abs(r_f - r_frontier) < 1e-9;
+    }
+    if (g.net.num_edges() <= 19) {
+      sw.reset();
+      const double r_n = reliability_naive(g.net, demand).reliability;
+      naive_ms = format_double(sw.elapsed_ms(), 4);
+      agree &= std::abs(r_n - r_frontier) < 1e-9;
+    }
+    table.new_row()
+        .add_cell(rungs)
+        .add_cell(g.net.num_edges())
+        .add_cell(frontier_ms, 4)
+        .add_cell(factoring_ms)
+        .add_cell(naive_ms)
+        .add_cell(r_frontier, 8)
+        .add_cell(agree ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: frontier time grows LINEARLY with ladder "
+               "length (constant frontier width 3); the flow-based exact "
+               "methods drop out at a few dozen links.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E21 — the hybrid bottleneck/Monte-Carlo estimator: bottleneck links
+// handled exactly, sides sampled. Compares against plain network-wide
+// Monte Carlo at EQUAL sample budgets, on an instance whose bottleneck
+// links dominate the unreliability — the regime where conditioning the
+// bottleneck exactly pays off.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 30));
+
+  // Reliable clusters, flaky peering: most uncertainty sits on the cut.
+  TwoIspParams params;
+  params.peers_per_isp = 6;
+  params.peering_links = 2;
+  params.internal_failure = 0.02;
+  params.peering_failure = 0.3;
+  params.seed = 77;
+  const GeneratedNetwork g = make_two_isp_scenario(params);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const double exact =
+      reliability_bottleneck(g.net, demand, partition).reliability;
+
+  std::cout << "E21: hybrid estimator vs plain Monte Carlo ("
+            << g.net.num_edges() << "-link two-ISP network, exact R = "
+            << format_double(exact, 8) << ", " << reps
+            << " repetitions per row)\n\n";
+  TextTable table({"samples", "plain MC rmse", "hybrid rmse",
+                   "variance ratio"});
+  for (std::uint64_t samples : {500ULL, 2000ULL, 8000ULL, 32000ULL}) {
+    OnlineStats plain_err, hybrid_err;
+    for (int rep = 0; rep < reps; ++rep) {
+      MonteCarloOptions mc;
+      mc.samples = samples;
+      mc.seed = mix_seed(samples, static_cast<std::uint64_t>(rep));
+      const double plain =
+          reliability_monte_carlo(g.net, demand, mc).estimate;
+      plain_err.add((plain - exact) * (plain - exact));
+
+      HybridMonteCarloOptions hy;
+      hy.samples_per_side = samples / 2;  // equal total sampling budget
+      hy.seed = mix_seed(samples * 31, static_cast<std::uint64_t>(rep));
+      const double hybrid =
+          reliability_bottleneck_hybrid(g.net, demand, partition, hy)
+              .estimate;
+      hybrid_err.add((hybrid - exact) * (hybrid - exact));
+    }
+    const double plain_rmse = std::sqrt(plain_err.mean());
+    const double hybrid_rmse = std::sqrt(hybrid_err.mean());
+    table.new_row()
+        .add_cell(samples)
+        .add_cell(plain_rmse, 5)
+        .add_cell(hybrid_rmse, 5)
+        .add_cell(plain_err.mean() / hybrid_err.mean(), 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: both RMSEs fall as 1/sqrt(samples); the "
+               "hybrid estimator's is consistently smaller because the "
+               "flaky bottleneck links contribute no sampling noise.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E16b — execution strategies for the naive 2^|E| enumeration (Fig. 1):
+// from-scratch evaluation vs the Gray-code walk with incremental flow
+// repair (one edge toggles per configuration) vs the OpenMP parallel
+// sweep. All three compute the identical value; this harness compares
+// their cost as |E| grows.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int max_edges = static_cast<int>(args.get_int("max-edges", 20));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+
+  std::cout << "E16b: naive-enumeration strategies (from-scratch vs "
+               "Gray-code incremental vs parallel)\n\n";
+  TextTable table({"|E|", "scratch_ms", "gray_ms", "parallel_ms",
+                   "gray_speedup", "agree"});
+  for (int m = 12; m <= max_edges; m += 2) {
+    Xoshiro256 rng(mix_seed(seed, static_cast<std::uint64_t>(m)));
+    const GeneratedNetwork g =
+        random_connected(rng, std::max(4, m / 2), m - std::max(4, m / 2) + 1,
+                         {1, 3}, {0.05, 0.3});
+    const FlowDemand demand{g.source, g.sink, 2};
+
+    NaiveOptions scratch;
+    scratch.strategy = NaiveStrategy::kFromScratch;
+    NaiveOptions gray;
+    gray.strategy = NaiveStrategy::kGrayIncremental;
+    NaiveOptions parallel;
+    parallel.strategy = NaiveStrategy::kParallel;
+
+    Stopwatch sw;
+    const double r_scratch =
+        reliability_naive(g.net, demand, scratch).reliability;
+    const double scratch_ms = sw.elapsed_ms();
+    sw.reset();
+    const double r_gray = reliability_naive(g.net, demand, gray).reliability;
+    const double gray_ms = sw.elapsed_ms();
+    sw.reset();
+    const double r_par =
+        reliability_naive(g.net, demand, parallel).reliability;
+    const double par_ms = sw.elapsed_ms();
+
+    const bool agree = std::abs(r_scratch - r_gray) < 1e-9 &&
+                       std::abs(r_scratch - r_par) < 1e-9;
+    table.new_row()
+        .add_cell(g.net.num_edges())
+        .add_cell(scratch_ms, 4)
+        .add_cell(gray_ms, 4)
+        .add_cell(par_ms, 4)
+        .add_cell(scratch_ms / gray_ms, 3)
+        .add_cell(agree ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the Gray-code walk amortizes one flow "
+               "repair per configuration and wins over from-scratch; the "
+               "parallel sweep scales with available cores.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E12 — dependence on the bottleneck cardinality k and the sub-stream
+// count d (§III-B): |D| <= (d+1)^k assignments, constant when both are
+// constant. Measures |D| and the decomposition runtime over the (k, d)
+// grid; the naive baseline is insensitive to both.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const int max_k = static_cast<int>(args.get_int("max-k", 4));
+  const Capacity max_d = args.get_int("max-d", 4);
+
+  std::cout << "E12: assignment-set size and runtime vs (k, d); clustered "
+               "graphs with 7-link sides\n\n";
+  TextTable table({"k", "d", "|D| fwd", "|D| signed", "bottleneck_ms",
+                   "naive_ms", "agree"});
+  for (int k = 1; k <= max_k; ++k) {
+    for (Capacity d = 1; d <= max_d; ++d) {
+      ClusteredParams params;
+      params.nodes_s = 4;
+      params.nodes_t = 4;
+      params.extra_edges_s = 4;
+      params.extra_edges_t = 4;
+      params.bottleneck_links = k;
+      params.cluster_caps = {1, d};
+      params.bottleneck_caps = {1, d};
+      params.cluster_probs = {0.05, 0.3};
+      params.bottleneck_probs = {0.05, 0.3};
+      Xoshiro256 rng(mix_seed(seed, static_cast<std::uint64_t>(16 * k) +
+                                        static_cast<std::uint64_t>(d)));
+      const GeneratedNetwork g = clustered_bottleneck(rng, params);
+      const FlowDemand demand{g.source, g.sink, d};
+      const BottleneckPartition partition =
+          partition_from_sides(g.net, g.source, g.sink, g.side_s);
+
+      AssignmentOptions fwd;
+      fwd.mode = AssignmentMode::kForwardOnly;
+      const int fwd_count =
+          enumerate_assignments(g.net, partition, d, fwd).size();
+      int signed_count = -1;
+      try {
+        AssignmentOptions sgn;
+        sgn.mode = AssignmentMode::kSigned;
+        signed_count = enumerate_assignments(g.net, partition, d, sgn).size();
+      } catch (const std::invalid_argument&) {
+        // > 63 assignments: report as saturated.
+      }
+
+      Stopwatch sw;
+      double r_b = -1;
+      double b_ms = -1;
+      try {
+        r_b = reliability_bottleneck(g.net, demand, partition).reliability;
+        b_ms = sw.elapsed_ms();
+      } catch (const std::invalid_argument&) {
+      }
+      sw.reset();
+      const double r_n = reliability_naive(g.net, demand).reliability;
+      const double n_ms = sw.elapsed_ms();
+
+      table.new_row()
+          .add_cell(k)
+          .add_cell(static_cast<std::int64_t>(d))
+          .add_cell(fwd_count)
+          .add_cell(signed_count < 0 ? std::string(">63")
+                                     : std::to_string(signed_count))
+          .add_cell(b_ms < 0 ? std::string("n/a") : format_double(b_ms, 4))
+          .add_cell(n_ms, 4)
+          .add_cell(b_ms < 0 ? "-" : (std::abs(r_b - r_n) < 1e-9 ? "yes" : "NO"));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: |D| grows polynomially in d with degree "
+               "k-1; runtime tracks |D| while naive stays flat.\n";
+  return 0;
+}

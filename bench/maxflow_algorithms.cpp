@@ -1,0 +1,64 @@
+// E16a — max-flow substrate comparison: Dinic vs Edmonds-Karp vs FIFO
+// push-relabel on the generator families the reliability sweeps solve
+// (many small instances). Argument = node count of the family.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "maxflow/config_residual.hpp"
+#include "maxflow/maxflow.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+void run_family(benchmark::State& state, MaxFlowAlgorithm algorithm,
+                bool grid) {
+  const int n = static_cast<int>(state.range(0));
+  Xoshiro256 rng(31 + static_cast<std::uint64_t>(n));
+  const GeneratedNetwork g =
+      grid ? grid_network(n, n, 3, 0.1)
+           : random_connected(rng, n * n, 2 * n * n, {1, 5}, {0.05, 0.3});
+  ConfigResidual residual(g.net);
+  auto solver = make_solver(algorithm);
+  const std::vector<bool> all(static_cast<std::size_t>(g.net.num_edges()),
+                              true);
+  Capacity sink = 0;
+  for (auto _ : state) {
+    residual.reset_with(all);
+    sink += solver->solve(residual.graph(), g.source, g.sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["edges"] = g.net.num_edges();
+}
+
+void BM_Dinic_Grid(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kDinic, true);
+}
+void BM_EdmondsKarp_Grid(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kEdmondsKarp, true);
+}
+void BM_PushRelabel_Grid(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kPushRelabel, true);
+}
+void BM_Dinic_Random(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kDinic, false);
+}
+void BM_EdmondsKarp_Random(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kEdmondsKarp, false);
+}
+void BM_PushRelabel_Random(benchmark::State& state) {
+  run_family(state, MaxFlowAlgorithm::kPushRelabel, false);
+}
+
+BENCHMARK(BM_Dinic_Grid)->DenseRange(3, 5, 1);
+BENCHMARK(BM_EdmondsKarp_Grid)->DenseRange(3, 5, 1);
+BENCHMARK(BM_PushRelabel_Grid)->DenseRange(3, 5, 1);
+BENCHMARK(BM_Dinic_Random)->DenseRange(3, 5, 1);
+BENCHMARK(BM_EdmondsKarp_Random)->DenseRange(3, 5, 1);
+BENCHMARK(BM_PushRelabel_Random)->DenseRange(3, 5, 1);
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,58 @@
+// E17 — Monte Carlo estimator quality against the exact oracle: estimate,
+// error, and confidence-interval behaviour as the sample count grows.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 23));
+
+  Xoshiro256 rng(seed);
+  ClusteredParams params;
+  params.nodes_s = 5;
+  params.nodes_t = 5;
+  params.extra_edges_s = 4;
+  params.extra_edges_t = 4;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {2, 2};
+  params.cluster_probs = {0.05, 0.3};
+  params.bottleneck_probs = {0.05, 0.3};
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const double exact = reliability_factoring(g.net, demand).reliability;
+
+  std::cout << "E17: Monte Carlo convergence on a " << g.net.num_edges()
+            << "-link two-cluster network; exact R = "
+            << format_double(exact, 10) << "\n\n";
+  TextTable table({"samples", "estimate", "|error|", "ci95_halfwidth",
+                   "covered", "ms"});
+  for (std::uint64_t samples : {100ULL, 1000ULL, 10'000ULL, 100'000ULL,
+                                1'000'000ULL}) {
+    MonteCarloOptions options;
+    options.samples = samples;
+    options.seed = mix_seed(seed, samples);
+    Stopwatch sw;
+    const MonteCarloResult mc = reliability_monte_carlo(g.net, demand, options);
+    const double ms = sw.elapsed_ms();
+    table.new_row()
+        .add_cell(samples)
+        .add_cell(mc.estimate, 6)
+        .add_cell(std::abs(mc.estimate - exact), 6)
+        .add_cell(mc.ci95_halfwidth, 6)
+        .add_cell(mc.wilson95.contains(exact) ? "yes" : "no")
+        .add_cell(ms, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: error and CI half-width shrink as "
+               "1/sqrt(samples); the Wilson interval covers the exact value "
+               "~95% of the time.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E19 — application studies on P2P streaming overlays (the systems the
+// paper's introduction motivates):
+//   (a) single tree vs SplitStream-style striped trees: full-rate and
+//       degraded-rate reliability vs the sub-stream count d;
+//   (b) two-ISP topology: reliability vs the number of peering
+//       (bottleneck) links k;
+//   (c) churn: reliability vs mean peer session time.
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+void study_trees() {
+  std::cout << "--- (a) tree overlays: 8 peers, link failure 0.1, deepest "
+               "subscriber (plus an all-peers multicast quorum view) ---\n";
+  TextTable table({"overlay", "d", "R(full rate)", "R(>= 1 sub-stream)",
+                   "R(>= 6 of 8 peers served)"});
+  for (int stripes : {1, 2, 3}) {
+    Overlay overlay(8);
+    if (stripes == 1) {
+      SingleTreeOptions opts;
+      opts.stream_rate = 3;
+      add_single_tree(overlay, opts);
+    } else {
+      StripedTreesOptions opts;
+      opts.stripes = stripes;
+      add_striped_trees(overlay, opts);
+    }
+    const NodeId subscriber = overlay.peer(7);
+    const Capacity full = stripes == 1 ? 1 : stripes;
+    const double r_full =
+        reliability_naive(overlay.net(), overlay.demand_to(subscriber, full))
+            .reliability;
+    const double r_any =
+        reliability_naive(overlay.net(), overlay.demand_to(subscriber, 1))
+            .reliability;
+    MulticastDemand everyone{overlay.server(), {}, 1};
+    for (int i = 0; i < 8; ++i) {
+      everyone.subscribers.push_back(overlay.peer(i));
+    }
+    const double r_quorum =
+        quorum_reliability(overlay.net(), everyone, 6).reliability;
+    table.new_row()
+        .add_cell(stripes == 1 ? "single tree"
+                               : std::to_string(stripes) + " striped trees")
+        .add_cell(static_cast<std::int64_t>(full))
+        .add_cell(r_full, 6)
+        .add_cell(r_any, 6)
+        .add_cell(r_quorum, 6);
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: striping trades full-rate reliability for "
+               "much better graceful degradation, both per subscriber and "
+               "for the 6-of-8 audience quorum.\n\n";
+}
+
+void study_isp() {
+  std::cout << "--- (b) two-ISP topology: reliability vs peering links k "
+               "(d = 2) ---\n";
+  TextTable table({"k", "|E|", "method", "R"});
+  for (int k = 1; k <= 4; ++k) {
+    TwoIspParams params;
+    params.peers_per_isp = 5;
+    params.peering_links = k;
+    params.peering_failure = 0.15;
+    params.seed = 100 + static_cast<std::uint64_t>(k);
+    const GeneratedNetwork g = make_two_isp_scenario(params);
+    const SolveReport report =
+        compute_reliability(g.net, {g.source, g.sink, 2});
+    table.new_row()
+        .add_cell(k)
+        .add_cell(g.net.num_edges())
+        .add_cell(report.method_used == Method::kBottleneck ? "bottleneck"
+                  : report.method_used == Method::kNaive    ? "naive"
+                                                            : "factoring")
+        .add_cell(report.result.reliability, 6);
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: each extra peering link raises reliability "
+               "with diminishing returns; the solver picks the bottleneck "
+               "decomposition whenever the peering cut is exploitable.\n\n";
+}
+
+void study_churn() {
+  std::cout << "--- (c) churn: reliability vs mean peer session length "
+               "(5-minute window, striped overlay, d = 2) ---\n";
+  TextTable table({"mean session (min)", "link failure p", "R(full rate)"});
+  for (double session : {15.0, 30.0, 60.0, 120.0, 240.0}) {
+    Overlay overlay(6);
+    StripedTreesOptions opts;
+    opts.stripes = 2;
+    add_striped_trees(overlay, opts);
+    ChurnModel model;
+    model.mean_session_minutes = session;
+    model.window_minutes = 5.0;
+    model.base_link_loss = 0.01;
+    apply_churn(overlay.net(), overlay.server(), model);
+    const double r =
+        reliability_naive(overlay.net(),
+                          overlay.demand_to(overlay.peer(5), 2))
+            .reliability;
+    table.new_row()
+        .add_cell(session, 4)
+        .add_cell(link_failure_prob(model), 4)
+        .add_cell(r, 6);
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: reliability rises steeply with session "
+               "length as per-link churn probability decays.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  (void)args;
+  std::cout << "E19: P2P streaming scenario studies\n\n";
+  study_trees();
+  study_isp();
+  study_churn();
+  return 0;
+}

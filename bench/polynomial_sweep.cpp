@@ -1,0 +1,92 @@
+// E23 — reliability polynomial via the decomposition: answering R(p) for
+// MANY uniform failure probabilities. Compares one polynomial build +
+// cheap evaluations against re-running the exact solver per p, and
+// against the naive polynomial (2^|E| enumeration) where feasible.
+
+#include <algorithm>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int sweep_points = static_cast<int>(args.get_int("points", 50));
+
+  Xoshiro256 rng(4096);
+  ClusteredParams params;
+  params.nodes_s = 6;
+  params.nodes_t = 6;
+  params.extra_edges_s = 5;
+  params.extra_edges_t = 5;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {2, 2};
+  GeneratedNetwork g = clustered_bottleneck(rng, params);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+
+  std::cout << "E23: R(p) sweep over " << sweep_points << " points on a "
+            << g.net.num_edges() << "-link two-cluster network (d = 2)\n\n";
+
+  Stopwatch sw;
+  const auto poly = polynomial_bottleneck(g.net, demand, partition);
+  const double build_ms = sw.elapsed_ms();
+  sw.reset();
+  double sink = 0.0;
+  for (int i = 0; i < sweep_points; ++i) {
+    sink += poly.evaluate(0.9 * (i + 1) / (sweep_points + 1));
+  }
+  const double eval_ms = sw.elapsed_ms();
+
+  sw.reset();
+  for (int i = 0; i < sweep_points; ++i) {
+    const double p = 0.9 * (i + 1) / (sweep_points + 1);
+    for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+      g.net.set_failure_prob(id, p);
+    }
+    sink += reliability_bottleneck(g.net, demand, partition).reliability;
+  }
+  const double rerun_ms = sw.elapsed_ms();
+
+  sw.reset();
+  const auto naive_poly = reliability_polynomial(g.net, demand);
+  const double naive_build_ms = sw.elapsed_ms();
+  (void)naive_poly;
+  if (sink < 0) std::cout << sink;  // keep the work observable
+
+  TextTable table({"approach", "one-time build (ms)", "sweep (ms)",
+                   "total (ms)"});
+  table.new_row()
+      .add_cell("polynomial via decomposition")
+      .add_cell(build_ms, 4)
+      .add_cell(eval_ms, 4)
+      .add_cell(build_ms + eval_ms, 4);
+  table.new_row()
+      .add_cell("re-run decomposition per p")
+      .add_cell(0.0, 4)
+      .add_cell(rerun_ms, 4)
+      .add_cell(rerun_ms, 4);
+  table.new_row()
+      .add_cell("naive polynomial (2^|E|)")
+      .add_cell(naive_build_ms, 4)
+      .add_cell(eval_ms, 4)
+      .add_cell(naive_build_ms + eval_ms, 4);
+  table.print(std::cout);
+
+  std::cout << "\nSample of the curve:\n";
+  TextTable curve({"p", "R(p)"});
+  for (double p : {0.02, 0.1, 0.2, 0.35, 0.5, 0.7}) {
+    curve.new_row().add_cell(p, 3).add_cell(poly.evaluate(p), 8);
+  }
+  curve.print(std::cout);
+  std::cout << "\nExpected shape: the decomposition-built polynomial costs "
+               "one decomposition, then answers every p for microseconds; "
+               "re-running scales with sweep size; the naive build pays "
+               "2^|E|.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E25 — reliability-aware upgrade planning: greedy exact-oracle link
+// selection vs adding random candidate links, on a bridged overlay where
+// the right first move (backing up the bridge) dominates everything
+// else. Reports the reliability trajectory per added link.
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int budget = static_cast<int>(args.get_int("budget", 4));
+
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.12);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const auto candidates = all_missing_links(g.net, 1, 0.12);
+
+  std::cout << "E25: upgrade planning on the bridged overlay ("
+            << candidates.size() << " candidate links, budget " << budget
+            << ")\n\n";
+
+  const UpgradePlan greedy =
+      plan_overlay_upgrade(g.net, demand, candidates, budget);
+
+  // Random baseline: average trajectory over several shuffles.
+  const int reps = 20;
+  std::vector<double> random_mean(static_cast<std::size_t>(budget), 0.0);
+  Xoshiro256 rng(99);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto pool = candidates;
+    GeneratedNetwork current = g;
+    for (int i = 0; i < budget && !pool.empty(); ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_below(pool.size()));
+      const UpgradeCandidate c = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      current.net.add_edge(c.u, c.v, c.capacity, c.failure_prob, c.kind);
+      random_mean[static_cast<std::size_t>(i)] +=
+          reliability_naive(current.net, demand).reliability /
+          static_cast<double>(reps);
+    }
+  }
+
+  TextTable table({"links added", "greedy R", "random-mean R", "greedy pick"});
+  table.new_row()
+      .add_cell(0)
+      .add_cell(greedy.reliability_before, 6)
+      .add_cell(greedy.reliability_before, 6)
+      .add_cell("-");
+  for (std::size_t i = 0; i < greedy.trajectory.size(); ++i) {
+    std::string pick = std::to_string(greedy.chosen[i].u);
+    pick += "--";
+    pick += std::to_string(greedy.chosen[i].v);
+    table.new_row()
+        .add_cell(static_cast<std::int64_t>(i + 1))
+        .add_cell(greedy.trajectory[i], 6)
+        .add_cell(i < random_mean.size() ? random_mean[i] : 0.0, 6)
+        .add_cell(pick);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: greedy immediately neutralizes the "
+               "dominant cut (a direct source-sink link bypassing the "
+               "bridge) and jumps far above the random-mean trajectory; "
+               "later picks show diminishing returns.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Bridged campus overlay (the paper's Fig.-2 situation): two campus
+// networks connected by one uplink. Shows the bridge decomposition
+// (Equation 1), what happens as the bridge quality degrades, and exports
+// the topology as Graphviz DOT for inspection.
+
+#include <fstream>
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamrel;
+  const CliArgs args(argc, argv);
+
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const EdgeId bridge = 8;
+
+  std::cout << "Bridged campus overlay: " << g.net.summary() << "\n"
+            << "stream: 1 sub-stream from node " << g.source << " to node "
+            << g.sink << " across bridge e" << bridge << "\n\n";
+
+  // Equation (1): r = r(G_s) * (1 - p(e*)) * r(G_t).
+  TextTable table({"p(bridge)", "R (Eq. 1)", "R (decomposition)",
+                   "R (naive)"});
+  GeneratedNetwork sweep = g;
+  const BottleneckPartition partition =
+      partition_from_sides(sweep.net, sweep.source, sweep.sink, sweep.side_s);
+  for (double p : {0.01, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    sweep.net.set_failure_prob(bridge, p);
+    table.new_row()
+        .add_cell(p, 3)
+        .add_cell(reliability_bridge_formula(sweep.net, demand, bridge), 8)
+        .add_cell(
+            reliability_bottleneck(sweep.net, demand, partition).reliability,
+            8)
+        .add_cell(reliability_naive(sweep.net, demand).reliability, 8);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe three columns agree: the bridge formula is the k = 1 "
+               "special case of the decomposition.\n";
+
+  // DOT export with the bridge highlighted.
+  const std::string dot_path = args.get("dot", "bridge_overlay.dot");
+  DotOptions dot;
+  dot.source = g.source;
+  dot.sink = g.sink;
+  dot.side_s = g.side_s;
+  dot.highlight = {bridge};
+  std::ofstream(dot_path) << to_dot(g.net, dot);
+  std::cout << "\ntopology written to " << dot_path
+            << " (render with: dot -Tpng " << dot_path << ")\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Churn dynamics study: beyond the snapshot probability, how does the
+// stream FEEL to the subscriber? Simulate a striped overlay under peer
+// churn and report availability, interruption frequency, and outage
+// durations — then confirm the time-average availability matches the
+// analytic reliability at the same parameters.
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamrel;
+  const CliArgs args(argc, argv);
+  const int peers = static_cast<int>(args.get_int("peers", 6));
+  const double horizon = args.get_double("horizon", 50'000.0);
+
+  std::cout << "Churn dynamics for a 2-striped overlay of " << peers
+            << " peers (delivery of both sub-streams to the last peer; "
+               "simulated horizon "
+            << horizon << " min)\n\n";
+
+  TextTable table({"mean session (min)", "analytic R", "sim availability",
+                   "interruptions/hour", "mean outage (min)"});
+  for (double session : {20.0, 60.0, 180.0}) {
+    Overlay overlay(peers);
+    StripedTreesOptions stripes;
+    stripes.stripes = 2;
+    add_striped_trees(overlay, stripes);
+    ChurnModel churn;
+    churn.mean_session_minutes = session;
+    churn.window_minutes = 5.0;
+    churn.base_link_loss = 0.01;
+    apply_churn(overlay.net(), overlay.server(), churn);
+    const FlowDemand demand = overlay.demand_to(overlay.peer(peers - 1), 2);
+
+    const double analytic =
+        compute_reliability(overlay.net(), demand).result.reliability;
+    SimulationOptions sim;
+    sim.duration = horizon;
+    // Down spells model re-join/repair: 5 minutes on average.
+    const SimulationReport report = simulate_availability(
+        overlay.net(), demand, dynamics_from_probabilities(overlay.net(), 5.0),
+        sim);
+    table.new_row()
+        .add_cell(session, 4)
+        .add_cell(analytic, 5)
+        .add_cell(report.availability, 5)
+        .add_cell(static_cast<double>(report.interruptions) /
+                      (horizon / 60.0),
+                  4)
+        .add_cell(report.mean_outage, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the table: the static model predicts the "
+               "availability level; the simulation adds the operator-facing "
+               "texture — how often playback breaks and for how long. "
+               "Longer peer sessions improve all three.\n";
+  return 0;
+}

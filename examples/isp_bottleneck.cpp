@@ -1,0 +1,60 @@
+// Two-ISP deployment study: the media server lives in one ISP, the
+// subscriber in another, and all traffic squeezes through k peering
+// links — the paper's bottleneck class in production clothes. Sweeps the
+// peering count and the peering link quality, solving each instance with
+// the automatic bottleneck decomposition.
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamrel;
+  const CliArgs args(argc, argv);
+  const Capacity d = args.get_int("d", 2);
+  const int peers = static_cast<int>(args.get_int("peers-per-isp", 6));
+
+  std::cout << "Two-ISP bottleneck study: " << peers
+            << " peers per ISP, stream of " << d << " sub-streams\n\n";
+
+  TextTable table({"peering links k", "p(peering)", "R", "method",
+                   "alpha", "solve_ms"});
+  for (int k = 1; k <= 4; ++k) {
+    for (double p : {0.05, 0.2}) {
+      TwoIspParams params;
+      params.peers_per_isp = peers;
+      params.peering_links = k;
+      params.peering_capacity = d;
+      params.peering_failure = p;
+      params.internal_failure = 0.03;
+      params.seed = 1000 + static_cast<std::uint64_t>(k);
+      const GeneratedNetwork g = make_two_isp_scenario(params);
+
+      Stopwatch sw;
+      const SolveReport report =
+          compute_reliability(g.net, {g.source, g.sink, d});
+      const double ms = sw.elapsed_ms();
+      table.new_row()
+          .add_cell(k)
+          .add_cell(p, 3)
+          .add_cell(report.result.reliability, 6)
+          .add_cell(report.method_used == Method::kBottleneck ? "bottleneck"
+                    : report.method_used == Method::kNaive    ? "naive"
+                                                              : "factoring")
+          .add_cell(report.partition ? format_double(
+                                           report.partition->stats.alpha, 3)
+                                     : std::string("-"))
+          .add_cell(ms, 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaways: a single peering link caps reliability at "
+               "(1 - p) regardless of intra-ISP redundancy; each extra "
+               "peering link helps with diminishing returns, and lowering "
+               "peering failure probability beats adding links once "
+               "k >= d + 1.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// SplitStream-style striped multicast: split the video into d unit-rate
+// sub-streams, push each down its own tree, and quantify what striping
+// buys (and costs) under churn — the exact question the paper's flow
+// reliability answers that per-path availability cannot.
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamrel;
+  const CliArgs args(argc, argv);
+  const int peers = static_cast<int>(args.get_int("peers", 7));
+  const double session = args.get_double("mean-session", 45.0);
+
+  std::cout << "SplitStream reliability study: " << peers
+            << " peers, churn with mean session " << session
+            << " min, 5-min delivery window\n\n";
+
+  ChurnModel churn;
+  churn.mean_session_minutes = session;
+  churn.window_minutes = 5.0;
+  churn.base_link_loss = 0.01;
+
+  TextTable table({"stripes d", "links", "R(all d sub-streams)",
+                   "R(>= 1 sub-stream)", "R(>= half)"});
+  for (int stripes = 1; stripes <= 3; ++stripes) {
+    Overlay overlay(peers);
+    if (stripes == 1) {
+      SingleTreeOptions opts;
+      opts.stream_rate = 1;
+      add_single_tree(overlay, opts);
+    } else {
+      StripedTreesOptions opts;
+      opts.stripes = stripes;
+      add_striped_trees(overlay, opts);
+    }
+    apply_churn(overlay.net(), overlay.server(), churn);
+    const NodeId subscriber = overlay.peer(peers - 1);
+
+    auto r_at = [&](Capacity rate) {
+      return reliability_naive(overlay.net(),
+                               overlay.demand_to(subscriber, rate))
+          .reliability;
+    };
+    table.new_row()
+        .add_cell(stripes)
+        .add_cell(overlay.net().num_edges())
+        .add_cell(r_at(stripes), 6)
+        .add_cell(r_at(1), 6)
+        .add_cell(r_at(std::max(1, (stripes + 1) / 2)), 6);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading the table: more stripes make SOME video far more "
+         "likely (graceful degradation) while full-rate delivery gets "
+         "harder — each stripe adds a failure point for the full stream. "
+         "This is exactly the multi-tree trade-off SplitStream documents.\n";
+  return 0;
+}

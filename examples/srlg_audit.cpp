@@ -1,0 +1,86 @@
+// Shared-risk audit: the operator's view of a two-ISP deployment.
+// Both peering links look independent on the overlay map, but they run
+// through the same physical conduit — how much reliability is that
+// correlation silently costing, and which links should be fixed first?
+
+#include <iostream>
+
+#include "streamrel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamrel;
+  const CliArgs args(argc, argv);
+  const double conduit_risk = args.get_double("conduit-risk", 0.1);
+
+  TwoIspParams params;
+  params.peers_per_isp = 6;
+  params.peering_links = 2;
+  params.peering_failure = 0.08;
+  params.internal_failure = 0.04;
+  params.seed = 2024;
+  const GeneratedNetwork g = make_two_isp_scenario(params);
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  // The two peering links are the crossing edges of the planted split.
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  std::cout << "Two-ISP overlay: " << g.net.summary() << ", peering links:";
+  for (EdgeId id : partition.crossing_edges) std::cout << " e" << id;
+  std::cout << "\nstream: " << demand.rate << " sub-streams, conduit failure "
+            << format_double(conduit_risk, 3) << "\n\n";
+
+  const double independent =
+      compute_reliability(g.net, demand).result.reliability;
+  const SharedRiskGroup conduit{partition.crossing_edges, conduit_risk};
+  const double correlated =
+      reliability_with_shared_risks(g.net, demand, {conduit}).reliability;
+  // What a naive model would do: fold the conduit risk into each link
+  // independently — same marginals, no correlation.
+  GeneratedNetwork folded = g;
+  for (EdgeId id : partition.crossing_edges) {
+    const double p = folded.net.edge(id).failure_prob;
+    folded.net.set_failure_prob(id,
+                                1.0 - (1.0 - p) * (1.0 - conduit_risk));
+  }
+  const double folded_r =
+      compute_reliability(folded.net, demand).result.reliability;
+
+  TextTable model({"failure model", "R"});
+  model.new_row().add_cell("independent links only (no conduit)")
+      .add_cell(independent, 6);
+  model.new_row()
+      .add_cell("conduit risk folded per-link (WRONG: ignores correlation)")
+      .add_cell(folded_r, 6);
+  model.new_row().add_cell("shared-risk group (correct)")
+      .add_cell(correlated, 6);
+  model.print(std::cout);
+  std::cout << "\nThe folded model overestimates reliability by "
+            << format_double(folded_r - correlated, 4)
+            << " — correlated peering failures cannot be averaged away.\n\n";
+
+  std::cout << "Where to invest (Birnbaum ranking, top 5):\n";
+  TextTable rank({"link", "endpoints", "crossing?", "birnbaum"});
+  int shown = 0;
+  for (const EdgeImportance& imp :
+       ranked_by_birnbaum(edge_importance(g.net, demand))) {
+    if (++shown > 5) break;
+    const Edge& e = g.net.edge(imp.edge);
+    const bool crossing =
+        g.side_s[static_cast<std::size_t>(e.u)] !=
+        g.side_s[static_cast<std::size_t>(e.v)];
+    std::string endpoints = std::to_string(e.u);
+    endpoints += "--";
+    endpoints += std::to_string(e.v);
+    rank.new_row()
+        .add_cell(static_cast<std::int64_t>(imp.edge))
+        .add_cell(endpoints)
+        .add_cell(crossing ? "yes" : "no")
+        .add_cell(imp.birnbaum, 5);
+  }
+  rank.print(std::cout);
+  std::cout << "\nUnsurprisingly the peering links top the list: the "
+               "bottleneck is where reliability is made or lost.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "core/accumulate.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// Compresses a mask over the sparse `allowed` bit positions into a dense
+// rank-indexed mask of popcount(allowed) bits.
+Mask compress(Mask m, Mask allowed) {
+  Mask out = 0;
+  int rank = 0;
+  for (Mask rest = allowed; rest != 0; rest &= rest - 1, ++rank) {
+    if (m & (rest & (~rest + 1))) out |= bit(rank);
+  }
+  return out;
+}
+
+double accumulate_bucket_product(const MaskDistribution& source_side,
+                                 const MaskDistribution& sink_side,
+                                 Mask allowed) {
+  KahanSum sum;
+  for (const auto& [ms, ps] : source_side.buckets) {
+    const Mask live = ms & allowed;
+    if (live == 0) continue;
+    for (const auto& [mt, pt] : sink_side.buckets) {
+      if (live & mt) sum.add(ps * pt);
+    }
+  }
+  return sum.value();
+}
+
+double accumulate_zeta(const MaskDistribution& source_side,
+                       const MaskDistribution& sink_side, Mask allowed) {
+  const int r = popcount(allowed);
+  if (r > 26) {
+    throw std::invalid_argument("zeta accumulation: allowed set too large");
+  }
+  // disjoint[m] = P_t(realized-set intersected with allowed is a subset
+  // of m) — a subset-zeta transform over the compressed universe.
+  std::vector<double> disjoint(std::size_t{1} << r, 0.0);
+  for (const auto& [mt, pt] : sink_side.buckets) {
+    disjoint[static_cast<std::size_t>(compress(mt & allowed, allowed))] += pt;
+  }
+  for (int i = 0; i < r; ++i) {
+    const std::size_t stride = std::size_t{1} << i;
+    for (std::size_t m = 0; m < disjoint.size(); ++m) {
+      if (m & stride) disjoint[m] += disjoint[m ^ stride];
+    }
+  }
+  // P(common assignment) = total - P(sink set avoids the source set).
+  const Mask full = full_mask(r);
+  KahanSum miss;
+  for (const auto& [ms, ps] : source_side.buckets) {
+    const Mask live = compress(ms & allowed, allowed);
+    miss.add(ps * disjoint[static_cast<std::size_t>(full & ~live)]);
+  }
+  return source_side.total * sink_side.total - miss.value();
+}
+
+double accumulate_paper(const MaskDistribution& source_side,
+                        const MaskDistribution& sink_side, Mask allowed) {
+  const int r = popcount(allowed);
+  if (r > 24) {
+    throw std::invalid_argument(
+        "paper inclusion-exclusion: allowed set too large (2^|D| terms)");
+  }
+  // Step 1: for every subset X of allowed assignments, the probability
+  // that a side realizes ALL of X is a superset sum over its buckets.
+  const std::size_t universe = std::size_t{1} << r;
+  std::vector<double> realizes_all_s(universe, 0.0);
+  std::vector<double> realizes_all_t(universe, 0.0);
+  auto fill = [&](const MaskDistribution& dist, std::vector<double>& table) {
+    for (const auto& [m, p] : dist.buckets) {
+      table[static_cast<std::size_t>(compress(m & allowed, allowed))] += p;
+    }
+    // Superset-zeta: table[x] becomes sum over buckets whose compressed
+    // mask is a superset of x.
+    for (int i = 0; i < r; ++i) {
+      const std::size_t stride = std::size_t{1} << i;
+      for (std::size_t m = 0; m < universe; ++m) {
+        if (!(m & stride)) table[m] += table[m | stride];
+      }
+    }
+  };
+  fill(source_side, realizes_all_s);
+  fill(sink_side, realizes_all_t);
+
+  // Step 2: inclusion-exclusion over non-empty X (Example 6):
+  //   r = sum_X (-1)^(|X|+1) p_X,  p_X = P_s(all of X) * P_t(all of X).
+  KahanSum sum;
+  for (std::size_t x = 1; x < universe; ++x) {
+    const double p_x = realizes_all_s[x] * realizes_all_t[x];
+    sum.add((popcount(static_cast<Mask>(x)) % 2 == 1) ? p_x : -p_x);
+  }
+  return sum.value();
+}
+
+}  // namespace
+
+double joint_success_probability(const MaskDistribution& source_side,
+                                 const MaskDistribution& sink_side,
+                                 Mask allowed,
+                                 AccumulationStrategy strategy) {
+  if (allowed == 0) return 0.0;
+  if (strategy == AccumulationStrategy::kAuto) {
+    const int r = popcount(allowed);
+    const std::size_t pairs =
+        source_side.buckets.size() * sink_side.buckets.size();
+    strategy = (r <= 20 && (std::size_t{1} << r) < pairs)
+                   ? AccumulationStrategy::kZetaTransform
+                   : AccumulationStrategy::kBucketProduct;
+  }
+  switch (strategy) {
+    case AccumulationStrategy::kPaperInclusionExclusion:
+      return accumulate_paper(source_side, sink_side, allowed);
+    case AccumulationStrategy::kZetaTransform:
+      return accumulate_zeta(source_side, sink_side, allowed);
+    case AccumulationStrategy::kBucketProduct:
+      return accumulate_bucket_product(source_side, sink_side, allowed);
+    case AccumulationStrategy::kAuto:
+      break;
+  }
+  throw std::invalid_argument("unknown accumulation strategy");
+}
+
+}  // namespace streamrel

@@ -1,0 +1,140 @@
+#include "core/assignments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streamrel {
+
+Mask AssignmentSet::supported_by(Mask alive_bottleneck) const {
+  Mask out = 0;
+  for (std::size_t j = 0; j < assignments.size(); ++j) {
+    const Mask supp = assignments[j].support();
+    if ((supp & alive_bottleneck) == supp) out |= bit(static_cast<int>(j));
+  }
+  return out;
+}
+
+AssignmentMode resolve_assignment_mode(const FlowNetwork& net,
+                                       const BottleneckPartition& partition,
+                                       AssignmentMode requested) {
+  if (requested != AssignmentMode::kAuto) return requested;
+  // Forward-only is provably exact only when NO link can carry flow back
+  // into the source side, i.e. every crossing arc is directed S -> T.
+  // Undirected crossing links can carry net back-flow, and our property
+  // tests exhibit undirected k = 3 instances where the optimal routing
+  // needs it (see DESIGN.md), so kAuto plays safe and goes signed.
+  for (EdgeId id : partition.crossing_edges) {
+    const Edge& e = net.edge(id);
+    if (!e.directed() ||
+        !partition.side_s[static_cast<std::size_t>(e.u)]) {
+      return AssignmentMode::kSigned;
+    }
+  }
+  return AssignmentMode::kForwardOnly;
+}
+
+namespace {
+
+// Per-link net-usage bounds given orientation and mode.
+struct UsageBounds {
+  Capacity lo = 0;
+  Capacity hi = 0;
+};
+
+std::vector<UsageBounds> usage_bounds(const FlowNetwork& net,
+                                      const BottleneckPartition& partition,
+                                      Capacity d, AssignmentMode mode) {
+  // Per-link directional capacities across the bipartition.
+  std::vector<Capacity> fwd_caps, back_caps;
+  Capacity total_fwd = 0, total_back = 0;
+  for (EdgeId id : partition.crossing_edges) {
+    const Edge& e = net.edge(id);
+    const bool tail_on_s = partition.side_s[static_cast<std::size_t>(e.u)];
+    Capacity fwd_cap, back_cap;
+    if (e.directed()) {
+      fwd_cap = tail_on_s ? e.capacity : 0;
+      back_cap = tail_on_s ? 0 : e.capacity;
+    } else {
+      fwd_cap = e.capacity;
+      back_cap = e.capacity;
+    }
+    fwd_caps.push_back(fwd_cap);
+    back_caps.push_back(back_cap);
+    total_fwd += fwd_cap;
+    total_back += back_cap;
+  }
+
+  std::vector<UsageBounds> bounds;
+  bounds.reserve(fwd_caps.size());
+  for (std::size_t i = 0; i < fwd_caps.size(); ++i) {
+    UsageBounds b;
+    if (mode == AssignmentMode::kSigned) {
+      // Any value-d flow's crossing pattern satisfies these outer bounds:
+      // a link's net forward usage is at most d plus everything the other
+      // links can carry backward, and its net backward usage at most what
+      // the other links can carry forward beyond d.
+      const Capacity hi_by_net = d + (total_back - back_caps[i]);
+      b.hi = std::min(fwd_caps[i], hi_by_net);
+      const Capacity lo_by_net =
+          std::max<Capacity>(0, (total_fwd - fwd_caps[i]) - d);
+      b.lo = -std::min(back_caps[i], lo_by_net);
+    } else {
+      // Paper model: every sub-stream crosses forward exactly once.
+      b.hi = std::min(fwd_caps[i], d);
+      b.lo = 0;
+    }
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+void enumerate_rec(const std::vector<UsageBounds>& bounds, std::size_t index,
+                   Capacity remaining, std::vector<Capacity>& current,
+                   const AssignmentOptions& options, AssignmentSet& out) {
+  if (index == bounds.size()) {
+    if (remaining == 0) {
+      if (out.size() >= options.max_assignments) {
+        throw std::invalid_argument(
+            "assignment set exceeds max_assignments; the bottleneck "
+            "decomposition assumes constant d and k");
+      }
+      out.assignments.push_back(Assignment{current});
+    }
+    return;
+  }
+  // Prune with the range still achievable by the remaining suffix.
+  Capacity suffix_lo = 0, suffix_hi = 0;
+  for (std::size_t i = index + 1; i < bounds.size(); ++i) {
+    suffix_lo += bounds[i].lo;
+    suffix_hi += bounds[i].hi;
+  }
+  for (Capacity a = bounds[index].lo; a <= bounds[index].hi; ++a) {
+    const Capacity rest = remaining - a;
+    if (rest < suffix_lo || rest > suffix_hi) continue;
+    current.push_back(a);
+    enumerate_rec(bounds, index + 1, rest, current, options, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+AssignmentSet enumerate_assignments(const FlowNetwork& net,
+                                    const BottleneckPartition& partition,
+                                    Capacity d,
+                                    const AssignmentOptions& options) {
+  if (d <= 0) throw std::invalid_argument("demand rate must be positive");
+  if (partition.crossing_edges.size() >
+      static_cast<std::size_t>(kMaxMaskBits)) {
+    throw std::invalid_argument("too many bottleneck links");
+  }
+  AssignmentSet set;
+  set.mode = resolve_assignment_mode(net, partition, options.mode);
+  const auto bounds = usage_bounds(net, partition, d, set.mode);
+  std::vector<Capacity> current;
+  current.reserve(bounds.size());
+  enumerate_rec(bounds, 0, d, current, options, set);
+  return set;
+}
+
+}  // namespace streamrel

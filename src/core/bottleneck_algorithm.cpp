@@ -1,0 +1,122 @@
+#include "core/bottleneck_algorithm.hpp"
+
+#include <stdexcept>
+
+#include "graph/graph_algos.hpp"
+#include "reliability/naive.hpp"
+#include "util/config_prob.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+BottleneckResult reliability_bottleneck(const FlowNetwork& net,
+                                        const FlowDemand& demand,
+                                        const BottleneckPartition& partition,
+                                        const BottleneckOptions& options) {
+  net.check_demand(demand);
+  if (partition.side_s.size() != static_cast<std::size_t>(net.num_nodes())) {
+    throw std::invalid_argument("partition does not match network");
+  }
+  if (!partition.side_s[static_cast<std::size_t>(demand.source)] ||
+      partition.side_s[static_cast<std::size_t>(demand.sink)]) {
+    throw std::invalid_argument("demand endpoints on wrong partition sides");
+  }
+
+  BottleneckResult result;
+  result.partition_stats = analyze_partition(net, demand.source, demand.sink,
+                                             partition);
+
+  // If even the full crossing capacity cannot carry d, reliability is 0
+  // (paper: "If c(E') < d, the reliability ... is trivially zero").
+  const AssignmentSet assignments =
+      enumerate_assignments(net, partition, demand.rate, options.assignments);
+  result.mode_used = assignments.mode;
+  result.num_assignments = assignments.size();
+  if (assignments.size() == 0) return result;
+
+  // Side arrays (paper §III-C) folded into mask distributions.
+  const SideProblem side_s =
+      make_side_problem(net, demand, partition, /*source_side=*/true);
+  const SideProblem side_t =
+      make_side_problem(net, demand, partition, /*source_side=*/false);
+  const std::vector<Mask> array_s = build_side_array(
+      side_s, assignments, demand.rate, options.side, &result.maxflow_calls);
+  const std::vector<Mask> array_t = build_side_array(
+      side_t, assignments, demand.rate, options.side, &result.maxflow_calls);
+  result.configurations = array_s.size() + array_t.size();
+  const MaskDistribution dist_s = bucket_side_array(side_s, array_s);
+  const MaskDistribution dist_t = bucket_side_array(side_t, array_t);
+
+  // Accumulation over bottleneck-link configurations (Equations 2-3).
+  std::vector<double> crossing_probs;
+  crossing_probs.reserve(partition.crossing_edges.size());
+  for (EdgeId id : partition.crossing_edges) {
+    crossing_probs.push_back(net.edge(id).failure_prob);
+  }
+  const ConfigProbTable bottleneck_probs(crossing_probs);
+  const Mask bottleneck_total = Mask{1} << partition.k();
+  KahanSum total;
+  for (Mask alive = 0; alive < bottleneck_total; ++alive) {
+    const Mask allowed = assignments.supported_by(alive);
+    if (allowed == 0) continue;
+    const double r_alive = joint_success_probability(
+        dist_s, dist_t, allowed, options.accumulation);
+    total.add(bottleneck_probs.prob(alive) * r_alive);
+  }
+  result.reliability = total.value();
+  return result;
+}
+
+ThroughputDistribution throughput_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition, const BottleneckOptions& options) {
+  net.check_demand(demand);
+  ThroughputDistribution dist;
+  dist.at_least.reserve(static_cast<std::size_t>(demand.rate));
+  for (Capacity v = 1; v <= demand.rate; ++v) {
+    dist.at_least.push_back(
+        reliability_bottleneck(net, FlowDemand{demand.source, demand.sink, v},
+                               partition, options)
+            .reliability);
+  }
+  return dist;
+}
+
+double reliability_bridge_formula(const FlowNetwork& net,
+                                  const FlowDemand& demand, EdgeId bridge) {
+  net.check_demand(demand);
+  if (!net.valid_edge(bridge)) throw std::invalid_argument("bad bridge id");
+  const Edge& e = net.edge(bridge);
+  if (e.capacity < demand.rate) return 0.0;  // paper: trivially zero
+
+  auto partition =
+      partition_from_cut_edges(net, demand.source, demand.sink, {bridge});
+  if (!partition || partition->k() != 1) {
+    throw std::invalid_argument("edge is not a bridge separating s and t");
+  }
+
+  // Orient the bridge endpoints: x on the source side, y on the sink side.
+  const NodeId x =
+      partition->side_s[static_cast<std::size_t>(e.u)] ? e.u : e.v;
+  const NodeId y = e.other(x);
+
+  const Subgraph g_s = induced_subgraph(net, partition->side_s);
+  std::vector<bool> sink_side(partition->side_s);
+  sink_side.flip();
+  const Subgraph g_t = induced_subgraph(net, sink_side);
+
+  auto side_reliability = [&](const Subgraph& sub, NodeId from, NodeId to) {
+    const NodeId sub_from = sub.node_to_sub[static_cast<std::size_t>(from)];
+    const NodeId sub_to = sub.node_to_sub[static_cast<std::size_t>(to)];
+    if (sub_from == sub_to) return 1.0;  // the demand endpoint IS the
+                                         // bridge endpoint: nothing to route
+    return reliability_naive(sub.net,
+                             FlowDemand{sub_from, sub_to, demand.rate})
+        .reliability;
+  };
+  const double r_s = side_reliability(g_s, demand.source, x);
+  const double r_t = side_reliability(g_t, y, demand.sink);
+  return r_s * (1.0 - e.failure_prob) * r_t;  // Equation (1)
+}
+
+}  // namespace streamrel

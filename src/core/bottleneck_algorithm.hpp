@@ -1,0 +1,68 @@
+#pragma once
+// The paper's algorithm, end to end (Fig. 6):
+//
+//   1. enumerate the assignment set D over the bottleneck links (§III-B);
+//   2. build the two side arrays and fold them into mask distributions
+//      (§III-C);
+//   3. for every configuration E'' of alive bottleneck links, restrict D
+//      to the assignments E'' supports (Definition 1), compute r_{E''}
+//      by inclusion–exclusion (§IV), and combine: R = sum p_{E''} r_{E''}
+//      (Equations 2–3).
+//
+// Runtime O(2^{alpha |E|} |V||E|) for constant d and k, versus the naive
+// O(2^{|E|} |V||E|).
+
+#include "core/accumulate.hpp"
+#include "core/assignments.hpp"
+#include "core/side_array.hpp"
+#include "cuts/bottleneck.hpp"
+#include "reliability/throughput.hpp"
+#include "reliability/types.hpp"
+
+namespace streamrel {
+
+struct BottleneckOptions {
+  AssignmentOptions assignments{};
+  SideArrayOptions side{};
+  AccumulationStrategy accumulation = AccumulationStrategy::kAuto;
+};
+
+struct BottleneckResult {
+  double reliability = 0.0;
+  std::uint64_t configurations = 0;  ///< side configurations enumerated
+  std::uint64_t maxflow_calls = 0;
+  int num_assignments = 0;           ///< |D|
+  AssignmentMode mode_used = AssignmentMode::kForwardOnly;
+  PartitionStats partition_stats;
+
+  operator ReliabilityResult() const {
+    return ReliabilityResult{reliability, configurations, maxflow_calls};
+  }
+};
+
+/// Exact reliability via the bottleneck decomposition over `partition`.
+/// Requires both sides to have <= 63 internal links and |D| <= 63.
+BottleneckResult reliability_bottleneck(const FlowNetwork& net,
+                                        const FlowDemand& demand,
+                                        const BottleneckPartition& partition,
+                                        const BottleneckOptions& options = {});
+
+/// Deliverable-throughput distribution via the decomposition: one
+/// bottleneck run per level v = 1..demand.rate (P(>= v) is the
+/// reliability of demand v). Same requirements as reliability_bottleneck
+/// at every level; levels whose assignment sets would explode propagate
+/// the exception.
+ThroughputDistribution throughput_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition,
+    const BottleneckOptions& options = {});
+
+/// The paper's Equation (1) for a single bridge link e*: the reliability
+/// of a bridged graph is r(G_s) * (1 - p(e*)) * r(G_t), with the side
+/// reliabilities computed by naive enumeration against demands
+/// (s, x, d) and (y, t, d). Provided for the Fig.-2 reproduction and as
+/// an independently-coded cross-check of the k = 1 decomposition.
+double reliability_bridge_formula(const FlowNetwork& net,
+                                  const FlowDemand& demand, EdgeId bridge);
+
+}  // namespace streamrel

@@ -1,0 +1,100 @@
+#include "core/hybrid_mc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/accumulate.hpp"
+#include "util/config_prob.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// Empirical realized-mask distribution from `samples` sampled side
+// configurations.
+MaskDistribution sample_side_distribution(const SideProblem& side,
+                                          const AssignmentSet& assignments,
+                                          Capacity rate,
+                                          MaxFlowAlgorithm algorithm,
+                                          std::uint64_t samples,
+                                          Xoshiro256& rng,
+                                          std::uint64_t& maxflow_calls) {
+  SideMaskEvaluator evaluator(side, assignments, rate, algorithm);
+  const std::vector<double> probs = side.sub.net.failure_probs();
+  std::unordered_map<Mask, std::uint64_t> counts;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    Mask config = 0;
+    for (std::size_t e = 0; e < probs.size(); ++e) {
+      if (!rng.bernoulli(probs[e])) config |= bit(static_cast<int>(e));
+    }
+    counts[evaluator.realized(config)]++;
+  }
+  maxflow_calls += evaluator.maxflow_calls();
+
+  MaskDistribution dist;
+  dist.buckets.reserve(counts.size());
+  for (const auto& [mask, count] : counts) {
+    dist.buckets.emplace_back(
+        mask, static_cast<double>(count) / static_cast<double>(samples));
+  }
+  std::sort(dist.buckets.begin(), dist.buckets.end());
+  dist.total = 1.0;
+  return dist;
+}
+
+}  // namespace
+
+HybridMonteCarloResult reliability_bottleneck_hybrid(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition,
+    const HybridMonteCarloOptions& options) {
+  net.check_demand(demand);
+  if (options.samples_per_side == 0) {
+    throw std::invalid_argument("need >= 1 sample per side");
+  }
+
+  HybridMonteCarloResult result;
+  result.samples_per_side = options.samples_per_side;
+
+  const AssignmentSet assignments =
+      enumerate_assignments(net, partition, demand.rate, options.assignments);
+  result.num_assignments = assignments.size();
+  if (assignments.size() == 0) return result;
+
+  const SideProblem side_s =
+      make_side_problem(net, demand, partition, /*source_side=*/true);
+  const SideProblem side_t =
+      make_side_problem(net, demand, partition, /*source_side=*/false);
+
+  Xoshiro256 rng_s(options.seed);
+  Xoshiro256 rng_t(options.seed);
+  rng_t.jump();  // independent substream for the sink side
+  const MaskDistribution dist_s = sample_side_distribution(
+      side_s, assignments, demand.rate, options.algorithm,
+      options.samples_per_side, rng_s, result.maxflow_calls);
+  const MaskDistribution dist_t = sample_side_distribution(
+      side_t, assignments, demand.rate, options.algorithm,
+      options.samples_per_side, rng_t, result.maxflow_calls);
+
+  // Exact accumulation over the 2^k bottleneck configurations.
+  std::vector<double> crossing_probs;
+  for (EdgeId id : partition.crossing_edges) {
+    crossing_probs.push_back(net.edge(id).failure_prob);
+  }
+  const ConfigProbTable bottleneck_probs(crossing_probs);
+  KahanSum total;
+  for (Mask alive = 0; alive < (Mask{1} << partition.k()); ++alive) {
+    const Mask allowed = assignments.supported_by(alive);
+    if (allowed == 0) continue;
+    total.add(bottleneck_probs.prob(alive) *
+              joint_success_probability(dist_s, dist_t, allowed,
+                                        options.accumulation));
+  }
+  result.estimate = total.value();
+  return result;
+}
+
+}  // namespace streamrel

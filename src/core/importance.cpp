@@ -1,0 +1,48 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+
+namespace streamrel {
+
+std::vector<EdgeImportance> edge_importance(const FlowNetwork& net,
+                                            const FlowDemand& demand,
+                                            const SolveOptions& options) {
+  net.check_demand(demand);
+  const double base = compute_reliability(net, demand, options)
+                          .result.reliability;
+  std::vector<EdgeImportance> out;
+  out.reserve(static_cast<std::size_t>(net.num_edges()));
+  FlowNetwork work = net;
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge original = net.edge(id);
+
+    work.set_failure_prob(id, 0.0);
+    const double up =
+        compute_reliability(work, demand, options).result.reliability;
+    work.set_failure_prob(id, original.failure_prob);
+
+    work.set_capacity(id, 0);
+    const double down =
+        compute_reliability(work, demand, options).result.reliability;
+    work.set_capacity(id, original.capacity);
+
+    EdgeImportance imp;
+    imp.edge = id;
+    imp.birnbaum = up - down;
+    imp.risk_achievement = up - base;
+    imp.risk_reduction = base - down;
+    out.push_back(imp);
+  }
+  return out;
+}
+
+std::vector<EdgeImportance> ranked_by_birnbaum(
+    std::vector<EdgeImportance> importances) {
+  std::stable_sort(importances.begin(), importances.end(),
+                   [](const EdgeImportance& a, const EdgeImportance& b) {
+                     return a.birnbaum > b.birnbaum;
+                   });
+  return importances;
+}
+
+}  // namespace streamrel

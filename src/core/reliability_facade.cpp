@@ -1,0 +1,124 @@
+#include "core/reliability_facade.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reliability/reductions.hpp"
+
+namespace streamrel {
+
+SolveReport compute_reliability(const FlowNetwork& net,
+                                const FlowDemand& demand,
+                                const SolveOptions& options) {
+  net.check_demand(demand);
+  SolveReport report;
+
+  // Rate-1 preprocessing: series/parallel/prune reductions are exact and
+  // often shrink the instance dramatically (or solve it outright).
+  if (options.method == Method::kAuto && options.use_reductions &&
+      demand.rate == 1) {
+    bool all_undirected = true;
+    for (const Edge& e : net.edges()) all_undirected &= !e.directed();
+    if (all_undirected) {
+      const ReducedNetwork reduced =
+          reduce_for_connectivity(net, demand.source, demand.sink);
+      const int removed = net.num_edges() - reduced.net.num_edges();
+      if (reduced.net.num_edges() == 0) {
+        report.method_used = Method::kAuto;
+        report.links_reduced = removed;
+        report.result.reliability = 0.0;  // s and t disconnected
+        return report;
+      }
+      if (reduced.fully_reduced()) {
+        report.method_used = Method::kAuto;
+        report.links_reduced = removed;
+        report.result.reliability = 1.0 - reduced.net.edge(0).failure_prob;
+        return report;
+      }
+      if (removed > 0) {
+        SolveOptions inner = options;
+        inner.use_reductions = false;  // already at a fixpoint
+        report = compute_reliability(
+            reduced.net, {reduced.source, reduced.sink, 1}, inner);
+        report.partition.reset();  // refers to reduced-network ids
+        report.links_reduced = removed;
+        return report;
+      }
+    }
+  }
+
+  switch (options.method) {
+    case Method::kNaive:
+      report.method_used = Method::kNaive;
+      report.result = reliability_naive(net, demand, options.naive);
+      return report;
+    case Method::kFactoring:
+      report.method_used = Method::kFactoring;
+      report.result = reliability_factoring(net, demand, options.factoring);
+      return report;
+    case Method::kFrontier:
+      report.method_used = Method::kFrontier;
+      report.result =
+          reliability_connectivity(net, demand, options.frontier);
+      return report;
+    case Method::kBottleneck:
+    case Method::kAuto:
+      break;
+  }
+
+  // Try candidate partitions best first; a candidate can still fail for
+  // demand-specific reasons (assignment-set blow-up), in which case the
+  // next one gets its chance.
+  for (PartitionChoice& choice : find_candidate_partitions(
+           net, demand.source, demand.sink, options.partition_search)) {
+    // Worthwhile when the decomposition shrinks the enumeration exponent:
+    // max side strictly below |E| - k means 2^max_side * 2 < 2^|E|.
+    const int max_side = std::max(choice.stats.edges_s, choice.stats.edges_t);
+    const bool worthwhile =
+        max_side + choice.stats.k < net.num_edges() || !net.fits_mask();
+    if (options.method != Method::kBottleneck && !worthwhile) break;
+    try {
+      report.result = reliability_bottleneck(net, demand, choice.partition,
+                                             options.bottleneck);
+      report.method_used = Method::kBottleneck;
+      report.partition = std::move(choice);
+      return report;
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+  }
+  if (options.method == Method::kBottleneck) {
+    throw std::invalid_argument(
+        "no usable bottleneck partition found for this network");
+  }
+
+  // Rate-1 undirected demands on networks too big to enumerate: the
+  // frontier DP handles path-like structures of any length exactly.
+  if (demand.rate == 1 && !net.fits_mask()) {
+    bool all_undirected = true;
+    for (const Edge& e : net.edges()) all_undirected &= !e.directed();
+    if (all_undirected) {
+      try {
+        report.result = reliability_connectivity(net, demand,
+                                                 options.frontier);
+        report.method_used = Method::kFrontier;
+        return report;
+      } catch (const std::runtime_error&) {
+        // Frontier too wide: fall through to factoring.
+      }
+    }
+  }
+
+  // No exploitable bottleneck: exhaustive enumeration for small networks,
+  // factoring otherwise.
+  if (net.fits_mask() && net.num_edges() <= 22) {
+    report.method_used = Method::kNaive;
+    report.result = reliability_naive(net, demand, options.naive);
+  } else {
+    report.method_used = Method::kFactoring;
+    report.result = reliability_factoring(net, demand, options.factoring);
+  }
+  return report;
+}
+
+}  // namespace streamrel

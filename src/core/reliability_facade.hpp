@@ -1,0 +1,51 @@
+#pragma once
+// One-call public API: picks a bottleneck partition automatically and
+// falls back to the exact baselines when the graph has no exploitable
+// bottleneck.
+
+#include <optional>
+
+#include "core/bottleneck_algorithm.hpp"
+#include "cuts/partition_search.hpp"
+#include "reliability/factoring.hpp"
+#include "reliability/frontier.hpp"
+#include "reliability/naive.hpp"
+
+namespace streamrel {
+
+enum class Method {
+  kAuto,        ///< bottleneck > frontier (rate-1) > naive > factoring
+  kBottleneck,  ///< bottleneck decomposition (throws if no partition found)
+  kNaive,
+  kFactoring,
+  kFrontier,    ///< frontier connectivity DP (rate-1, undirected only)
+};
+
+struct SolveOptions {
+  Method method = Method::kAuto;
+  /// kAuto preprocessing: apply series/parallel/prune reductions first
+  /// for rate-1 undirected demands (exact; often collapses sparse
+  /// overlays outright).
+  bool use_reductions = true;
+  PartitionSearchOptions partition_search{};
+  BottleneckOptions bottleneck{};
+  NaiveOptions naive{};
+  FactoringOptions factoring{};
+  FrontierOptions frontier{};
+};
+
+struct SolveReport {
+  ReliabilityResult result;
+  Method method_used = Method::kAuto;
+  /// The partition the decomposition ran on, when it did.
+  std::optional<PartitionChoice> partition;
+  /// Links removed by the rate-1 reduction preprocessing (0 = none ran).
+  int links_reduced = 0;
+};
+
+/// Exact reliability of `net` with respect to `demand`.
+SolveReport compute_reliability(const FlowNetwork& net,
+                                const FlowDemand& demand,
+                                const SolveOptions& options = {});
+
+}  // namespace streamrel

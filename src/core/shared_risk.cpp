@@ -1,0 +1,62 @@
+#include "core/shared_risk.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+SharedRiskResult reliability_with_shared_risks(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const std::vector<SharedRiskGroup>& groups,
+    const SolveOptions& options) {
+  net.check_demand(demand);
+  if (groups.size() > 20) {
+    throw std::invalid_argument("too many shared-risk groups (max 20)");
+  }
+  for (const SharedRiskGroup& g : groups) {
+    if (!(g.failure_prob >= 0.0) || !(g.failure_prob < 1.0)) {
+      throw std::invalid_argument("group failure probability not in [0, 1)");
+    }
+    for (EdgeId id : g.edges) {
+      if (!net.valid_edge(id)) {
+        throw std::invalid_argument("group references unknown edge");
+      }
+    }
+  }
+
+  SharedRiskResult result;
+  KahanSum total;
+  const Mask states = Mask{1} << groups.size();
+  result.group_states = states;
+  FlowNetwork work = net;
+  for (Mask alive_groups = 0; alive_groups < states; ++alive_groups) {
+    // Probability of exactly this group state.
+    double p_state = 1.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      p_state *= test_bit(alive_groups, static_cast<int>(g))
+                     ? (1.0 - groups[g].failure_prob)
+                     : groups[g].failure_prob;
+    }
+    if (p_state == 0.0) continue;
+
+    // Force the links of failed groups down by zeroing their capacity
+    // (keeps edge ids stable; their own failure state marginalizes out).
+    for (EdgeId id = 0; id < net.num_edges(); ++id) {
+      work.set_capacity(id, net.edge(id).capacity);
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (test_bit(alive_groups, static_cast<int>(g))) continue;
+      for (EdgeId id : groups[g].edges) work.set_capacity(id, 0);
+    }
+
+    const SolveReport report = compute_reliability(work, demand, options);
+    result.maxflow_calls += report.result.maxflow_calls;
+    total.add(p_state * report.result.reliability);
+  }
+  result.reliability = total.value();
+  return result;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,307 @@
+#include "core/side_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "maxflow/config_residual.hpp"
+#include "util/config_prob.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
+                              const BottleneckPartition& partition,
+                              bool source_side) {
+  net.check_demand(demand);
+  SideProblem side;
+  side.is_source_side = source_side;
+
+  std::vector<bool> in_side(partition.side_s);
+  if (!source_side) in_side.flip();
+  side.sub = induced_subgraph(net, in_side);
+  if (!side.sub.net.fits_mask()) {
+    throw std::invalid_argument(
+        "side component exceeds 63 links; pick a more balanced partition");
+  }
+
+  const NodeId anchor_orig = source_side ? demand.source : demand.sink;
+  side.anchor = side.sub.node_to_sub[static_cast<std::size_t>(anchor_orig)];
+  if (side.anchor == kInvalidNode) {
+    throw std::invalid_argument("demand endpoint not on its side");
+  }
+  side.endpoints.reserve(partition.crossing_edges.size());
+  for (EdgeId id : partition.crossing_edges) {
+    const Edge& e = net.edge(id);
+    const NodeId orig =
+        partition.side_s[static_cast<std::size_t>(e.u)] == source_side ? e.u
+                                                                       : e.v;
+    side.endpoints.push_back(
+        side.sub.node_to_sub[static_cast<std::size_t>(orig)]);
+  }
+  return side;
+}
+
+namespace {
+
+// Shared super-arc layout: index 0 is the anchor arc, then per crossing
+// edge i an "in" arc S0 -> endpoint (index 1 + 2i) and an "out" arc
+// endpoint -> T1 (index 2 + 2i).
+struct SideEvaluator {
+  SideEvaluator(const SideProblem& side, MaxFlowAlgorithm algorithm)
+      : side_(&side),
+        residual_(side.sub.net),
+        solver_(make_solver(algorithm)) {
+    super_source_ = residual_.add_super_node();
+    super_sink_ = residual_.add_super_node();
+    if (side.is_source_side) {
+      residual_.add_super_arc(super_source_, side.anchor, 0, 0);
+    } else {
+      residual_.add_super_arc(side.anchor, super_sink_, 0, 0);
+    }
+    for (NodeId endpoint : side.endpoints) {
+      residual_.add_super_arc(super_source_, endpoint, 0, 0);  // in arc
+      residual_.add_super_arc(endpoint, super_sink_, 0, 0);    // out arc
+    }
+  }
+
+  // Configures the super arcs for one assignment; returns the flow total
+  // that signals feasibility.
+  Capacity configure(const Assignment& a, Capacity d) {
+    residual_.set_super_arc(0, d, 0);
+    Capacity backflow = 0;
+    for (std::size_t i = 0; i < a.usage.size(); ++i) {
+      const Capacity u = a.usage[i];
+      const std::size_t in_arc = 1 + 2 * i;
+      const std::size_t out_arc = 2 + 2 * i;
+      // Source side: positive usage leaves via the endpoint (out arc);
+      // negative usage enters there. Sink side is the mirror image.
+      const bool leaves = side_->is_source_side ? (u > 0) : (u < 0);
+      const Capacity mag = u > 0 ? u : -u;
+      residual_.set_super_arc(in_arc, leaves ? 0 : mag, 0);
+      residual_.set_super_arc(out_arc, leaves ? mag : 0, 0);
+      if (u < 0) backflow -= u;
+    }
+    return d + backflow;
+  }
+
+  // Configures f(Q) probing for the polymatroid path: every endpoint in Q
+  // gets capacity `d` on its demand-facing arc.
+  void configure_subset(Mask q, Capacity d) {
+    residual_.set_super_arc(0, d, 0);
+    for (std::size_t i = 0; i < side_->endpoints.size(); ++i) {
+      const std::size_t in_arc = 1 + 2 * i;
+      const std::size_t out_arc = 2 + 2 * i;
+      const bool in_q = test_bit(q, static_cast<int>(i));
+      if (side_->is_source_side) {
+        residual_.set_super_arc(in_arc, 0, 0);
+        residual_.set_super_arc(out_arc, in_q ? d : 0, 0);
+      } else {
+        residual_.set_super_arc(in_arc, in_q ? d : 0, 0);
+        residual_.set_super_arc(out_arc, 0, 0);
+      }
+    }
+  }
+
+  Capacity solve(Mask config, Capacity limit) {
+    residual_.reset(config);
+    return solver_->solve(residual_.graph(), super_source_, super_sink_,
+                          limit);
+  }
+
+  const SideProblem* side_;
+  ConfigResidual residual_;
+  std::unique_ptr<MaxFlowSolver> solver_;
+  NodeId super_source_ = kInvalidNode;
+  NodeId super_sink_ = kInvalidNode;
+};
+
+void sweep_per_assignment(const SideProblem& side,
+                          const AssignmentSet& assignments, Capacity d,
+                          MaxFlowAlgorithm algorithm, Mask first, Mask last,
+                          std::vector<Mask>& array, std::uint64_t& calls) {
+  SideEvaluator eval(side, algorithm);
+  for (int j = 0; j < assignments.size(); ++j) {
+    const Capacity required =
+        eval.configure(assignments.assignments[static_cast<std::size_t>(j)],
+                       d);
+    for (Mask config = first;; ++config) {
+      ++calls;
+      if (eval.solve(config, required) >= required) {
+        array[static_cast<std::size_t>(config)] |= bit(j);
+      }
+      if (config == last) break;
+    }
+  }
+}
+
+void sweep_polymatroid(const SideProblem& side,
+                       const AssignmentSet& assignments, Capacity d,
+                       MaxFlowAlgorithm algorithm, Mask first, Mask last,
+                       std::vector<Mask>& array, std::uint64_t& calls) {
+  const int k = static_cast<int>(side.endpoints.size());
+  const Mask subsets = Mask{1} << k;
+  // Per assignment, per subset Q: sum of usages inside Q (precomputed).
+  std::vector<std::vector<Capacity>> subset_sums(
+      static_cast<std::size_t>(assignments.size()),
+      std::vector<Capacity>(static_cast<std::size_t>(subsets), 0));
+  for (int j = 0; j < assignments.size(); ++j) {
+    const auto& usage =
+        assignments.assignments[static_cast<std::size_t>(j)].usage;
+    for (Mask q = 1; q < subsets; ++q) {
+      const int low = lowest_bit(q);
+      subset_sums[static_cast<std::size_t>(j)][static_cast<std::size_t>(q)] =
+          subset_sums[static_cast<std::size_t>(j)]
+                     [static_cast<std::size_t>(q & (q - 1))] +
+          usage[static_cast<std::size_t>(low)];
+    }
+  }
+
+  SideEvaluator eval(side, algorithm);
+  std::vector<Capacity> f(static_cast<std::size_t>(subsets), 0);
+  for (Mask config = first;; ++config) {
+    for (Mask q = 1; q < subsets; ++q) {
+      eval.configure_subset(q, d);
+      ++calls;
+      f[static_cast<std::size_t>(q)] = eval.solve(config, d);
+    }
+    Mask realized = 0;
+    for (int j = 0; j < assignments.size(); ++j) {
+      bool ok = true;
+      for (Mask q = 1; q < subsets && ok; ++q) {
+        ok = subset_sums[static_cast<std::size_t>(j)]
+                        [static_cast<std::size_t>(q)] <=
+             f[static_cast<std::size_t>(q)];
+      }
+      if (ok) realized |= bit(j);
+    }
+    array[static_cast<std::size_t>(config)] = realized;
+    if (config == last) break;
+  }
+}
+
+}  // namespace
+
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options,
+                                   std::uint64_t* maxflow_calls) {
+  if (!assignments.fits_mask()) {
+    throw std::invalid_argument("assignment set too large for mask bits");
+  }
+  FeasibilityMethod method = options.feasibility;
+  if (method == FeasibilityMethod::kPolymatroid &&
+      assignments.mode != AssignmentMode::kForwardOnly) {
+    throw std::invalid_argument(
+        "polymatroid feasibility requires forward-only assignments");
+  }
+  if (method == FeasibilityMethod::kAuto) {
+    const auto k = side.endpoints.size();
+    const bool poly_cheaper =
+        k < 6 && static_cast<std::size_t>(assignments.size()) >
+                     ((std::size_t{1} << k) - 1);
+    method = (assignments.mode == AssignmentMode::kForwardOnly && poly_cheaper)
+                 ? FeasibilityMethod::kPolymatroid
+                 : FeasibilityMethod::kPerAssignment;
+  }
+
+  const int m = side.sub.net.num_edges();
+  const Mask total = Mask{1} << m;
+  std::vector<Mask> array(static_cast<std::size_t>(total), 0);
+  std::uint64_t calls = 0;
+
+  auto sweep = [&](Mask first, Mask last, std::vector<Mask>& arr,
+                   std::uint64_t& c) {
+    if (method == FeasibilityMethod::kPolymatroid) {
+      sweep_polymatroid(side, assignments, demand_rate, options.algorithm,
+                        first, last, arr, c);
+    } else {
+      sweep_per_assignment(side, assignments, demand_rate, options.algorithm,
+                           first, last, arr, c);
+    }
+  };
+
+#ifdef _OPENMP
+  if (options.parallel && total >= 1024) {
+    const int threads = omp_get_max_threads();
+    std::vector<std::uint64_t> thread_calls(
+        static_cast<std::size_t>(threads), 0);
+#pragma omp parallel num_threads(threads)
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const Mask chunk = total / static_cast<Mask>(threads);
+      const Mask first = static_cast<Mask>(tid) * chunk;
+      const Mask last = (tid + 1 == static_cast<std::size_t>(threads))
+                            ? total - 1
+                            : first + chunk - 1;
+      sweep(first, last, array, thread_calls[tid]);
+    }
+    for (std::uint64_t c : thread_calls) calls += c;
+    if (maxflow_calls) *maxflow_calls += calls;
+    return array;
+  }
+#endif
+
+  sweep(0, total - 1, array, calls);
+  if (maxflow_calls) *maxflow_calls += calls;
+  return array;
+}
+
+struct SideMaskEvaluator::Impl {
+  Impl(const SideProblem& side, const AssignmentSet& assignments, Capacity d,
+       MaxFlowAlgorithm algorithm)
+      : eval(side, algorithm), set(&assignments), rate(d) {}
+
+  SideEvaluator eval;
+  const AssignmentSet* set;
+  Capacity rate;
+};
+
+SideMaskEvaluator::SideMaskEvaluator(const SideProblem& side,
+                                     const AssignmentSet& assignments,
+                                     Capacity demand_rate,
+                                     MaxFlowAlgorithm algorithm)
+    : impl_(std::make_unique<Impl>(side, assignments, demand_rate,
+                                   algorithm)) {
+  if (!assignments.fits_mask()) {
+    throw std::invalid_argument("assignment set too large for mask bits");
+  }
+}
+
+SideMaskEvaluator::~SideMaskEvaluator() = default;
+SideMaskEvaluator::SideMaskEvaluator(SideMaskEvaluator&&) noexcept = default;
+
+Mask SideMaskEvaluator::realized(Mask config) {
+  Mask out = 0;
+  for (int j = 0; j < impl_->set->size(); ++j) {
+    const Capacity required = impl_->eval.configure(
+        impl_->set->assignments[static_cast<std::size_t>(j)], impl_->rate);
+    ++calls_;
+    if (impl_->eval.solve(config, required) >= required) out |= bit(j);
+  }
+  return out;
+}
+
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const std::vector<Mask>& array) {
+  const ConfigProbTable probs(side.sub.net.failure_probs());
+  std::unordered_map<Mask, double> buckets;
+  KahanSum total;
+  for (Mask config = 0; config < static_cast<Mask>(array.size()); ++config) {
+    const double p = probs.prob(config);
+    buckets[array[static_cast<std::size_t>(config)]] += p;
+    total.add(p);
+  }
+  MaskDistribution dist;
+  dist.buckets.assign(buckets.begin(), buckets.end());
+  std::sort(dist.buckets.begin(), dist.buckets.end());
+  dist.total = total.value();
+  return dist;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,105 @@
+#pragma once
+// Side arrays (paper §III-C, Fig. 3, Example 2).
+//
+// For one side component (G_s or G_t) the algorithm records, for every
+// failure configuration of the side's links, which assignments in D the
+// configuration realizes — a |D|-bit value per configuration. Assignment
+// feasibility on a side is a bounded max-flow question on the side's
+// subgraph extended with super terminals:
+//
+//   source side, assignment a:  S0 -> s (cap d); S0 -> x_i (cap -a_i) for
+//   negative entries; x_i -> T1 (cap a_i) for positive entries; realized
+//   iff maxflow(S0, T1) == d + sum of negative magnitudes.
+//
+//   sink side: mirror image (y_i supplies for positive entries, y_i
+//   demands for negative ones, t -> T1 carries d).
+//
+// Two feasibility engines produce identical arrays:
+//   * kPerAssignment — one bounded max-flow per (configuration,
+//     assignment) pair, exactly the paper's procedure;
+//   * kPolymatroid  — forward-only fast path: per configuration, compute
+//     f(Q) = maxflow(anchor -> endpoints of Q) for the 2^k - 1 non-empty
+//     subsets Q of bottleneck links; by Gale's theorem a >= 0 is
+//     routable iff sum_{i in Q} a_i <= f(Q) for every Q, so all |D|
+//     assignments are then decided with arithmetic only.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignments.hpp"
+#include "graph/subgraph.hpp"
+#include "maxflow/maxflow.hpp"
+
+namespace streamrel {
+
+/// One side of the decomposition, reduced to a compact subnetwork.
+struct SideProblem {
+  Subgraph sub;              ///< induced side network (edge ids index masks)
+  bool is_source_side = true;
+  NodeId anchor = kInvalidNode;         ///< s or t, in SUB node ids
+  std::vector<NodeId> endpoints;        ///< per crossing edge: x_i / y_i, SUB ids
+};
+
+/// Builds the side problem for the source side (s, x_i) or sink side
+/// (t, y_i) of a partition. Throws if the side has more than 63 links.
+SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
+                              const BottleneckPartition& partition,
+                              bool source_side);
+
+enum class FeasibilityMethod {
+  kPerAssignment,
+  kPolymatroid,
+  kAuto,  ///< polymatroid when legal (forward-only) and |D| > 2^k
+};
+
+struct SideArrayOptions {
+  MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;
+  FeasibilityMethod feasibility = FeasibilityMethod::kAuto;
+  bool parallel = true;  ///< OpenMP over configuration ranges
+};
+
+/// The paper's array: element m is the mask of assignments realized by
+/// side failure configuration m. Size 2^|side edges|.
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options = {},
+                                   std::uint64_t* maxflow_calls = nullptr);
+
+/// A side array folded into a sparse probability distribution over
+/// realized-assignment masks: bucket (m, P{configurations realizing
+/// exactly the set m}). The accumulation step only needs this.
+struct MaskDistribution {
+  std::vector<std::pair<Mask, double>> buckets;
+  double total = 0.0;  ///< sum of bucket probabilities (== 1 up to rounding)
+};
+
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const std::vector<Mask>& array);
+
+/// Point evaluator for single side configurations: which assignments does
+/// ONE failure configuration realize? Used by the sampling-based hybrid
+/// estimator, which cannot afford the full 2^|E_side| array. Reuses its
+/// residual graph and solver across calls. The referenced side problem
+/// and assignment set must outlive the evaluator.
+class SideMaskEvaluator {
+ public:
+  SideMaskEvaluator(const SideProblem& side, const AssignmentSet& assignments,
+                    Capacity demand_rate,
+                    MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic);
+  ~SideMaskEvaluator();
+  SideMaskEvaluator(SideMaskEvaluator&&) noexcept;
+  SideMaskEvaluator& operator=(SideMaskEvaluator&&) = delete;
+
+  /// Mask of assignments the given alive-link configuration realizes.
+  Mask realized(Mask config);
+
+  std::uint64_t maxflow_calls() const noexcept { return calls_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace streamrel

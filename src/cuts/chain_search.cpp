@@ -1,0 +1,109 @@
+#include "cuts/chain_search.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace streamrel {
+
+std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
+                                         NodeId t,
+                                         const ChainSearchOptions& options) {
+  if (!net.valid_node(s) || !net.valid_node(t) || s == t) {
+    throw std::invalid_argument("bad endpoints");
+  }
+
+  // BFS order from s (direction-insensitive); unreached nodes appended.
+  std::vector<int> position(static_cast<std::size_t>(net.num_nodes()), -1);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(net.num_nodes()));
+  std::vector<NodeId> queue{s};
+  position[static_cast<std::size_t>(s)] = 0;
+  order.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (EdgeId id : net.incident_edges(queue[head])) {
+      const NodeId next = net.edge(id).other(queue[head]);
+      if (position[static_cast<std::size_t>(next)] == -1) {
+        position[static_cast<std::size_t>(next)] =
+            static_cast<int>(order.size());
+        order.push_back(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (position[static_cast<std::size_t>(n)] == -1) {
+      position[static_cast<std::size_t>(n)] = static_cast<int>(order.size());
+      order.push_back(n);
+    }
+  }
+  const int pos_t = position[static_cast<std::size_t>(t)];
+  if (pos_t == static_cast<int>(order.size())) return std::nullopt;
+
+  // An edge crosses prefix boundary b iff min_pos < b <= max_pos; sweep b
+  // and keep the current crossing set.
+  std::vector<std::pair<int, int>> spans;  // (min_pos, max_pos) per edge
+  spans.reserve(static_cast<std::size_t>(net.num_edges()));
+  for (const Edge& e : net.edges()) {
+    const int pu = position[static_cast<std::size_t>(e.u)];
+    const int pv = position[static_cast<std::size_t>(e.v)];
+    spans.emplace_back(std::min(pu, pv), std::max(pu, pv));
+  }
+
+  // Greedy boundary selection: accept a prefix boundary when its crossing
+  // set is small and disjoint from the previously accepted one (edges
+  // spanning two accepted boundaries would skip a layer).
+  std::vector<int> boundaries;
+  std::vector<std::vector<EdgeId>> cuts;
+  std::set<EdgeId> last_cut;
+  for (int b = 1; b <= pos_t; ++b) {
+    std::vector<EdgeId> crossing;
+    bool disjoint = true;
+    for (EdgeId id = 0; id < net.num_edges(); ++id) {
+      if (spans[static_cast<std::size_t>(id)].first < b &&
+          b <= spans[static_cast<std::size_t>(id)].second) {
+        crossing.push_back(id);
+        disjoint &= last_cut.count(id) == 0;
+      }
+    }
+    if (crossing.empty()) continue;  // disconnected prefix: not a cut
+    if (static_cast<int>(crossing.size()) > options.max_cut_size) continue;
+    if (!disjoint) continue;
+    boundaries.push_back(b);
+    last_cut.clear();
+    last_cut.insert(crossing.begin(), crossing.end());
+    cuts.push_back(std::move(crossing));
+  }
+
+  ChainPlan plan;
+  plan.num_layers = static_cast<int>(boundaries.size()) + 1;
+  if (plan.num_layers < options.min_layers) return std::nullopt;
+  plan.cuts = std::move(cuts);
+  plan.layer.resize(static_cast<std::size_t>(net.num_nodes()));
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    const int pos = position[static_cast<std::size_t>(n)];
+    plan.layer[static_cast<std::size_t>(n)] = static_cast<int>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), pos) -
+        boundaries.begin());
+  }
+  // The sink must land in the last layer (true by construction since
+  // every boundary is <= pos_t, and boundaries are distinct... the final
+  // boundary could equal pos_t, putting t past it). Guard anyway.
+  if (plan.layer[static_cast<std::size_t>(t)] != plan.num_layers - 1) {
+    return std::nullopt;
+  }
+
+  // Per-layer edge budget.
+  std::vector<int> layer_edges(static_cast<std::size_t>(plan.num_layers), 0);
+  for (const Edge& e : net.edges()) {
+    const int lu = plan.layer[static_cast<std::size_t>(e.u)];
+    const int lv = plan.layer[static_cast<std::size_t>(e.v)];
+    if (lu == lv) layer_edges[static_cast<std::size_t>(lu)]++;
+  }
+  plan.max_layer_edges =
+      *std::max_element(layer_edges.begin(), layer_edges.end());
+  if (plan.max_layer_edges > options.max_layer_edges) return std::nullopt;
+  return plan;
+}
+
+}  // namespace streamrel

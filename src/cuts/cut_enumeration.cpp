@@ -1,0 +1,43 @@
+#include "cuts/cut_enumeration.hpp"
+
+#include <stdexcept>
+
+#include "cuts/bottleneck.hpp"
+#include "maxflow/maxflow.hpp"
+#include "util/bitops.hpp"
+
+namespace streamrel {
+
+std::vector<std::vector<EdgeId>> enumerate_minimal_cutsets(
+    const FlowNetwork& net, NodeId s, NodeId t,
+    const CutEnumerationOptions& options) {
+  if (!net.valid_node(s) || !net.valid_node(t) || s == t) {
+    throw std::invalid_argument("bad endpoints");
+  }
+  if (net.num_edges() > kMaxMaskBits) {
+    throw std::invalid_argument(
+        "cut enumeration requires <= 63 edges (mask-based search)");
+  }
+  std::vector<std::vector<EdgeId>> out;
+  // No subset smaller than the minimum cut cardinality can disconnect.
+  const auto lower =
+      static_cast<int>(min_cardinality_cut(net, s, t).value);
+  if (lower == 0) return out;  // already disconnected: no cut is minimal
+
+  std::uint64_t examined = 0;
+  for (int k = lower; k <= options.max_size; ++k) {
+    for (CombinationRange combos(net.num_edges(), k); !combos.done();
+         combos.next()) {
+      if (++examined > options.max_subsets_examined ||
+          out.size() >= options.max_results) {
+        return out;
+      }
+      const std::vector<int> ids = bits_of(combos.value());
+      std::vector<EdgeId> cut(ids.begin(), ids.end());
+      if (is_minimal_cutset(net, s, t, cut)) out.push_back(std::move(cut));
+    }
+  }
+  return out;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,48 @@
+#include "graph/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace streamrel {
+
+std::string to_dot(const FlowNetwork& net, const DotOptions& options) {
+  bool any_directed = false;
+  for (const Edge& e : net.edges()) any_directed |= e.directed();
+
+  std::ostringstream os;
+  os << (any_directed ? "digraph" : "graph") << " streamrel {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    os << "  n" << n << " [label=\"" << n << "\"";
+    if (n == options.source || n == options.sink) {
+      os << ", shape=doublecircle";
+    }
+    if (!options.side_s.empty() &&
+        options.side_s[static_cast<std::size_t>(n)]) {
+      os << ", style=filled, fillcolor=lightgray";
+    }
+    os << "];\n";
+  }
+  const char* connector = any_directed ? " -> " : " -- ";
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    os << "  n" << e.u << connector << "n" << e.v << " [label=\"e" << id
+       << ": c=" << e.capacity;
+    if (options.show_probabilities) {
+      os << ", p=" << format_double(e.failure_prob, 3);
+    }
+    os << "\"";
+    if (any_directed && !e.directed()) os << ", dir=none";
+    if (std::find(options.highlight.begin(), options.highlight.end(), id) !=
+        options.highlight.end()) {
+      os << ", color=red, penwidth=2.0";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace streamrel

@@ -1,0 +1,336 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/graph_algos.hpp"
+
+namespace streamrel {
+
+namespace {
+
+Capacity draw_cap(Xoshiro256& rng, CapacityRange r) {
+  if (r.lo > r.hi || r.lo < 0) throw std::invalid_argument("bad capacity range");
+  return rng.uniform_int(r.lo, r.hi);
+}
+
+double draw_prob(Xoshiro256& rng, ProbRange r) {
+  if (!(r.lo >= 0.0) || !(r.hi < 1.0) || r.lo > r.hi) {
+    throw std::invalid_argument("bad probability range");
+  }
+  return rng.uniform_real(r.lo, r.hi);
+}
+
+// Adds a uniform random spanning tree over nodes [base, base+count) using
+// a random permutation attachment (each new node links to a uniformly
+// chosen earlier node) — not Wilson-uniform, but unbiased enough for
+// workload synthesis and O(n).
+void add_random_tree(FlowNetwork& net, Xoshiro256& rng, NodeId base, int count,
+                     CapacityRange caps, ProbRange probs, EdgeKind kind) {
+  std::vector<NodeId> order(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) order[static_cast<std::size_t>(i)] = base + i;
+  for (int i = count - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_below(
+        static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[static_cast<std::size_t>(i)], order[j]);
+  }
+  for (int i = 1; i < count; ++i) {
+    const auto parent = order[static_cast<std::size_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(i)))];
+    net.add_edge(parent, order[static_cast<std::size_t>(i)],
+                 draw_cap(rng, caps), draw_prob(rng, probs), kind);
+  }
+}
+
+// Adds `count` random links between distinct nodes of [base, base+size),
+// avoiding duplicating an existing unordered pair when possible.
+void add_random_extra_edges(FlowNetwork& net, Xoshiro256& rng, NodeId base,
+                            int size, int count, CapacityRange caps,
+                            ProbRange probs, EdgeKind kind) {
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    used.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  const auto max_pairs = static_cast<std::size_t>(size) *
+                         static_cast<std::size_t>(size - 1) / 2;
+  for (int added = 0; added < count; ++added) {
+    NodeId u = kInvalidNode, v = kInvalidNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      u = base + static_cast<NodeId>(
+                     rng.uniform_below(static_cast<std::uint64_t>(size)));
+      v = base + static_cast<NodeId>(
+                     rng.uniform_below(static_cast<std::uint64_t>(size)));
+      if (u == v) continue;
+      if (used.size() >= max_pairs) break;  // saturated: allow parallels
+      if (!used.count({std::min(u, v), std::max(u, v)})) break;
+    }
+    if (u == v) {
+      v = base + (u - base + 1) % size;
+    }
+    used.insert({std::min(u, v), std::max(u, v)});
+    net.add_edge(u, v, draw_cap(rng, caps), draw_prob(rng, probs), kind);
+  }
+}
+
+}  // namespace
+
+GeneratedNetwork path_network(int length, Capacity cap, double p,
+                              EdgeKind kind) {
+  if (length < 1) throw std::invalid_argument("path needs >= 1 edge");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(length + 1);
+  for (NodeId n = 0; n < length; ++n) g.net.add_edge(n, n + 1, cap, p, kind);
+  g.source = 0;
+  g.sink = length;
+  return g;
+}
+
+GeneratedNetwork parallel_links(int count, Capacity cap, double p,
+                                EdgeKind kind) {
+  if (count < 1) throw std::invalid_argument("need >= 1 link");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(2);
+  for (int i = 0; i < count; ++i) g.net.add_edge(0, 1, cap, p, kind);
+  g.source = 0;
+  g.sink = 1;
+  return g;
+}
+
+GeneratedNetwork ladder_network(int rungs, Capacity cap, double p,
+                                EdgeKind kind) {
+  if (rungs < 2) throw std::invalid_argument("ladder needs >= 2 rungs");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(2 * rungs);
+  // Node layout: top row 0..rungs-1, bottom row rungs..2*rungs-1.
+  for (int i = 0; i < rungs; ++i) {
+    g.net.add_edge(i, rungs + i, cap, p, kind);  // vertical rung
+    if (i + 1 < rungs) {
+      g.net.add_edge(i, i + 1, cap, p, kind);                  // top rail
+      g.net.add_edge(rungs + i, rungs + i + 1, cap, p, kind);  // bottom rail
+    }
+  }
+  g.source = 0;
+  g.sink = 2 * rungs - 1;
+  return g;
+}
+
+GeneratedNetwork grid_network(int width, int height, Capacity cap, double p,
+                              EdgeKind kind) {
+  if (width < 2 || height < 2) throw std::invalid_argument("grid too small");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(width * height);
+  auto at = [width](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) g.net.add_edge(at(x, y), at(x + 1, y), cap, p, kind);
+      if (y + 1 < height) g.net.add_edge(at(x, y), at(x, y + 1), cap, p, kind);
+    }
+  }
+  g.source = at(0, 0);
+  g.sink = at(width - 1, height - 1);
+  return g;
+}
+
+GeneratedNetwork random_connected(Xoshiro256& rng, int nodes, int extra_edges,
+                                  CapacityRange caps, ProbRange probs,
+                                  EdgeKind kind) {
+  if (nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (extra_edges < 0) throw std::invalid_argument("negative edge count");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(nodes);
+  add_random_tree(g.net, rng, 0, nodes, caps, probs, kind);
+  add_random_extra_edges(g.net, rng, 0, nodes, extra_edges, caps, probs, kind);
+  // Farthest-apart demand endpoints: BFS from node 0, then BFS from the
+  // farthest node found (standard double sweep).
+  const auto order_from = [&](NodeId start) {
+    std::vector<int> dist(static_cast<std::size_t>(nodes), -1);
+    std::vector<NodeId> queue{start};
+    dist[static_cast<std::size_t>(start)] = 0;
+    NodeId far = start;
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+      const NodeId n = queue[h];
+      for (EdgeId id : g.net.incident_edges(n)) {
+        const NodeId nx = g.net.edge(id).other(n);
+        if (dist[static_cast<std::size_t>(nx)] == -1) {
+          dist[static_cast<std::size_t>(nx)] =
+              dist[static_cast<std::size_t>(n)] + 1;
+          if (dist[static_cast<std::size_t>(nx)] >
+              dist[static_cast<std::size_t>(far)]) {
+            far = nx;
+          }
+          queue.push_back(nx);
+        }
+      }
+    }
+    return far;
+  };
+  g.source = order_from(0);
+  g.sink = order_from(g.source);
+  if (g.sink == g.source) g.sink = (g.source + 1) % nodes;
+  return g;
+}
+
+GeneratedNetwork clustered_bottleneck(Xoshiro256& rng,
+                                      const ClusteredParams& params) {
+  if (params.nodes_s < 2 || params.nodes_t < 2) {
+    throw std::invalid_argument("each cluster needs >= 2 nodes");
+  }
+  if (params.bottleneck_links < 1) {
+    throw std::invalid_argument("need >= 1 bottleneck link");
+  }
+  GeneratedNetwork g;
+  g.net = FlowNetwork(params.nodes_s + params.nodes_t);
+  const NodeId base_t = params.nodes_s;
+
+  add_random_tree(g.net, rng, 0, params.nodes_s, params.cluster_caps,
+                  params.cluster_probs, params.kind);
+  add_random_tree(g.net, rng, base_t, params.nodes_t, params.cluster_caps,
+                  params.cluster_probs, params.kind);
+  add_random_extra_edges(g.net, rng, 0, params.nodes_s, params.extra_edges_s,
+                         params.cluster_caps, params.cluster_probs,
+                         params.kind);
+  add_random_extra_edges(g.net, rng, base_t, params.nodes_t,
+                         params.extra_edges_t, params.cluster_caps,
+                         params.cluster_probs, params.kind);
+
+  // Crossing links: endpoints drawn uniformly from each cluster; directed
+  // crossings always point S -> T (the delivery direction).
+  std::vector<NodeId> cross_s, cross_t;
+  for (int i = 0; i < params.bottleneck_links; ++i) {
+    const NodeId u = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(params.nodes_s)));
+    const NodeId v =
+        base_t + static_cast<NodeId>(rng.uniform_below(
+                     static_cast<std::uint64_t>(params.nodes_t)));
+    g.net.add_edge(u, v, draw_cap(rng, params.bottleneck_caps),
+                   draw_prob(rng, params.bottleneck_probs), params.kind);
+    cross_s.push_back(u);
+    cross_t.push_back(v);
+  }
+
+  // Demand endpoints: prefer nodes not touching a crossing link so the
+  // bottleneck is a genuine interior pinch.
+  auto pick_away = [&](NodeId base, int count,
+                       const std::vector<NodeId>& avoid) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const NodeId cand =
+          base + static_cast<NodeId>(
+                     rng.uniform_below(static_cast<std::uint64_t>(count)));
+      if (std::find(avoid.begin(), avoid.end(), cand) == avoid.end()) {
+        return cand;
+      }
+    }
+    return base;
+  };
+  g.source = pick_away(0, params.nodes_s, cross_s);
+  g.sink = pick_away(base_t, params.nodes_t, cross_t);
+
+  g.side_s.assign(static_cast<std::size_t>(g.net.num_nodes()), false);
+  for (NodeId n = 0; n < base_t; ++n) g.side_s[static_cast<std::size_t>(n)] = true;
+  return g;
+}
+
+GeneratedNetwork small_world(Xoshiro256& rng, int nodes, int k, double beta,
+                             CapacityRange caps, ProbRange probs) {
+  if (nodes < 3) throw std::invalid_argument("need >= 3 nodes");
+  if (k < 2 || k % 2 != 0 || k >= nodes) {
+    throw std::invalid_argument("k must be even with 0 < k < nodes");
+  }
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    throw std::invalid_argument("beta must lie in [0, 1]");
+  }
+  GeneratedNetwork g;
+  g.net = FlowNetwork(nodes);
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto key = [](NodeId a, NodeId b) {
+    return std::pair{std::min(a, b), std::max(a, b)};
+  };
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (int j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % nodes);
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform non-self, non-duplicate target; keep the
+        // lattice link when no free target is found quickly.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const NodeId cand = static_cast<NodeId>(
+              rng.uniform_below(static_cast<std::uint64_t>(nodes)));
+          if (cand != u && !used.count(key(u, cand))) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (used.count(key(u, v))) continue;
+      used.insert(key(u, v));
+      g.net.add_undirected_edge(u, v, draw_cap(rng, caps),
+                                draw_prob(rng, probs));
+    }
+  }
+  g.source = 0;
+  g.sink = nodes / 2;  // diametrically opposite on the ring
+  return g;
+}
+
+GeneratedNetwork preferential_attachment(Xoshiro256& rng, int nodes,
+                                         int attach, CapacityRange caps,
+                                         ProbRange probs) {
+  if (attach < 1) throw std::invalid_argument("attach must be >= 1");
+  if (nodes < attach + 1) {
+    throw std::invalid_argument("need more nodes than attachment links");
+  }
+  GeneratedNetwork g;
+  g.net = FlowNetwork(nodes);
+  // Seed clique over the first attach+1 nodes.
+  std::vector<NodeId> endpoint_pool;  // each node repeated per its degree
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      g.net.add_undirected_edge(u, v, draw_cap(rng, caps),
+                                draw_prob(rng, probs));
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (NodeId u = attach + 1; u < nodes; ++u) {
+    std::set<NodeId> targets;
+    while (static_cast<int>(targets.size()) < attach) {
+      targets.insert(endpoint_pool[static_cast<std::size_t>(rng.uniform_below(
+          static_cast<std::uint64_t>(endpoint_pool.size())))]);
+    }
+    for (NodeId v : targets) {
+      g.net.add_undirected_edge(u, v, draw_cap(rng, caps),
+                                draw_prob(rng, probs));
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  g.source = 0;           // oldest node: almost surely the biggest hub
+  g.sink = nodes - 1;     // newest node: degree exactly `attach`
+  return g;
+}
+
+GeneratedNetwork random_multigraph(Xoshiro256& rng, int nodes, int edges,
+                                   CapacityRange caps, ProbRange probs,
+                                   EdgeKind kind) {
+  if (nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (edges < 0) throw std::invalid_argument("negative edge count");
+  GeneratedNetwork g;
+  g.net = FlowNetwork(nodes);
+  for (int i = 0; i < edges; ++i) {
+    NodeId u = 0, v = 0;
+    while (u == v) {
+      u = static_cast<NodeId>(
+          rng.uniform_below(static_cast<std::uint64_t>(nodes)));
+      v = static_cast<NodeId>(
+          rng.uniform_below(static_cast<std::uint64_t>(nodes)));
+    }
+    g.net.add_edge(u, v, draw_cap(rng, caps), draw_prob(rng, probs), kind);
+  }
+  g.source = 0;
+  g.sink = nodes - 1;
+  return g;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,122 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace streamrel {
+
+namespace {
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw std::invalid_argument("network file, line " +
+                              std::to_string(line_number) + ": " + message);
+}
+
+}  // namespace
+
+NetworkFile read_network(std::istream& in) {
+  NetworkFile file;
+  bool saw_nodes = false;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "nodes") {
+      int count = -1;
+      if (!(tokens >> count) || count < 0) fail(line_number, "bad node count");
+      if (saw_nodes) fail(line_number, "duplicate nodes directive");
+      saw_nodes = true;
+      file.net = FlowNetwork(count);
+    } else if (directive == "edge") {
+      if (!saw_nodes) fail(line_number, "edge before nodes directive");
+      NodeId u, v;
+      Capacity cap;
+      double p;
+      if (!(tokens >> u >> v >> cap >> p)) {
+        fail(line_number, "expected: edge <u> <v> <capacity> <prob>");
+      }
+      std::string kind_word;
+      EdgeKind kind = EdgeKind::kUndirected;
+      if (tokens >> kind_word) {
+        if (kind_word == "directed") {
+          kind = EdgeKind::kDirected;
+        } else if (kind_word == "undirected") {
+          kind = EdgeKind::kUndirected;
+        } else {
+          fail(line_number, "unknown edge kind '" + kind_word + "'");
+        }
+      }
+      try {
+        file.net.add_edge(u, v, cap, p, kind);
+      } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+      }
+    } else if (directive == "demand") {
+      if (file.demand) fail(line_number, "duplicate demand directive");
+      FlowDemand demand;
+      if (!(tokens >> demand.source >> demand.sink >> demand.rate)) {
+        fail(line_number, "expected: demand <source> <sink> <rate>");
+      }
+      file.demand = demand;
+    } else {
+      fail(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_nodes) {
+    throw std::invalid_argument("network file: missing nodes directive");
+  }
+  if (file.demand) {
+    try {
+      file.net.check_demand(*file.demand);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("network file: bad demand: ") +
+                                  e.what());
+    }
+  }
+  return file;
+}
+
+NetworkFile read_network_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_network(in);
+}
+
+NetworkFile read_network_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open network file: " + path);
+  }
+  return read_network(in);
+}
+
+void write_network(std::ostream& out, const FlowNetwork& net,
+                   const std::optional<FlowDemand>& demand) {
+  out << "nodes " << net.num_nodes() << "\n";
+  out.precision(17);
+  for (const Edge& e : net.edges()) {
+    out << "edge " << e.u << " " << e.v << " " << e.capacity << " "
+        << e.failure_prob;
+    if (e.directed()) out << " directed";
+    out << "\n";
+  }
+  if (demand) {
+    out << "demand " << demand->source << " " << demand->sink << " "
+        << demand->rate << "\n";
+  }
+}
+
+std::string network_to_string(const FlowNetwork& net,
+                              const std::optional<FlowDemand>& demand) {
+  std::ostringstream out;
+  write_network(out, net, demand);
+  return out.str();
+}
+
+}  // namespace streamrel

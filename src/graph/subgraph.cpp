@@ -1,0 +1,77 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+Subgraph induced_subgraph(const FlowNetwork& net,
+                          const std::vector<bool>& in_side) {
+  if (in_side.size() != static_cast<std::size_t>(net.num_nodes())) {
+    throw std::invalid_argument("induced_subgraph: side vector size mismatch");
+  }
+  Subgraph sub;
+  sub.node_to_sub.assign(in_side.size(), kInvalidNode);
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (in_side[static_cast<std::size_t>(n)]) {
+      sub.node_to_sub[static_cast<std::size_t>(n)] = sub.net.add_node();
+      sub.node_map.push_back(n);
+    }
+  }
+  sub.edge_to_sub.assign(static_cast<std::size_t>(net.num_edges()),
+                         kInvalidEdge);
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    const NodeId su = sub.node_to_sub[static_cast<std::size_t>(e.u)];
+    const NodeId sv = sub.node_to_sub[static_cast<std::size_t>(e.v)];
+    if (su == kInvalidNode || sv == kInvalidNode) continue;
+    const EdgeId sid =
+        sub.net.add_edge(su, sv, e.capacity, e.failure_prob, e.kind);
+    sub.edge_to_sub[static_cast<std::size_t>(id)] = sid;
+    sub.edge_map.push_back(id);
+  }
+  return sub;
+}
+
+Mask project_mask(const Subgraph& sub, Mask original_alive) {
+  Mask out = 0;
+  for (std::size_t sid = 0; sid < sub.edge_map.size(); ++sid) {
+    if (test_bit(original_alive, sub.edge_map[sid])) {
+      out |= bit(static_cast<int>(sid));
+    }
+  }
+  return out;
+}
+
+NodeId merge_sources(FlowNetwork& net, const std::vector<NodeId>& servers) {
+  if (servers.empty()) {
+    throw std::invalid_argument("merge_sources: need >= 1 server");
+  }
+  Capacity total = 0;
+  for (NodeId server : servers) {
+    if (!net.valid_node(server)) {
+      throw std::invalid_argument("merge_sources: bad server id");
+    }
+    for (EdgeId id : net.incident_edges(server)) {
+      total += net.edge(id).capacity;
+    }
+  }
+  const NodeId super = net.add_node();
+  // Capacity = sum of all server incident capacity: an effective infinity
+  // that keeps the integer arithmetic bounded.
+  for (NodeId server : servers) {
+    net.add_directed_edge(super, server, total, 0.0);
+  }
+  return super;
+}
+
+Mask lift_mask(const Subgraph& sub, Mask sub_alive) {
+  Mask out = 0;
+  for (std::size_t sid = 0; sid < sub.edge_map.size(); ++sid) {
+    if (test_bit(sub_alive, static_cast<int>(sid))) {
+      out |= bit(sub.edge_map[sid]);
+    }
+  }
+  return out;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,63 @@
+#include "maxflow/config_residual.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+ConfigResidual::ConfigResidual(const FlowNetwork& net)
+    : net_(&net), g_(net.num_nodes()) {
+  fwd_.reserve(static_cast<std::size_t>(net.num_edges()));
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    fwd_.push_back(g_.add_arc_pair(e.u, e.v, e.capacity,
+                                   e.directed() ? 0 : e.capacity, id));
+  }
+}
+
+void ConfigResidual::add_super_arc(NodeId u, NodeId v, Capacity cap_uv,
+                                   Capacity cap_vu) {
+  super_arcs_.push_back(
+      SuperArc{g_.add_arc_pair(u, v, cap_uv, cap_vu), cap_uv, cap_vu});
+}
+
+void ConfigResidual::set_super_arc(std::size_t index, Capacity cap_uv,
+                                   Capacity cap_vu) {
+  if (index >= super_arcs_.size()) {
+    throw std::out_of_range("super arc index out of range");
+  }
+  super_arcs_[index].cap_uv = cap_uv;
+  super_arcs_[index].cap_vu = cap_vu;
+}
+
+void ConfigResidual::reset(Mask alive) {
+  for (EdgeId id = 0; id < net_->num_edges(); ++id) {
+    const Edge& e = net_->edge(id);
+    const bool up = test_bit(alive, id);
+    const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
+    g_.arc(fi).cap = up ? e.capacity : 0;
+    g_.arc(g_.arc(fi).rev).cap = (up && !e.directed()) ? e.capacity : 0;
+  }
+  for (const SuperArc& sa : super_arcs_) {
+    g_.arc(sa.arc).cap = sa.cap_uv;
+    g_.arc(g_.arc(sa.arc).rev).cap = sa.cap_vu;
+  }
+}
+
+void ConfigResidual::reset_with(const std::vector<bool>& alive) {
+  if (alive.size() != static_cast<std::size_t>(net_->num_edges())) {
+    throw std::invalid_argument("alive vector size mismatch");
+  }
+  for (EdgeId id = 0; id < net_->num_edges(); ++id) {
+    const Edge& e = net_->edge(id);
+    const bool up = alive[static_cast<std::size_t>(id)];
+    const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
+    g_.arc(fi).cap = up ? e.capacity : 0;
+    g_.arc(g_.arc(fi).rev).cap = (up && !e.directed()) ? e.capacity : 0;
+  }
+  for (const SuperArc& sa : super_arcs_) {
+    g_.arc(sa.arc).cap = sa.cap_uv;
+    g_.arc(g_.arc(sa.arc).rev).cap = sa.cap_vu;
+  }
+}
+
+}  // namespace streamrel

@@ -1,0 +1,64 @@
+#include "maxflow/dinic.hpp"
+
+#include <limits>
+
+namespace streamrel {
+
+bool DinicSolver::build_levels(const ResidualGraph& g, NodeId s, NodeId t) {
+  level_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  queue_.clear();
+  queue_.push_back(s);
+  level_[static_cast<std::size_t>(s)] = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId n = queue_[head];
+    for (std::int32_t ai : g.out_arcs(n)) {
+      const ResidualArc& a = g.arc(ai);
+      if (a.cap > 0 && level_[static_cast<std::size_t>(a.to)] == -1) {
+        level_[static_cast<std::size_t>(a.to)] =
+            level_[static_cast<std::size_t>(n)] + 1;
+        queue_.push_back(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] != -1;
+}
+
+Capacity DinicSolver::blocking_dfs(ResidualGraph& g, NodeId n, NodeId t,
+                                   Capacity cap) {
+  if (n == t) return cap;
+  const auto& arcs = g.out_arcs(n);
+  for (std::size_t& i = iter_[static_cast<std::size_t>(n)]; i < arcs.size();
+       ++i) {
+    const std::int32_t ai = arcs[i];
+    const ResidualArc& a = g.arc(ai);
+    if (a.cap <= 0 || level_[static_cast<std::size_t>(a.to)] !=
+                          level_[static_cast<std::size_t>(n)] + 1) {
+      continue;
+    }
+    const Capacity pushed =
+        blocking_dfs(g, a.to, t, cap < a.cap ? cap : a.cap);
+    if (pushed > 0) {
+      g.push(ai, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Capacity DinicSolver::solve(ResidualGraph& g, NodeId s, NodeId t,
+                            Capacity limit) {
+  const Capacity target =
+      limit == kUnbounded ? std::numeric_limits<Capacity>::max() : limit;
+  Capacity flow = 0;
+  while (flow < target && build_levels(g, s, t)) {
+    iter_.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+    while (flow < target) {
+      const Capacity pushed = blocking_dfs(g, s, t, target - flow);
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,53 @@
+#include "maxflow/edmonds_karp.hpp"
+
+#include <limits>
+
+namespace streamrel {
+
+Capacity EdmondsKarpSolver::solve(ResidualGraph& g, NodeId s, NodeId t,
+                                  Capacity limit) {
+  const Capacity target =
+      limit == kUnbounded ? std::numeric_limits<Capacity>::max() : limit;
+  Capacity flow = 0;
+  while (flow < target) {
+    parent_arc_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    queue_.clear();
+    queue_.push_back(s);
+    bool reached = false;
+    for (std::size_t head = 0; head < queue_.size() && !reached; ++head) {
+      const NodeId n = queue_[head];
+      for (std::int32_t ai : g.out_arcs(n)) {
+        const ResidualArc& a = g.arc(ai);
+        if (a.cap <= 0 || a.to == s ||
+            parent_arc_[static_cast<std::size_t>(a.to)] != -1) {
+          continue;
+        }
+        parent_arc_[static_cast<std::size_t>(a.to)] = ai;
+        if (a.to == t) {
+          reached = true;
+          break;
+        }
+        queue_.push_back(a.to);
+      }
+    }
+    if (!reached) break;
+
+    // Bottleneck along the parent chain, capped at the remaining target.
+    Capacity push = target - flow;
+    for (NodeId n = t; n != s;) {
+      const ResidualArc& a =
+          g.arc(parent_arc_[static_cast<std::size_t>(n)]);
+      if (a.cap < push) push = a.cap;
+      n = g.arc(a.rev).to;
+    }
+    for (NodeId n = t; n != s;) {
+      const std::int32_t ai = parent_arc_[static_cast<std::size_t>(n)];
+      g.push(ai, push);
+      n = g.arc(g.arc(ai).rev).to;
+    }
+    flow += push;
+  }
+  return flow;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,21 @@
+#pragma once
+// Edmonds–Karp: shortest augmenting paths by BFS. O(V E^2); kept as a
+// simple, independently-verifiable reference implementation that the
+// property tests compare against Dinic and push–relabel.
+
+#include "maxflow/maxflow.hpp"
+
+namespace streamrel {
+
+class EdmondsKarpSolver final : public MaxFlowSolver {
+ public:
+  Capacity solve(ResidualGraph& g, NodeId s, NodeId t,
+                 Capacity limit = kUnbounded) override;
+  std::string_view name() const noexcept override { return "edmonds-karp"; }
+
+ private:
+  std::vector<std::int32_t> parent_arc_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,84 @@
+#include "maxflow/incremental_dinic.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+IncrementalMaxFlow::IncrementalMaxFlow(const FlowNetwork& net,
+                                       FlowDemand demand)
+    : net_(&net),
+      s_(demand.source),
+      t_(demand.sink),
+      target_(demand.rate),
+      g_(net.num_nodes()) {
+  net.check_demand(demand);
+  fwd_arc_.reserve(static_cast<std::size_t>(net.num_edges()));
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    fwd_arc_.push_back(g_.add_arc_pair(
+        e.u, e.v, e.capacity, e.directed() ? 0 : e.capacity, id));
+  }
+  alive_.assign(static_cast<std::size_t>(net.num_edges()), true);
+  reaugment();
+}
+
+Capacity IncrementalMaxFlow::augment(NodeId from, NodeId to, Capacity limit) {
+  if (limit <= 0) return 0;
+  return dinic_.solve(g_, from, to, limit);
+}
+
+void IncrementalMaxFlow::reaugment() {
+  flow_ += augment(s_, t_, target_ - flow_);
+}
+
+void IncrementalMaxFlow::set_edge_alive(EdgeId id, bool alive) {
+  if (!net_->valid_edge(id)) throw std::invalid_argument("bad edge id");
+  if (alive_[static_cast<std::size_t>(id)] == alive) return;
+  alive_[static_cast<std::size_t>(id)] = alive;
+
+  const Edge& e = net_->edge(id);
+  const std::int32_t fi = fwd_arc_[static_cast<std::size_t>(id)];
+
+  if (alive) {
+    // Dead edges always hold (0, 0); restore pristine capacities.
+    g_.arc(fi).cap = e.capacity;
+    g_.arc(g_.arc(fi).rev).cap = e.directed() ? 0 : e.capacity;
+    reaugment();
+    return;
+  }
+
+  // Net flow currently on the edge: positive means u -> v.
+  const Capacity net_flow = e.capacity - g_.arc(fi).cap;
+  g_.arc(fi).cap = 0;
+  g_.arc(g_.arc(fi).rev).cap = 0;
+  if (net_flow == 0) return;
+
+  // Orient as tail -> head in flow direction.
+  const NodeId tail = net_flow > 0 ? e.u : e.v;
+  const NodeId head = net_flow > 0 ? e.v : e.u;
+  const Capacity carried = net_flow > 0 ? net_flow : -net_flow;
+
+  // Unified repair: conservation now fails at `tail` (surplus incoming)
+  // and `head` (missing incoming). Open a temporary bidirectional s <-> t
+  // "value channel" of capacity `carried`, then push the full `carried`
+  // units tail -> head through the residual graph. Real reroutes restore
+  // the flow; repair units crossing the channel s -> t correspond to a
+  // reduction of the global flow value, units crossing t -> s to an
+  // increase (possible when the removed edge carried a value-wasting
+  // circulation). Flow decomposition of the broken units guarantees the
+  // combined augmentation always succeeds in full.
+  const std::int32_t channel = g_.add_arc_pair(s_, t_, carried, carried);
+  const Capacity repaired = augment(tail, head, carried);
+  if (repaired != carried) {
+    throw std::logic_error(
+        "IncrementalMaxFlow: flow repair failed; invariant violated");
+  }
+  const Capacity value_drop = carried - g_.arc(channel).cap;  // net s->t use
+  flow_ -= value_drop;
+  g_.remove_last_arc_pair();
+
+  // The cancellation may have exposed alternative routes.
+  reaugment();
+}
+
+}  // namespace streamrel

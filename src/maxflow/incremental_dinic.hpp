@@ -1,0 +1,63 @@
+#pragma once
+// Incremental bounded max-flow under single-edge insertions and deletions.
+//
+// The naive reliability algorithm visits all 2^|E| failure configurations;
+// visiting them in Gray-code order changes exactly one edge per step, and
+// this class repairs the existing flow instead of recomputing from
+// scratch:
+//
+//  * enabling an edge restores its residual capacities and re-augments
+//    s -> t (bounded by the demand);
+//  * disabling an edge that carries f units first tries to REROUTE the f
+//    units from the edge's flow-tail to its flow-head through the residual
+//    graph; any irreparable remainder d is cancelled end-to-end by pushing
+//    d units tail -> s and t -> head along reverse-flow residual arcs
+//    (both succeed by flow decomposition once rerouting is exhausted),
+//    after which s -> t is re-augmented.
+//
+// Invariant after every toggle: flow_value() == min(demand.rate,
+// maxflow(alive configuration)), so admits() answers the reliability
+// feasibility question exactly.
+
+#include <vector>
+
+#include "maxflow/dinic.hpp"
+#include "maxflow/residual_graph.hpp"
+
+namespace streamrel {
+
+class IncrementalMaxFlow {
+ public:
+  /// Starts with every edge alive. Requires a valid demand.
+  IncrementalMaxFlow(const FlowNetwork& net, FlowDemand demand);
+
+  /// Toggles one edge and repairs the flow. No-op if already in `alive`.
+  void set_edge_alive(EdgeId id, bool alive);
+
+  bool edge_alive(EdgeId id) const {
+    return alive_[static_cast<std::size_t>(id)];
+  }
+
+  /// Current bounded flow value: min(demand rate, max-flow of the alive
+  /// configuration).
+  Capacity flow_value() const noexcept { return flow_; }
+
+  /// True iff the alive configuration admits the demand.
+  bool admits() const noexcept { return flow_ >= target_; }
+
+ private:
+  Capacity augment(NodeId from, NodeId to, Capacity limit);
+  void reaugment();
+
+  const FlowNetwork* net_;
+  NodeId s_;
+  NodeId t_;
+  Capacity target_;
+  Capacity flow_ = 0;
+  ResidualGraph g_;
+  std::vector<std::int32_t> fwd_arc_;  ///< per edge: its forward arc index
+  std::vector<bool> alive_;
+  DinicSolver dinic_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,148 @@
+#include "maxflow/push_relabel.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace streamrel {
+
+Capacity PushRelabelSolver::solve(ResidualGraph& g, NodeId s, NodeId t,
+                                  Capacity limit) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const int ni = static_cast<int>(n);
+  excess_.assign(n, 0);
+  height_.assign(n, 0);
+  height_count_.assign(2 * n + 2, 0);
+  height_[static_cast<std::size_t>(s)] = ni;
+  height_count_[0] = ni - 1;
+  height_count_[n] = 1;
+
+  std::deque<NodeId> active;
+  auto activate = [&](NodeId v) {
+    if (v != s && v != t && excess_[static_cast<std::size_t>(v)] > 0) {
+      active.push_back(v);
+    }
+  };
+
+  // Saturate all source arcs.
+  for (std::int32_t ai : g.out_arcs(s)) {
+    ResidualArc& a = g.arc(ai);
+    if (a.cap > 0 && a.to != s) {
+      const Capacity amt = a.cap;
+      const bool was_inactive = excess_[static_cast<std::size_t>(a.to)] == 0;
+      g.push(ai, amt);
+      excess_[static_cast<std::size_t>(a.to)] += amt;
+      excess_[static_cast<std::size_t>(s)] -= amt;
+      if (was_inactive) activate(a.to);
+    }
+  }
+
+  while (!active.empty()) {
+    const NodeId v = active.front();
+    active.pop_front();
+    const auto vi = static_cast<std::size_t>(v);
+    // Discharge v completely before moving on (FIFO discipline).
+    while (excess_[vi] > 0) {
+      bool pushed_any = false;
+      for (std::int32_t ai : g.out_arcs(v)) {
+        ResidualArc& a = g.arc(ai);
+        if (a.cap <= 0 ||
+            height_[vi] != height_[static_cast<std::size_t>(a.to)] + 1) {
+          continue;
+        }
+        const Capacity amt = excess_[vi] < a.cap ? excess_[vi] : a.cap;
+        const bool was_inactive = excess_[static_cast<std::size_t>(a.to)] == 0;
+        g.push(ai, amt);
+        excess_[vi] -= amt;
+        excess_[static_cast<std::size_t>(a.to)] += amt;
+        if (was_inactive) activate(a.to);
+        pushed_any = true;
+        if (excess_[vi] == 0) break;
+      }
+      if (excess_[vi] == 0) break;
+      if (pushed_any) continue;
+
+      // Relabel v to one above its lowest residual neighbour.
+      int min_h = std::numeric_limits<int>::max();
+      for (std::int32_t ai : g.out_arcs(v)) {
+        const ResidualArc& a = g.arc(ai);
+        if (a.cap > 0) {
+          min_h = std::min(min_h, height_[static_cast<std::size_t>(a.to)]);
+        }
+      }
+      if (min_h == std::numeric_limits<int>::max()) break;  // stranded excess
+      const int old_h = height_[vi];
+      const int new_h = std::min(min_h + 1, 2 * ni + 1);
+      height_count_[static_cast<std::size_t>(old_h)]--;
+      height_[vi] = new_h;
+      height_count_[static_cast<std::size_t>(new_h)]++;
+
+      // Gap heuristic: if level old_h just emptied and lies below n, no
+      // node with height in (old_h, n] can reach t anymore — lift them
+      // all past n so they drain back towards s.
+      if (height_count_[static_cast<std::size_t>(old_h)] == 0 && old_h < ni) {
+        for (std::size_t u = 0; u < n; ++u) {
+          if (u == static_cast<std::size_t>(s)) continue;
+          if (height_[u] > old_h && height_[u] <= ni) {
+            height_count_[static_cast<std::size_t>(height_[u])]--;
+            height_[u] = ni + 1;
+            height_count_[static_cast<std::size_t>(height_[u])]++;
+          }
+        }
+      }
+      if (height_[vi] > 2 * ni) break;  // cannot reach anything useful
+    }
+  }
+
+  const Capacity value = excess_[static_cast<std::size_t>(t)];
+  decompose_excess_back_to_source(g, s, t);
+  if (limit != kUnbounded && value > limit) return limit;
+  return value;
+}
+
+void PushRelabelSolver::decompose_excess_back_to_source(ResidualGraph& g,
+                                                        NodeId s, NodeId t) {
+  // Phase 2: nodes may hold excess that never reached t. Return each
+  // excess unit to s along residual arcs (such paths exist by preflow
+  // decomposition), leaving a valid maximum flow so callers can extract
+  // min cuts from the residual graph. BFS per drain keeps this simple.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> parent(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    while (v != static_cast<std::size_t>(s) &&
+           v != static_cast<std::size_t>(t) && excess_[v] > 0) {
+      parent.assign(n, -1);
+      std::vector<NodeId> queue{static_cast<NodeId>(v)};
+      bool found = false;
+      for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+        for (std::int32_t ai : g.out_arcs(queue[head])) {
+          const ResidualArc& a = g.arc(ai);
+          if (a.cap <= 0) continue;
+          const auto to = static_cast<std::size_t>(a.to);
+          if (to == v || parent[to] != -1) continue;
+          parent[to] = ai;
+          if (a.to == s) {
+            found = true;
+            break;
+          }
+          queue.push_back(a.to);
+        }
+      }
+      if (!found) break;  // cannot happen for a valid preflow
+      // Bottleneck along v -> s, capped by the excess.
+      Capacity amt = excess_[v];
+      for (NodeId x = s; x != static_cast<NodeId>(v);) {
+        const ResidualArc& a = g.arc(parent[static_cast<std::size_t>(x)]);
+        if (a.cap < amt) amt = a.cap;
+        x = g.arc(a.rev).to;
+      }
+      for (NodeId x = s; x != static_cast<NodeId>(v);) {
+        const std::int32_t ai = parent[static_cast<std::size_t>(x)];
+        g.push(ai, amt);
+        x = g.arc(g.arc(ai).rev).to;
+      }
+      excess_[v] -= amt;
+    }
+  }
+}
+
+}  // namespace streamrel

@@ -1,0 +1,29 @@
+#pragma once
+// FIFO push–relabel with the gap heuristic, plus a second phase that
+// converts the max preflow into a valid max flow (returning stranded
+// excess to the source) so callers can extract min cuts from the residual
+// graph exactly as they do after the augmenting-path solvers.
+//
+// Note: push–relabel computes the full maximum; the `limit` argument only
+// caps the *reported* value, it does not terminate the algorithm early.
+
+#include "maxflow/maxflow.hpp"
+
+namespace streamrel {
+
+class PushRelabelSolver final : public MaxFlowSolver {
+ public:
+  Capacity solve(ResidualGraph& g, NodeId s, NodeId t,
+                 Capacity limit = kUnbounded) override;
+  std::string_view name() const noexcept override { return "push-relabel"; }
+
+ private:
+  void decompose_excess_back_to_source(ResidualGraph& g, NodeId s, NodeId t);
+
+  std::vector<Capacity> excess_;
+  std::vector<int> height_;
+  std::vector<int> height_count_;
+  std::vector<NodeId> fifo_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,87 @@
+#include "maxflow/residual_graph.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+ResidualGraph::ResidualGraph(int num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId ResidualGraph::add_node() {
+  adj_.emplace_back();
+  return num_nodes_++;
+}
+
+std::int32_t ResidualGraph::add_arc_pair(NodeId u, NodeId v, Capacity cap_uv,
+                                         Capacity cap_vu, EdgeId edge_id) {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    throw std::invalid_argument("arc endpoint out of range");
+  }
+  const auto fwd = static_cast<std::int32_t>(arcs_.size());
+  arcs_.push_back(ResidualArc{v, cap_uv, fwd + 1, edge_id});
+  arcs_.push_back(ResidualArc{u, cap_vu, fwd, edge_id});
+  adj_[static_cast<std::size_t>(u)].push_back(fwd);
+  adj_[static_cast<std::size_t>(v)].push_back(fwd + 1);
+  return fwd;
+}
+
+void ResidualGraph::remove_last_arc_pair() {
+  if (arcs_.size() < 2) throw std::logic_error("no arc pair to remove");
+  const ResidualArc rev = arcs_.back();   // v -> u
+  const ResidualArc fwd = arcs_[arcs_.size() - 2];  // u -> v
+  const NodeId u = rev.to;
+  const NodeId v = fwd.to;
+  auto& adj_u = adj_[static_cast<std::size_t>(u)];
+  auto& adj_v = adj_[static_cast<std::size_t>(v)];
+  if (adj_u.empty() || adj_v.empty() ||
+      adj_u.back() != static_cast<std::int32_t>(arcs_.size() - 2) ||
+      adj_v.back() != static_cast<std::int32_t>(arcs_.size() - 1)) {
+    throw std::logic_error("last arc pair is not the newest adjacency entry");
+  }
+  adj_u.pop_back();
+  adj_v.pop_back();
+  arcs_.pop_back();
+  arcs_.pop_back();
+}
+
+ResidualGraph ResidualGraph::from_network(const FlowNetwork& net, Mask alive) {
+  if (!net.fits_mask()) {
+    throw std::invalid_argument("network too large for edge masks");
+  }
+  ResidualGraph g(net.num_nodes());
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    if (!test_bit(alive, id)) continue;
+    const Edge& e = net.edge(id);
+    g.add_arc_pair(e.u, e.v, e.capacity, e.directed() ? 0 : e.capacity, id);
+  }
+  return g;
+}
+
+ResidualGraph ResidualGraph::from_network_all(const FlowNetwork& net) {
+  ResidualGraph g(net.num_nodes());
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    g.add_arc_pair(e.u, e.v, e.capacity, e.directed() ? 0 : e.capacity, id);
+  }
+  return g;
+}
+
+std::vector<bool> ResidualGraph::residual_reachable(NodeId from) const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes_), false);
+  std::vector<NodeId> queue{from};
+  seen[static_cast<std::size_t>(from)] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (std::int32_t ai : adj_[static_cast<std::size_t>(queue[head])]) {
+      const ResidualArc& a = arcs_[static_cast<std::size_t>(ai)];
+      if (a.cap > 0 && !seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = true;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace streamrel

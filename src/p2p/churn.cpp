@@ -1,0 +1,36 @@
+#include "p2p/churn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace streamrel {
+
+double peer_departure_prob(const ChurnModel& model) {
+  if (model.mean_session_minutes <= 0.0 || model.window_minutes < 0.0) {
+    throw std::invalid_argument("bad churn model parameters");
+  }
+  return 1.0 - std::exp(-model.window_minutes / model.mean_session_minutes);
+}
+
+double link_failure_prob(const ChurnModel& model, int endpoints_churning) {
+  if (endpoints_churning < 0 || endpoints_churning > 2) {
+    throw std::invalid_argument("a link has at most two churning endpoints");
+  }
+  if (!(model.base_link_loss >= 0.0) || !(model.base_link_loss < 1.0)) {
+    throw std::invalid_argument("base link loss must lie in [0, 1)");
+  }
+  const double survive_peer = 1.0 - peer_departure_prob(model);
+  double survive = 1.0 - model.base_link_loss;
+  for (int i = 0; i < endpoints_churning; ++i) survive *= survive_peer;
+  return 1.0 - survive;
+}
+
+void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model) {
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    const int churning = (e.u == server || e.v == server) ? 1 : 2;
+    net.set_failure_prob(id, link_failure_prob(model, churning));
+  }
+}
+
+}  // namespace streamrel

@@ -1,0 +1,57 @@
+#include "p2p/mesh_builder.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace streamrel {
+
+std::vector<EdgeId> add_random_mesh(Overlay& overlay, Xoshiro256& rng,
+                                    const MeshOptions& options) {
+  if (options.degree < 1 || options.server_links < 1) {
+    throw std::invalid_argument("mesh needs positive degrees");
+  }
+  const int n = overlay.num_peers();
+  if (options.server_links > n) {
+    throw std::invalid_argument("more server links than peers");
+  }
+  std::vector<EdgeId> edges;
+  std::set<std::pair<NodeId, NodeId>> used;
+  const EdgeKind kind =
+      options.directed ? EdgeKind::kDirected : EdgeKind::kUndirected;
+
+  auto link = [&](NodeId a, NodeId b) {
+    const auto key = options.directed
+                         ? std::pair{a, b}
+                         : std::pair{std::min(a, b), std::max(a, b)};
+    if (used.count(key)) return;
+    used.insert(key);
+    edges.push_back(overlay.net().add_edge(a, b, options.link_capacity,
+                                           options.link_failure_prob, kind));
+  };
+
+  // Server feeds distinct random peers.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[static_cast<std::size_t>(i)], order[j]);
+  }
+  for (int i = 0; i < options.server_links; ++i) {
+    link(overlay.server(), overlay.peer(order[static_cast<std::size_t>(i)]));
+  }
+
+  // Peer-to-peer neighbour sets.
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < options.degree; ++d) {
+      const int j = static_cast<int>(
+          rng.uniform_below(static_cast<std::uint64_t>(n)));
+      if (j == i) continue;
+      link(overlay.peer(i), overlay.peer(j));
+    }
+  }
+  return edges;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,72 @@
+#include "p2p/optimizer.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace streamrel {
+
+UpgradePlan plan_overlay_upgrade(const FlowNetwork& net,
+                                 const FlowDemand& demand,
+                                 std::vector<UpgradeCandidate> candidates,
+                                 int budget, const SolveOptions& options) {
+  net.check_demand(demand);
+  if (budget < 0) throw std::invalid_argument("negative budget");
+  for (const UpgradeCandidate& c : candidates) {
+    if (!net.valid_node(c.u) || !net.valid_node(c.v) || c.u == c.v) {
+      throw std::invalid_argument("bad candidate endpoints");
+    }
+  }
+
+  UpgradePlan plan;
+  FlowNetwork current = net;
+  plan.reliability_before =
+      compute_reliability(current, demand, options).result.reliability;
+  plan.reliability_after = plan.reliability_before;
+
+  for (int round = 0; round < budget && !candidates.empty(); ++round) {
+    double best_r = plan.reliability_after;
+    std::size_t best_index = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      FlowNetwork trial = current;
+      const UpgradeCandidate& c = candidates[i];
+      trial.add_edge(c.u, c.v, c.capacity, c.failure_prob, c.kind);
+      const double r =
+          compute_reliability(trial, demand, options).result.reliability;
+      if (r > best_r + 1e-12) {
+        best_r = r;
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;  // nothing helps anymore
+    const UpgradeCandidate chosen = candidates[best_index];
+    current.add_edge(chosen.u, chosen.v, chosen.capacity,
+                     chosen.failure_prob, chosen.kind);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best_index));
+    plan.chosen.push_back(chosen);
+    plan.reliability_after = best_r;
+    plan.trajectory.push_back(best_r);
+  }
+  return plan;
+}
+
+std::vector<UpgradeCandidate> all_missing_links(const FlowNetwork& net,
+                                                Capacity capacity,
+                                                double failure_prob) {
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (const Edge& e : net.edges()) {
+    present.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  std::vector<UpgradeCandidate> out;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < net.num_nodes(); ++v) {
+      if (present.count({u, v})) continue;
+      out.push_back(UpgradeCandidate{u, v, capacity, failure_prob,
+                                     EdgeKind::kUndirected});
+    }
+  }
+  return out;
+}
+
+}  // namespace streamrel

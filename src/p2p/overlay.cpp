@@ -1,0 +1,34 @@
+#include "p2p/overlay.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace streamrel {
+
+Overlay::Overlay(int num_peers) : num_peers_(num_peers) {
+  if (num_peers < 1) throw std::invalid_argument("overlay needs >= 1 peer");
+  net_ = FlowNetwork(1 + num_peers);
+}
+
+NodeId Overlay::peer(int index) const {
+  if (index < 0 || index >= num_peers_) {
+    throw std::invalid_argument("peer index out of range");
+  }
+  return 1 + index;
+}
+
+FlowDemand Overlay::demand_to(NodeId subscriber, Capacity sub_streams) const {
+  if (!net_.valid_node(subscriber) || subscriber == server()) {
+    throw std::invalid_argument("subscriber must be a peer node");
+  }
+  return FlowDemand{server(), subscriber, sub_streams};
+}
+
+std::string Overlay::summary() const {
+  std::ostringstream oss;
+  oss << "overlay: server + " << num_peers_ << " peers, " << net_.num_edges()
+      << " links";
+  return oss.str();
+}
+
+}  // namespace streamrel

@@ -1,0 +1,75 @@
+#include "p2p/scenario.hpp"
+
+namespace streamrel {
+
+GeneratedNetwork make_fig2_bridge_graph(double p) {
+  GeneratedNetwork g;
+  g.net = FlowNetwork(8);
+  // Source-side diamond: s=0, a=1, b=2, x=3.
+  g.net.add_undirected_edge(0, 1, 1, p);  // e1: s-a
+  g.net.add_undirected_edge(0, 2, 1, p);  // e2: s-b
+  g.net.add_undirected_edge(1, 3, 1, p);  // e3: a-x
+  g.net.add_undirected_edge(2, 3, 1, p);  // e4: b-x
+  // Sink-side diamond: y=4, c=5, d=6, t=7.
+  g.net.add_undirected_edge(4, 5, 1, p);  // e5: y-c
+  g.net.add_undirected_edge(4, 6, 1, p);  // e6: y-d
+  g.net.add_undirected_edge(5, 7, 1, p);  // e7: c-t
+  g.net.add_undirected_edge(6, 7, 1, p);  // e8: d-t
+  // The bridge (the figure's red e9).
+  g.net.add_undirected_edge(3, 4, 1, p);  // e9: x-y
+  g.source = 0;
+  g.sink = 7;
+  g.side_s = {true, true, true, true, false, false, false, false};
+  return g;
+}
+
+GeneratedNetwork make_fig4_graph(double p) {
+  GeneratedNetwork g;
+  g.net = FlowNetwork(6);
+  const NodeId s = 0, x1 = 1, x2 = 2, y1 = 3, y2 = 4, t = 5;
+  // Source side (ids 0-4).
+  g.net.add_undirected_edge(s, x1, 1, p);   // 0
+  g.net.add_undirected_edge(s, x1, 1, p);   // 1 (parallel)
+  g.net.add_undirected_edge(s, x2, 1, p);   // 2
+  g.net.add_undirected_edge(s, x2, 1, p);   // 3 (parallel)
+  g.net.add_undirected_edge(x1, x2, 1, p);  // 4
+  // Sink side (ids 5-6).
+  g.net.add_undirected_edge(y1, t, 2, p);  // 5
+  g.net.add_undirected_edge(y2, t, 2, p);  // 6
+  // Bottleneck links e1, e2 (ids 7-8).
+  g.net.add_undirected_edge(x1, y1, 2, p);  // 7
+  g.net.add_undirected_edge(x2, y2, 2, p);  // 8
+  g.source = s;
+  g.sink = t;
+  g.side_s = {true, true, true, false, false, false};
+  return g;
+}
+
+Fig5Configs fig5_source_side_configs() {
+  // Source-side subgraph edge order equals original ids 0..4 (they are
+  // the first edges of the network): bits 0,1 = the two s-x1 links,
+  // bits 2,3 = the two s-x2 links, bit 4 = x1-x2.
+  Fig5Configs configs;
+  configs.a = mask_of({0, 2, 3});        // x1 reachable with 1, x2 with 2
+  configs.b = mask_of({0, 2});           // one unit to each endpoint
+  configs.c = mask_of({0, 1, 2, 3, 4});  // everything alive
+  return configs;
+}
+
+GeneratedNetwork make_two_isp_scenario(const TwoIspParams& params) {
+  ClusteredParams cp;
+  cp.nodes_s = params.peers_per_isp;
+  cp.nodes_t = params.peers_per_isp;
+  cp.extra_edges_s = params.extra_links_per_isp;
+  cp.extra_edges_t = params.extra_links_per_isp;
+  cp.bottleneck_links = params.peering_links;
+  cp.cluster_caps = {params.link_capacity, params.link_capacity};
+  cp.bottleneck_caps = {params.peering_capacity, params.peering_capacity};
+  cp.cluster_probs = {params.internal_failure, params.internal_failure};
+  cp.bottleneck_probs = {params.peering_failure, params.peering_failure};
+  cp.kind = EdgeKind::kUndirected;
+  Xoshiro256 rng(params.seed);
+  return clustered_bottleneck(rng, cp);
+}
+
+}  // namespace streamrel

@@ -1,0 +1,51 @@
+#include "p2p/tree_builder.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+std::vector<EdgeId> add_single_tree(Overlay& overlay,
+                                    const SingleTreeOptions& options) {
+  if (options.fanout < 1) throw std::invalid_argument("fanout must be >= 1");
+  if (options.stream_rate < 1) {
+    throw std::invalid_argument("stream rate must be >= 1");
+  }
+  std::vector<EdgeId> edges;
+  edges.reserve(static_cast<std::size_t>(overlay.num_peers()));
+  for (int i = 0; i < overlay.num_peers(); ++i) {
+    const NodeId parent =
+        i == 0 ? overlay.server() : overlay.peer((i - 1) / options.fanout);
+    edges.push_back(overlay.net().add_directed_edge(
+        parent, overlay.peer(i), options.stream_rate,
+        options.link_failure_prob));
+  }
+  return edges;
+}
+
+std::vector<std::vector<EdgeId>> add_striped_trees(
+    Overlay& overlay, const StripedTreesOptions& options) {
+  if (options.stripes < 1) throw std::invalid_argument("need >= 1 stripe");
+  if (options.fanout < 1) throw std::invalid_argument("fanout must be >= 1");
+  const int n = overlay.num_peers();
+  std::vector<std::vector<EdgeId>> per_stripe;
+  per_stripe.reserve(static_cast<std::size_t>(options.stripes));
+  for (int stripe = 0; stripe < options.stripes; ++stripe) {
+    // Rotate the peer order so interior roles move between stripes.
+    const int rotation = n * stripe / options.stripes;
+    auto peer_at = [&](int position) {
+      return overlay.peer((position + rotation) % n);
+    };
+    std::vector<EdgeId> edges;
+    edges.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const NodeId parent =
+          i == 0 ? overlay.server() : peer_at((i - 1) / options.fanout);
+      edges.push_back(overlay.net().add_directed_edge(
+          parent, peer_at(i), /*capacity=*/1, options.link_failure_prob));
+    }
+    per_stripe.push_back(std::move(edges));
+  }
+  return per_stripe;
+}
+
+}  // namespace streamrel

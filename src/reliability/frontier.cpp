@@ -1,0 +1,231 @@
+#include "reliability/frontier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// A DP state: for each frontier slot, the id of its connected block.
+// Block ids are canonicalized to first-occurrence order, so equal
+// partitions hash equally. Slot 0 is ALWAYS s's block and slot 1 t's
+// (s and t never retire), hence "s connected to t" is simply
+// key[0] == key[1] — those states are folded into the success
+// accumulator immediately and never stored.
+using StateKey = std::vector<std::uint8_t>;
+
+struct KeyHash {
+  std::size_t operator()(const StateKey& key) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (std::uint8_t b : key) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+using StateMap = std::unordered_map<StateKey, double, KeyHash>;
+
+// Orders edges by BFS discovery from s so the frontier stays a quasi
+// "wavefront" (small for path-like and grid-like networks).
+std::vector<EdgeId> bfs_edge_order(const FlowNetwork& net, NodeId s) {
+  std::vector<bool> seen_node(static_cast<std::size_t>(net.num_nodes()),
+                              false);
+  std::vector<bool> seen_edge(static_cast<std::size_t>(net.num_edges()),
+                              false);
+  std::vector<EdgeId> order;
+  order.reserve(static_cast<std::size_t>(net.num_edges()));
+  std::vector<NodeId> queue{s};
+  seen_node[static_cast<std::size_t>(s)] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (EdgeId id : net.incident_edges(queue[head])) {
+      if (seen_edge[static_cast<std::size_t>(id)]) continue;
+      seen_edge[static_cast<std::size_t>(id)] = true;
+      order.push_back(id);
+      const NodeId other = net.edge(id).other(queue[head]);
+      if (!seen_node[static_cast<std::size_t>(other)]) {
+        seen_node[static_cast<std::size_t>(other)] = true;
+        queue.push_back(other);
+      }
+    }
+  }
+  // Edges in components unreachable from s can never matter; append them
+  // anyway so the probability space stays complete (they only multiply
+  // by 1 overall).
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    if (!seen_edge[static_cast<std::size_t>(id)]) order.push_back(id);
+  }
+  return order;
+}
+
+// Renumbers block ids to first-occurrence order.
+void canonicalize(StateKey& key) {
+  std::uint8_t next = 0;
+  std::array<std::uint8_t, 256> remap;
+  remap.fill(0xff);
+  for (std::uint8_t& b : key) {
+    if (remap[b] == 0xff) remap[b] = next++;
+    b = remap[b];
+  }
+}
+
+}  // namespace
+
+ReliabilityResult reliability_connectivity(const FlowNetwork& net,
+                                           const FlowDemand& demand,
+                                           const FrontierOptions& options) {
+  net.check_demand(demand);
+  if (demand.rate != 1) {
+    throw std::invalid_argument(
+        "connectivity reliability requires demand rate 1; use the "
+        "flow-based algorithms for d > 1");
+  }
+  for (const Edge& e : net.edges()) {
+    if (e.directed()) {
+      throw std::invalid_argument(
+          "connectivity reliability requires an undirected network");
+    }
+  }
+
+  // Usable edges only (capacity 0 cannot carry the sub-stream; its
+  // failure state marginalizes out).
+  const std::vector<EdgeId> order = bfs_edge_order(net, demand.source);
+  std::vector<EdgeId> edges;
+  for (EdgeId id : order) {
+    if (net.edge(id).capacity >= 1) edges.push_back(id);
+  }
+
+  // Remaining-degree per node over usable edges: a node retires when its
+  // count hits zero (s and t never retire).
+  std::vector<int> remaining(static_cast<std::size_t>(net.num_nodes()), 0);
+  for (EdgeId id : edges) {
+    remaining[static_cast<std::size_t>(net.edge(id).u)]++;
+    remaining[static_cast<std::size_t>(net.edge(id).v)]++;
+  }
+
+  // Frontier layout: slot per live vertex. Slots 0 and 1 are pinned to s
+  // and t. `slot_of[node]` = current slot or -1.
+  std::vector<int> slot_of(static_cast<std::size_t>(net.num_nodes()), -1);
+  std::vector<NodeId> node_at{demand.source, demand.sink};
+  slot_of[static_cast<std::size_t>(demand.source)] = 0;
+  slot_of[static_cast<std::size_t>(demand.sink)] = 1;
+
+  StateMap states;
+  states[StateKey{0, 1}] = 1.0;  // s and t in singleton blocks
+  KahanSum success;
+  ReliabilityResult result;
+
+  for (EdgeId id : edges) {
+    const Edge& e = net.edge(id);
+    // Ensure both endpoints have slots.
+    for (NodeId n : {e.u, e.v}) {
+      if (slot_of[static_cast<std::size_t>(n)] == -1) {
+        slot_of[static_cast<std::size_t>(n)] =
+            static_cast<int>(node_at.size());
+        node_at.push_back(n);
+        // Entering vertex becomes a fresh singleton block in every state.
+        StateMap grown;
+        grown.reserve(states.size());
+        for (auto& [key, prob] : states) {
+          StateKey next = key;
+          next.push_back(static_cast<std::uint8_t>(
+              1 + *std::max_element(next.begin(), next.end())));
+          grown.emplace(std::move(next), prob);
+        }
+        states = std::move(grown);
+      }
+    }
+    const auto su = static_cast<std::size_t>(
+        slot_of[static_cast<std::size_t>(e.u)]);
+    const auto sv = static_cast<std::size_t>(
+        slot_of[static_cast<std::size_t>(e.v)]);
+
+    // Which endpoints retire after this edge?
+    remaining[static_cast<std::size_t>(e.u)]--;
+    remaining[static_cast<std::size_t>(e.v)]--;
+
+    StateMap next_states;
+    next_states.reserve(states.size() * 2);
+    const double p_fail = e.failure_prob;
+    auto emit = [&](StateKey key, double prob) {
+      // s-t merged: fold into the success accumulator (remaining edges
+      // marginalize to probability one).
+      if (key[0] == key[1]) {
+        success.add(prob);
+        return;
+      }
+      canonicalize(key);
+      next_states[std::move(key)] += prob;
+    };
+
+    for (const auto& [key, prob] : states) {
+      ++result.configurations;
+      // Dead branch: partition unchanged.
+      if (p_fail > 0.0) emit(key, prob * p_fail);
+      // Alive branch: merge the endpoint blocks.
+      StateKey merged = key;
+      const std::uint8_t keep = std::min(merged[su], merged[sv]);
+      const std::uint8_t gone = std::max(merged[su], merged[sv]);
+      if (keep != gone) {
+        for (std::uint8_t& b : merged) {
+          if (b == gone) b = keep;
+        }
+      }
+      emit(std::move(merged), prob * (1.0 - p_fail));
+    }
+
+    // Retire finished vertices (never s or t): drop their slots. A block
+    // that loses its last frontier vertex is a dead component — it can
+    // no longer join s or t, which is fine for connectivity; the states
+    // simply coincide afterwards.
+    std::vector<std::size_t> retiring;
+    for (NodeId n : {e.u, e.v}) {
+      if (n == demand.source || n == demand.sink) continue;
+      if (remaining[static_cast<std::size_t>(n)] == 0) {
+        retiring.push_back(
+            static_cast<std::size_t>(slot_of[static_cast<std::size_t>(n)]));
+        slot_of[static_cast<std::size_t>(n)] = -1;
+      }
+    }
+    if (!retiring.empty()) {
+      std::sort(retiring.rbegin(), retiring.rend());
+      for (std::size_t slot : retiring) {
+        node_at.erase(node_at.begin() + static_cast<std::ptrdiff_t>(slot));
+        for (std::size_t i = slot; i < node_at.size(); ++i) {
+          slot_of[static_cast<std::size_t>(node_at[i])] =
+              static_cast<int>(i);
+        }
+      }
+      StateMap shrunk;
+      shrunk.reserve(next_states.size());
+      for (auto& [key, prob] : next_states) {
+        StateKey reduced = key;
+        for (std::size_t slot : retiring) {
+          reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(slot));
+        }
+        canonicalize(reduced);
+        shrunk[std::move(reduced)] += prob;
+      }
+      next_states = std::move(shrunk);
+    }
+    states = std::move(next_states);
+    if (states.size() > options.max_states) {
+      throw std::runtime_error(
+          "frontier DP exceeded the state budget; the network's frontier "
+          "is too wide for this method");
+    }
+  }
+
+  result.reliability = success.value();
+  result.maxflow_calls = 0;  // the method never solves a flow problem
+  return result;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,152 @@
+#include "reliability/multicast.hpp"
+
+#include <stdexcept>
+
+#include "maxflow/config_residual.hpp"
+#include "util/config_prob.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+namespace {
+
+void check_multicast(const FlowNetwork& net, const MulticastDemand& demand) {
+  if (demand.subscribers.empty()) {
+    throw std::invalid_argument("multicast needs >= 1 subscriber");
+  }
+  for (NodeId t : demand.subscribers) {
+    net.check_demand(FlowDemand{demand.source, t, demand.rate});
+  }
+}
+
+// One configuration: can every subscriber receive the stream?
+bool all_subscribers_served(ConfigResidual& residual, MaxFlowSolver& solver,
+                            const MulticastDemand& demand, Mask alive,
+                            std::uint64_t& calls) {
+  for (NodeId t : demand.subscribers) {
+    residual.reset(alive);
+    ++calls;
+    if (solver.solve(residual.graph(), demand.source, t, demand.rate) <
+        demand.rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool all_subscribers_served_sampled(ConfigResidual& residual,
+                                    MaxFlowSolver& solver,
+                                    const MulticastDemand& demand,
+                                    const std::vector<bool>& alive) {
+  for (NodeId t : demand.subscribers) {
+    residual.reset_with(alive);
+    if (solver.solve(residual.graph(), demand.source, t, demand.rate) <
+        demand.rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReliabilityResult multicast_reliability(const FlowNetwork& net,
+                                        const MulticastDemand& demand,
+                                        const MulticastOptions& options) {
+  check_multicast(net, demand);
+  if (!net.fits_mask()) {
+    throw std::invalid_argument(
+        "exact multicast reliability requires <= 63 links");
+  }
+  const ConfigProbTable probs(net.failure_probs());
+  ConfigResidual residual(net);
+  auto solver = make_solver(options.algorithm);
+
+  ReliabilityResult result;
+  KahanSum sum;
+  const Mask total = Mask{1} << net.num_edges();
+  result.configurations = total;
+  for (Mask alive = 0; alive < total; ++alive) {
+    if (all_subscribers_served(residual, *solver, demand, alive,
+                               result.maxflow_calls)) {
+      sum.add(probs.prob(alive));
+    }
+  }
+  result.reliability = sum.value();
+  return result;
+}
+
+ReliabilityResult quorum_reliability(const FlowNetwork& net,
+                                     const MulticastDemand& demand,
+                                     int quorum,
+                                     const MulticastOptions& options) {
+  check_multicast(net, demand);
+  if (quorum < 1 ||
+      quorum > static_cast<int>(demand.subscribers.size())) {
+    throw std::invalid_argument("quorum must be in [1, #subscribers]");
+  }
+  if (!net.fits_mask()) {
+    throw std::invalid_argument("quorum reliability requires <= 63 links");
+  }
+  const ConfigProbTable probs(net.failure_probs());
+  ConfigResidual residual(net);
+  auto solver = make_solver(options.algorithm);
+
+  ReliabilityResult result;
+  KahanSum sum;
+  const Mask total = Mask{1} << net.num_edges();
+  result.configurations = total;
+  const int needed = quorum;
+  const int subscribers = static_cast<int>(demand.subscribers.size());
+  for (Mask alive = 0; alive < total; ++alive) {
+    int served = 0;
+    for (int i = 0; i < subscribers; ++i) {
+      // Early exit both ways: quorum reached, or unreachable.
+      if (served >= needed || served + (subscribers - i) < needed) break;
+      residual.reset(alive);
+      ++result.maxflow_calls;
+      if (solver->solve(residual.graph(), demand.source,
+                        demand.subscribers[static_cast<std::size_t>(i)],
+                        demand.rate) >= demand.rate) {
+        ++served;
+      }
+    }
+    if (served >= needed) sum.add(probs.prob(alive));
+  }
+  result.reliability = sum.value();
+  return result;
+}
+
+MonteCarloResult multicast_reliability_monte_carlo(
+    const FlowNetwork& net, const MulticastDemand& demand,
+    const MonteCarloOptions& options) {
+  check_multicast(net, demand);
+  if (options.samples == 0) {
+    throw std::invalid_argument("monte carlo needs >= 1 sample");
+  }
+  Xoshiro256 rng(options.seed);
+  ConfigResidual residual(net);
+  auto solver = make_solver(options.algorithm);
+  std::vector<bool> alive(static_cast<std::size_t>(net.num_edges()));
+  const std::vector<double> probs = net.failure_probs();
+
+  MonteCarloResult result;
+  result.samples = options.samples;
+  for (std::uint64_t i = 0; i < options.samples; ++i) {
+    for (std::size_t e = 0; e < probs.size(); ++e) {
+      alive[e] = !rng.bernoulli(probs[e]);
+    }
+    if (all_subscribers_served_sampled(residual, *solver, demand, alive)) {
+      ++result.successes;
+    }
+  }
+  result.estimate = static_cast<double>(result.successes) /
+                    static_cast<double>(result.samples);
+  result.ci95_halfwidth =
+      proportion_ci_halfwidth(result.successes, result.samples);
+  result.wilson95 = wilson_interval(result.successes, result.samples);
+  return result;
+}
+
+}  // namespace streamrel

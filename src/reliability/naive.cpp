@@ -1,0 +1,116 @@
+#include "reliability/naive.hpp"
+
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "maxflow/config_residual.hpp"
+#include "maxflow/incremental_dinic.hpp"
+#include "util/config_prob.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// Sequential from-scratch sweep over an inclusive mask range; shared by
+// the sequential and parallel strategies.
+void sweep_range(const FlowNetwork& net, const FlowDemand& demand,
+                 MaxFlowAlgorithm algorithm, const ConfigProbTable& probs,
+                 Mask first, Mask last, KahanSum& sum,
+                 std::uint64_t& maxflow_calls) {
+  ConfigResidual residual(net);
+  auto solver = make_solver(algorithm);
+  for (Mask alive = first;; ++alive) {
+    residual.reset(alive);
+    ++maxflow_calls;
+    if (solver->solve(residual.graph(), demand.source, demand.sink,
+                      demand.rate) >= demand.rate) {
+      sum.add(probs.prob(alive));
+    }
+    if (alive == last) break;
+  }
+}
+
+ReliabilityResult naive_gray(const FlowNetwork& net, const FlowDemand& demand,
+                             const ConfigProbTable& probs) {
+  ReliabilityResult result;
+  KahanSum sum;
+  IncrementalMaxFlow inc(net, demand);
+
+  // Gray-code walk: step i toggles one edge, moving from configuration
+  // gray_code(i) to gray_code(i+1). The walk starts at gray_code(0) = 0
+  // (all edges dead), so kill every edge first.
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    inc.set_edge_alive(id, false);
+  }
+  const Mask total = Mask{1} << net.num_edges();
+  for (Mask i = 0;; ++i) {
+    const Mask alive = gray_code(i);
+    ++result.configurations;
+    if (inc.admits()) sum.add(probs.prob(alive));
+    if (i + 1 == total) break;
+    const int flip = gray_flip_bit(i);
+    inc.set_edge_alive(flip, !test_bit(alive, flip));
+  }
+  result.maxflow_calls = result.configurations;  // one repair per step
+  result.reliability = sum.value();
+  return result;
+}
+
+}  // namespace
+
+ReliabilityResult reliability_naive(const FlowNetwork& net,
+                                    const FlowDemand& demand,
+                                    const NaiveOptions& options) {
+  net.check_demand(demand);
+  if (!net.fits_mask()) {
+    throw std::invalid_argument(
+        "naive reliability requires <= 63 edges (2^|E| enumeration)");
+  }
+  const ConfigProbTable probs(net.failure_probs());
+  const Mask total = Mask{1} << net.num_edges();
+
+  if (options.strategy == NaiveStrategy::kGrayIncremental) {
+    return naive_gray(net, demand, probs);
+  }
+
+  ReliabilityResult result;
+  result.configurations = total;
+
+#ifdef _OPENMP
+  if (options.strategy == NaiveStrategy::kParallel && total >= 1024) {
+    const int threads = omp_get_max_threads();
+    std::vector<KahanSum> sums(static_cast<std::size_t>(threads));
+    std::vector<std::uint64_t> calls(static_cast<std::size_t>(threads), 0);
+#pragma omp parallel num_threads(threads)
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const Mask chunk = total / static_cast<Mask>(threads);
+      const Mask first = static_cast<Mask>(tid) * chunk;
+      const Mask last = (tid + 1 == static_cast<std::size_t>(threads))
+                            ? total - 1
+                            : first + chunk - 1;
+      sweep_range(net, demand, options.algorithm, probs, first, last,
+                  sums[tid], calls[tid]);
+    }
+    KahanSum sum;
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      sum.merge(sums[i]);
+      result.maxflow_calls += calls[i];
+    }
+    result.reliability = sum.value();
+    return result;
+  }
+#endif
+
+  KahanSum sum;
+  sweep_range(net, demand, options.algorithm, probs, 0, total - 1, sum,
+              result.maxflow_calls);
+  result.reliability = sum.value();
+  return result;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,59 @@
+#include "reliability/node_failures.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+SplitNetwork split_unreliable_nodes(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const std::vector<NodeReliability>& nodes) {
+  net.check_demand(demand);
+  if (nodes.size() != static_cast<std::size_t>(net.num_nodes())) {
+    throw std::invalid_argument("need one NodeReliability per node");
+  }
+  for (const Edge& e : net.edges()) {
+    if (!e.directed()) {
+      throw std::invalid_argument(
+          "node splitting requires a directed network (see header)");
+    }
+  }
+
+  SplitNetwork out;
+  out.net = FlowNetwork(2 * net.num_nodes());
+  out.in_node.resize(static_cast<std::size_t>(net.num_nodes()));
+  out.out_node.resize(static_cast<std::size_t>(net.num_nodes()));
+  out.node_edge.resize(static_cast<std::size_t>(net.num_nodes()));
+
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const NodeId v_in = 2 * v;
+    const NodeId v_out = 2 * v + 1;
+    out.in_node[static_cast<std::size_t>(v)] = v_in;
+    out.out_node[static_cast<std::size_t>(v)] = v_out;
+    const NodeReliability& nr = nodes[static_cast<std::size_t>(v)];
+    Capacity cap = nr.relay_capacity;
+    if (cap == NodeReliability::kNoRelayLimit) {
+      // No relay limit: the node never constrains flow, so its internal
+      // edge gets the sum of incident capacities (an effective infinity).
+      cap = 0;
+      for (EdgeId id : net.incident_edges(v)) cap += net.edge(id).capacity;
+    }
+    out.node_edge[static_cast<std::size_t>(v)] =
+        out.net.add_directed_edge(v_in, v_out, cap, nr.failure_prob);
+  }
+
+  out.edge_map.reserve(static_cast<std::size_t>(net.num_edges()));
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const Edge& e = net.edge(id);
+    out.edge_map.push_back(out.net.add_directed_edge(
+        out.out_node[static_cast<std::size_t>(e.u)],
+        out.in_node[static_cast<std::size_t>(e.v)], e.capacity,
+        e.failure_prob));
+  }
+
+  out.demand.source = out.in_node[static_cast<std::size_t>(demand.source)];
+  out.demand.sink = out.out_node[static_cast<std::size_t>(demand.sink)];
+  out.demand.rate = demand.rate;
+  return out;
+}
+
+}  // namespace streamrel

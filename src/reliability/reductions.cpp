@@ -1,0 +1,127 @@
+#include "reliability/reductions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace streamrel {
+
+namespace {
+
+struct WorkEdge {
+  NodeId u;
+  NodeId v;
+  double p;      // failure probability
+  bool alive = true;
+};
+
+}  // namespace
+
+ReducedNetwork reduce_for_connectivity(const FlowNetwork& net, NodeId s,
+                                       NodeId t) {
+  net.check_demand(FlowDemand{s, t, 1});
+  std::vector<WorkEdge> edges;
+  edges.reserve(static_cast<std::size_t>(net.num_edges()));
+  ReducedNetwork result;
+  for (const Edge& e : net.edges()) {
+    if (e.directed()) {
+      throw std::invalid_argument(
+          "connectivity reductions require an undirected network");
+    }
+    if (e.capacity < 1) {
+      result.pruned_links++;  // can never carry the sub-stream
+      continue;
+    }
+    edges.push_back(WorkEdge{e.u, e.v, e.failure_prob});
+  }
+
+  auto degree = [&](NodeId n) {
+    int d = 0;
+    for (const WorkEdge& e : edges) {
+      if (e.alive && (e.u == n || e.v == n)) ++d;
+    }
+    return d;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Parallel merges: first alive edge per unordered pair absorbs later
+    // duplicates (both must fail).
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].alive) continue;
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        if (!edges[j].alive) continue;
+        const bool same_pair =
+            (edges[i].u == edges[j].u && edges[i].v == edges[j].v) ||
+            (edges[i].u == edges[j].v && edges[i].v == edges[j].u);
+        if (!same_pair) continue;
+        edges[i].p *= edges[j].p;
+        edges[j].alive = false;
+        result.parallel_steps++;
+        changed = true;
+      }
+    }
+
+    // Prune dead-end interior nodes.
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (n == s || n == t) continue;
+      if (degree(n) == 1) {
+        for (WorkEdge& e : edges) {
+          if (e.alive && (e.u == n || e.v == n)) {
+            e.alive = false;
+            result.pruned_links++;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Series contractions: interior degree-2 node with distinct
+    // neighbours (equal neighbours are handled by the parallel rule).
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      if (n == s || n == t || degree(n) != 2) continue;
+      std::size_t first = edges.size(), second = edges.size();
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (!edges[i].alive || (edges[i].u != n && edges[i].v != n)) continue;
+        (first == edges.size() ? first : second) = i;
+      }
+      const NodeId a = edges[first].u == n ? edges[first].v : edges[first].u;
+      const NodeId b =
+          edges[second].u == n ? edges[second].v : edges[second].u;
+      if (a == b) continue;  // wait for the parallel rule
+      // Both hops must survive.
+      edges[first].u = a;
+      edges[first].v = b;
+      edges[first].p = 1.0 - (1.0 - edges[first].p) * (1.0 - edges[second].p);
+      edges[second].alive = false;
+      result.series_steps++;
+      changed = true;
+    }
+  }
+
+  // Compact into a fresh network over the surviving nodes.
+  std::vector<NodeId> remap(static_cast<std::size_t>(net.num_nodes()),
+                            kInvalidNode);
+  auto touch = [&](NodeId n) {
+    if (remap[static_cast<std::size_t>(n)] == kInvalidNode) {
+      remap[static_cast<std::size_t>(n)] = result.net.add_node();
+    }
+    return remap[static_cast<std::size_t>(n)];
+  };
+  result.source = touch(s);
+  result.sink = touch(t);
+  for (const WorkEdge& e : edges) {
+    if (!e.alive) continue;
+    // p may have rounded to exactly 1 for hopeless chains; such a link
+    // can never help, so drop it (failure prob must stay below 1).
+    if (e.p >= 1.0) {
+      result.pruned_links++;
+      continue;
+    }
+    result.net.add_undirected_edge(touch(e.u), touch(e.v), 1, e.p);
+  }
+  return result;
+}
+
+}  // namespace streamrel

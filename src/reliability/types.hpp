@@ -1,0 +1,18 @@
+#pragma once
+// Shared result/option types for the exact reliability algorithms.
+
+#include <cstdint>
+
+#include "maxflow/maxflow.hpp"
+
+namespace streamrel {
+
+/// Result of an exact reliability computation, with work counters the
+/// benches report alongside wall-clock time.
+struct ReliabilityResult {
+  double reliability = 0.0;
+  std::uint64_t configurations = 0;  ///< failure configurations visited
+  std::uint64_t maxflow_calls = 0;   ///< feasibility subproblems solved
+};
+
+}  // namespace streamrel

@@ -1,0 +1,127 @@
+#include "sim/availability_sim.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "maxflow/incremental_dinic.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+
+namespace {
+
+struct Transition {
+  double time;
+  EdgeId edge;
+  bool operator>(const Transition& other) const noexcept {
+    return time > other.time;
+  }
+};
+
+double draw_exponential(Xoshiro256& rng, double mean) {
+  // Inverse transform; uniform01 is in [0, 1) so 1 - u is in (0, 1].
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+}  // namespace
+
+SimulationReport simulate_availability(const FlowNetwork& net,
+                                       const FlowDemand& demand,
+                                       const std::vector<LinkDynamics>& links,
+                                       const SimulationOptions& options) {
+  net.check_demand(demand);
+  if (links.size() != static_cast<std::size_t>(net.num_edges())) {
+    throw std::invalid_argument("need one LinkDynamics per link");
+  }
+  if (options.duration <= 0.0 || options.warmup < 0.0) {
+    throw std::invalid_argument("bad simulation horizon");
+  }
+  for (const LinkDynamics& dyn : links) {
+    if (dyn.mean_uptime <= 0.0 || dyn.mean_downtime < 0.0) {
+      throw std::invalid_argument("bad link dynamics");
+    }
+  }
+
+  Xoshiro256 rng(options.seed);
+  IncrementalMaxFlow flow(net, demand);
+
+  // Start each link from its stationary distribution so the warmup only
+  // has to wash out correlations, not the marginals.
+  std::priority_queue<Transition, std::vector<Transition>, std::greater<>>
+      queue;
+  std::vector<bool> up(static_cast<std::size_t>(net.num_edges()));
+  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+    const LinkDynamics& dyn = links[static_cast<std::size_t>(id)];
+    const bool is_up = !rng.bernoulli(dyn.unavailability());
+    up[static_cast<std::size_t>(id)] = is_up;
+    if (!is_up) flow.set_edge_alive(id, false);
+    if (dyn.mean_downtime > 0.0) {  // static links never transition
+      queue.push(Transition{
+          draw_exponential(rng,
+                           is_up ? dyn.mean_uptime : dyn.mean_downtime),
+          id});
+    }
+  }
+
+  SimulationReport report;
+  const double t_end = options.warmup + options.duration;
+  double now = 0.0;
+  bool feasible = flow.admits();
+  double feasible_time = 0.0;
+  double spell_start = 0.0;  // start of the current (in)feasible spell
+  double outage_total = 0.0;
+  std::uint64_t uptime_spells = 0;
+  double uptime_total = 0.0;
+
+  auto account_until = [&](double t) {
+    const double lo = std::max(spell_start, options.warmup);
+    const double hi = std::min(t, t_end);
+    if (hi > lo && feasible) feasible_time += hi - lo;
+  };
+
+  while (!queue.empty() && queue.top().time < t_end) {
+    const Transition tr = queue.top();
+    queue.pop();
+    now = tr.time;
+    const auto ei = static_cast<std::size_t>(tr.edge);
+    up[ei] = !up[ei];
+    flow.set_edge_alive(tr.edge, up[ei]);
+    const LinkDynamics& dyn = links[ei];
+    queue.push(Transition{
+        now + draw_exponential(rng,
+                               up[ei] ? dyn.mean_uptime : dyn.mean_downtime),
+        tr.edge});
+    if (now >= options.warmup) ++report.transitions;
+
+    const bool now_feasible = flow.admits();
+    if (now_feasible == feasible) continue;
+    account_until(now);
+    // Spell statistics only for spells fully inside the window.
+    if (spell_start >= options.warmup && now <= t_end) {
+      const double spell = now - spell_start;
+      if (feasible) {
+        uptime_total += spell;
+        ++uptime_spells;
+      } else {
+        outage_total += spell;
+        ++report.interruptions;
+      }
+    }
+    feasible = now_feasible;
+    spell_start = now;
+  }
+  account_until(t_end);
+
+  report.availability = feasible_time / options.duration;
+  report.mean_outage =
+      report.interruptions > 0
+          ? outage_total / static_cast<double>(report.interruptions)
+          : 0.0;
+  report.mean_uptime_spell =
+      uptime_spells > 0 ? uptime_total / static_cast<double>(uptime_spells)
+                        : 0.0;
+  return report;
+}
+
+}  // namespace streamrel

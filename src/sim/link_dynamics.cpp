@@ -1,0 +1,29 @@
+#include "sim/link_dynamics.hpp"
+
+namespace streamrel {
+
+std::vector<LinkDynamics> dynamics_from_probabilities(const FlowNetwork& net,
+                                                      double mean_downtime) {
+  if (mean_downtime <= 0.0) {
+    throw std::invalid_argument("mean downtime must be positive");
+  }
+  std::vector<LinkDynamics> out;
+  out.reserve(static_cast<std::size_t>(net.num_edges()));
+  for (const Edge& e : net.edges()) {
+    LinkDynamics dyn;
+    dyn.mean_downtime = mean_downtime;
+    if (e.failure_prob <= 0.0) {
+      // Never down: model as an (effectively) infinite up-time.
+      dyn.mean_downtime = 0.0;
+      dyn.mean_uptime = 1.0;
+    } else {
+      // p = down / (up + down)  =>  up = down * (1 - p) / p.
+      dyn.mean_uptime =
+          mean_downtime * (1.0 - e.failure_prob) / e.failure_prob;
+    }
+    out.push_back(dyn);
+  }
+  return out;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,43 @@
+#include "util/bitops.hpp"
+
+namespace streamrel {
+
+std::vector<int> bits_of(Mask m) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(popcount(m)));
+  while (m != 0) {
+    out.push_back(lowest_bit(m));
+    m &= m - 1;
+  }
+  return out;
+}
+
+Mask mask_of(const std::vector<int>& indices) {
+  Mask m = 0;
+  for (int i : indices) m |= bit(i);
+  return m;
+}
+
+CombinationRange::CombinationRange(int n, int k) noexcept
+    : limit_(Mask{1} << n), current_(0), done_(false) {
+  if (k < 0 || k > n) {
+    done_ = true;
+    return;
+  }
+  current_ = full_mask(k);
+  if (current_ >= limit_ && k > 0) done_ = true;
+}
+
+void CombinationRange::next() noexcept {
+  if (current_ == 0) {  // the single k == 0 subset has been yielded
+    done_ = true;
+    return;
+  }
+  // Gosper's hack: next bigger integer with the same popcount.
+  const Mask c = current_ & (~current_ + 1);
+  const Mask r = current_ + c;
+  current_ = (((r ^ current_) >> 2) / c) | r;
+  if (current_ >= limit_) done_ = true;
+}
+
+}  // namespace streamrel

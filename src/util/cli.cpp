@@ -1,0 +1,63 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace streamrel {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  if (it->second == "0" || it->second == "false" || it->second == "no" ||
+      it->second == "off") {
+    return false;
+  }
+  throw std::invalid_argument("bad boolean flag --" + name);
+}
+
+}  // namespace streamrel

@@ -1,0 +1,30 @@
+#pragma once
+// Minimal command-line flag parser for the example and bench binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace streamrel {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Arguments that were not --flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,61 @@
+#include "util/config_prob.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace streamrel {
+
+namespace {
+
+// Fills `table` with products over one half of the links:
+// table[m] = prod over bit i of m alive/dead probability of link base+i.
+void fill_half(std::vector<double>& table, const std::vector<double>& probs,
+               int base, int bits) {
+  table.assign(std::size_t{1} << bits, 1.0);
+  for (int i = 0; i < bits; ++i) {
+    const double p_fail = probs[static_cast<std::size_t>(base + i)];
+    const double p_up = 1.0 - p_fail;
+    const std::size_t stride = std::size_t{1} << i;
+    // Extend the table one link at a time: masks with bit i clear use the
+    // failure factor, masks with bit i set the survival factor.
+    for (std::size_t m = 0; m < (std::size_t{1} << bits); ++m) {
+      table[m] *= (m & stride) ? p_up : p_fail;
+    }
+  }
+}
+
+}  // namespace
+
+ConfigProbTable::ConfigProbTable(const std::vector<double>& failure_probs) {
+  if (failure_probs.size() > static_cast<std::size_t>(kMaxMaskBits)) {
+    throw std::invalid_argument(
+        "ConfigProbTable: too many links for mask-based enumeration");
+  }
+  for (double p : failure_probs) {
+    if (!(p >= 0.0) || !(p < 1.0)) {
+      throw std::invalid_argument(
+          "ConfigProbTable: failure probabilities must lie in [0, 1)");
+    }
+  }
+  num_links_ = static_cast<int>(failure_probs.size());
+  if (num_links_ > 40) {  // half tables would exceed 2^20 doubles
+    direct_ = failure_probs;
+    return;
+  }
+  low_bits_ = num_links_ / 2;
+  low_mask_ = full_mask(low_bits_);
+  fill_half(low_, failure_probs, /*base=*/0, low_bits_);
+  fill_half(high_, failure_probs, /*base=*/low_bits_, num_links_ - low_bits_);
+}
+
+double config_probability(const std::vector<double>& failure_probs,
+                          Mask alive) noexcept {
+  double prod = 1.0;
+  for (std::size_t i = 0; i < failure_probs.size(); ++i) {
+    prod *= test_bit(alive, static_cast<int>(i)) ? (1.0 - failure_probs[i])
+                                                 : failure_probs[i];
+  }
+  return prod;
+}
+
+}  // namespace streamrel

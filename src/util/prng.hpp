@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic pseudo-random number generation for workload synthesis and
+// Monte Carlo estimation.
+//
+// We ship our own generator (xoshiro256++ seeded via SplitMix64) instead of
+// <random> engines so that streams are reproducible across standard-library
+// implementations; every experiment in EXPERIMENTS.md quotes its seed.
+
+#include <array>
+#include <cstdint>
+
+namespace streamrel {
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// 256-bit state, period 2^256 - 1, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64,
+  /// which guarantees a non-zero, well-mixed state for any seed value.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound == 0 is undefined.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// True with probability p (p outside [0,1] clamps).
+  bool bernoulli(double p) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, used to derive
+  /// non-overlapping per-thread substreams from one master seed.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// SplitMix64 step; exposed because it is also a convenient 64-bit hash for
+/// deriving independent seeds from (seed, index) pairs.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mixing of two 64-bit values into one seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace streamrel

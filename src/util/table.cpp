@@ -1,0 +1,120 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace streamrel {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs headers");
+}
+
+TextTable& TextTable::new_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::add_cell(std::string value) {
+  if (rows_.empty()) new_row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("row has more cells than headers");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::add_cell(const char* value) {
+  return add_cell(std::string(value));
+}
+TextTable& TextTable::add_cell(double value, int precision) {
+  return add_cell(format_double(value, precision));
+}
+TextTable& TextTable::add_cell(std::int64_t value) {
+  return add_cell(std::to_string(value));
+}
+TextTable& TextTable::add_cell(std::uint64_t value) {
+  return add_cell(std::to_string(value));
+}
+TextTable& TextTable::add_cell(int value) {
+  return add_cell(std::to_string(value));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == 'x' ||
+          c == 'n' || c == 'a' || c == 'i' || c == 'f')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      if (c > 0) os << "  ";
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace streamrel

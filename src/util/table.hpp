@@ -1,0 +1,43 @@
+#pragma once
+// Plain-text result tables for benches and examples, mirroring the
+// rows/series a paper evaluation would print, plus CSV escape hatch.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamrel {
+
+/// Column-aligned text table. Cells are strings; numeric convenience
+/// overloads format with sensible defaults.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  TextTable& new_row();
+  TextTable& add_cell(std::string value);
+  TextTable& add_cell(const char* value);
+  TextTable& add_cell(double value, int precision = 6);
+  TextTable& add_cell(std::int64_t value);
+  TextTable& add_cell(std::uint64_t value);
+  TextTable& add_cell(int value);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Comma-separated form (no alignment), one line per row.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant-ish digits (%.*g).
+std::string format_double(double value, int precision = 6);
+
+}  // namespace streamrel

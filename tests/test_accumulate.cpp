@@ -1,0 +1,181 @@
+#include "core/accumulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Brute-force reference: expand the bucket distributions into explicit
+// (mask, prob) pairs and sum over pairs with a common allowed assignment.
+double reference_joint(const MaskDistribution& a, const MaskDistribution& b,
+                       Mask allowed) {
+  double sum = 0.0;
+  for (const auto& [ms, ps] : a.buckets) {
+    for (const auto& [mt, pt] : b.buckets) {
+      if (ms & mt & allowed) sum += ps * pt;
+    }
+  }
+  return sum;
+}
+
+MaskDistribution make_dist(std::vector<std::pair<Mask, double>> buckets) {
+  MaskDistribution dist;
+  dist.buckets = std::move(buckets);
+  dist.total = 0.0;
+  for (const auto& [m, p] : dist.buckets) dist.total += p;
+  return dist;
+}
+
+// Paper Example 6 / Table I: two assignments b1 (bit 0), b2 (bit 1);
+// configurations c1..c4 on the source side, c5..c8 on the sink side.
+struct Example6 {
+  // c1 -> {b1}, c2 -> {b2}, c3 -> {b1,b2}, c4 -> {b2}.
+  // c5 -> {b1,b2}, c6 -> {b2}, c7 -> {b1}, c8 -> {}.
+  std::vector<double> ps{0.4, 0.3, 0.2, 0.1};  // p(c1)..p(c4)
+  std::vector<double> pt{0.25, 0.25, 0.3, 0.2};  // p(c5)..p(c8)
+
+  MaskDistribution source() const {
+    return make_dist({{mask_of({0}), ps[0]},
+                      {mask_of({1}), ps[1] + ps[3]},
+                      {mask_of({0, 1}), ps[2]}});
+  }
+  MaskDistribution sink() const {
+    return make_dist({{mask_of({0, 1}), pt[0]},
+                      {mask_of({1}), pt[1]},
+                      {mask_of({0}), pt[2]},
+                      {0, pt[3]}});
+  }
+
+  // The paper's hand calculation:
+  //   p_{b1} = (p(c1)+p(c3)) * (p(c5)+p(c7))
+  //   p_{b2} = (p(c2)+p(c3)+p(c4)) * (p(c5)+p(c6))
+  //   p_{b1,b2} = p(c3) * p(c5)
+  //   r = p_{b1} + p_{b2} - p_{b1,b2}
+  double expected() const {
+    const double p_b1 = (ps[0] + ps[2]) * (pt[0] + pt[2]);
+    const double p_b2 = (ps[1] + ps[2] + ps[3]) * (pt[0] + pt[1]);
+    const double p_b1b2 = ps[2] * pt[0];
+    return p_b1 + p_b2 - p_b1b2;
+  }
+};
+
+class AccumulateStrategyTest
+    : public ::testing::TestWithParam<AccumulationStrategy> {};
+
+TEST_P(AccumulateStrategyTest, ReproducesPaperExample6) {
+  const Example6 ex;
+  EXPECT_NEAR(joint_success_probability(ex.source(), ex.sink(),
+                                        mask_of({0, 1}), GetParam()),
+              ex.expected(), kTol);
+}
+
+TEST_P(AccumulateStrategyTest, RestrictingAllowedSetToOneAssignment) {
+  const Example6 ex;
+  // Only b1 allowed: r = p_{b1}.
+  EXPECT_NEAR(joint_success_probability(ex.source(), ex.sink(), mask_of({0}),
+                                        GetParam()),
+              (ex.ps[0] + ex.ps[2]) * (ex.pt[0] + ex.pt[2]), kTol);
+  // Only b2 allowed: r = p_{b2}.
+  EXPECT_NEAR(joint_success_probability(ex.source(), ex.sink(), mask_of({1}),
+                                        GetParam()),
+              (ex.ps[1] + ex.ps[2] + ex.ps[3]) * (ex.pt[0] + ex.pt[1]), kTol);
+}
+
+TEST_P(AccumulateStrategyTest, EmptyAllowedSetIsZero) {
+  const Example6 ex;
+  EXPECT_DOUBLE_EQ(
+      joint_success_probability(ex.source(), ex.sink(), 0, GetParam()), 0.0);
+}
+
+TEST_P(AccumulateStrategyTest, MatchesBruteForceOnRandomDistributions) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int num_assignments = static_cast<int>(rng.uniform_int(1, 8));
+    auto random_dist = [&](int buckets) {
+      std::vector<std::pair<Mask, double>> out;
+      double remaining = 1.0;
+      for (int i = 0; i < buckets; ++i) {
+        const double p = (i + 1 == buckets)
+                             ? remaining
+                             : remaining * rng.uniform_real(0.0, 1.0);
+        remaining -= p;
+        out.emplace_back(
+            rng.uniform_below(Mask{1} << num_assignments), p);
+      }
+      return make_dist(std::move(out));
+    };
+    const MaskDistribution a =
+        random_dist(static_cast<int>(rng.uniform_int(1, 10)));
+    const MaskDistribution b =
+        random_dist(static_cast<int>(rng.uniform_int(1, 10)));
+    const Mask allowed = rng.uniform_below(Mask{1} << num_assignments);
+    EXPECT_NEAR(joint_success_probability(a, b, allowed, GetParam()),
+                reference_joint(a, b, allowed), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, AccumulateStrategyTest,
+    ::testing::Values(AccumulationStrategy::kPaperInclusionExclusion,
+                      AccumulationStrategy::kZetaTransform,
+                      AccumulationStrategy::kBucketProduct,
+                      AccumulationStrategy::kAuto),
+    [](const ::testing::TestParamInfo<AccumulationStrategy>& param_info) {
+      switch (param_info.param) {
+        case AccumulationStrategy::kPaperInclusionExclusion:
+          return "paper_inclusion_exclusion";
+        case AccumulationStrategy::kZetaTransform:
+          return "zeta_transform";
+        case AccumulationStrategy::kBucketProduct:
+          return "bucket_product";
+        case AccumulationStrategy::kAuto:
+          return "auto_choice";
+      }
+      return "unknown";
+    });
+
+TEST(Accumulate, AllStrategiesAgreeOnWideAllowedSets) {
+  // 20 assignments: exercises the compress path with sparse allowed bits.
+  Xoshiro256 rng(4242);
+  MaskDistribution a = MaskDistribution{
+      {{mask_of({0, 5, 19}), 0.5}, {mask_of({3, 7}), 0.3}, {0, 0.2}}, 1.0};
+  MaskDistribution b = MaskDistribution{
+      {{mask_of({5, 7}), 0.6}, {mask_of({19}), 0.4}}, 1.0};
+  const Mask allowed = mask_of({0, 5, 7, 19});
+  const double expected = reference_joint(a, b, allowed);
+  EXPECT_NEAR(joint_success_probability(
+                  a, b, allowed, AccumulationStrategy::kZetaTransform),
+              expected, kTol);
+  EXPECT_NEAR(joint_success_probability(
+                  a, b, allowed, AccumulationStrategy::kBucketProduct),
+              expected, kTol);
+  EXPECT_NEAR(joint_success_probability(
+                  a, b, allowed,
+                  AccumulationStrategy::kPaperInclusionExclusion),
+              expected, kTol);
+}
+
+TEST(Accumulate, PaperStrategyGuardsAgainstExplosion) {
+  MaskDistribution a = MaskDistribution{{{full_mask(30), 1.0}}, 1.0};
+  EXPECT_THROW(
+      joint_success_probability(a, a, full_mask(30),
+                                AccumulationStrategy::kPaperInclusionExclusion),
+      std::invalid_argument);
+  EXPECT_THROW(joint_success_probability(
+                   a, a, full_mask(30), AccumulationStrategy::kZetaTransform),
+               std::invalid_argument);
+  // Bucket product handles any width.
+  EXPECT_NEAR(joint_success_probability(a, a, full_mask(30),
+                                        AccumulationStrategy::kBucketProduct),
+              1.0, kTol);
+}
+
+}  // namespace
+}  // namespace streamrel

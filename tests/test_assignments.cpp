@@ -1,0 +1,176 @@
+#include "core/assignments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/scenario.hpp"
+
+namespace streamrel {
+namespace {
+
+// Builds a star network where k parallel-ish crossing links join s-side
+// node 0 to t-side node 1, with the given capacities.
+struct CrossingFixture {
+  FlowNetwork net{2};
+  BottleneckPartition partition;
+
+  explicit CrossingFixture(const std::vector<Capacity>& caps,
+                           EdgeKind kind = EdgeKind::kUndirected) {
+    for (Capacity c : caps) net.add_edge(0, 1, c, 0.1, kind);
+    partition = partition_from_sides(net, 0, 1, {true, false});
+  }
+};
+
+TEST(Assignments, PaperExample1ExactSetAndOrder) {
+  // d = 5, three bottleneck links of capacity 3 (paper Example 1).
+  CrossingFixture fx({3, 3, 3});
+  const AssignmentSet set = enumerate_assignments(
+      fx.net, fx.partition, 5, {AssignmentMode::kForwardOnly});
+  ASSERT_EQ(set.size(), 12);
+  const std::vector<std::vector<Capacity>> expected{
+      {0, 2, 3}, {0, 3, 2}, {1, 1, 3}, {1, 2, 2}, {1, 3, 1}, {2, 0, 3},
+      {2, 1, 2}, {2, 2, 1}, {2, 3, 0}, {3, 0, 2}, {3, 1, 1}, {3, 2, 0}};
+  for (int j = 0; j < 12; ++j) {
+    EXPECT_EQ(set.assignments[static_cast<std::size_t>(j)].usage,
+              expected[static_cast<std::size_t>(j)])
+        << "assignment " << j;
+  }
+}
+
+TEST(Assignments, CapacityBoundsRespected) {
+  CrossingFixture fx({1, 4});
+  const AssignmentSet set = enumerate_assignments(
+      fx.net, fx.partition, 3, {AssignmentMode::kForwardOnly});
+  // (0,3) and (1,2) only.
+  ASSERT_EQ(set.size(), 2);
+  EXPECT_EQ(set.assignments[0].usage, (std::vector<Capacity>{0, 3}));
+  EXPECT_EQ(set.assignments[1].usage, (std::vector<Capacity>{1, 2}));
+}
+
+TEST(Assignments, EmptyWhenCapacityInsufficient) {
+  CrossingFixture fx({1, 1});
+  EXPECT_EQ(enumerate_assignments(fx.net, fx.partition, 3,
+                                  {AssignmentMode::kForwardOnly})
+                .size(),
+            0);
+}
+
+TEST(Assignments, SupportMatchesDefinition1) {
+  // Paper Example 4: {e1, e3} supports (2,0,1) and (3,0,4) but not (1,1,0).
+  const Assignment a{{2, 0, 1}};
+  const Assignment b{{3, 0, 4}};
+  const Assignment c{{1, 1, 0}};
+  const Mask e1_e3 = mask_of({0, 2});
+  EXPECT_EQ(a.support() & ~e1_e3, 0u);
+  EXPECT_EQ(b.support() & ~e1_e3, 0u);
+  EXPECT_NE(c.support() & ~e1_e3, 0u);
+}
+
+TEST(Assignments, SupportedByClassifiesExample5) {
+  // Paper Example 5: D = {(1,2,0),(2,1,0),(1,1,1),(0,2,1),(2,0,1)}.
+  AssignmentSet set;
+  set.assignments = {Assignment{{1, 2, 0}}, Assignment{{2, 1, 0}},
+                     Assignment{{1, 1, 1}}, Assignment{{0, 2, 1}},
+                     Assignment{{2, 0, 1}}};
+  // D_{e1,e2,e3} = D.
+  EXPECT_EQ(set.supported_by(mask_of({0, 1, 2})), full_mask(5));
+  // D_{e1,e2} = {(1,2,0),(2,1,0)}.
+  EXPECT_EQ(set.supported_by(mask_of({0, 1})), mask_of({0, 1}));
+  // D_{e2,e3} = {(0,2,1)}.
+  EXPECT_EQ(set.supported_by(mask_of({1, 2})), mask_of({3}));
+  // D_{e1,e3} = {(2,0,1)}.
+  EXPECT_EQ(set.supported_by(mask_of({0, 2})), mask_of({4}));
+  // Size <= 1 subsets support nothing.
+  EXPECT_EQ(set.supported_by(mask_of({0})), 0u);
+  EXPECT_EQ(set.supported_by(mask_of({1})), 0u);
+  EXPECT_EQ(set.supported_by(mask_of({2})), 0u);
+  EXPECT_EQ(set.supported_by(0), 0u);
+}
+
+TEST(Assignments, SignedModeIncludesNegativeUsage) {
+  CrossingFixture fx({2, 2});
+  const AssignmentSet set =
+      enumerate_assignments(fx.net, fx.partition, 1, {AssignmentMode::kSigned});
+  // Net sum 1. Outer bounds: hi = min(2, d + back_other) = 2,
+  // lo = -min(2, fwd_other - d) = -1. Valid tuples in lex order:
+  // (-1,2), (0,1), (1,0), (2,-1).
+  ASSERT_EQ(set.size(), 4);
+  EXPECT_EQ(set.assignments[0].usage, (std::vector<Capacity>{-1, 2}));
+  EXPECT_EQ(set.assignments[1].usage, (std::vector<Capacity>{0, 1}));
+  EXPECT_EQ(set.assignments[2].usage, (std::vector<Capacity>{1, 0}));
+  EXPECT_EQ(set.assignments[3].usage, (std::vector<Capacity>{2, -1}));
+}
+
+TEST(Assignments, SignedModeWithHigherDemandAllowsBackflow) {
+  CrossingFixture fx({3, 3});
+  const AssignmentSet fwd = enumerate_assignments(
+      fx.net, fx.partition, 2, {AssignmentMode::kForwardOnly});
+  const AssignmentSet sgn =
+      enumerate_assignments(fx.net, fx.partition, 2, {AssignmentMode::kSigned});
+  EXPECT_EQ(fwd.size(), 3);  // (0,2) (1,1) (2,0)
+  // Signed adds the circulating patterns (-1,3) and (3,-1): a link may
+  // carry more than d forward when another carries the excess back.
+  EXPECT_EQ(sgn.size(), 5);
+}
+
+TEST(Assignments, DirectedBackwardArcForcesSignedAuto) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 2, 0.1);  // S -> T
+  net.add_directed_edge(1, 0, 2, 0.1);  // T -> S (backward)
+  const BottleneckPartition p =
+      partition_from_sides(net, 0, 1, {true, false});
+  EXPECT_EQ(resolve_assignment_mode(net, p, AssignmentMode::kAuto),
+            AssignmentMode::kSigned);
+  const AssignmentSet set = enumerate_assignments(net, p, 1, {});
+  EXPECT_EQ(set.mode, AssignmentMode::kSigned);
+  // Forward arc usage in [0, min(2, d + 2) = 2]; backward arc usage in
+  // [-min(2, fwd_other - d) = -1, 0]: tuples (1, 0) and (2, -1).
+  ASSERT_EQ(set.size(), 2);
+  EXPECT_EQ(set.assignments[0].usage, (std::vector<Capacity>{1, 0}));
+  EXPECT_EQ(set.assignments[1].usage, (std::vector<Capacity>{2, -1}));
+}
+
+TEST(Assignments, DirectedForwardOnlyAutoStaysForward) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 2, 0.1);
+  net.add_directed_edge(0, 1, 2, 0.1);
+  const BottleneckPartition p =
+      partition_from_sides(net, 0, 1, {true, false});
+  EXPECT_EQ(resolve_assignment_mode(net, p, AssignmentMode::kAuto),
+            AssignmentMode::kForwardOnly);
+}
+
+TEST(Assignments, DirectedBackwardArcCarriesNothingForward) {
+  FlowNetwork net(2);
+  net.add_directed_edge(1, 0, 5, 0.1);  // only a backward arc
+  const BottleneckPartition p =
+      partition_from_sides(net, 0, 1, {true, false});
+  EXPECT_EQ(enumerate_assignments(net, p, 1, {AssignmentMode::kForwardOnly})
+                .size(),
+            0);
+}
+
+TEST(Assignments, GuardRejectsExplosiveSets) {
+  CrossingFixture fx({9, 9, 9, 9});
+  AssignmentOptions options;
+  options.mode = AssignmentMode::kForwardOnly;
+  options.max_assignments = 10;
+  EXPECT_THROW(enumerate_assignments(fx.net, fx.partition, 9, options),
+               std::invalid_argument);
+}
+
+TEST(Assignments, CountMatchesStarsAndBars) {
+  // Unbounded capacities: |D| = C(d + k - 1, k - 1).
+  CrossingFixture fx({10, 10, 10});
+  const AssignmentSet set = enumerate_assignments(
+      fx.net, fx.partition, 4, {AssignmentMode::kForwardOnly});
+  EXPECT_EQ(set.size(), 15);  // C(6, 2)
+}
+
+TEST(Assignments, RejectsNonPositiveDemand) {
+  CrossingFixture fx({2});
+  EXPECT_THROW(enumerate_assignments(fx.net, fx.partition, 0, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

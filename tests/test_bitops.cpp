@@ -1,0 +1,101 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace streamrel {
+namespace {
+
+TEST(Bitops, FullMask) {
+  EXPECT_EQ(full_mask(0), 0u);
+  EXPECT_EQ(full_mask(1), 1u);
+  EXPECT_EQ(full_mask(3), 0b111u);
+  EXPECT_EQ(full_mask(63), (Mask{1} << 63) - 1);
+}
+
+TEST(Bitops, BitHelpers) {
+  EXPECT_EQ(bit(0), 1u);
+  EXPECT_EQ(bit(5), 32u);
+  EXPECT_TRUE(test_bit(0b1010, 1));
+  EXPECT_FALSE(test_bit(0b1010, 0));
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(lowest_bit(0b1000), 3);
+}
+
+TEST(Bitops, BitsOfRoundTrip) {
+  const std::vector<int> idx{0, 3, 7, 62};
+  const Mask m = mask_of(idx);
+  EXPECT_EQ(bits_of(m), idx);
+  EXPECT_EQ(bits_of(0), std::vector<int>{});
+}
+
+TEST(Bitops, GrayCodeAdjacentDifferByOneBit) {
+  for (Mask i = 0; i < 1024; ++i) {
+    const Mask diff = gray_code(i) ^ gray_code(i + 1);
+    EXPECT_EQ(popcount(diff), 1) << "at i=" << i;
+    EXPECT_EQ(lowest_bit(diff), gray_flip_bit(i));
+  }
+}
+
+TEST(Bitops, GrayCodeIsPermutation) {
+  std::set<Mask> seen;
+  for (Mask i = 0; i < 256; ++i) seen.insert(gray_code(i));
+  EXPECT_EQ(seen.size(), 256u);
+  for (Mask g : seen) EXPECT_LT(g, 256u);
+}
+
+TEST(Bitops, SubmaskRangeVisitsExactlyAllSubsets) {
+  const Mask sup = 0b101100;
+  std::set<Mask> seen;
+  for (SubmaskRange r(sup); !r.done(); r.next()) {
+    EXPECT_EQ(r.value() & ~sup, 0u);
+    seen.insert(r.value());
+  }
+  EXPECT_EQ(seen.size(), std::size_t{1} << popcount(sup));
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(sup));
+}
+
+TEST(Bitops, SubmaskRangeOfZero) {
+  SubmaskRange r(0);
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.value(), 0u);
+  r.next();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bitops, CombinationRangeCountsBinomials) {
+  auto count = [](int n, int k) {
+    std::size_t c = 0;
+    for (CombinationRange r(n, k); !r.done(); r.next()) {
+      EXPECT_EQ(popcount(r.value()), k);
+      EXPECT_LT(r.value(), Mask{1} << n);
+      ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count(5, 0), 1u);
+  EXPECT_EQ(count(5, 1), 5u);
+  EXPECT_EQ(count(5, 2), 10u);
+  EXPECT_EQ(count(5, 3), 10u);
+  EXPECT_EQ(count(5, 5), 1u);
+  EXPECT_EQ(count(10, 4), 210u);
+}
+
+TEST(Bitops, CombinationRangeDegenerateCases) {
+  CombinationRange too_big(3, 4);
+  EXPECT_TRUE(too_big.done());
+  CombinationRange negative(3, -1);
+  EXPECT_TRUE(negative.done());
+}
+
+TEST(Bitops, CombinationRangeVisitsDistinctMasks) {
+  std::set<Mask> seen;
+  for (CombinationRange r(8, 3); !r.done(); r.next()) seen.insert(r.value());
+  EXPECT_EQ(seen.size(), 56u);
+}
+
+}  // namespace
+}  // namespace streamrel

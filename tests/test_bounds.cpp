@@ -1,0 +1,112 @@
+#include "reliability/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(Bounds, TightOnSeriesPath) {
+  // One routing covering everything; the single-edge cuts give the exact
+  // upper bound only when one link dominates, but the envelope always
+  // holds and the lower bound is exact for a path.
+  const FlowNetwork net = testing::series_pair(0.1, 0.2);
+  const FlowDemand demand{0, 2, 1};
+  const ReliabilityBounds bounds = reliability_bounds(net, demand);
+  const double exact = reliability_naive(net, demand).reliability;
+  EXPECT_TRUE(bounds.contains(exact));
+  EXPECT_NEAR(bounds.lower, exact, 1e-12);  // the path IS the routing
+  EXPECT_NEAR(bounds.upper, 0.8, 1e-12);    // best single-edge cut
+}
+
+TEST(Bounds, TightOnParallelBundle) {
+  const FlowNetwork net = testing::parallel_pair(0.3, 0.4);
+  const FlowDemand demand{0, 1, 1};
+  const ReliabilityBounds bounds = reliability_bounds(net, demand);
+  const double exact = reliability_naive(net, demand).reliability;
+  // The two parallel links are both the only cut (upper exact) and two
+  // disjoint routings (lower exact).
+  EXPECT_NEAR(bounds.lower, exact, 1e-12);
+  EXPECT_NEAR(bounds.upper, exact, 1e-12);
+}
+
+TEST(Bounds, EnvelopeHoldsOnRandomNetworks) {
+  Xoshiro256 rng(13579);
+  int nontrivial = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const EdgeKind kind = (trial % 2 == 0) ? EdgeKind::kUndirected
+                                           : EdgeKind::kDirected;
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 7)),
+        static_cast<int>(rng.uniform_int(1, 12)), {1, 3}, {0.05, 0.5}, kind);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 2)};
+    const ReliabilityBounds bounds = reliability_bounds(g.net, demand);
+    const double exact = reliability_naive(g.net, demand).reliability;
+    ASSERT_TRUE(bounds.contains(exact))
+        << "trial " << trial << ": [" << bounds.lower << ", " << bounds.upper
+        << "] vs " << exact;
+    if (bounds.lower > 0.0 && bounds.upper < 1.0) ++nontrivial;
+  }
+  EXPECT_GT(nontrivial, 10);  // the bounds actually bite
+}
+
+TEST(Bounds, InfeasibleDemandCollapsesToZero) {
+  const GeneratedNetwork g = path_network(3, 1, 0.1);
+  const ReliabilityBounds bounds =
+      reliability_bounds(g.net, {g.source, g.sink, 2});
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+}
+
+TEST(Bounds, DisconnectedNetworkIsZero) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(2, 3, 1, 0.1);
+  const ReliabilityBounds bounds = reliability_bounds(net, {0, 3, 1});
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+}
+
+TEST(Bounds, PerfectLinksGiveCertainty) {
+  const GeneratedNetwork g = parallel_links(3, 1, 0.0);
+  const ReliabilityBounds bounds =
+      reliability_bounds(g.net, {g.source, g.sink, 1});
+  EXPECT_DOUBLE_EQ(bounds.lower, 1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 1.0);
+}
+
+TEST(Bounds, WorksBeyondTheMaskLimit) {
+  // 70 parallel links at p = 0.5: both bounds stay valid without any
+  // exhaustive enumeration (cut of size 70 is skipped; min-capacity cut
+  // keeps the upper bound at 1, routings push the lower bound up).
+  FlowNetwork net(2);
+  for (int i = 0; i < 70; ++i) net.add_undirected_edge(0, 1, 1, 0.5);
+  const ReliabilityBounds bounds = reliability_bounds(net, {0, 1, 1});
+  EXPECT_GT(bounds.lower, 0.9999);
+  EXPECT_LE(bounds.lower, bounds.upper);
+}
+
+TEST(Bounds, ReportsFamilySizes) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const ReliabilityBounds bounds =
+      reliability_bounds(g.net, {g.source, g.sink, 1});
+  EXPECT_GT(bounds.cuts_used, 0);
+  EXPECT_EQ(bounds.routings_used, 1);  // the bridge blocks a second routing
+}
+
+TEST(Bounds, BridgeCutDominatesUpperBound) {
+  // With a bridge at p = 0.3, the cut {bridge} bounds R above by 0.7.
+  GeneratedNetwork g = make_fig2_bridge_graph(0.05);
+  g.net.set_failure_prob(8, 0.3);
+  const ReliabilityBounds bounds =
+      reliability_bounds(g.net, {g.source, g.sink, 1});
+  EXPECT_LE(bounds.upper, 0.7 + 1e-12);
+}
+
+}  // namespace
+}  // namespace streamrel

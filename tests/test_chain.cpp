@@ -1,0 +1,145 @@
+#include "core/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bottleneck_algorithm.hpp"
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Chain, TwoLayersEqualsBottleneckDecomposition) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  std::vector<int> layer;
+  for (bool on_s : g.side_s) layer.push_back(on_s ? 0 : 1);
+  EXPECT_NEAR(reliability_chain(g.net, demand, layer).reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(Chain, PurePathThreeLayers) {
+  // s -0- a -1- b -2- t: layers {s}, {a, b}, {t}; boundaries are single
+  // edges, the middle layer has one internal link.
+  const GeneratedNetwork g = path_network(3, 1, 0.3);
+  const std::vector<int> layer{0, 1, 1, 2};
+  const FlowDemand demand{g.source, g.sink, 1};
+  EXPECT_NEAR(reliability_chain(g.net, demand, layer).reliability,
+              0.7 * 0.7 * 0.7, kTol);
+}
+
+TEST(Chain, LadderSplitIntoThreeLayers) {
+  // 6-rung ladder cut at two rails: compare against naive enumeration.
+  const GeneratedNetwork g = ladder_network(6, 1, 0.15);
+  // Node layout: top row 0..5, bottom row 6..11. Layers by column pairs.
+  std::vector<int> layer(12);
+  for (int col = 0; col < 6; ++col) {
+    const int l = col < 2 ? 0 : (col < 4 ? 1 : 2);
+    layer[static_cast<std::size_t>(col)] = l;
+    layer[static_cast<std::size_t>(6 + col)] = l;
+  }
+  const FlowDemand demand{g.source, g.sink, 1};
+  EXPECT_NEAR(reliability_chain(g.net, demand, layer).reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(Chain, RandomThreeClusterChainsMatchNaive) {
+  Xoshiro256 rng(606060);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Three small clusters in a row joined by narrow boundaries.
+    FlowNetwork net(9);
+    auto cluster = [&](NodeId base) {
+      net.add_undirected_edge(base, base + 1, 2, rng.uniform_real(0.05, 0.4));
+      net.add_undirected_edge(base + 1, base + 2, 2,
+                              rng.uniform_real(0.05, 0.4));
+      net.add_undirected_edge(base, base + 2, 2, rng.uniform_real(0.05, 0.4));
+    };
+    cluster(0);
+    cluster(3);
+    cluster(6);
+    // Boundaries: 2 links between layer 0 and 1, 2 links between 1 and 2.
+    net.add_undirected_edge(1, 3, 1, rng.uniform_real(0.05, 0.4));
+    net.add_undirected_edge(2, 4, 1, rng.uniform_real(0.05, 0.4));
+    net.add_undirected_edge(4, 6, 1, rng.uniform_real(0.05, 0.4));
+    net.add_undirected_edge(5, 7, 1, rng.uniform_real(0.05, 0.4));
+    const std::vector<int> layer{0, 0, 0, 1, 1, 1, 2, 2, 2};
+    const FlowDemand demand{0, 8, rng.uniform_int(1, 2)};
+    EXPECT_NEAR(reliability_chain(net, demand, layer).reliability,
+                reliability_naive(net, demand).reliability, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Chain, FourLayerPathChain) {
+  const GeneratedNetwork g = path_network(6, 2, 0.2);
+  const std::vector<int> layer{0, 0, 1, 1, 2, 2, 3};
+  const FlowDemand demand{g.source, g.sink, 2};
+  EXPECT_NEAR(reliability_chain(g.net, demand, layer).reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(Chain, DirectedThreeLayerChainMatchesNaive) {
+  Xoshiro256 rng(202020);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Directed relay cascade: layer cliques of 2 nodes, forward links.
+    FlowNetwork net(6);
+    auto p = [&] { return rng.uniform_real(0.05, 0.4); };
+    net.add_directed_edge(0, 1, 2, p());  // layer 0 internal
+    net.add_directed_edge(2, 3, 2, p());  // layer 1 internal
+    net.add_directed_edge(4, 5, 2, p());  // layer 2 internal
+    net.add_directed_edge(0, 2, 1, p());  // boundary 0
+    net.add_directed_edge(1, 3, 1, p());
+    net.add_directed_edge(2, 4, 1, p());  // boundary 1
+    net.add_directed_edge(3, 5, 1, p());
+    const std::vector<int> layer{0, 0, 1, 1, 2, 2};
+    const FlowDemand demand{0, 5, rng.uniform_int(1, 2)};
+    EXPECT_NEAR(reliability_chain(net, demand, layer).reliability,
+                reliability_naive(net, demand).reliability, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Chain, InfeasibleBoundaryGivesZero) {
+  const GeneratedNetwork g = path_network(3, 1, 0.1);
+  const std::vector<int> layer{0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(
+      reliability_chain(g.net, {g.source, g.sink, 2}, layer).reliability,
+      0.0);
+}
+
+TEST(Chain, LayersFromCutsRecoverTheLayering) {
+  const GeneratedNetwork g = path_network(3, 1, 0.1);
+  const auto layer = layers_from_cuts(g.net, g.source, g.sink, {{0}, {2}});
+  EXPECT_EQ(layer, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(Chain, LayersFromCutsRejectsNonSeparating) {
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  EXPECT_THROW(layers_from_cuts(g.net, g.source, g.sink, {{0}}),
+               std::invalid_argument);
+}
+
+TEST(Chain, ValidatesLayout) {
+  const GeneratedNetwork g = path_network(3, 1, 0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  // Wrong size.
+  EXPECT_THROW(reliability_chain(g.net, demand, {0, 1, 2}),
+               std::invalid_argument);
+  // Source not in layer 0.
+  EXPECT_THROW(reliability_chain(g.net, demand, {1, 1, 1, 1}),
+               std::invalid_argument);
+  // Sink not in the last layer.
+  EXPECT_THROW(reliability_chain(g.net, demand, {0, 1, 2, 1}),
+               std::invalid_argument);
+  // Edge skipping a layer: s(0) - a(2) is illegal.
+  EXPECT_THROW(reliability_chain(g.net, demand, {0, 2, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,76 @@
+#include "util/config_prob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(ConfigProb, MatchesDirectProductOnAllMasks) {
+  const std::vector<double> probs{0.1, 0.25, 0.5, 0.0, 0.9};
+  const ConfigProbTable table(probs);
+  for (Mask m = 0; m < (Mask{1} << probs.size()); ++m) {
+    EXPECT_NEAR(table.prob(m), config_probability(probs, m), 1e-15);
+  }
+}
+
+TEST(ConfigProb, AllConfigurationsSumToOne) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<double> probs;
+    for (int i = 0; i < n; ++i) probs.push_back(rng.uniform_real(0.0, 0.99));
+    const ConfigProbTable table(probs);
+    KahanSum sum;
+    for (Mask m = 0; m < (Mask{1} << n); ++m) sum.add(table.prob(m));
+    EXPECT_NEAR(sum.value(), 1.0, 1e-12);
+  }
+}
+
+TEST(ConfigProb, EmptyNetworkHasUnitProbability) {
+  const ConfigProbTable table({});
+  EXPECT_DOUBLE_EQ(table.prob(0), 1.0);
+}
+
+TEST(ConfigProb, SingleLink) {
+  const ConfigProbTable table({0.3});
+  EXPECT_DOUBLE_EQ(table.prob(0b1), 0.7);
+  EXPECT_DOUBLE_EQ(table.prob(0b0), 0.3);
+}
+
+TEST(ConfigProb, ZeroFailureLinkForcesAliveMass) {
+  const ConfigProbTable table({0.0, 0.5});
+  EXPECT_DOUBLE_EQ(table.prob(0b00), 0.0);
+  EXPECT_DOUBLE_EQ(table.prob(0b10), 0.0);
+  EXPECT_DOUBLE_EQ(table.prob(0b01), 0.5);
+  EXPECT_DOUBLE_EQ(table.prob(0b11), 0.5);
+}
+
+TEST(ConfigProb, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(ConfigProbTable({1.0}), std::invalid_argument);
+  EXPECT_THROW(ConfigProbTable({-0.1}), std::invalid_argument);
+  EXPECT_THROW(ConfigProbTable({0.5, 2.0}), std::invalid_argument);
+}
+
+TEST(ConfigProb, RejectsTooManyLinks) {
+  EXPECT_THROW(ConfigProbTable(std::vector<double>(64, 0.1)),
+               std::invalid_argument);
+}
+
+TEST(ConfigProb, LargeLinkCountsUseTheDirectPath) {
+  // 63 links: half tables would need 2^31 doubles, so the table falls
+  // back to per-query products. Spot-check against the one-off helper.
+  const std::vector<double> probs(63, 0.25);
+  const ConfigProbTable table(probs);
+  for (Mask m : {Mask{0}, full_mask(63), mask_of({0, 31, 62})}) {
+    EXPECT_NEAR(table.prob(m), config_probability(probs, m), 1e-300);
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,175 @@
+// Cross-oracle consistency matrix: one corpus of representative
+// instances, EVERY applicable method checked against the naive reference
+// on each. This is the suite that would catch a regression that happens
+// to slip through a module's own unit tests.
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_facade.hpp"
+#include "graph/generators.hpp"
+#include "p2p/mesh_builder.hpp"
+#include "p2p/scenario.hpp"
+#include "p2p/tree_builder.hpp"
+#include "reliability/bounds.hpp"
+#include "reliability/frontier.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/reductions.hpp"
+#include "reliability/throughput.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+struct Case {
+  std::string name;
+  FlowNetwork net;
+  FlowDemand demand;
+};
+
+std::vector<Case> corpus() {
+  std::vector<Case> cases;
+  {
+    const GeneratedNetwork g = make_fig2_bridge_graph(0.12);
+    cases.push_back({"fig2_bridge_d1", g.net, {g.source, g.sink, 1}});
+  }
+  {
+    const GeneratedNetwork g = make_fig4_graph(0.2);
+    cases.push_back({"fig4_d2", g.net, {g.source, g.sink, 2}});
+  }
+  {
+    TwoIspParams params;
+    params.peers_per_isp = 4;
+    params.seed = 5;
+    const GeneratedNetwork g = make_two_isp_scenario(params);
+    cases.push_back({"two_isp_d2", g.net, {g.source, g.sink, 2}});
+  }
+  {
+    const GeneratedNetwork g = ladder_network(5, 1, 0.15);
+    cases.push_back({"ladder5_d1", g.net, {g.source, g.sink, 1}});
+  }
+  {
+    const GeneratedNetwork g = grid_network(3, 3, 1, 0.1);
+    cases.push_back({"grid3x3_d1", g.net, {g.source, g.sink, 1}});
+  }
+  {
+    cases.push_back({"diamond_d1", testing::diamond(0.3), {0, 3, 1}});
+  }
+  {
+    const GeneratedNetwork g = parallel_links(5, 1, 0.25);
+    cases.push_back({"parallel5_d3", g.net, {g.source, g.sink, 3}});
+  }
+  {
+    Xoshiro256 rng(17);
+    ClusteredParams params;
+    params.bottleneck_links = 3;
+    params.bottleneck_caps = {1, 2};
+    params.kind = EdgeKind::kDirected;
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    cases.push_back({"directed_cluster_d2", g.net, {g.source, g.sink, 2}});
+  }
+  {
+    Overlay overlay(6);
+    StripedTreesOptions opts;
+    opts.stripes = 2;
+    opts.link_failure_prob = 0.12;
+    add_striped_trees(overlay, opts);
+    cases.push_back({"striped_trees_d2", overlay.net(),
+                     overlay.demand_to(overlay.peer(5), 2)});
+  }
+  {
+    Overlay overlay(7);
+    Xoshiro256 rng(23);
+    MeshOptions opts;
+    opts.degree = 2;
+    add_random_mesh(overlay, rng, opts);
+    cases.push_back({"mesh_d1", overlay.net(),
+                     overlay.demand_to(overlay.peer(6), 1)});
+  }
+  {
+    Xoshiro256 rng(29);
+    const GeneratedNetwork g = small_world(rng, 8, 2, 0.3, {1, 2},
+                                           {0.1, 0.3});
+    cases.push_back({"small_world_d1", g.net, {g.source, g.sink, 1}});
+  }
+  {
+    Xoshiro256 rng(31);
+    const GeneratedNetwork g =
+        preferential_attachment(rng, 8, 2, {1, 2}, {0.1, 0.3});
+    cases.push_back({"pref_attach_d2", g.net, {g.source, g.sink, 2}});
+  }
+  return cases;
+}
+
+class CrossValidationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossValidationTest, EveryApplicableMethodAgrees) {
+  const Case c = corpus()[GetParam()];
+  ASSERT_LE(c.net.num_edges(), 22) << "corpus instance too big for naive";
+  const double reference = reliability_naive(c.net, c.demand).reliability;
+
+  // Naive strategies.
+  for (NaiveStrategy strategy :
+       {NaiveStrategy::kGrayIncremental, NaiveStrategy::kParallel}) {
+    NaiveOptions options;
+    options.strategy = strategy;
+    EXPECT_NEAR(reliability_naive(c.net, c.demand, options).reliability,
+                reference, 1e-9)
+        << "naive strategy " << static_cast<int>(strategy);
+  }
+
+  // Factoring.
+  EXPECT_NEAR(reliability_factoring(c.net, c.demand).reliability, reference,
+              1e-9);
+
+  // Facade (auto routing, whatever it picks, including reductions).
+  EXPECT_NEAR(compute_reliability(c.net, c.demand).result.reliability,
+              reference, 1e-9);
+
+  // Throughput distribution top level.
+  const auto dist = throughput_distribution(c.net, c.demand);
+  EXPECT_NEAR(dist.at_least.back(), reference, 1e-9);
+
+  // Bounds envelope.
+  EXPECT_TRUE(reliability_bounds(c.net, c.demand).contains(reference));
+
+  // Monte Carlo: assert against a 99.99% interval so the matrix stays
+  // deterministic-ish (a 95% check would be EXPECTED to fail for some
+  // corpus member every few seeds).
+  MonteCarloOptions mc;
+  mc.samples = 30'000;
+  mc.seed = 97 + GetParam();
+  const MonteCarloResult estimate =
+      reliability_monte_carlo(c.net, c.demand, mc);
+  const Interval wide =
+      wilson_interval(estimate.successes, estimate.samples, /*z=*/3.89);
+  EXPECT_TRUE(wide.contains(reference))
+      << "MC 99.99% interval missed: " << estimate.estimate << " vs "
+      << reference;
+
+  // Rate-1 extras: frontier DP and series-parallel reductions.
+  bool undirected = true;
+  for (const Edge& e : c.net.edges()) undirected &= !e.directed();
+  if (c.demand.rate == 1 && undirected) {
+    EXPECT_NEAR(reliability_connectivity(c.net, c.demand).reliability,
+                reference, 1e-9);
+    const ReducedNetwork red =
+        reduce_for_connectivity(c.net, c.demand.source, c.demand.sink);
+    const double reduced_r =
+        red.net.num_edges() == 0
+            ? 0.0
+            : reliability_naive(red.net, {red.source, red.sink, 1})
+                  .reliability;
+    EXPECT_NEAR(reduced_r, reference, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CrossValidationTest,
+    ::testing::Range<std::size_t>(0, corpus().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      return corpus()[param_info.param].name;
+    });
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cuts/bottleneck.hpp"
+#include "cuts/cut_enumeration.hpp"
+#include "cuts/partition_search.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "p2p/scenario.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(PartitionFromSides, ComputesCrossingEdges) {
+  const GeneratedNetwork g = make_fig4_graph();
+  const BottleneckPartition p =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  EXPECT_EQ(p.crossing_edges, (std::vector<EdgeId>{7, 8}));
+  EXPECT_EQ(p.k(), 2);
+}
+
+TEST(PartitionFromSides, ValidatesEndpoints) {
+  const GeneratedNetwork g = make_fig4_graph();
+  std::vector<bool> wrong(g.side_s);
+  wrong[static_cast<std::size_t>(g.source)] = false;
+  EXPECT_THROW(partition_from_sides(g.net, g.source, g.sink, wrong),
+               std::invalid_argument);
+  EXPECT_THROW(partition_from_sides(g.net, g.source, g.sink, {true, false}),
+               std::invalid_argument);
+}
+
+TEST(PartitionFromCutEdges, RecoversPlantedBridge) {
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  const auto part = partition_from_cut_edges(g.net, g.source, g.sink, {8});
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->crossing_edges, std::vector<EdgeId>{8});
+  EXPECT_EQ(part->side_s, g.side_s);
+}
+
+TEST(PartitionFromCutEdges, NonSeparatingSetReturnsNullopt) {
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  EXPECT_FALSE(partition_from_cut_edges(g.net, g.source, g.sink, {0}));
+  EXPECT_FALSE(partition_from_cut_edges(g.net, g.source, g.sink, {}));
+}
+
+TEST(PartitionFromCutEdges, DropsRedundantEdgesFromCrossing) {
+  // Giving the bridge plus an S-internal edge: the partition keeps only
+  // the true crossing edge.
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  const auto part = partition_from_cut_edges(g.net, g.source, g.sink, {8, 0});
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->crossing_edges, std::vector<EdgeId>{8});
+}
+
+TEST(PartitionFromCutEdges, BalancesFloatingComponents) {
+  // Path s - a - t plus an isolated pair {b, c}: removing the two path
+  // edges leaves 4 components. The middle node and the floating pair get
+  // assigned to the source side by the balance heuristic, so edge 0
+  // becomes side-internal and the crossing set SHRINKS to the single
+  // genuinely separating edge.
+  FlowNetwork net(5);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(1, 2, 1, 0.1);
+  net.add_undirected_edge(3, 4, 1, 0.1);
+  const auto part = partition_from_cut_edges(net, 0, 2, {0, 1});
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->crossing_edges, (std::vector<EdgeId>{1}));
+  EXPECT_TRUE(removal_disconnects(net, 0, 2, part->crossing_edges));
+}
+
+TEST(AnalyzePartition, Fig4Stats) {
+  const GeneratedNetwork g = make_fig4_graph();
+  const BottleneckPartition p =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const PartitionStats stats = analyze_partition(g.net, g.source, g.sink, p);
+  EXPECT_EQ(stats.k, 2);
+  EXPECT_EQ(stats.edges_s, 5);
+  EXPECT_EQ(stats.edges_t, 2);
+  EXPECT_DOUBLE_EQ(stats.alpha, 5.0 / 9.0);
+  EXPECT_TRUE(stats.minimal);
+  EXPECT_TRUE(stats.two_components);
+  EXPECT_EQ(stats.crossing_capacity, 4);
+}
+
+TEST(IsMinimalCutset, DetectsNonMinimal) {
+  const GeneratedNetwork g = make_fig4_graph();
+  EXPECT_TRUE(is_minimal_cutset(g.net, g.source, g.sink, {7, 8}));
+  // Adding an extra edge breaks minimality.
+  EXPECT_FALSE(is_minimal_cutset(g.net, g.source, g.sink, {7, 8, 4}));
+  // A non-separating set is not a cut at all.
+  EXPECT_FALSE(is_minimal_cutset(g.net, g.source, g.sink, {7}));
+}
+
+TEST(CutEnumeration, FindsAllMinimalCutsOnPath) {
+  const GeneratedNetwork g = path_network(3, 1, 0.1);
+  const auto cuts = enumerate_minimal_cutsets(g.net, g.source, g.sink);
+  // Each single path edge is a minimal cut; no larger set is minimal.
+  ASSERT_EQ(cuts.size(), 3u);
+  for (const auto& cut : cuts) EXPECT_EQ(cut.size(), 1u);
+}
+
+TEST(CutEnumeration, DiamondHasSizeTwoCuts) {
+  // s-a, s-b, a-t, b-t: minimal cuts are the 4 "one edge per path" pairs.
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(0, 2, 1, 0.1);
+  net.add_undirected_edge(1, 3, 1, 0.1);
+  net.add_undirected_edge(2, 3, 1, 0.1);
+  const auto cuts = enumerate_minimal_cutsets(net, 0, 3);
+  EXPECT_EQ(cuts.size(), 4u);
+  for (const auto& cut : cuts) {
+    EXPECT_EQ(cut.size(), 2u);
+    EXPECT_TRUE(is_minimal_cutset(net, 0, 3, cut));
+  }
+}
+
+TEST(CutEnumeration, RespectsMaxSize) {
+  const GeneratedNetwork g = parallel_links(4, 1, 0.1);
+  CutEnumerationOptions opts;
+  opts.max_size = 3;
+  EXPECT_TRUE(enumerate_minimal_cutsets(g.net, g.source, g.sink, opts).empty());
+  opts.max_size = 4;
+  const auto cuts = enumerate_minimal_cutsets(g.net, g.source, g.sink, opts);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0].size(), 4u);
+}
+
+TEST(CutEnumeration, DisconnectedInputYieldsNothing) {
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_TRUE(enumerate_minimal_cutsets(net, 0, 2).empty());
+}
+
+TEST(PartitionSearch, PicksThePlantedBridge) {
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  const auto choice = find_best_partition(g.net, g.source, g.sink);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->partition.crossing_edges, std::vector<EdgeId>{8});
+  EXPECT_EQ(choice->stats.k, 1);
+  EXPECT_EQ(choice->stats.edges_s, 4);
+  EXPECT_EQ(choice->stats.edges_t, 4);
+}
+
+TEST(PartitionSearch, PrefersBalanceOverCardinality) {
+  const GeneratedNetwork g = make_fig4_graph();
+  const auto choice = find_best_partition(g.net, g.source, g.sink);
+  ASSERT_TRUE(choice.has_value());
+  // The planted (5|2)-split with k=2 beats anything skinnier.
+  EXPECT_LE(std::max(choice->stats.edges_s, choice->stats.edges_t), 5);
+}
+
+TEST(PartitionSearch, HonoursSideLimit) {
+  const GeneratedNetwork g = make_fig2_bridge_graph();
+  PartitionSearchOptions opts;
+  opts.max_side_edges = 3;  // both diamond sides have 4 links
+  EXPECT_FALSE(find_best_partition(g.net, g.source, g.sink, opts));
+}
+
+TEST(PartitionSearch, FindsCutsOnRandomClusteredGraphs) {
+  Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 15; ++trial) {
+    ClusteredParams params;
+    params.bottleneck_links = 1 + static_cast<int>(rng.uniform_below(3));
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    const auto choice = find_best_partition(g.net, g.source, g.sink);
+    ASSERT_TRUE(choice.has_value()) << "trial " << trial;
+    // The search may prefer a wider cut with better balance than the
+    // planted one, but it must stay within its own limits.
+    EXPECT_LE(choice->stats.k, PartitionSearchOptions{}.max_k);
+    // The found partition genuinely separates the demand endpoints.
+    EXPECT_TRUE(removal_disconnects(g.net, g.source, g.sink,
+                                    choice->partition.crossing_edges));
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

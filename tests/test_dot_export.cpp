@@ -1,0 +1,70 @@
+#include "graph/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/scenario.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(DotExport, UndirectedGraphUsesGraphSyntax) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 3, 0.25);
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(dot.rfind("graph ", 0), 0u);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("c=3"), std::string::npos);
+  EXPECT_NE(dot.find("p=0.25"), std::string::npos);
+}
+
+TEST(DotExport, DirectedGraphUsesDigraphSyntax) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 1, 0.1);
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(dot.rfind("digraph ", 0), 0u);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotExport, MixedGraphMarksUndirectedEdges) {
+  FlowNetwork net(3);
+  net.add_directed_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(1, 2, 1, 0.1);
+  const std::string dot = to_dot(net);
+  EXPECT_EQ(dot.rfind("digraph ", 0), 0u);
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+}
+
+TEST(DotExport, OptionsRender) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  DotOptions options;
+  options.source = g.source;
+  options.sink = g.sink;
+  options.side_s = g.side_s;
+  options.highlight = {8};
+  options.show_probabilities = false;
+  const std::string dot = to_dot(g.net, options);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_EQ(dot.find("p=0.1"), std::string::npos);
+}
+
+TEST(DotExport, EveryNodeAndEdgeAppears) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const std::string dot = to_dot(g.net);
+  for (NodeId n = 0; n < g.net.num_nodes(); ++n) {
+    std::string token = "n";
+    token += std::to_string(n);
+    token += ' ';
+    EXPECT_NE(dot.find(token), std::string::npos);
+  }
+  for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+    std::string token = "e";
+    token += std::to_string(id);
+    token += ':';
+    EXPECT_NE(dot.find(token), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

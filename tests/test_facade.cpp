@@ -1,0 +1,187 @@
+#include "core/reliability_facade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Facade, AutoPicksBottleneckOnBridgedGraph) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  // Disable the reductions so the routing decision itself is under test
+  // (with them on, this series-parallel graph never reaches a solver).
+  SolveOptions options;
+  options.use_reductions = false;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kBottleneck);
+  ASSERT_TRUE(report.partition.has_value());
+  EXPECT_EQ(report.partition->stats.k, 1);
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(Facade, AutoFallsBackOnDenseGraph) {
+  // A complete-ish small graph has no small balanced cut worth taking.
+  FlowNetwork net(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) {
+      net.add_undirected_edge(u, v, 1, 0.2);
+    }
+  }
+  const FlowDemand demand{0, 4, 1};
+  const SolveReport report = compute_reliability(net, demand);
+  EXPECT_NE(report.method_used, Method::kBottleneck);
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(net, demand).reliability, kTol);
+}
+
+TEST(Facade, ExplicitMethodsAgree) {
+  Xoshiro256 rng(2468);
+  for (int trial = 0; trial < 10; ++trial) {
+    ClusteredParams params;
+    params.nodes_s = 4;
+    params.nodes_t = 4;
+    params.bottleneck_links = 2;
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    const FlowDemand demand{g.source, g.sink, 1};
+    SolveOptions naive_opts;
+    naive_opts.method = Method::kNaive;
+    SolveOptions factoring_opts;
+    factoring_opts.method = Method::kFactoring;
+    SolveOptions bottleneck_opts;
+    bottleneck_opts.method = Method::kBottleneck;
+    const double a =
+        compute_reliability(g.net, demand, naive_opts).result.reliability;
+    const double b =
+        compute_reliability(g.net, demand, factoring_opts).result.reliability;
+    const double c =
+        compute_reliability(g.net, demand, bottleneck_opts).result.reliability;
+    EXPECT_NEAR(a, b, kTol);
+    EXPECT_NEAR(a, c, kTol);
+  }
+}
+
+TEST(Facade, BottleneckRequestWithoutPartitionThrows) {
+  // A single edge s - t: the only "cut" leaves a side empty of links but
+  // IS a valid partition, so use a complete graph instead where the
+  // search finds nothing within limits.
+  FlowNetwork net(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) {
+      net.add_undirected_edge(u, v, 1, 0.2);
+      net.add_undirected_edge(u, v, 1, 0.2);
+    }
+  }
+  SolveOptions options;
+  options.method = Method::kBottleneck;
+  options.partition_search.max_k = 2;  // every cut here needs >= 4 links
+  EXPECT_THROW(compute_reliability(net, {0, 3, 1}, options),
+               std::invalid_argument);
+}
+
+TEST(Facade, ExplicitFrontierMethod) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions options;
+  options.method = Method::kFrontier;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kFrontier);
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(Facade, AutoUsesFrontierOnHugeRateOneLadders) {
+  // 40 rungs = 118 links: no mask-based method can run; factoring would
+  // struggle; the frontier DP answers instantly. (Reductions off — with
+  // them on, ladders are series-parallel and collapse before any solver.)
+  const GeneratedNetwork g = ladder_network(40, 1, 0.05);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions options;
+  options.use_reductions = false;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kFrontier);
+  EXPECT_GT(report.result.reliability, 0.0);
+  EXPECT_LT(report.result.reliability, 1.0);
+}
+
+TEST(Facade, ReductionsAndFrontierAgreeOnHugeLadders) {
+  const GeneratedNetwork g = ladder_network(40, 1, 0.05);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions frontier_only;
+  frontier_only.use_reductions = false;
+  const double via_frontier =
+      compute_reliability(g.net, demand, frontier_only).result.reliability;
+  const SolveReport reduced = compute_reliability(g.net, demand);
+  EXPECT_GT(reduced.links_reduced, 0);
+  EXPECT_NEAR(reduced.result.reliability, via_frontier, 1e-9);
+}
+
+TEST(Facade, ReductionsSolveSeriesParallelGraphsOutright) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const SolveReport report = compute_reliability(g.net, demand);
+  // The whole Fig.-2 graph is series-parallel: fully reduced, no
+  // exponential method ever ran.
+  EXPECT_EQ(report.links_reduced, 8);
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+
+  SolveOptions no_red;
+  no_red.use_reductions = false;
+  const SolveReport plain = compute_reliability(g.net, demand, no_red);
+  EXPECT_EQ(plain.links_reduced, 0);
+  EXPECT_NEAR(plain.result.reliability, report.result.reliability, kTol);
+}
+
+TEST(Facade, ReductionsPreserveExactnessOnRandomRateOneDemands) {
+  Xoshiro256 rng(777777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 7)),
+        static_cast<int>(rng.uniform_int(1, 12)), {0, 2}, {0.05, 0.5});
+    const FlowDemand demand{g.source, g.sink, 1};
+    EXPECT_NEAR(compute_reliability(g.net, demand).result.reliability,
+                reliability_naive(g.net, demand).reliability, kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(Facade, FrontierMethodPropagatesItsPreconditions) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  SolveOptions options;
+  options.method = Method::kFrontier;
+  // d = 2 is outside the frontier oracle's scope.
+  EXPECT_THROW(compute_reliability(g.net, {g.source, g.sink, 2}, options),
+               std::invalid_argument);
+  FlowNetwork directed(2);
+  directed.add_directed_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(compute_reliability(directed, {0, 1, 1}, options),
+               std::invalid_argument);
+}
+
+TEST(Facade, ChecksDemand) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(compute_reliability(net, {0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Facade, TwoIspScenarioEndToEnd) {
+  const GeneratedNetwork g = make_two_isp_scenario({});
+  const FlowDemand demand{g.source, g.sink, 2};
+  const SolveReport report = compute_reliability(g.net, demand);
+  EXPECT_GT(report.result.reliability, 0.0);
+  EXPECT_LT(report.result.reliability, 1.0);
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,95 @@
+#include "reliability/factoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Factoring, HandComputedBasics) {
+  EXPECT_NEAR(
+      reliability_factoring(testing::series_pair(0.1, 0.2), {0, 2, 1})
+          .reliability,
+      0.72, kTol);
+  EXPECT_NEAR(
+      reliability_factoring(testing::parallel_pair(0.1, 0.2), {0, 1, 1})
+          .reliability,
+      0.98, kTol);
+  EXPECT_NEAR(reliability_factoring(testing::diamond(0.5), {0, 3, 1})
+                  .reliability,
+              0.5, kTol);
+}
+
+TEST(Factoring, MatchesNaiveOnRandomGraphs) {
+  Xoshiro256 rng(9001);
+  for (int trial = 0; trial < 80; ++trial) {
+    const EdgeKind kind = (trial % 2 == 0) ? EdgeKind::kUndirected
+                                           : EdgeKind::kDirected;
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 7)),
+        static_cast<int>(rng.uniform_int(1, 12)), {1, 3}, {0.0, 0.6}, kind);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 3)};
+    EXPECT_NEAR(reliability_factoring(g.net, demand).reliability,
+                reliability_naive(g.net, demand).reliability, kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(Factoring, PrunesAggressively) {
+  // A 12-link parallel bundle with demand 1: the pessimistic prune fires
+  // as soon as one edge is conditioned up, so the recursion tree is far
+  // smaller than 2^12.
+  const GeneratedNetwork g = parallel_links(12, 1, 0.3);
+  const auto result = reliability_factoring(g.net, {g.source, g.sink, 1});
+  EXPECT_NEAR(result.reliability, 1.0 - std::pow(0.3, 12.0), 1e-9);
+  EXPECT_LT(result.configurations, 100u);
+}
+
+TEST(Factoring, ZeroProbabilityEdgesSkipTheDownBranch) {
+  const GeneratedNetwork g = path_network(10, 1, 0.0);
+  const auto result = reliability_factoring(g.net, {g.source, g.sink, 1});
+  EXPECT_NEAR(result.reliability, 1.0, kTol);
+  // p = 0 edges never branch down, so the tree is a single up-chain:
+  // linear in |E| instead of 2^|E|.
+  EXPECT_LE(result.configurations, 11u);
+}
+
+TEST(Factoring, InfeasibleDemandShortCircuits) {
+  const GeneratedNetwork g = path_network(5, 2, 0.1);
+  const auto result = reliability_factoring(g.net, {g.source, g.sink, 3});
+  EXPECT_DOUBLE_EQ(result.reliability, 0.0);
+  EXPECT_EQ(result.configurations, 1u);  // optimistic prune at the root
+}
+
+TEST(Factoring, WorksBeyondMaskLimit) {
+  // 70 links — naive enumeration is impossible, factoring is fine.
+  FlowNetwork net(2);
+  for (int i = 0; i < 70; ++i) net.add_undirected_edge(0, 1, 1, 0.5);
+  const auto result = reliability_factoring(net, {0, 1, 1});
+  EXPECT_NEAR(result.reliability, 1.0 - std::pow(0.5, 70.0), kTol);
+}
+
+TEST(Factoring, BudgetGuardThrows) {
+  Xoshiro256 rng(5);
+  const GeneratedNetwork g =
+      random_connected(rng, 8, 8, {1, 2}, {0.3, 0.5});
+  FactoringOptions options;
+  options.max_tree_nodes = 2;
+  EXPECT_THROW(reliability_factoring(g.net, {g.source, g.sink, 1}, options),
+               std::runtime_error);
+}
+
+TEST(Factoring, RejectsBadDemand) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(reliability_factoring(net, {0, 0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

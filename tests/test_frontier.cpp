@@ -1,0 +1,127 @@
+#include "reliability/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "reliability/factoring.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Frontier, SeriesAndParallelClosedForms) {
+  EXPECT_NEAR(
+      reliability_connectivity(testing::series_pair(0.1, 0.2), {0, 2, 1})
+          .reliability,
+      0.9 * 0.8, kTol);
+  EXPECT_NEAR(
+      reliability_connectivity(testing::parallel_pair(0.1, 0.2), {0, 1, 1})
+          .reliability,
+      1.0 - 0.1 * 0.2, kTol);
+}
+
+TEST(Frontier, DiamondAtHalf) {
+  EXPECT_NEAR(
+      reliability_connectivity(testing::diamond(0.5), {0, 3, 1}).reliability,
+      0.5, kTol);
+}
+
+TEST(Frontier, MatchesNaiveOnRandomGraphs) {
+  Xoshiro256 rng(515151);
+  for (int trial = 0; trial < 60; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 8)),
+        static_cast<int>(rng.uniform_int(1, 14)), {1, 2}, {0.0, 0.7});
+    const FlowDemand demand{g.source, g.sink, 1};
+    EXPECT_NEAR(reliability_connectivity(g.net, demand).reliability,
+                reliability_naive(g.net, demand).reliability, kTol)
+        << "trial " << trial;
+  }
+}
+
+TEST(Frontier, CapacityZeroEdgesAreAbsent) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 0, 0.1);  // unusable
+  net.add_undirected_edge(0, 1, 1, 0.3);
+  EXPECT_NEAR(reliability_connectivity(net, {0, 1, 1}).reliability, 0.7,
+              kTol);
+}
+
+TEST(Frontier, LongPathBeyondMaskLimit) {
+  // 120-link path: impossible for 2^|E| enumeration, trivial here.
+  const GeneratedNetwork g = path_network(120, 1, 0.01);
+  EXPECT_NEAR(reliability_connectivity(g.net, {g.source, g.sink, 1})
+                  .reliability,
+              std::pow(0.99, 120.0), 1e-12);
+}
+
+TEST(Frontier, WideParallelBundleBeyondMaskLimit) {
+  FlowNetwork net(2);
+  for (int i = 0; i < 100; ++i) net.add_undirected_edge(0, 1, 1, 0.5);
+  EXPECT_NEAR(reliability_connectivity(net, {0, 1, 1}).reliability,
+              1.0 - std::pow(0.5, 100.0), kTol);
+}
+
+TEST(Frontier, BigLadderMatchesFactoring) {
+  // 10-rung ladder (28 links): naive would need 2^28 max-flows; both the
+  // frontier DP and pruned factoring are fast and must agree.
+  const GeneratedNetwork g = ladder_network(10, 1, 0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  EXPECT_NEAR(reliability_connectivity(g.net, demand).reliability,
+              reliability_factoring(g.net, demand).reliability, 1e-9);
+}
+
+TEST(Frontier, HugeLadderRuns) {
+  // 40-rung ladder: 118 links. State count stays tiny (frontier width 4).
+  const GeneratedNetwork g = ladder_network(40, 1, 0.05);
+  const auto result =
+      reliability_connectivity(g.net, {g.source, g.sink, 1});
+  EXPECT_GT(result.reliability, 0.0);
+  EXPECT_LT(result.reliability, 1.0);
+  EXPECT_EQ(result.maxflow_calls, 0u);
+}
+
+TEST(Frontier, GridMatchesFactoring) {
+  const GeneratedNetwork g = grid_network(4, 3, 1, 0.15);
+  const FlowDemand demand{g.source, g.sink, 1};
+  EXPECT_NEAR(reliability_connectivity(g.net, demand).reliability,
+              reliability_factoring(g.net, demand).reliability, 1e-9);
+}
+
+TEST(Frontier, DisconnectedPairIsZero) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(2, 3, 1, 0.1);
+  EXPECT_DOUBLE_EQ(reliability_connectivity(net, {0, 3, 1}).reliability, 0.0);
+}
+
+TEST(Frontier, RejectsUnsupportedInputs) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 2, 0.1);
+  EXPECT_THROW(reliability_connectivity(net, {0, 1, 2}),
+               std::invalid_argument);  // d > 1
+  FlowNetwork directed(2);
+  directed.add_directed_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(reliability_connectivity(directed, {0, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Frontier, StateBudgetGuard) {
+  Xoshiro256 rng(8);
+  // A dense-ish random graph with a wide frontier.
+  const GeneratedNetwork g = random_connected(rng, 24, 60, {1, 1}, {0.1, 0.3});
+  FrontierOptions options;
+  options.max_states = 4;
+  EXPECT_THROW(
+      reliability_connectivity(g.net, {g.source, g.sink, 1}, options),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,194 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(Generators, PathShape) {
+  const GeneratedNetwork g = path_network(4, 2, 0.1);
+  EXPECT_EQ(g.net.num_nodes(), 5);
+  EXPECT_EQ(g.net.num_edges(), 4);
+  EXPECT_EQ(g.source, 0);
+  EXPECT_EQ(g.sink, 4);
+  EXPECT_EQ(find_bridges(g.net).size(), 4u);
+}
+
+TEST(Generators, ParallelLinksShape) {
+  const GeneratedNetwork g = parallel_links(5, 1, 0.2);
+  EXPECT_EQ(g.net.num_nodes(), 2);
+  EXPECT_EQ(g.net.num_edges(), 5);
+  EXPECT_TRUE(find_bridges(g.net).empty());
+}
+
+TEST(Generators, LadderShape) {
+  const GeneratedNetwork g = ladder_network(4, 1, 0.1);
+  EXPECT_EQ(g.net.num_nodes(), 8);
+  // 4 rungs + 2 rails of 3 = 10 edges.
+  EXPECT_EQ(g.net.num_edges(), 10);
+  EXPECT_EQ(connected_components(g.net).count, 1);
+}
+
+TEST(Generators, GridShape) {
+  const GeneratedNetwork g = grid_network(3, 3, 1, 0.1);
+  EXPECT_EQ(g.net.num_nodes(), 9);
+  EXPECT_EQ(g.net.num_edges(), 12);
+  EXPECT_EQ(connected_components(g.net).count, 1);
+  EXPECT_TRUE(find_bridges(g.net).empty());
+}
+
+TEST(Generators, RandomConnectedIsConnectedWithExactEdgeCount) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nodes = 4 + trial;
+    const int extra = trial % 4;
+    const GeneratedNetwork g =
+        random_connected(rng, nodes, extra, {1, 3}, {0.05, 0.3});
+    EXPECT_EQ(g.net.num_nodes(), nodes);
+    EXPECT_EQ(g.net.num_edges(), nodes - 1 + extra);
+    EXPECT_EQ(connected_components(g.net).count, 1);
+    EXPECT_NE(g.source, g.sink);
+  }
+}
+
+TEST(Generators, RandomConnectedRespectsRanges) {
+  Xoshiro256 rng(6);
+  const GeneratedNetwork g =
+      random_connected(rng, 10, 5, {2, 4}, {0.1, 0.2});
+  for (const Edge& e : g.net.edges()) {
+    EXPECT_GE(e.capacity, 2);
+    EXPECT_LE(e.capacity, 4);
+    EXPECT_GE(e.failure_prob, 0.1);
+    EXPECT_LE(e.failure_prob, 0.2);
+  }
+}
+
+TEST(Generators, ClusteredBottleneckPlantsPartition) {
+  Xoshiro256 rng(7);
+  ClusteredParams params;
+  params.nodes_s = 5;
+  params.nodes_t = 6;
+  params.bottleneck_links = 3;
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  EXPECT_EQ(g.net.num_nodes(), 11);
+  ASSERT_EQ(g.side_s.size(), 11u);
+  EXPECT_TRUE(g.side_s[static_cast<std::size_t>(g.source)]);
+  EXPECT_FALSE(g.side_s[static_cast<std::size_t>(g.sink)]);
+  // Exactly k crossing edges.
+  int crossing = 0;
+  for (const Edge& e : g.net.edges()) {
+    crossing += (g.side_s[static_cast<std::size_t>(e.u)] !=
+                 g.side_s[static_cast<std::size_t>(e.v)])
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(crossing, 3);
+  // Each cluster is internally connected.
+  EXPECT_EQ(connected_components(g.net).count, 1);
+}
+
+TEST(Generators, ClusteredEdgeCountFormula) {
+  Xoshiro256 rng(8);
+  ClusteredParams params;
+  params.nodes_s = 4;
+  params.nodes_t = 4;
+  params.extra_edges_s = 2;
+  params.extra_edges_t = 1;
+  params.bottleneck_links = 2;
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  // trees (3 + 3) + extras (2 + 1) + crossings (2).
+  EXPECT_EQ(g.net.num_edges(), 11);
+}
+
+TEST(Generators, RandomMultigraphAllowsParallels) {
+  Xoshiro256 rng(9);
+  const GeneratedNetwork g = random_multigraph(rng, 3, 20, {1, 1}, {0.1, 0.1});
+  EXPECT_EQ(g.net.num_edges(), 20);
+  for (const Edge& e : g.net.edges()) EXPECT_NE(e.u, e.v);
+}
+
+TEST(Generators, RejectBadParameters) {
+  Xoshiro256 rng(10);
+  EXPECT_THROW(path_network(0, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(parallel_links(0, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(ladder_network(1, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(grid_network(1, 5, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(random_connected(rng, 1, 0, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);
+  ClusteredParams bad;
+  bad.bottleneck_links = 0;
+  EXPECT_THROW(clustered_bottleneck(rng, bad), std::invalid_argument);
+}
+
+TEST(Generators, SmallWorldShape) {
+  Xoshiro256 rng(20);
+  const GeneratedNetwork g = small_world(rng, 16, 4, 0.2, {1, 2}, {0.1, 0.2});
+  // Ring lattice contributes n*k/2 links; rewiring may drop duplicates.
+  EXPECT_LE(g.net.num_edges(), 32);
+  EXPECT_GE(g.net.num_edges(), 24);
+  EXPECT_EQ(g.source, 0);
+  EXPECT_EQ(g.sink, 8);
+  // beta = 0 keeps the pure lattice: exactly n*k/2 links, all short.
+  Xoshiro256 rng2(21);
+  const GeneratedNetwork lattice =
+      small_world(rng2, 10, 2, 0.0, {1, 1}, {0.1, 0.1});
+  EXPECT_EQ(lattice.net.num_edges(), 10);
+  EXPECT_EQ(connected_components(lattice.net).count, 1);
+}
+
+TEST(Generators, SmallWorldRejectsBadParameters) {
+  Xoshiro256 rng(22);
+  EXPECT_THROW(small_world(rng, 10, 3, 0.1, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);  // odd k
+  EXPECT_THROW(small_world(rng, 4, 4, 0.1, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);  // k >= nodes
+  EXPECT_THROW(small_world(rng, 10, 2, 1.5, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);  // beta out of range
+}
+
+TEST(Generators, PreferentialAttachmentShape) {
+  Xoshiro256 rng(23);
+  const int nodes = 30;
+  const int attach = 2;
+  const GeneratedNetwork g =
+      preferential_attachment(rng, nodes, attach, {1, 2}, {0.1, 0.2});
+  // Seed clique C(3,2)=3 links + 2 per subsequent node.
+  EXPECT_EQ(g.net.num_edges(), 3 + (nodes - attach - 1) * attach);
+  EXPECT_EQ(connected_components(g.net).count, 1);
+  // Hubs: some early node's degree well above the attachment count.
+  int max_degree = 0;
+  for (NodeId n = 0; n < g.net.num_nodes(); ++n) {
+    max_degree = std::max(
+        max_degree, static_cast<int>(g.net.incident_edges(n).size()));
+  }
+  EXPECT_GT(max_degree, 2 * attach);
+  // The newest node has exactly `attach` links.
+  EXPECT_EQ(g.net.incident_edges(g.sink).size(),
+            static_cast<std::size_t>(attach));
+}
+
+TEST(Generators, PreferentialAttachmentRejectsBadParameters) {
+  Xoshiro256 rng(24);
+  EXPECT_THROW(preferential_attachment(rng, 5, 0, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(preferential_attachment(rng, 2, 2, {1, 1}, {0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  Xoshiro256 rng1(42), rng2(42);
+  const GeneratedNetwork a = random_connected(rng1, 8, 4, {1, 3}, {0.1, 0.3});
+  const GeneratedNetwork b = random_connected(rng2, 8, 4, {1, 3}, {0.1, 0.3});
+  ASSERT_EQ(a.net.num_edges(), b.net.num_edges());
+  for (EdgeId id = 0; id < a.net.num_edges(); ++id) {
+    EXPECT_EQ(a.net.edge(id).u, b.net.edge(id).u);
+    EXPECT_EQ(a.net.edge(id).v, b.net.edge(id).v);
+    EXPECT_EQ(a.net.edge(id).capacity, b.net.edge(id).capacity);
+    EXPECT_DOUBLE_EQ(a.net.edge(id).failure_prob, b.net.edge(id).failure_prob);
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

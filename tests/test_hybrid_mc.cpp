@@ -1,0 +1,111 @@
+#include "core/hybrid_mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(HybridMc, DeterministicForFixedSeed) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  HybridMonteCarloOptions options;
+  options.samples_per_side = 2000;
+  const auto a = reliability_bottleneck_hybrid(g.net, demand, partition,
+                                               options);
+  const auto b = reliability_bottleneck_hybrid(g.net, demand, partition,
+                                               options);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.num_assignments, 3);
+}
+
+TEST(HybridMc, ConvergesToExactValue) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const double exact =
+      reliability_bottleneck(g.net, demand, partition).reliability;
+  HybridMonteCarloOptions options;
+  options.samples_per_side = 50'000;
+  const auto result =
+      reliability_bottleneck_hybrid(g.net, demand, partition, options);
+  EXPECT_NEAR(result.estimate, exact, 0.01);
+}
+
+TEST(HybridMc, UnbiasedAcrossSeeds) {
+  // Mean of independent estimates approaches the exact value.
+  Xoshiro256 seeder(99);
+  const GeneratedNetwork g = make_two_isp_scenario({});
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const double exact =
+      reliability_bottleneck(g.net, demand, partition).reliability;
+  double mean = 0.0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    HybridMonteCarloOptions options;
+    options.samples_per_side = 4000;
+    options.seed = seeder();
+    mean += reliability_bottleneck_hybrid(g.net, demand, partition, options)
+                .estimate;
+  }
+  mean /= reps;
+  EXPECT_NEAR(mean, exact, 0.01);
+}
+
+TEST(HybridMc, BottleneckStatesCarryNoSamplingNoise) {
+  // A graph whose sides are PERFECT (p = 0) and whose bottleneck links
+  // are flaky: the hybrid estimate is then exact regardless of sample
+  // count, because only the exactly-enumerated bottleneck matters.
+  GeneratedNetwork g = make_fig4_graph(0.0);
+  g.net.set_failure_prob(7, 0.3);
+  g.net.set_failure_prob(8, 0.4);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const double exact =
+      reliability_bottleneck(g.net, demand, partition).reliability;
+  HybridMonteCarloOptions options;
+  options.samples_per_side = 50;  // absurdly few — and still exact
+  EXPECT_NEAR(
+      reliability_bottleneck_hybrid(g.net, demand, partition, options)
+          .estimate,
+      exact, 1e-12);
+}
+
+TEST(HybridMc, InfeasibleDemandIsZero) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  HybridMonteCarloOptions options;
+  options.samples_per_side = 100;
+  EXPECT_DOUBLE_EQ(
+      reliability_bottleneck_hybrid(g.net, {g.source, g.sink, 9}, partition,
+                                    options)
+          .estimate,
+      0.0);
+}
+
+TEST(HybridMc, RejectsZeroSamples) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  HybridMonteCarloOptions options;
+  options.samples_per_side = 0;
+  EXPECT_THROW(reliability_bottleneck_hybrid(g.net, {g.source, g.sink, 2},
+                                             partition, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

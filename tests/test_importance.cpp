@@ -1,0 +1,91 @@
+#include "core/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Importance, SeriesPairClosedForms) {
+  // R = (1-p1)(1-p2). Birnbaum(e1) = R(e1 up) - R(e1 down) = (1-p2) - 0.
+  const FlowNetwork net = testing::series_pair(0.1, 0.2);
+  const auto imps = edge_importance(net, {0, 2, 1});
+  ASSERT_EQ(imps.size(), 2u);
+  EXPECT_NEAR(imps[0].birnbaum, 0.8, kTol);
+  EXPECT_NEAR(imps[1].birnbaum, 0.9, kTol);
+  // risk_achievement = (1-p2) - (1-p1)(1-p2) = p1 (1-p2).
+  EXPECT_NEAR(imps[0].risk_achievement, 0.1 * 0.8, kTol);
+  // risk_reduction = R - 0 = R.
+  EXPECT_NEAR(imps[0].risk_reduction, 0.72, kTol);
+}
+
+TEST(Importance, ParallelPairClosedForms) {
+  // R = 1 - p1 p2. Birnbaum(e1) = 1 - (1-p2) = p2.
+  const FlowNetwork net = testing::parallel_pair(0.1, 0.2);
+  const auto imps = edge_importance(net, {0, 1, 1});
+  EXPECT_NEAR(imps[0].birnbaum, 0.2, kTol);
+  EXPECT_NEAR(imps[1].birnbaum, 0.1, kTol);
+}
+
+TEST(Importance, BirnbaumMatchesPivotingIdentity) {
+  // R = (1 - p(e)) R(e up) + p(e) R(e down), so
+  // R - R(e down) = (1 - p(e)) * Birnbaum(e).
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const double base = reliability_naive(g.net, demand).reliability;
+  for (const EdgeImportance& imp : edge_importance(g.net, demand)) {
+    const double p = g.net.edge(imp.edge).failure_prob;
+    EXPECT_NEAR(imp.risk_reduction, (1.0 - p) * imp.birnbaum, 1e-9)
+        << "edge " << imp.edge;
+    EXPECT_NEAR(imp.risk_achievement, p * imp.birnbaum, 1e-9);
+    (void)base;
+  }
+}
+
+TEST(Importance, BridgeDominatesInBridgedGraph) {
+  // The single bridge is the most Birnbaum-important link by far.
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const auto ranked =
+      ranked_by_birnbaum(edge_importance(g.net, {g.source, g.sink, 1}));
+  EXPECT_EQ(ranked.front().edge, 8);
+  EXPECT_GT(ranked.front().birnbaum, ranked[1].birnbaum + 0.05);
+}
+
+TEST(Importance, IrrelevantEdgeHasZeroImportance) {
+  // A link dangling off the path contributes nothing.
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  const EdgeId dangler = net.add_undirected_edge(1, 3, 1, 0.2);
+  net.add_undirected_edge(1, 2, 1, 0.1);
+  const auto imps = edge_importance(net, {0, 2, 1});
+  EXPECT_NEAR(imps[static_cast<std::size_t>(dangler)].birnbaum, 0.0, kTol);
+}
+
+TEST(Importance, NonNegativeForAllLinks) {
+  // Flow reliability is a monotone system: every Birnbaum measure >= 0.
+  const GeneratedNetwork g = make_two_isp_scenario({});
+  for (const EdgeImportance& imp :
+       edge_importance(g.net, {g.source, g.sink, 2})) {
+    EXPECT_GE(imp.birnbaum, -1e-12);
+    EXPECT_GE(imp.risk_achievement, -1e-12);
+    EXPECT_GE(imp.risk_reduction, -1e-12);
+  }
+}
+
+TEST(Importance, RankingIsStableAndSorted) {
+  const GeneratedNetwork g = make_fig4_graph(0.3);
+  const auto ranked =
+      ranked_by_birnbaum(edge_importance(g.net, {g.source, g.sink, 2}));
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].birnbaum, ranked[i].birnbaum - 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

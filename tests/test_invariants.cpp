@@ -1,0 +1,152 @@
+// Cross-cutting invariants of flow reliability, checked against the
+// exact algorithms on randomized instances (DESIGN.md §6 item 3). These
+// are the properties a DOWNSTREAM user reasons with; if any algorithm
+// violated one, the library would be lying even if internally
+// "consistent".
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_facade.hpp"
+#include "graph/generators.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+GeneratedNetwork random_case(Xoshiro256& rng, int trial) {
+  const EdgeKind kind =
+      (trial % 2 == 0) ? EdgeKind::kUndirected : EdgeKind::kDirected;
+  return random_multigraph(rng, static_cast<int>(rng.uniform_int(2, 6)),
+                           static_cast<int>(rng.uniform_int(1, 11)), {1, 3},
+                           {0.05, 0.6}, kind);
+}
+
+TEST(Invariants, ReliabilityLiesInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const GeneratedNetwork g = random_case(rng, trial);
+    const double r =
+        reliability_naive(g.net, {g.source, g.sink, rng.uniform_int(1, 3)})
+            .reliability;
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST(Invariants, MonotoneNonIncreasingInEachFailureProbability) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    GeneratedNetwork g = random_case(rng, trial);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 2)};
+    const double before = reliability_naive(g.net, demand).reliability;
+    const EdgeId victim = static_cast<EdgeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(g.net.num_edges())));
+    const double old_p = g.net.edge(victim).failure_prob;
+    g.net.set_failure_prob(victim, std::min(0.95, old_p + 0.3));
+    const double after = reliability_naive(g.net, demand).reliability;
+    EXPECT_LE(after, before + 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Invariants, MonotoneNonIncreasingInDemand) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const GeneratedNetwork g = random_case(rng, trial);
+    double prev = 1.0;
+    for (Capacity d = 1; d <= 4; ++d) {
+      const double r =
+          reliability_naive(g.net, {g.source, g.sink, d}).reliability;
+      EXPECT_LE(r, prev + 1e-12) << "trial " << trial << " d=" << d;
+      prev = r;
+    }
+  }
+}
+
+TEST(Invariants, AddingAParallelLinkNeverHurts) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    GeneratedNetwork g = random_case(rng, trial);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 2)};
+    const double before = reliability_naive(g.net, demand).reliability;
+    // Duplicate a random existing link.
+    const Edge e = g.net.edge(static_cast<EdgeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(g.net.num_edges()))));
+    g.net.add_edge(e.u, e.v, e.capacity, e.failure_prob, e.kind);
+    const double after = reliability_naive(g.net, demand).reliability;
+    EXPECT_GE(after, before - 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Invariants, RaisingACapacityNeverHurts) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    GeneratedNetwork g = random_case(rng, trial);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 3)};
+    const double before = reliability_naive(g.net, demand).reliability;
+    const EdgeId victim = static_cast<EdgeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(g.net.num_edges())));
+    g.net.set_capacity(victim, g.net.edge(victim).capacity + 1);
+    const double after = reliability_naive(g.net, demand).reliability;
+    EXPECT_GE(after, before - 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Invariants, PerfectLinksFactorOutOfTheProbabilitySpace) {
+  // Setting p(e) = 0 must equal conditioning on e alive: computing on
+  // the same graph gives identical results through every method.
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    GeneratedNetwork g = random_case(rng, trial);
+    const FlowDemand demand{g.source, g.sink, 1};
+    for (EdgeId id = 0; id < g.net.num_edges(); id += 2) {
+      g.net.set_failure_prob(id, 0.0);
+    }
+    const SolveReport report = compute_reliability(g.net, demand);
+    EXPECT_NEAR(report.result.reliability,
+                reliability_naive(g.net, demand).reliability, 1e-9);
+  }
+}
+
+TEST(Invariants, DemandAboveTotalCapacityIsZeroEverywhere) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GeneratedNetwork g = random_case(rng, trial);
+    Capacity total = 0;
+    for (const Edge& e : g.net.edges()) total += e.capacity;
+    const FlowDemand demand{g.source, g.sink, total + 1};
+    EXPECT_DOUBLE_EQ(reliability_naive(g.net, demand).reliability, 0.0);
+    EXPECT_DOUBLE_EQ(
+        compute_reliability(g.net, demand).result.reliability, 0.0);
+  }
+}
+
+TEST(Invariants, ReversingTheDemandOnUndirectedGraphsIsSymmetric) {
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 25; ++trial) {
+    const GeneratedNetwork g =
+        random_multigraph(rng, static_cast<int>(rng.uniform_int(2, 6)),
+                          static_cast<int>(rng.uniform_int(1, 10)), {1, 3},
+                          {0.05, 0.5}, EdgeKind::kUndirected);
+    const Capacity d = rng.uniform_int(1, 3);
+    EXPECT_NEAR(
+        reliability_naive(g.net, {g.source, g.sink, d}).reliability,
+        reliability_naive(g.net, {g.sink, g.source, d}).reliability, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Invariants, FacadeAlwaysAgreesWithNaiveOnMaskSizedInputs) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const GeneratedNetwork g = random_case(rng, trial);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 3)};
+    EXPECT_NEAR(compute_reliability(g.net, demand).result.reliability,
+                reliability_naive(g.net, demand).reliability, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace streamrel

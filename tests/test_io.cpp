@@ -1,0 +1,148 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "reliability/naive.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(NetworkIo, ParsesMinimalFile) {
+  const NetworkFile file = read_network_from_string(R"(
+# a comment
+nodes 3
+edge 0 1 2 0.25
+edge 1 2 3 0.5 directed
+demand 0 2 2
+)");
+  EXPECT_EQ(file.net.num_nodes(), 3);
+  EXPECT_EQ(file.net.num_edges(), 2);
+  EXPECT_EQ(file.net.edge(0).capacity, 2);
+  EXPECT_DOUBLE_EQ(file.net.edge(0).failure_prob, 0.25);
+  EXPECT_FALSE(file.net.edge(0).directed());
+  EXPECT_TRUE(file.net.edge(1).directed());
+  ASSERT_TRUE(file.demand.has_value());
+  EXPECT_EQ(file.demand->source, 0);
+  EXPECT_EQ(file.demand->sink, 2);
+  EXPECT_EQ(file.demand->rate, 2);
+}
+
+TEST(NetworkIo, InlineCommentsAndBlankLines) {
+  const NetworkFile file = read_network_from_string(
+      "nodes 2   # two peers\n"
+      "\n"
+      "edge 0 1 1 0.1 # the link\n");
+  EXPECT_EQ(file.net.num_edges(), 1);
+  EXPECT_FALSE(file.demand.has_value());
+}
+
+TEST(NetworkIo, RoundTripPreservesEverything) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 10; ++trial) {
+    const EdgeKind kind = (trial % 2 == 0) ? EdgeKind::kUndirected
+                                           : EdgeKind::kDirected;
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 8)),
+        static_cast<int>(rng.uniform_int(1, 15)), {1, 5}, {0.0, 0.9}, kind);
+    const FlowDemand demand{g.source, g.sink, 2};
+    const NetworkFile back =
+        read_network_from_string(network_to_string(g.net, demand));
+    ASSERT_EQ(back.net.num_nodes(), g.net.num_nodes());
+    ASSERT_EQ(back.net.num_edges(), g.net.num_edges());
+    for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+      EXPECT_EQ(back.net.edge(id).u, g.net.edge(id).u);
+      EXPECT_EQ(back.net.edge(id).v, g.net.edge(id).v);
+      EXPECT_EQ(back.net.edge(id).capacity, g.net.edge(id).capacity);
+      EXPECT_DOUBLE_EQ(back.net.edge(id).failure_prob,
+                       g.net.edge(id).failure_prob);
+      EXPECT_EQ(back.net.edge(id).kind, g.net.edge(id).kind);
+    }
+    ASSERT_TRUE(back.demand.has_value());
+    EXPECT_EQ(back.demand->rate, demand.rate);
+    // The semantics survive too.
+    if (g.net.fits_mask()) {
+      EXPECT_DOUBLE_EQ(
+          reliability_naive(back.net, *back.demand).reliability,
+          reliability_naive(g.net, demand).reliability);
+    }
+  }
+}
+
+TEST(NetworkIo, ErrorsNameTheLine) {
+  try {
+    read_network_from_string("nodes 2\nedge 0 5 1 0.1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(NetworkIo, RejectsMalformedInput) {
+  EXPECT_THROW(read_network_from_string(""), std::invalid_argument);
+  EXPECT_THROW(read_network_from_string("edge 0 1 1 0.1\n"),
+               std::invalid_argument);  // edge before nodes
+  EXPECT_THROW(read_network_from_string("nodes 2\nnodes 3\n"),
+               std::invalid_argument);  // duplicate nodes
+  EXPECT_THROW(read_network_from_string("nodes 2\nedge 0 1\n"),
+               std::invalid_argument);  // truncated edge
+  EXPECT_THROW(read_network_from_string("nodes 2\nedge 0 1 1 0.1 sideways\n"),
+               std::invalid_argument);  // bad kind
+  EXPECT_THROW(read_network_from_string("nodes 2\nfrobnicate\n"),
+               std::invalid_argument);  // unknown directive
+  EXPECT_THROW(read_network_from_string("nodes 2\ndemand 0 0 1\n"),
+               std::invalid_argument);  // invalid demand
+  EXPECT_THROW(
+      read_network_from_string("nodes 2\ndemand 0 1 1\ndemand 0 1 1\n"),
+      std::invalid_argument);  // duplicate demand
+  EXPECT_THROW(read_network_from_string("nodes -1\n"), std::invalid_argument);
+}
+
+TEST(NetworkIo, FuzzedInputThrowsButNeverCrashes) {
+  // Random token soup must always surface as std::invalid_argument.
+  Xoshiro256 rng(0xF422);
+  const char* vocab[] = {"nodes", "edge",  "demand", "3",    "-7",
+                         "0.5",   "1.5",   "#",      "\n",   "directed",
+                         "x",     "1e308", "nan",    "0",    " "};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int tokens = static_cast<int>(rng.uniform_int(1, 25));
+    for (int i = 0; i < tokens; ++i) {
+      text += vocab[rng.uniform_below(std::size(vocab))];
+      text += ' ';
+      if (rng.bernoulli(0.3)) text += '\n';
+    }
+    try {
+      const NetworkFile file = read_network_from_string(text);
+      // Accepted inputs must at least be internally consistent.
+      if (file.demand) {
+        EXPECT_NO_THROW(file.net.check_demand(*file.demand));
+      }
+    } catch (const std::invalid_argument&) {
+      // expected for most soups
+    }
+  }
+}
+
+TEST(NetworkIo, MissingFileThrows) {
+  EXPECT_THROW(read_network_from_file("/nonexistent/net.txt"),
+               std::invalid_argument);
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  const GeneratedNetwork g = path_network(3, 2, 0.125);
+  const std::string path = ::testing::TempDir() + "streamrel_io_test.net";
+  {
+    std::ofstream out(path);
+    write_network(out, g.net, FlowDemand{g.source, g.sink, 1});
+  }
+  const NetworkFile back = read_network_from_file(path);
+  EXPECT_EQ(back.net.num_edges(), 3);
+  EXPECT_TRUE(back.demand.has_value());
+}
+
+}  // namespace
+}  // namespace streamrel

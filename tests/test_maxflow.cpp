@@ -1,0 +1,235 @@
+#include "maxflow/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "maxflow/config_residual.hpp"
+#include "maxflow/dinic.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+class MaxFlowAlgoTest : public ::testing::TestWithParam<MaxFlowAlgorithm> {};
+
+TEST_P(MaxFlowAlgoTest, SingleDirectedEdge) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 5, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 1, GetParam()), 5);
+  EXPECT_EQ(max_flow(net, 1, 0, GetParam()), 0);  // no reverse capacity
+}
+
+TEST_P(MaxFlowAlgoTest, SingleUndirectedEdgeFlowsBothWays) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 5, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 1, GetParam()), 5);
+  EXPECT_EQ(max_flow(net, 1, 0, GetParam()), 5);
+}
+
+TEST_P(MaxFlowAlgoTest, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.add_directed_edge(0, 1, 7, 0.0);
+  net.add_directed_edge(1, 2, 3, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 2, GetParam()), 3);
+}
+
+TEST_P(MaxFlowAlgoTest, ParallelAddsUp) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 2, 0.0);
+  net.add_directed_edge(0, 1, 3, 0.0);
+  net.add_undirected_edge(0, 1, 4, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 1, GetParam()), 9);
+}
+
+TEST_P(MaxFlowAlgoTest, ClassicCLRSInstance) {
+  // Cormen et al. Fig. 26.6 flow network, max flow 23.
+  FlowNetwork net(6);
+  net.add_directed_edge(0, 1, 16, 0.0);
+  net.add_directed_edge(0, 2, 13, 0.0);
+  net.add_directed_edge(1, 3, 12, 0.0);
+  net.add_directed_edge(2, 1, 4, 0.0);
+  net.add_directed_edge(2, 4, 14, 0.0);
+  net.add_directed_edge(3, 2, 9, 0.0);
+  net.add_directed_edge(3, 5, 20, 0.0);
+  net.add_directed_edge(4, 3, 7, 0.0);
+  net.add_directed_edge(4, 5, 4, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 5, GetParam()), 23);
+}
+
+TEST_P(MaxFlowAlgoTest, RequiresBackwardCancellation) {
+  // The crossing pattern that defeats greedy path routing: the optimal
+  // solution must cancel flow sent across the diagonal.
+  FlowNetwork net(4);
+  net.add_directed_edge(0, 1, 1, 0.0);
+  net.add_directed_edge(0, 2, 1, 0.0);
+  net.add_directed_edge(1, 2, 1, 0.0);
+  net.add_directed_edge(1, 3, 1, 0.0);
+  net.add_directed_edge(2, 3, 1, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 3, GetParam()), 2);
+}
+
+TEST_P(MaxFlowAlgoTest, DisconnectedSinkGivesZero) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 5, 0.0);
+  net.add_undirected_edge(2, 3, 5, 0.0);
+  EXPECT_EQ(max_flow(net, 0, 3, GetParam()), 0);
+}
+
+TEST_P(MaxFlowAlgoTest, MaskedEdgesExcluded) {
+  FlowNetwork net(3);
+  net.add_directed_edge(0, 1, 2, 0.0);
+  net.add_directed_edge(1, 2, 2, 0.0);
+  net.add_directed_edge(0, 2, 1, 0.0);
+  EXPECT_EQ(max_flow_masked(net, 0b111, 0, 2, GetParam()), 3);
+  EXPECT_EQ(max_flow_masked(net, 0b100, 0, 2, GetParam()), 1);
+  EXPECT_EQ(max_flow_masked(net, 0b011, 0, 2, GetParam()), 2);
+  EXPECT_EQ(max_flow_masked(net, 0b000, 0, 2, GetParam()), 0);
+}
+
+TEST_P(MaxFlowAlgoTest, BoundedSolveReachesLimit) {
+  FlowNetwork net(2);
+  for (int i = 0; i < 6; ++i) net.add_directed_edge(0, 1, 1, 0.0);
+  // Bounded runs report at least the limit when more is available.
+  EXPECT_GE(max_flow(net, 0, 1, GetParam(), /*limit=*/3), 3);
+  EXPECT_EQ(max_flow(net, 0, 1, GetParam(), /*limit=*/100), 6);
+}
+
+TEST_P(MaxFlowAlgoTest, AdmitsDemand) {
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, 2, 0.1);
+  net.add_undirected_edge(1, 2, 2, 0.1);
+  EXPECT_TRUE(admits_demand(net, 0b11, {0, 2, 2}, GetParam()));
+  EXPECT_FALSE(admits_demand(net, 0b11, {0, 2, 3}, GetParam()));
+  EXPECT_FALSE(admits_demand(net, 0b01, {0, 2, 1}, GetParam()));
+}
+
+TEST_P(MaxFlowAlgoTest, AgreesWithEdmondsKarpOnRandomNetworks) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int nodes = static_cast<int>(rng.uniform_int(2, 9));
+    const int edges = static_cast<int>(rng.uniform_int(1, 18));
+    const EdgeKind kind = (trial % 2 == 0) ? EdgeKind::kUndirected
+                                           : EdgeKind::kDirected;
+    const GeneratedNetwork g =
+        random_multigraph(rng, nodes, edges, {1, 4}, {0.0, 0.5}, kind);
+    const Capacity reference =
+        max_flow(g.net, g.source, g.sink, MaxFlowAlgorithm::kEdmondsKarp);
+    EXPECT_EQ(max_flow(g.net, g.source, g.sink, GetParam()), reference)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(MaxFlowAlgoTest, ResidualStateIsAValidFlowAfterSolve) {
+  // After solve, net flow out of s equals the returned value and every
+  // interior node conserves flow — required for min-cut extraction.
+  Xoshiro256 rng(555);
+  for (int trial = 0; trial < 60; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 7)),
+        static_cast<int>(rng.uniform_int(1, 12)), {1, 3}, {0.0, 0.4});
+    ResidualGraph res = ResidualGraph::from_network_all(g.net);
+    auto solver = make_solver(GetParam());
+    const Capacity value = solver->solve(res, g.source, g.sink);
+
+    std::vector<Capacity> balance(static_cast<std::size_t>(g.net.num_nodes()),
+                                  0);
+    for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+      // Forward arcs come first per edge in insertion order (2*id).
+      const ResidualArc& fwd = res.arc(2 * id);
+      const Capacity net_flow = g.net.edge(id).capacity - fwd.cap;
+      balance[static_cast<std::size_t>(g.net.edge(id).u)] -= net_flow;
+      balance[static_cast<std::size_t>(g.net.edge(id).v)] += net_flow;
+    }
+    for (NodeId n = 0; n < g.net.num_nodes(); ++n) {
+      if (n == g.source) {
+        EXPECT_EQ(balance[static_cast<std::size_t>(n)], -value);
+      } else if (n == g.sink) {
+        EXPECT_EQ(balance[static_cast<std::size_t>(n)], value);
+      } else {
+        EXPECT_EQ(balance[static_cast<std::size_t>(n)], 0) << "node " << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MaxFlowAlgoTest,
+    ::testing::Values(MaxFlowAlgorithm::kDinic, MaxFlowAlgorithm::kEdmondsKarp,
+                      MaxFlowAlgorithm::kPushRelabel),
+    [](const ::testing::TestParamInfo<MaxFlowAlgorithm>& param_info) {
+      std::string name(algorithm_name(param_info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(MinCut, ValueMatchesMaxFlowAndEdgesDisconnect) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 80; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 7)),
+        static_cast<int>(rng.uniform_int(1, 12)), {1, 3}, {0.0, 0.4});
+    const MinCut cut = min_cut(g.net, g.source, g.sink);
+    EXPECT_EQ(cut.value, max_flow(g.net, g.source, g.sink));
+    Capacity cut_cap = 0;
+    for (EdgeId id : cut.edges) cut_cap += g.net.edge(id).capacity;
+    EXPECT_EQ(cut_cap, cut.value);
+    EXPECT_TRUE(cut.source_side[static_cast<std::size_t>(g.source)]);
+    EXPECT_FALSE(cut.source_side[static_cast<std::size_t>(g.sink)]);
+  }
+}
+
+TEST(MinCardinalityCut, PrefersFewEdgesOverCapacity) {
+  // s ==2x== m --1-- t : capacity min cut is the two parallel cap-1 edges?
+  // No: cardinality cut is the single right edge even though its capacity
+  // (5) exceeds the left pair's total (2).
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  const EdgeId right = net.add_undirected_edge(1, 2, 5, 0.1);
+  const MinCut cut = min_cardinality_cut(net, 0, 2);
+  EXPECT_EQ(cut.value, 1);
+  EXPECT_EQ(cut.edges, std::vector<EdgeId>{right});
+}
+
+TEST(MinCut, RejectsBadEndpoints) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(min_cut(net, 0, 0), std::invalid_argument);
+  EXPECT_THROW(max_flow(net, 0, 7), std::invalid_argument);
+}
+
+TEST(ConfigResidualTest, ResetRestoresPristineCapacities) {
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, 2, 0.1);
+  net.add_directed_edge(1, 2, 3, 0.1);
+  ConfigResidual res(net);
+  DinicSolver solver;
+  res.reset(0b11);
+  EXPECT_EQ(solver.solve(res.graph(), 0, 2), 2);
+  // Solve mutated capacities; reset must restore them.
+  res.reset(0b11);
+  EXPECT_EQ(solver.solve(res.graph(), 0, 2), 2);
+  res.reset(0b01);
+  EXPECT_EQ(solver.solve(res.graph(), 0, 2), 0);
+  res.reset(0b10);
+  EXPECT_EQ(solver.solve(res.graph(), 1, 2), 3);
+}
+
+TEST(ConfigResidualTest, SuperArcsSurviveResets) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  ConfigResidual res(net);
+  const NodeId super = res.add_super_node();
+  res.add_super_arc(1, super, 4, 0);
+  DinicSolver solver;
+  res.reset(0b1);
+  EXPECT_EQ(solver.solve(res.graph(), 0, super), 1);
+  res.set_super_arc(0, 0, 0);
+  res.reset(0b1);
+  EXPECT_EQ(solver.solve(res.graph(), 0, super), 0);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,87 @@
+#include "reliability/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const FlowNetwork net = testing::diamond(0.2);
+  MonteCarloOptions options;
+  options.samples = 5000;
+  options.seed = 99;
+  const auto a = reliability_monte_carlo(net, {0, 3, 1}, options);
+  const auto b = reliability_monte_carlo(net, {0, 3, 1}, options);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+TEST(MonteCarlo, CertainAndImpossibleEvents) {
+  FlowNetwork certain(2);
+  certain.add_undirected_edge(0, 1, 1, 0.0);
+  MonteCarloOptions options;
+  options.samples = 1000;
+  EXPECT_DOUBLE_EQ(
+      reliability_monte_carlo(certain, {0, 1, 1}, options).estimate, 1.0);
+  EXPECT_DOUBLE_EQ(
+      reliability_monte_carlo(certain, {0, 1, 2}, options).estimate, 0.0);
+}
+
+TEST(MonteCarlo, WilsonIntervalCoversExactValue) {
+  Xoshiro256 rng(31);
+  MonteCarloOptions options;
+  options.samples = 20'000;
+  int covered = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 6)),
+        static_cast<int>(rng.uniform_int(1, 9)), {1, 3}, {0.05, 0.5});
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 2)};
+    const double exact = reliability_naive(g.net, demand).reliability;
+    options.seed = 1000 + static_cast<std::uint64_t>(trial);
+    const auto mc = reliability_monte_carlo(g.net, demand, options);
+    if (mc.wilson95.contains(exact)) ++covered;
+  }
+  // 95% interval: expect at most a couple of misses in 20 trials.
+  EXPECT_GE(covered, 17);
+}
+
+TEST(MonteCarlo, EstimateConvergesWithSamples) {
+  const FlowNetwork net = testing::diamond(0.3);
+  const double exact = reliability_naive(net, {0, 3, 1}).reliability;
+  MonteCarloOptions coarse;
+  coarse.samples = 200;
+  MonteCarloOptions fine;
+  fine.samples = 100'000;
+  const auto fine_result = reliability_monte_carlo(net, {0, 3, 1}, fine);
+  EXPECT_NEAR(fine_result.estimate, exact, 0.01);
+  EXPECT_LT(fine_result.ci95_halfwidth,
+            reliability_monte_carlo(net, {0, 3, 1}, coarse).ci95_halfwidth);
+}
+
+TEST(MonteCarlo, HandlesNetworksBeyondMaskLimit) {
+  FlowNetwork net(2);
+  for (int i = 0; i < 80; ++i) net.add_undirected_edge(0, 1, 1, 0.5);
+  MonteCarloOptions options;
+  options.samples = 2000;
+  const auto result = reliability_monte_carlo(net, {0, 1, 1}, options);
+  EXPECT_GT(result.estimate, 0.99);  // 1 - 0.5^80
+}
+
+TEST(MonteCarlo, RejectsZeroSamples) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  MonteCarloOptions options;
+  options.samples = 0;
+  EXPECT_THROW(reliability_monte_carlo(net, {0, 1, 1}, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,141 @@
+#include "reliability/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/overlay.hpp"
+#include "p2p/tree_builder.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Multicast, SingleSubscriberEqualsUnicast) {
+  const FlowNetwork net = testing::diamond(0.2);
+  const MulticastDemand demand{0, {3}, 1};
+  EXPECT_NEAR(multicast_reliability(net, demand).reliability,
+              reliability_naive(net, {0, 3, 1}).reliability, kTol);
+}
+
+TEST(Multicast, TreeClosedForm) {
+  // Balanced binary tree, all 7 peers subscribed: every link must be up
+  // for everyone to receive, so R = (1-p)^|E|.
+  Overlay overlay(7);
+  SingleTreeOptions opts;
+  opts.link_failure_prob = 0.1;
+  add_single_tree(overlay, opts);
+  MulticastDemand demand;
+  demand.source = overlay.server();
+  for (int i = 0; i < 7; ++i) demand.subscribers.push_back(overlay.peer(i));
+  demand.rate = 1;
+  EXPECT_NEAR(multicast_reliability(overlay.net(), demand).reliability,
+              std::pow(0.9, 7.0), kTol);
+}
+
+TEST(Multicast, SubsetOfSubscribersIsEasier) {
+  Overlay overlay(7);
+  SingleTreeOptions opts;
+  opts.link_failure_prob = 0.1;
+  add_single_tree(overlay, opts);
+  MulticastDemand all{overlay.server(), {}, 1};
+  for (int i = 0; i < 7; ++i) all.subscribers.push_back(overlay.peer(i));
+  MulticastDemand shallow{overlay.server(),
+                          {overlay.peer(0), overlay.peer(1)}, 1};
+  EXPECT_GT(multicast_reliability(overlay.net(), shallow).reliability,
+            multicast_reliability(overlay.net(), all).reliability);
+}
+
+TEST(Multicast, EqualsProductOfSidesOnDisjointBranches) {
+  // Star: server feeds two peers over independent links.
+  Overlay overlay(2);
+  overlay.net().add_directed_edge(overlay.server(), overlay.peer(0), 1, 0.2);
+  overlay.net().add_directed_edge(overlay.server(), overlay.peer(1), 1, 0.3);
+  const MulticastDemand demand{
+      overlay.server(), {overlay.peer(0), overlay.peer(1)}, 1};
+  EXPECT_NEAR(multicast_reliability(overlay.net(), demand).reliability,
+              0.8 * 0.7, kTol);
+}
+
+TEST(Multicast, MonteCarloAgreesWithExact) {
+  Overlay overlay(6);
+  StripedTreesOptions opts;
+  opts.stripes = 2;
+  opts.link_failure_prob = 0.1;
+  add_striped_trees(overlay, opts);
+  MulticastDemand demand{overlay.server(),
+                         {overlay.peer(2), overlay.peer(5)}, 2};
+  const double exact =
+      multicast_reliability(overlay.net(), demand).reliability;
+  MonteCarloOptions mc;
+  mc.samples = 40'000;
+  mc.seed = 7;
+  const MonteCarloResult estimate =
+      multicast_reliability_monte_carlo(overlay.net(), demand, mc);
+  EXPECT_TRUE(estimate.wilson95.contains(exact))
+      << estimate.estimate << " vs " << exact;
+}
+
+TEST(Quorum, FullQuorumEqualsMulticastAndOneIsAnycast) {
+  Overlay overlay(5);
+  SingleTreeOptions opts;
+  opts.link_failure_prob = 0.15;
+  add_single_tree(overlay, opts);
+  MulticastDemand demand{overlay.server(),
+                         {overlay.peer(2), overlay.peer(3), overlay.peer(4)},
+                         1};
+  const double all =
+      multicast_reliability(overlay.net(), demand).reliability;
+  EXPECT_NEAR(quorum_reliability(overlay.net(), demand, 3).reliability, all,
+              1e-9);
+  // Anycast >= majority >= all (monotone in the quorum size).
+  const double any =
+      quorum_reliability(overlay.net(), demand, 1).reliability;
+  const double majority =
+      quorum_reliability(overlay.net(), demand, 2).reliability;
+  EXPECT_GE(any, majority - 1e-12);
+  EXPECT_GE(majority, all - 1e-12);
+  EXPECT_GT(any, all);  // strict on a lossy tree
+}
+
+TEST(Quorum, MatchesBruteForceOnIndependentBranches) {
+  // Server feeds 3 peers over independent links with p = 0.2, 0.3, 0.4.
+  Overlay overlay(3);
+  overlay.net().add_directed_edge(overlay.server(), overlay.peer(0), 1, 0.2);
+  overlay.net().add_directed_edge(overlay.server(), overlay.peer(1), 1, 0.3);
+  overlay.net().add_directed_edge(overlay.server(), overlay.peer(2), 1, 0.4);
+  MulticastDemand demand{
+      overlay.server(),
+      {overlay.peer(0), overlay.peer(1), overlay.peer(2)},
+      1};
+  // P(>= 2 of three independent links up).
+  const double p2 = 0.8 * 0.7 * 0.4 + 0.8 * 0.3 * 0.6 + 0.2 * 0.7 * 0.6 +
+                    0.8 * 0.7 * 0.6;
+  EXPECT_NEAR(quorum_reliability(overlay.net(), demand, 2).reliability, p2,
+              1e-9);
+}
+
+TEST(Quorum, ValidatesQuorumRange) {
+  const FlowNetwork net = testing::diamond(0.1);
+  const MulticastDemand demand{0, {2, 3}, 1};
+  EXPECT_THROW(quorum_reliability(net, demand, 0), std::invalid_argument);
+  EXPECT_THROW(quorum_reliability(net, demand, 3), std::invalid_argument);
+}
+
+TEST(Multicast, ValidatesInput) {
+  const FlowNetwork net = testing::diamond(0.1);
+  EXPECT_THROW(multicast_reliability(net, {0, {}, 1}), std::invalid_argument);
+  EXPECT_THROW(multicast_reliability(net, {0, {0}, 1}),
+               std::invalid_argument);  // subscriber == source
+  EXPECT_THROW(multicast_reliability(net, {0, {9}, 1}),
+               std::invalid_argument);
+  MonteCarloOptions mc;
+  mc.samples = 0;
+  EXPECT_THROW(multicast_reliability_monte_carlo(net, {0, {3}, 1}, mc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,97 @@
+#include "p2p/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(Optimizer, BacksUpTheBridgeFirst) {
+  // In a bridged graph, a parallel backup for the bridge is by far the
+  // best single upgrade — better than any intra-cluster candidate.
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 1};
+  std::vector<UpgradeCandidate> candidates{
+      {0, 1, 1, 0.1, EdgeKind::kUndirected},  // duplicate a cluster link
+      {3, 4, 1, 0.1, EdgeKind::kUndirected},  // backup bridge (x - y)
+      {5, 6, 1, 0.1, EdgeKind::kUndirected},  // cluster shortcut
+  };
+  const UpgradePlan plan =
+      plan_overlay_upgrade(g.net, demand, candidates, 1);
+  ASSERT_EQ(plan.chosen.size(), 1u);
+  EXPECT_EQ(plan.chosen[0].u, 3);
+  EXPECT_EQ(plan.chosen[0].v, 4);
+  EXPECT_GT(plan.reliability_after, plan.reliability_before + 0.05);
+}
+
+TEST(Optimizer, TrajectoryIsNonDecreasingAndMatchesRecomputation) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.15);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const UpgradePlan plan = plan_overlay_upgrade(
+      g.net, demand, all_missing_links(g.net, 1, 0.15), 3);
+  ASSERT_EQ(plan.trajectory.size(), plan.chosen.size());
+  double prev = plan.reliability_before;
+  for (double r : plan.trajectory) {
+    EXPECT_GE(r, prev - 1e-12);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(plan.trajectory.back(), plan.reliability_after);
+
+  // Re-apply the chosen links and recompute from scratch.
+  GeneratedNetwork upgraded = g;
+  for (const UpgradeCandidate& c : plan.chosen) {
+    upgraded.net.add_edge(c.u, c.v, c.capacity, c.failure_prob, c.kind);
+  }
+  EXPECT_NEAR(reliability_naive(upgraded.net, demand).reliability,
+              plan.reliability_after, 1e-9);
+}
+
+TEST(Optimizer, ZeroBudgetChangesNothing) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const UpgradePlan plan = plan_overlay_upgrade(
+      g.net, demand, all_missing_links(g.net, 2, 0.1), 0);
+  EXPECT_TRUE(plan.chosen.empty());
+  EXPECT_DOUBLE_EQ(plan.reliability_before, plan.reliability_after);
+}
+
+TEST(Optimizer, StopsEarlyWhenNothingHelps) {
+  // Perfect network: no candidate can improve reliability 1.
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, 2, 0.0);
+  net.add_undirected_edge(1, 2, 2, 0.0);
+  const UpgradePlan plan = plan_overlay_upgrade(
+      net, {0, 2, 1}, all_missing_links(net, 1, 0.1), 5);
+  EXPECT_TRUE(plan.chosen.empty());
+  EXPECT_DOUBLE_EQ(plan.reliability_after, 1.0);
+}
+
+TEST(Optimizer, AllMissingLinksEnumerates) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  const auto candidates = all_missing_links(net, 2, 0.2);
+  EXPECT_EQ(candidates.size(), 5u);  // C(4,2) - 1 existing
+  for (const auto& c : candidates) {
+    EXPECT_FALSE(c.u == 0 && c.v == 1);  // the existing link is excluded
+    EXPECT_EQ(c.capacity, 2);
+  }
+}
+
+TEST(Optimizer, ValidatesInput) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 2};
+  EXPECT_THROW(plan_overlay_upgrade(g.net, demand, {}, -1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      plan_overlay_upgrade(g.net, demand, {{0, 0, 1, 0.1}}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      plan_overlay_upgrade(g.net, demand, {{0, 99, 1, 0.1}}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

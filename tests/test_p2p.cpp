@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reliability_facade.hpp"
+#include "graph/graph_algos.hpp"
+#include "maxflow/maxflow.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/mesh_builder.hpp"
+#include "p2p/overlay.hpp"
+#include "p2p/scenario.hpp"
+#include "p2p/tree_builder.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Overlay, NodeLayout) {
+  Overlay overlay(5);
+  EXPECT_EQ(overlay.server(), 0);
+  EXPECT_EQ(overlay.num_peers(), 5);
+  EXPECT_EQ(overlay.peer(0), 1);
+  EXPECT_EQ(overlay.peer(4), 5);
+  EXPECT_THROW(overlay.peer(5), std::invalid_argument);
+  EXPECT_THROW(Overlay(0), std::invalid_argument);
+}
+
+TEST(Overlay, DemandConstruction) {
+  Overlay overlay(3);
+  const FlowDemand d = overlay.demand_to(overlay.peer(2), 4);
+  EXPECT_EQ(d.source, overlay.server());
+  EXPECT_EQ(d.sink, overlay.peer(2));
+  EXPECT_EQ(d.rate, 4);
+  EXPECT_THROW(overlay.demand_to(overlay.server(), 1), std::invalid_argument);
+}
+
+TEST(SingleTree, ShapeAndReliability) {
+  Overlay overlay(7);
+  SingleTreeOptions options;
+  options.fanout = 2;
+  options.link_failure_prob = 0.1;
+  const auto edges = add_single_tree(overlay, options);
+  EXPECT_EQ(edges.size(), 7u);
+  // Every peer reachable from the server.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(max_flow(overlay.net(), overlay.server(), overlay.peer(i)), 1);
+  }
+  // Peer 6's delivery path is server -> p0 -> p2 -> p6 (fanout 2):
+  // reliability = 0.9^3.
+  const double r =
+      reliability_naive(overlay.net(), overlay.demand_to(overlay.peer(6), 1))
+          .reliability;
+  EXPECT_NEAR(r, 0.9 * 0.9 * 0.9, kTol);
+}
+
+TEST(SingleTree, DepthMatchesFanout) {
+  Overlay overlay(12);
+  SingleTreeOptions options;
+  options.fanout = 3;
+  add_single_tree(overlay, options);
+  // Peer 11's parent chain: (11-1)/3 = 3, (3-1)/3 = 0, root.
+  // Path length 3 -> reliability 0.9^3 at p=0.1.
+  const double r =
+      reliability_naive(overlay.net(), overlay.demand_to(overlay.peer(11), 1))
+          .reliability;
+  EXPECT_NEAR(r, std::pow(0.9, 3.0), kTol);
+}
+
+TEST(StripedTrees, EachStripeSpansAllPeers) {
+  Overlay overlay(6);
+  StripedTreesOptions options;
+  options.stripes = 3;
+  const auto stripes = add_striped_trees(overlay, options);
+  ASSERT_EQ(stripes.size(), 3u);
+  for (const auto& stripe : stripes) EXPECT_EQ(stripe.size(), 6u);
+  EXPECT_EQ(overlay.net().num_edges(), 18);
+  // With all stripes alive every peer can receive all 3 sub-streams.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GE(max_flow(overlay.net(), overlay.server(), overlay.peer(i)), 3);
+  }
+}
+
+TEST(StripedTrees, GracefulDegradationSemantics) {
+  // The multiple-tree design trades full-rate reliability for graceful
+  // degradation: each stripe is its own single point of failure, so
+  // receiving ALL stripes is harder than receiving the whole stream down
+  // one tree — but receiving at least SOME video (>= 1 stripe) is easier
+  // than the all-or-nothing single tree. The flow model quantifies both.
+  const double p = 0.15;
+
+  Overlay single(5);
+  SingleTreeOptions tree_opts;
+  tree_opts.stream_rate = 2;
+  tree_opts.link_failure_prob = p;
+  add_single_tree(single, tree_opts);
+
+  Overlay striped(5);
+  StripedTreesOptions stripe_opts;
+  stripe_opts.stripes = 2;
+  stripe_opts.link_failure_prob = p;
+  add_striped_trees(striped, stripe_opts);
+
+  const double r_single_full =
+      reliability_naive(single.net(), single.demand_to(single.peer(4), 2))
+          .reliability;
+  const double r_striped_full =
+      reliability_naive(striped.net(), striped.demand_to(striped.peer(4), 2))
+          .reliability;
+  const double r_striped_partial =
+      reliability_naive(striped.net(), striped.demand_to(striped.peer(4), 1))
+          .reliability;
+  EXPECT_LE(r_striped_full, r_single_full + kTol);
+  EXPECT_GE(r_striped_partial, r_single_full - kTol);
+  EXPECT_GT(r_striped_partial, r_striped_full);
+}
+
+TEST(Mesh, ConnectsAndBoundsDegree) {
+  Overlay overlay(10);
+  Xoshiro256 rng(55);
+  MeshOptions options;
+  options.degree = 3;
+  options.server_links = 2;
+  const auto edges = add_random_mesh(overlay, rng, options);
+  EXPECT_FALSE(edges.empty());
+  EXPECT_LE(overlay.net().num_edges(), 2 + 10 * 3);
+  int server_degree = 0;
+  for (const Edge& e : overlay.net().edges()) {
+    server_degree +=
+        (e.u == overlay.server() || e.v == overlay.server()) ? 1 : 0;
+  }
+  EXPECT_EQ(server_degree, 2);
+}
+
+TEST(Mesh, RejectsBadOptions) {
+  Overlay overlay(3);
+  Xoshiro256 rng(1);
+  MeshOptions options;
+  options.server_links = 5;
+  EXPECT_THROW(add_random_mesh(overlay, rng, options), std::invalid_argument);
+}
+
+TEST(Churn, DepartureProbability) {
+  ChurnModel model;
+  model.mean_session_minutes = 60;
+  model.window_minutes = 5;
+  EXPECT_NEAR(peer_departure_prob(model), 1.0 - std::exp(-5.0 / 60.0), kTol);
+  model.window_minutes = 0;
+  EXPECT_DOUBLE_EQ(peer_departure_prob(model), 0.0);
+  model.mean_session_minutes = -1;
+  EXPECT_THROW(peer_departure_prob(model), std::invalid_argument);
+}
+
+TEST(Churn, LinkFailureComposesEndpoints) {
+  ChurnModel model;
+  model.base_link_loss = 0.0;
+  const double depart = peer_departure_prob(model);
+  EXPECT_NEAR(link_failure_prob(model, 0), 0.0, kTol);
+  EXPECT_NEAR(link_failure_prob(model, 1), depart, kTol);
+  EXPECT_NEAR(link_failure_prob(model, 2),
+              1.0 - (1.0 - depart) * (1.0 - depart), kTol);
+  EXPECT_THROW(link_failure_prob(model, 3), std::invalid_argument);
+}
+
+TEST(Churn, ApplyDistinguishesServerLinks) {
+  Overlay overlay(3);
+  add_single_tree(overlay, {});
+  ChurnModel model;
+  apply_churn(overlay.net(), overlay.server(), model);
+  // Edge 0 is server -> peer0 (one churning endpoint); edge 1 is
+  // peer -> peer (two churning endpoints) and must be less reliable.
+  EXPECT_LT(overlay.net().edge(0).failure_prob,
+            overlay.net().edge(1).failure_prob);
+}
+
+TEST(Churn, LongerSessionsImproveReliability) {
+  ChurnModel flaky;
+  flaky.mean_session_minutes = 10;
+  ChurnModel stable;
+  stable.mean_session_minutes = 600;
+  EXPECT_GT(link_failure_prob(flaky), link_failure_prob(stable));
+}
+
+TEST(Scenario, Fig2GraphProperties) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  EXPECT_EQ(g.net.num_edges(), 9);
+  EXPECT_EQ(max_flow(g.net, g.source, g.sink), 1);
+  // The bridge is edge 8 and disconnects s from t.
+  EXPECT_TRUE(removal_disconnects(g.net, g.source, g.sink, {8}));
+}
+
+TEST(Scenario, Fig4GraphProperties) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  EXPECT_EQ(g.net.num_edges(), 9);
+  // The paper's statement: the full graph admits a flow of amount two.
+  EXPECT_GE(max_flow(g.net, g.source, g.sink), 2);
+}
+
+TEST(Scenario, TwoIspRespectsParameters) {
+  TwoIspParams params;
+  params.peers_per_isp = 4;
+  params.peering_links = 3;
+  params.extra_links_per_isp = 1;
+  const GeneratedNetwork g = make_two_isp_scenario(params);
+  EXPECT_EQ(g.net.num_nodes(), 8);
+  // 2 trees of 3 + 2 extras + 3 peering.
+  EXPECT_EQ(g.net.num_edges(), 11);
+  int crossing = 0;
+  for (const Edge& e : g.net.edges()) {
+    crossing += (g.side_s[static_cast<std::size_t>(e.u)] !=
+                 g.side_s[static_cast<std::size_t>(e.v)])
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(crossing, 3);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,90 @@
+#include "reliability/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Polynomial, SingleLinkCounts) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.123);  // prob is ignored by counting
+  const auto poly = reliability_polynomial(net, {0, 1, 1});
+  // 0 failures: admits; 1 failure: does not.
+  EXPECT_EQ(poly.counts(), (std::vector<std::uint64_t>{1, 0}));
+  EXPECT_NEAR(poly.evaluate(0.3), 0.7, kTol);
+  EXPECT_NEAR(poly.evaluate(0.0), 1.0, kTol);
+}
+
+TEST(Polynomial, ParallelPairCounts) {
+  const FlowNetwork net = testing::parallel_pair(0.9, 0.9);
+  const auto poly = reliability_polynomial(net, {0, 1, 1});
+  // 0 failed: 1 config; 1 failed: 2 configs, both admit; 2 failed: none.
+  EXPECT_EQ(poly.counts(), (std::vector<std::uint64_t>{1, 2, 0}));
+  EXPECT_NEAR(poly.evaluate(0.5), 0.75, kTol);
+}
+
+TEST(Polynomial, MatchesNaiveAtManyProbabilities) {
+  Xoshiro256 rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 6)),
+        static_cast<int>(rng.uniform_int(1, 10)), {1, 3}, {0.1, 0.1});
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 3)};
+    const auto poly = reliability_polynomial(g.net, demand);
+    for (double p : {0.0, 0.05, 0.3, 0.5, 0.8, 0.99}) {
+      for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+        g.net.set_failure_prob(id, p);
+      }
+      EXPECT_NEAR(poly.evaluate(p),
+                  reliability_naive(g.net, demand).reliability, 1e-9)
+          << "trial " << trial << " p=" << p;
+    }
+  }
+}
+
+TEST(Polynomial, MonotoneDecreasingInP) {
+  const GeneratedNetwork g = ladder_network(3, 1, 0.1);
+  const auto poly = reliability_polynomial(g.net, {g.source, g.sink, 1});
+  double prev = 1.1;
+  for (double p = 0.0; p < 0.95; p += 0.05) {
+    const double r = poly.evaluate(p);
+    EXPECT_LE(r, prev + 1e-12);
+    prev = r;
+  }
+}
+
+TEST(Polynomial, CountsSumToBinomialTotals) {
+  const FlowNetwork net = testing::diamond(0.2);
+  const auto poly = reliability_polynomial(net, {0, 3, 1});
+  // N_j cannot exceed C(5, j).
+  const std::uint64_t binom[] = {1, 5, 10, 10, 5, 1};
+  ASSERT_EQ(poly.counts().size(), 6u);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_LE(poly.counts()[j], binom[j]);
+  }
+  // With everything alive the diamond admits.
+  EXPECT_EQ(poly.counts()[0], 1u);
+}
+
+TEST(Polynomial, EvaluateRejectsBadP) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  const auto poly = reliability_polynomial(net, {0, 1, 1});
+  EXPECT_THROW(poly.evaluate(1.0), std::invalid_argument);
+  EXPECT_THROW(poly.evaluate(-0.1), std::invalid_argument);
+}
+
+TEST(Polynomial, ConstructorValidatesShape) {
+  EXPECT_THROW(ReliabilityPolynomial(3, {1, 2}), std::invalid_argument);
+  EXPECT_NO_THROW(ReliabilityPolynomial(3, {1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,88 @@
+#include "core/polynomial_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(PolynomialDecomposition, MatchesNaivePolynomialOnFig4) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const auto direct = reliability_polynomial(g.net, demand);
+  const auto decomposed = polynomial_bottleneck(g.net, demand, partition);
+  EXPECT_EQ(decomposed.counts(), direct.counts());
+}
+
+TEST(PolynomialDecomposition, MatchesNaiveOnRandomClusteredGraphs) {
+  Xoshiro256 rng(246810);
+  for (int trial = 0; trial < 20; ++trial) {
+    ClusteredParams params;
+    params.nodes_s = static_cast<int>(rng.uniform_int(3, 5));
+    params.nodes_t = static_cast<int>(rng.uniform_int(3, 5));
+    params.extra_edges_s = static_cast<int>(rng.uniform_int(0, 3));
+    params.extra_edges_t = static_cast<int>(rng.uniform_int(0, 3));
+    params.bottleneck_links = 1 + static_cast<int>(rng.uniform_below(3));
+    params.cluster_caps = {1, 3};
+    params.bottleneck_caps = {1, 3};
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    const FlowDemand demand{g.source, g.sink, rng.uniform_int(1, 3)};
+    const BottleneckPartition partition =
+        partition_from_sides(g.net, g.source, g.sink, g.side_s);
+    const auto direct = reliability_polynomial(g.net, demand);
+    const auto decomposed = polynomial_bottleneck(g.net, demand, partition);
+    ASSERT_EQ(decomposed.counts(), direct.counts()) << "trial " << trial;
+  }
+}
+
+TEST(PolynomialDecomposition, EvaluationMatchesBottleneckAtUniformP) {
+  Xoshiro256 rng(5);
+  ClusteredParams params;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {2, 2};
+  GeneratedNetwork g = clustered_bottleneck(rng, params);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const auto poly = polynomial_bottleneck(g.net, demand, partition);
+  for (double p : {0.0, 0.1, 0.35, 0.7}) {
+    for (EdgeId id = 0; id < g.net.num_edges(); ++id) {
+      g.net.set_failure_prob(id, p);
+    }
+    EXPECT_NEAR(poly.evaluate(p),
+                reliability_bottleneck(g.net, demand, partition).reliability,
+                1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(PolynomialDecomposition, InfeasibleDemandIsTheZeroPolynomial) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const auto poly =
+      polynomial_bottleneck(g.net, {g.source, g.sink, 9}, partition);
+  for (std::uint64_t c : poly.counts()) EXPECT_EQ(c, 0u);
+  EXPECT_DOUBLE_EQ(poly.evaluate(0.2), 0.0);
+}
+
+TEST(PolynomialDecomposition, TotalCountsBoundedByConfigurationSpace) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const auto poly =
+      polynomial_bottleneck(g.net, {g.source, g.sink, 1}, partition);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : poly.counts()) total += c;
+  EXPECT_LE(total, Mask{1} << g.net.num_edges());
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace streamrel

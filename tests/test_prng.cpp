@@ -1,0 +1,118 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace streamrel {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Xoshiro256, ZeroSeedStillProducesVariedOutput) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Xoshiro256, UniformBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro256, UniformBelowHitsAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, UniformIntInclusiveRange) {
+  Xoshiro256 rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    mean += x;
+  }
+  mean /= n;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, JumpedStreamsDiffer) {
+  Xoshiro256 a(31);
+  Xoshiro256 b(31);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SplitMix, KnownFirstOutputDiffersByState) {
+  std::uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(SplitMix, MixSeedSpreadsPairs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) seen.insert(mix_seed(a, b));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,136 @@
+#include "reliability/reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/frontier.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Reductions, SeriesChainCollapsesToOneLink) {
+  const GeneratedNetwork g = path_network(4, 1, 0.1);
+  const ReducedNetwork red =
+      reduce_for_connectivity(g.net, g.source, g.sink);
+  ASSERT_TRUE(red.fully_reduced());
+  EXPECT_EQ(red.series_steps, 3);
+  EXPECT_NEAR(1.0 - red.net.edge(0).failure_prob, std::pow(0.9, 4.0), kTol);
+}
+
+TEST(Reductions, ParallelBundleCollapsesToOneLink) {
+  const GeneratedNetwork g = parallel_links(5, 1, 0.3);
+  const ReducedNetwork red =
+      reduce_for_connectivity(g.net, g.source, g.sink);
+  ASSERT_TRUE(red.fully_reduced());
+  EXPECT_EQ(red.parallel_steps, 4);
+  EXPECT_NEAR(red.net.edge(0).failure_prob, std::pow(0.3, 5.0), kTol);
+}
+
+TEST(Reductions, SeriesParallelLadderOfTwoRungsIsExact) {
+  // Two disjoint 2-hop paths s-a-t and s-b-t: series within each path,
+  // then parallel across them — fully reducible.
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  net.add_undirected_edge(1, 3, 1, 0.2);
+  net.add_undirected_edge(0, 2, 1, 0.3);
+  net.add_undirected_edge(2, 3, 1, 0.4);
+  const ReducedNetwork red = reduce_for_connectivity(net, 0, 3);
+  ASSERT_TRUE(red.fully_reduced());
+  EXPECT_NEAR(1.0 - red.net.edge(0).failure_prob,
+              reliability_naive(net, {0, 3, 1}).reliability, kTol);
+}
+
+TEST(Reductions, DeadEndsAndZeroCapacityLinksArePruned) {
+  FlowNetwork net(5);
+  net.add_undirected_edge(0, 1, 1, 0.1);   // s - t path piece
+  net.add_undirected_edge(1, 2, 1, 0.1);
+  net.add_undirected_edge(1, 3, 1, 0.2);   // dangling spur
+  net.add_undirected_edge(3, 4, 1, 0.2);   // deeper spur
+  net.add_undirected_edge(0, 2, 0, 0.2);   // capacity 0: useless
+  const ReducedNetwork red = reduce_for_connectivity(net, 0, 2);
+  EXPECT_GE(red.pruned_links, 3);
+  ASSERT_TRUE(red.fully_reduced());
+  EXPECT_NEAR(1.0 - red.net.edge(0).failure_prob, 0.81, kTol);
+}
+
+TEST(Reductions, BridgeGraphReducesToBridgeOnly) {
+  // The Fig.-2 diamonds are series-parallel, so the whole graph
+  // collapses to a single equivalent link.
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.1);
+  const ReducedNetwork red =
+      reduce_for_connectivity(g.net, g.source, g.sink);
+  ASSERT_TRUE(red.fully_reduced());
+  EXPECT_NEAR(1.0 - red.net.edge(0).failure_prob,
+              reliability_naive(g.net, {g.source, g.sink, 1}).reliability,
+              kTol);
+}
+
+TEST(Reductions, WheatstoneBridgeDoesNotFullyReduce) {
+  // The classic non-series-parallel graph: the crossbar survives.
+  const FlowNetwork net = testing::diamond(0.2);
+  const ReducedNetwork red = reduce_for_connectivity(net, 0, 3);
+  EXPECT_FALSE(red.fully_reduced());
+  EXPECT_EQ(red.net.num_edges(), 5);
+  // But the reduction must still preserve the reliability.
+  EXPECT_NEAR(
+      reliability_naive(red.net, {red.source, red.sink, 1}).reliability,
+      reliability_naive(net, {0, 3, 1}).reliability, kTol);
+}
+
+TEST(Reductions, PreservesReliabilityOnRandomGraphs) {
+  Xoshiro256 rng(987654);
+  for (int trial = 0; trial < 40; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 8)),
+        static_cast<int>(rng.uniform_int(1, 13)), {0, 2}, {0.05, 0.6});
+    const ReducedNetwork red =
+        reduce_for_connectivity(g.net, g.source, g.sink);
+    const double before =
+        reliability_naive(g.net, {g.source, g.sink, 1}).reliability;
+    const double after =
+        red.net.num_edges() == 0
+            ? 0.0
+            : reliability_naive(red.net, {red.source, red.sink, 1})
+                  .reliability;
+    ASSERT_NEAR(after, before, 1e-9)
+        << "trial " << trial << " (" << g.net.num_edges() << " -> "
+        << red.net.num_edges() << " links)";
+    EXPECT_LE(red.net.num_edges(), g.net.num_edges());
+  }
+}
+
+TEST(Reductions, SpeedsUpTheFrontierOracle) {
+  // A 60-rung ladder with long series tails: the tails collapse, the
+  // frontier answers on the reduced core, and both values agree.
+  FlowNetwork net(0);
+  const GeneratedNetwork ladder = ladder_network(6, 1, 0.1);
+  net = ladder.net;
+  NodeId prev = ladder.source;
+  for (int i = 0; i < 30; ++i) {  // 30-hop tail on the source side
+    const NodeId next = net.add_node();
+    net.add_undirected_edge(prev, next, 1, 0.02);
+    prev = next;
+  }
+  const ReducedNetwork red = reduce_for_connectivity(net, prev, ladder.sink);
+  EXPECT_LT(red.net.num_edges(), 20);
+  EXPECT_NEAR(
+      reliability_connectivity(red.net, {red.source, red.sink, 1})
+          .reliability,
+      reliability_connectivity(net, {prev, ladder.sink, 1}).reliability,
+      1e-9);
+}
+
+TEST(Reductions, RejectsDirectedNetworks) {
+  FlowNetwork net(2);
+  net.add_directed_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(reduce_for_connectivity(net, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

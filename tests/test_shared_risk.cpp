@@ -1,0 +1,103 @@
+#include "core/shared_risk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(SharedRisk, NoGroupsEqualsPlainReliability) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  EXPECT_NEAR(reliability_with_shared_risks(g.net, demand, {}).reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(SharedRisk, ZeroProbabilityGroupsChangeNothing) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const std::vector<SharedRiskGroup> groups{{{7, 8}, 0.0}, {{0, 1}, 0.0}};
+  EXPECT_NEAR(
+      reliability_with_shared_risks(g.net, demand, groups).reliability,
+      reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(SharedRisk, SingleConduitClosedForm) {
+  // Both peering links share one conduit: R = (1 - pi) * R_plain, because
+  // the conduit failing severs s from t entirely.
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const double plain = reliability_naive(g.net, demand).reliability;
+  const std::vector<SharedRiskGroup> groups{{{7, 8}, 0.25}};
+  EXPECT_NEAR(
+      reliability_with_shared_risks(g.net, demand, groups).reliability,
+      0.75 * plain, kTol);
+}
+
+TEST(SharedRisk, MatchesManualConditioningOnTwoGroups) {
+  const GeneratedNetwork g = make_fig4_graph(0.15);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const std::vector<SharedRiskGroup> groups{{{7}, 0.2}, {{8}, 0.3}};
+
+  // Manual conditioning: force links down by zero capacity.
+  auto conditional = [&](bool up7, bool up8) {
+    GeneratedNetwork copy = g;
+    if (!up7) copy.net.set_capacity(7, 0);
+    if (!up8) copy.net.set_capacity(8, 0);
+    return reliability_naive(copy.net, demand).reliability;
+  };
+  const double expected = 0.8 * 0.7 * conditional(true, true) +
+                          0.8 * 0.3 * conditional(true, false) +
+                          0.2 * 0.7 * conditional(false, true) +
+                          0.2 * 0.3 * conditional(false, false);
+  EXPECT_NEAR(
+      reliability_with_shared_risks(g.net, demand, groups).reliability,
+      expected, kTol);
+}
+
+TEST(SharedRisk, CorrelationHurtsComparedToIndependentExtraRisk) {
+  // Folding the same per-link extra failure probability in independently
+  // is strictly better than failing both peering links together.
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 2};
+  const double pi = 0.2;
+  const double correlated =
+      reliability_with_shared_risks(g.net, demand, {{{7, 8}, pi}})
+          .reliability;
+  GeneratedNetwork indep = g;
+  for (EdgeId id : {7, 8}) {
+    const double p = indep.net.edge(id).failure_prob;
+    indep.net.set_failure_prob(id, 1.0 - (1.0 - p) * (1.0 - pi));
+  }
+  const double independent = reliability_naive(indep.net, demand).reliability;
+  EXPECT_LT(correlated, independent - 1e-6);
+}
+
+TEST(SharedRisk, GroupStateCountReported) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const auto result = reliability_with_shared_risks(
+      g.net, {g.source, g.sink, 2}, {{{7}, 0.1}, {{8}, 0.1}, {{0}, 0.1}});
+  EXPECT_EQ(result.group_states, 8u);
+}
+
+TEST(SharedRisk, ValidatesInput) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const FlowDemand demand{g.source, g.sink, 2};
+  EXPECT_THROW(reliability_with_shared_risks(g.net, demand, {{{99}, 0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(reliability_with_shared_risks(g.net, demand, {{{0}, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(reliability_with_shared_risks(
+                   g.net, demand,
+                   std::vector<SharedRiskGroup>(21, SharedRiskGroup{{0}, 0.1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/naive.hpp"
+#include "sim/availability_sim.hpp"
+#include "sim/link_dynamics.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(LinkDynamics, UnavailabilityFormula) {
+  LinkDynamics dyn;
+  dyn.mean_uptime = 90.0;
+  dyn.mean_downtime = 10.0;
+  EXPECT_DOUBLE_EQ(dyn.unavailability(), 0.1);
+  dyn.mean_uptime = -1.0;
+  EXPECT_THROW(dyn.unavailability(), std::invalid_argument);
+}
+
+TEST(LinkDynamics, FromProbabilitiesRoundTrips) {
+  const GeneratedNetwork g = make_fig4_graph(0.25);
+  const auto dynamics = dynamics_from_probabilities(g.net, 7.0);
+  ASSERT_EQ(dynamics.size(), 9u);
+  for (std::size_t i = 0; i < dynamics.size(); ++i) {
+    EXPECT_NEAR(dynamics[i].unavailability(),
+                g.net.edge(static_cast<EdgeId>(i)).failure_prob, 1e-12);
+    EXPECT_DOUBLE_EQ(dynamics[i].mean_downtime, 7.0);
+  }
+}
+
+TEST(LinkDynamics, PerfectLinksNeverTransition) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.0);
+  const auto dynamics = dynamics_from_probabilities(net);
+  EXPECT_DOUBLE_EQ(dynamics[0].unavailability(), 0.0);
+  SimulationOptions options;
+  options.duration = 100.0;
+  const SimulationReport report =
+      simulate_availability(net, {0, 1, 1}, dynamics, options);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_EQ(report.transitions, 0u);
+  EXPECT_EQ(report.interruptions, 0u);
+}
+
+TEST(Simulation, DeterministicForFixedSeed) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const auto dynamics = dynamics_from_probabilities(g.net);
+  SimulationOptions options;
+  options.duration = 2000.0;
+  const auto a =
+      simulate_availability(g.net, {g.source, g.sink, 2}, dynamics, options);
+  const auto b =
+      simulate_availability(g.net, {g.source, g.sink, 2}, dynamics, options);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.interruptions, b.interruptions);
+}
+
+TEST(Simulation, SingleLinkAvailabilityMatchesStationaryValue) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.2);
+  const auto dynamics = dynamics_from_probabilities(net, 3.0);
+  SimulationOptions options;
+  options.duration = 200'000.0;
+  const SimulationReport report =
+      simulate_availability(net, {0, 1, 1}, dynamics, options);
+  EXPECT_NEAR(report.availability, 0.8, 0.01);
+  // Outages on a single link ARE its down spells: mean ~ 3 time units.
+  EXPECT_NEAR(report.mean_outage, 3.0, 0.3);
+  EXPECT_GT(report.interruptions, 1000u);
+}
+
+TEST(Simulation, TimeAverageMatchesSnapshotReliability) {
+  // The load-bearing validation: stationary availability of the dynamic
+  // system equals the static reliability at matching probabilities.
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 4; ++trial) {
+    ClusteredParams params;
+    params.bottleneck_links = 2;
+    params.bottleneck_caps = {2, 2};
+    params.cluster_probs = {0.05, 0.3};
+    params.bottleneck_probs = {0.05, 0.3};
+    const GeneratedNetwork g = clustered_bottleneck(rng, params);
+    const FlowDemand demand{g.source, g.sink, 2};
+    const double analytic = reliability_naive(g.net, demand).reliability;
+    SimulationOptions options;
+    options.duration = 150'000.0;
+    options.seed = 1000 + static_cast<std::uint64_t>(trial);
+    const SimulationReport report = simulate_availability(
+        g.net, demand, dynamics_from_probabilities(g.net), options);
+    EXPECT_NEAR(report.availability, analytic, 0.015) << "trial " << trial;
+  }
+}
+
+TEST(Simulation, SpellAccountingIsConsistent) {
+  const GeneratedNetwork g = make_fig2_bridge_graph(0.15);
+  SimulationOptions options;
+  options.duration = 50'000.0;
+  const SimulationReport report = simulate_availability(
+      g.net, {g.source, g.sink, 1}, dynamics_from_probabilities(g.net),
+      options);
+  // Mean outage * count can't exceed total infeasible time.
+  const double infeasible_time =
+      (1.0 - report.availability) * options.duration;
+  EXPECT_LE(report.mean_outage * static_cast<double>(report.interruptions),
+            infeasible_time * 1.05);
+  EXPECT_GT(report.interruptions, 0u);
+  EXPECT_GT(report.mean_uptime_spell, report.mean_outage);
+}
+
+TEST(Simulation, ValidatesInput) {
+  const GeneratedNetwork g = make_fig4_graph(0.1);
+  const auto dynamics = dynamics_from_probabilities(g.net);
+  SimulationOptions bad;
+  bad.duration = -1.0;
+  EXPECT_THROW(
+      simulate_availability(g.net, {g.source, g.sink, 2}, dynamics, bad),
+      std::invalid_argument);
+  EXPECT_THROW(simulate_availability(g.net, {g.source, g.sink, 2},
+                                     std::vector<LinkDynamics>(2), {}),
+               std::invalid_argument);
+  EXPECT_THROW(dynamics_from_probabilities(g.net, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

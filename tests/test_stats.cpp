@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace streamrel {
+namespace {
+
+TEST(KahanSum, ExactForSmallIntegers) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.add(i);
+  EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
+}
+
+TEST(KahanSum, CompensatesTinyAddends) {
+  // 1 + 2^-60 added 2^20 times: naive double summation loses everything,
+  // compensated summation keeps the 2^-40 total.
+  KahanSum sum;
+  sum.add(1.0);
+  const double tiny = std::ldexp(1.0, -60);
+  for (int i = 0; i < (1 << 20); ++i) sum.add(tiny);
+  EXPECT_NEAR(sum.value() - 1.0, std::ldexp(1.0, -40), 1e-18);
+}
+
+TEST(KahanSum, MergePreservesTotals) {
+  KahanSum a, b, whole;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 1.0 / (i + 1.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.value(), whole.value(), 1e-12);
+}
+
+TEST(KahanSum, ResetClears) {
+  KahanSum sum;
+  sum.add(3.0);
+  sum.reset();
+  EXPECT_DOUBLE_EQ(sum.value(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStats, FewSamplesHaveZeroVariance) {
+  OnlineStats st;
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  st.add(42.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(ProportionCi, ShrinksWithSamples) {
+  const double wide = proportion_ci_halfwidth(50, 100);
+  const double narrow = proportion_ci_halfwidth(5000, 10000);
+  EXPECT_GT(wide, narrow);
+  EXPECT_NEAR(wide, 1.96 * std::sqrt(0.25 / 100.0), 1e-3);
+}
+
+TEST(ProportionCi, RejectsZeroSamples) {
+  EXPECT_THROW(proportion_ci_halfwidth(0, 0), std::invalid_argument);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval iv = wilson_interval(30, 100);
+  EXPECT_LT(iv.lo, 0.3);
+  EXPECT_GT(iv.hi, 0.3);
+  EXPECT_TRUE(iv.contains(0.3));
+}
+
+TEST(WilsonInterval, BehavedAtExtremes) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_GE(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval one = wilson_interval(100, 100);
+  EXPECT_LT(one.lo, 1.0);
+  EXPECT_LE(one.hi, 1.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataHasLowerR2) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 2, 4};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

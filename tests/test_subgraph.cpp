@@ -1,0 +1,111 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace streamrel {
+namespace {
+
+FlowNetwork make_net() {
+  FlowNetwork net(5);
+  net.add_undirected_edge(0, 1, 2, 0.1);  // inside
+  net.add_undirected_edge(1, 2, 3, 0.2);  // inside
+  net.add_undirected_edge(2, 3, 1, 0.3);  // crossing (3 outside)
+  net.add_directed_edge(3, 4, 1, 0.4);    // outside
+  net.add_undirected_edge(0, 2, 4, 0.5);  // inside
+  return net;
+}
+
+TEST(Subgraph, KeepsOnlyInternalEdgesWithAttributes) {
+  const FlowNetwork net = make_net();
+  const Subgraph sub =
+      induced_subgraph(net, {true, true, true, false, false});
+  EXPECT_EQ(sub.net.num_nodes(), 3);
+  EXPECT_EQ(sub.net.num_edges(), 3);
+  // Edge attributes survive the copy.
+  EXPECT_EQ(sub.net.edge(1).capacity, 3);
+  EXPECT_DOUBLE_EQ(sub.net.edge(2).failure_prob, 0.5);
+}
+
+TEST(Subgraph, NodeAndEdgeMapsAreInverse) {
+  const FlowNetwork net = make_net();
+  const Subgraph sub =
+      induced_subgraph(net, {true, true, true, false, false});
+  for (std::size_t sid = 0; sid < sub.node_map.size(); ++sid) {
+    const NodeId orig = sub.node_map[sid];
+    EXPECT_EQ(sub.node_to_sub[static_cast<std::size_t>(orig)],
+              static_cast<NodeId>(sid));
+  }
+  for (std::size_t sid = 0; sid < sub.edge_map.size(); ++sid) {
+    const EdgeId orig = sub.edge_map[sid];
+    EXPECT_EQ(sub.edge_to_sub[static_cast<std::size_t>(orig)],
+              static_cast<EdgeId>(sid));
+  }
+  // Excluded entities map to invalid.
+  EXPECT_EQ(sub.node_to_sub[3], kInvalidNode);
+  EXPECT_EQ(sub.edge_to_sub[2], kInvalidEdge);
+  EXPECT_EQ(sub.edge_to_sub[3], kInvalidEdge);
+}
+
+TEST(Subgraph, EndpointsRemapped) {
+  const FlowNetwork net = make_net();
+  const Subgraph sub =
+      induced_subgraph(net, {false, false, true, true, true});
+  // Kept edges: 2-3 and 3->4.
+  EXPECT_EQ(sub.net.num_edges(), 2);
+  const Edge& d = sub.net.edge(1);
+  EXPECT_TRUE(d.directed());
+  EXPECT_EQ(sub.node_map[static_cast<std::size_t>(d.u)], 3);
+  EXPECT_EQ(sub.node_map[static_cast<std::size_t>(d.v)], 4);
+}
+
+TEST(Subgraph, ProjectAndLiftMasksRoundTrip) {
+  const FlowNetwork net = make_net();
+  const Subgraph sub =
+      induced_subgraph(net, {true, true, true, false, false});
+  // Original alive mask covering edges 0, 2 (crossing, dropped), 4.
+  const Mask original = mask_of({0, 2, 4});
+  const Mask projected = project_mask(sub, original);
+  EXPECT_EQ(projected, mask_of({0, 2}));  // sub edges 0 (orig 0), 2 (orig 4)
+  EXPECT_EQ(lift_mask(sub, projected), mask_of({0, 4}));
+}
+
+TEST(Subgraph, EmptySelection) {
+  const FlowNetwork net = make_net();
+  const Subgraph sub =
+      induced_subgraph(net, {false, false, false, false, false});
+  EXPECT_EQ(sub.net.num_nodes(), 0);
+  EXPECT_EQ(sub.net.num_edges(), 0);
+}
+
+TEST(MergeSources, SuperSourceFeedsAllServers) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 2, 2, 0.1);
+  net.add_undirected_edge(1, 2, 3, 0.1);
+  net.add_undirected_edge(2, 3, 4, 0.1);
+  const NodeId super = merge_sources(net, {0, 1});
+  EXPECT_EQ(super, 4);
+  EXPECT_EQ(net.num_edges(), 5);
+  // Feed links are perfect and directed, appended after existing edges.
+  for (EdgeId id = 3; id < 5; ++id) {
+    EXPECT_TRUE(net.edge(id).directed());
+    EXPECT_DOUBLE_EQ(net.edge(id).failure_prob, 0.0);
+    EXPECT_EQ(net.edge(id).u, super);
+  }
+}
+
+TEST(MergeSources, ValidatesInput) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(merge_sources(net, {}), std::invalid_argument);
+  EXPECT_THROW(merge_sources(net, {5}), std::invalid_argument);
+}
+
+TEST(Subgraph, RejectsSizeMismatch) {
+  const FlowNetwork net = make_net();
+  EXPECT_THROW(induced_subgraph(net, {true, false}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -1,0 +1,61 @@
+#pragma once
+// Shared helpers for the test suite: tiny canonical networks, an
+// INDEPENDENT brute-force reliability oracle (coded differently from
+// src/reliability/naive.cpp on purpose), and float comparison tolerances.
+
+#include <cmath>
+#include <vector>
+
+#include "graph/flow_network.hpp"
+#include "maxflow/maxflow.hpp"
+#include "util/config_prob.hpp"
+
+namespace streamrel::testing {
+
+inline constexpr double kTol = 1e-9;
+
+/// Brute-force reliability: direct sum over all alive masks using the
+/// facade max_flow_masked with Edmonds-Karp (different code path from the
+/// ConfigResidual-based algorithms under test).
+inline double brute_force_reliability(const FlowNetwork& net,
+                                      const FlowDemand& demand) {
+  const Mask total = Mask{1} << net.num_edges();
+  const std::vector<double> probs = net.failure_probs();
+  double sum = 0.0;
+  for (Mask alive = 0; alive < total; ++alive) {
+    if (max_flow_masked(net, alive, demand.source, demand.sink,
+                        MaxFlowAlgorithm::kEdmondsKarp) >= demand.rate) {
+      sum += config_probability(probs, alive);
+    }
+  }
+  return sum;
+}
+
+/// s - m - t two-hop path with distinct probabilities.
+inline FlowNetwork series_pair(double p1, double p2, Capacity cap = 1) {
+  FlowNetwork net(3);
+  net.add_undirected_edge(0, 1, cap, p1);
+  net.add_undirected_edge(1, 2, cap, p2);
+  return net;
+}
+
+/// Two parallel s - t links.
+inline FlowNetwork parallel_pair(double p1, double p2, Capacity cap = 1) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, cap, p1);
+  net.add_undirected_edge(0, 1, cap, p2);
+  return net;
+}
+
+/// The classic 4-node diamond with a crossbar: s={0}, t={3}.
+inline FlowNetwork diamond(double p, Capacity cap = 1) {
+  FlowNetwork net(4);
+  net.add_undirected_edge(0, 1, cap, p);
+  net.add_undirected_edge(0, 2, cap, p);
+  net.add_undirected_edge(1, 2, cap, p);
+  net.add_undirected_edge(1, 3, cap, p);
+  net.add_undirected_edge(2, 3, cap, p);
+  return net;
+}
+
+}  // namespace streamrel::testing

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace streamrel {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsHeaderRule) {
+  TextTable t({"name", "value"});
+  t.new_row().add_cell("alpha").add_cell(std::int64_t{42});
+  t.new_row().add_cell("b").add_cell(std::int64_t{7});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric column is right-aligned: " 7" not "7 ".
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.new_row().add_cell(std::int64_t{1}).add_cell(std::int64_t{2});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, DoubleFormatting) {
+  TextTable t({"x"});
+  t.new_row().add_cell(0.123456789, 4);
+  EXPECT_NE(t.to_string().find("0.1235"), std::string::npos);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"only"});
+  t.new_row().add_cell("one");
+  EXPECT_THROW(t.add_cell("two"), std::logic_error);
+}
+
+TEST(TextTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(format_double(0.5, 6), "0.5");
+  EXPECT_EQ(format_double(1234567.0, 3), "1.23e+06");
+}
+
+TEST(CliArgs, ParsesEqualsAndSpaceForms) {
+  // Note --flag must come last (or use --flag=1): a bare flag followed by
+  // a non-flag token would consume it as a value.
+  const char* argv[] = {"prog", "--alpha=0.5", "--count", "12", "pos1",
+                        "--flag"};
+  const CliArgs args(6, argv);
+  EXPECT_TRUE(args.has("alpha"));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(args.get_int("count", 0), 12);
+  EXPECT_TRUE(args.get_bool("flag"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_FALSE(args.has("anything"));
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", -3), -3);
+  EXPECT_FALSE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("b", true));
+}
+
+TEST(CliArgs, ExplicitBooleanValues) {
+  const char* argv[] = {"prog", "--on=true", "--off=false"};
+  const CliArgs args(3, argv);
+  EXPECT_TRUE(args.get_bool("on"));
+  EXPECT_FALSE(args.get_bool("off", true));
+}
+
+TEST(CliArgs, RejectsBadBoolean) {
+  const char* argv[] = {"prog", "--weird=maybe"};
+  const CliArgs args(2, argv);
+  EXPECT_THROW(args.get_bool("weird"), std::invalid_argument);
+}
+
+TEST(CliArgs, ConsecutiveFlagsDontConsumeEachOther) {
+  const char* argv[] = {"prog", "--a", "--b=2"};
+  const CliArgs args(3, argv);
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace streamrel

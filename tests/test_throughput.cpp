@@ -1,0 +1,109 @@
+#include "reliability/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bottleneck_algorithm.hpp"
+#include "graph/generators.hpp"
+#include "p2p/overlay.hpp"
+#include "p2p/scenario.hpp"
+#include "p2p/tree_builder.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(Throughput, SingleLinkTwoLevels) {
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 2, 0.3);
+  const auto dist = throughput_distribution(net, {0, 1, 2});
+  ASSERT_EQ(dist.at_least.size(), 2u);
+  EXPECT_NEAR(dist.at_least[0], 0.7, kTol);  // >= 1: link up
+  EXPECT_NEAR(dist.at_least[1], 0.7, kTol);  // >= 2: same link carries both
+  EXPECT_NEAR(dist.expected_rate(), 1.4, kTol);
+}
+
+TEST(Throughput, ParallelPairLevels) {
+  const FlowNetwork net = testing::parallel_pair(0.2, 0.4);
+  const auto dist = throughput_distribution(net, {0, 1, 2});
+  EXPECT_NEAR(dist.at_least[0], 1.0 - 0.2 * 0.4, kTol);
+  EXPECT_NEAR(dist.at_least[1], 0.8 * 0.6, kTol);
+  const auto exact = dist.exactly();
+  ASSERT_EQ(exact.size(), 3u);
+  EXPECT_NEAR(exact[0], 0.2 * 0.4, kTol);
+  EXPECT_NEAR(exact[1], 0.8 * 0.4 + 0.2 * 0.6, kTol);
+  EXPECT_NEAR(exact[2], 0.8 * 0.6, kTol);
+}
+
+TEST(Throughput, TopLevelMatchesReliability) {
+  Xoshiro256 rng(888);
+  for (int trial = 0; trial < 25; ++trial) {
+    const GeneratedNetwork g = random_multigraph(
+        rng, static_cast<int>(rng.uniform_int(2, 6)),
+        static_cast<int>(rng.uniform_int(1, 10)), {1, 3}, {0.05, 0.5});
+    const Capacity d = rng.uniform_int(1, 4);
+    const auto dist = throughput_distribution(g.net, {g.source, g.sink, d});
+    // P(>= v) must equal the reliability of demand v, for every v.
+    for (Capacity v = 1; v <= d; ++v) {
+      EXPECT_NEAR(dist.at_least[static_cast<std::size_t>(v - 1)],
+                  reliability_naive(g.net, {g.source, g.sink, v}).reliability,
+                  1e-9)
+          << "trial " << trial << " v=" << v;
+    }
+  }
+}
+
+TEST(Throughput, AtLeastIsNonIncreasingAndExactlySumsToOne) {
+  const GeneratedNetwork g = make_fig4_graph(0.25);
+  const auto dist = throughput_distribution(g.net, {g.source, g.sink, 4});
+  for (std::size_t v = 1; v < dist.at_least.size(); ++v) {
+    EXPECT_LE(dist.at_least[v], dist.at_least[v - 1] + 1e-12);
+  }
+  double sum = 0.0;
+  for (double p : dist.exactly()) {
+    EXPECT_GE(p, -1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Throughput, QuantifiesStripingTradeOff) {
+  // The splitstream story in one call: with 2 stripes, expected rate is
+  // decent even though P(full rate) is low.
+  Overlay overlay(5);
+  StripedTreesOptions opts;
+  opts.stripes = 2;
+  opts.link_failure_prob = 0.15;
+  add_striped_trees(overlay, opts);
+  const auto dist = throughput_distribution(
+      overlay.net(), overlay.demand_to(overlay.peer(4), 2));
+  EXPECT_GT(dist.at_least[0], dist.at_least[1]);
+  EXPECT_GT(dist.expected_rate(), dist.at_least[1] * 2.0);
+}
+
+TEST(Throughput, BottleneckVariantMatchesNaive) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  const FlowDemand demand{g.source, g.sink, 3};
+  const BottleneckPartition partition =
+      partition_from_sides(g.net, g.source, g.sink, g.side_s);
+  const auto direct = throughput_distribution(g.net, demand);
+  const auto decomposed = throughput_bottleneck(g.net, demand, partition);
+  ASSERT_EQ(decomposed.at_least.size(), direct.at_least.size());
+  for (std::size_t v = 0; v < direct.at_least.size(); ++v) {
+    EXPECT_NEAR(decomposed.at_least[v], direct.at_least[v], 1e-9) << v;
+  }
+  EXPECT_NEAR(decomposed.expected_rate(), direct.expected_rate(), 1e-9);
+}
+
+TEST(Throughput, RejectsOversizedNetworks) {
+  FlowNetwork net(2);
+  for (int i = 0; i < 64; ++i) net.add_undirected_edge(0, 1, 1, 0.1);
+  EXPECT_THROW(throughput_distribution(net, {0, 1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel
