@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulation_ablation.dir/accumulation_ablation.cpp.o"
+  "CMakeFiles/accumulation_ablation.dir/accumulation_ablation.cpp.o.d"
+  "accumulation_ablation"
+  "accumulation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for accumulation_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_sweep.dir/alpha_sweep.cpp.o"
+  "CMakeFiles/alpha_sweep.dir/alpha_sweep.cpp.o.d"
+  "alpha_sweep"
+  "alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_mode_ablation.dir/assignment_mode_ablation.cpp.o"
+  "CMakeFiles/assignment_mode_ablation.dir/assignment_mode_ablation.cpp.o.d"
+  "assignment_mode_ablation"
+  "assignment_mode_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_mode_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for assignment_mode_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_quality.dir/bounds_quality.cpp.o"
+  "CMakeFiles/bounds_quality.dir/bounds_quality.cpp.o.d"
+  "bounds_quality"
+  "bounds_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

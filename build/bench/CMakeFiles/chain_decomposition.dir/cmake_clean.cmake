@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_decomposition.dir/chain_decomposition.cpp.o"
+  "CMakeFiles/chain_decomposition.dir/chain_decomposition.cpp.o.d"
+  "chain_decomposition"
+  "chain_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamics_validation.dir/dynamics_validation.cpp.o"
+  "CMakeFiles/dynamics_validation.dir/dynamics_validation.cpp.o.d"
+  "dynamics_validation"
+  "dynamics_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamics_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

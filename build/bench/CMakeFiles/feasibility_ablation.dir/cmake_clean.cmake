@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_ablation.dir/feasibility_ablation.cpp.o"
+  "CMakeFiles/feasibility_ablation.dir/feasibility_ablation.cpp.o.d"
+  "feasibility_ablation"
+  "feasibility_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_scaling.dir/frontier_scaling.cpp.o"
+  "CMakeFiles/frontier_scaling.dir/frontier_scaling.cpp.o.d"
+  "frontier_scaling"
+  "frontier_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

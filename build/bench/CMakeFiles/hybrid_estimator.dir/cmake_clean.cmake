@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_estimator.dir/hybrid_estimator.cpp.o"
+  "CMakeFiles/hybrid_estimator.dir/hybrid_estimator.cpp.o.d"
+  "hybrid_estimator"
+  "hybrid_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

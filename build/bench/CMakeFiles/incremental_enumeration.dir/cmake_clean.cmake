@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_enumeration.dir/incremental_enumeration.cpp.o"
+  "CMakeFiles/incremental_enumeration.dir/incremental_enumeration.cpp.o.d"
+  "incremental_enumeration"
+  "incremental_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

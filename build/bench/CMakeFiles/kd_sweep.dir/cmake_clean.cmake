@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_sweep.dir/kd_sweep.cpp.o"
+  "CMakeFiles/kd_sweep.dir/kd_sweep.cpp.o.d"
+  "kd_sweep"
+  "kd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

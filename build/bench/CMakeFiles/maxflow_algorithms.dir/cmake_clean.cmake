@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxflow_algorithms.dir/maxflow_algorithms.cpp.o"
+  "CMakeFiles/maxflow_algorithms.dir/maxflow_algorithms.cpp.o.d"
+  "maxflow_algorithms"
+  "maxflow_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxflow_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for maxflow_algorithms.
+# This may be replaced when dependencies are built.

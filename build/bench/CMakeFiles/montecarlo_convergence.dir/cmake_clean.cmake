@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_convergence.dir/montecarlo_convergence.cpp.o"
+  "CMakeFiles/montecarlo_convergence.dir/montecarlo_convergence.cpp.o.d"
+  "montecarlo_convergence"
+  "montecarlo_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for montecarlo_convergence.
+# This may be replaced when dependencies are built.

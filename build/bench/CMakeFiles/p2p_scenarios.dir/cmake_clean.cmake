@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_scenarios.dir/p2p_scenarios.cpp.o"
+  "CMakeFiles/p2p_scenarios.dir/p2p_scenarios.cpp.o.d"
+  "p2p_scenarios"
+  "p2p_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_artifacts.dir/paper_artifacts.cpp.o"
+  "CMakeFiles/paper_artifacts.dir/paper_artifacts.cpp.o.d"
+  "paper_artifacts"
+  "paper_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

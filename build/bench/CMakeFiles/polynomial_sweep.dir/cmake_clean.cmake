@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_sweep.dir/polynomial_sweep.cpp.o"
+  "CMakeFiles/polynomial_sweep.dir/polynomial_sweep.cpp.o.d"
+  "polynomial_sweep"
+  "polynomial_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

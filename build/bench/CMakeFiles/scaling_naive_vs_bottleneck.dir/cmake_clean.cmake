@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_naive_vs_bottleneck.dir/scaling_naive_vs_bottleneck.cpp.o"
+  "CMakeFiles/scaling_naive_vs_bottleneck.dir/scaling_naive_vs_bottleneck.cpp.o.d"
+  "scaling_naive_vs_bottleneck"
+  "scaling_naive_vs_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_naive_vs_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scaling_naive_vs_bottleneck.
+# This may be replaced when dependencies are built.

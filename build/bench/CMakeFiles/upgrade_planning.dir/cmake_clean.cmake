@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_planning.dir/upgrade_planning.cpp.o"
+  "CMakeFiles/upgrade_planning.dir/upgrade_planning.cpp.o.d"
+  "upgrade_planning"
+  "upgrade_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

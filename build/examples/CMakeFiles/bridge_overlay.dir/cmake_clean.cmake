@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_overlay.dir/bridge_overlay.cpp.o"
+  "CMakeFiles/bridge_overlay.dir/bridge_overlay.cpp.o.d"
+  "bridge_overlay"
+  "bridge_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

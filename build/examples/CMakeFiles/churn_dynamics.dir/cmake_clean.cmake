@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_dynamics.dir/churn_dynamics.cpp.o"
+  "CMakeFiles/churn_dynamics.dir/churn_dynamics.cpp.o.d"
+  "churn_dynamics"
+  "churn_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

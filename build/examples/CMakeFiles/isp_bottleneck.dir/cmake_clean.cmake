@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_bottleneck.dir/isp_bottleneck.cpp.o"
+  "CMakeFiles/isp_bottleneck.dir/isp_bottleneck.cpp.o.d"
+  "isp_bottleneck"
+  "isp_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for isp_bottleneck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_cli.dir/reliability_cli.cpp.o"
+  "CMakeFiles/reliability_cli.dir/reliability_cli.cpp.o.d"
+  "reliability_cli"
+  "reliability_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitstream_reliability.dir/splitstream_reliability.cpp.o"
+  "CMakeFiles/splitstream_reliability.dir/splitstream_reliability.cpp.o.d"
+  "splitstream_reliability"
+  "splitstream_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitstream_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srlg_audit.dir/srlg_audit.cpp.o"
+  "CMakeFiles/srlg_audit.dir/srlg_audit.cpp.o.d"
+  "srlg_audit"
+  "srlg_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srlg_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

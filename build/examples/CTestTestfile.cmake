@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bridge_overlay "/root/repo/build/examples/bridge_overlay" "--dot=/root/repo/build/examples/bridge.dot")
+set_tests_properties(example_bridge_overlay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_splitstream "/root/repo/build/examples/splitstream_reliability")
+set_tests_properties(example_splitstream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isp_bottleneck "/root/repo/build/examples/isp_bottleneck")
+set_tests_properties(example_isp_bottleneck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_srlg_audit "/root/repo/build/examples/srlg_audit")
+set_tests_properties(example_srlg_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_churn_dynamics "/root/repo/build/examples/churn_dynamics" "--horizon=5000")
+set_tests_properties(example_churn_dynamics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli "/root/repo/build/examples/reliability_cli" "/root/repo/examples/data/two_cluster.net" "--bounds" "--importance")
+set_tests_properties(example_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_montecarlo "/root/repo/build/examples/reliability_cli" "/root/repo/examples/data/two_cluster.net" "--method" "montecarlo" "--samples" "5000")
+set_tests_properties(example_cli_montecarlo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

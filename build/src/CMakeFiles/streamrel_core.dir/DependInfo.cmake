@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulate.cpp" "src/CMakeFiles/streamrel_core.dir/core/accumulate.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/accumulate.cpp.o.d"
+  "/root/repo/src/core/assignments.cpp" "src/CMakeFiles/streamrel_core.dir/core/assignments.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/assignments.cpp.o.d"
+  "/root/repo/src/core/bottleneck_algorithm.cpp" "src/CMakeFiles/streamrel_core.dir/core/bottleneck_algorithm.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/bottleneck_algorithm.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/CMakeFiles/streamrel_core.dir/core/chain.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/chain.cpp.o.d"
+  "/root/repo/src/core/hybrid_mc.cpp" "src/CMakeFiles/streamrel_core.dir/core/hybrid_mc.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/hybrid_mc.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/CMakeFiles/streamrel_core.dir/core/importance.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/importance.cpp.o.d"
+  "/root/repo/src/core/polynomial_decomposition.cpp" "src/CMakeFiles/streamrel_core.dir/core/polynomial_decomposition.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/polynomial_decomposition.cpp.o.d"
+  "/root/repo/src/core/reliability_facade.cpp" "src/CMakeFiles/streamrel_core.dir/core/reliability_facade.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/reliability_facade.cpp.o.d"
+  "/root/repo/src/core/shared_risk.cpp" "src/CMakeFiles/streamrel_core.dir/core/shared_risk.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/shared_risk.cpp.o.d"
+  "/root/repo/src/core/side_array.cpp" "src/CMakeFiles/streamrel_core.dir/core/side_array.cpp.o" "gcc" "src/CMakeFiles/streamrel_core.dir/core/side_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_core.dir/core/accumulate.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/accumulate.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/assignments.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/assignments.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/bottleneck_algorithm.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/bottleneck_algorithm.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/chain.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/chain.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/hybrid_mc.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/hybrid_mc.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/importance.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/importance.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/polynomial_decomposition.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/polynomial_decomposition.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/reliability_facade.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/reliability_facade.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/shared_risk.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/shared_risk.cpp.o.d"
+  "CMakeFiles/streamrel_core.dir/core/side_array.cpp.o"
+  "CMakeFiles/streamrel_core.dir/core/side_array.cpp.o.d"
+  "libstreamrel_core.a"
+  "libstreamrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuts/bottleneck.cpp" "src/CMakeFiles/streamrel_cuts.dir/cuts/bottleneck.cpp.o" "gcc" "src/CMakeFiles/streamrel_cuts.dir/cuts/bottleneck.cpp.o.d"
+  "/root/repo/src/cuts/chain_search.cpp" "src/CMakeFiles/streamrel_cuts.dir/cuts/chain_search.cpp.o" "gcc" "src/CMakeFiles/streamrel_cuts.dir/cuts/chain_search.cpp.o.d"
+  "/root/repo/src/cuts/cut_enumeration.cpp" "src/CMakeFiles/streamrel_cuts.dir/cuts/cut_enumeration.cpp.o" "gcc" "src/CMakeFiles/streamrel_cuts.dir/cuts/cut_enumeration.cpp.o.d"
+  "/root/repo/src/cuts/partition_search.cpp" "src/CMakeFiles/streamrel_cuts.dir/cuts/partition_search.cpp.o" "gcc" "src/CMakeFiles/streamrel_cuts.dir/cuts/partition_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

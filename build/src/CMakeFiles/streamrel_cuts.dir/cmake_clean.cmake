@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_cuts.dir/cuts/bottleneck.cpp.o"
+  "CMakeFiles/streamrel_cuts.dir/cuts/bottleneck.cpp.o.d"
+  "CMakeFiles/streamrel_cuts.dir/cuts/chain_search.cpp.o"
+  "CMakeFiles/streamrel_cuts.dir/cuts/chain_search.cpp.o.d"
+  "CMakeFiles/streamrel_cuts.dir/cuts/cut_enumeration.cpp.o"
+  "CMakeFiles/streamrel_cuts.dir/cuts/cut_enumeration.cpp.o.d"
+  "CMakeFiles/streamrel_cuts.dir/cuts/partition_search.cpp.o"
+  "CMakeFiles/streamrel_cuts.dir/cuts/partition_search.cpp.o.d"
+  "libstreamrel_cuts.a"
+  "libstreamrel_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

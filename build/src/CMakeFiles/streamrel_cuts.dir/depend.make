@@ -1,0 +1,2 @@
+# Empty dependencies file for streamrel_cuts.
+# This may be replaced when dependencies are built.

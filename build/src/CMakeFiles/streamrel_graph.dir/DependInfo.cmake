@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/dot_export.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/dot_export.cpp.o.d"
+  "/root/repo/src/graph/flow_network.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/flow_network.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/flow_network.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_algos.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/graph_algos.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/graph_algos.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/streamrel_graph.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/streamrel_graph.dir/graph/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

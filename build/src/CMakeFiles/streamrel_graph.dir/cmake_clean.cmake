@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_graph.dir/graph/dot_export.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/dot_export.cpp.o.d"
+  "CMakeFiles/streamrel_graph.dir/graph/flow_network.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/flow_network.cpp.o.d"
+  "CMakeFiles/streamrel_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/streamrel_graph.dir/graph/graph_algos.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/graph_algos.cpp.o.d"
+  "CMakeFiles/streamrel_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/streamrel_graph.dir/graph/subgraph.cpp.o"
+  "CMakeFiles/streamrel_graph.dir/graph/subgraph.cpp.o.d"
+  "libstreamrel_graph.a"
+  "libstreamrel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maxflow/config_residual.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/config_residual.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/config_residual.cpp.o.d"
+  "/root/repo/src/maxflow/dinic.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/dinic.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/dinic.cpp.o.d"
+  "/root/repo/src/maxflow/edmonds_karp.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/edmonds_karp.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/edmonds_karp.cpp.o.d"
+  "/root/repo/src/maxflow/incremental_dinic.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/incremental_dinic.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/incremental_dinic.cpp.o.d"
+  "/root/repo/src/maxflow/maxflow.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/maxflow.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/maxflow.cpp.o.d"
+  "/root/repo/src/maxflow/push_relabel.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/push_relabel.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/push_relabel.cpp.o.d"
+  "/root/repo/src/maxflow/residual_graph.cpp" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/residual_graph.cpp.o" "gcc" "src/CMakeFiles/streamrel_maxflow.dir/maxflow/residual_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

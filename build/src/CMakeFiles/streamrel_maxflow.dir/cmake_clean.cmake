@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/config_residual.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/config_residual.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/dinic.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/dinic.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/edmonds_karp.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/edmonds_karp.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/incremental_dinic.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/incremental_dinic.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/maxflow.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/maxflow.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/push_relabel.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/push_relabel.cpp.o.d"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/residual_graph.cpp.o"
+  "CMakeFiles/streamrel_maxflow.dir/maxflow/residual_graph.cpp.o.d"
+  "libstreamrel_maxflow.a"
+  "libstreamrel_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for streamrel_maxflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/churn.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/churn.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/churn.cpp.o.d"
+  "/root/repo/src/p2p/mesh_builder.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/mesh_builder.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/mesh_builder.cpp.o.d"
+  "/root/repo/src/p2p/optimizer.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/optimizer.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/optimizer.cpp.o.d"
+  "/root/repo/src/p2p/overlay.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/overlay.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/overlay.cpp.o.d"
+  "/root/repo/src/p2p/scenario.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/scenario.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/scenario.cpp.o.d"
+  "/root/repo/src/p2p/tree_builder.cpp" "src/CMakeFiles/streamrel_p2p.dir/p2p/tree_builder.cpp.o" "gcc" "src/CMakeFiles/streamrel_p2p.dir/p2p/tree_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

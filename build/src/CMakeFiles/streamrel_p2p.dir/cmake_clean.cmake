@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_p2p.dir/p2p/churn.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/churn.cpp.o.d"
+  "CMakeFiles/streamrel_p2p.dir/p2p/mesh_builder.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/mesh_builder.cpp.o.d"
+  "CMakeFiles/streamrel_p2p.dir/p2p/optimizer.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/optimizer.cpp.o.d"
+  "CMakeFiles/streamrel_p2p.dir/p2p/overlay.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/overlay.cpp.o.d"
+  "CMakeFiles/streamrel_p2p.dir/p2p/scenario.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/scenario.cpp.o.d"
+  "CMakeFiles/streamrel_p2p.dir/p2p/tree_builder.cpp.o"
+  "CMakeFiles/streamrel_p2p.dir/p2p/tree_builder.cpp.o.d"
+  "libstreamrel_p2p.a"
+  "libstreamrel_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/bounds.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/bounds.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/bounds.cpp.o.d"
+  "/root/repo/src/reliability/factoring.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/factoring.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/factoring.cpp.o.d"
+  "/root/repo/src/reliability/frontier.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/frontier.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/frontier.cpp.o.d"
+  "/root/repo/src/reliability/monte_carlo.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/monte_carlo.cpp.o.d"
+  "/root/repo/src/reliability/multicast.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/multicast.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/multicast.cpp.o.d"
+  "/root/repo/src/reliability/naive.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/naive.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/naive.cpp.o.d"
+  "/root/repo/src/reliability/node_failures.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/node_failures.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/node_failures.cpp.o.d"
+  "/root/repo/src/reliability/polynomial.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/polynomial.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/polynomial.cpp.o.d"
+  "/root/repo/src/reliability/reductions.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/reductions.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/reductions.cpp.o.d"
+  "/root/repo/src/reliability/throughput.cpp" "src/CMakeFiles/streamrel_reliability.dir/reliability/throughput.cpp.o" "gcc" "src/CMakeFiles/streamrel_reliability.dir/reliability/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_reliability.dir/reliability/bounds.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/bounds.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/factoring.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/factoring.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/frontier.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/frontier.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/monte_carlo.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/monte_carlo.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/multicast.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/multicast.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/naive.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/naive.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/node_failures.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/node_failures.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/polynomial.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/polynomial.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/reductions.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/reductions.cpp.o.d"
+  "CMakeFiles/streamrel_reliability.dir/reliability/throughput.cpp.o"
+  "CMakeFiles/streamrel_reliability.dir/reliability/throughput.cpp.o.d"
+  "libstreamrel_reliability.a"
+  "libstreamrel_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

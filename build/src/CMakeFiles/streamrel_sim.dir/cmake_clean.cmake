@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_sim.dir/sim/availability_sim.cpp.o"
+  "CMakeFiles/streamrel_sim.dir/sim/availability_sim.cpp.o.d"
+  "CMakeFiles/streamrel_sim.dir/sim/link_dynamics.cpp.o"
+  "CMakeFiles/streamrel_sim.dir/sim/link_dynamics.cpp.o.d"
+  "libstreamrel_sim.a"
+  "libstreamrel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitops.cpp" "src/CMakeFiles/streamrel_util.dir/util/bitops.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/bitops.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/streamrel_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/config_prob.cpp" "src/CMakeFiles/streamrel_util.dir/util/config_prob.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/config_prob.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/streamrel_util.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/streamrel_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/streamrel_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/streamrel_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

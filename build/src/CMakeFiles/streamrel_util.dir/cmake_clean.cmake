@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamrel_util.dir/util/bitops.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/bitops.cpp.o.d"
+  "CMakeFiles/streamrel_util.dir/util/cli.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/streamrel_util.dir/util/config_prob.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/config_prob.cpp.o.d"
+  "CMakeFiles/streamrel_util.dir/util/prng.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/streamrel_util.dir/util/stats.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/streamrel_util.dir/util/table.cpp.o"
+  "CMakeFiles/streamrel_util.dir/util/table.cpp.o.d"
+  "libstreamrel_util.a"
+  "libstreamrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstreamrel_util.a"
+)

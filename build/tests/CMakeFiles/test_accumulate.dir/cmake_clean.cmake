@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accumulate.dir/test_accumulate.cpp.o"
+  "CMakeFiles/test_accumulate.dir/test_accumulate.cpp.o.d"
+  "test_accumulate"
+  "test_accumulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accumulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assignments.dir/test_assignments.cpp.o"
+  "CMakeFiles/test_assignments.dir/test_assignments.cpp.o.d"
+  "test_assignments"
+  "test_assignments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assignments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitops.dir/test_bitops.cpp.o"
+  "CMakeFiles/test_bitops.dir/test_bitops.cpp.o.d"
+  "test_bitops"
+  "test_bitops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

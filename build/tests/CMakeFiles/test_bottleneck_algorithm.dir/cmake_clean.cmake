@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bottleneck_algorithm.dir/test_bottleneck_algorithm.cpp.o"
+  "CMakeFiles/test_bottleneck_algorithm.dir/test_bottleneck_algorithm.cpp.o.d"
+  "test_bottleneck_algorithm"
+  "test_bottleneck_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bottleneck_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

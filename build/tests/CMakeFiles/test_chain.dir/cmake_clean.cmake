@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain.dir/test_chain.cpp.o"
+  "CMakeFiles/test_chain.dir/test_chain.cpp.o.d"
+  "test_chain"
+  "test_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

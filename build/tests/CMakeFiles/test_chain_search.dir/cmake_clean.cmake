@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_search.dir/test_chain_search.cpp.o"
+  "CMakeFiles/test_chain_search.dir/test_chain_search.cpp.o.d"
+  "test_chain_search"
+  "test_chain_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

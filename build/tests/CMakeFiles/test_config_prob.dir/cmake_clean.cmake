@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_prob.dir/test_config_prob.cpp.o"
+  "CMakeFiles/test_config_prob.dir/test_config_prob.cpp.o.d"
+  "test_config_prob"
+  "test_config_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

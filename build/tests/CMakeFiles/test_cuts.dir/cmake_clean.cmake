@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuts.dir/test_cuts.cpp.o"
+  "CMakeFiles/test_cuts.dir/test_cuts.cpp.o.d"
+  "test_cuts"
+  "test_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

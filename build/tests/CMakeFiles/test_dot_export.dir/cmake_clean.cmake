@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dot_export.dir/test_dot_export.cpp.o"
+  "CMakeFiles/test_dot_export.dir/test_dot_export.cpp.o.d"
+  "test_dot_export"
+  "test_dot_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dot_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facade.dir/test_facade.cpp.o"
+  "CMakeFiles/test_facade.dir/test_facade.cpp.o.d"
+  "test_facade"
+  "test_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

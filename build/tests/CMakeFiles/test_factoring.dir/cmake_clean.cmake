@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factoring.dir/test_factoring.cpp.o"
+  "CMakeFiles/test_factoring.dir/test_factoring.cpp.o.d"
+  "test_factoring"
+  "test_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

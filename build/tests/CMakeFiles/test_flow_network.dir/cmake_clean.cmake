@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_network.dir/test_flow_network.cpp.o"
+  "CMakeFiles/test_flow_network.dir/test_flow_network.cpp.o.d"
+  "test_flow_network"
+  "test_flow_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

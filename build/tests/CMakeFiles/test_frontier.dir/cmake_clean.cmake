@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontier.dir/test_frontier.cpp.o"
+  "CMakeFiles/test_frontier.dir/test_frontier.cpp.o.d"
+  "test_frontier"
+  "test_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_algos.dir/test_graph_algos.cpp.o"
+  "CMakeFiles/test_graph_algos.dir/test_graph_algos.cpp.o.d"
+  "test_graph_algos"
+  "test_graph_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

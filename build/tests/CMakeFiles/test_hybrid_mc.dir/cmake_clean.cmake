@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_mc.dir/test_hybrid_mc.cpp.o"
+  "CMakeFiles/test_hybrid_mc.dir/test_hybrid_mc.cpp.o.d"
+  "test_hybrid_mc"
+  "test_hybrid_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

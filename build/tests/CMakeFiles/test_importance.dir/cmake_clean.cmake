@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_importance.dir/test_importance.cpp.o"
+  "CMakeFiles/test_importance.dir/test_importance.cpp.o.d"
+  "test_importance"
+  "test_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxflow.dir/test_maxflow.cpp.o"
+  "CMakeFiles/test_maxflow.dir/test_maxflow.cpp.o.d"
+  "test_maxflow"
+  "test_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

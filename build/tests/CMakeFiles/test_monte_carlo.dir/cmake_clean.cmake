@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monte_carlo.dir/test_monte_carlo.cpp.o"
+  "CMakeFiles/test_monte_carlo.dir/test_monte_carlo.cpp.o.d"
+  "test_monte_carlo"
+  "test_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

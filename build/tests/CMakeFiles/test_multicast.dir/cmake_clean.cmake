@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicast.dir/test_multicast.cpp.o"
+  "CMakeFiles/test_multicast.dir/test_multicast.cpp.o.d"
+  "test_multicast"
+  "test_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_node_failures.cpp" "tests/CMakeFiles/test_node_failures.dir/test_node_failures.cpp.o" "gcc" "tests/CMakeFiles/test_node_failures.dir/test_node_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamrel_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_cuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

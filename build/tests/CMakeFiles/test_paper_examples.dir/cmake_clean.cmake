@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_examples.dir/test_paper_examples.cpp.o"
+  "CMakeFiles/test_paper_examples.dir/test_paper_examples.cpp.o.d"
+  "test_paper_examples"
+  "test_paper_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

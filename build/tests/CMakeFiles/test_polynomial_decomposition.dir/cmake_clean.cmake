@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polynomial_decomposition.dir/test_polynomial_decomposition.cpp.o"
+  "CMakeFiles/test_polynomial_decomposition.dir/test_polynomial_decomposition.cpp.o.d"
+  "test_polynomial_decomposition"
+  "test_polynomial_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polynomial_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reductions.dir/test_reductions.cpp.o"
+  "CMakeFiles/test_reductions.dir/test_reductions.cpp.o.d"
+  "test_reductions"
+  "test_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

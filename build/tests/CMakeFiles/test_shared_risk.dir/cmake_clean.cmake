@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_risk.dir/test_shared_risk.cpp.o"
+  "CMakeFiles/test_shared_risk.dir/test_shared_risk.cpp.o.d"
+  "test_shared_risk"
+  "test_shared_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_side_array.dir/test_side_array.cpp.o"
+  "CMakeFiles/test_side_array.dir/test_side_array.cpp.o.d"
+  "test_side_array"
+  "test_side_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_side_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_cli.dir/test_table_cli.cpp.o"
+  "CMakeFiles/test_table_cli.dir/test_table_cli.cpp.o.d"
+  "test_table_cli"
+  "test_table_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
