@@ -39,10 +39,14 @@ BottleneckResult reliability_bottleneck(const FlowNetwork& net,
       make_side_problem(net, demand, partition, /*source_side=*/true);
   const SideProblem side_t =
       make_side_problem(net, demand, partition, /*source_side=*/false);
+  SideArrayStats side_stats;
   const std::vector<Mask> array_s = build_side_array(
-      side_s, assignments, demand.rate, options.side, &result.maxflow_calls);
+      side_s, assignments, demand.rate, options.side, &side_stats);
   const std::vector<Mask> array_t = build_side_array(
-      side_t, assignments, demand.rate, options.side, &result.maxflow_calls);
+      side_t, assignments, demand.rate, options.side, &side_stats);
+  result.maxflow_calls += side_stats.maxflow_calls;
+  result.pruned_decisions = side_stats.pruned_decisions;
+  result.engine_toggles = side_stats.engine_toggles;
   result.configurations = array_s.size() + array_t.size();
   const MaskDistribution dist_s = bucket_side_array(side_s, array_s);
   const MaskDistribution dist_t = bucket_side_array(side_t, array_t);

@@ -31,6 +31,9 @@ struct BottleneckResult {
   double reliability = 0.0;
   std::uint64_t configurations = 0;  ///< side configurations enumerated
   std::uint64_t maxflow_calls = 0;
+  std::uint64_t pruned_decisions = 0;  ///< side-array feasibility answers
+                                       ///< obtained by monotonicity alone
+  std::uint64_t engine_toggles = 0;  ///< single-link incremental repairs
   int num_assignments = 0;           ///< |D|
   AssignmentMode mode_used = AssignmentMode::kForwardOnly;
   PartitionStats partition_stats;

@@ -1,14 +1,15 @@
 #include "core/side_array.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
-#include <unordered_map>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 #include "maxflow/config_residual.hpp"
+#include "maxflow/incremental_dinic.hpp"
 #include "util/config_prob.hpp"
 #include "util/stats.hpp"
 
@@ -50,87 +51,133 @@ namespace {
 
 // Shared super-arc layout: index 0 is the anchor arc, then per crossing
 // edge i an "in" arc S0 -> endpoint (index 1 + 2i) and an "out" arc
-// endpoint -> T1 (index 2 + 2i).
+// endpoint -> T1 (index 2 + 2i). All arcs start at capacity 0; the
+// configure_* helpers below set the pristine capacities, which take
+// effect at the next reset (scratch path) or engine attach (Gray path).
+struct SuperTerminals {
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+};
+
+SuperTerminals add_side_super_arcs(ConfigResidual& residual,
+                                   const SideProblem& side) {
+  SuperTerminals t;
+  t.source = residual.add_super_node();
+  t.sink = residual.add_super_node();
+  if (side.is_source_side) {
+    residual.add_super_arc(t.source, side.anchor, 0, 0);
+  } else {
+    residual.add_super_arc(side.anchor, t.sink, 0, 0);
+  }
+  for (NodeId endpoint : side.endpoints) {
+    residual.add_super_arc(t.source, endpoint, 0, 0);  // in arc
+    residual.add_super_arc(endpoint, t.sink, 0, 0);    // out arc
+  }
+  return t;
+}
+
+// Configures the super arcs for one assignment; returns the flow total
+// that signals feasibility.
+Capacity configure_assignment_arcs(ConfigResidual& residual,
+                                   const SideProblem& side,
+                                   const Assignment& a, Capacity d) {
+  residual.set_super_arc(0, d, 0);
+  Capacity backflow = 0;
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    const Capacity u = a.usage[i];
+    const std::size_t in_arc = 1 + 2 * i;
+    const std::size_t out_arc = 2 + 2 * i;
+    // Source side: positive usage leaves via the endpoint (out arc);
+    // negative usage enters there. Sink side is the mirror image.
+    const bool leaves = side.is_source_side ? (u > 0) : (u < 0);
+    const Capacity mag = u > 0 ? u : -u;
+    residual.set_super_arc(in_arc, leaves ? 0 : mag, 0);
+    residual.set_super_arc(out_arc, leaves ? mag : 0, 0);
+    if (u < 0) backflow -= u;
+  }
+  return d + backflow;
+}
+
+// Configures f(Q) probing for the polymatroid path: every endpoint in Q
+// gets capacity `d` on its demand-facing arc.
+void configure_subset_arcs(ConfigResidual& residual, const SideProblem& side,
+                           Mask q, Capacity d) {
+  residual.set_super_arc(0, d, 0);
+  for (std::size_t i = 0; i < side.endpoints.size(); ++i) {
+    const std::size_t in_arc = 1 + 2 * i;
+    const std::size_t out_arc = 2 + 2 * i;
+    const bool in_q = test_bit(q, static_cast<int>(i));
+    if (side.is_source_side) {
+      residual.set_super_arc(in_arc, 0, 0);
+      residual.set_super_arc(out_arc, in_q ? d : 0, 0);
+    } else {
+      residual.set_super_arc(in_arc, in_q ? d : 0, 0);
+      residual.set_super_arc(out_arc, 0, 0);
+    }
+  }
+}
+
+// Per assignment, per subset Q: sum of usages inside Q (Gale's condition
+// data for the polymatroid path).
+std::vector<std::vector<Capacity>> subset_usage_sums(
+    const AssignmentSet& assignments, Mask subsets) {
+  std::vector<std::vector<Capacity>> sums(
+      static_cast<std::size_t>(assignments.size()),
+      std::vector<Capacity>(static_cast<std::size_t>(subsets), 0));
+  for (int j = 0; j < assignments.size(); ++j) {
+    const auto& usage =
+        assignments.assignments[static_cast<std::size_t>(j)].usage;
+    for (Mask q = 1; q < subsets; ++q) {
+      const int low = lowest_bit(q);
+      sums[static_cast<std::size_t>(j)][static_cast<std::size_t>(q)] =
+          sums[static_cast<std::size_t>(j)][static_cast<std::size_t>(q & (q - 1))] +
+          usage[static_cast<std::size_t>(low)];
+    }
+  }
+  return sums;
+}
+
+// ---------------------------------------------------------------------------
+// Scratch sweeps — the paper's procedure, one reset + solve per query.
+
 struct SideEvaluator {
   SideEvaluator(const SideProblem& side, MaxFlowAlgorithm algorithm)
       : side_(&side),
         residual_(side.sub.net),
-        solver_(make_solver(algorithm)) {
-    super_source_ = residual_.add_super_node();
-    super_sink_ = residual_.add_super_node();
-    if (side.is_source_side) {
-      residual_.add_super_arc(super_source_, side.anchor, 0, 0);
-    } else {
-      residual_.add_super_arc(side.anchor, super_sink_, 0, 0);
-    }
-    for (NodeId endpoint : side.endpoints) {
-      residual_.add_super_arc(super_source_, endpoint, 0, 0);  // in arc
-      residual_.add_super_arc(endpoint, super_sink_, 0, 0);    // out arc
-    }
-  }
+        solver_(make_solver(algorithm)),
+        terminals_(add_side_super_arcs(residual_, side)) {}
 
-  // Configures the super arcs for one assignment; returns the flow total
-  // that signals feasibility.
   Capacity configure(const Assignment& a, Capacity d) {
-    residual_.set_super_arc(0, d, 0);
-    Capacity backflow = 0;
-    for (std::size_t i = 0; i < a.usage.size(); ++i) {
-      const Capacity u = a.usage[i];
-      const std::size_t in_arc = 1 + 2 * i;
-      const std::size_t out_arc = 2 + 2 * i;
-      // Source side: positive usage leaves via the endpoint (out arc);
-      // negative usage enters there. Sink side is the mirror image.
-      const bool leaves = side_->is_source_side ? (u > 0) : (u < 0);
-      const Capacity mag = u > 0 ? u : -u;
-      residual_.set_super_arc(in_arc, leaves ? 0 : mag, 0);
-      residual_.set_super_arc(out_arc, leaves ? mag : 0, 0);
-      if (u < 0) backflow -= u;
-    }
-    return d + backflow;
+    return configure_assignment_arcs(residual_, *side_, a, d);
   }
 
-  // Configures f(Q) probing for the polymatroid path: every endpoint in Q
-  // gets capacity `d` on its demand-facing arc.
   void configure_subset(Mask q, Capacity d) {
-    residual_.set_super_arc(0, d, 0);
-    for (std::size_t i = 0; i < side_->endpoints.size(); ++i) {
-      const std::size_t in_arc = 1 + 2 * i;
-      const std::size_t out_arc = 2 + 2 * i;
-      const bool in_q = test_bit(q, static_cast<int>(i));
-      if (side_->is_source_side) {
-        residual_.set_super_arc(in_arc, 0, 0);
-        residual_.set_super_arc(out_arc, in_q ? d : 0, 0);
-      } else {
-        residual_.set_super_arc(in_arc, in_q ? d : 0, 0);
-        residual_.set_super_arc(out_arc, 0, 0);
-      }
-    }
+    configure_subset_arcs(residual_, *side_, q, d);
   }
 
   Capacity solve(Mask config, Capacity limit) {
     residual_.reset(config);
-    return solver_->solve(residual_.graph(), super_source_, super_sink_,
-                          limit);
+    return solver_->solve(residual_.graph(), terminals_.source,
+                          terminals_.sink, limit);
   }
 
   const SideProblem* side_;
   ConfigResidual residual_;
   std::unique_ptr<MaxFlowSolver> solver_;
-  NodeId super_source_ = kInvalidNode;
-  NodeId super_sink_ = kInvalidNode;
+  SuperTerminals terminals_;
 };
 
 void sweep_per_assignment(const SideProblem& side,
                           const AssignmentSet& assignments, Capacity d,
                           MaxFlowAlgorithm algorithm, Mask first, Mask last,
-                          std::vector<Mask>& array, std::uint64_t& calls) {
+                          std::vector<Mask>& array, SideArrayStats& stats) {
   SideEvaluator eval(side, algorithm);
   for (int j = 0; j < assignments.size(); ++j) {
     const Capacity required =
         eval.configure(assignments.assignments[static_cast<std::size_t>(j)],
                        d);
     for (Mask config = first;; ++config) {
-      ++calls;
+      ++stats.maxflow_calls;
       if (eval.solve(config, required) >= required) {
         array[static_cast<std::size_t>(config)] |= bit(j);
       }
@@ -142,31 +189,18 @@ void sweep_per_assignment(const SideProblem& side,
 void sweep_polymatroid(const SideProblem& side,
                        const AssignmentSet& assignments, Capacity d,
                        MaxFlowAlgorithm algorithm, Mask first, Mask last,
-                       std::vector<Mask>& array, std::uint64_t& calls) {
+                       std::vector<Mask>& array, SideArrayStats& stats) {
   const int k = static_cast<int>(side.endpoints.size());
   const Mask subsets = Mask{1} << k;
-  // Per assignment, per subset Q: sum of usages inside Q (precomputed).
-  std::vector<std::vector<Capacity>> subset_sums(
-      static_cast<std::size_t>(assignments.size()),
-      std::vector<Capacity>(static_cast<std::size_t>(subsets), 0));
-  for (int j = 0; j < assignments.size(); ++j) {
-    const auto& usage =
-        assignments.assignments[static_cast<std::size_t>(j)].usage;
-    for (Mask q = 1; q < subsets; ++q) {
-      const int low = lowest_bit(q);
-      subset_sums[static_cast<std::size_t>(j)][static_cast<std::size_t>(q)] =
-          subset_sums[static_cast<std::size_t>(j)]
-                     [static_cast<std::size_t>(q & (q - 1))] +
-          usage[static_cast<std::size_t>(low)];
-    }
-  }
+  const std::vector<std::vector<Capacity>> subset_sums =
+      subset_usage_sums(assignments, subsets);
 
   SideEvaluator eval(side, algorithm);
   std::vector<Capacity> f(static_cast<std::size_t>(subsets), 0);
   for (Mask config = first;; ++config) {
     for (Mask q = 1; q < subsets; ++q) {
       eval.configure_subset(q, d);
-      ++calls;
+      ++stats.maxflow_calls;
       f[static_cast<std::size_t>(q)] = eval.solve(config, d);
     }
     Mask realized = 0;
@@ -184,13 +218,201 @@ void sweep_polymatroid(const SideProblem& side,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Gray-code incremental sweeps.
+//
+// One persistent IncrementalMaxFlow engine per feasibility question
+// (per assignment, or per subset Q on the polymatroid path). The walk
+// visits configurations as gray_code(rank) for rank in [first, last], so
+// consecutive configurations differ in exactly one link and a consulted
+// engine repairs one edge instead of re-solving. Engines synchronise
+// LAZILY: monotone pruning answers a query from the engine's stale state
+// whenever feasibility at a subset (yes) or superset (no) already decides
+// it, and only a query the pruning cannot answer pays for the catch-up
+// toggles. Output is bitwise-identical to the scratch sweeps.
+
+struct GrayEngine {
+  explicit GrayEngine(const FlowNetwork& net) : residual(net) {}
+
+  ConfigResidual residual;
+  SuperTerminals terminals;
+  std::unique_ptr<IncrementalMaxFlow> flow;
+  // Cached verdict for state flow->alive_mask(), with certificates that
+  // extend it well beyond subset/superset states (see refresh()):
+  Capacity value = 0;  ///< bounded flow value at the cached state
+  bool admits = false; ///< value >= the engine's target
+  Mask support = 0;    ///< side edges the cached flow routes through
+  Mask cut = 0;        ///< saturated-cut crossing edges (when !admits)
+
+  /// Re-reads the verdict and (when pruning consults them) its
+  /// certificates after a sync. The support certificate keeps the
+  /// verdict's LOWER bound valid at any config that preserves the
+  /// carrying edges; the cut certificate keeps the UPPER bound (the
+  /// saturated cut's capacity == value) valid at any config that does not
+  /// revive a dead crossing edge.
+  void refresh(bool with_certificates) {
+    value = flow->flow_value();
+    admits = flow->admits();
+    if (!with_certificates) return;
+    support = flow->support_mask();
+    cut = admits ? Mask{0} : flow->cut_mask();
+  }
+
+  void collect(SideArrayStats& stats) const {
+    stats.maxflow_calls += flow->solver_calls();
+    stats.engine_toggles += flow->toggles();
+  }
+};
+
+void sweep_per_assignment_gray(const SideProblem& side,
+                               const AssignmentSet& assignments, Capacity d,
+                               bool pruning, Mask first, Mask last,
+                               std::vector<Mask>& array,
+                               SideArrayStats& stats) {
+  const Mask start_config = gray_code(first);
+  std::vector<std::unique_ptr<GrayEngine>> engines;
+  engines.reserve(static_cast<std::size_t>(assignments.size()));
+  for (int j = 0; j < assignments.size(); ++j) {
+    auto e = std::make_unique<GrayEngine>(side.sub.net);
+    e->terminals = add_side_super_arcs(e->residual, side);
+    const Capacity required = configure_assignment_arcs(
+        e->residual, side, assignments.assignments[static_cast<std::size_t>(j)],
+        d);
+    e->flow = std::make_unique<IncrementalMaxFlow>(
+        e->residual, e->terminals.source, e->terminals.sink, required,
+        start_config);
+    e->refresh(pruning);
+    engines.push_back(std::move(e));
+  }
+
+  for (Mask rank = first;; ++rank) {
+    const Mask config = gray_code(rank);
+    Mask realized = 0;
+    for (int j = 0; j < assignments.size(); ++j) {
+      GrayEngine& e = *engines[static_cast<std::size_t>(j)];
+      const Mask state = e.flow->alive_mask();
+      bool ok;
+      if (state == config) {
+        ok = e.admits;
+      } else if (pruning && e.admits && (e.support & ~config) == 0) {
+        // The cached flow's carrying edges are all alive: the same flow
+        // still routes the demand, whatever else toggled.
+        ok = true;
+        ++stats.pruned_decisions;
+      } else if (pruning && !e.admits && (config & e.cut & ~state) == 0) {
+        // No dead crossing edge of the cached saturated cut was revived:
+        // the cut still bounds the max-flow below the requirement.
+        ok = false;
+        ++stats.pruned_decisions;
+      } else {
+        e.flow->sync_to(config);
+        e.refresh(pruning);
+        ok = e.admits;
+      }
+      if (ok) realized |= bit(j);
+    }
+    array[static_cast<std::size_t>(config)] = realized;
+    if (rank == last) break;
+  }
+  for (const auto& e : engines) e->collect(stats);
+}
+
+void sweep_polymatroid_gray(const SideProblem& side,
+                            const AssignmentSet& assignments, Capacity d,
+                            bool pruning, Mask first, Mask last,
+                            std::vector<Mask>& array, SideArrayStats& stats) {
+  const int k = static_cast<int>(side.endpoints.size());
+  const Mask subsets = Mask{1} << k;
+  const std::vector<std::vector<Capacity>> subset_sums =
+      subset_usage_sums(assignments, subsets);
+
+  const Mask start_config = gray_code(first);
+  // Engine q (1 <= q < subsets) maintains f(Q) = min(d, maxflow to the
+  // endpoints of Q); index 0 stays empty.
+  std::vector<std::unique_ptr<GrayEngine>> engines(
+      static_cast<std::size_t>(subsets));
+  for (Mask q = 1; q < subsets; ++q) {
+    auto e = std::make_unique<GrayEngine>(side.sub.net);
+    e->terminals = add_side_super_arcs(e->residual, side);
+    configure_subset_arcs(e->residual, side, q, d);
+    e->flow = std::make_unique<IncrementalMaxFlow>(
+        e->residual, e->terminals.source, e->terminals.sink, d, start_config);
+    e->refresh(pruning);
+    engines[static_cast<std::size_t>(q)] = std::move(e);
+  }
+
+  // f(Q) for the configuration at `rank`, consulting engine Q lazily. The
+  // cached value v carries two certificates: while the cached flow's
+  // carrying edges stay alive, f >= v; while no dead edge of the cached
+  // saturated cut is revived, f <= v (the cut's capacity IS v). At the cap
+  // (v >= d) the lower bound alone decides; below it both together pin
+  // f(config) = v exactly without a sync.
+  const auto f_of = [&](Mask q, Mask config) -> Capacity {
+    GrayEngine& e = *engines[static_cast<std::size_t>(q)];
+    const Mask state = e.flow->alive_mask();
+    if (state == config) return e.value;
+    if (pruning && (e.support & ~config) == 0) {
+      if (e.value >= d) {
+        ++stats.pruned_decisions;
+        return d;
+      }
+      if ((config & e.cut & ~state) == 0) {
+        ++stats.pruned_decisions;
+        return e.value;
+      }
+    }
+    e.flow->sync_to(config);
+    e.refresh(pruning);
+    return e.value;
+  };
+
+  Mask realized_prev = 0;
+  for (Mask rank = first;; ++rank) {
+    const Mask config = gray_code(rank);
+    // Assignment-level monotone pruning off the previous Gray step: a
+    // link turned ON keeps every realized assignment realized; a link
+    // turned OFF keeps every unrealized assignment unrealized.
+    Mask decided = 0;
+    Mask decided_values = 0;
+    if (pruning && rank != first) {
+      if (test_bit(config, gray_flip_bit(rank - 1))) {
+        decided = realized_prev;
+        decided_values = realized_prev;
+      } else {
+        decided = ~realized_prev;
+      }
+    }
+    Mask realized = 0;
+    for (int j = 0; j < assignments.size(); ++j) {
+      bool ok;
+      if (test_bit(decided, j)) {
+        ok = test_bit(decided_values, j);
+        ++stats.pruned_decisions;
+      } else {
+        ok = true;
+        const auto& sums = subset_sums[static_cast<std::size_t>(j)];
+        for (Mask q = 1; q < subsets && ok; ++q) {
+          ok = sums[static_cast<std::size_t>(q)] <= f_of(q, config);
+        }
+      }
+      if (ok) realized |= bit(j);
+    }
+    array[static_cast<std::size_t>(config)] = realized;
+    realized_prev = realized;
+    if (rank == last) break;
+  }
+  for (Mask q = 1; q < subsets; ++q) {
+    engines[static_cast<std::size_t>(q)]->collect(stats);
+  }
+}
+
 }  // namespace
 
 std::vector<Mask> build_side_array(const SideProblem& side,
                                    const AssignmentSet& assignments,
                                    Capacity demand_rate,
                                    const SideArrayOptions& options,
-                                   std::uint64_t* maxflow_calls) {
+                                   SideArrayStats* stats) {
   if (!assignments.fits_mask()) {
     throw std::invalid_argument("assignment set too large for mask bits");
   }
@@ -212,25 +434,61 @@ std::vector<Mask> build_side_array(const SideProblem& side,
 
   const int m = side.sub.net.num_edges();
   const Mask total = Mask{1} << m;
-  std::vector<Mask> array(static_cast<std::size_t>(total), 0);
-  std::uint64_t calls = 0;
 
-  auto sweep = [&](Mask first, Mask last, std::vector<Mask>& arr,
-                   std::uint64_t& c) {
-    if (method == FeasibilityMethod::kPolymatroid) {
-      sweep_polymatroid(side, assignments, demand_rate, options.algorithm,
-                        first, last, arr, c);
-    } else {
-      sweep_per_assignment(side, assignments, demand_rate, options.algorithm,
-                           first, last, arr, c);
+  SideSweepStrategy sweep = options.sweep;
+  if (sweep == SideSweepStrategy::kAuto) {
+    // Engine setup costs |D| (resp. 2^k - 1) graph builds per shard; only
+    // worth amortizing over a reasonably large walk. The polymatroid
+    // engine bank grows with 2^k, so very wide bottlenecks stay scratch.
+    bool incremental = total >= 1024;
+    if (method == FeasibilityMethod::kPolymatroid &&
+        side.endpoints.size() > 12) {
+      incremental = false;
+    }
+    sweep = incremental ? SideSweepStrategy::kGrayIncremental
+                        : SideSweepStrategy::kScratch;
+  }
+
+  std::vector<Mask> array(static_cast<std::size_t>(total), 0);
+  SideArrayStats local;
+
+  // `first`/`last` are configuration values on the scratch path and
+  // Gray-code ranks on the incremental path; either way the shards
+  // [0, total) are covered exactly once.
+  auto run = [&](Mask first, Mask last, SideArrayStats& s) {
+    switch (sweep) {
+      case SideSweepStrategy::kGrayIncremental:
+        if (method == FeasibilityMethod::kPolymatroid) {
+          sweep_polymatroid_gray(side, assignments, demand_rate,
+                                 options.monotone_pruning, first, last, array,
+                                 s);
+        } else {
+          sweep_per_assignment_gray(side, assignments, demand_rate,
+                                    options.monotone_pruning, first, last,
+                                    array, s);
+        }
+        break;
+      default:
+        if (method == FeasibilityMethod::kPolymatroid) {
+          sweep_polymatroid(side, assignments, demand_rate, options.algorithm,
+                            first, last, array, s);
+        } else {
+          sweep_per_assignment(side, assignments, demand_rate,
+                               options.algorithm, first, last, array, s);
+        }
+        break;
     }
   };
 
 #ifdef _OPENMP
   if (options.parallel && total >= 1024) {
-    const int threads = omp_get_max_threads();
-    std::vector<std::uint64_t> thread_calls(
-        static_cast<std::size_t>(threads), 0);
+    // Contiguous, Gray-aligned shards: each thread owns one rank range,
+    // so its Gray walk is a single contiguous path. Clamping the thread
+    // count to `total` guards the degenerate chunk == 0 case.
+    const int threads = static_cast<int>(
+        std::min<Mask>(static_cast<Mask>(omp_get_max_threads()), total));
+    std::vector<SideArrayStats> thread_stats(
+        static_cast<std::size_t>(threads));
 #pragma omp parallel num_threads(threads)
     {
       const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -239,16 +497,28 @@ std::vector<Mask> build_side_array(const SideProblem& side,
       const Mask last = (tid + 1 == static_cast<std::size_t>(threads))
                             ? total - 1
                             : first + chunk - 1;
-      sweep(first, last, array, thread_calls[tid]);
+      run(first, last, thread_stats[tid]);
     }
-    for (std::uint64_t c : thread_calls) calls += c;
-    if (maxflow_calls) *maxflow_calls += calls;
+    for (const SideArrayStats& s : thread_stats) local.merge(s);
+    if (stats) stats->merge(local);
     return array;
   }
 #endif
 
-  sweep(0, total - 1, array, calls);
-  if (maxflow_calls) *maxflow_calls += calls;
+  run(0, total - 1, local);
+  if (stats) stats->merge(local);
+  return array;
+}
+
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options,
+                                   std::uint64_t* maxflow_calls) {
+  SideArrayStats stats;
+  std::vector<Mask> array =
+      build_side_array(side, assignments, demand_rate, options, &stats);
+  if (maxflow_calls) *maxflow_calls += stats.maxflow_calls;
   return array;
 }
 
@@ -287,18 +557,148 @@ Mask SideMaskEvaluator::realized(Mask config) {
   return out;
 }
 
+namespace {
+
+// Open-addressed accumulation table for (realized mask -> probability).
+// Distinct masks are few (<= min(2^|E_side|, 2^|D|) and usually far
+// fewer), so a flat power-of-two table with linear probing beats
+// unordered_map's node allocations in the hot fold loop. Mask values
+// never exceed 63 usable bits, so the all-ones key can act as EMPTY.
+class FlatBucketTable {
+ public:
+  FlatBucketTable()
+      : keys_(kInitialCapacity, kEmpty), sums_(kInitialCapacity, 0.0) {}
+
+  void add(Mask key, double p) {
+    std::size_t i = slot(key);
+    while (keys_[i] != key) {
+      if (keys_[i] == kEmpty) {
+        keys_[i] = key;
+        ++size_;
+        if (size_ * 10 >= keys_.size() * 7) {
+          grow();
+          i = slot(key);
+          while (keys_[i] != key) i = (i + 1) & (keys_.size() - 1);
+        }
+        break;
+      }
+      i = (i + 1) & (keys_.size() - 1);
+    }
+    sums_[i] += p;
+  }
+
+  std::vector<std::pair<Mask, double>> entries() const {
+    std::vector<std::pair<Mask, double>> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) out.emplace_back(keys_[i], sums_[i]);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr Mask kEmpty = ~Mask{0};
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  std::size_t slot(Mask key) const noexcept {
+    // splitmix64 finalizer.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (keys_.size() - 1);
+  }
+
+  void grow() {
+    const std::vector<Mask> old_keys = std::move(keys_);
+    const std::vector<double> old_sums = std::move(sums_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    sums_.assign(old_sums.size() * 2, 0.0);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      std::size_t j = slot(old_keys[i]);
+      while (keys_[j] != kEmpty) j = (j + 1) & (keys_.size() - 1);
+      keys_[j] = old_keys[i];
+      sums_[j] = old_sums[i];
+    }
+  }
+
+  std::vector<Mask> keys_;
+  std::vector<double> sums_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array) {
-  const ConfigProbTable probs(side.sub.net.failure_probs());
-  std::unordered_map<Mask, double> buckets;
+  const std::vector<double> probs = side.sub.net.failure_probs();
+  const int m = side.sub.net.num_edges();
+
+  // Stream the configurations in Gray-code order: each step flips one
+  // link, so the configuration probability updates by that link's
+  // alive/dead factor ratio instead of an O(m) product. Links with
+  // failure probability 0 would divide by zero, so the zero factors are
+  // counted separately and the running product tracks only the non-zero
+  // ones. An exact O(m) recomputation every 2^12 steps bounds the
+  // multiplicative rounding drift of long divide/multiply chains.
+  double prod = 1.0;
+  int zeros = 0;
+  const auto resync = [&](Mask config) {
+    prod = 1.0;
+    zeros = 0;
+    for (int i = 0; i < m; ++i) {
+      const double factor = test_bit(config, i)
+                                ? 1.0 - probs[static_cast<std::size_t>(i)]
+                                : probs[static_cast<std::size_t>(i)];
+      if (factor == 0.0) {
+        ++zeros;
+      } else {
+        prod *= factor;
+      }
+    }
+  };
+  resync(0);
+
+  FlatBucketTable buckets;
   KahanSum total;
-  for (Mask config = 0; config < static_cast<Mask>(array.size()); ++config) {
-    const double p = probs.prob(config);
-    buckets[array[static_cast<std::size_t>(config)]] += p;
+  const Mask n = static_cast<Mask>(array.size());
+  constexpr Mask kResyncPeriod = Mask{1} << 12;
+  for (Mask rank = 0; rank < n; ++rank) {
+    Mask config = 0;
+    if (rank != 0) {
+      const int b = gray_flip_bit(rank - 1);
+      config = gray_code(rank);
+      if ((rank & (kResyncPeriod - 1)) == 0) {
+        resync(config);
+      } else {
+        const double dead = probs[static_cast<std::size_t>(b)];
+        const double alive = 1.0 - dead;  // > 0 since dead < 1
+        if (test_bit(config, b)) {
+          // Link b came alive: swap its dead factor for its alive factor.
+          if (dead == 0.0) {
+            --zeros;
+          } else {
+            prod /= dead;
+          }
+          prod *= alive;
+        } else {
+          prod /= alive;
+          if (dead == 0.0) {
+            ++zeros;
+          } else {
+            prod *= dead;
+          }
+        }
+      }
+    }
+    const double p = zeros != 0 ? 0.0 : prod;
+    buckets.add(array[static_cast<std::size_t>(config)], p);
     total.add(p);
   }
+
   MaskDistribution dist;
-  dist.buckets.assign(buckets.begin(), buckets.end());
+  dist.buckets = buckets.entries();
   std::sort(dist.buckets.begin(), dist.buckets.end());
   dist.total = total.value();
   return dist;

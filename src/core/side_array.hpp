@@ -52,14 +52,65 @@ enum class FeasibilityMethod {
   kAuto,  ///< polymatroid when legal (forward-only) and |D| > 2^k
 };
 
+/// How build_side_array walks the 2^|E_side| configurations.
+enum class SideSweepStrategy {
+  /// The paper's procedure: one from-scratch bounded max-flow per
+  /// (configuration, assignment) pair — resp. per (configuration, subset)
+  /// probe on the polymatroid path.
+  kScratch,
+  /// Gray-code walk with one persistent IncrementalMaxFlow engine per
+  /// assignment (resp. per subset Q): adjacent configurations differ in a
+  /// single link, so each step repairs the existing flow instead of
+  /// re-solving. Engines synchronise lazily, and monotone pruning (see
+  /// SideArrayOptions::monotone_pruning) answers most queries without
+  /// touching a solver at all. Bitwise-identical output to kScratch.
+  kGrayIncremental,
+  /// kGrayIncremental for arrays of >= 1024 configurations, kScratch for
+  /// tiny ones (where engine setup dominates).
+  kAuto,
+};
+
 struct SideArrayOptions {
-  MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;
+  MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;  ///< scratch path;
+                                                          ///< Gray engines
+                                                          ///< always repair
+                                                          ///< with Dinic
   FeasibilityMethod feasibility = FeasibilityMethod::kAuto;
-  bool parallel = true;  ///< OpenMP over configuration ranges
+  bool parallel = true;  ///< OpenMP over Gray-aligned configuration shards
+  SideSweepStrategy sweep = SideSweepStrategy::kAuto;
+  /// Gray path only: exploit monotonicity of feasibility in the alive-set.
+  /// An assignment admitted by a subset of the current configuration is
+  /// admitted now; one rejected by a superset is rejected now — either way
+  /// the solver (and the engine sync) is skipped.
+  bool monotone_pruning = true;
+};
+
+/// Cost counters for one build_side_array run (accumulated across
+/// threads; pass to build_side_array to observe).
+struct SideArrayStats {
+  std::uint64_t maxflow_calls = 0;  ///< solver invocations (scratch solves
+                                    ///< plus incremental-repair augments)
+  std::uint64_t pruned_decisions = 0;  ///< feasibility answers produced by
+                                       ///< monotonicity alone
+  std::uint64_t engine_toggles = 0;  ///< single-link repairs applied by
+                                     ///< Gray engines
+  void merge(const SideArrayStats& other) noexcept {
+    maxflow_calls += other.maxflow_calls;
+    pruned_decisions += other.pruned_decisions;
+    engine_toggles += other.engine_toggles;
+  }
 };
 
 /// The paper's array: element m is the mask of assignments realized by
 /// side failure configuration m. Size 2^|side edges|.
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options,
+                                   SideArrayStats* stats);
+
+/// Convenience overload keeping the historical signature: only the
+/// max-flow call counter is reported.
 std::vector<Mask> build_side_array(const SideProblem& side,
                                    const AssignmentSet& assignments,
                                    Capacity demand_rate,
@@ -68,7 +119,11 @@ std::vector<Mask> build_side_array(const SideProblem& side,
 
 /// A side array folded into a sparse probability distribution over
 /// realized-assignment masks: bucket (m, P{configurations realizing
-/// exactly the set m}). The accumulation step only needs this.
+/// exactly the set m}). The accumulation step only needs this. The fold
+/// streams the configurations in Gray-code order, updating the
+/// configuration probability by one link's alive/dead ratio per step
+/// (with periodic exact resyncs to bound drift) and accumulating into a
+/// flat open-addressed bucket table.
 struct MaskDistribution {
   std::vector<std::pair<Mask, double>> buckets;
   double total = 0.0;  ///< sum of bucket probabilities (== 1 up to rounding)

@@ -13,6 +13,12 @@ namespace streamrel {
 
 class ConfigResidual {
  public:
+  struct SuperArc {
+    std::int32_t arc;  ///< forward arc index in the residual graph
+    Capacity cap_uv;   ///< pristine forward capacity (applied by reset)
+    Capacity cap_vu;   ///< pristine reverse capacity
+  };
+
   explicit ConfigResidual(const FlowNetwork& net);
 
   /// Appends an extra node (e.g. a super sink); survives resets.
@@ -35,6 +41,20 @@ class ConfigResidual {
   ResidualGraph& graph() noexcept { return g_; }
   const FlowNetwork& network() const noexcept { return *net_; }
 
+  /// Forward residual-arc index of network edge `id` (the reverse arc is
+  /// at `arc(index).rev`). Lets incremental engines patch capacities of
+  /// individual edges without a full reset.
+  std::int32_t forward_arc(EdgeId id) const {
+    return fwd_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t num_super_arcs() const noexcept { return super_arcs_.size(); }
+
+  /// Pristine record of one super arc (index counts add_super_arc calls).
+  const SuperArc& super_arc(std::size_t index) const {
+    return super_arcs_[index];
+  }
+
   /// Net flow a solver left on network edge `id` since the last reset
   /// (positive: u -> v). Only meaningful while the edge was alive.
   Capacity edge_net_flow(EdgeId id) const {
@@ -43,12 +63,6 @@ class ConfigResidual {
   }
 
  private:
-  struct SuperArc {
-    std::int32_t arc;
-    Capacity cap_uv;
-    Capacity cap_vu;
-  };
-
   const FlowNetwork* net_;
   ResidualGraph g_;
   std::vector<std::int32_t> fwd_;  ///< per network edge: forward arc index
