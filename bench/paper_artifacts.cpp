@@ -39,8 +39,8 @@ void e1_naive_method() {
   const FlowDemand demand{g.source, g.sink, 2};
   const auto result = reliability_naive(g.net, demand);
   std::cout << "graph: " << g.net.summary() << ", demand d = 2\n"
-            << "failure configurations examined: " << result.configurations
-            << " (= 2^|E|)\nmax-flow computations: " << result.maxflow_calls
+            << "failure configurations examined: " << result.configurations()
+            << " (= 2^|E|)\nmax-flow computations: " << result.maxflow_calls()
             << "\nreliability = " << format_double(result.reliability, 12)
             << "\n\n";
 }

@@ -57,7 +57,7 @@ Row run_engine(const std::string& name, FeasibilityMethod method,
       strategy_options(method, SideSweepStrategy::kScratch, false),
       &scratch_stats);
   row.scratch_ms = sw.elapsed_ms();
-  row.scratch_calls = scratch_stats.maxflow_calls;
+  row.scratch_calls = scratch_stats.maxflow_calls();
 
   sw.reset();
   SideArrayStats gray_stats;
@@ -66,7 +66,7 @@ Row run_engine(const std::string& name, FeasibilityMethod method,
       strategy_options(method, SideSweepStrategy::kGrayIncremental, false),
       &gray_stats);
   row.gray_ms = sw.elapsed_ms();
-  row.gray_calls = gray_stats.maxflow_calls;
+  row.gray_calls = gray_stats.maxflow_calls();
 
   sw.reset();
   SideArrayStats pruned_stats;
@@ -75,8 +75,8 @@ Row run_engine(const std::string& name, FeasibilityMethod method,
       strategy_options(method, SideSweepStrategy::kGrayIncremental, true),
       &pruned_stats);
   row.pruned_ms = sw.elapsed_ms();
-  row.pruned_calls = pruned_stats.maxflow_calls;
-  row.pruned_decisions = pruned_stats.pruned_decisions;
+  row.pruned_calls = pruned_stats.maxflow_calls();
+  row.pruned_decisions = pruned_stats.pruned_decisions();
 
   row.identical = scratch == gray && scratch == pruned;
   return row;

@@ -4,10 +4,15 @@
 // and a Graphviz rendering.
 //
 //   reliability_cli network.net [--method auto|naive|factoring|bottleneck|
-//                                 montecarlo|connectivity]
+//                                 frontier|hybrid|montecarlo|connectivity]
 //                               [--d <rate>] [--source N] [--sink N]
-//                               [--samples N] [--bounds] [--importance]
+//                               [--samples N] [--deadline-ms T] [--threads N]
+//                               [--json] [--bounds] [--importance]
 //                               [--dot out.dot]
+//
+// --deadline-ms bounds the wall clock: on expiry the answer degrades to a
+// status + reliability bounds instead of running on. --json emits the
+// solve report (including the telemetry tree) as one JSON object.
 
 #include <fstream>
 #include <iostream>
@@ -24,7 +29,8 @@ namespace {
 int run(const CliArgs& args) {
   if (args.positional().empty()) {
     std::cerr << "usage: reliability_cli <network-file> [--method ...] "
-                 "[--d N] [--source N] [--sink N] [--samples N] [--bounds] "
+                 "[--d N] [--source N] [--sink N] [--samples N] "
+                 "[--deadline-ms T] [--threads N] [--json] [--bounds] "
                  "[--importance] [--dot out.dot]\n";
     return 2;
   }
@@ -54,7 +60,7 @@ int run(const CliArgs& args) {
   } else if (method == "connectivity") {
     const auto result = reliability_connectivity(file.net, demand);
     std::cout << "reliability = " << format_double(result.reliability, 10)
-              << " (frontier DP, " << result.configurations << " states, "
+              << " (frontier DP, " << result.configurations() << " states, "
               << format_double(sw.elapsed_ms(), 4) << " ms)\n";
   } else {
     SolveOptions options;
@@ -66,18 +72,47 @@ int run(const CliArgs& args) {
       options.method = Method::kBottleneck;
     } else if (method == "frontier") {
       options.method = Method::kFrontier;
+    } else if (method == "hybrid") {
+      options.method = Method::kHybridMc;
+      options.hybrid.samples_per_side =
+          static_cast<std::uint64_t>(args.get_int("samples", 20'000));
     } else if (method != "auto") {
       std::cerr << "unknown --method '" << method << "'\n";
       return 2;
     }
+    options.deadline_ms = args.get_double("deadline-ms", 0.0);
+    options.max_threads = static_cast<int>(args.get_int("threads", 0));
     const SolveReport report = compute_reliability(file.net, demand, options);
+    if (args.get_bool("json")) {
+      std::cout << "{\"reliability\": "
+                << format_double(report.result.reliability, 10)
+                << ", \"status\": \"" << to_string(report.result.status)
+                << "\", \"method\": \"" << to_string(report.method_used)
+                << "\", \"engine\": \"" << report.engine
+                << "\", \"links_reduced\": " << report.links_reduced
+                << ", \"elapsed_ms\": " << format_double(sw.elapsed_ms(), 4);
+      if (report.bounds) {
+        std::cout << ", \"bounds\": {\"lower\": "
+                  << format_double(report.bounds->lower, 10)
+                  << ", \"upper\": "
+                  << format_double(report.bounds->upper, 10) << "}";
+      }
+      std::cout << ", \"telemetry\": " << report.result.telemetry.to_json()
+                << "}\n";
+      return 0;
+    }
     std::cout << "reliability = "
               << format_double(report.result.reliability, 10) << " ("
-              << (report.method_used == Method::kBottleneck ? "bottleneck"
-                  : report.method_used == Method::kNaive    ? "naive"
-                  : report.method_used == Method::kFrontier ? "frontier"
-                                                            : "factoring")
-              << ", " << format_double(sw.elapsed_ms(), 4) << " ms)\n";
+              << to_string(report.method_used) << ", "
+              << format_double(sw.elapsed_ms(), 4) << " ms)\n";
+    if (report.result.status != SolveStatus::kExact) {
+      std::cout << "status: " << to_string(report.result.status);
+      if (report.bounds) {
+        std::cout << "; bounds [" << format_double(report.bounds->lower, 8)
+                  << ", " << format_double(report.bounds->upper, 8) << "]";
+      }
+      std::cout << "\n";
+    }
     if (report.partition) {
       std::cout << "bottleneck: k = " << report.partition->stats.k
                 << ", sides " << report.partition->stats.edges_s << "|"

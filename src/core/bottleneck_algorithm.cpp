@@ -12,7 +12,8 @@ namespace streamrel {
 BottleneckResult reliability_bottleneck(const FlowNetwork& net,
                                         const FlowDemand& demand,
                                         const BottleneckPartition& partition,
-                                        const BottleneckOptions& options) {
+                                        const BottleneckOptions& options,
+                                        const ExecContext* ctx) {
   net.check_demand(demand);
   if (partition.side_s.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("partition does not match network");
@@ -32,42 +33,59 @@ BottleneckResult reliability_bottleneck(const FlowNetwork& net,
       enumerate_assignments(net, partition, demand.rate, options.assignments);
   result.mode_used = assignments.mode;
   result.num_assignments = assignments.size();
+  result.telemetry.counter(telemetry_keys::kAssignments) =
+      static_cast<std::uint64_t>(assignments.size());
   if (assignments.size() == 0) return result;
 
-  // Side arrays (paper §III-C) folded into mask distributions.
-  const SideProblem side_s =
-      make_side_problem(net, demand, partition, /*source_side=*/true);
-  const SideProblem side_t =
-      make_side_problem(net, demand, partition, /*source_side=*/false);
-  SideArrayStats side_stats;
-  const std::vector<Mask> array_s = build_side_array(
-      side_s, assignments, demand.rate, options.side, &side_stats);
-  const std::vector<Mask> array_t = build_side_array(
-      side_t, assignments, demand.rate, options.side, &side_stats);
-  result.maxflow_calls += side_stats.maxflow_calls;
-  result.pruned_decisions = side_stats.pruned_decisions;
-  result.engine_toggles = side_stats.engine_toggles;
-  result.configurations = array_s.size() + array_t.size();
-  const MaskDistribution dist_s = bucket_side_array(side_s, array_s);
-  const MaskDistribution dist_t = bucket_side_array(side_t, array_t);
+  try {
+    // Side arrays (paper §III-C) folded into mask distributions.
+    const SideProblem side_s =
+        make_side_problem(net, demand, partition, /*source_side=*/true);
+    const SideProblem side_t =
+        make_side_problem(net, demand, partition, /*source_side=*/false);
+    SideArrayStats stats_s;
+    SideArrayStats stats_t;
+    const std::vector<Mask> array_s = build_side_array(
+        side_s, assignments, demand.rate, options.side, &stats_s, ctx);
+    const std::vector<Mask> array_t = build_side_array(
+        side_t, assignments, demand.rate, options.side, &stats_t, ctx);
+    SideArrayStats combined;
+    combined.merge(stats_s);
+    combined.merge(stats_t);
+    result.telemetry.merge(combined.telemetry);
+    result.telemetry.child("side_s").merge(stats_s.telemetry);
+    result.telemetry.child("side_t").merge(stats_t.telemetry);
+    result.telemetry.counter(telemetry_keys::kConfigurations) =
+        array_s.size() + array_t.size();
+    const MaskDistribution dist_s = bucket_side_array(side_s, array_s);
+    const MaskDistribution dist_t = bucket_side_array(side_t, array_t);
 
-  // Accumulation over bottleneck-link configurations (Equations 2-3).
-  std::vector<double> crossing_probs;
-  crossing_probs.reserve(partition.crossing_edges.size());
-  for (EdgeId id : partition.crossing_edges) {
-    crossing_probs.push_back(net.edge(id).failure_prob);
+    // Accumulation over bottleneck-link configurations (Equations 2-3).
+    std::vector<double> crossing_probs;
+    crossing_probs.reserve(partition.crossing_edges.size());
+    for (EdgeId id : partition.crossing_edges) {
+      crossing_probs.push_back(net.edge(id).failure_prob);
+    }
+    const ConfigProbTable bottleneck_probs(crossing_probs);
+    const Mask bottleneck_total = Mask{1} << partition.k();
+    KahanSum total;
+    for (Mask alive = 0; alive < bottleneck_total; ++alive) {
+      // Each term costs an inclusion-exclusion pass, so poll every
+      // iteration rather than every kPollStride.
+      if (ctx) ctx->check();
+      const Mask allowed = assignments.supported_by(alive);
+      if (allowed == 0) continue;
+      const double r_alive = joint_success_probability(
+          dist_s, dist_t, allowed, options.accumulation);
+      total.add(bottleneck_probs.prob(alive) * r_alive);
+    }
+    result.reliability = total.value();
+  } catch (const ExecInterrupted& stop) {
+    // Partial decomposition work cannot be turned into a bound here;
+    // callers degrade to reliability_bounds on a non-exact status.
+    result.status = stop.status;
+    result.reliability = 0.0;
   }
-  const ConfigProbTable bottleneck_probs(crossing_probs);
-  const Mask bottleneck_total = Mask{1} << partition.k();
-  KahanSum total;
-  for (Mask alive = 0; alive < bottleneck_total; ++alive) {
-    const Mask allowed = assignments.supported_by(alive);
-    if (allowed == 0) continue;
-    const double r_alive = joint_success_probability(
-        dist_s, dist_t, allowed, options.accumulation);
-    total.add(bottleneck_probs.prob(alive) * r_alive);
-  }
-  result.reliability = total.value();
   return result;
 }
 

@@ -29,26 +29,50 @@ struct BottleneckOptions {
 
 struct BottleneckResult {
   double reliability = 0.0;
-  std::uint64_t configurations = 0;  ///< side configurations enumerated
-  std::uint64_t maxflow_calls = 0;
-  std::uint64_t pruned_decisions = 0;  ///< side-array feasibility answers
-                                       ///< obtained by monotonicity alone
-  std::uint64_t engine_toggles = 0;  ///< single-link incremental repairs
-  int num_assignments = 0;           ///< |D|
+  SolveStatus status = SolveStatus::kExact;
+  /// Work counters: totals at the root, per-side breakdowns under the
+  /// "side_s" / "side_t" children. Deterministic across thread counts.
+  Telemetry telemetry;
+  int num_assignments = 0;  ///< |D|
   AssignmentMode mode_used = AssignmentMode::kForwardOnly;
   PartitionStats partition_stats;
 
+  bool exact() const noexcept { return status == SolveStatus::kExact; }
+
+  /// Side configurations enumerated.
+  std::uint64_t configurations() const {
+    return telemetry.counter_or(telemetry_keys::kConfigurations);
+  }
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
+  }
+  /// Side-array feasibility answers obtained by monotonicity alone.
+  std::uint64_t pruned_decisions() const {
+    return telemetry.counter_or(telemetry_keys::kPrunedDecisions);
+  }
+  /// Single-link incremental repairs.
+  std::uint64_t engine_toggles() const {
+    return telemetry.counter_or(telemetry_keys::kEngineToggles);
+  }
+
   operator ReliabilityResult() const {
-    return ReliabilityResult{reliability, configurations, maxflow_calls};
+    ReliabilityResult r;
+    r.reliability = reliability;
+    r.status = status;
+    r.telemetry = telemetry;
+    return r;
   }
 };
 
 /// Exact reliability via the bottleneck decomposition over `partition`.
 /// Requires both sides to have <= 63 internal links and |D| <= 63.
+/// A context stop (deadline/cancel) observed inside the side sweeps or
+/// the accumulation loop yields status != kExact with reliability 0.
 BottleneckResult reliability_bottleneck(const FlowNetwork& net,
                                         const FlowDemand& demand,
                                         const BottleneckPartition& partition,
-                                        const BottleneckOptions& options = {});
+                                        const BottleneckOptions& options = {},
+                                        const ExecContext* ctx = nullptr);
 
 /// Deliverable-throughput distribution via the decomposition: one
 /// bottleneck run per level v = 1..demand.rate (P(>= v) is the

@@ -36,7 +36,7 @@ MaskDistribution build_middle_distribution(
     const std::vector<NodeId>& left_endpoints,
     const std::vector<NodeId>& right_endpoints, const AssignmentSet& d_left,
     const AssignmentSet& d_right, MaxFlowAlgorithm algorithm,
-    std::uint64_t* maxflow_calls) {
+    std::uint64_t* maxflow_calls, const ExecContext* ctx) {
   (void)net;
   const int pairs = d_left.size() * d_right.size();
   if (pairs > kMaxMaskBits) {
@@ -89,6 +89,9 @@ MaskDistribution build_middle_distribution(
       }
       const int pair_bit = i * d_right.size() + j;
       for (Mask config = 0; config < total_configs; ++config) {
+        if (ctx && (config & (ExecContext::kPollStride - 1)) == 0) {
+          ctx->check();
+        }
         residual.reset(config);
         if (maxflow_calls) ++*maxflow_calls;
         if (solver->solve(residual.graph(), super_source, super_sink,
@@ -159,7 +162,8 @@ StateMap apply_middle(const StateMap& state, const MaskDistribution& middle,
 ReliabilityResult reliability_chain(const FlowNetwork& net,
                                     const FlowDemand& demand,
                                     const std::vector<int>& layer,
-                                    const ChainOptions& options) {
+                                    const ChainOptions& options,
+                                    const ExecContext* ctx) {
   net.check_demand(demand);
   if (layer.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("layer vector size mismatch");
@@ -236,54 +240,66 @@ ReliabilityResult reliability_chain(const FlowNetwork& net,
   const SideArrayOptions side_opts{options.algorithm,
                                    FeasibilityMethod::kPerAssignment, true};
 
-  // Source-side state: layer 0's array over D_0.
-  const SideProblem first_side = make_side_problem(
-      net, demand, boundaries.front().partition, /*source_side=*/true);
-  const std::vector<Mask> first_array =
-      build_side_array(first_side, boundaries.front().assignments,
-                       demand.rate, side_opts, &result.maxflow_calls);
-  result.configurations += first_array.size();
-  StateMap state;
-  for (const auto& [mask, p] :
-       bucket_side_array(first_side, first_array).buckets) {
-    state[mask] += p;
-  }
-
-  for (std::size_t b = 0; b < boundaries.size(); ++b) {
-    state = filter_boundary(state, boundaries[b]);
-    if (b + 1 < boundaries.size()) {
-      const int l = static_cast<int>(b) + 1;
-      const Subgraph sub = layer_subgraph(l);
-      const auto left = endpoints_in_layer(boundaries[b], l, sub);
-      const auto right = endpoints_in_layer(boundaries[b + 1], l, sub);
-      const MaskDistribution middle = build_middle_distribution(
-          net, sub, left, right, boundaries[b].assignments,
-          boundaries[b + 1].assignments, options.algorithm,
-          &result.maxflow_calls);
-      result.configurations += Mask{1} << sub.net.num_edges();
-      state = apply_middle(state, middle,
-                           boundaries[b + 1].assignments.size());
+  SideArrayStats side_stats;  // aggregated over the two side builds
+  std::uint64_t middle_calls = 0;
+  std::uint64_t configurations = 0;
+  try {
+    // Source-side state: layer 0's array over D_0.
+    const SideProblem first_side = make_side_problem(
+        net, demand, boundaries.front().partition, /*source_side=*/true);
+    const std::vector<Mask> first_array =
+        build_side_array(first_side, boundaries.front().assignments,
+                         demand.rate, side_opts, &side_stats, ctx);
+    configurations += first_array.size();
+    StateMap state;
+    for (const auto& [mask, p] :
+         bucket_side_array(first_side, first_array).buckets) {
+      state[mask] += p;
     }
-  }
 
-  // Sink-side finish: last layer's array over D_{last}.
-  const SideProblem last_side = make_side_problem(
-      net, demand, boundaries.back().partition, /*source_side=*/false);
-  const std::vector<Mask> last_array =
-      build_side_array(last_side, boundaries.back().assignments, demand.rate,
-                       side_opts, &result.maxflow_calls);
-  result.configurations += last_array.size();
-  const MaskDistribution final_dist =
-      bucket_side_array(last_side, last_array);
-
-  KahanSum total;
-  for (const auto& [set_mask, q] : state) {
-    if (set_mask == 0) continue;
-    for (const auto& [mt, w] : final_dist.buckets) {
-      if (set_mask & mt) total.add(q * w);
+    for (std::size_t b = 0; b < boundaries.size(); ++b) {
+      if (ctx) ctx->check();
+      state = filter_boundary(state, boundaries[b]);
+      if (b + 1 < boundaries.size()) {
+        const int l = static_cast<int>(b) + 1;
+        const Subgraph sub = layer_subgraph(l);
+        const auto left = endpoints_in_layer(boundaries[b], l, sub);
+        const auto right = endpoints_in_layer(boundaries[b + 1], l, sub);
+        const MaskDistribution middle = build_middle_distribution(
+            net, sub, left, right, boundaries[b].assignments,
+            boundaries[b + 1].assignments, options.algorithm, &middle_calls,
+            ctx);
+        configurations += Mask{1} << sub.net.num_edges();
+        state = apply_middle(state, middle,
+                             boundaries[b + 1].assignments.size());
+      }
     }
+
+    // Sink-side finish: last layer's array over D_{last}.
+    const SideProblem last_side = make_side_problem(
+        net, demand, boundaries.back().partition, /*source_side=*/false);
+    const std::vector<Mask> last_array =
+        build_side_array(last_side, boundaries.back().assignments,
+                         demand.rate, side_opts, &side_stats, ctx);
+    configurations += last_array.size();
+    const MaskDistribution final_dist =
+        bucket_side_array(last_side, last_array);
+
+    KahanSum total;
+    for (const auto& [set_mask, q] : state) {
+      if (set_mask == 0) continue;
+      for (const auto& [mt, w] : final_dist.buckets) {
+        if (set_mask & mt) total.add(q * w);
+      }
+    }
+    result.reliability = total.value();
+  } catch (const ExecInterrupted& stop) {
+    result.status = stop.status;
+    result.reliability = 0.0;
   }
-  result.reliability = total.value();
+  result.telemetry.merge(side_stats.telemetry);
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) += middle_calls;
+  result.telemetry.counter(telemetry_keys::kConfigurations) += configurations;
   return result;
 }
 

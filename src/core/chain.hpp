@@ -34,7 +34,8 @@ struct ChainOptions {
 ReliabilityResult reliability_chain(const FlowNetwork& net,
                                     const FlowDemand& demand,
                                     const std::vector<int>& layer,
-                                    const ChainOptions& options = {});
+                                    const ChainOptions& options = {},
+                                    const ExecContext* ctx = nullptr);
 
 /// Convenience: derives layers from a list of disjoint cut edge sets
 /// ordered from the source side to the sink side. Returns the per-node

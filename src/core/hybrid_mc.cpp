@@ -15,30 +15,39 @@ namespace {
 
 // Empirical realized-mask distribution from `samples` sampled side
 // configurations.
-MaskDistribution sample_side_distribution(const SideProblem& side,
-                                          const AssignmentSet& assignments,
-                                          Capacity rate,
-                                          MaxFlowAlgorithm algorithm,
-                                          std::uint64_t samples,
-                                          Xoshiro256& rng,
-                                          std::uint64_t& maxflow_calls) {
+// Empirical distribution from up to `samples` sampled side
+// configurations; a context stop truncates the draw. `drawn` reports the
+// samples actually taken (the normalization denominator), so a truncated
+// distribution is still a proper empirical distribution.
+MaskDistribution sample_side_distribution(
+    const SideProblem& side, const AssignmentSet& assignments, Capacity rate,
+    MaxFlowAlgorithm algorithm, std::uint64_t samples, Xoshiro256& rng,
+    std::uint64_t& maxflow_calls, const ExecContext* ctx,
+    std::uint64_t& drawn) {
   SideMaskEvaluator evaluator(side, assignments, rate, algorithm);
   const std::vector<double> probs = side.sub.net.failure_probs();
   std::unordered_map<Mask, std::uint64_t> counts;
+  drawn = 0;
   for (std::uint64_t i = 0; i < samples; ++i) {
+    if (ctx && (i & (ExecContext::kPollStride - 1)) == 0 &&
+        ctx->should_stop()) {
+      break;
+    }
     Mask config = 0;
     for (std::size_t e = 0; e < probs.size(); ++e) {
       if (!rng.bernoulli(probs[e])) config |= bit(static_cast<int>(e));
     }
     counts[evaluator.realized(config)]++;
+    ++drawn;
   }
   maxflow_calls += evaluator.maxflow_calls();
 
   MaskDistribution dist;
+  if (drawn == 0) return dist;
   dist.buckets.reserve(counts.size());
   for (const auto& [mask, count] : counts) {
     dist.buckets.emplace_back(
-        mask, static_cast<double>(count) / static_cast<double>(samples));
+        mask, static_cast<double>(count) / static_cast<double>(drawn));
   }
   std::sort(dist.buckets.begin(), dist.buckets.end());
   dist.total = 1.0;
@@ -50,7 +59,7 @@ MaskDistribution sample_side_distribution(const SideProblem& side,
 HybridMonteCarloResult reliability_bottleneck_hybrid(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition,
-    const HybridMonteCarloOptions& options) {
+    const HybridMonteCarloOptions& options, const ExecContext* ctx) {
   net.check_demand(demand);
   if (options.samples_per_side == 0) {
     throw std::invalid_argument("need >= 1 sample per side");
@@ -62,6 +71,8 @@ HybridMonteCarloResult reliability_bottleneck_hybrid(
   const AssignmentSet assignments =
       enumerate_assignments(net, partition, demand.rate, options.assignments);
   result.num_assignments = assignments.size();
+  result.telemetry.counter(telemetry_keys::kAssignments) =
+      static_cast<std::uint64_t>(assignments.size());
   if (assignments.size() == 0) return result;
 
   const SideProblem side_s =
@@ -72,12 +83,22 @@ HybridMonteCarloResult reliability_bottleneck_hybrid(
   Xoshiro256 rng_s(options.seed);
   Xoshiro256 rng_t(options.seed);
   rng_t.jump();  // independent substream for the sink side
+  std::uint64_t maxflow_calls = 0;
+  std::uint64_t drawn_s = 0;
+  std::uint64_t drawn_t = 0;
   const MaskDistribution dist_s = sample_side_distribution(
       side_s, assignments, demand.rate, options.algorithm,
-      options.samples_per_side, rng_s, result.maxflow_calls);
+      options.samples_per_side, rng_s, maxflow_calls, ctx, drawn_s);
   const MaskDistribution dist_t = sample_side_distribution(
       side_t, assignments, demand.rate, options.algorithm,
-      options.samples_per_side, rng_t, result.maxflow_calls);
+      options.samples_per_side, rng_t, maxflow_calls, ctx, drawn_t);
+  if (drawn_s < options.samples_per_side ||
+      drawn_t < options.samples_per_side) {
+    result.status = ctx ? ctx->stop_status() : SolveStatus::kCancelled;
+  }
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = maxflow_calls;
+  result.telemetry.counter(telemetry_keys::kSamples) = drawn_s + drawn_t;
+  if (drawn_s == 0 || drawn_t == 0) return result;  // nothing to accumulate
 
   // Exact accumulation over the 2^k bottleneck configurations.
   std::vector<double> crossing_probs;

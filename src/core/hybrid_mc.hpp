@@ -30,9 +30,22 @@ struct HybridMonteCarloOptions {
 
 struct HybridMonteCarloResult {
   double estimate = 0.0;
+  /// kExact means the full requested sample size was drawn; on a context
+  /// stop the estimate still uses every sample drawn so far (it remains
+  /// unbiased, just with higher variance).
+  SolveStatus status = SolveStatus::kExact;
+  Telemetry telemetry;
   int num_assignments = 0;
-  std::uint64_t samples_per_side = 0;
-  std::uint64_t maxflow_calls = 0;
+  std::uint64_t samples_per_side = 0;  ///< requested per side
+
+  bool exact() const noexcept { return status == SolveStatus::kExact; }
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
+  }
+  /// Samples actually drawn, summed over both sides.
+  std::uint64_t samples() const {
+    return telemetry.counter_or(telemetry_keys::kSamples);
+  }
 };
 
 /// Unbiased reliability estimate over `partition`. Each side may have up
@@ -42,6 +55,7 @@ struct HybridMonteCarloResult {
 HybridMonteCarloResult reliability_bottleneck_hybrid(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition,
-    const HybridMonteCarloOptions& options = {});
+    const HybridMonteCarloOptions& options = {},
+    const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -1,124 +1,147 @@
 #include "core/reliability_facade.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
+#include "core/engine.hpp"
 #include "reliability/reductions.hpp"
 
 namespace streamrel {
 
-SolveReport compute_reliability(const FlowNetwork& net,
-                                const FlowDemand& demand,
-                                const SolveOptions& options) {
-  net.check_demand(demand);
-  SolveReport report;
-
-  // Rate-1 preprocessing: series/parallel/prune reductions are exact and
-  // often shrink the instance dramatically (or solve it outright).
-  if (options.method == Method::kAuto && options.use_reductions &&
-      demand.rate == 1) {
-    bool all_undirected = true;
-    for (const Edge& e : net.edges()) all_undirected &= !e.directed();
-    if (all_undirected) {
-      const ReducedNetwork reduced =
-          reduce_for_connectivity(net, demand.source, demand.sink);
-      const int removed = net.num_edges() - reduced.net.num_edges();
-      if (reduced.net.num_edges() == 0) {
-        report.method_used = Method::kAuto;
-        report.links_reduced = removed;
-        report.result.reliability = 0.0;  // s and t disconnected
-        return report;
-      }
-      if (reduced.fully_reduced()) {
-        report.method_used = Method::kAuto;
-        report.links_reduced = removed;
-        report.result.reliability = 1.0 - reduced.net.edge(0).failure_prob;
-        return report;
-      }
-      if (removed > 0) {
-        SolveOptions inner = options;
-        inner.use_reductions = false;  // already at a fixpoint
-        report = compute_reliability(
-            reduced.net, {reduced.source, reduced.sink, 1}, inner);
-        report.partition.reset();  // refers to reduced-network ids
-        report.links_reduced = removed;
-        return report;
-      }
-    }
+std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::kAuto: return "auto";
+    case Method::kBottleneck: return "bottleneck";
+    case Method::kNaive: return "naive";
+    case Method::kFactoring: return "factoring";
+    case Method::kFrontier: return "frontier";
+    case Method::kHybridMc: return "hybrid-mc";
   }
+  return "?";
+}
 
-  switch (options.method) {
-    case Method::kNaive:
-      report.method_used = Method::kNaive;
-      report.result = reliability_naive(net, demand, options.naive);
-      return report;
-    case Method::kFactoring:
-      report.method_used = Method::kFactoring;
-      report.result = reliability_factoring(net, demand, options.factoring);
-      return report;
-    case Method::kFrontier:
-      report.method_used = Method::kFrontier;
-      report.result =
-          reliability_connectivity(net, demand, options.frontier);
-      return report;
-    case Method::kBottleneck:
-    case Method::kAuto:
-      break;
-  }
+namespace {
 
-  // Try candidate partitions best first; a candidate can still fail for
-  // demand-specific reasons (assignment-set blow-up), in which case the
-  // next one gets its chance.
-  for (PartitionChoice& choice : find_candidate_partitions(
-           net, demand.source, demand.sink, options.partition_search)) {
-    // Worthwhile when the decomposition shrinks the enumeration exponent:
-    // max side strictly below |E| - k means 2^max_side * 2 < 2^|E|.
-    const int max_side = std::max(choice.stats.edges_s, choice.stats.edges_t);
-    const bool worthwhile =
-        max_side + choice.stats.k < net.num_edges() || !net.fits_mask();
-    if (options.method != Method::kBottleneck && !worthwhile) break;
-    try {
-      report.result = reliability_bottleneck(net, demand, choice.partition,
-                                             options.bottleneck);
-      report.method_used = Method::kBottleneck;
-      report.partition = std::move(choice);
-      return report;
-    } catch (const std::invalid_argument&) {
-      continue;
-    }
-  }
-  if (options.method == Method::kBottleneck) {
-    throw std::invalid_argument(
-        "no usable bottleneck partition found for this network");
+// The kAuto policy over the registered engines:
+//   bottleneck (when a worthwhile partition exists)
+//   > frontier (rate-1 undirected networks too big to enumerate;
+//               a state-budget stop falls through)
+//   > naive (mask-sized networks up to 22 links)
+//   > factoring (a tree-budget stop falls back to naive when possible).
+// A deadline/cancellation stop is FINAL wherever it lands — the chain
+// never "falls back" past the user's wall clock.
+SolveReport solve_auto(const FlowNetwork& net, const FlowDemand& demand,
+                       const SolveOptions& options, const ExecContext* ctx,
+                       const EngineRegistry& registry) {
+  try {
+    return registry.require(Method::kBottleneck)
+        .solve(net, demand, options, ctx);
+  } catch (const std::invalid_argument&) {
+    // No worthwhile partition: fall through to the baselines.
   }
 
   // Rate-1 undirected demands on networks too big to enumerate: the
   // frontier DP handles path-like structures of any length exactly.
-  if (demand.rate == 1 && !net.fits_mask()) {
-    bool all_undirected = true;
-    for (const Edge& e : net.edges()) all_undirected &= !e.directed();
-    if (all_undirected) {
-      try {
-        report.result = reliability_connectivity(net, demand,
-                                                 options.frontier);
-        report.method_used = Method::kFrontier;
-        return report;
-      } catch (const std::runtime_error&) {
-        // Frontier too wide: fall through to factoring.
-      }
-    }
+  const Engine& frontier = registry.require(Method::kFrontier);
+  if (!net.fits_mask() && frontier.applicable(net, demand)) {
+    SolveReport report = frontier.solve(net, demand, options, ctx);
+    if (report.result.status != SolveStatus::kBudgetExhausted) return report;
+    // Frontier too wide: fall through to factoring.
   }
 
   // No exploitable bottleneck: exhaustive enumeration for small networks,
   // factoring otherwise.
   if (net.fits_mask() && net.num_edges() <= 22) {
-    report.method_used = Method::kNaive;
-    report.result = reliability_naive(net, demand, options.naive);
-  } else {
-    report.method_used = Method::kFactoring;
-    report.result = reliability_factoring(net, demand, options.factoring);
+    return registry.require(Method::kNaive).solve(net, demand, options, ctx);
+  }
+  SolveReport report =
+      registry.require(Method::kFactoring).solve(net, demand, options, ctx);
+  if (report.result.status == SolveStatus::kBudgetExhausted &&
+      net.fits_mask()) {
+    return registry.require(Method::kNaive).solve(net, demand, options, ctx);
   }
   return report;
+}
+
+SolveReport dispatch(const FlowNetwork& net, const FlowDemand& demand,
+                     const SolveOptions& options, ExecContext& ctx) {
+  net.check_demand(demand);
+  const EngineRegistry& registry = EngineRegistry::instance();
+
+  // Rate-1 preprocessing: series/parallel/prune reductions are exact and
+  // often shrink the instance dramatically (or solve it outright).
+  if (options.method == Method::kAuto && options.use_reductions &&
+      demand.rate == 1) {
+    bool undirected = true;
+    for (const Edge& e : net.edges()) undirected &= !e.directed();
+    if (undirected) {
+      const ReducedNetwork reduced =
+          reduce_for_connectivity(net, demand.source, demand.sink);
+      const int removed = net.num_edges() - reduced.net.num_edges();
+      if (reduced.net.num_edges() == 0) {
+        SolveReport report;
+        report.method_used = Method::kAuto;
+        report.engine = "reductions";
+        report.links_reduced = removed;
+        report.result.reliability = 0.0;  // s and t disconnected
+        report.result.telemetry.counter(telemetry_keys::kLinksReduced) =
+            static_cast<std::uint64_t>(removed);
+        return report;
+      }
+      if (reduced.fully_reduced()) {
+        SolveReport report;
+        report.method_used = Method::kAuto;
+        report.engine = "reductions";
+        report.links_reduced = removed;
+        report.result.reliability = 1.0 - reduced.net.edge(0).failure_prob;
+        report.result.telemetry.counter(telemetry_keys::kLinksReduced) =
+            static_cast<std::uint64_t>(removed);
+        return report;
+      }
+      if (removed > 0) {
+        SolveOptions inner = options;
+        inner.use_reductions = false;  // already at a fixpoint
+        SolveReport report =
+            dispatch(reduced.net, {reduced.source, reduced.sink, 1}, inner,
+                     ctx);
+        report.partition.reset();  // refers to reduced-network ids
+        report.links_reduced = removed;
+        report.result.telemetry.counter(telemetry_keys::kLinksReduced) =
+            static_cast<std::uint64_t>(removed);
+        return report;
+      }
+    }
+  }
+
+  if (options.method == Method::kAuto) {
+    return solve_auto(net, demand, options, &ctx, registry);
+  }
+  return registry.require(options.method).solve(net, demand, options, &ctx);
+}
+
+}  // namespace
+
+SolveReport compute_reliability(const FlowNetwork& net,
+                                const FlowDemand& demand,
+                                const SolveOptions& options, ExecContext& ctx) {
+  SolveReport report = dispatch(net, demand, options, ctx);
+
+  // A deadline/budget stop leaves at best a partial accumulation; attach
+  // the cheap polynomial envelope so the caller still gets a bracket.
+  if (report.result.status != SolveStatus::kExact && !report.bounds) {
+    report.bounds = reliability_bounds(net, demand, options.bounds);
+  }
+
+  ctx.telemetry.merge(report.result.telemetry);
+  return report;
+}
+
+SolveReport compute_reliability(const FlowNetwork& net,
+                                const FlowDemand& demand,
+                                const SolveOptions& options) {
+  ExecContext ctx;
+  if (options.deadline_ms > 0.0) ctx.set_deadline_ms(options.deadline_ms);
+  ctx.max_threads = options.max_threads;
+  return compute_reliability(net, demand, options, ctx);
 }
 
 }  // namespace streamrel

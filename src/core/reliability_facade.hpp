@@ -1,12 +1,18 @@
 #pragma once
 // One-call public API: picks a bottleneck partition automatically and
 // falls back to the exact baselines when the graph has no exploitable
-// bottleneck.
+// bottleneck. Dispatch goes through the EngineRegistry (core/engine.hpp);
+// every engine runs on an ExecContext, so a deadline or cancellation
+// degrades the answer to a SolveStatus + reliability bounds instead of
+// hanging or throwing.
 
 #include <optional>
+#include <string_view>
 
 #include "core/bottleneck_algorithm.hpp"
+#include "core/hybrid_mc.hpp"
 #include "cuts/partition_search.hpp"
+#include "reliability/bounds.hpp"
 #include "reliability/factoring.hpp"
 #include "reliability/frontier.hpp"
 #include "reliability/naive.hpp"
@@ -18,8 +24,12 @@ enum class Method {
   kBottleneck,  ///< bottleneck decomposition (throws if no partition found)
   kNaive,
   kFactoring,
-  kFrontier,    ///< frontier connectivity DP (rate-1, undirected only)
+  kFrontier,   ///< frontier connectivity DP (rate-1, undirected only)
+  kHybridMc,   ///< bottleneck/Monte-Carlo estimator (never auto-picked:
+               ///< the estimate is unbiased but not exact)
 };
+
+std::string_view to_string(Method method) noexcept;
 
 struct SolveOptions {
   Method method = Method::kAuto;
@@ -27,25 +37,52 @@ struct SolveOptions {
   /// for rate-1 undirected demands (exact; often collapses sparse
   /// overlays outright).
   bool use_reductions = true;
+  /// Wall-clock budget in milliseconds (0 = none). On expiry the solve
+  /// returns status kDeadlineExpired with reliability bounds attached.
+  double deadline_ms = 0.0;
+  /// Cap on OpenMP threads (0 = library default). Telemetry counters do
+  /// not depend on this value.
+  int max_threads = 0;
   PartitionSearchOptions partition_search{};
   BottleneckOptions bottleneck{};
   NaiveOptions naive{};
   FactoringOptions factoring{};
   FrontierOptions frontier{};
+  HybridMonteCarloOptions hybrid{};
+  BoundsOptions bounds{};
 };
 
 struct SolveReport {
   ReliabilityResult result;
   Method method_used = Method::kAuto;
+  /// Name of the engine that produced the result ("reductions" when the
+  /// rate-1 preprocessing solved the instance outright).
+  std::string_view engine;
   /// The partition the decomposition ran on, when it did.
   std::optional<PartitionChoice> partition;
   /// Links removed by the rate-1 reduction preprocessing (0 = none ran).
   int links_reduced = 0;
+  /// Cheap two-sided envelope, attached whenever result.status is not
+  /// kExact: the best available answer after a deadline/budget stop.
+  /// result.reliability then holds the engine's partial accumulation (a
+  /// lower bound for the sweep engines, 0 for the decomposition).
+  std::optional<ReliabilityBounds> bounds;
+
+  bool exact() const noexcept { return result.status == SolveStatus::kExact; }
 };
 
-/// Exact reliability of `net` with respect to `demand`.
+/// Reliability of `net` with respect to `demand` — exact unless a
+/// deadline/budget stop (status in the report) or Method::kHybridMc.
+/// Builds an ExecContext from options.deadline_ms / options.max_threads.
 SolveReport compute_reliability(const FlowNetwork& net,
                                 const FlowDemand& demand,
                                 const SolveOptions& options = {});
+
+/// Same, on a caller-owned context: share a deadline or cancellation
+/// token across several solves; each solve's telemetry is merged into
+/// ctx.telemetry on return.
+SolveReport compute_reliability(const FlowNetwork& net,
+                                const FlowDemand& demand,
+                                const SolveOptions& options, ExecContext& ctx);
 
 }  // namespace streamrel

@@ -52,7 +52,7 @@ SharedRiskResult reliability_with_shared_risks(
     }
 
     const SolveReport report = compute_reliability(work, demand, options);
-    result.maxflow_calls += report.result.maxflow_calls;
+    result.maxflow_calls += report.result.maxflow_calls();
     total.add(p_state * report.result.reliability);
   }
   result.reliability = total.value();

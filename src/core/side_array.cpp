@@ -1,6 +1,7 @@
 #include "core/side_array.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 
@@ -48,6 +49,38 @@ SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
 }
 
 namespace {
+
+// Raw shard-local counters for the hot sweep loops (a Telemetry map
+// lookup per configuration would dominate); flushed into the public
+// SideArrayStats telemetry once per shard, in shard order.
+struct SweepCounters {
+  std::uint64_t maxflow_calls = 0;
+  std::uint64_t pruned_decisions = 0;
+  std::uint64_t engine_toggles = 0;
+
+  void merge(const SweepCounters& other) noexcept {
+    maxflow_calls += other.maxflow_calls;
+    pruned_decisions += other.pruned_decisions;
+    engine_toggles += other.engine_toggles;
+  }
+
+  void flush(Telemetry& telemetry) const {
+    telemetry.counter(telemetry_keys::kMaxflowCalls) += maxflow_calls;
+    telemetry.counter(telemetry_keys::kPrunedDecisions) += pruned_decisions;
+    telemetry.counter(telemetry_keys::kEngineToggles) += engine_toggles;
+  }
+};
+
+// Cooperative stop poll, called every ExecContext::kPollStride steps of a
+// shard's walk. `aborted` is shared across shards so one observing thread
+// stops them all at their next poll.
+bool poll_stop(const ExecContext* ctx, std::atomic<bool>& aborted) {
+  if (!ctx) return false;
+  if (aborted.load(std::memory_order_relaxed)) return true;
+  if (!ctx->should_stop()) return false;
+  aborted.store(true, std::memory_order_relaxed);
+  return true;
+}
 
 // Shared super-arc layout: index 0 is the anchor arc, then per crossing
 // edge i an "in" arc S0 -> endpoint (index 1 + 2i) and an "out" arc
@@ -170,13 +203,18 @@ struct SideEvaluator {
 void sweep_per_assignment(const SideProblem& side,
                           const AssignmentSet& assignments, Capacity d,
                           MaxFlowAlgorithm algorithm, Mask first, Mask last,
-                          std::vector<Mask>& array, SideArrayStats& stats) {
+                          std::vector<Mask>& array, SweepCounters& stats,
+                          const ExecContext* ctx, std::atomic<bool>& aborted) {
   SideEvaluator eval(side, algorithm);
   for (int j = 0; j < assignments.size(); ++j) {
     const Capacity required =
         eval.configure(assignments.assignments[static_cast<std::size_t>(j)],
                        d);
     for (Mask config = first;; ++config) {
+      if (((config - first) & (ExecContext::kPollStride - 1)) == 0 &&
+          poll_stop(ctx, aborted)) {
+        return;
+      }
       ++stats.maxflow_calls;
       if (eval.solve(config, required) >= required) {
         array[static_cast<std::size_t>(config)] |= bit(j);
@@ -189,7 +227,8 @@ void sweep_per_assignment(const SideProblem& side,
 void sweep_polymatroid(const SideProblem& side,
                        const AssignmentSet& assignments, Capacity d,
                        MaxFlowAlgorithm algorithm, Mask first, Mask last,
-                       std::vector<Mask>& array, SideArrayStats& stats) {
+                       std::vector<Mask>& array, SweepCounters& stats,
+                       const ExecContext* ctx, std::atomic<bool>& aborted) {
   const int k = static_cast<int>(side.endpoints.size());
   const Mask subsets = Mask{1} << k;
   const std::vector<std::vector<Capacity>> subset_sums =
@@ -198,6 +237,10 @@ void sweep_polymatroid(const SideProblem& side,
   SideEvaluator eval(side, algorithm);
   std::vector<Capacity> f(static_cast<std::size_t>(subsets), 0);
   for (Mask config = first;; ++config) {
+    if (((config - first) & (ExecContext::kPollStride - 1)) == 0 &&
+        poll_stop(ctx, aborted)) {
+      return;
+    }
     for (Mask q = 1; q < subsets; ++q) {
       eval.configure_subset(q, d);
       ++stats.maxflow_calls;
@@ -258,7 +301,7 @@ struct GrayEngine {
     cut = admits ? Mask{0} : flow->cut_mask();
   }
 
-  void collect(SideArrayStats& stats) const {
+  void collect(SweepCounters& stats) const {
     stats.maxflow_calls += flow->solver_calls();
     stats.engine_toggles += flow->toggles();
   }
@@ -267,8 +310,9 @@ struct GrayEngine {
 void sweep_per_assignment_gray(const SideProblem& side,
                                const AssignmentSet& assignments, Capacity d,
                                bool pruning, Mask first, Mask last,
-                               std::vector<Mask>& array,
-                               SideArrayStats& stats) {
+                               std::vector<Mask>& array, SweepCounters& stats,
+                               const ExecContext* ctx,
+                               std::atomic<bool>& aborted) {
   const Mask start_config = gray_code(first);
   std::vector<std::unique_ptr<GrayEngine>> engines;
   engines.reserve(static_cast<std::size_t>(assignments.size()));
@@ -286,6 +330,10 @@ void sweep_per_assignment_gray(const SideProblem& side,
   }
 
   for (Mask rank = first;; ++rank) {
+    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0 &&
+        poll_stop(ctx, aborted)) {
+      break;  // still collect engine counters below
+    }
     const Mask config = gray_code(rank);
     Mask realized = 0;
     for (int j = 0; j < assignments.size(); ++j) {
@@ -320,7 +368,9 @@ void sweep_per_assignment_gray(const SideProblem& side,
 void sweep_polymatroid_gray(const SideProblem& side,
                             const AssignmentSet& assignments, Capacity d,
                             bool pruning, Mask first, Mask last,
-                            std::vector<Mask>& array, SideArrayStats& stats) {
+                            std::vector<Mask>& array, SweepCounters& stats,
+                            const ExecContext* ctx,
+                            std::atomic<bool>& aborted) {
   const int k = static_cast<int>(side.endpoints.size());
   const Mask subsets = Mask{1} << k;
   const std::vector<std::vector<Capacity>> subset_sums =
@@ -368,6 +418,10 @@ void sweep_polymatroid_gray(const SideProblem& side,
 
   Mask realized_prev = 0;
   for (Mask rank = first;; ++rank) {
+    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0 &&
+        poll_stop(ctx, aborted)) {
+      break;  // still collect engine counters below
+    }
     const Mask config = gray_code(rank);
     // Assignment-level monotone pruning off the previous Gray step: a
     // link turned ON keeps every realized assignment realized; a link
@@ -412,7 +466,8 @@ std::vector<Mask> build_side_array(const SideProblem& side,
                                    const AssignmentSet& assignments,
                                    Capacity demand_rate,
                                    const SideArrayOptions& options,
-                                   SideArrayStats* stats) {
+                                   SideArrayStats* stats,
+                                   const ExecContext* ctx) {
   if (!assignments.fits_mask()) {
     throw std::invalid_argument("assignment set too large for mask bits");
   }
@@ -450,31 +505,33 @@ std::vector<Mask> build_side_array(const SideProblem& side,
   }
 
   std::vector<Mask> array(static_cast<std::size_t>(total), 0);
-  SideArrayStats local;
+  SweepCounters local;
+  std::atomic<bool> aborted{false};
 
   // `first`/`last` are configuration values on the scratch path and
   // Gray-code ranks on the incremental path; either way the shards
   // [0, total) are covered exactly once.
-  auto run = [&](Mask first, Mask last, SideArrayStats& s) {
+  auto run = [&](Mask first, Mask last, SweepCounters& s) {
     switch (sweep) {
       case SideSweepStrategy::kGrayIncremental:
         if (method == FeasibilityMethod::kPolymatroid) {
           sweep_polymatroid_gray(side, assignments, demand_rate,
                                  options.monotone_pruning, first, last, array,
-                                 s);
+                                 s, ctx, aborted);
         } else {
           sweep_per_assignment_gray(side, assignments, demand_rate,
                                     options.monotone_pruning, first, last,
-                                    array, s);
+                                    array, s, ctx, aborted);
         }
         break;
       default:
         if (method == FeasibilityMethod::kPolymatroid) {
           sweep_polymatroid(side, assignments, demand_rate, options.algorithm,
-                            first, last, array, s);
+                            first, last, array, s, ctx, aborted);
         } else {
           sweep_per_assignment(side, assignments, demand_rate,
-                               options.algorithm, first, last, array, s);
+                               options.algorithm, first, last, array, s, ctx,
+                               aborted);
         }
         break;
     }
@@ -482,31 +539,40 @@ std::vector<Mask> build_side_array(const SideProblem& side,
 
 #ifdef _OPENMP
   if (options.parallel && total >= 1024) {
-    // Contiguous, Gray-aligned shards: each thread owns one rank range,
-    // so its Gray walk is a single contiguous path. Clamping the thread
-    // count to `total` guards the degenerate chunk == 0 case.
-    const int threads = static_cast<int>(
-        std::min<Mask>(static_cast<Mask>(omp_get_max_threads()), total));
-    std::vector<SideArrayStats> thread_stats(
-        static_cast<std::size_t>(threads));
-#pragma omp parallel num_threads(threads)
-    {
-      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-      const Mask chunk = total / static_cast<Mask>(threads);
-      const Mask first = static_cast<Mask>(tid) * chunk;
-      const Mask last = (tid + 1 == static_cast<std::size_t>(threads))
+    // Contiguous, Gray-aligned shards: each shard owns one rank range, so
+    // its Gray walk is a single contiguous path. The shard geometry is
+    // FIXED by the instance size (never by the thread count), so the
+    // per-shard counters — and their shard-order merge below — are
+    // identical whether the sweep runs on 1 thread or 64.
+    const Mask shard_count = std::min<Mask>(Mask{32}, total >> 10);
+    const Mask chunk = total / shard_count;
+    const int threads = static_cast<int>(std::min<Mask>(
+        static_cast<Mask>(exec_resolved_threads(ctx)), shard_count));
+    std::vector<SweepCounters> shard_stats(
+        static_cast<std::size_t>(shard_count));
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(shard_count);
+         ++i) {
+      const Mask first = static_cast<Mask>(i) * chunk;
+      const Mask last = static_cast<Mask>(i) + 1 == shard_count
                             ? total - 1
                             : first + chunk - 1;
-      run(first, last, thread_stats[tid]);
+      run(first, last, shard_stats[static_cast<std::size_t>(i)]);
     }
-    for (const SideArrayStats& s : thread_stats) local.merge(s);
-    if (stats) stats->merge(local);
+    if (aborted.load(std::memory_order_relaxed)) {
+      throw ExecInterrupted{ctx->stop_status()};
+    }
+    for (const SweepCounters& s : shard_stats) local.merge(s);
+    if (stats) local.flush(stats->telemetry);
     return array;
   }
 #endif
 
   run(0, total - 1, local);
-  if (stats) stats->merge(local);
+  if (aborted.load(std::memory_order_relaxed)) {
+    throw ExecInterrupted{ctx->stop_status()};
+  }
+  if (stats) local.flush(stats->telemetry);
   return array;
 }
 
@@ -518,7 +584,7 @@ std::vector<Mask> build_side_array(const SideProblem& side,
   SideArrayStats stats;
   std::vector<Mask> array =
       build_side_array(side, assignments, demand_rate, options, &stats);
-  if (maxflow_calls) *maxflow_calls += stats.maxflow_calls;
+  if (maxflow_calls) *maxflow_calls += stats.maxflow_calls();
   return array;
 }
 

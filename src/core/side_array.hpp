@@ -29,6 +29,8 @@
 #include "core/assignments.hpp"
 #include "graph/subgraph.hpp"
 #include "maxflow/maxflow.hpp"
+#include "util/exec_context.hpp"
+#include "util/telemetry.hpp"
 
 namespace streamrel {
 
@@ -85,29 +87,40 @@ struct SideArrayOptions {
   bool monotone_pruning = true;
 };
 
-/// Cost counters for one build_side_array run (accumulated across
-/// threads; pass to build_side_array to observe).
+/// Cost counters for one build_side_array run: a thin view over a
+/// Telemetry subtree (shards are merged in shard order, so the counters
+/// are deterministic and independent of the OpenMP thread count).
 struct SideArrayStats {
-  std::uint64_t maxflow_calls = 0;  ///< solver invocations (scratch solves
-                                    ///< plus incremental-repair augments)
-  std::uint64_t pruned_decisions = 0;  ///< feasibility answers produced by
-                                       ///< monotonicity alone
-  std::uint64_t engine_toggles = 0;  ///< single-link repairs applied by
-                                     ///< Gray engines
-  void merge(const SideArrayStats& other) noexcept {
-    maxflow_calls += other.maxflow_calls;
-    pruned_decisions += other.pruned_decisions;
-    engine_toggles += other.engine_toggles;
+  Telemetry telemetry;
+
+  /// Solver invocations (scratch solves plus incremental-repair augments).
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
   }
+  /// Feasibility answers produced by monotonicity alone.
+  std::uint64_t pruned_decisions() const {
+    return telemetry.counter_or(telemetry_keys::kPrunedDecisions);
+  }
+  /// Single-link repairs applied by Gray engines.
+  std::uint64_t engine_toggles() const {
+    return telemetry.counter_or(telemetry_keys::kEngineToggles);
+  }
+  void merge(const SideArrayStats& other) { telemetry.merge(other.telemetry); }
 };
 
 /// The paper's array: element m is the mask of assignments realized by
 /// side failure configuration m. Size 2^|side edges|.
+///
+/// With a context, the sweep polls for deadline/cancellation every
+/// ExecContext::kPollStride configurations and honors the thread cap; a
+/// stop raises ExecInterrupted (after any parallel region has joined) —
+/// callers above the engine layer never see it.
 std::vector<Mask> build_side_array(const SideProblem& side,
                                    const AssignmentSet& assignments,
                                    Capacity demand_rate,
                                    const SideArrayOptions& options,
-                                   SideArrayStats* stats);
+                                   SideArrayStats* stats,
+                                   const ExecContext* ctx = nullptr);
 
 /// Convenience overload keeping the historical signature: only the
 /// max-flow call counter is reported.

@@ -8,7 +8,8 @@ namespace streamrel {
 
 std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
                                          NodeId t,
-                                         const ChainSearchOptions& options) {
+                                         const ChainSearchOptions& options,
+                                         const ExecContext* ctx) {
   if (!net.valid_node(s) || !net.valid_node(t) || s == t) {
     throw std::invalid_argument("bad endpoints");
   }
@@ -57,6 +58,10 @@ std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
   std::vector<std::vector<EdgeId>> cuts;
   std::set<EdgeId> last_cut;
   for (int b = 1; b <= pos_t; ++b) {
+    if (ctx && (static_cast<std::uint64_t>(b) &
+                (ExecContext::kPollStride - 1)) == 0) {
+      ctx->check();
+    }
     std::vector<EdgeId> crossing;
     bool disjoint = true;
     for (EdgeId id = 0; id < net.num_edges(); ++id) {

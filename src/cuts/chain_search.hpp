@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/flow_network.hpp"
+#include "util/exec_context.hpp"
 
 namespace streamrel {
 
@@ -30,9 +31,11 @@ struct ChainPlan {
 /// prefix boundary; every prefix whose crossing link set is small (and
 /// disjoint from the previous accepted cut) becomes a boundary. Returns
 /// std::nullopt if fewer than `min_layers` layers result or a layer
-/// exceeds the edge budget.
+/// exceeds the edge budget. With a context, the boundary sweep polls for
+/// deadline/cancellation and raises ExecInterrupted on a stop.
 std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
                                          NodeId t,
-                                         const ChainSearchOptions& options = {});
+                                         const ChainSearchOptions& options = {},
+                                         const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -22,10 +22,11 @@ bool better(const PartitionStats& a, const PartitionStats& b) {
 
 std::vector<PartitionChoice> find_candidate_partitions(
     const FlowNetwork& net, NodeId s, NodeId t,
-    const PartitionSearchOptions& options) {
+    const PartitionSearchOptions& options, const ExecContext* ctx) {
   std::vector<PartitionChoice> candidates;
 
   auto consider = [&](const std::vector<EdgeId>& cut) {
+    if (ctx) ctx->check();
     auto part = partition_from_cut_edges(net, s, t, cut);
     if (!part) return;
     PartitionStats stats = analyze_partition(net, s, t, *part);
@@ -66,8 +67,8 @@ std::vector<PartitionChoice> find_candidate_partitions(
 
 std::optional<PartitionChoice> find_best_partition(
     const FlowNetwork& net, NodeId s, NodeId t,
-    const PartitionSearchOptions& options) {
-  auto candidates = find_candidate_partitions(net, s, t, options);
+    const PartitionSearchOptions& options, const ExecContext* ctx) {
+  auto candidates = find_candidate_partitions(net, s, t, options, ctx);
   if (candidates.empty()) return std::nullopt;
   return std::move(candidates.front());
 }

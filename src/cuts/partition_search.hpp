@@ -12,6 +12,7 @@
 
 #include "cuts/bottleneck.hpp"
 #include "cuts/cut_enumeration.hpp"
+#include "util/exec_context.hpp"
 
 namespace streamrel {
 
@@ -29,10 +30,13 @@ struct PartitionChoice {
 };
 
 /// Best partition found, or std::nullopt when none satisfies the limits
-/// (e.g. the graph has no small balanced cut).
+/// (e.g. the graph has no small balanced cut). With a context, the cut
+/// enumeration polls for deadline/cancellation between candidates and
+/// raises ExecInterrupted on a stop.
 std::optional<PartitionChoice> find_best_partition(
     const FlowNetwork& net, NodeId s, NodeId t,
-    const PartitionSearchOptions& options = {});
+    const PartitionSearchOptions& options = {},
+    const ExecContext* ctx = nullptr);
 
 /// All admissible candidate partitions, deduplicated and sorted best
 /// first (smaller max side, then smaller k). Callers that may reject a
@@ -40,6 +44,7 @@ std::optional<PartitionChoice> find_best_partition(
 /// blow-up at a specific demand) walk this list.
 std::vector<PartitionChoice> find_candidate_partitions(
     const FlowNetwork& net, NodeId s, NodeId t,
-    const PartitionSearchOptions& options = {});
+    const PartitionSearchOptions& options = {},
+    const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -14,10 +14,11 @@ enum class EdgeState : char { kUndecided, kUp, kDown };
 class FactoringSolver {
  public:
   FactoringSolver(const FlowNetwork& net, const FlowDemand& demand,
-                  const FactoringOptions& options)
+                  const FactoringOptions& options, const ExecContext* ctx)
       : net_(net),
         demand_(demand),
         options_(options),
+        ctx_(ctx),
         residual_(net),
         solver_(make_solver(options.algorithm)),
         state_(static_cast<std::size_t>(net.num_edges()),
@@ -26,7 +27,8 @@ class FactoringSolver {
 
   double run() { return recurse(); }
 
-  const ReliabilityResult& counters() const noexcept { return counters_; }
+  std::uint64_t tree_nodes() const noexcept { return tree_nodes_; }
+  std::uint64_t maxflow_calls() const noexcept { return maxflow_calls_; }
 
  private:
   // Max-flow value with undecided edges counted per `optimistic`.
@@ -38,7 +40,7 @@ class FactoringSolver {
           (st == EdgeState::kUndecided && optimistic);
     }
     residual_.reset_with(alive_);
-    counters_.maxflow_calls++;
+    maxflow_calls_++;
     return solver_->solve(residual_.graph(), demand_.source, demand_.sink,
                           demand_.rate);
   }
@@ -65,8 +67,11 @@ class FactoringSolver {
   }
 
   double recurse() {
-    if (++counters_.configurations > options_.max_tree_nodes) {
-      throw std::runtime_error("factoring: recursion budget exhausted");
+    if (++tree_nodes_ > options_.max_tree_nodes) {
+      throw ExecInterrupted{SolveStatus::kBudgetExhausted};
+    }
+    if (ctx_ && (tree_nodes_ & (ExecContext::kPollStride - 1)) == 0) {
+      ctx_->check();
     }
     // Optimistic prune: even with all undecided edges up, no d units fit.
     const Capacity optimistic = bounded_flow(/*optimistic=*/true);
@@ -90,23 +95,34 @@ class FactoringSolver {
   const FlowNetwork& net_;
   const FlowDemand& demand_;
   const FactoringOptions& options_;
+  const ExecContext* ctx_;
   ConfigResidual residual_;
   std::unique_ptr<MaxFlowSolver> solver_;
   std::vector<EdgeState> state_;
   std::vector<bool> alive_;
-  ReliabilityResult counters_;
+  std::uint64_t tree_nodes_ = 0;
+  std::uint64_t maxflow_calls_ = 0;
 };
 
 }  // namespace
 
 ReliabilityResult reliability_factoring(const FlowNetwork& net,
                                         const FlowDemand& demand,
-                                        const FactoringOptions& options) {
+                                        const FactoringOptions& options,
+                                        const ExecContext* ctx) {
   net.check_demand(demand);
-  FactoringSolver solver(net, demand, options);
-  const double r = solver.run();
-  ReliabilityResult result = solver.counters();
-  result.reliability = r;
+  FactoringSolver solver(net, demand, options, ctx);
+  ReliabilityResult result;
+  try {
+    result.reliability = solver.run();
+  } catch (const ExecInterrupted& stop) {
+    result.status = stop.status;
+    result.reliability = 0.0;
+  }
+  result.telemetry.counter(telemetry_keys::kConfigurations) =
+      solver.tree_nodes();
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) =
+      solver.maxflow_calls();
   return result;
 }
 

@@ -21,15 +21,18 @@ namespace streamrel {
 
 struct FactoringOptions {
   MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;
-  /// Safety valve for pathological instances: abort (throw
-  /// std::runtime_error) after this many recursion-tree nodes.
+  /// Safety valve for pathological instances: stop (result status
+  /// kBudgetExhausted) after this many recursion-tree nodes.
   std::uint64_t max_tree_nodes = 500'000'000ULL;
 };
 
 /// Exact reliability; works on networks of any size that the recursion
-/// can handle (no 63-edge mask limit).
+/// can handle (no 63-edge mask limit). On budget exhaustion or a context
+/// stop the result carries the corresponding status and reliability 0
+/// (the partial recursion value is not a meaningful bound).
 ReliabilityResult reliability_factoring(const FlowNetwork& net,
                                         const FlowDemand& demand,
-                                        const FactoringOptions& options = {});
+                                        const FactoringOptions& options = {},
+                                        const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -80,7 +80,8 @@ void canonicalize(StateKey& key) {
 
 ReliabilityResult reliability_connectivity(const FlowNetwork& net,
                                            const FlowDemand& demand,
-                                           const FrontierOptions& options) {
+                                           const FrontierOptions& options,
+                                           const ExecContext* ctx) {
   net.check_demand(demand);
   if (demand.rate != 1) {
     throw std::invalid_argument(
@@ -121,8 +122,13 @@ ReliabilityResult reliability_connectivity(const FlowNetwork& net,
   states[StateKey{0, 1}] = 1.0;  // s and t in singleton blocks
   KahanSum success;
   ReliabilityResult result;
+  std::uint64_t states_visited = 0;
 
   for (EdgeId id : edges) {
+    if (ctx && ctx->should_stop()) {
+      result.status = ctx->stop_status();
+      break;
+    }
     const Edge& e = net.edge(id);
     // Ensure both endpoints have slots.
     for (NodeId n : {e.u, e.v}) {
@@ -166,7 +172,7 @@ ReliabilityResult reliability_connectivity(const FlowNetwork& net,
     };
 
     for (const auto& [key, prob] : states) {
-      ++result.configurations;
+      ++states_visited;
       // Dead branch: partition unchanged.
       if (p_fail > 0.0) emit(key, prob * p_fail);
       // Alive branch: merge the endpoint blocks.
@@ -217,14 +223,17 @@ ReliabilityResult reliability_connectivity(const FlowNetwork& net,
     }
     states = std::move(next_states);
     if (states.size() > options.max_states) {
-      throw std::runtime_error(
-          "frontier DP exceeded the state budget; the network's frontier "
-          "is too wide for this method");
+      // The ordering heuristic found no small frontier: report the budget
+      // stop instead of aborting so Method::kAuto can fall back.
+      result.status = SolveStatus::kBudgetExhausted;
+      break;
     }
   }
 
   result.reliability = success.value();
-  result.maxflow_calls = 0;  // the method never solves a flow problem
+  result.telemetry.counter(telemetry_keys::kConfigurations) = states_visited;
+  // The method never solves a flow problem.
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = 0;
   return result;
 }
 

@@ -20,16 +20,19 @@
 namespace streamrel {
 
 struct FrontierOptions {
-  /// Abort (throw std::runtime_error) when the live state set exceeds
-  /// this bound — the ordering heuristic found no small frontier.
+  /// Stop (result status kBudgetExhausted) when the live state set
+  /// exceeds this bound — the ordering heuristic found no small frontier.
   std::size_t max_states = 2'000'000;
 };
 
 /// Exact P(s and t connected by surviving links). Requires
 /// demand.rate == 1 and an all-undirected network.
-/// `configurations` in the result counts DP states visited.
+/// `configurations` in the result counts DP states visited. On a state
+/// budget or context stop the result carries the status and the success
+/// mass folded so far (a valid LOWER bound on R).
 ReliabilityResult reliability_connectivity(const FlowNetwork& net,
                                            const FlowDemand& demand,
-                                           const FrontierOptions& options = {});
+                                           const FrontierOptions& options = {},
+                                           const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -65,15 +65,17 @@ ReliabilityResult multicast_reliability(const FlowNetwork& net,
 
   ReliabilityResult result;
   KahanSum sum;
+  std::uint64_t maxflow_calls = 0;
   const Mask total = Mask{1} << net.num_edges();
-  result.configurations = total;
   for (Mask alive = 0; alive < total; ++alive) {
     if (all_subscribers_served(residual, *solver, demand, alive,
-                               result.maxflow_calls)) {
+                               maxflow_calls)) {
       sum.add(probs.prob(alive));
     }
   }
   result.reliability = sum.value();
+  result.telemetry.counter(telemetry_keys::kConfigurations) = total;
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = maxflow_calls;
   return result;
 }
 
@@ -95,8 +97,8 @@ ReliabilityResult quorum_reliability(const FlowNetwork& net,
 
   ReliabilityResult result;
   KahanSum sum;
+  std::uint64_t maxflow_calls = 0;
   const Mask total = Mask{1} << net.num_edges();
-  result.configurations = total;
   const int needed = quorum;
   const int subscribers = static_cast<int>(demand.subscribers.size());
   for (Mask alive = 0; alive < total; ++alive) {
@@ -105,7 +107,7 @@ ReliabilityResult quorum_reliability(const FlowNetwork& net,
       // Early exit both ways: quorum reached, or unreachable.
       if (served >= needed || served + (subscribers - i) < needed) break;
       residual.reset(alive);
-      ++result.maxflow_calls;
+      ++maxflow_calls;
       if (solver->solve(residual.graph(), demand.source,
                         demand.subscribers[static_cast<std::size_t>(i)],
                         demand.rate) >= demand.rate) {
@@ -115,6 +117,8 @@ ReliabilityResult quorum_reliability(const FlowNetwork& net,
     if (served >= needed) sum.add(probs.prob(alive));
   }
   result.reliability = sum.value();
+  result.telemetry.counter(telemetry_keys::kConfigurations) = total;
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = maxflow_calls;
   return result;
 }
 

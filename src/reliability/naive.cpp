@@ -1,5 +1,7 @@
 #include "reliability/naive.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -16,27 +18,40 @@ namespace streamrel {
 namespace {
 
 // Sequential from-scratch sweep over an inclusive mask range; shared by
-// the sequential and parallel strategies.
-void sweep_range(const FlowNetwork& net, const FlowDemand& demand,
-                 MaxFlowAlgorithm algorithm, const ConfigProbTable& probs,
-                 Mask first, Mask last, KahanSum& sum,
-                 std::uint64_t& maxflow_calls) {
+// the sequential and parallel strategies. Polls the context every
+// kPollStride configurations; on a stop it sets `aborted` (shared across
+// shards) and returns the number of configurations it actually visited.
+std::uint64_t sweep_range(const FlowNetwork& net, const FlowDemand& demand,
+                          MaxFlowAlgorithm algorithm,
+                          const ConfigProbTable& probs, Mask first, Mask last,
+                          KahanSum& sum, std::uint64_t& maxflow_calls,
+                          const ExecContext* ctx, std::atomic<bool>& aborted) {
   ConfigResidual residual(net);
   auto solver = make_solver(algorithm);
+  std::uint64_t visited = 0;
   for (Mask alive = first;; ++alive) {
+    if (ctx && ((alive - first) & (ExecContext::kPollStride - 1)) == 0 &&
+        (aborted.load(std::memory_order_relaxed) || ctx->should_stop())) {
+      aborted.store(true, std::memory_order_relaxed);
+      break;
+    }
     residual.reset(alive);
     ++maxflow_calls;
+    ++visited;
     if (solver->solve(residual.graph(), demand.source, demand.sink,
                       demand.rate) >= demand.rate) {
       sum.add(probs.prob(alive));
     }
     if (alive == last) break;
   }
+  return visited;
 }
 
 ReliabilityResult naive_gray(const FlowNetwork& net, const FlowDemand& demand,
-                             const ConfigProbTable& probs) {
+                             const ConfigProbTable& probs,
+                             const ExecContext* ctx) {
   ReliabilityResult result;
+  std::uint64_t configurations = 0;
   KahanSum sum;
   IncrementalMaxFlow inc(net, demand);
 
@@ -48,14 +63,21 @@ ReliabilityResult naive_gray(const FlowNetwork& net, const FlowDemand& demand,
   }
   const Mask total = Mask{1} << net.num_edges();
   for (Mask i = 0;; ++i) {
+    if (ctx && (i & (ExecContext::kPollStride - 1)) == 0 &&
+        ctx->should_stop()) {
+      result.status = ctx->stop_status();
+      break;
+    }
     const Mask alive = gray_code(i);
-    ++result.configurations;
+    ++configurations;
     if (inc.admits()) sum.add(probs.prob(alive));
     if (i + 1 == total) break;
     const int flip = gray_flip_bit(i);
     inc.set_edge_alive(flip, !test_bit(alive, flip));
   }
-  result.maxflow_calls = result.configurations;  // one repair per step
+  result.telemetry.counter(telemetry_keys::kConfigurations) = configurations;
+  // One repair per step.
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = configurations;
   result.reliability = sum.value();
   return result;
 }
@@ -64,7 +86,8 @@ ReliabilityResult naive_gray(const FlowNetwork& net, const FlowDemand& demand,
 
 ReliabilityResult reliability_naive(const FlowNetwork& net,
                                     const FlowDemand& demand,
-                                    const NaiveOptions& options) {
+                                    const NaiveOptions& options,
+                                    const ExecContext* ctx) {
   net.check_demand(demand);
   if (!net.fits_mask()) {
     throw std::invalid_argument(
@@ -74,17 +97,21 @@ ReliabilityResult reliability_naive(const FlowNetwork& net,
   const Mask total = Mask{1} << net.num_edges();
 
   if (options.strategy == NaiveStrategy::kGrayIncremental) {
-    return naive_gray(net, demand, probs);
+    return naive_gray(net, demand, probs, ctx);
   }
 
   ReliabilityResult result;
-  result.configurations = total;
+  std::uint64_t configurations = 0;
+  std::uint64_t maxflow_calls = 0;
+  std::atomic<bool> aborted{false};
 
 #ifdef _OPENMP
   if (options.strategy == NaiveStrategy::kParallel && total >= 1024) {
-    const int threads = omp_get_max_threads();
+    const int threads = static_cast<int>(std::min<Mask>(
+        static_cast<Mask>(exec_resolved_threads(ctx)), total));
     std::vector<KahanSum> sums(static_cast<std::size_t>(threads));
     std::vector<std::uint64_t> calls(static_cast<std::size_t>(threads), 0);
+    std::vector<std::uint64_t> visited(static_cast<std::size_t>(threads), 0);
 #pragma omp parallel num_threads(threads)
     {
       const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -93,23 +120,36 @@ ReliabilityResult reliability_naive(const FlowNetwork& net,
       const Mask last = (tid + 1 == static_cast<std::size_t>(threads))
                             ? total - 1
                             : first + chunk - 1;
-      sweep_range(net, demand, options.algorithm, probs, first, last,
-                  sums[tid], calls[tid]);
+      visited[tid] = sweep_range(net, demand, options.algorithm, probs, first,
+                                 last, sums[tid], calls[tid], ctx, aborted);
     }
     KahanSum sum;
     for (std::size_t i = 0; i < sums.size(); ++i) {
       sum.merge(sums[i]);
-      result.maxflow_calls += calls[i];
+      maxflow_calls += calls[i];
+      configurations += visited[i];
     }
     result.reliability = sum.value();
+    if (aborted.load(std::memory_order_relaxed) && ctx) {
+      result.status = ctx->stop_status();
+    }
+    result.telemetry.counter(telemetry_keys::kConfigurations) =
+        result.exact() ? total : configurations;
+    result.telemetry.counter(telemetry_keys::kMaxflowCalls) = maxflow_calls;
     return result;
   }
 #endif
 
   KahanSum sum;
-  sweep_range(net, demand, options.algorithm, probs, 0, total - 1, sum,
-              result.maxflow_calls);
+  configurations = sweep_range(net, demand, options.algorithm, probs, 0,
+                               total - 1, sum, maxflow_calls, ctx, aborted);
   result.reliability = sum.value();
+  if (aborted.load(std::memory_order_relaxed) && ctx) {
+    result.status = ctx->stop_status();
+  }
+  result.telemetry.counter(telemetry_keys::kConfigurations) =
+      result.exact() ? total : configurations;
+  result.telemetry.counter(telemetry_keys::kMaxflowCalls) = maxflow_calls;
   return result;
 }
 

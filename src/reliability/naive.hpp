@@ -28,8 +28,13 @@ struct NaiveOptions {
 };
 
 /// Exact reliability by exhaustive enumeration. Requires net.fits_mask().
+/// With a context, the sweep polls for deadline/cancellation every
+/// ExecContext::kPollStride configurations and honors the thread cap; on
+/// a stop the result carries the stop status and `reliability` holds the
+/// probability mass accumulated so far (a valid LOWER bound on R).
 ReliabilityResult reliability_naive(const FlowNetwork& net,
                                     const FlowDemand& demand,
-                                    const NaiveOptions& options = {});
+                                    const NaiveOptions& options = {},
+                                    const ExecContext* ctx = nullptr);
 
 }  // namespace streamrel

@@ -9,6 +9,7 @@
 #include "core/assignments.hpp"         // IWYU pragma: export
 #include "core/bottleneck_algorithm.hpp"// IWYU pragma: export
 #include "core/chain.hpp"               // IWYU pragma: export
+#include "core/engine.hpp"              // IWYU pragma: export
 #include "core/hybrid_mc.hpp"           // IWYU pragma: export
 #include "core/importance.hpp"          // IWYU pragma: export
 #include "core/polynomial_decomposition.hpp" // IWYU pragma: export
@@ -45,3 +46,5 @@
 #include "reliability/throughput.hpp"   // IWYU pragma: export
 #include "sim/availability_sim.hpp"     // IWYU pragma: export
 #include "sim/link_dynamics.hpp"        // IWYU pragma: export
+#include "util/exec_context.hpp"        // IWYU pragma: export
+#include "util/telemetry.hpp"           // IWYU pragma: export

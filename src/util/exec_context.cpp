@@ -1,0 +1,42 @@
+#include "util/exec_context.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace streamrel {
+
+std::string_view to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kExact:
+      return "exact";
+    case SolveStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case SolveStatus::kBudgetExhausted:
+      return "budget_exhausted";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+int ExecContext::resolved_threads() const noexcept {
+#ifdef _OPENMP
+  const int hw = omp_get_max_threads();
+#else
+  const int hw = 1;
+#endif
+  if (max_threads <= 0) return hw;
+  return max_threads < hw ? max_threads : hw;
+}
+
+int exec_resolved_threads(const ExecContext* ctx) noexcept {
+  if (ctx) return ctx->resolved_threads();
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace streamrel

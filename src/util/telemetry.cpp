@@ -1,0 +1,127 @@
+#include "util/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace streamrel {
+
+Telemetry::Counter& Telemetry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{0}).first->second;
+}
+
+Telemetry::Counter Telemetry::counter_or(std::string_view name,
+                                         Counter fallback) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : fallback;
+}
+
+double& Telemetry::timer_ms(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_.emplace(std::string(name), 0.0).first->second;
+}
+
+double Telemetry::timer_ms_or(std::string_view name, double fallback) const {
+  const auto it = timers_.find(name);
+  return it != timers_.end() ? it->second : fallback;
+}
+
+Telemetry& Telemetry::child(std::string_view name) {
+  const auto it = children_.find(name);
+  if (it != children_.end()) return it->second;
+  return children_.emplace(std::string(name), Telemetry{}).first->second;
+}
+
+const Telemetry* Telemetry::find_child(std::string_view name) const {
+  const auto it = children_.find(name);
+  return it != children_.end() ? &it->second : nullptr;
+}
+
+void Telemetry::merge(const Telemetry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.timers_) timers_[name] += value;
+  for (const auto& [name, sub] : other.children_) children_[name].merge(sub);
+}
+
+bool Telemetry::counters_equal(const Telemetry& other) const {
+  if (counters_ != other.counters_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  auto it = children_.begin();
+  auto jt = other.children_.begin();
+  for (; it != children_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    if (!it->second.counters_equal(jt->second)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Telemetry::append_json(std::string& out) const {
+  out += '{';
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& [name, value] : counters_) {
+    sep();
+    append_quoted(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  for (const auto& [name, value] : timers_) {
+    sep();
+    append_quoted(out, name + "_ms");
+    out += ": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    out += buf;
+  }
+  for (const auto& [name, sub] : children_) {
+    sep();
+    append_quoted(out, name);
+    out += ": ";
+    sub.append_json(out);
+  }
+  out += '}';
+}
+
+std::string Telemetry::to_json() const {
+  std::string out;
+  append_json(out);
+  return out;
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(Telemetry& telemetry, std::string_view name)
+    : slot_(&telemetry.timer_ms(name)), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  *slot_ += static_cast<double>(now_ns() - start_ns_) * 1e-6;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,210 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "p2p/scenario.hpp"
+#include "reliability/frontier.hpp"
+#include "reliability/naive.hpp"
+#include "test_support.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace streamrel {
+namespace {
+
+using testing::kTol;
+
+TEST(EngineRegistry, SeedsTheFiveBuiltins) {
+  const EngineRegistry& registry = EngineRegistry::instance();
+  EXPECT_GE(registry.engines().size(), 5u);
+  for (Method m : {Method::kBottleneck, Method::kNaive, Method::kFactoring,
+                   Method::kFrontier, Method::kHybridMc}) {
+    const Engine* engine = registry.find(m);
+    ASSERT_NE(engine, nullptr) << to_string(m);
+    EXPECT_EQ(engine->method(), m);
+    EXPECT_EQ(engine->name(), to_string(m));
+  }
+}
+
+TEST(EngineRegistry, AutoHasNoEngineOfItsOwn) {
+  const EngineRegistry& registry = EngineRegistry::instance();
+  EXPECT_EQ(registry.find(Method::kAuto), nullptr);
+  EXPECT_THROW(registry.require(Method::kAuto), std::invalid_argument);
+}
+
+TEST(EngineRegistry, ApplicabilityMatchesEachEnginesPreconditions) {
+  const EngineRegistry& registry = EngineRegistry::instance();
+  const FlowNetwork small = testing::diamond(0.5);
+  const FlowDemand rate1{0, 3, 1};
+  EXPECT_TRUE(registry.require(Method::kNaive).applicable(small, rate1));
+  EXPECT_TRUE(registry.require(Method::kFrontier).applicable(small, rate1));
+  EXPECT_FALSE(registry.require(Method::kFrontier)
+                   .applicable(small, {0, 3, 2}));  // rate > 1
+
+  FlowNetwork huge(2);
+  for (int i = 0; i < 70; ++i) huge.add_undirected_edge(0, 1, 1, 0.5);
+  EXPECT_FALSE(registry.require(Method::kNaive).applicable(huge, {0, 1, 1}));
+  EXPECT_TRUE(
+      registry.require(Method::kFactoring).applicable(huge, {0, 1, 1}));
+
+  // Estimates never substitute for exact answers: the hybrid engine must
+  // be invisible to the kAuto chain.
+  EXPECT_FALSE(registry.require(Method::kHybridMc).applicable(small, rate1));
+}
+
+TEST(EngineFallback, AutoPicksBottleneckOnClusteredGraph) {
+  Xoshiro256 rng(1234);
+  ClusteredParams params;
+  params.nodes_s = 4;
+  params.nodes_t = 4;
+  params.bottleneck_links = 2;
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions options;
+  options.use_reductions = false;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kBottleneck);
+  EXPECT_EQ(report.engine, "bottleneck");
+  EXPECT_TRUE(report.exact());
+  ASSERT_TRUE(report.partition.has_value());
+  EXPECT_NEAR(report.result.reliability,
+              reliability_naive(g.net, demand).reliability, kTol);
+}
+
+TEST(EngineFallback, RateOneGiantWithoutPartitionGoesToFrontier) {
+  // 118 links, no admissible bottleneck cut within the side limits: the
+  // chain must land on the frontier DP and still answer exactly.
+  const GeneratedNetwork g = ladder_network(40, 1, 0.05);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions options;
+  options.use_reductions = false;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kFrontier);
+  EXPECT_EQ(report.engine, "frontier");
+  EXPECT_TRUE(report.exact());
+  EXPECT_NEAR(report.result.reliability,
+              reliability_connectivity(g.net, demand).reliability, kTol);
+}
+
+TEST(EngineFallback, FrontierBudgetStopFallsThroughToFactoring) {
+  const GeneratedNetwork g = ladder_network(40, 1, 0.05);
+  const FlowDemand demand{g.source, g.sink, 1};
+  SolveOptions options;
+  options.use_reductions = false;
+  options.frontier.max_states = 1;      // frontier: kBudgetExhausted
+  options.factoring.max_tree_nodes = 200;  // keep the 118-link run bounded
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  EXPECT_EQ(report.method_used, Method::kFactoring);
+  EXPECT_EQ(report.result.status, SolveStatus::kBudgetExhausted);
+  // A budget stop still yields a usable answer: the polynomial envelope.
+  ASSERT_TRUE(report.bounds.has_value());
+  EXPECT_LE(report.bounds->lower, report.bounds->upper);
+  EXPECT_GE(report.bounds->lower, 0.0);
+  EXPECT_LE(report.bounds->upper, 1.0);
+}
+
+TEST(EngineFallback, TinyDeadlineOnNaiveEnumerationDegradesToBounds) {
+  // 25 links: 2^25 max-flow calls would take far longer than 100 ms, so
+  // only the cooperative deadline makes this return in time.
+  const GeneratedNetwork g = ladder_network(9, 1, 0.05);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const double exact =
+      reliability_connectivity(g.net, demand).reliability;
+
+  SolveOptions options;
+  options.method = Method::kNaive;
+  options.deadline_ms = 0.5;
+  // Keep the degraded answer cheap too: a small cut family gives the
+  // same envelope here at a fraction of the enumeration cost.
+  options.bounds.max_cuts = 16;
+  Stopwatch sw;
+  const SolveReport report = compute_reliability(g.net, demand, options);
+  const double elapsed = sw.elapsed_ms();
+  EXPECT_EQ(report.result.status, SolveStatus::kDeadlineExpired);
+  EXPECT_FALSE(report.exact());
+  ASSERT_TRUE(report.bounds.has_value());
+  EXPECT_TRUE(report.bounds->contains(exact))
+      << "[" << report.bounds->lower << ", " << report.bounds->upper
+      << "] vs " << exact;
+  EXPECT_LT(elapsed, 100.0);
+}
+
+TEST(EngineFallback, DeadlineStopIsFinalInTheAutoChain) {
+  // The deadline expires inside the bottleneck decomposition; kAuto must
+  // NOT burn the (already spent) wall clock on further fallbacks.
+  Xoshiro256 rng(321);
+  ClusteredParams params;
+  params.nodes_s = 8;
+  params.extra_edges_s = 7;
+  params.nodes_t = 8;
+  params.extra_edges_t = 7;
+  params.bottleneck_links = 2;
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  SolveOptions options;
+  options.use_reductions = false;
+  options.deadline_ms = 1e-3;
+  options.bounds.max_cuts = 16;
+  const SolveReport report =
+      compute_reliability(g.net, {g.source, g.sink, 1}, options);
+  EXPECT_EQ(report.result.status, SolveStatus::kDeadlineExpired);
+  EXPECT_EQ(report.method_used, Method::kBottleneck);
+  ASSERT_TRUE(report.bounds.has_value());
+  EXPECT_LE(report.bounds->lower, report.bounds->upper);
+}
+
+TEST(EngineRegistry, ExplicitHybridRequestRunsTheEstimator) {
+  const GeneratedNetwork g = make_fig4_graph(0.2);
+  SolveOptions options;
+  options.method = Method::kHybridMc;
+  options.hybrid.samples_per_side = 2000;
+  const SolveReport report =
+      compute_reliability(g.net, {g.source, g.sink, 2}, options);
+  EXPECT_EQ(report.method_used, Method::kHybridMc);
+  EXPECT_EQ(report.engine, "hybrid-mc");
+  EXPECT_GE(report.result.reliability, 0.0);
+  EXPECT_LE(report.result.reliability, 1.0);
+  EXPECT_GT(report.result.telemetry.counter_or(telemetry_keys::kSamples), 0u);
+}
+
+// Keep this last: it swaps an engine in the process-wide registry.
+TEST(EngineRegistry, RegisteringAMethodAgainReplacesTheEngine) {
+  class FixedAnswerEngine final : public Engine {
+   public:
+    std::string_view name() const noexcept override { return "fixed"; }
+    Method method() const noexcept override { return Method::kHybridMc; }
+    bool applicable(const FlowNetwork&, const FlowDemand&) const override {
+      return false;
+    }
+    SolveReport solve(const FlowNetwork&, const FlowDemand&,
+                      const SolveOptions&,
+                      const ExecContext*) const override {
+      SolveReport report;
+      report.method_used = Method::kHybridMc;
+      report.engine = name();
+      report.result.reliability = 0.25;
+      return report;
+    }
+  };
+
+  EngineRegistry& registry = EngineRegistry::instance();
+  const std::size_t before = registry.engines().size();
+  registry.register_engine(std::make_unique<FixedAnswerEngine>());
+  EXPECT_EQ(registry.engines().size(), before);  // replaced, not appended
+  EXPECT_EQ(registry.require(Method::kHybridMc).name(), "fixed");
+
+  FlowNetwork net(2);
+  net.add_undirected_edge(0, 1, 1, 0.1);
+  SolveOptions options;
+  options.method = Method::kHybridMc;
+  const SolveReport report = compute_reliability(net, {0, 1, 1}, options);
+  EXPECT_EQ(report.engine, "fixed");
+  EXPECT_DOUBLE_EQ(report.result.reliability, 0.25);
+
+  EXPECT_THROW(registry.register_engine(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -21,7 +21,7 @@ TEST(NaiveReliability, SingleLink) {
   net.add_undirected_edge(0, 1, 1, 0.3);
   const auto result = reliability_naive(net, {0, 1, 1});
   EXPECT_NEAR(result.reliability, 0.7, kTol);
-  EXPECT_EQ(result.configurations, 2u);
+  EXPECT_EQ(result.configurations(), 2u);
 }
 
 TEST(NaiveReliability, SeriesMultiplies) {
@@ -180,8 +180,8 @@ TEST(NaiveReliability, RejectsBadDemands) {
 TEST(NaiveReliability, CountersReported) {
   const FlowNetwork net = testing::diamond(0.3);
   const auto result = reliability_naive(net, {0, 3, 1});
-  EXPECT_EQ(result.configurations, 32u);
-  EXPECT_EQ(result.maxflow_calls, 32u);
+  EXPECT_EQ(result.configurations(), 32u);
+  EXPECT_EQ(result.maxflow_calls(), 32u);
 }
 
 }  // namespace

@@ -27,8 +27,8 @@ TEST(PaperExamples, Fig1NaiveEnumerationAccountsEveryConfiguration) {
   const FlowDemand demand{g.source, g.sink, 2};
   const auto result = reliability_naive(g.net, demand);
   // 2^|E| configurations, one max-flow each — exactly the Fig. 1 recipe.
-  EXPECT_EQ(result.configurations, Mask{1} << 9);
-  EXPECT_EQ(result.maxflow_calls, Mask{1} << 9);
+  EXPECT_EQ(result.configurations(), Mask{1} << 9);
+  EXPECT_EQ(result.maxflow_calls(), Mask{1} << 9);
   // And the sum of admitting-configuration probabilities matches an
   // independently coded brute force.
   EXPECT_NEAR(result.reliability,

@@ -161,13 +161,13 @@ TEST(SideArrayIncremental, PruningCutsSolverCallsAndCountsDecisions) {
 
   // The scratch sweep pays |D| solves per configuration; the Gray walk
   // must beat it, and pruning must beat the plain Gray walk.
-  EXPECT_EQ(scratch_stats.maxflow_calls,
+  EXPECT_EQ(scratch_stats.maxflow_calls(),
             static_cast<std::uint64_t>(assignments.size()) * scratch.size());
-  EXPECT_LT(gray_stats.maxflow_calls, scratch_stats.maxflow_calls);
-  EXPECT_LT(pruned_stats.maxflow_calls, gray_stats.maxflow_calls);
-  EXPECT_GT(pruned_stats.pruned_decisions, 0u);
-  EXPECT_GT(pruned_stats.engine_toggles, 0u);
-  EXPECT_EQ(scratch_stats.pruned_decisions, 0u);
+  EXPECT_LT(gray_stats.maxflow_calls(), scratch_stats.maxflow_calls());
+  EXPECT_LT(pruned_stats.maxflow_calls(), gray_stats.maxflow_calls());
+  EXPECT_GT(pruned_stats.pruned_decisions(), 0u);
+  EXPECT_GT(pruned_stats.engine_toggles(), 0u);
+  EXPECT_EQ(scratch_stats.pruned_decisions(), 0u);
 }
 
 TEST(SideArrayIncremental, AutoStrategyStaysExactAcrossThreshold) {
