@@ -8,8 +8,8 @@
 
 #include <vector>
 
-#include "core/accumulate.hpp"
-#include "util/prng.hpp"
+#include "streamrel/core/accumulate.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,0 +1,145 @@
+// E27 — serving many what-if queries: one QuerySession + BatchEvaluator
+// versus independent compute_reliability calls, on an E26-style
+// clustered-bottleneck instance.
+//
+// Each query perturbs a handful of link failure probabilities (a churn
+// re-estimate) and re-asks the same (s, t, d) question. The session pays
+// the exponential structural work (assignment enumeration + side-array
+// sweeps) once and answers every subsequent query with the
+// probability-only Gray-order fold; the baseline re-runs the whole
+// decomposition per query. Verifies the two answer streams are BITWISE
+// identical and that the cache actually served hits; exits non-zero when
+// the batch path is slower than the target speedup (relaxed under
+// --smoke). With --json=FILE a machine-readable record is written for CI
+// trend tracking.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/stopwatch.hpp"
+
+using namespace streamrel;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke");
+  const int side_links =
+      static_cast<int>(args.get_int("side-links", smoke ? 10 : 16));
+  const int bottleneck = static_cast<int>(args.get_int("bottleneck", 2));
+  const Capacity d = args.get_int("demand", 2);
+  const int num_queries = static_cast<int>(args.get_int("queries", 64));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 27));
+  const double target_speedup = args.get_double("target-speedup",
+                                                smoke ? 1.0 : 5.0);
+  const std::string json_path = args.get("json", "");
+
+  Xoshiro256 rng(seed);
+  ClusteredParams params;
+  params.nodes_s = side_links / 2 + 1;
+  params.extra_edges_s = side_links - (params.nodes_s - 1);
+  params.nodes_t = 4;
+  params.extra_edges_t = 1;
+  params.bottleneck_links = bottleneck;
+  params.bottleneck_caps = {1, 3};
+  const GeneratedNetwork g = clustered_bottleneck(rng, params);
+  const FlowDemand demand{g.source, g.sink, d};
+
+  // The what-if stream: every query re-estimates three link failure
+  // probabilities (same demand, same topology).
+  std::vector<WhatIfQuery> queries(static_cast<std::size_t>(num_queries));
+  for (WhatIfQuery& q : queries) {
+    q.demand = demand;
+    for (int j = 0; j < 3; ++j) {
+      q.prob_overrides.push_back(ProbOverride{
+          static_cast<EdgeId>(rng.uniform_below(
+              static_cast<std::uint64_t>(g.net.num_edges()))),
+          rng.uniform_real(0.01, 0.4)});
+    }
+  }
+
+  std::cout << "E27: batched what-if queries, " << g.net.summary() << ", d="
+            << d << ", k=" << bottleneck << ", queries=" << num_queries
+            << "\n";
+
+  // Baseline: each query edits a private copy of the network and runs the
+  // full facade solve — the pre-QuerySession serving pattern.
+  Stopwatch sw;
+  std::vector<double> baseline;
+  baseline.reserve(queries.size());
+  for (const WhatIfQuery& q : queries) {
+    FlowNetwork net = g.net;
+    for (const ProbOverride& o : q.prob_overrides) {
+      net.set_failure_prob(o.edge, o.failure_prob);
+    }
+    baseline.push_back(compute_reliability(net, q.demand).result.reliability);
+  }
+  const double baseline_ms = sw.elapsed_ms();
+
+  // Batch: one session, structural work shared across the stream.
+  sw.reset();
+  QuerySession session(g.net);
+  BatchEvaluator evaluator(session);
+  const BatchReport batch = evaluator.evaluate(queries);
+  const double batch_ms = sw.elapsed_ms();
+
+  int mismatches = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Bitwise comparison, deliberately: the session must reuse the exact
+    // facade arithmetic, not approximate it.
+    if (batch.reports[i].result.reliability != baseline[i]) ++mismatches;
+  }
+  const double speedup = batch_ms > 0.0 ? baseline_ms / batch_ms : 0.0;
+
+  std::cout << "baseline " << baseline_ms << " ms, batch " << batch_ms
+            << " ms, speedup " << speedup << "x\n"
+            << "cache: " << session.cache_hits() << " hits, "
+            << session.cache_misses() << " misses, "
+            << session.cache_evictions() << " evictions\n"
+            << "exact " << batch.exact_count << "/" << num_queries
+            << ", mismatches " << mismatches << "\n";
+
+  const bool hits_ok = session.cache_hits() > 0;
+  const bool speed_ok = speedup >= target_speedup;
+  const bool exact_ok = batch.exact_count == num_queries;
+
+  bool json_ok = true;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"queries\": " << num_queries
+        << ",\n  \"side_links\": " << side_links
+        << ",\n  \"bottleneck\": " << bottleneck << ",\n  \"demand\": " << d
+        << ",\n  \"seed\": " << seed
+        << ",\n  \"baseline_ms\": " << baseline_ms
+        << ",\n  \"batch_ms\": " << batch_ms
+        << ",\n  \"speedup\": " << speedup
+        << ",\n  \"cache_hits\": " << session.cache_hits()
+        << ",\n  \"cache_misses\": " << session.cache_misses()
+        << ",\n  \"cache_evictions\": " << session.cache_evictions()
+        << ",\n  \"exact\": " << batch.exact_count
+        << ",\n  \"mismatches\": " << mismatches
+        << ",\n  \"bitwise_identical\": " << (mismatches == 0 ? "true" : "false")
+        << "\n}\n";
+    json_ok = static_cast<bool>(out);
+    if (json_ok) {
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "error: could not write " << json_path << "\n";
+    }
+  }
+
+  if (mismatches != 0) std::cerr << "FAIL: answers diverge from facade\n";
+  if (!hits_ok) std::cerr << "FAIL: cache served no hits\n";
+  if (!exact_ok) std::cerr << "FAIL: non-exact answers\n";
+  if (!speed_ok) {
+    std::cerr << "FAIL: speedup " << speedup << "x below target "
+              << target_speedup << "x\n";
+  }
+  return (mismatches == 0 && hits_ok && exact_ok && speed_ok && json_ok) ? 0
+                                                                         : 1;
+}

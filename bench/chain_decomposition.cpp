@@ -7,10 +7,10 @@
 #include <algorithm>
 #include <iostream>
 
-#include "streamrel.hpp"
-#include "util/cli.hpp"
-#include "util/stopwatch.hpp"
-#include "util/table.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/stopwatch.hpp"
+#include "streamrel/util/table.hpp"
 
 using namespace streamrel;
 

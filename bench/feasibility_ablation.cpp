@@ -6,9 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/side_array.hpp"
-#include "graph/generators.hpp"
-#include "util/prng.hpp"
+#include "streamrel/core/side_array.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -8,10 +8,10 @@
 #include <cmath>
 #include <iostream>
 
-#include "streamrel.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/stats.hpp"
+#include "streamrel/util/table.hpp"
 
 using namespace streamrel;
 

@@ -6,10 +6,10 @@
 
 #include <vector>
 
-#include "graph/generators.hpp"
-#include "maxflow/config_residual.hpp"
-#include "maxflow/maxflow.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

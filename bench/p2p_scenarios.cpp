@@ -8,9 +8,9 @@
 
 #include <iostream>
 
-#include "streamrel.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/table.hpp"
 
 using namespace streamrel;
 

@@ -10,11 +10,11 @@
 #include <iostream>
 #include <vector>
 
-#include "streamrel.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
-#include "util/stopwatch.hpp"
-#include "util/table.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/stats.hpp"
+#include "streamrel/util/stopwatch.hpp"
+#include "streamrel/util/table.hpp"
 
 using namespace streamrel;
 

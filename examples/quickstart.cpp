@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "streamrel.hpp"
+#include "streamrel/streamrel.hpp"
 
 int main() {
   using namespace streamrel;

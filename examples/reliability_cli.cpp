@@ -8,23 +8,146 @@
 //                               [--d <rate>] [--source N] [--sink N]
 //                               [--samples N] [--deadline-ms T] [--threads N]
 //                               [--json] [--bounds] [--importance]
-//                               [--dot out.dot]
+//                               [--dot out.dot] [--batch queries.json]
 //
 // --deadline-ms bounds the wall clock: on expiry the answer degrades to a
 // status + reliability bounds instead of running on. --json emits the
 // solve report (including the telemetry tree) as one JSON object.
+//
+// --batch runs many what-if queries through one QuerySession, so the
+// exponential structural work is paid once and shared. The file holds
+// {"queries": [...]} (or a bare array); each query may set "source",
+// "sink", "d", "method", "deadline_ms" and "overrides":
+// [{"edge": id, "p": prob}, ...] — per-query failure-probability
+// substitutions. Output is one JSON report per query (JSON lines) plus a
+// summary object with the cache hit/miss/eviction counters.
 
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
-#include "streamrel.hpp"
-#include "util/cli.hpp"
-#include "util/stopwatch.hpp"
-#include "util/table.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/stopwatch.hpp"
+#include "streamrel/util/table.hpp"
 
 using namespace streamrel;
 
 namespace {
+
+bool parse_method(const std::string& name, Method* out) {
+  if (name == "auto") {
+    *out = Method::kAuto;
+  } else if (name == "naive") {
+    *out = Method::kNaive;
+  } else if (name == "factoring") {
+    *out = Method::kFactoring;
+  } else if (name == "bottleneck") {
+    *out = Method::kBottleneck;
+  } else if (name == "frontier") {
+    *out = Method::kFrontier;
+  } else if (name == "hybrid") {
+    *out = Method::kHybridMc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
+              const CliArgs& args) {
+  std::ifstream in(args.get("batch", ""));
+  if (!in) {
+    std::cerr << "cannot open batch file '" << args.get("batch", "") << "'\n";
+    return 2;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const JsonValue doc = parse_json(text);
+  const JsonValue* list = doc.is_array() ? &doc : doc.find("queries");
+  if (!list || !list->is_array()) {
+    std::cerr << "batch file needs a top-level array or a \"queries\" key\n";
+    return 2;
+  }
+
+  std::vector<WhatIfQuery> queries;
+  queries.reserve(list->as_array().size());
+  for (const JsonValue& entry : list->as_array()) {
+    WhatIfQuery q;
+    q.demand = default_demand;
+    if (const JsonValue* v = entry.find("source")) {
+      q.demand.source = static_cast<NodeId>(v->as_number());
+    }
+    if (const JsonValue* v = entry.find("sink")) {
+      q.demand.sink = static_cast<NodeId>(v->as_number());
+    }
+    if (const JsonValue* v = entry.find("d")) {
+      q.demand.rate = static_cast<Capacity>(v->as_number());
+    }
+    if (const JsonValue* v = entry.find("deadline_ms")) {
+      q.deadline_ms = v->as_number();
+    }
+    if (const JsonValue* v = entry.find("method")) {
+      if (!parse_method(v->as_string(), &q.method)) {
+        std::cerr << "unknown method '" << v->as_string()
+                  << "' in batch file\n";
+        return 2;
+      }
+    }
+    if (const JsonValue* v = entry.find("overrides")) {
+      for (const JsonValue& o : v->as_array()) {
+        const JsonValue* edge = o.find("edge");
+        const JsonValue* p = o.find("p");
+        if (!edge || !p) {
+          std::cerr << "override needs \"edge\" and \"p\" members\n";
+          return 2;
+        }
+        q.prob_overrides.push_back(ProbOverride{
+            static_cast<EdgeId>(edge->as_number()), p->as_number()});
+      }
+    }
+    queries.push_back(std::move(q));
+  }
+
+  QueryCacheOptions cache;
+  if (const JsonValue* v = doc.find("max_mask_tables")) {
+    cache.max_mask_tables = static_cast<std::size_t>(v->as_number());
+  }
+  QuerySession session(file.net, cache);
+  BatchEvaluator evaluator(session);
+  BatchOptions options;
+  options.deadline_ms = args.get_double("deadline-ms", 0.0);
+  options.max_threads = static_cast<int>(args.get_int("threads", 0));
+
+  Stopwatch sw;
+  const BatchReport batch = evaluator.evaluate(queries, options);
+  const double elapsed = sw.elapsed_ms();
+
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    const SolveReport& report = batch.reports[i];
+    std::cout << "{\"query\": " << i << ", \"source\": "
+              << queries[i].demand.source << ", \"sink\": "
+              << queries[i].demand.sink << ", \"d\": "
+              << queries[i].demand.rate << ", \"reliability\": "
+              << format_double(report.result.reliability, 10)
+              << ", \"status\": \"" << to_string(report.result.status)
+              << "\", \"method\": \"" << to_string(report.method_used)
+              << "\", \"engine\": \"" << report.engine << "\"";
+    if (report.bounds) {
+      std::cout << ", \"bounds\": {\"lower\": "
+                << format_double(report.bounds->lower, 10) << ", \"upper\": "
+                << format_double(report.bounds->upper, 10) << "}";
+    }
+    std::cout << "}\n";
+  }
+  std::cout << "{\"summary\": {\"queries\": " << batch.reports.size()
+            << ", \"exact\": " << batch.exact_count << ", \"cache_hits\": "
+            << session.cache_hits() << ", \"cache_misses\": "
+            << session.cache_misses() << ", \"cache_evictions\": "
+            << session.cache_evictions() << ", \"elapsed_ms\": "
+            << format_double(elapsed, 4) << "}}\n";
+  return 0;
+}
 
 int run(const CliArgs& args) {
   if (args.positional().empty()) {
@@ -40,6 +163,8 @@ int run(const CliArgs& args) {
   demand.sink = static_cast<NodeId>(args.get_int("sink", demand.sink));
   demand.rate = args.get_int("d", demand.rate);
   file.net.check_demand(demand);
+
+  if (args.has("batch")) return run_batch(file, demand, args);
 
   std::cout << "network: " << file.net.summary() << "\n"
             << "demand: " << demand.rate << " sub-stream(s) "
@@ -64,21 +189,13 @@ int run(const CliArgs& args) {
               << format_double(sw.elapsed_ms(), 4) << " ms)\n";
   } else {
     SolveOptions options;
-    if (method == "naive") {
-      options.method = Method::kNaive;
-    } else if (method == "factoring") {
-      options.method = Method::kFactoring;
-    } else if (method == "bottleneck") {
-      options.method = Method::kBottleneck;
-    } else if (method == "frontier") {
-      options.method = Method::kFrontier;
-    } else if (method == "hybrid") {
-      options.method = Method::kHybridMc;
-      options.hybrid.samples_per_side =
-          static_cast<std::uint64_t>(args.get_int("samples", 20'000));
-    } else if (method != "auto") {
+    if (!parse_method(method, &options.method)) {
       std::cerr << "unknown --method '" << method << "'\n";
       return 2;
+    }
+    if (options.method == Method::kHybridMc) {
+      options.hybrid.samples_per_side =
+          static_cast<std::uint64_t>(args.get_int("samples", 20'000));
     }
     options.deadline_ms = args.get_double("deadline-ms", 0.0);
     options.max_threads = static_cast<int>(args.get_int("threads", 0));

@@ -1,0 +1,45 @@
+#pragma once
+// Accumulation of side probabilities (paper §IV, Example 6, Table I).
+//
+// Given the two side distributions over realized-assignment masks and the
+// set of assignments supported by an alive-bottleneck configuration E''
+// (Definition 1), compute
+//
+//   r_{E''} = P( exists allowed assignment realized by BOTH sides )
+//
+// where the two sides are independent. Three algebraically equivalent
+// strategies:
+//
+//   * kPaperInclusionExclusion — the paper's ACCUMULATION procedure
+//     verbatim: for every non-empty subset X of allowed assignments,
+//     p_X = P_s(realizes all of X) * P_t(realizes all of X), combined by
+//     inclusion–exclusion. Cost 2^|D_{E''}| * buckets.
+//   * kZetaTransform — complement counting: P(no common assignment) =
+//     sum over source buckets of P_t(mask disjoint from it), where the
+//     disjointness sums come from one subset-zeta transform of the sink
+//     distribution. Cost 2^|D_{E''}| + buckets.
+//   * kBucketProduct — direct double sum over distinct bucket pairs with
+//     an intersection test. Cost |buckets_s| * |buckets_t|, no 2^|D|
+//     factor, best when sides have few distinct masks.
+
+#include "streamrel/core/side_array.hpp"
+#include "streamrel/util/bitops.hpp"
+
+namespace streamrel {
+
+enum class AccumulationStrategy {
+  kPaperInclusionExclusion,
+  kZetaTransform,
+  kBucketProduct,
+  kAuto,  ///< zeta when |allowed| is small, bucket product otherwise
+};
+
+/// P(exists j in `allowed` with j realized by both sides).
+/// `allowed` is a mask over assignment indices.
+double joint_success_probability(const MaskDistribution& source_side,
+                                 const MaskDistribution& sink_side,
+                                 Mask allowed,
+                                 AccumulationStrategy strategy =
+                                     AccumulationStrategy::kAuto);
+
+}  // namespace streamrel

@@ -1,0 +1,83 @@
+#pragma once
+// Sub-stream assignments to bottleneck links (paper §III-B).
+//
+// An assignment distributes the d unit sub-streams over the k bottleneck
+// links: a k-tuple (a_1, ..., a_k) with sum a_i = d and a_i bounded by
+// link capacity. The paper's model (kForwardOnly) uses non-negative a_i —
+// every sub-stream crosses from the source side to the sink side. Our
+// kSigned extension allows negative entries (net back-flow T -> S on that
+// link, possible and sometimes necessary in directed graphs); by flow
+// decomposition across the bipartition, signed assignments make the
+// decomposition exact for every input.
+
+#include <vector>
+
+#include "streamrel/cuts/bottleneck.hpp"
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/util/bitops.hpp"
+
+namespace streamrel {
+
+enum class AssignmentMode {
+  kForwardOnly,  ///< the paper's model: a_i >= 0
+  kSigned,       ///< net usage in [-c, +c]; exact for directed graphs
+  kAuto,         ///< forward-only unless a crossing arc points T -> S
+};
+
+/// One assignment: net sub-streams each bottleneck link carries S -> T.
+struct Assignment {
+  std::vector<Capacity> usage;  ///< one entry per crossing edge
+
+  /// Definition 1 support: the bottleneck links this assignment needs
+  /// alive (non-zero usage), as a mask over crossing-edge positions.
+  Mask support() const noexcept {
+    Mask m = 0;
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+      if (usage[i] != 0) m |= bit(static_cast<int>(i));
+    }
+    return m;
+  }
+};
+
+/// The paper's set D, in lexicographically ascending order (matching the
+/// listing of Example 1).
+struct AssignmentSet {
+  std::vector<Assignment> assignments;
+  AssignmentMode mode = AssignmentMode::kForwardOnly;
+
+  int size() const noexcept { return static_cast<int>(assignments.size()); }
+
+  /// Assignments indexable by mask bits requires |D| <= 63.
+  bool fits_mask() const noexcept { return size() <= kMaxMaskBits; }
+
+  /// Mask over assignments supported by the alive bottleneck links
+  /// `alive_bottleneck` (bit i = crossing edge i alive): assignment j is
+  /// included iff support(j) is a subset of the alive set. This is the
+  /// paper's D_{E''} classification (Example 5).
+  Mask supported_by(Mask alive_bottleneck) const;
+};
+
+struct AssignmentOptions {
+  AssignmentMode mode = AssignmentMode::kAuto;
+  /// Enumeration guard: |D| beyond this throws (the algorithm needs one
+  /// mask bit per assignment, and the paper assumes constant d and k).
+  int max_assignments = kMaxMaskBits;
+};
+
+/// Enumerates D for demand rate d over the partition's crossing links.
+/// Per-link bounds come from capacities and orientation: a directed
+/// crossing arc can only carry usage in its own direction; an undirected
+/// link carries up to its capacity either way (backward only in kSigned).
+/// Throws std::invalid_argument if |D| would exceed max_assignments.
+AssignmentSet enumerate_assignments(const FlowNetwork& net,
+                                    const BottleneckPartition& partition,
+                                    Capacity d,
+                                    const AssignmentOptions& options = {});
+
+/// The mode kAuto resolves to for this partition: kSigned iff some
+/// directed crossing arc points T -> S (back-flow can then matter).
+AssignmentMode resolve_assignment_mode(const FlowNetwork& net,
+                                       const BottleneckPartition& partition,
+                                       AssignmentMode requested);
+
+}  // namespace streamrel

@@ -1,0 +1,155 @@
+#pragma once
+// The paper's algorithm, end to end (Fig. 6):
+//
+//   1. enumerate the assignment set D over the bottleneck links (§III-B);
+//   2. build the two side arrays and fold them into mask distributions
+//      (§III-C);
+//   3. for every configuration E'' of alive bottleneck links, restrict D
+//      to the assignments E'' supports (Definition 1), compute r_{E''}
+//      by inclusion–exclusion (§IV), and combine: R = sum p_{E''} r_{E''}
+//      (Equations 2–3).
+//
+// Runtime O(2^{alpha |E|} |V||E|) for constant d and k, versus the naive
+// O(2^{|E|} |V||E|).
+
+#include "streamrel/core/accumulate.hpp"
+#include "streamrel/core/assignments.hpp"
+#include "streamrel/core/side_array.hpp"
+#include "streamrel/cuts/bottleneck.hpp"
+#include "streamrel/reliability/throughput.hpp"
+#include "streamrel/reliability/types.hpp"
+
+namespace streamrel {
+
+struct BottleneckOptions {
+  AssignmentOptions assignments{};
+  SideArrayOptions side{};
+  AccumulationStrategy accumulation = AccumulationStrategy::kAuto;
+};
+
+struct BottleneckResult {
+  double reliability = 0.0;
+  SolveStatus status = SolveStatus::kExact;
+  /// Work counters: totals at the root, per-side breakdowns under the
+  /// "side_s" / "side_t" children. Deterministic across thread counts.
+  Telemetry telemetry;
+  int num_assignments = 0;  ///< |D|
+  AssignmentMode mode_used = AssignmentMode::kForwardOnly;
+  PartitionStats partition_stats;
+
+  bool exact() const noexcept { return status == SolveStatus::kExact; }
+
+  /// Side configurations enumerated.
+  std::uint64_t configurations() const {
+    return telemetry.counter_or(telemetry_keys::kConfigurations);
+  }
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
+  }
+  /// Side-array feasibility answers obtained by monotonicity alone.
+  std::uint64_t pruned_decisions() const {
+    return telemetry.counter_or(telemetry_keys::kPrunedDecisions);
+  }
+  /// Single-link incremental repairs.
+  std::uint64_t engine_toggles() const {
+    return telemetry.counter_or(telemetry_keys::kEngineToggles);
+  }
+
+  operator ReliabilityResult() const {
+    ReliabilityResult r;
+    r.reliability = reliability;
+    r.status = status;
+    r.telemetry = telemetry;
+    return r;
+  }
+};
+
+/// Exact reliability via the bottleneck decomposition over `partition`.
+/// Requires both sides to have <= 63 internal links and |D| <= 63.
+/// A context stop (deadline/cancel) observed inside the side sweeps or
+/// the accumulation loop yields status != kExact with reliability 0.
+BottleneckResult reliability_bottleneck(const FlowNetwork& net,
+                                        const FlowDemand& demand,
+                                        const BottleneckPartition& partition,
+                                        const BottleneckOptions& options = {},
+                                        const ExecContext* ctx = nullptr);
+
+/// The probability-independent half of the decomposition: the assignment
+/// set, the two side problems, and the side mask arrays. Masks record
+/// which assignments each failure configuration realizes — a property of
+/// topology and capacities only (§III-C); link probabilities enter solely
+/// in the accumulation below. QuerySession caches these across queries.
+struct BottleneckArtifacts {
+  AssignmentSet assignments;
+  AssignmentMode mode_used = AssignmentMode::kForwardOnly;
+  SideProblem side_s;
+  SideProblem side_t;
+  std::vector<Mask> array_s;
+  std::vector<Mask> array_t;
+  /// Construction-cost counters, laid out exactly as BottleneckResult
+  /// reports them (root totals, "side_s"/"side_t" children).
+  Telemetry telemetry;
+  PartitionStats partition_stats;
+  /// Non-exact when a context stop interrupted the side sweeps; the
+  /// arrays are then unusable and must not be cached.
+  SolveStatus status = SolveStatus::kExact;
+
+  bool usable() const noexcept { return status == SolveStatus::kExact; }
+};
+
+/// Builds the artifacts (the exponential part of the algorithm). Throws
+/// std::invalid_argument for usage errors exactly like
+/// reliability_bottleneck; a context stop returns status != kExact.
+/// `reuse_assignments` (may be null) skips the enumeration with a cached
+/// set — it must come from the same (partition, d, options.assignments).
+BottleneckArtifacts build_bottleneck_artifacts(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition, const BottleneckOptions& options = {},
+    const ExecContext* ctx = nullptr,
+    const AssignmentSet* reuse_assignments = nullptr);
+
+/// Per-link failure probabilities arranged the way the accumulation
+/// consumes them: by side-subgraph edge id and by crossing-edge position.
+struct BottleneckProbabilities {
+  std::vector<double> side_s;    ///< indexed by artifacts.side_s.sub edge ids
+  std::vector<double> side_t;    ///< indexed by artifacts.side_t.sub edge ids
+  std::vector<double> crossing;  ///< indexed by crossing-edge position
+};
+
+/// Reads the current probabilities of `net` through the artifact edge
+/// maps. What-if callers perturb the returned vectors before
+/// accumulating; the network itself stays untouched.
+BottleneckProbabilities gather_bottleneck_probabilities(
+    const FlowNetwork& net, const BottleneckPartition& partition,
+    const BottleneckArtifacts& artifacts);
+
+/// The probability-only tail (Equations 2-3): folds the cached mask
+/// arrays into per-side distributions under `probs` and accumulates over
+/// the alive-bottleneck configurations. Identical arithmetic to the
+/// matching reliability_bottleneck call, so results are bitwise equal.
+/// Requires artifacts.usable().
+BottleneckResult accumulate_bottleneck(const BottleneckArtifacts& artifacts,
+                                       const BottleneckProbabilities& probs,
+                                       AccumulationStrategy accumulation =
+                                           AccumulationStrategy::kAuto,
+                                       const ExecContext* ctx = nullptr);
+
+/// Deliverable-throughput distribution via the decomposition: one
+/// bottleneck run per level v = 1..demand.rate (P(>= v) is the
+/// reliability of demand v). Same requirements as reliability_bottleneck
+/// at every level; levels whose assignment sets would explode propagate
+/// the exception.
+ThroughputDistribution throughput_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition,
+    const BottleneckOptions& options = {});
+
+/// The paper's Equation (1) for a single bridge link e*: the reliability
+/// of a bridged graph is r(G_s) * (1 - p(e*)) * r(G_t), with the side
+/// reliabilities computed by naive enumeration against demands
+/// (s, x, d) and (y, t, d). Provided for the Fig.-2 reproduction and as
+/// an independently-coded cross-check of the k = 1 decomposition.
+double reliability_bridge_formula(const FlowNetwork& net,
+                                  const FlowDemand& demand, EdgeId bridge);
+
+}  // namespace streamrel

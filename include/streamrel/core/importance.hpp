@@ -1,0 +1,38 @@
+#pragma once
+// Per-link importance measures — "which link should the operator fix
+// first?". Classical component-importance theory specialized to flow
+// reliability:
+//
+//   Birnbaum importance  I_B(e) = R(e forced up) - R(e forced down)
+//                                (= dR / d(1 - p(e)) by pivoting)
+//   risk achievement     R(e forced up)   - R
+//   risk reduction       R - R(e forced down)
+//
+// "Forced up" conditions on the link surviving (p(e) := 0); "forced
+// down" zeroes its capacity, which removes it from every flow without
+// renumbering edges. Computed exactly with the configured solver.
+
+#include <vector>
+
+#include "streamrel/core/reliability_facade.hpp"
+
+namespace streamrel {
+
+struct EdgeImportance {
+  EdgeId edge = kInvalidEdge;
+  double birnbaum = 0.0;
+  double risk_achievement = 0.0;  ///< gain if the link became perfect
+  double risk_reduction = 0.0;    ///< loss if the link disappeared
+};
+
+/// Importance of every link, computed with two conditioned reliability
+/// evaluations per link. `ranked` sorts a copy by descending Birnbaum
+/// importance.
+std::vector<EdgeImportance> edge_importance(const FlowNetwork& net,
+                                            const FlowDemand& demand,
+                                            const SolveOptions& options = {});
+
+std::vector<EdgeImportance> ranked_by_birnbaum(
+    std::vector<EdgeImportance> importances);
+
+}  // namespace streamrel

@@ -1,0 +1,26 @@
+#pragma once
+// Reliability POLYNOMIAL through the bottleneck decomposition: the
+// coefficient counts N_j (number of admitting configurations with
+// exactly j failed links) factor across the partition just like the
+// probabilities do — side arrays are bucketed by (realized mask, failure
+// count) and the inclusion-exclusion accumulation becomes a counting
+// convolution. One decomposition run then answers R(p) for EVERY uniform
+// failure probability p, on networks where the naive polynomial
+// (2^|E| enumeration) is out of reach.
+
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/reliability/polynomial.hpp"
+
+namespace streamrel {
+
+/// Exact reliability polynomial of the network w.r.t. the demand,
+/// computed over `partition`. Requirements match reliability_bottleneck
+/// (sides <= 63 links, |D| <= 63). Probabilities stored in the network
+/// are ignored — the polynomial is a function of topology, capacities,
+/// and the demand only.
+ReliabilityPolynomial polynomial_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition,
+    const BottleneckOptions& options = {});
+
+}  // namespace streamrel

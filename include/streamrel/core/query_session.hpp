@@ -1,0 +1,213 @@
+#pragma once
+// QuerySession — the stateful serving layer: many reliability queries
+// against ONE overlay network, amortizing the exponential structural work
+// across them.
+//
+// The side arrays (§III-C) record which assignments are feasible in each
+// link-failure configuration — a property of topology and capacities
+// only; link probabilities p(e) enter solely in the final accumulation
+// step. A session therefore caches three layers of structural artifacts:
+//
+//   1. bottleneck decompositions, keyed by (s, t) + search options;
+//   2. assignment sets, keyed by (cut, d);
+//   3. side-array mask tables, keyed by (side subgraph, cut capacities,
+//      d) — LRU-bounded, since one table is 2^|E_side| masks.
+//
+// A probability-only "what-if" query (perturbed p(e) after churn, same
+// topology) then skips straight to the Gray-order accumulation sweep:
+// two streaming folds plus 2^k inclusion–exclusion terms, no max-flow.
+//
+// Invalidation: capacity and topology edits flush all three layers;
+// probability edits flush nothing (the artifacts do not depend on them).
+//
+// Results are bitwise-identical to a cold compute_reliability call on
+// the same network — the session reuses the facade's arithmetic, it
+// never approximates.
+//
+// Thread-safety: one session serves one thread at a time; concurrent
+// READ access to the cached artifacts is safe and BatchEvaluator uses it
+// to accumulate independent queries in parallel under the ExecContext
+// thread policy.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/cuts/partition_search.hpp"
+
+namespace streamrel {
+
+/// One probability override: this query sees `edge` failing with
+/// probability `failure_prob` instead of the session network's value.
+struct ProbOverride {
+  EdgeId edge = kInvalidEdge;
+  double failure_prob = 0.0;
+};
+
+struct QueryCacheOptions {
+  /// LRU bound on cached mask-table entries (one entry holds both side
+  /// arrays of one decomposition at one demand).
+  std::size_t max_mask_tables = 64;
+  /// Master switch; disabled sessions behave like the plain facade.
+  bool enabled = true;
+};
+
+class QuerySession {
+ public:
+  /// The session owns its copy of the network; edit it through the
+  /// session so the caches see every change.
+  explicit QuerySession(FlowNetwork net, QueryCacheOptions cache = {});
+
+  const FlowNetwork& network() const noexcept { return net_; }
+
+  // --- edits -------------------------------------------------------
+
+  /// Probability edit: structural caches SURVIVE (masks are
+  /// probability-independent); only subsequent accumulations change.
+  void set_failure_prob(EdgeId id, double p);
+  /// Capacity edit: invalidates every structural cache layer.
+  void set_capacity(EdgeId id, Capacity c);
+  /// Topology edit: invalidates every structural cache layer.
+  EdgeId add_edge(NodeId u, NodeId v, Capacity capacity, double failure_prob,
+                  EdgeKind kind);
+  /// Explicit full invalidation (e.g. after editing through an alias).
+  void invalidate();
+
+  // --- queries -----------------------------------------------------
+
+  /// Same contract and bitwise-same answer as compute_reliability on
+  /// network(), but served through the caches when the method resolves
+  /// to the bottleneck decomposition.
+  SolveReport solve(const FlowDemand& demand, const SolveOptions& options = {});
+
+  /// What-if form: `overrides` replace failure probabilities for THIS
+  /// query only; the session network is left untouched.
+  SolveReport solve(const FlowDemand& demand, const SolveOptions& options,
+                    std::span<const ProbOverride> overrides);
+
+  // --- observability -----------------------------------------------
+
+  /// Session-lifetime tree: query counters/timers at the root, cache
+  /// hit/miss/evict counters under the "cache" child (one grandchild per
+  /// layer), every query's solve telemetry merged in query order under
+  /// "solves". Deterministic given the query sequence.
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+
+  std::uint64_t cache_hits() const;        ///< total across the three layers
+  std::uint64_t cache_misses() const;      ///< total across the three layers
+  std::uint64_t cache_evictions() const;   ///< mask-table LRU evictions
+  std::uint64_t cache_invalidations() const;
+
+ private:
+  friend class BatchEvaluator;
+
+  /// (s, t, candidate index, d, assignment mode, assignment cap): one
+  /// cached decomposition instance.
+  using ArtifactKey =
+      std::tuple<NodeId, NodeId, int, Capacity, AssignmentMode, int>;
+  using AssignmentKey = ArtifactKey;
+  using PartitionKey = std::pair<NodeId, NodeId>;
+
+  struct ArtifactEntry {
+    PartitionChoice choice;
+    BottleneckArtifacts artifacts;
+  };
+  struct PartitionEntry {
+    PartitionSearchOptions options_used;
+    std::vector<PartitionChoice> candidates;
+  };
+  using LruList =
+      std::list<std::pair<ArtifactKey, std::shared_ptr<const ArtifactEntry>>>;
+
+  /// A query after the structural (cache-served) phase: either pinned
+  /// artifacts ready for the probability-only accumulation, an
+  /// interrupted build, or "not on the bottleneck path" (facade
+  /// fallback). BatchEvaluator prepares all queries serially, then
+  /// accumulates the ready ones concurrently — the shared_ptr pins keep
+  /// entries alive across LRU evictions.
+  struct PreparedQuery {
+    std::shared_ptr<const ArtifactEntry> entry;  ///< set when ready
+    std::optional<PartitionChoice> partition;
+    SolveStatus stop = SolveStatus::kExact;  ///< non-exact: interrupted
+    bool bottleneck_path = false;
+  };
+
+  /// True when this query shape can be served from the caches without
+  /// diverging from the facade's answer.
+  bool cacheable(const FlowDemand& demand, const SolveOptions& options) const;
+
+  const PartitionEntry& partition_candidates(const FlowDemand& demand,
+                                             const SolveOptions& options,
+                                             const ExecContext* ctx);
+
+  /// Layers 2+3: cached assignments + mask tables for one candidate.
+  /// Returns null when the build was interrupted (status in *stop); the
+  /// unusable entry is not cached. Throws std::invalid_argument on
+  /// assignment blow-up exactly like reliability_bottleneck.
+  std::shared_ptr<const ArtifactEntry> artifact_entry(
+      const FlowDemand& demand, int candidate_index,
+      const PartitionChoice& choice, const SolveOptions& options,
+      const ExecContext* ctx, SolveStatus* stop);
+
+  /// The structural phase: cache lookups + any cold builds. Mutates the
+  /// caches; call from one thread. Throws std::invalid_argument when an
+  /// explicit kBottleneck request finds no usable partition.
+  PreparedQuery prepare_cached(const FlowDemand& demand,
+                               const SolveOptions& options, ExecContext& ctx);
+
+  /// The probability-only phase: gather + override + accumulate. Does
+  /// NOT touch session state — safe to run concurrently for distinct
+  /// prepared queries. Never throws once overrides are validated.
+  SolveReport finish_prepared(const PreparedQuery& prepared,
+                              const SolveOptions& options,
+                              std::span<const ProbOverride> overrides,
+                              const ExecContext* ctx) const;
+
+  /// Facade fallback with overrides applied to (and reverted from) the
+  /// session network.
+  SolveReport solve_fallback(const FlowDemand& demand,
+                             const SolveOptions& options,
+                             std::span<const ProbOverride> overrides,
+                             ExecContext& ctx);
+
+  /// Throws std::invalid_argument on an out-of-range edge or a
+  /// probability outside [0, 1).
+  void validate_overrides(std::span<const ProbOverride> overrides) const;
+
+  /// reliability_bounds under the query's overridden probabilities (the
+  /// network is edited and restored around the call).
+  ReliabilityBounds bounds_with_overrides(
+      const FlowDemand& demand, const BoundsOptions& options,
+      std::span<const ProbOverride> overrides);
+
+  BottleneckProbabilities gather_probs(
+      const BottleneckPartition& partition,
+      const BottleneckArtifacts& artifacts,
+      std::span<const ProbOverride> overrides) const;
+
+  void bump_epoch();
+  Telemetry& layer_counters(std::string_view layer);
+
+  FlowNetwork net_;
+  QueryCacheOptions cache_options_;
+  Telemetry telemetry_;
+
+  std::map<PartitionKey, PartitionEntry> partitions_;
+  std::map<AssignmentKey, std::shared_ptr<const AssignmentSet>> assignments_;
+  LruList lru_;
+  std::map<ArtifactKey, LruList::iterator> mask_index_;
+  /// Negative cache: candidates that failed structurally (assignment
+  /// blow-up, oversized side) — deterministic per epoch, so the failed
+  /// enumeration is never re-attempted on warm queries.
+  std::set<ArtifactKey> failed_;
+};
+
+}  // namespace streamrel

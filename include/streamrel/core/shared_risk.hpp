@@ -1,0 +1,39 @@
+#pragma once
+// Shared-risk link groups (SRLGs): correlated failures the independent
+// per-link model cannot express. Deployed overlays have them everywhere —
+// peering links through one physical conduit, sub-stream trees relayed by
+// one NAT box, links of one ISP failing together during an outage.
+//
+// Model: group g fails independently with probability pi_g; a link is
+// usable iff it survives its OWN failure draw AND every group containing
+// it survives. Exact computation conditions on the 2^|G| group states
+// (constant for constant |G|, in the spirit of the paper's bottleneck
+// conditioning): links of failed groups are forced down by zeroing their
+// capacity, and the conditional reliability is solved by the configured
+// exact method.
+
+#include <vector>
+
+#include "streamrel/core/reliability_facade.hpp"
+
+namespace streamrel {
+
+struct SharedRiskGroup {
+  std::vector<EdgeId> edges;
+  double failure_prob = 0.0;  ///< in [0, 1)
+};
+
+struct SharedRiskResult {
+  double reliability = 0.0;
+  std::uint64_t group_states = 0;   ///< 2^|G| conditionings evaluated
+  std::uint64_t maxflow_calls = 0;  ///< across all conditional solves
+};
+
+/// Exact reliability under independent link failures PLUS shared-risk
+/// group failures. At most 20 groups (2^|G| conditionings).
+SharedRiskResult reliability_with_shared_risks(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const std::vector<SharedRiskGroup>& groups,
+    const SolveOptions& options = {});
+
+}  // namespace streamrel

@@ -1,0 +1,181 @@
+#pragma once
+// Side arrays (paper §III-C, Fig. 3, Example 2).
+//
+// For one side component (G_s or G_t) the algorithm records, for every
+// failure configuration of the side's links, which assignments in D the
+// configuration realizes — a |D|-bit value per configuration. Assignment
+// feasibility on a side is a bounded max-flow question on the side's
+// subgraph extended with super terminals:
+//
+//   source side, assignment a:  S0 -> s (cap d); S0 -> x_i (cap -a_i) for
+//   negative entries; x_i -> T1 (cap a_i) for positive entries; realized
+//   iff maxflow(S0, T1) == d + sum of negative magnitudes.
+//
+//   sink side: mirror image (y_i supplies for positive entries, y_i
+//   demands for negative ones, t -> T1 carries d).
+//
+// Two feasibility engines produce identical arrays:
+//   * kPerAssignment — one bounded max-flow per (configuration,
+//     assignment) pair, exactly the paper's procedure;
+//   * kPolymatroid  — forward-only fast path: per configuration, compute
+//     f(Q) = maxflow(anchor -> endpoints of Q) for the 2^k - 1 non-empty
+//     subsets Q of bottleneck links; by Gale's theorem a >= 0 is
+//     routable iff sum_{i in Q} a_i <= f(Q) for every Q, so all |D|
+//     assignments are then decided with arithmetic only.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "streamrel/core/assignments.hpp"
+#include "streamrel/graph/subgraph.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/exec_context.hpp"
+#include "streamrel/util/telemetry.hpp"
+
+namespace streamrel {
+
+/// One side of the decomposition, reduced to a compact subnetwork.
+struct SideProblem {
+  Subgraph sub;              ///< induced side network (edge ids index masks)
+  bool is_source_side = true;
+  NodeId anchor = kInvalidNode;         ///< s or t, in SUB node ids
+  std::vector<NodeId> endpoints;        ///< per crossing edge: x_i / y_i, SUB ids
+};
+
+/// Builds the side problem for the source side (s, x_i) or sink side
+/// (t, y_i) of a partition. Throws if the side has more than 63 links.
+SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
+                              const BottleneckPartition& partition,
+                              bool source_side);
+
+enum class FeasibilityMethod {
+  kPerAssignment,
+  kPolymatroid,
+  kAuto,  ///< polymatroid when legal (forward-only) and |D| > 2^k
+};
+
+/// How build_side_array walks the 2^|E_side| configurations.
+enum class SideSweepStrategy {
+  /// The paper's procedure: one from-scratch bounded max-flow per
+  /// (configuration, assignment) pair — resp. per (configuration, subset)
+  /// probe on the polymatroid path.
+  kScratch,
+  /// Gray-code walk with one persistent IncrementalMaxFlow engine per
+  /// assignment (resp. per subset Q): adjacent configurations differ in a
+  /// single link, so each step repairs the existing flow instead of
+  /// re-solving. Engines synchronise lazily, and monotone pruning (see
+  /// SideArrayOptions::monotone_pruning) answers most queries without
+  /// touching a solver at all. Bitwise-identical output to kScratch.
+  kGrayIncremental,
+  /// kGrayIncremental for arrays of >= 1024 configurations, kScratch for
+  /// tiny ones (where engine setup dominates).
+  kAuto,
+};
+
+struct SideArrayOptions {
+  MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;  ///< scratch path;
+                                                          ///< Gray engines
+                                                          ///< always repair
+                                                          ///< with Dinic
+  FeasibilityMethod feasibility = FeasibilityMethod::kAuto;
+  bool parallel = true;  ///< OpenMP over Gray-aligned configuration shards
+  SideSweepStrategy sweep = SideSweepStrategy::kAuto;
+  /// Gray path only: exploit monotonicity of feasibility in the alive-set.
+  /// An assignment admitted by a subset of the current configuration is
+  /// admitted now; one rejected by a superset is rejected now — either way
+  /// the solver (and the engine sync) is skipped.
+  bool monotone_pruning = true;
+};
+
+/// Cost counters for one build_side_array run: a thin view over a
+/// Telemetry subtree (shards are merged in shard order, so the counters
+/// are deterministic and independent of the OpenMP thread count).
+struct SideArrayStats {
+  Telemetry telemetry;
+
+  /// Solver invocations (scratch solves plus incremental-repair augments).
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
+  }
+  /// Feasibility answers produced by monotonicity alone.
+  std::uint64_t pruned_decisions() const {
+    return telemetry.counter_or(telemetry_keys::kPrunedDecisions);
+  }
+  /// Single-link repairs applied by Gray engines.
+  std::uint64_t engine_toggles() const {
+    return telemetry.counter_or(telemetry_keys::kEngineToggles);
+  }
+  void merge(const SideArrayStats& other) { telemetry.merge(other.telemetry); }
+};
+
+/// The paper's array: element m is the mask of assignments realized by
+/// side failure configuration m. Size 2^|side edges|.
+///
+/// With a context, the sweep polls for deadline/cancellation every
+/// ExecContext::kPollStride configurations and honors the thread cap; a
+/// stop raises ExecInterrupted (after any parallel region has joined) —
+/// callers above the engine layer never see it.
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options,
+                                   SideArrayStats* stats,
+                                   const ExecContext* ctx = nullptr);
+
+/// Convenience overload keeping the historical signature: only the
+/// max-flow call counter is reported.
+std::vector<Mask> build_side_array(const SideProblem& side,
+                                   const AssignmentSet& assignments,
+                                   Capacity demand_rate,
+                                   const SideArrayOptions& options = {},
+                                   std::uint64_t* maxflow_calls = nullptr);
+
+/// A side array folded into a sparse probability distribution over
+/// realized-assignment masks: bucket (m, P{configurations realizing
+/// exactly the set m}). The accumulation step only needs this. The fold
+/// streams the configurations in Gray-code order, updating the
+/// configuration probability by one link's alive/dead ratio per step
+/// (with periodic exact resyncs to bound drift) and accumulating into a
+/// flat open-addressed bucket table.
+struct MaskDistribution {
+  std::vector<std::pair<Mask, double>> buckets;
+  double total = 0.0;  ///< sum of bucket probabilities (== 1 up to rounding)
+};
+
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const std::vector<Mask>& array);
+
+/// Same fold under caller-supplied failure probabilities (one per side
+/// link, indexed by side.sub edge id) — the probability-only "what-if"
+/// path: the cached mask array is reused, only the fold reruns.
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const std::vector<Mask>& array,
+                                   std::span<const double> failure_probs);
+
+/// Point evaluator for single side configurations: which assignments does
+/// ONE failure configuration realize? Used by the sampling-based hybrid
+/// estimator, which cannot afford the full 2^|E_side| array. Reuses its
+/// residual graph and solver across calls. The referenced side problem
+/// and assignment set must outlive the evaluator.
+class SideMaskEvaluator {
+ public:
+  SideMaskEvaluator(const SideProblem& side, const AssignmentSet& assignments,
+                    Capacity demand_rate,
+                    MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic);
+  ~SideMaskEvaluator();
+  SideMaskEvaluator(SideMaskEvaluator&&) noexcept;
+  SideMaskEvaluator& operator=(SideMaskEvaluator&&) = delete;
+
+  /// Mask of assignments the given alive-link configuration realizes.
+  Mask realized(Mask config);
+
+  std::uint64_t maxflow_calls() const noexcept { return calls_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace streamrel

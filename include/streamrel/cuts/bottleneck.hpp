@@ -1,0 +1,64 @@
+#pragma once
+// Bottleneck partitions (paper §III-A).
+//
+// The paper describes a bottleneck as a minimal edge set E* whose removal
+// splits G into exactly two connected components. We represent the same
+// object partition-first: a node bipartition (S, T) with s in S and t in
+// T; the bottleneck links are precisely the edges crossing the
+// bipartition. The two views coincide on the paper's graph class, and the
+// partition view keeps the decomposition algebra exact even when a side
+// is internally disconnected.
+
+#include <optional>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct BottleneckPartition {
+  std::vector<bool> side_s;           ///< per node; true = source side
+  std::vector<EdgeId> crossing_edges; ///< every edge with endpoints on both sides
+
+  int k() const noexcept { return static_cast<int>(crossing_edges.size()); }
+};
+
+/// Structural facts about a partition, used by validation, the automatic
+/// search, and the experiment reports.
+struct PartitionStats {
+  int k = 0;        ///< number of crossing (bottleneck) links
+  int edges_s = 0;  ///< links internal to the source side
+  int edges_t = 0;  ///< links internal to the sink side
+  double alpha = 0; ///< max(edges_s, edges_t) / |E|, the paper's alpha
+  bool minimal = false;         ///< no proper subset of the crossing set disconnects
+  bool two_components = false;  ///< removal leaves exactly two components
+  Capacity crossing_capacity = 0;
+};
+
+/// Builds a partition from a side assignment; computes the crossing set.
+/// Throws unless side_s has one entry per node, s is on the S side and t
+/// on the T side.
+BottleneckPartition partition_from_sides(const FlowNetwork& net, NodeId s,
+                                         NodeId t, std::vector<bool> side_s);
+
+/// Builds a partition from a disconnecting edge set (the paper's E*):
+/// removes the edges, places the component of s on the S side and the
+/// component of t on the T side, and assigns every other component to the
+/// side currently holding fewer internal links (balance heuristic).
+/// Returns std::nullopt when the removal does not disconnect s from t.
+/// Note the resulting crossing set may be SMALLER than `cut_edges` when
+/// some given edge ends up internal to one side.
+std::optional<BottleneckPartition> partition_from_cut_edges(
+    const FlowNetwork& net, NodeId s, NodeId t,
+    const std::vector<EdgeId>& cut_edges);
+
+PartitionStats analyze_partition(const FlowNetwork& net, NodeId s, NodeId t,
+                                 const BottleneckPartition& partition);
+
+/// Paper Definition (§III-A): `cut` is a minimal s-t disconnecting set —
+/// removal disconnects s from t, but removal of every proper subset does
+/// not. Direction-aware for directed graphs.
+bool is_minimal_cutset(const FlowNetwork& net, NodeId s, NodeId t,
+                       const std::vector<EdgeId>& cut);
+
+}  // namespace streamrel

@@ -1,0 +1,41 @@
+#pragma once
+// Automatic discovery of a CHAIN of bottleneck cuts — the input the
+// chain-decomposition extension needs. Long, thin delivery networks
+// (relay cascades, CDNs, chained ISPs) pinch many times between source
+// and sink; this search finds a sequence of disjoint small cuts ordered
+// source to sink and converts it into the per-node layering
+// reliability_chain consumes.
+
+#include <optional>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/util/exec_context.hpp"
+
+namespace streamrel {
+
+struct ChainSearchOptions {
+  int max_cut_size = 3;     ///< only cuts with at most this many links
+  int max_layer_edges = 16; ///< reject layers too big to enumerate
+  int min_layers = 3;       ///< fewer layers: use the plain decomposition
+};
+
+struct ChainPlan {
+  std::vector<int> layer;   ///< per node, for reliability_chain
+  int num_layers = 0;
+  std::vector<std::vector<EdgeId>> cuts;  ///< the boundary link sets
+  int max_layer_edges = 0;  ///< links in the fattest layer
+};
+
+/// Greedy sweep: BFS-order the nodes from the source, then scan the
+/// prefix boundary; every prefix whose crossing link set is small (and
+/// disjoint from the previous accepted cut) becomes a boundary. Returns
+/// std::nullopt if fewer than `min_layers` layers result or a layer
+/// exceeds the edge budget. With a context, the boundary sweep polls for
+/// deadline/cancellation and raises ExecInterrupted on a stop.
+std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
+                                         NodeId t,
+                                         const ChainSearchOptions& options = {},
+                                         const ExecContext* ctx = nullptr);
+
+}  // namespace streamrel

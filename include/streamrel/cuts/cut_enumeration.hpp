@@ -1,0 +1,29 @@
+#pragma once
+// Enumeration of small minimal s-t cut sets — the candidate bottleneck
+// link sets the decomposition algorithm can exploit.
+
+#include <cstdint>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct CutEnumerationOptions {
+  int max_size = 4;  ///< only cut sets with at most this many edges
+  /// Abort knob: stop after examining this many candidate subsets.
+  std::uint64_t max_subsets_examined = 5'000'000;
+  /// Stop after collecting this many cut sets.
+  std::size_t max_results = 10'000;
+};
+
+/// All minimal s-t disconnecting edge sets of cardinality <= max_size,
+/// found by exhaustive subset search seeded with the min-cardinality cut
+/// value (no subset smaller than the cut cardinality can disconnect).
+/// Each result is sorted by edge id; results are ordered by size then
+/// lexicographically.
+std::vector<std::vector<EdgeId>> enumerate_minimal_cutsets(
+    const FlowNetwork& net, NodeId s, NodeId t,
+    const CutEnumerationOptions& options = {});
+
+}  // namespace streamrel

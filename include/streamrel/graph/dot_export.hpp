@@ -1,0 +1,24 @@
+#pragma once
+// Graphviz export, used by the examples to visualize networks and the
+// bottleneck partitions the solver selects.
+
+#include <string>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct DotOptions {
+  NodeId source = kInvalidNode;       ///< drawn as a doublecircle
+  NodeId sink = kInvalidNode;         ///< drawn as a doublecircle
+  std::vector<bool> side_s;           ///< optional: source-side nodes shaded
+  std::vector<EdgeId> highlight;      ///< edges drawn bold red (bottleneck)
+  bool show_probabilities = true;
+};
+
+/// Renders the network in DOT syntax; edge labels show "c=<cap>" and,
+/// optionally, "p=<prob>".
+std::string to_dot(const FlowNetwork& net, const DotOptions& options = {});
+
+}  // namespace streamrel

@@ -1,0 +1,104 @@
+#pragma once
+// Synthetic network generators. The paper's target graph class — P2P
+// streaming overlays whose topology pinches through a constant number of
+// bottleneck links — is produced by `clustered_bottleneck`; the simpler
+// families feed unit tests and micro-benchmarks.
+
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+
+/// Closed integer range for random capacities.
+struct CapacityRange {
+  Capacity lo = 1;
+  Capacity hi = 1;
+};
+
+/// Closed real range for random failure probabilities (hi < 1).
+struct ProbRange {
+  double lo = 0.05;
+  double hi = 0.2;
+};
+
+/// A generated network together with its intended demand endpoints and,
+/// when the generator knows one, a bottleneck side partition
+/// (side_s[n] == true <=> node n lies on the source side).
+struct GeneratedNetwork {
+  FlowNetwork net;
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+  std::vector<bool> side_s;  ///< empty when no planted partition exists
+};
+
+/// s - v1 - v2 - ... - t path with `length` edges.
+GeneratedNetwork path_network(int length, Capacity cap, double p,
+                              EdgeKind kind = EdgeKind::kUndirected);
+
+/// Two nodes joined by `count` parallel links.
+GeneratedNetwork parallel_links(int count, Capacity cap, double p,
+                                EdgeKind kind = EdgeKind::kUndirected);
+
+/// Circular ladder minus the closing rungs: 2 x `rungs` grid. Source is the
+/// top-left node, sink the bottom-right.
+GeneratedNetwork ladder_network(int rungs, Capacity cap, double p,
+                                EdgeKind kind = EdgeKind::kUndirected);
+
+/// `width` x `height` grid; source top-left, sink bottom-right.
+GeneratedNetwork grid_network(int width, int height, Capacity cap, double p,
+                              EdgeKind kind = EdgeKind::kUndirected);
+
+/// Connected random network: a uniform random spanning tree plus
+/// `extra_edges` distinct random non-tree links. Capacities and failure
+/// probabilities are drawn uniformly from the ranges. Source/sink are the
+/// two tree leaves farthest apart.
+GeneratedNetwork random_connected(Xoshiro256& rng, int nodes, int extra_edges,
+                                  CapacityRange caps, ProbRange probs,
+                                  EdgeKind kind = EdgeKind::kUndirected);
+
+/// Parameters for the paper's headline graph class.
+struct ClusteredParams {
+  int nodes_s = 6;        ///< nodes in the source-side cluster (incl. s)
+  int nodes_t = 6;        ///< nodes in the sink-side cluster (incl. t)
+  int extra_edges_s = 3;  ///< cluster-internal links beyond the spanning tree
+  int extra_edges_t = 3;
+  int bottleneck_links = 2;  ///< k: links crossing between the clusters
+  CapacityRange cluster_caps{1, 3};
+  CapacityRange bottleneck_caps{1, 3};
+  ProbRange cluster_probs{0.05, 0.2};
+  ProbRange bottleneck_probs{0.05, 0.2};
+  EdgeKind kind = EdgeKind::kUndirected;
+};
+
+/// Two internally random-connected clusters joined by exactly
+/// `bottleneck_links` crossing links; `side_s` records the planted
+/// partition. The demand source sits in cluster S and the sink in cluster
+/// T, each chosen away from the crossing endpoints when possible.
+GeneratedNetwork clustered_bottleneck(Xoshiro256& rng,
+                                      const ClusteredParams& params);
+
+/// Uniformly random network for property tests: `nodes` nodes, `edges`
+/// random distinct-endpoint links (parallel links allowed), connectivity
+/// NOT guaranteed. Source/sink are nodes 0 and nodes-1.
+GeneratedNetwork random_multigraph(Xoshiro256& rng, int nodes, int edges,
+                                   CapacityRange caps, ProbRange probs,
+                                   EdgeKind kind = EdgeKind::kUndirected);
+
+/// Watts–Strogatz small world: a ring lattice where each node links to
+/// its `k/2` clockwise neighbours, each link rewired to a random target
+/// with probability `beta`. The classical model for unstructured P2P
+/// neighbour tables. Requires even k with 0 < k < nodes.
+GeneratedNetwork small_world(Xoshiro256& rng, int nodes, int k, double beta,
+                             CapacityRange caps, ProbRange probs);
+
+/// Barabási–Albert preferential attachment: nodes join one at a time and
+/// connect `attach` links to existing nodes with probability proportional
+/// to degree — produces hub-dominated overlays (the capacity-hot-spot
+/// situation the paper's introduction warns about for mesh systems).
+GeneratedNetwork preferential_attachment(Xoshiro256& rng, int nodes,
+                                         int attach, CapacityRange caps,
+                                         ProbRange probs);
+
+}  // namespace streamrel

@@ -1,0 +1,46 @@
+#pragma once
+// Elementary graph algorithms on FlowNetwork: reachability, connected
+// components, and bridge detection (the paper's Fig.-2 special case of a
+// bottleneck set of size one).
+
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+/// Nodes reachable from `from` with every edge alive. With
+/// `respect_direction`, directed edges are traversed u -> v only;
+/// undirected edges are traversed both ways regardless.
+std::vector<bool> reachable_nodes(const FlowNetwork& net, NodeId from,
+                                  bool respect_direction = true);
+
+/// Same, but only edges whose bit is set in `alive` exist. Requires
+/// net.fits_mask().
+std::vector<bool> reachable_nodes_masked(const FlowNetwork& net, NodeId from,
+                                         Mask alive,
+                                         bool respect_direction = true);
+
+/// Direction-insensitive connected components. Returns the component id of
+/// each node (ids are dense, 0-based, in order of first discovery).
+struct Components {
+  std::vector<int> id;  ///< per node
+  int count = 0;
+};
+Components connected_components(const FlowNetwork& net);
+
+/// Direction-insensitive connected components when only `alive` edges
+/// exist. Requires net.fits_mask().
+Components connected_components_masked(const FlowNetwork& net, Mask alive);
+
+/// True if removing `removed` edges leaves no s -> t path.
+bool removal_disconnects(const FlowNetwork& net, NodeId s, NodeId t,
+                         const std::vector<EdgeId>& removed,
+                         bool respect_direction = true);
+
+/// All bridge edges in the direction-insensitive sense: edges whose removal
+/// increases the number of connected components. Parallel edges are never
+/// bridges. Runs Tarjan's low-link algorithm iteratively.
+std::vector<EdgeId> find_bridges(const FlowNetwork& net);
+
+}  // namespace streamrel

@@ -1,0 +1,38 @@
+#pragma once
+// Plain-text network interchange format, so topologies can be version
+// controlled, shared, and fed to the CLI tools:
+//
+//   # comment — anywhere, to end of line
+//   nodes <count>
+//   edge <u> <v> <capacity> <failure_prob> [directed]
+//   demand <source> <sink> <rate>          # optional, at most one
+//
+// Directives may appear in any order except that `nodes` must precede
+// the first `edge`. Parsing is strict: malformed input throws
+// std::invalid_argument naming the offending line.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct NetworkFile {
+  FlowNetwork net;
+  std::optional<FlowDemand> demand;
+};
+
+NetworkFile read_network(std::istream& in);
+NetworkFile read_network_from_string(const std::string& text);
+NetworkFile read_network_from_file(const std::string& path);
+
+/// Serializes in the same format (stable round trip).
+void write_network(std::ostream& out, const FlowNetwork& net,
+                   const std::optional<FlowDemand>& demand = std::nullopt);
+std::string network_to_string(
+    const FlowNetwork& net,
+    const std::optional<FlowDemand>& demand = std::nullopt);
+
+}  // namespace streamrel

@@ -1,0 +1,43 @@
+#pragma once
+// Induced subgraph extraction with id remapping. The bottleneck
+// decomposition carves G into side components G_s and G_t; side algorithms
+// run on compact subnetworks whose edge ids index the side failure masks,
+// and the maps here translate results back to the original network.
+
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct Subgraph {
+  FlowNetwork net;                ///< The induced subnetwork.
+  std::vector<NodeId> node_map;   ///< sub node id -> original node id.
+  std::vector<EdgeId> edge_map;   ///< sub edge id -> original edge id.
+  std::vector<NodeId> node_to_sub;  ///< original node -> sub id or kInvalidNode.
+  std::vector<EdgeId> edge_to_sub;  ///< original edge -> sub id or kInvalidEdge.
+};
+
+/// Subgraph induced by the nodes with `in_side[n] == true`; keeps exactly
+/// the edges with both endpoints inside. `in_side.size()` must equal
+/// `net.num_nodes()`.
+Subgraph induced_subgraph(const FlowNetwork& net,
+                          const std::vector<bool>& in_side);
+
+/// Translates an alive-edge mask over the ORIGINAL network into the
+/// subgraph's edge numbering (edges outside the subgraph are dropped).
+Mask project_mask(const Subgraph& sub, Mask original_alive);
+
+/// Translates an alive-edge mask over the SUBGRAPH back into original
+/// numbering.
+Mask lift_mask(const Subgraph& sub, Mask sub_alive);
+
+/// Replicated-source transform: adds a virtual super source wired to each
+/// listed server with a perfect (p = 0) infinite-capacity feed link, so
+/// multi-origin deployments ("any of these servers can push the stream")
+/// reduce to the single-source model every algorithm here expects.
+/// Returns the id of the new source node; `net` gains 1 node and
+/// |servers| edges (appended last, so existing edge ids are unchanged).
+NodeId merge_sources(FlowNetwork& net, const std::vector<NodeId>& servers);
+
+}  // namespace streamrel

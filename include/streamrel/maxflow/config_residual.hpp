@@ -1,0 +1,72 @@
+#pragma once
+// Allocation-free re-evaluation of max-flow over many failure
+// configurations of one network: the residual graph (including any extra
+// super nodes/arcs a caller appends) is built once, and reset() restores
+// pristine capacities with the chosen edges alive. Exhaustive reliability
+// sweeps call reset + solve millions of times.
+
+#include <vector>
+
+#include "streamrel/maxflow/residual_graph.hpp"
+
+namespace streamrel {
+
+class ConfigResidual {
+ public:
+  struct SuperArc {
+    std::int32_t arc;  ///< forward arc index in the residual graph
+    Capacity cap_uv;   ///< pristine forward capacity (applied by reset)
+    Capacity cap_vu;   ///< pristine reverse capacity
+  };
+
+  explicit ConfigResidual(const FlowNetwork& net);
+
+  /// Appends an extra node (e.g. a super sink); survives resets.
+  NodeId add_super_node() { return g_.add_node(); }
+
+  /// Appends an extra arc pair whose capacities are restored to
+  /// (cap_uv, cap_vu) by every reset.
+  void add_super_arc(NodeId u, NodeId v, Capacity cap_uv, Capacity cap_vu);
+
+  /// Overwrites one super arc pair's pristine capacities (applied at the
+  /// next reset). `index` counts add_super_arc calls in order.
+  void set_super_arc(std::size_t index, Capacity cap_uv, Capacity cap_vu);
+
+  /// Restores all capacities; network edge i exists iff bit i of `alive`.
+  void reset(Mask alive);
+
+  /// Same with an arbitrary predicate (for networks beyond 63 edges).
+  void reset_with(const std::vector<bool>& alive);
+
+  ResidualGraph& graph() noexcept { return g_; }
+  const FlowNetwork& network() const noexcept { return *net_; }
+
+  /// Forward residual-arc index of network edge `id` (the reverse arc is
+  /// at `arc(index).rev`). Lets incremental engines patch capacities of
+  /// individual edges without a full reset.
+  std::int32_t forward_arc(EdgeId id) const {
+    return fwd_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t num_super_arcs() const noexcept { return super_arcs_.size(); }
+
+  /// Pristine record of one super arc (index counts add_super_arc calls).
+  const SuperArc& super_arc(std::size_t index) const {
+    return super_arcs_[index];
+  }
+
+  /// Net flow a solver left on network edge `id` since the last reset
+  /// (positive: u -> v). Only meaningful while the edge was alive.
+  Capacity edge_net_flow(EdgeId id) const {
+    const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
+    return net_->edge(id).capacity - g_.arc(fi).cap;
+  }
+
+ private:
+  const FlowNetwork* net_;
+  ResidualGraph g_;
+  std::vector<std::int32_t> fwd_;  ///< per network edge: forward arc index
+  std::vector<SuperArc> super_arcs_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,25 @@
+#pragma once
+// Dinic's algorithm: BFS level graph + blocking-flow DFS. O(V^2 E) in
+// general, and the workhorse here because the reliability sweeps solve
+// millions of tiny instances — scratch buffers are reused across calls.
+
+#include "streamrel/maxflow/maxflow.hpp"
+
+namespace streamrel {
+
+class DinicSolver final : public MaxFlowSolver {
+ public:
+  Capacity solve(ResidualGraph& g, NodeId s, NodeId t,
+                 Capacity limit = kUnbounded) override;
+  std::string_view name() const noexcept override { return "dinic"; }
+
+ private:
+  bool build_levels(const ResidualGraph& g, NodeId s, NodeId t);
+  Capacity blocking_dfs(ResidualGraph& g, NodeId n, NodeId t, Capacity cap);
+
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,76 @@
+#pragma once
+// Arc-based residual graph shared by all max-flow algorithms.
+//
+// Arcs are stored flat; each arc knows the global index of its reverse.
+// `cap` always holds the CURRENT residual capacity, so pushing x units
+// along arc a is `a.cap -= x; reverse(a).cap += x`.
+//
+// An undirected network link of capacity c becomes the mutually-reverse
+// arc pair (c, c) — the standard construction whose max-flow value equals
+// the undirected max-flow. A directed link becomes the pair (c, 0).
+
+#include <cstdint>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct ResidualArc {
+  NodeId to = kInvalidNode;
+  Capacity cap = 0;              ///< current residual capacity
+  std::int32_t rev = -1;         ///< global index of the reverse arc
+  EdgeId edge_id = kInvalidEdge; ///< originating network edge, if any
+};
+
+class ResidualGraph {
+ public:
+  explicit ResidualGraph(int num_nodes);
+
+  NodeId add_node();
+  int num_nodes() const noexcept { return num_nodes_; }
+  int num_arcs() const noexcept { return static_cast<int>(arcs_.size()); }
+
+  /// Adds the arc pair u->v (cap_uv) / v->u (cap_vu). Returns the global
+  /// index of the forward arc; the reverse is at index + 1.
+  std::int32_t add_arc_pair(NodeId u, NodeId v, Capacity cap_uv,
+                            Capacity cap_vu, EdgeId edge_id = kInvalidEdge);
+
+  /// Removes the most recently added arc pair (used for temporary arcs).
+  /// Only valid while that pair is still the newest entry of both
+  /// endpoints' adjacency lists, which holds for add/remove bracketing.
+  void remove_last_arc_pair();
+
+  const std::vector<std::int32_t>& out_arcs(NodeId n) const {
+    return adj_[static_cast<std::size_t>(n)];
+  }
+  ResidualArc& arc(std::int32_t i) { return arcs_[static_cast<std::size_t>(i)]; }
+  const ResidualArc& arc(std::int32_t i) const {
+    return arcs_[static_cast<std::size_t>(i)];
+  }
+
+  /// Pushes `amount` along arc i (and pulls it back on the reverse).
+  void push(std::int32_t i, Capacity amount) {
+    arcs_[static_cast<std::size_t>(i)].cap -= amount;
+    arcs_[static_cast<std::size_t>(arcs_[static_cast<std::size_t>(i)].rev)]
+        .cap += amount;
+  }
+
+  /// Builds the residual graph of `net` restricted to the edges whose bit
+  /// is set in `alive`. Requires net.fits_mask().
+  static ResidualGraph from_network(const FlowNetwork& net, Mask alive);
+
+  /// Residual graph with every edge alive (any network size).
+  static ResidualGraph from_network_all(const FlowNetwork& net);
+
+  /// Nodes reachable from `from` through arcs with positive residual
+  /// capacity (the source side of a min cut after a max-flow run).
+  std::vector<bool> residual_reachable(NodeId from) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<ResidualArc> arcs_;
+  std::vector<std::vector<std::int32_t>> adj_;
+};
+
+}  // namespace streamrel

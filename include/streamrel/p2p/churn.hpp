@@ -1,0 +1,33 @@
+#pragma once
+// Peer churn to link failure probabilities.
+//
+// The paper takes p(e) as given; in deployed systems it comes from peer
+// session statistics. With exponentially distributed session lengths
+// (mean M), the probability a peer departs during a delivery window W is
+// 1 - exp(-W/M); an overlay link is down when either endpoint departed or
+// the transport itself failed. No relevance between c and p is assumed,
+// matching the paper.
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct ChurnModel {
+  double mean_session_minutes = 60.0;  ///< average peer lifetime M
+  double window_minutes = 5.0;         ///< delivery window W of interest
+  double base_link_loss = 0.01;        ///< transport failure floor
+};
+
+/// P(a peer departs within the window) = 1 - exp(-W/M).
+double peer_departure_prob(const ChurnModel& model);
+
+/// Failure probability of a link between two churning peers:
+/// 1 - (1 - departure)^2 * (1 - base_link_loss). The server never churns;
+/// pass `endpoints_churning` = 1 for server-to-peer links.
+double link_failure_prob(const ChurnModel& model, int endpoints_churning = 2);
+
+/// Overwrites every link failure probability in the overlay network:
+/// links incident to `server` count one churning endpoint, the rest two.
+void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model);
+
+}  // namespace streamrel

@@ -1,0 +1,28 @@
+#pragma once
+// Mesh overlay builder (Bullet / PRIME / CoolStreaming style): peers hold
+// randomized neighbour sets and pull sub-streams over any of their links,
+// so delivery paths are not fixed — exactly the situation where path-based
+// availability analysis fails and the paper's flow-based reliability is
+// the right notion.
+
+#include "streamrel/p2p/overlay.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+
+struct MeshOptions {
+  int degree = 3;              ///< random neighbours per peer (approximate)
+  int server_links = 2;        ///< peers fed directly by the server
+  Capacity link_capacity = 1;  ///< sub-streams per link
+  double link_failure_prob = 0.1;
+  bool directed = false;       ///< push links vs symmetric exchange
+};
+
+/// Adds a random mesh: the server feeds `server_links` random peers, and
+/// each peer links to `degree` random distinct other peers (duplicate
+/// pairs are skipped, so realized degree may be slightly lower).
+/// Returns the added edge ids.
+std::vector<EdgeId> add_random_mesh(Overlay& overlay, Xoshiro256& rng,
+                                    const MeshOptions& options);
+
+}  // namespace streamrel

@@ -1,0 +1,45 @@
+#pragma once
+// Reliability-aware overlay upgrades: given a set of candidate links the
+// operator COULD provision (extra peering, backup relays), greedily pick
+// the ones that raise delivery reliability the most per round — the
+// planning question the exact reliability oracle makes answerable.
+
+#include <vector>
+
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct UpgradeCandidate {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Capacity capacity = 1;
+  double failure_prob = 0.1;
+  EdgeKind kind = EdgeKind::kUndirected;
+};
+
+struct UpgradePlan {
+  std::vector<UpgradeCandidate> chosen;  ///< in selection order
+  double reliability_before = 0.0;
+  double reliability_after = 0.0;
+  /// reliability after each selection (trajectory[i] = after i+1 links).
+  std::vector<double> trajectory;
+};
+
+/// Greedy selection of up to `budget` candidates. Each round evaluates
+/// every remaining candidate with the exact solver and commits the best
+/// strict improvement; stops early when no candidate helps.
+UpgradePlan plan_overlay_upgrade(const FlowNetwork& net,
+                                 const FlowDemand& demand,
+                                 std::vector<UpgradeCandidate> candidates,
+                                 int budget,
+                                 const SolveOptions& options = {});
+
+/// Convenience: all node pairs absent from the network as candidates
+/// with uniform attributes (O(n^2); meant for small overlays).
+std::vector<UpgradeCandidate> all_missing_links(const FlowNetwork& net,
+                                                Capacity capacity,
+                                                double failure_prob);
+
+}  // namespace streamrel

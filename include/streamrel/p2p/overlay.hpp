@@ -1,0 +1,40 @@
+#pragma once
+// P2P streaming overlay model: a media server plus peers, with delivery
+// links carrying unit-rate sub-streams. The overlay owns a FlowNetwork
+// whose node 0 is the server; builders (tree_builder, mesh_builder) add
+// delivery structure, churn models assign failure probabilities, and the
+// reliability API answers "with what probability can subscriber X still
+// receive all d sub-streams?".
+
+#include <string>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+class Overlay {
+ public:
+  /// Creates a server (node 0) and `num_peers` peer nodes.
+  explicit Overlay(int num_peers);
+
+  FlowNetwork& net() noexcept { return net_; }
+  const FlowNetwork& net() const noexcept { return net_; }
+
+  NodeId server() const noexcept { return 0; }
+  int num_peers() const noexcept { return num_peers_; }
+
+  /// Peer index (0-based) to node id.
+  NodeId peer(int index) const;
+
+  /// Demand: deliver `sub_streams` unit sub-streams to `subscriber`.
+  FlowDemand demand_to(NodeId subscriber, Capacity sub_streams) const;
+
+  std::string summary() const;
+
+ private:
+  int num_peers_;
+  FlowNetwork net_;
+};
+
+}  // namespace streamrel

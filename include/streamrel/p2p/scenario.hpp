@@ -1,0 +1,57 @@
+#pragma once
+// Canned scenarios: the paper's illustrative graphs as concrete,
+// reusable networks (tests and the paper_artifacts bench build on them)
+// plus parameterized deployment-style topologies.
+
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+
+/// Paper Fig. 2: two diamond-shaped clusters joined by a single bridge
+/// link; the bridge is the LAST edge (id 8, the figure's red e9).
+/// Demand: one sub-stream from s (node 0) to t (node 7).
+/// All links undirected, capacity 1, failure probability `p`.
+GeneratedNetwork make_fig2_bridge_graph(double p = 0.1);
+
+/// Paper Fig. 4: a 9-link graph with two bottleneck links of capacity 2
+/// that admits a flow of d = 2 and whose assignment set is
+/// D = {(0,2), (1,1), (2,0)} (the paper lists the same three tuples in
+/// the opposite order). Edge layout:
+///   ids 0-4: source-side links  (0: s-x1 cap 1, 1: s-x1 cap 1,
+///            2: s-x2 cap 1, 3: s-x2 cap 1, 4: x1-x2 cap 1)
+///   ids 5-6: sink-side links    (5: y1-t cap 2, 6: y2-t cap 2)
+///   ids 7-8: bottleneck links   (7: x1-y1 cap 2, 8: x2-y2 cap 2)
+/// Nodes: s=0, x1=1, x2=2, y1=3, y2=4, t=5. side_s marks {s, x1, x2}.
+/// The three Fig.-5 failure configurations of G_s are reproduced by
+/// fig5_source_side_configs().
+GeneratedNetwork make_fig4_graph(double p = 0.1);
+
+/// The source-side alive-edge masks of Fig. 5 (over the Fig.-4 graph's
+/// source-side subgraph, whose edges are ids 0-4 in source-side order):
+/// (a) realizes {(1,1),(0,2)}, (b) realizes {(1,1)},
+/// (c) realizes {(1,1),(2,0),(0,2)}.
+struct Fig5Configs {
+  Mask a;
+  Mask b;
+  Mask c;
+};
+Fig5Configs fig5_source_side_configs();
+
+/// Two ISPs (clusters) joined by k peering links; the media server and
+/// the subscriber sit in different ISPs. A named wrapper over
+/// clustered_bottleneck with deployment-flavoured parameters.
+struct TwoIspParams {
+  int peers_per_isp = 5;       ///< nodes per cluster incl. server/subscriber
+  int extra_links_per_isp = 3; ///< intra-ISP links beyond a spanning tree
+  int peering_links = 2;       ///< k
+  Capacity link_capacity = 2;
+  Capacity peering_capacity = 2;
+  double internal_failure = 0.05;
+  double peering_failure = 0.1;
+  std::uint64_t seed = 7;
+};
+GeneratedNetwork make_two_isp_scenario(const TwoIspParams& params);
+
+}  // namespace streamrel

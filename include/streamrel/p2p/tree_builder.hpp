@@ -1,0 +1,42 @@
+#pragma once
+// Tree-structured overlay builders (paper §II related work).
+//
+// Single-tree systems (ESM/SCRIBE style) push the full stream down one
+// spanning tree: simple, but every interior link is a single point of
+// failure for its subtree. Multiple-tree systems (SplitStream style)
+// split the stream into `stripes` unit-rate sub-streams, each delivered
+// down its own tree with rotated interior sets, so a failed peer or link
+// costs at most one stripe per subtree — the fault-tolerance the paper's
+// flow-reliability model quantifies.
+
+#include "streamrel/p2p/overlay.hpp"
+
+namespace streamrel {
+
+struct SingleTreeOptions {
+  int fanout = 2;               ///< children per interior peer
+  Capacity stream_rate = 1;     ///< link capacity (carries the whole stream)
+  double link_failure_prob = 0.1;
+};
+
+/// Adds a balanced `fanout`-ary delivery tree rooted at the server: peer
+/// i's parent is peer (i-1)/fanout (the server for peer 0). Links are
+/// directed parent -> child. Returns the added edge ids in peer order.
+std::vector<EdgeId> add_single_tree(Overlay& overlay,
+                                    const SingleTreeOptions& options);
+
+struct StripedTreesOptions {
+  int stripes = 2;   ///< number of sub-streams / trees
+  int fanout = 2;
+  double link_failure_prob = 0.1;
+};
+
+/// Adds `stripes` unit-capacity delivery trees. Stripe j permutes the
+/// peer order by a rotation of j * num_peers / stripes before applying
+/// the balanced-tree rule, so peers that are interior in one stripe tend
+/// to be leaves in the others (SplitStream's design goal). Returns edge
+/// ids per stripe.
+std::vector<std::vector<EdgeId>> add_striped_trees(
+    Overlay& overlay, const StripedTreesOptions& options);
+
+}  // namespace streamrel

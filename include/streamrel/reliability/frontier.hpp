@@ -1,0 +1,38 @@
+#pragma once
+// Exact two-terminal CONNECTIVITY reliability by frontier-based dynamic
+// programming (the technique behind BDD/ZDD "simpath" methods): process
+// links in a fixed order while tracking, for the vertices still touching
+// unprocessed links, only the partition into connected blocks. The state
+// count depends on the network's pathwidth rather than its size, so
+// path-, ladder-, tree- and grid-like overlays with HUNDREDS of links are
+// exact — far beyond the 2^|E| enumeration limit.
+//
+// Scope: demand rate 1 on undirected networks (rate-1 feasibility is
+// exactly s-t connectivity when usable links have capacity >= 1;
+// capacity-0 links are treated as absent). For d > 1 or directed
+// networks use the flow-based algorithms.
+
+#include <cstdint>
+
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/reliability/types.hpp"
+
+namespace streamrel {
+
+struct FrontierOptions {
+  /// Stop (result status kBudgetExhausted) when the live state set
+  /// exceeds this bound — the ordering heuristic found no small frontier.
+  std::size_t max_states = 2'000'000;
+};
+
+/// Exact P(s and t connected by surviving links). Requires
+/// demand.rate == 1 and an all-undirected network.
+/// `configurations` in the result counts DP states visited. On a state
+/// budget or context stop the result carries the status and the success
+/// mass folded so far (a valid LOWER bound on R).
+ReliabilityResult reliability_connectivity(const FlowNetwork& net,
+                                           const FlowDemand& demand,
+                                           const FrontierOptions& options = {},
+                                           const ExecContext* ctx = nullptr);
+
+}  // namespace streamrel

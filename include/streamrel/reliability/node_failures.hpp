@@ -1,0 +1,44 @@
+#pragma once
+// Peer (node) failures reduced to link failures by node splitting.
+//
+// P2P churn kills peers, not wires. The classical reduction replaces each
+// unreliable node v by v_in -> v_out connected by an internal directed
+// edge whose failure probability is the peer's and whose capacity bounds
+// the peer's relay throughput; incoming links attach to v_in, outgoing
+// links to v_out. The transform is exact for DIRECTED networks; an
+// undirected link would need its two traversal directions to attach at
+// different split nodes while failing as one unit, which this edge model
+// cannot express, so undirected inputs are rejected.
+
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct NodeReliability {
+  double failure_prob = 0.0;  ///< peer failure probability, in [0, 1)
+  Capacity relay_capacity = kNoRelayLimit;  ///< max sub-streams through the peer
+
+  static constexpr Capacity kNoRelayLimit = -1;
+};
+
+struct SplitNetwork {
+  FlowNetwork net;
+  FlowDemand demand;                ///< rewritten onto the split nodes
+  std::vector<EdgeId> node_edge;    ///< per original node: its internal edge
+  std::vector<EdgeId> edge_map;     ///< per original edge: its new id
+  std::vector<NodeId> in_node;      ///< per original node: v_in
+  std::vector<NodeId> out_node;     ///< per original node: v_out
+};
+
+/// Splits every node of a directed network. `nodes[v]` describes peer v;
+/// the demand is rewritten so the source's and sink's own failure
+/// probabilities participate (enter at source's v_in, leave at sink's
+/// v_out). Internal edges get capacity = relay limit, or the node's
+/// incident capacity sum when unlimited. Throws on undirected edges.
+SplitNetwork split_unreliable_nodes(const FlowNetwork& net,
+                                    const FlowDemand& demand,
+                                    const std::vector<NodeReliability>& nodes);
+
+}  // namespace streamrel

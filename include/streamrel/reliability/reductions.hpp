@@ -1,0 +1,44 @@
+#pragma once
+// Reliability-preserving reductions for RATE-1 (connectivity) demands —
+// the classical preprocessing that collapses series chains and parallel
+// bundles before any exponential work:
+//
+//   parallel:  links e1, e2 between the same pair  ->  one link with
+//              p' = p1 * p2                (both must fail)
+//   series:    a degree-2 interior node v (not s or t) joining e1, e2 ->
+//              one link with p' = 1 - (1-p1)(1-p2)   (both must work)
+//
+// Applied to a fixpoint, sparse overlays often shrink to a handful of
+// links; pure series-parallel networks collapse to a SINGLE link whose
+// survival probability IS the reliability. Rate-1 only: with d > 1 the
+// capacity structure breaks both rules. Undirected networks only.
+
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct ReducedNetwork {
+  FlowNetwork net;     ///< the shrunken network (dangling parts pruned)
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+  int series_steps = 0;
+  int parallel_steps = 0;
+  int pruned_links = 0;  ///< dangling / irrelevant links removed
+
+  /// True when the network collapsed to one s-t link; then
+  /// 1 - net.edge(0).failure_prob is the exact reliability.
+  bool fully_reduced() const {
+    return net.num_edges() == 1 && net.num_nodes() == 2;
+  }
+};
+
+/// Applies prune/series/parallel reductions to a fixpoint. Capacity-0
+/// links are dropped up front (they can never carry the sub-stream);
+/// degree-1 interior nodes (dead ends) are pruned. Throws on directed
+/// links. The reduction preserves the rate-1 reliability exactly.
+ReducedNetwork reduce_for_connectivity(const FlowNetwork& net, NodeId s,
+                                       NodeId t);
+
+}  // namespace streamrel

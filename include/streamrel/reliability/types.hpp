@@ -1,0 +1,37 @@
+#pragma once
+// Shared result/option types for the exact reliability algorithms.
+
+#include <cstdint>
+
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/exec_context.hpp"
+#include "streamrel/util/telemetry.hpp"
+
+namespace streamrel {
+
+/// Result of a reliability computation. The work counters the benches
+/// report live in the structured `telemetry` tree; the named accessors
+/// below are views over it (kept for the common counters every engine
+/// shares).
+struct ReliabilityResult {
+  double reliability = 0.0;
+  /// kExact unless the computation was stopped by a deadline,
+  /// cancellation, or the engine's own work budget — in which case
+  /// `reliability` is NOT the exact value (see each engine's contract).
+  SolveStatus status = SolveStatus::kExact;
+  Telemetry telemetry;
+
+  bool exact() const noexcept { return status == SolveStatus::kExact; }
+
+  /// Failure configurations visited (recursion-tree nodes for factoring,
+  /// DP steps for the frontier method).
+  std::uint64_t configurations() const {
+    return telemetry.counter_or(telemetry_keys::kConfigurations);
+  }
+  /// Feasibility subproblems solved.
+  std::uint64_t maxflow_calls() const {
+    return telemetry.counter_or(telemetry_keys::kMaxflowCalls);
+  }
+};
+
+}  // namespace streamrel

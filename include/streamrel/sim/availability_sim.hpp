@@ -1,0 +1,42 @@
+#pragma once
+// Discrete-event availability simulation: play the links' up/down renewal
+// processes forward in time and measure how often — and for how long —
+// the network can actually deliver the stream. Feasibility is maintained
+// by IncrementalMaxFlow (one flow repair per link transition), so a
+// million-transition run costs seconds.
+//
+// Where the static model answers "what fraction of random snapshots
+// deliver d sub-streams?", the simulator answers the operator questions
+// the snapshot cannot: how OFTEN is playback interrupted, and how long do
+// outages last. By stationarity the measured availability converges to
+// the analytic reliability at matching parameters (bench E24 shows it).
+
+#include <cstdint>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/sim/link_dynamics.hpp"
+
+namespace streamrel {
+
+struct SimulationOptions {
+  double warmup = 500.0;       ///< time discarded before measuring
+  double duration = 20'000.0;  ///< measured time span
+  std::uint64_t seed = 0x51712;
+};
+
+struct SimulationReport {
+  double availability = 0.0;      ///< feasible-time fraction
+  std::uint64_t transitions = 0;  ///< link state changes in the window
+  std::uint64_t interruptions = 0;  ///< feasible -> infeasible crossings
+  double mean_outage = 0.0;       ///< average infeasible spell length
+  double mean_uptime_spell = 0.0; ///< average feasible spell length
+};
+
+/// Simulates the network under per-link dynamics (one entry per link).
+SimulationReport simulate_availability(const FlowNetwork& net,
+                                       const FlowDemand& demand,
+                                       const std::vector<LinkDynamics>& links,
+                                       const SimulationOptions& options = {});
+
+}  // namespace streamrel

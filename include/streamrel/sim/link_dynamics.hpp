@@ -1,0 +1,35 @@
+#pragma once
+// Temporal link model: each link alternates between UP and DOWN periods
+// with exponentially distributed durations (an alternating renewal
+// process — the standard availability model for repairable components).
+// Its stationary unavailability mean_down / (mean_up + mean_down) is
+// exactly the failure probability p(e) the paper's static snapshot model
+// consumes, which is what lets the simulator validate the analytic
+// reliability against time averages.
+
+#include <stdexcept>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+struct LinkDynamics {
+  double mean_uptime = 55.0;   ///< expected UP duration (any time unit)
+  double mean_downtime = 5.0;  ///< expected DOWN duration
+
+  /// Stationary probability of finding the link DOWN.
+  double unavailability() const {
+    if (mean_uptime <= 0.0 || mean_downtime < 0.0) {
+      throw std::invalid_argument("bad link dynamics");
+    }
+    return mean_downtime / (mean_uptime + mean_downtime);
+  }
+};
+
+/// Dynamics whose stationary unavailability equals each link's static
+/// failure probability, with the given mean repair (down) time.
+std::vector<LinkDynamics> dynamics_from_probabilities(
+    const FlowNetwork& net, double mean_downtime = 5.0);
+
+}  // namespace streamrel

@@ -1,0 +1,59 @@
+#pragma once
+// Probability of a link-failure configuration.
+//
+// A configuration over n links is a Mask whose bit i says link i is alive;
+// its probability is  prod_{alive i} (1 - p_i) * prod_{dead i} p_i.
+// Exhaustive algorithms query this for up to 2^n masks; computing each
+// product from scratch costs O(n) and, worse, chaining 2^n multiplications
+// incrementally accumulates rounding error. ConfigProbTable instead
+// precomputes meet-in-the-middle half-products (two tables of size
+// 2^(n/2)), so each query is one multiplication of two exactly-rounded
+// half products.
+
+#include <cstdint>
+#include <vector>
+
+#include "streamrel/util/bitops.hpp"
+
+namespace streamrel {
+
+class ConfigProbTable {
+ public:
+  /// `failure_probs[i]` is p(link i), each in [0, 1). Requires
+  /// failure_probs.size() <= kMaxMaskBits.
+  explicit ConfigProbTable(const std::vector<double>& failure_probs);
+
+  /// Probability that exactly the links in `alive` are up and the rest
+  /// are down. Bits >= size() must be zero.
+  double prob(Mask alive) const noexcept {
+    if (!direct_.empty()) {
+      // Beyond ~2^20-entry half tables the memory is not worth it: such
+      // link counts are only queried sparsely, never enumerated.
+      double product = 1.0;
+      for (std::size_t i = 0; i < direct_.size(); ++i) {
+        product *= test_bit(alive, static_cast<int>(i)) ? (1.0 - direct_[i])
+                                                        : direct_[i];
+      }
+      return product;
+    }
+    return low_[static_cast<std::size_t>(alive & low_mask_)] *
+           high_[static_cast<std::size_t>(alive >> low_bits_)];
+  }
+
+  int size() const noexcept { return num_links_; }
+
+ private:
+  int num_links_ = 0;
+  int low_bits_ = 0;
+  Mask low_mask_ = 0;
+  std::vector<double> low_;   // 2^low_bits_ half products
+  std::vector<double> high_;  // 2^(n - low_bits_) half products
+  std::vector<double> direct_;  // fallback for very large link counts
+};
+
+/// One-off configuration probability (O(n)); convenient in tests and in
+/// non-exhaustive algorithms.
+double config_probability(const std::vector<double>& failure_probs,
+                          Mask alive) noexcept;
+
+}  // namespace streamrel

@@ -1,0 +1,106 @@
+#pragma once
+// Structured telemetry tree: named counters and timers, nestable into
+// children, mergeable across OpenMP shards. Every engine reports its work
+// through one of these instead of ad-hoc result fields, so the facade can
+// compare engines on equal footing and the CLI can emit the whole tree as
+// JSON.
+//
+// Determinism contract: counters depend only on the instance and the
+// options, never on thread count or scheduling (shard geometry is fixed,
+// shard-local counters are merged in shard order). Timers measure wall
+// clock and are exempt.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace streamrel {
+
+/// Canonical counter names shared by the engines. Using the constants
+/// (rather than string literals at each site) keeps the per-engine trees
+/// comparable.
+namespace telemetry_keys {
+inline constexpr std::string_view kConfigurations = "configurations";
+inline constexpr std::string_view kMaxflowCalls = "maxflow_calls";
+inline constexpr std::string_view kPrunedDecisions = "pruned_decisions";
+inline constexpr std::string_view kEngineToggles = "engine_toggles";
+inline constexpr std::string_view kStatesVisited = "states_visited";
+inline constexpr std::string_view kSamples = "samples";
+inline constexpr std::string_view kCandidates = "candidates";
+inline constexpr std::string_view kLinksReduced = "links_reduced";
+inline constexpr std::string_view kAssignments = "assignments";
+// QuerySession / BatchEvaluator serving-layer counters.
+inline constexpr std::string_view kQueries = "queries";
+inline constexpr std::string_view kFallbackSolves = "fallback_solves";
+inline constexpr std::string_view kCacheHits = "cache_hits";
+inline constexpr std::string_view kCacheMisses = "cache_misses";
+inline constexpr std::string_view kCacheEvictions = "cache_evictions";
+inline constexpr std::string_view kCacheInvalidations = "cache_invalidations";
+}  // namespace telemetry_keys
+
+class Telemetry {
+ public:
+  using Counter = std::uint64_t;
+  using CounterMap = std::map<std::string, Counter, std::less<>>;
+  using TimerMap = std::map<std::string, double, std::less<>>;
+  using ChildMap = std::map<std::string, Telemetry, std::less<>>;
+
+  /// Mutable reference to a counter, created at 0 on first use.
+  Counter& counter(std::string_view name);
+  /// Read-only lookup; `fallback` when the counter was never touched.
+  Counter counter_or(std::string_view name, Counter fallback = 0) const;
+  void add(std::string_view name, Counter delta) { counter(name) += delta; }
+
+  /// Mutable reference to a wall-clock timer in milliseconds.
+  double& timer_ms(std::string_view name);
+  double timer_ms_or(std::string_view name, double fallback = 0.0) const;
+
+  /// Mutable child subtree, created empty on first use.
+  Telemetry& child(std::string_view name);
+  /// nullptr when absent.
+  const Telemetry* find_child(std::string_view name) const;
+
+  /// Element-wise sum: counters and timers add, children merge
+  /// recursively. The shard-aggregation primitive.
+  void merge(const Telemetry& other);
+
+  bool empty() const noexcept {
+    return counters_.empty() && timers_.empty() && children_.empty();
+  }
+
+  const CounterMap& counters() const noexcept { return counters_; }
+  const TimerMap& timers_ms() const noexcept { return timers_; }
+  const ChildMap& children() const noexcept { return children_; }
+
+  /// Recursive equality over counters only (timers are wall-clock and
+  /// excluded) — the determinism predicate the tests assert.
+  bool counters_equal(const Telemetry& other) const;
+
+  /// Deterministic JSON rendering (std::map iteration order). Timers are
+  /// emitted with a "_ms" suffix; children nest as objects.
+  std::string to_json() const;
+
+ private:
+  void append_json(std::string& out) const;
+
+  CounterMap counters_;
+  TimerMap timers_;
+  ChildMap children_;
+};
+
+/// RAII wall-clock timer: adds the elapsed milliseconds to
+/// `telemetry.timer_ms(name)` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Telemetry& telemetry, std::string_view name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* slot_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace streamrel

@@ -1,0 +1,20 @@
+#pragma once
+// Public API versioning. STREAMREL_API_VERSION is a single monotonically
+// increasing integer bumped on every breaking change to the installed
+// surface (the headers under include/streamrel/). The dotted library
+// version tracks the CMake project version.
+
+#define STREAMREL_VERSION_MAJOR 1
+#define STREAMREL_VERSION_MINOR 1
+#define STREAMREL_VERSION_PATCH 0
+
+/// Breaking-change counter of the installed header surface.
+#define STREAMREL_API_VERSION 3
+
+namespace streamrel {
+
+/// The API version the library was built against, for runtime checks
+/// against the headers a client compiled with.
+constexpr int api_version() noexcept { return STREAMREL_API_VERSION; }
+
+}  // namespace streamrel

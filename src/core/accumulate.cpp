@@ -1,9 +1,9 @@
-#include "core/accumulate.hpp"
+#include "streamrel/core/accumulate.hpp"
 
 #include <stdexcept>
 #include <vector>
 
-#include "util/stats.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

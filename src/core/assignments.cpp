@@ -1,4 +1,4 @@
-#include "core/assignments.hpp"
+#include "streamrel/core/assignments.hpp"
 
 #include <algorithm>
 #include <stdexcept>

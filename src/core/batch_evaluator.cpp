@@ -1,0 +1,109 @@
+#include "streamrel/core/batch_evaluator.hpp"
+
+#include <algorithm>
+
+#include "streamrel/reliability/bounds.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace streamrel {
+
+struct BatchEvaluator::Slot {
+  QuerySession::PreparedQuery prepared;
+  SolveOptions options;
+  ExecContext ctx;        ///< shares the batch cancel token
+  bool fallback = false;  ///< facade path (runs serially)
+};
+
+BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
+                                     const BatchOptions& options) {
+  BatchReport batch;
+  batch.reports.resize(queries.size());
+
+  // Usage errors surface before any solving work.
+  for (const WhatIfQuery& q : queries) {
+    session_->validate_overrides(q.prob_overrides);
+  }
+
+  ExecContext batch_ctx;
+  if (options.deadline_ms > 0.0) batch_ctx.set_deadline_ms(options.deadline_ms);
+  batch_ctx.max_threads = options.max_threads;
+
+  // Phase 1 — structural prepare, serial: cache lookups and cold builds.
+  std::vector<Slot> slots(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const WhatIfQuery& q = queries[i];
+    Slot& slot = slots[i];
+    slot.options = options.base;
+    slot.options.method = q.method;
+    slot.options.context = nullptr;
+    slot.ctx = batch_ctx;  // shared cancel token, own telemetry
+    if (q.deadline_ms > 0.0) {
+      const double batch_left = batch_ctx.remaining_ms();
+      slot.ctx.set_deadline_ms(std::min(q.deadline_ms, batch_left));
+    }
+    session_->telemetry_.counter(telemetry_keys::kQueries) += 1;
+    slot.prepared = session_->prepare_cached(q.demand, slot.options, slot.ctx);
+    slot.fallback = !slot.prepared.bottleneck_path;
+  }
+
+  // Phase 2 — probability-only accumulation over pinned artifacts.
+  // finish_prepared is const and touches no session state; the only
+  // exception it could raise (bad override) was ruled out above, and
+  // context stops come back as SolveStatus — nothing escapes the
+  // parallel region.
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].fallback) ready.push_back(i);
+  }
+  const auto accumulate_one = [&](std::size_t i) {
+    const WhatIfQuery& q = queries[i];
+    batch.reports[i] = session_->finish_prepared(
+        slots[i].prepared, slots[i].options, q.prob_overrides, &slots[i].ctx);
+  };
+#ifdef _OPENMP
+  if (options.parallel_accumulate && ready.size() > 1) {
+    const int threads = batch_ctx.resolved_threads();
+    const auto n = static_cast<std::int64_t>(ready.size());
+#pragma omp parallel for num_threads(threads) schedule(dynamic)
+    for (std::int64_t j = 0; j < n; ++j) {
+      accumulate_one(ready[static_cast<std::size_t>(j)]);
+    }
+  } else {
+    for (std::size_t i : ready) accumulate_one(i);
+  }
+#else
+  for (std::size_t i : ready) accumulate_one(i);
+#endif
+
+  // Phase 3 — facade fallbacks (serial: they guard-edit the session
+  // network), bounds for degraded answers, telemetry in query order.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const WhatIfQuery& q = queries[i];
+    Slot& slot = slots[i];
+    SolveReport& report = batch.reports[i];
+    if (slot.fallback) {
+      session_->telemetry_.counter(telemetry_keys::kFallbackSolves) += 1;
+      batch.telemetry.counter(telemetry_keys::kFallbackSolves) += 1;
+      report =
+          session_->solve_fallback(q.demand, slot.options, q.prob_overrides,
+                                   slot.ctx);
+    } else {
+      slot.ctx.telemetry.merge(report.result.telemetry);
+    }
+    if (report.result.status != SolveStatus::kExact && !report.bounds) {
+      report.bounds = session_->bounds_with_overrides(q.demand,
+                                                      slot.options.bounds,
+                                                      q.prob_overrides);
+    }
+    if (report.result.status == SolveStatus::kExact) batch.exact_count += 1;
+    batch.telemetry.counter(telemetry_keys::kQueries) += 1;
+    batch.telemetry.merge(slot.ctx.telemetry);
+    session_->telemetry_.child("solves").merge(report.result.telemetry);
+  }
+  return batch;
+}
+
+}  // namespace streamrel

@@ -1,19 +1,18 @@
-#include "core/bottleneck_algorithm.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
 
 #include <stdexcept>
 
-#include "graph/graph_algos.hpp"
-#include "reliability/naive.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 
-BottleneckResult reliability_bottleneck(const FlowNetwork& net,
-                                        const FlowDemand& demand,
-                                        const BottleneckPartition& partition,
-                                        const BottleneckOptions& options,
-                                        const ExecContext* ctx) {
+BottleneckArtifacts build_bottleneck_artifacts(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition, const BottleneckOptions& options,
+    const ExecContext* ctx, const AssignmentSet* reuse_assignments) {
   net.check_demand(demand);
   if (partition.side_s.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("partition does not match network");
@@ -23,60 +22,106 @@ BottleneckResult reliability_bottleneck(const FlowNetwork& net,
     throw std::invalid_argument("demand endpoints on wrong partition sides");
   }
 
-  BottleneckResult result;
-  result.partition_stats = analyze_partition(net, demand.source, demand.sink,
-                                             partition);
+  BottleneckArtifacts artifacts;
+  artifacts.partition_stats =
+      analyze_partition(net, demand.source, demand.sink, partition);
 
   // If even the full crossing capacity cannot carry d, reliability is 0
   // (paper: "If c(E') < d, the reliability ... is trivially zero").
-  const AssignmentSet assignments =
-      enumerate_assignments(net, partition, demand.rate, options.assignments);
-  result.mode_used = assignments.mode;
-  result.num_assignments = assignments.size();
-  result.telemetry.counter(telemetry_keys::kAssignments) =
-      static_cast<std::uint64_t>(assignments.size());
-  if (assignments.size() == 0) return result;
+  artifacts.assignments =
+      reuse_assignments
+          ? *reuse_assignments
+          : enumerate_assignments(net, partition, demand.rate,
+                                  options.assignments);
+  artifacts.mode_used = artifacts.assignments.mode;
+  artifacts.telemetry.counter(telemetry_keys::kAssignments) =
+      static_cast<std::uint64_t>(artifacts.assignments.size());
+  if (artifacts.assignments.size() == 0) return artifacts;
 
   try {
-    // Side arrays (paper §III-C) folded into mask distributions.
-    const SideProblem side_s =
+    // Side arrays (paper §III-C): the exponential, probability-free part.
+    artifacts.side_s =
         make_side_problem(net, demand, partition, /*source_side=*/true);
-    const SideProblem side_t =
+    artifacts.side_t =
         make_side_problem(net, demand, partition, /*source_side=*/false);
     SideArrayStats stats_s;
     SideArrayStats stats_t;
-    const std::vector<Mask> array_s = build_side_array(
-        side_s, assignments, demand.rate, options.side, &stats_s, ctx);
-    const std::vector<Mask> array_t = build_side_array(
-        side_t, assignments, demand.rate, options.side, &stats_t, ctx);
+    artifacts.array_s =
+        build_side_array(artifacts.side_s, artifacts.assignments, demand.rate,
+                         options.side, &stats_s, ctx);
+    artifacts.array_t =
+        build_side_array(artifacts.side_t, artifacts.assignments, demand.rate,
+                         options.side, &stats_t, ctx);
     SideArrayStats combined;
     combined.merge(stats_s);
     combined.merge(stats_t);
-    result.telemetry.merge(combined.telemetry);
-    result.telemetry.child("side_s").merge(stats_s.telemetry);
-    result.telemetry.child("side_t").merge(stats_t.telemetry);
-    result.telemetry.counter(telemetry_keys::kConfigurations) =
-        array_s.size() + array_t.size();
-    const MaskDistribution dist_s = bucket_side_array(side_s, array_s);
-    const MaskDistribution dist_t = bucket_side_array(side_t, array_t);
+    artifacts.telemetry.merge(combined.telemetry);
+    artifacts.telemetry.child("side_s").merge(stats_s.telemetry);
+    artifacts.telemetry.child("side_t").merge(stats_t.telemetry);
+    artifacts.telemetry.counter(telemetry_keys::kConfigurations) =
+        artifacts.array_s.size() + artifacts.array_t.size();
+  } catch (const ExecInterrupted& stop) {
+    artifacts.status = stop.status;
+    artifacts.array_s.clear();
+    artifacts.array_t.clear();
+  }
+  return artifacts;
+}
+
+BottleneckProbabilities gather_bottleneck_probabilities(
+    const FlowNetwork& net, const BottleneckPartition& partition,
+    const BottleneckArtifacts& artifacts) {
+  BottleneckProbabilities probs;
+  const auto gather_side = [&](const SideProblem& side,
+                               std::vector<double>& out) {
+    out.reserve(side.sub.edge_map.size());
+    for (EdgeId original : side.sub.edge_map) {
+      out.push_back(net.edge(original).failure_prob);
+    }
+  };
+  gather_side(artifacts.side_s, probs.side_s);
+  gather_side(artifacts.side_t, probs.side_t);
+  probs.crossing.reserve(partition.crossing_edges.size());
+  for (EdgeId id : partition.crossing_edges) {
+    probs.crossing.push_back(net.edge(id).failure_prob);
+  }
+  return probs;
+}
+
+BottleneckResult accumulate_bottleneck(const BottleneckArtifacts& artifacts,
+                                       const BottleneckProbabilities& probs,
+                                       AccumulationStrategy accumulation,
+                                       const ExecContext* ctx) {
+  if (!artifacts.usable()) {
+    throw std::invalid_argument("cannot accumulate interrupted artifacts");
+  }
+
+  BottleneckResult result;
+  result.partition_stats = artifacts.partition_stats;
+  result.mode_used = artifacts.mode_used;
+  result.num_assignments = artifacts.assignments.size();
+  result.telemetry = artifacts.telemetry;
+  if (artifacts.assignments.size() == 0) return result;
+
+  try {
+    const MaskDistribution dist_s =
+        bucket_side_array(artifacts.side_s, artifacts.array_s, probs.side_s);
+    const MaskDistribution dist_t =
+        bucket_side_array(artifacts.side_t, artifacts.array_t, probs.side_t);
 
     // Accumulation over bottleneck-link configurations (Equations 2-3).
-    std::vector<double> crossing_probs;
-    crossing_probs.reserve(partition.crossing_edges.size());
-    for (EdgeId id : partition.crossing_edges) {
-      crossing_probs.push_back(net.edge(id).failure_prob);
-    }
-    const ConfigProbTable bottleneck_probs(crossing_probs);
-    const Mask bottleneck_total = Mask{1} << partition.k();
+    const ConfigProbTable bottleneck_probs(probs.crossing);
+    const Mask bottleneck_total = Mask{1}
+                                  << static_cast<int>(probs.crossing.size());
     KahanSum total;
     for (Mask alive = 0; alive < bottleneck_total; ++alive) {
       // Each term costs an inclusion-exclusion pass, so poll every
       // iteration rather than every kPollStride.
       if (ctx) ctx->check();
-      const Mask allowed = assignments.supported_by(alive);
+      const Mask allowed = artifacts.assignments.supported_by(alive);
       if (allowed == 0) continue;
-      const double r_alive = joint_success_probability(
-          dist_s, dist_t, allowed, options.accumulation);
+      const double r_alive =
+          joint_success_probability(dist_s, dist_t, allowed, accumulation);
       total.add(bottleneck_probs.prob(alive) * r_alive);
     }
     result.reliability = total.value();
@@ -87,6 +132,27 @@ BottleneckResult reliability_bottleneck(const FlowNetwork& net,
     result.reliability = 0.0;
   }
   return result;
+}
+
+BottleneckResult reliability_bottleneck(const FlowNetwork& net,
+                                        const FlowDemand& demand,
+                                        const BottleneckPartition& partition,
+                                        const BottleneckOptions& options,
+                                        const ExecContext* ctx) {
+  const BottleneckArtifacts artifacts =
+      build_bottleneck_artifacts(net, demand, partition, options, ctx);
+  if (!artifacts.usable()) {
+    BottleneckResult result;
+    result.partition_stats = artifacts.partition_stats;
+    result.mode_used = artifacts.mode_used;
+    result.num_assignments = artifacts.assignments.size();
+    result.telemetry = artifacts.telemetry;
+    result.status = artifacts.status;
+    return result;
+  }
+  return accumulate_bottleneck(
+      artifacts, gather_bottleneck_probabilities(net, partition, artifacts),
+      options.accumulation, ctx);
 }
 
 ThroughputDistribution throughput_bottleneck(

@@ -1,17 +1,17 @@
-#include "core/chain.hpp"
+#include "streamrel/core/chain.hpp"
 
 #include <algorithm>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "core/accumulate.hpp"
-#include "core/bottleneck_algorithm.hpp"
-#include "core/side_array.hpp"
-#include "graph/subgraph.hpp"
-#include "maxflow/config_residual.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/core/accumulate.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/core/side_array.hpp"
+#include "streamrel/graph/subgraph.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "core/engine.hpp"
+#include "streamrel/core/engine.hpp"
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,13 +1,13 @@
-#include "core/hybrid_mc.hpp"
+#include "streamrel/core/hybrid_mc.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "core/accumulate.hpp"
-#include "util/config_prob.hpp"
-#include "util/prng.hpp"
-#include "util/stats.hpp"
+#include "streamrel/core/accumulate.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

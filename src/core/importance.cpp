@@ -1,4 +1,4 @@
-#include "core/importance.hpp"
+#include "streamrel/core/importance.hpp"
 
 #include <algorithm>
 

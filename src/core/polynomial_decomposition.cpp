@@ -1,4 +1,4 @@
-#include "core/polynomial_decomposition.hpp"
+#include "streamrel/core/polynomial_decomposition.hpp"
 
 #include <stdexcept>
 #include <unordered_map>

@@ -1,0 +1,393 @@
+#include "streamrel/core/query_session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "streamrel/reliability/bounds.hpp"
+
+namespace streamrel {
+
+namespace {
+
+bool same_search_options(const PartitionSearchOptions& a,
+                         const PartitionSearchOptions& b) {
+  return a.max_k == b.max_k && a.max_side_edges == b.max_side_edges &&
+         a.enumeration.max_size == b.enumeration.max_size &&
+         a.enumeration.max_subsets_examined ==
+             b.enumeration.max_subsets_examined &&
+         a.enumeration.max_results == b.enumeration.max_results;
+}
+
+/// Applies the overrides to the network for the duration of one facade
+/// fallback (or bounds) call, restoring the original probabilities on
+/// every exit path.
+class OverrideGuard {
+ public:
+  OverrideGuard(FlowNetwork& net, std::span<const ProbOverride> overrides)
+      : net_(net) {
+    saved_.reserve(overrides.size());
+    for (const ProbOverride& o : overrides) {
+      if (!net_.valid_edge(o.edge)) {
+        throw std::invalid_argument("override edge out of range");
+      }
+      saved_.emplace_back(o.edge, net_.edge(o.edge).failure_prob);
+      net_.set_failure_prob(o.edge, o.failure_prob);
+    }
+  }
+  ~OverrideGuard() {
+    for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+      net_.set_failure_prob(it->first, it->second);
+    }
+  }
+  OverrideGuard(const OverrideGuard&) = delete;
+  OverrideGuard& operator=(const OverrideGuard&) = delete;
+
+ private:
+  FlowNetwork& net_;
+  std::vector<std::pair<EdgeId, double>> saved_;
+};
+
+}  // namespace
+
+QuerySession::QuerySession(FlowNetwork net, QueryCacheOptions cache)
+    : net_(std::move(net)), cache_options_(cache) {}
+
+void QuerySession::set_failure_prob(EdgeId id, double p) {
+  net_.set_failure_prob(id, p);  // masks are probability-independent:
+                                 // every cache layer survives
+}
+
+void QuerySession::set_capacity(EdgeId id, Capacity c) {
+  net_.set_capacity(id, c);
+  bump_epoch();
+}
+
+EdgeId QuerySession::add_edge(NodeId u, NodeId v, Capacity capacity,
+                              double failure_prob, EdgeKind kind) {
+  const EdgeId id = net_.add_edge(u, v, capacity, failure_prob, kind);
+  bump_epoch();
+  return id;
+}
+
+void QuerySession::invalidate() { bump_epoch(); }
+
+void QuerySession::bump_epoch() {
+  telemetry_.child("cache").counter(telemetry_keys::kCacheInvalidations) += 1;
+  partitions_.clear();
+  assignments_.clear();
+  lru_.clear();
+  mask_index_.clear();
+  failed_.clear();
+}
+
+Telemetry& QuerySession::layer_counters(std::string_view layer) {
+  return telemetry_.child("cache").child(layer);
+}
+
+std::uint64_t QuerySession::cache_hits() const {
+  std::uint64_t total = 0;
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    for (const auto& [name, layer] : cache->children()) {
+      total += layer.counter_or(telemetry_keys::kCacheHits);
+    }
+  }
+  return total;
+}
+
+std::uint64_t QuerySession::cache_misses() const {
+  std::uint64_t total = 0;
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    for (const auto& [name, layer] : cache->children()) {
+      total += layer.counter_or(telemetry_keys::kCacheMisses);
+    }
+  }
+  return total;
+}
+
+std::uint64_t QuerySession::cache_evictions() const {
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    if (const Telemetry* masks = cache->find_child("masks")) {
+      return masks->counter_or(telemetry_keys::kCacheEvictions);
+    }
+  }
+  return 0;
+}
+
+std::uint64_t QuerySession::cache_invalidations() const {
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    return cache->counter_or(telemetry_keys::kCacheInvalidations);
+  }
+  return 0;
+}
+
+bool QuerySession::cacheable(const FlowDemand& demand,
+                             const SolveOptions& options) const {
+  if (!cache_options_.enabled) return false;
+  if (options.method != Method::kAuto &&
+      options.method != Method::kBottleneck) {
+    return false;
+  }
+  if (options.method == Method::kAuto && options.use_reductions &&
+      demand.rate == 1) {
+    // The facade runs the series/parallel reduction preprocessing for
+    // undirected rate-1 demands, solving on a REWRITTEN network; those
+    // queries are delegated wholesale so session answers stay bitwise
+    // equal to facade answers.
+    bool undirected = true;
+    for (const Edge& e : net_.edges()) undirected &= !e.directed();
+    if (undirected) return false;
+  }
+  return true;
+}
+
+const QuerySession::PartitionEntry& QuerySession::partition_candidates(
+    const FlowDemand& demand, const SolveOptions& options,
+    const ExecContext* ctx) {
+  const PartitionKey key{demand.source, demand.sink};
+  const auto it = partitions_.find(key);
+  if (it != partitions_.end() &&
+      same_search_options(it->second.options_used, options.partition_search)) {
+    layer_counters("partitions").counter(telemetry_keys::kCacheHits) += 1;
+    return it->second;
+  }
+  layer_counters("partitions").counter(telemetry_keys::kCacheMisses) += 1;
+  PartitionEntry entry;
+  entry.options_used = options.partition_search;
+  entry.candidates = find_candidate_partitions(
+      net_, demand.source, demand.sink, options.partition_search, ctx);
+  return partitions_.insert_or_assign(key, std::move(entry)).first->second;
+}
+
+std::shared_ptr<const QuerySession::ArtifactEntry> QuerySession::artifact_entry(
+    const FlowDemand& demand, int candidate_index,
+    const PartitionChoice& choice, const SolveOptions& options,
+    const ExecContext* ctx, SolveStatus* stop) {
+  *stop = SolveStatus::kExact;
+  const ArtifactKey key{demand.source,
+                        demand.sink,
+                        candidate_index,
+                        demand.rate,
+                        options.bottleneck.assignments.mode,
+                        options.bottleneck.assignments.max_assignments};
+
+  const auto hit = mask_index_.find(key);
+  if (hit != mask_index_.end()) {
+    layer_counters("masks").counter(telemetry_keys::kCacheHits) += 1;
+    lru_.splice(lru_.begin(), lru_, hit->second);  // touch
+    return hit->second->second;
+  }
+  if (failed_.count(key) != 0) {
+    // Structural failures are deterministic per epoch: answer from the
+    // negative cache instead of re-running the doomed enumeration.
+    layer_counters("masks").counter(telemetry_keys::kCacheHits) += 1;
+    throw std::invalid_argument("candidate previously failed for this demand");
+  }
+  layer_counters("masks").counter(telemetry_keys::kCacheMisses) += 1;
+
+  auto entry = std::make_shared<ArtifactEntry>();
+  entry->choice = choice;
+  try {
+    // Layer 2: the assignment set survives mask-table evictions, so a
+    // rebuilt table skips the enumeration.
+    std::shared_ptr<const AssignmentSet> assignments;
+    const auto ait = assignments_.find(key);
+    if (ait != assignments_.end()) {
+      layer_counters("assignments").counter(telemetry_keys::kCacheHits) += 1;
+      assignments = ait->second;
+    } else {
+      layer_counters("assignments").counter(telemetry_keys::kCacheMisses) += 1;
+      assignments = std::make_shared<AssignmentSet>(enumerate_assignments(
+          net_, choice.partition, demand.rate, options.bottleneck.assignments));
+      assignments_.emplace(key, assignments);
+    }
+    entry->artifacts =
+        build_bottleneck_artifacts(net_, demand, choice.partition,
+                                   options.bottleneck, ctx, assignments.get());
+  } catch (const std::invalid_argument&) {
+    failed_.insert(key);
+    throw;
+  }
+  if (!entry->artifacts.usable()) {
+    *stop = entry->artifacts.status;
+    return nullptr;  // interrupted builds are never cached
+  }
+
+  lru_.emplace_front(key, std::move(entry));
+  mask_index_[key] = lru_.begin();
+  while (lru_.size() > std::max<std::size_t>(cache_options_.max_mask_tables,
+                                             1)) {
+    layer_counters("masks").counter(telemetry_keys::kCacheEvictions) += 1;
+    mask_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+QuerySession::PreparedQuery QuerySession::prepare_cached(
+    const FlowDemand& demand, const SolveOptions& options, ExecContext& ctx) {
+  PreparedQuery prepared;
+  if (!cacheable(demand, options)) return prepared;
+  net_.check_demand(demand);
+
+  const PartitionEntry* entry = nullptr;
+  try {
+    entry = &partition_candidates(demand, options, &ctx);
+  } catch (const ExecInterrupted& stop) {
+    prepared.bottleneck_path = true;
+    prepared.stop = stop.status;
+    return prepared;
+  }
+
+  // The BottleneckEngine candidate walk, byte for byte: best candidate
+  // first, worthwhile unless explicitly requested, assignment blow-ups
+  // move on to the next candidate.
+  for (std::size_t i = 0; i < entry->candidates.size(); ++i) {
+    const PartitionChoice& choice = entry->candidates[i];
+    const int max_side = std::max(choice.stats.edges_s, choice.stats.edges_t);
+    const bool worthwhile =
+        max_side + choice.stats.k < net_.num_edges() || !net_.fits_mask();
+    if (options.method != Method::kBottleneck && !worthwhile) break;
+    SolveStatus stop = SolveStatus::kExact;
+    std::shared_ptr<const ArtifactEntry> artifacts;
+    try {
+      artifacts = artifact_entry(demand, static_cast<int>(i), choice, options,
+                                 &ctx, &stop);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    prepared.bottleneck_path = true;
+    prepared.partition = choice;
+    if (!artifacts) {
+      prepared.stop = stop;
+    } else {
+      prepared.entry = std::move(artifacts);
+    }
+    return prepared;
+  }
+
+  if (options.method == Method::kBottleneck) {
+    throw std::invalid_argument(
+        "no usable bottleneck partition found for this network");
+  }
+  return prepared;  // kAuto: facade fallback runs the baseline chain
+}
+
+BottleneckProbabilities QuerySession::gather_probs(
+    const BottleneckPartition& partition, const BottleneckArtifacts& artifacts,
+    std::span<const ProbOverride> overrides) const {
+  BottleneckProbabilities probs =
+      gather_bottleneck_probabilities(net_, partition, artifacts);
+  for (const ProbOverride& o : overrides) {
+    if (!net_.valid_edge(o.edge)) {
+      throw std::invalid_argument("override edge out of range");
+    }
+    if (!(o.failure_prob >= 0.0) || !(o.failure_prob < 1.0)) {
+      throw std::invalid_argument("override probability not in [0,1)");
+    }
+    // Each edge lives in exactly one place: a side subgraph or the
+    // crossing set.
+    for (std::size_t j = 0; j < partition.crossing_edges.size(); ++j) {
+      if (partition.crossing_edges[j] == o.edge) {
+        probs.crossing[j] = o.failure_prob;
+      }
+    }
+    const auto place_side = [&](const SideProblem& side,
+                                std::vector<double>& out) {
+      const auto& to_sub = side.sub.edge_to_sub;
+      const auto idx = static_cast<std::size_t>(o.edge);
+      if (idx < to_sub.size() && to_sub[idx] != kInvalidEdge) {
+        out[static_cast<std::size_t>(to_sub[idx])] = o.failure_prob;
+      }
+    };
+    place_side(artifacts.side_s, probs.side_s);
+    place_side(artifacts.side_t, probs.side_t);
+  }
+  return probs;
+}
+
+void QuerySession::validate_overrides(
+    std::span<const ProbOverride> overrides) const {
+  for (const ProbOverride& o : overrides) {
+    if (!net_.valid_edge(o.edge)) {
+      throw std::invalid_argument("override edge out of range");
+    }
+    if (!(o.failure_prob >= 0.0) || !(o.failure_prob < 1.0)) {
+      throw std::invalid_argument("override probability not in [0,1)");
+    }
+  }
+}
+
+SolveReport QuerySession::finish_prepared(
+    const PreparedQuery& prepared, const SolveOptions& options,
+    std::span<const ProbOverride> overrides, const ExecContext* ctx) const {
+  SolveReport report;
+  report.method_used = Method::kBottleneck;
+  report.engine = "bottleneck";
+  report.partition = prepared.partition;
+  if (prepared.stop != SolveStatus::kExact) {
+    report.result.status = prepared.stop;
+    return report;
+  }
+  const BottleneckProbabilities probs = gather_probs(
+      prepared.partition->partition, prepared.entry->artifacts, overrides);
+  report.result =
+      accumulate_bottleneck(prepared.entry->artifacts, probs,
+                            options.bottleneck.accumulation, ctx);
+  return report;
+}
+
+ReliabilityBounds QuerySession::bounds_with_overrides(
+    const FlowDemand& demand, const BoundsOptions& options,
+    std::span<const ProbOverride> overrides) {
+  const OverrideGuard guard(net_, overrides);
+  return reliability_bounds(net_, demand, options);
+}
+
+SolveReport QuerySession::solve_fallback(const FlowDemand& demand,
+                                         const SolveOptions& options,
+                                         std::span<const ProbOverride> overrides,
+                                         ExecContext& ctx) {
+  const OverrideGuard guard(net_, overrides);
+  SolveOptions forwarded = options;
+  forwarded.context = &ctx;
+  return compute_reliability(net_, demand, forwarded);
+}
+
+SolveReport QuerySession::solve(const FlowDemand& demand,
+                                const SolveOptions& options) {
+  return solve(demand, options, {});
+}
+
+SolveReport QuerySession::solve(const FlowDemand& demand,
+                                const SolveOptions& options,
+                                std::span<const ProbOverride> overrides) {
+  validate_overrides(overrides);
+  ExecContext local;
+  ExecContext* ctx = options.context;
+  if (!ctx) {
+    if (options.deadline_ms > 0.0) local.set_deadline_ms(options.deadline_ms);
+    local.max_threads = options.max_threads;
+    ctx = &local;
+  }
+
+  telemetry_.counter(telemetry_keys::kQueries) += 1;
+  const ScopedTimer timer(telemetry_, "query_ms");
+
+  SolveReport report;
+  const PreparedQuery prepared = prepare_cached(demand, options, *ctx);
+  if (prepared.bottleneck_path) {
+    report = finish_prepared(prepared, options, overrides, ctx);
+    if (report.result.status != SolveStatus::kExact && !report.bounds) {
+      report.bounds = bounds_with_overrides(demand, options.bounds, overrides);
+    }
+    ctx->telemetry.merge(report.result.telemetry);
+  } else {
+    telemetry_.counter(telemetry_keys::kFallbackSolves) += 1;
+    report = solve_fallback(demand, options, overrides, *ctx);
+  }
+  telemetry_.child("solves").merge(report.result.telemetry);
+  return report;
+}
+
+}  // namespace streamrel

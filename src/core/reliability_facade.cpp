@@ -1,9 +1,9 @@
-#include "core/reliability_facade.hpp"
+#include "streamrel/core/reliability_facade.hpp"
 
 #include <stdexcept>
 
-#include "core/engine.hpp"
-#include "reliability/reductions.hpp"
+#include "streamrel/core/engine.hpp"
+#include "streamrel/reliability/reductions.hpp"
 
 namespace streamrel {
 
@@ -122,8 +122,16 @@ SolveReport dispatch(const FlowNetwork& net, const FlowDemand& demand,
 
 SolveReport compute_reliability(const FlowNetwork& net,
                                 const FlowDemand& demand,
-                                const SolveOptions& options, ExecContext& ctx) {
-  SolveReport report = dispatch(net, demand, options, ctx);
+                                const SolveOptions& options) {
+  ExecContext local;
+  ExecContext* ctx = options.context;
+  if (!ctx) {
+    if (options.deadline_ms > 0.0) local.set_deadline_ms(options.deadline_ms);
+    local.max_threads = options.max_threads;
+    ctx = &local;
+  }
+
+  SolveReport report = dispatch(net, demand, options, *ctx);
 
   // A deadline/budget stop leaves at best a partial accumulation; attach
   // the cheap polynomial envelope so the caller still gets a bracket.
@@ -131,17 +139,8 @@ SolveReport compute_reliability(const FlowNetwork& net,
     report.bounds = reliability_bounds(net, demand, options.bounds);
   }
 
-  ctx.telemetry.merge(report.result.telemetry);
+  ctx->telemetry.merge(report.result.telemetry);
   return report;
-}
-
-SolveReport compute_reliability(const FlowNetwork& net,
-                                const FlowDemand& demand,
-                                const SolveOptions& options) {
-  ExecContext ctx;
-  if (options.deadline_ms > 0.0) ctx.set_deadline_ms(options.deadline_ms);
-  ctx.max_threads = options.max_threads;
-  return compute_reliability(net, demand, options, ctx);
 }
 
 }  // namespace streamrel

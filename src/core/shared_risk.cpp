@@ -1,9 +1,9 @@
-#include "core/shared_risk.hpp"
+#include "streamrel/core/shared_risk.hpp"
 
 #include <stdexcept>
 
-#include "util/bitops.hpp"
-#include "util/stats.hpp"
+#include "streamrel/util/bitops.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

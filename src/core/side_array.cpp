@@ -1,4 +1,4 @@
-#include "core/side_array.hpp"
+#include "streamrel/core/side_array.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -9,10 +9,10 @@
 #include <omp.h>
 #endif
 
-#include "maxflow/config_residual.hpp"
-#include "maxflow/incremental_dinic.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 
@@ -698,8 +698,16 @@ class FlatBucketTable {
 
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array) {
-  const std::vector<double> probs = side.sub.net.failure_probs();
+  return bucket_side_array(side, array, side.sub.net.failure_probs());
+}
+
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const std::vector<Mask>& array,
+                                   std::span<const double> probs) {
   const int m = side.sub.net.num_edges();
+  if (probs.size() != static_cast<std::size_t>(m)) {
+    throw std::invalid_argument("one failure probability per side link");
+  }
 
   // Stream the configurations in Gray-code order: each step flips one
   // link, so the configuration probability updates by that link's

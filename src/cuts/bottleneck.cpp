@@ -1,9 +1,9 @@
-#include "cuts/bottleneck.hpp"
+#include "streamrel/cuts/bottleneck.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 
-#include "graph/graph_algos.hpp"
+#include "streamrel/graph/graph_algos.hpp"
 
 namespace streamrel {
 

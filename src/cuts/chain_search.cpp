@@ -1,4 +1,4 @@
-#include "cuts/chain_search.hpp"
+#include "streamrel/cuts/chain_search.hpp"
 
 #include <algorithm>
 #include <set>

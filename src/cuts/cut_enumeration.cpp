@@ -1,10 +1,10 @@
-#include "cuts/cut_enumeration.hpp"
+#include "streamrel/cuts/cut_enumeration.hpp"
 
 #include <stdexcept>
 
-#include "cuts/bottleneck.hpp"
-#include "maxflow/maxflow.hpp"
-#include "util/bitops.hpp"
+#include "streamrel/cuts/bottleneck.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/bitops.hpp"
 
 namespace streamrel {
 

@@ -1,9 +1,9 @@
-#include "cuts/partition_search.hpp"
+#include "streamrel/cuts/partition_search.hpp"
 
 #include <algorithm>
 
-#include "graph/graph_algos.hpp"
-#include "maxflow/maxflow.hpp"
+#include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
 
 namespace streamrel {
 

@@ -1,9 +1,9 @@
-#include "graph/dot_export.hpp"
+#include "streamrel/graph/dot_export.hpp"
 
 #include <algorithm>
 #include <sstream>
 
-#include "util/table.hpp"
+#include "streamrel/util/table.hpp"
 
 namespace streamrel {
 

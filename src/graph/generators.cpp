@@ -1,11 +1,11 @@
-#include "graph/generators.hpp"
+#include "streamrel/graph/generators.hpp"
 
 #include <algorithm>
 #include <set>
 #include <stdexcept>
 #include <utility>
 
-#include "graph/graph_algos.hpp"
+#include "streamrel/graph/graph_algos.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "graph/io.hpp"
+#include "streamrel/graph/io.hpp"
 
 #include <fstream>
 #include <sstream>

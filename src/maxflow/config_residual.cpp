@@ -1,4 +1,4 @@
-#include "maxflow/config_residual.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
 
 #include <stdexcept>
 

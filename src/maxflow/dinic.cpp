@@ -1,4 +1,4 @@
-#include "maxflow/dinic.hpp"
+#include "streamrel/maxflow/dinic.hpp"
 
 #include <limits>
 

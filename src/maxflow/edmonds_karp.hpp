@@ -3,7 +3,7 @@
 // simple, independently-verifiable reference implementation that the
 // property tests compare against Dinic and push–relabel.
 
-#include "maxflow/maxflow.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
 
 namespace streamrel {
 

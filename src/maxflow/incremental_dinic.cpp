@@ -1,4 +1,4 @@
-#include "maxflow/incremental_dinic.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
 
 #include <stdexcept>
 

@@ -1,8 +1,8 @@
-#include "maxflow/maxflow.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
 
 #include <stdexcept>
 
-#include "maxflow/dinic.hpp"
+#include "streamrel/maxflow/dinic.hpp"
 #include "maxflow/edmonds_karp.hpp"
 #include "maxflow/push_relabel.hpp"
 

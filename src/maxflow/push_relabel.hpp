@@ -7,7 +7,7 @@
 // Note: push–relabel computes the full maximum; the `limit` argument only
 // caps the *reported* value, it does not terminate the algorithm early.
 
-#include "maxflow/maxflow.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "maxflow/residual_graph.hpp"
+#include "streamrel/maxflow/residual_graph.hpp"
 
 #include <stdexcept>
 

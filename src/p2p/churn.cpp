@@ -1,4 +1,4 @@
-#include "p2p/churn.hpp"
+#include "streamrel/p2p/churn.hpp"
 
 #include <cmath>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "p2p/mesh_builder.hpp"
+#include "streamrel/p2p/mesh_builder.hpp"
 
 #include <set>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "p2p/optimizer.hpp"
+#include "streamrel/p2p/optimizer.hpp"
 
 #include <set>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "p2p/overlay.hpp"
+#include "streamrel/p2p/overlay.hpp"
 
 #include <sstream>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "p2p/scenario.hpp"
+#include "streamrel/p2p/scenario.hpp"
 
 namespace streamrel {
 

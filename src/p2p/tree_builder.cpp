@@ -1,4 +1,4 @@
-#include "p2p/tree_builder.hpp"
+#include "streamrel/p2p/tree_builder.hpp"
 
 #include <stdexcept>
 

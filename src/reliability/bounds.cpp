@@ -1,12 +1,12 @@
-#include "reliability/bounds.hpp"
+#include "streamrel/reliability/bounds.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 
-#include "cuts/cut_enumeration.hpp"
-#include "maxflow/config_residual.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/cuts/cut_enumeration.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

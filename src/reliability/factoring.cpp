@@ -1,9 +1,9 @@
-#include "reliability/factoring.hpp"
+#include "streamrel/reliability/factoring.hpp"
 
 #include <stdexcept>
 #include <vector>
 
-#include "maxflow/config_residual.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
 
 namespace streamrel {
 

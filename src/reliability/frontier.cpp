@@ -1,4 +1,4 @@
-#include "reliability/frontier.hpp"
+#include "streamrel/reliability/frontier.hpp"
 
 #include <algorithm>
 #include <array>
@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/stats.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

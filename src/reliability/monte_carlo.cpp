@@ -1,10 +1,10 @@
-#include "reliability/monte_carlo.hpp"
+#include "streamrel/reliability/monte_carlo.hpp"
 
 #include <stdexcept>
 #include <vector>
 
-#include "maxflow/config_residual.hpp"
-#include "util/prng.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 

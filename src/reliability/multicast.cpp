@@ -1,11 +1,11 @@
-#include "reliability/multicast.hpp"
+#include "streamrel/reliability/multicast.hpp"
 
 #include <stdexcept>
 
-#include "maxflow/config_residual.hpp"
-#include "util/config_prob.hpp"
-#include "util/prng.hpp"
-#include "util/stats.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "reliability/naive.hpp"
+#include "streamrel/reliability/naive.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -8,10 +8,10 @@
 #include <omp.h>
 #endif
 
-#include "maxflow/config_residual.hpp"
-#include "maxflow/incremental_dinic.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "reliability/node_failures.hpp"
+#include "streamrel/reliability/node_failures.hpp"
 
 #include <stdexcept>
 

@@ -1,10 +1,10 @@
-#include "reliability/polynomial.hpp"
+#include "streamrel/reliability/polynomial.hpp"
 
 #include <cmath>
 #include <stdexcept>
 
-#include "maxflow/config_residual.hpp"
-#include "util/stats.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "reliability/reductions.hpp"
+#include "streamrel/reliability/reductions.hpp"
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,10 +1,10 @@
-#include "reliability/throughput.hpp"
+#include "streamrel/reliability/throughput.hpp"
 
 #include <stdexcept>
 
-#include "maxflow/config_residual.hpp"
-#include "util/config_prob.hpp"
-#include "util/stats.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 

@@ -1,11 +1,11 @@
-#include "sim/availability_sim.hpp"
+#include "streamrel/sim/availability_sim.hpp"
 
 #include <cmath>
 #include <queue>
 #include <stdexcept>
 
-#include "maxflow/incremental_dinic.hpp"
-#include "util/prng.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 

@@ -1,4 +1,4 @@
-#include "sim/link_dynamics.hpp"
+#include "streamrel/sim/link_dynamics.hpp"
 
 namespace streamrel {
 

@@ -1,50 +1,11 @@
 #pragma once
-// StreamRel — reliability calculation of P2P streaming systems with
-// bottleneck links (reproduction of Fujita, IPDPSW 2017).
-//
-// Umbrella header: pulls in the whole public API. Individual headers can
-// be included selectively; see README.md for the architecture map.
+// DEPRECATED shim — the public surface moved to <streamrel/streamrel.hpp>
+// (the installed header tree under include/streamrel/). This file exists
+// only so pre-API-v3 client code keeps compiling; it will be removed.
 
-#include "core/accumulate.hpp"          // IWYU pragma: export
-#include "core/assignments.hpp"         // IWYU pragma: export
-#include "core/bottleneck_algorithm.hpp"// IWYU pragma: export
-#include "core/chain.hpp"               // IWYU pragma: export
-#include "core/engine.hpp"              // IWYU pragma: export
-#include "core/hybrid_mc.hpp"           // IWYU pragma: export
-#include "core/importance.hpp"          // IWYU pragma: export
-#include "core/polynomial_decomposition.hpp" // IWYU pragma: export
-#include "core/shared_risk.hpp"         // IWYU pragma: export
-#include "core/reliability_facade.hpp"  // IWYU pragma: export
-#include "core/side_array.hpp"          // IWYU pragma: export
-#include "cuts/bottleneck.hpp"          // IWYU pragma: export
-#include "cuts/chain_search.hpp"        // IWYU pragma: export
-#include "cuts/cut_enumeration.hpp"     // IWYU pragma: export
-#include "cuts/partition_search.hpp"    // IWYU pragma: export
-#include "graph/dot_export.hpp"         // IWYU pragma: export
-#include "graph/flow_network.hpp"       // IWYU pragma: export
-#include "graph/generators.hpp"         // IWYU pragma: export
-#include "graph/graph_algos.hpp"        // IWYU pragma: export
-#include "graph/io.hpp"                 // IWYU pragma: export
-#include "graph/subgraph.hpp"           // IWYU pragma: export
-#include "maxflow/incremental_dinic.hpp"// IWYU pragma: export
-#include "maxflow/maxflow.hpp"          // IWYU pragma: export
-#include "p2p/churn.hpp"                // IWYU pragma: export
-#include "p2p/mesh_builder.hpp"         // IWYU pragma: export
-#include "p2p/optimizer.hpp"            // IWYU pragma: export
-#include "p2p/overlay.hpp"              // IWYU pragma: export
-#include "p2p/scenario.hpp"             // IWYU pragma: export
-#include "p2p/tree_builder.hpp"         // IWYU pragma: export
-#include "reliability/bounds.hpp"       // IWYU pragma: export
-#include "reliability/factoring.hpp"    // IWYU pragma: export
-#include "reliability/frontier.hpp"     // IWYU pragma: export
-#include "reliability/monte_carlo.hpp"  // IWYU pragma: export
-#include "reliability/multicast.hpp"    // IWYU pragma: export
-#include "reliability/naive.hpp"        // IWYU pragma: export
-#include "reliability/node_failures.hpp"// IWYU pragma: export
-#include "reliability/polynomial.hpp"   // IWYU pragma: export
-#include "reliability/reductions.hpp"   // IWYU pragma: export
-#include "reliability/throughput.hpp"   // IWYU pragma: export
-#include "sim/availability_sim.hpp"     // IWYU pragma: export
-#include "sim/link_dynamics.hpp"        // IWYU pragma: export
-#include "util/exec_context.hpp"        // IWYU pragma: export
-#include "util/telemetry.hpp"           // IWYU pragma: export
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC warning \
+    "src/streamrel.hpp is deprecated; include <streamrel/streamrel.hpp>"
+#endif
+
+#include "streamrel/streamrel.hpp"  // IWYU pragma: export

@@ -1,4 +1,4 @@
-#include "util/cli.hpp"
+#include "streamrel/util/cli.hpp"
 
 #include <stdexcept>
 

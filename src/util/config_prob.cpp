@@ -1,4 +1,4 @@
-#include "util/config_prob.hpp"
+#include "streamrel/util/config_prob.hpp"
 
 #include <cassert>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "util/exec_context.hpp"
+#include "streamrel/util/exec_context.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>

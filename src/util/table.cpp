@@ -1,4 +1,4 @@
-#include "util/table.hpp"
+#include "streamrel/util/table.hpp"
 
 #include <algorithm>
 #include <cctype>

@@ -1,4 +1,4 @@
-#include "util/telemetry.hpp"
+#include "streamrel/util/telemetry.hpp"
 
 #include <chrono>
 #include <cstdio>

@@ -1,10 +1,10 @@
-#include "core/accumulate.hpp"
+#include "streamrel/core/accumulate.hpp"
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

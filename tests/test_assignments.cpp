@@ -1,8 +1,8 @@
-#include "core/assignments.hpp"
+#include "streamrel/core/assignments.hpp"
 
 #include <gtest/gtest.h>
 
-#include "p2p/scenario.hpp"
+#include "streamrel/p2p/scenario.hpp"
 
 namespace streamrel {
 namespace {

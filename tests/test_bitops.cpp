@@ -1,4 +1,4 @@
-#include "util/bitops.hpp"
+#include "streamrel/util/bitops.hpp"
 
 #include <gtest/gtest.h>
 

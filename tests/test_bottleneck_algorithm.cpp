@@ -1,13 +1,13 @@
-#include "core/bottleneck_algorithm.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/factoring.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/factoring.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,12 +1,12 @@
-#include "reliability/bounds.hpp"
+#include "streamrel/reliability/bounds.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,13 +1,13 @@
-#include "core/chain.hpp"
+#include "streamrel/core/chain.hpp"
 
 #include <gtest/gtest.h>
 
-#include "core/bottleneck_algorithm.hpp"
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,11 +1,11 @@
-#include "cuts/chain_search.hpp"
+#include "streamrel/cuts/chain_search.hpp"
 
 #include <gtest/gtest.h>
 
-#include "core/chain.hpp"
-#include "graph/generators.hpp"
-#include "reliability/naive.hpp"
-#include "util/prng.hpp"
+#include "streamrel/core/chain.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,12 +1,12 @@
-#include "util/config_prob.hpp"
+#include "streamrel/util/config_prob.hpp"
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 #include <vector>
 
-#include "util/prng.hpp"
-#include "util/stats.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/stats.hpp"
 
 namespace streamrel {
 namespace {

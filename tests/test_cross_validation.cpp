@@ -5,18 +5,18 @@
 
 #include <gtest/gtest.h>
 
-#include "core/reliability_facade.hpp"
-#include "graph/generators.hpp"
-#include "p2p/mesh_builder.hpp"
-#include "p2p/scenario.hpp"
-#include "p2p/tree_builder.hpp"
-#include "reliability/bounds.hpp"
-#include "reliability/frontier.hpp"
-#include "reliability/monte_carlo.hpp"
-#include "reliability/reductions.hpp"
-#include "reliability/throughput.hpp"
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/mesh_builder.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/p2p/tree_builder.hpp"
+#include "streamrel/reliability/bounds.hpp"
+#include "streamrel/reliability/frontier.hpp"
+#include "streamrel/reliability/monte_carlo.hpp"
+#include "streamrel/reliability/reductions.hpp"
+#include "streamrel/reliability/throughput.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 
-#include "cuts/bottleneck.hpp"
-#include "cuts/cut_enumeration.hpp"
-#include "cuts/partition_search.hpp"
-#include "graph/generators.hpp"
-#include "graph/graph_algos.hpp"
-#include "p2p/scenario.hpp"
-#include "util/prng.hpp"
+#include "streamrel/cuts/bottleneck.hpp"
+#include "streamrel/cuts/cut_enumeration.hpp"
+#include "streamrel/cuts/partition_search.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,8 +1,8 @@
-#include "graph/dot_export.hpp"
+#include "streamrel/graph/dot_export.hpp"
 
 #include <gtest/gtest.h>
 
-#include "p2p/scenario.hpp"
+#include "streamrel/p2p/scenario.hpp"
 
 namespace streamrel {
 namespace {

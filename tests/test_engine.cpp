@@ -1,16 +1,16 @@
-#include "core/engine.hpp"
+#include "streamrel/core/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/frontier.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/frontier.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
-#include "util/stopwatch.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/stopwatch.hpp"
 
 namespace streamrel {
 namespace {

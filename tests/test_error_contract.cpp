@@ -1,0 +1,131 @@
+// The API-wide error contract: deadline, budget and cancellation stops
+// NEVER throw out of a public entry point — they surface as SolveStatus
+// values (with bounds attached at the facade/session layer). Every
+// registered engine is exercised under an already-expired deadline and a
+// pre-cancelled context; the facade, QuerySession and BatchEvaluator are
+// checked on top.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "streamrel/core/batch_evaluator.hpp"
+#include "streamrel/core/engine.hpp"
+#include "streamrel/core/query_session.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+/// Rate-1-capable undirected clustered instance: applicable() holds for
+/// every built-in engine, so each one actually runs under the stop.
+GeneratedNetwork contract_instance() {
+  Xoshiro256 rng(11);
+  ClusteredParams params;
+  params.nodes_s = 6;
+  params.extra_edges_s = 4;
+  params.nodes_t = 6;
+  params.extra_edges_t = 4;
+  params.bottleneck_links = 2;
+  return clustered_bottleneck(rng, params);
+}
+
+TEST(ErrorContract, NoEngineThrowsUnderExpiredDeadline) {
+  const GeneratedNetwork g = contract_instance();
+  const FlowDemand demand{g.source, g.sink, 1};
+
+  for (const Engine* engine : EngineRegistry::instance().engines()) {
+    if (!engine->applicable(g.net, demand)) continue;
+    ExecContext ctx = ExecContext::with_deadline_ms(0.0);  // already expired
+    SolveOptions options;
+    options.method = engine->method();
+    SolveReport report;
+    EXPECT_NO_THROW(report = engine->solve(g.net, demand, options, &ctx))
+        << engine->name();
+    EXPECT_NE(report.result.status, SolveStatus::kExact) << engine->name();
+  }
+}
+
+TEST(ErrorContract, NoEngineThrowsUnderCancelledContext) {
+  const GeneratedNetwork g = contract_instance();
+  const FlowDemand demand{g.source, g.sink, 1};
+
+  for (const Engine* engine : EngineRegistry::instance().engines()) {
+    if (!engine->applicable(g.net, demand)) continue;
+    ExecContext ctx;
+    ctx.request_cancel();
+    SolveOptions options;
+    options.method = engine->method();
+    SolveReport report;
+    EXPECT_NO_THROW(report = engine->solve(g.net, demand, options, &ctx))
+        << engine->name();
+    EXPECT_EQ(report.result.status, SolveStatus::kCancelled) << engine->name();
+  }
+}
+
+TEST(ErrorContract, FacadeUnderOneMillisecondDeadlineDegradesToBounds) {
+  const GeneratedNetwork g = contract_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  ExecContext ctx = ExecContext::with_deadline_ms(0.0);
+  SolveOptions options;
+  options.context = &ctx;
+  SolveReport report;
+  EXPECT_NO_THROW(report = compute_reliability(g.net, demand, options));
+  EXPECT_NE(report.result.status, SolveStatus::kExact);
+  ASSERT_TRUE(report.bounds.has_value());
+  EXPECT_LE(report.bounds->lower, report.bounds->upper);
+}
+
+TEST(ErrorContract, QuerySessionNeverThrowsOnStops) {
+  const GeneratedNetwork g = contract_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+  QuerySession session(g.net);
+
+  ExecContext expired = ExecContext::with_deadline_ms(0.0);
+  SolveOptions options;
+  options.context = &expired;
+  SolveReport report;
+  EXPECT_NO_THROW(report = session.solve(demand, options));
+  EXPECT_NE(report.result.status, SolveStatus::kExact);
+  ASSERT_TRUE(report.bounds.has_value());
+
+  ExecContext cancelled;
+  cancelled.request_cancel();
+  options.context = &cancelled;
+  EXPECT_NO_THROW(report = session.solve(demand, options));
+  EXPECT_EQ(report.result.status, SolveStatus::kCancelled);
+}
+
+TEST(ErrorContract, BatchEvaluatorNeverThrowsOnStops) {
+  const GeneratedNetwork g = contract_instance();
+  std::vector<WhatIfQuery> queries(3);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i].demand = {g.source, g.sink, 2};
+    queries[i].deadline_ms = i == 1 ? 0.0001 : 0.0;  // one per-query stop
+  }
+
+  QuerySession session(g.net);
+  BatchReport batch;
+  EXPECT_NO_THROW(batch = BatchEvaluator(session).evaluate(queries));
+  ASSERT_EQ(batch.reports.size(), queries.size());
+  EXPECT_NE(batch.reports[1].result.status, SolveStatus::kExact);
+  ASSERT_TRUE(batch.reports[1].bounds.has_value());
+  // The stopped query did not poison its neighbours.
+  EXPECT_EQ(batch.reports[0].result.status, SolveStatus::kExact);
+  EXPECT_EQ(batch.reports[2].result.status, SolveStatus::kExact);
+}
+
+TEST(ErrorContract, UsageErrorsStillThrow) {
+  const GeneratedNetwork g = contract_instance();
+  // Bad demand throws std::invalid_argument — that half of the contract
+  // is unchanged.
+  EXPECT_THROW(compute_reliability(g.net, {g.source, g.source, 1}),
+               std::invalid_argument);
+  QuerySession session(g.net);
+  EXPECT_THROW(session.solve({g.source, g.source, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamrel

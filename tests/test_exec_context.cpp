@@ -1,14 +1,14 @@
-#include "util/exec_context.hpp"
+#include "streamrel/util/exec_context.hpp"
 
 #include <gtest/gtest.h>
 
 #include <string>
 
-#include "core/reliability_facade.hpp"
-#include "graph/generators.hpp"
-#include "reliability/factoring.hpp"
-#include "util/prng.hpp"
-#include "util/telemetry.hpp"
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/factoring.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/telemetry.hpp"
 
 namespace streamrel {
 namespace {
@@ -140,8 +140,9 @@ TEST(ExecContext, PreCancelledContextStopsASolveBeforeItStarts) {
   options.method = Method::kNaive;
   ExecContext ctx;
   ctx.request_cancel();
+  options.context = &ctx;
   const SolveReport report =
-      compute_reliability(g.net, {g.source, g.sink, 1}, options, ctx);
+      compute_reliability(g.net, {g.source, g.sink, 1}, options);
   EXPECT_EQ(report.result.status, SolveStatus::kCancelled);
   EXPECT_FALSE(report.exact());
   ASSERT_TRUE(report.bounds.has_value());
@@ -154,11 +155,12 @@ TEST(ExecContext, CallerContextCollectsTelemetryAcrossSolves) {
   SolveOptions options;
   options.method = Method::kFactoring;
   ExecContext ctx;
-  compute_reliability(g.net, {g.source, g.sink, 1}, options, ctx);
+  options.context = &ctx;
+  compute_reliability(g.net, {g.source, g.sink, 1}, options);
   const std::uint64_t after_one =
       ctx.telemetry.counter_or(telemetry_keys::kConfigurations);
   EXPECT_GT(after_one, 0u);
-  compute_reliability(g.net, {g.source, g.sink, 1}, options, ctx);
+  compute_reliability(g.net, {g.source, g.sink, 1}, options);
   EXPECT_EQ(ctx.telemetry.counter_or(telemetry_keys::kConfigurations),
             2 * after_one);
 }

@@ -1,4 +1,4 @@
-#include "graph/flow_network.hpp"
+#include "streamrel/graph/flow_network.hpp"
 
 #include <gtest/gtest.h>
 

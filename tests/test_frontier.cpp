@@ -1,14 +1,14 @@
-#include "reliability/frontier.hpp"
+#include "streamrel/reliability/frontier.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "graph/generators.hpp"
-#include "reliability/factoring.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/factoring.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

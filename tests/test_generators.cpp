@@ -1,8 +1,8 @@
-#include "graph/generators.hpp"
+#include "streamrel/graph/generators.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/graph_algos.hpp"
+#include "streamrel/graph/graph_algos.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,4 +1,4 @@
-#include "graph/graph_algos.hpp"
+#include "streamrel/graph/graph_algos.hpp"
 
 #include <gtest/gtest.h>
 

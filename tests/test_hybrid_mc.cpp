@@ -1,13 +1,13 @@
-#include "core/hybrid_mc.hpp"
+#include "streamrel/core/hybrid_mc.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

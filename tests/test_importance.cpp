@@ -1,10 +1,10 @@
-#include "core/importance.hpp"
+#include "streamrel/core/importance.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
 
 namespace streamrel {

@@ -1,10 +1,10 @@
-#include "maxflow/incremental_dinic.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "maxflow/maxflow.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

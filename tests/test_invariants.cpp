@@ -6,11 +6,11 @@
 
 #include <gtest/gtest.h>
 
-#include "core/reliability_facade.hpp"
-#include "graph/generators.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,12 +1,12 @@
-#include "graph/io.hpp"
+#include "streamrel/graph/io.hpp"
 
 #include <gtest/gtest.h>
 
 #include <fstream>
 
-#include "graph/generators.hpp"
-#include "reliability/naive.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,13 +1,13 @@
-#include "maxflow/maxflow.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
-#include "graph/generators.hpp"
-#include "maxflow/config_residual.hpp"
-#include "maxflow/dinic.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/maxflow/dinic.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

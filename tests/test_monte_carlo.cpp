@@ -1,11 +1,11 @@
-#include "reliability/monte_carlo.hpp"
+#include "streamrel/reliability/monte_carlo.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

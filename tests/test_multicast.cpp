@@ -1,12 +1,12 @@
-#include "reliability/multicast.hpp"
+#include "streamrel/reliability/multicast.hpp"
 
 #include <gtest/gtest.h>
 
-#include "p2p/overlay.hpp"
-#include "p2p/tree_builder.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/p2p/overlay.hpp"
+#include "streamrel/p2p/tree_builder.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,4 +1,4 @@
-#include "reliability/naive.hpp"
+#include "streamrel/reliability/naive.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,9 +6,9 @@
 #include <omp.h>
 #endif
 
-#include "graph/generators.hpp"
+#include "streamrel/graph/generators.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,12 +1,12 @@
-#include "reliability/node_failures.hpp"
+#include "streamrel/reliability/node_failures.hpp"
 
 #include <gtest/gtest.h>
 
-#include "maxflow/maxflow.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/config_prob.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

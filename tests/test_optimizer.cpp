@@ -1,9 +1,9 @@
-#include "p2p/optimizer.hpp"
+#include "streamrel/p2p/optimizer.hpp"
 
 #include <gtest/gtest.h>
 
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
 
 namespace streamrel {

@@ -2,17 +2,17 @@
 
 #include <cmath>
 
-#include "core/reliability_facade.hpp"
-#include "graph/graph_algos.hpp"
-#include "maxflow/maxflow.hpp"
-#include "p2p/churn.hpp"
-#include "p2p/mesh_builder.hpp"
-#include "p2p/overlay.hpp"
-#include "p2p/scenario.hpp"
-#include "p2p/tree_builder.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/core/reliability_facade.hpp"
+#include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/p2p/churn.hpp"
+#include "streamrel/p2p/mesh_builder.hpp"
+#include "streamrel/p2p/overlay.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/p2p/tree_builder.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -4,16 +4,16 @@
 
 #include <gtest/gtest.h>
 
-#include "core/accumulate.hpp"
-#include "core/assignments.hpp"
-#include "core/bottleneck_algorithm.hpp"
-#include "core/side_array.hpp"
-#include "graph/graph_algos.hpp"
-#include "maxflow/dinic.hpp"
-#include "maxflow/maxflow.hpp"
-#include "maxflow/residual_graph.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/core/accumulate.hpp"
+#include "streamrel/core/assignments.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/core/side_array.hpp"
+#include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/maxflow/dinic.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/maxflow/residual_graph.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
 
 namespace streamrel {

@@ -1,11 +1,11 @@
-#include "core/polynomial_decomposition.hpp"
+#include "streamrel/core/polynomial_decomposition.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,0 +1,183 @@
+#include "streamrel/core/query_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+/// Clustered instance with a genuine bottleneck, big enough that the
+/// kAuto chain picks the decomposition but small enough for fast tests.
+GeneratedNetwork test_instance(std::uint64_t seed = 5) {
+  Xoshiro256 rng(seed);
+  ClusteredParams params;
+  params.nodes_s = 5;
+  params.extra_edges_s = 3;
+  params.nodes_t = 4;
+  params.extra_edges_t = 2;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {1, 3};
+  return clustered_bottleneck(rng, params);
+}
+
+TEST(QuerySession, WarmAnswersAreBitwiseEqualToCold) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  const SolveReport cold = session.solve(demand);
+  EXPECT_EQ(session.cache_hits(), 0u);
+  EXPECT_GT(session.cache_misses(), 0u);
+
+  const SolveReport warm = session.solve(demand);
+  EXPECT_GT(session.cache_hits(), 0u);
+  // Bitwise, not approximate: the warm path reuses the cold arithmetic.
+  EXPECT_EQ(warm.result.reliability, cold.result.reliability);
+  EXPECT_EQ(warm.result.status, SolveStatus::kExact);
+}
+
+TEST(QuerySession, MatchesFacadeAnswerExactly) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  const SolveReport facade = compute_reliability(g.net, demand);
+  const SolveReport served = session.solve(demand);
+  EXPECT_EQ(served.result.reliability, facade.result.reliability);
+  EXPECT_EQ(served.method_used, facade.method_used);
+}
+
+TEST(QuerySession, OverridesMatchEditedNetworkSolve) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+  const std::vector<ProbOverride> overrides{{0, 0.33}, {3, 0.05}};
+
+  QuerySession session(g.net);
+  session.solve(demand);  // warm the caches
+  const SolveReport what_if = session.solve(demand, {}, overrides);
+
+  FlowNetwork edited = g.net;
+  for (const ProbOverride& o : overrides) {
+    edited.set_failure_prob(o.edge, o.failure_prob);
+  }
+  const SolveReport facade = compute_reliability(edited, demand);
+  EXPECT_EQ(what_if.result.reliability, facade.result.reliability);
+
+  // The what-if left the session network untouched.
+  EXPECT_EQ(session.network().edge(0).failure_prob, g.net.edge(0).failure_prob);
+  const SolveReport base_again = session.solve(demand);
+  EXPECT_EQ(base_again.result.reliability,
+            compute_reliability(g.net, demand).result.reliability);
+}
+
+TEST(QuerySession, ProbabilityEditKeepsCaches) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+  const std::uint64_t misses_after_cold = session.cache_misses();
+
+  session.set_failure_prob(0, 0.42);
+  const SolveReport served = session.solve(demand);
+  EXPECT_EQ(session.cache_misses(), misses_after_cold);  // no rebuild
+  EXPECT_GT(session.cache_hits(), 0u);
+  EXPECT_EQ(session.cache_invalidations(), 0u);
+
+  FlowNetwork edited = g.net;
+  edited.set_failure_prob(0, 0.42);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, CapacityEditInvalidatesAndRecomputes) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+  const std::uint64_t misses_after_cold = session.cache_misses();
+
+  // Raising a bottleneck-link capacity changes the assignment set, so a
+  // stale mask table would silently produce a wrong answer.
+  EdgeId edge = 0;
+  for (EdgeId e = 0; e < g.net.num_edges(); ++e) {
+    const Edge& link = g.net.edge(e);
+    if (g.side_s[static_cast<std::size_t>(link.u)] !=
+        g.side_s[static_cast<std::size_t>(link.v)]) {
+      edge = e;
+      break;
+    }
+  }
+  session.set_capacity(edge, session.network().edge(edge).capacity + 1);
+  EXPECT_EQ(session.cache_invalidations(), 1u);
+
+  const SolveReport served = session.solve(demand);
+  EXPECT_GT(session.cache_misses(), misses_after_cold);  // rebuilt
+
+  FlowNetwork edited = g.net;
+  edited.set_capacity(edge, edited.edge(edge).capacity + 1);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, LruEvictsUnderTinyBound) {
+  const GeneratedNetwork g = test_instance();
+
+  QueryCacheOptions cache;
+  cache.max_mask_tables = 1;
+  QuerySession session(g.net, cache);
+
+  // Two distinct demands -> two mask tables; bound 1 forces an eviction.
+  // (Rates 2 and 3: rate-1 undirected queries are reduction-eligible and
+  // bypass the caches.)
+  session.solve({g.source, g.sink, 2});
+  session.solve({g.source, g.sink, 3});
+  EXPECT_GE(session.cache_evictions(), 1u);
+
+  // The evicted demand still answers correctly (rebuild, not corruption).
+  const SolveReport again = session.solve({g.source, g.sink, 2});
+  EXPECT_EQ(again.result.reliability,
+            compute_reliability(g.net, {g.source, g.sink, 2})
+                .result.reliability);
+}
+
+TEST(QuerySession, InvalidOverridesThrow) {
+  const GeneratedNetwork g = test_instance();
+  QuerySession session(g.net);
+  const FlowDemand demand{g.source, g.sink, 1};
+  const std::vector<ProbOverride> bad_edge{{g.net.num_edges(), 0.1}};
+  EXPECT_THROW(session.solve(demand, {}, bad_edge), std::invalid_argument);
+  const std::vector<ProbOverride> bad_prob{{0, 1.5}};
+  EXPECT_THROW(session.solve(demand, {}, bad_prob), std::invalid_argument);
+}
+
+TEST(QuerySession, DisabledCacheStillAnswersCorrectly) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QueryCacheOptions cache;
+  cache.enabled = false;
+  QuerySession session(g.net, cache);
+  const SolveReport a = session.solve(demand);
+  const SolveReport b = session.solve(demand);
+  EXPECT_EQ(session.cache_hits(), 0u);
+  EXPECT_EQ(a.result.reliability, b.result.reliability);
+  EXPECT_EQ(a.result.reliability,
+            compute_reliability(g.net, demand).result.reliability);
+}
+
+TEST(QuerySession, TelemetryCountsQueries) {
+  const GeneratedNetwork g = test_instance();
+  QuerySession session(g.net);
+  session.solve({g.source, g.sink, 1});
+  session.solve({g.source, g.sink, 1});
+  EXPECT_EQ(session.telemetry().counter_or(telemetry_keys::kQueries), 2u);
+}
+
+}  // namespace
+}  // namespace streamrel

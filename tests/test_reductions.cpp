@@ -1,13 +1,13 @@
-#include "reliability/reductions.hpp"
+#include "streamrel/reliability/reductions.hpp"
 
 #include <gtest/gtest.h>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/frontier.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/frontier.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,11 +1,11 @@
-#include "core/shared_risk.hpp"
+#include "streamrel/core/shared_risk.hpp"
 
 #include <gtest/gtest.h>
 
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,12 +1,12 @@
-#include "core/side_array.hpp"
+#include "streamrel/core/side_array.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

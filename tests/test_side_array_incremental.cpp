@@ -4,18 +4,18 @@
 // and without monotone pruning — while issuing strictly fewer solver
 // calls on non-trivial arrays.
 
-#include "core/side_array.hpp"
+#include "streamrel/core/side_array.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <unordered_map>
 
-#include "graph/generators.hpp"
-#include "maxflow/incremental_dinic.hpp"
-#include "maxflow/maxflow.hpp"
-#include "util/config_prob.hpp"
-#include "util/prng.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/maxflow/incremental_dinic.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/config_prob.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -2,13 +2,13 @@
 
 #include <cmath>
 
-#include "graph/generators.hpp"
-#include "p2p/scenario.hpp"
-#include "reliability/naive.hpp"
-#include "sim/availability_sim.hpp"
-#include "sim/link_dynamics.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/reliability/naive.hpp"
+#include "streamrel/sim/availability_sim.hpp"
+#include "streamrel/sim/link_dynamics.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

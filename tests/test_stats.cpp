@@ -1,4 +1,4 @@
-#include "util/stats.hpp"
+#include "streamrel/util/stats.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,4 @@
-#include "graph/subgraph.hpp"
+#include "streamrel/graph/subgraph.hpp"
 
 #include <gtest/gtest.h>
 

@@ -6,9 +6,9 @@
 #include <cmath>
 #include <vector>
 
-#include "graph/flow_network.hpp"
-#include "maxflow/maxflow.hpp"
-#include "util/config_prob.hpp"
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/config_prob.hpp"
 
 namespace streamrel::testing {
 

@@ -3,8 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/table.hpp"
 
 namespace streamrel {
 namespace {

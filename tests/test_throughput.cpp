@@ -1,15 +1,15 @@
-#include "reliability/throughput.hpp"
+#include "streamrel/reliability/throughput.hpp"
 
 #include <gtest/gtest.h>
 
-#include "core/bottleneck_algorithm.hpp"
-#include "graph/generators.hpp"
-#include "p2p/overlay.hpp"
-#include "p2p/scenario.hpp"
-#include "p2p/tree_builder.hpp"
-#include "reliability/naive.hpp"
+#include "streamrel/core/bottleneck_algorithm.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/p2p/overlay.hpp"
+#include "streamrel/p2p/scenario.hpp"
+#include "streamrel/p2p/tree_builder.hpp"
+#include "streamrel/reliability/naive.hpp"
 #include "test_support.hpp"
-#include "util/prng.hpp"
+#include "streamrel/util/prng.hpp"
 
 namespace streamrel {
 namespace {

@@ -1,0 +1,17 @@
+// Compiled with -I include ONLY (see src/CMakeLists.txt): proves the
+// installed public surface is self-contained — no public header may
+// include an src/-internal header, or this TU fails to compile.
+
+#include <streamrel/streamrel.hpp>
+
+static_assert(STREAMREL_API_VERSION >= 3, "stale public surface");
+
+namespace {
+
+// Touch the load-bearing entry points so the umbrella cannot degrade
+// into a header that parses but declares nothing.
+[[maybe_unused]] streamrel::SolveReport (*const kSolve)(
+    const streamrel::FlowNetwork&, const streamrel::FlowDemand&,
+    const streamrel::SolveOptions&) = &streamrel::compute_reliability;
+
+}  // namespace
