@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -15,6 +16,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("alpha_sweep");
   const int total_side_edges =
       static_cast<int>(args.get_int("side-edges", 16));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
@@ -60,9 +62,16 @@ int main(int argc, char** argv) {
         .add_cell(b_ms, 4)
         .add_cell(n_ms, 4)
         .add_cell(std::abs(r_b - r_n) < 1e-9 ? "yes" : "NO");
+    std::string prefix = "es";
+    prefix += std::to_string(stats.edges_s);
+    record.metric(bench::key(prefix, "alpha"), stats.alpha)
+        .metric(bench::key(prefix, "bottleneck_ms"), b_ms)
+        .metric(bench::key(prefix, "naive_ms"), n_ms)
+        .metric(bench::key(prefix, "agree"), std::abs(r_b - r_n) < 1e-9);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: bottleneck_ms grows with alpha (the larger "
                "side dominates); naive_ms stays flat (fixed |E|).\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

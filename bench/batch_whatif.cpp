@@ -10,15 +10,15 @@
 // decomposition per query. Verifies the two answer streams are BITWISE
 // identical and that the cache actually served hits; exits non-zero when
 // the batch path is slower than the target speedup (relaxed under
-// --smoke). With --json=FILE a machine-readable record is written for CI
-// trend tracking.
+// --smoke). With --json=FILE a schema-versioned bench_harness record is
+// written for CI trend tracking.
 
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -37,7 +37,6 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 27));
   const double target_speedup = args.get_double("target-speedup",
                                                 smoke ? 1.0 : 5.0);
-  const std::string json_path = args.get("json", "");
 
   Xoshiro256 rng(seed);
   ClusteredParams params;
@@ -108,30 +107,22 @@ int main(int argc, char** argv) {
   const bool speed_ok = speedup >= target_speedup;
   const bool exact_ok = batch.exact_count == num_queries;
 
-  bool json_ok = true;
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"queries\": " << num_queries
-        << ",\n  \"side_links\": " << side_links
-        << ",\n  \"bottleneck\": " << bottleneck << ",\n  \"demand\": " << d
-        << ",\n  \"seed\": " << seed
-        << ",\n  \"baseline_ms\": " << baseline_ms
-        << ",\n  \"batch_ms\": " << batch_ms
-        << ",\n  \"speedup\": " << speedup
-        << ",\n  \"cache_hits\": " << session.cache_hits()
-        << ",\n  \"cache_misses\": " << session.cache_misses()
-        << ",\n  \"cache_evictions\": " << session.cache_evictions()
-        << ",\n  \"exact\": " << batch.exact_count
-        << ",\n  \"mismatches\": " << mismatches
-        << ",\n  \"bitwise_identical\": " << (mismatches == 0 ? "true" : "false")
-        << "\n}\n";
-    json_ok = static_cast<bool>(out);
-    if (json_ok) {
-      std::cout << "wrote " << json_path << "\n";
-    } else {
-      std::cerr << "error: could not write " << json_path << "\n";
-    }
-  }
+  bench::BenchReport record("batch_whatif", num_queries);
+  record.metric("queries", num_queries)
+      .metric("side_links", side_links)
+      .metric("bottleneck", bottleneck)
+      .metric("demand", static_cast<std::int64_t>(d))
+      .metric("seed", seed)
+      .metric("baseline_ms", baseline_ms)
+      .metric("batch_ms", batch_ms)
+      .metric("speedup", speedup)
+      .metric("cache_hits", session.cache_hits())
+      .metric("cache_misses", session.cache_misses())
+      .metric("cache_evictions", session.cache_evictions())
+      .metric("exact", batch.exact_count)
+      .metric("mismatches", mismatches)
+      .metric("bitwise_identical", mismatches == 0);
+  const bool json_ok = bench::write_if_requested(record, args);
 
   if (mismatches != 0) std::cerr << "FAIL: answers diverge from facade\n";
   if (!hits_ok) std::cerr << "FAIL: cache served no hits\n";

@@ -1,0 +1,165 @@
+#pragma once
+// Shared bench-output harness. Every table-generator bench serialises
+// its headline metrics as ONE schema-versioned JSON record so the
+// perf-trajectory tooling can diff runs across commits instead of
+// scraping ad-hoc per-bench formats:
+//
+//   {"schema_version": 1, "bench": "side_array_sweep",
+//    "git": "v1.1.0-12-gabc1234", "timestamp": "2026-08-06T12:34:56Z",
+//    "repetitions": 1, "metrics": {...flat key -> number/string/bool...}}
+//
+// Usage at the end of a bench's main():
+//
+//   bench::BenchReport report("side_array_sweep");
+//   report.metric("scratch_ms", ms).metric("identical", true);
+//   const bool json_ok = bench::write_if_requested(report, args);
+//   return ok && json_ok ? 0 : 1;
+//
+// write_if_requested() honours the conventional --json=FILE flag (the CI
+// jobs pass BENCH_<name>.json); without the flag nothing is written and
+// the bench keeps its human-readable stdout. Metrics are a FLAT ordered
+// map — benches with per-engine rows use dotted keys
+// ("per_assignment.scratch_ms") so downstream tooling never needs to
+// descend a bench-specific tree. The Google-Benchmark micro-benches are
+// not covered here; they already emit structured JSON via
+// --benchmark_out.
+//
+// STREAMREL_GIT_DESCRIBE is injected by bench/CMakeLists.txt from
+// `git describe`; "unknown" outside a git checkout (tarball builds).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "streamrel/util/cli.hpp"
+
+#ifndef STREAMREL_GIT_DESCRIBE
+#define STREAMREL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace streamrel::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// "prefix.suffix" for the dotted per-row metric keys. append-based on
+/// purpose: GCC 12's -Wrestrict false-positives on chained std::string
+/// operator+ under -O2, and benches build with -Werror.
+inline std::string key(std::string_view prefix, std::string_view suffix) {
+  std::string out;
+  out.reserve(prefix.size() + suffix.size() + 1);
+  out.append(prefix);
+  out += '.';
+  out.append(suffix);
+  return out;
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, int repetitions = 1)
+      : name_(std::move(name)), repetitions_(repetitions) {}
+
+  BenchReport& metric(std::string_view key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+  BenchReport& metric(std::string_view key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  BenchReport& metric(std::string_view key, std::int64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  BenchReport& metric(std::string_view key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  BenchReport& metric(std::string_view key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  BenchReport& metric(std::string_view key, std::string_view value) {
+    return raw(key, quoted(value));
+  }
+  BenchReport& metric(std::string_view key, const char* value) {
+    return raw(key, quoted(value));
+  }
+
+  std::string to_json() const {
+    std::string out = "{\n  \"schema_version\": ";
+    out += std::to_string(kBenchSchemaVersion);
+    out += ",\n  \"bench\": " + quoted(name_);
+    out += ",\n  \"git\": " + quoted(STREAMREL_GIT_DESCRIBE);
+    out += ",\n  \"timestamp\": " + quoted(utc_timestamp());
+    out += ",\n  \"repetitions\": " + std::to_string(repetitions_);
+    out += ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out += i ? ",\n    " : "\n    ";
+      out += quoted(metrics_[i].first) + ": " + metrics_[i].second;
+    }
+    out += metrics_.empty() ? "}" : "\n  }";
+    out += "\n}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    out << to_json();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  BenchReport& raw(std::string_view key, std::string rendered) {
+    metrics_.emplace_back(std::string(key), std::move(rendered));
+    return *this;
+  }
+
+  static std::string quoted(std::string_view s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string utc_timestamp() {
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &now);
+#else
+    gmtime_r(&now, &utc);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+  }
+
+  std::string name_;
+  int repetitions_ = 1;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+/// Writes the record when --json=FILE was passed. Returns false only on
+/// a failed write (benches fold it into their exit code so CI notices a
+/// missing artifact).
+inline bool write_if_requested(const BenchReport& report,
+                               const CliArgs& args) {
+  const std::string path = args.get("json", "");
+  if (path.empty()) return true;
+  if (!report.write(path)) {
+    std::cerr << "error: could not write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace streamrel::bench

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/table.hpp"
@@ -14,6 +15,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("bounds_quality");
   const int trials = static_cast<int>(args.get_int("trials", 40));
 
   std::cout << "E22: bound tightness across workload families (" << trials
@@ -59,10 +61,16 @@ int main(int argc, char** argv) {
         .add_cell(max_width, 4)
         .add_cell(mid_err.mean(), 4)
         .add_cell(holds ? "yes" : "NO");
+    const std::string prefix = family.name;
+    record.metric(bench::key(prefix, "mean_width"), width.mean())
+        .metric(bench::key(prefix, "max_width"), max_width)
+        .metric(bench::key(prefix, "mid_rel_err"), mid_err.mean())
+        .metric(bench::key(prefix, "holds"), holds);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: the envelope always holds; it is tightest "
                "on bottlenecked topologies (the critical cut is in the "
                "family) and loosest on well-connected random graphs.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -54,6 +55,7 @@ ChainInstance make_chain(int layers, Xoshiro256& rng) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("chain_decomposition");
   const int max_layers = static_cast<int>(args.get_int("max-layers", 8));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 29));
 
@@ -97,10 +99,16 @@ int main(int argc, char** argv) {
         .add_cell(naive_ms)
         .add_cell(r_chain, 8)
         .add_cell(agree);
+    std::string prefix = "layers";
+    prefix += std::to_string(layers);
+    record.metric(bench::key(prefix, "links"), inst.net.num_edges())
+        .metric(bench::key(prefix, "chain_ms"), chain_ms)
+        .metric(bench::key(prefix, "agree"), agree);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: chain runtime grows LINEARLY in the number "
                "of layers (constant per-layer work); naive enumeration "
                "doubles per added link and drops out after ~21 links.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -17,6 +18,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("dynamics_validation");
   const double duration = args.get_double("duration", 100'000.0);
 
   std::cout << "E24: analytic reliability vs simulated time-average "
@@ -58,11 +60,18 @@ int main(int argc, char** argv) {
         .add_cell(report.interruptions)
         .add_cell(report.mean_outage, 4)
         .add_cell(sim_ms, 4);
+    const std::string prefix = c.name;
+    record.metric(bench::key(prefix, "analytic"), analytic)
+        .metric(bench::key(prefix, "simulated"), report.availability)
+        .metric(bench::key(prefix, "abs_error"),
+                std::abs(report.availability - analytic))
+        .metric(bench::key(prefix, "sim_ms"), sim_ms);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: simulated availability converges to the "
                "analytic reliability (validating the snapshot model); the "
                "interruption rate and outage lengths are the extra insight "
                "only dynamics provide.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -16,6 +17,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("frontier_scaling");
   const int max_rungs = static_cast<int>(args.get_int("max-rungs", 60));
 
   std::cout << "E20: frontier DP vs naive vs factoring on ladders (d = 1, "
@@ -54,10 +56,16 @@ int main(int argc, char** argv) {
         .add_cell(naive_ms)
         .add_cell(r_frontier, 8)
         .add_cell(agree ? "yes" : "NO");
+    std::string prefix = "rungs";
+    prefix += std::to_string(rungs);
+    record.metric(bench::key(prefix, "links"), g.net.num_edges())
+        .metric(bench::key(prefix, "frontier_ms"), frontier_ms)
+        .metric(bench::key(prefix, "agree"), agree);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: frontier time grows LINEARLY with ladder "
                "length (constant frontier width 3); the flow-based exact "
                "methods drop out at a few dozen links.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stats.hpp"
@@ -17,6 +18,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("hybrid_estimator");
   const int reps = static_cast<int>(args.get_int("reps", 30));
 
   // Reliable clusters, flaky peering: most uncertainty sits on the cut.
@@ -64,10 +66,17 @@ int main(int argc, char** argv) {
         .add_cell(plain_rmse, 5)
         .add_cell(hybrid_rmse, 5)
         .add_cell(plain_err.mean() / hybrid_err.mean(), 3);
+    std::string prefix = "s";
+    prefix += std::to_string(samples);
+    record.metric(bench::key(prefix, "plain_rmse"), plain_rmse)
+        .metric(bench::key(prefix, "hybrid_rmse"), hybrid_rmse)
+        .metric(bench::key(prefix, "variance_ratio"),
+                plain_err.mean() / hybrid_err.mean());
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: both RMSEs fall as 1/sqrt(samples); the "
                "hybrid estimator's is consistently smaller because the "
                "flaky bottleneck links contribute no sampling noise.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -16,6 +17,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("incremental_enumeration");
   const int max_edges = static_cast<int>(args.get_int("max-edges", 20));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
 
@@ -58,10 +60,18 @@ int main(int argc, char** argv) {
         .add_cell(par_ms, 4)
         .add_cell(scratch_ms / gray_ms, 3)
         .add_cell(agree ? "yes" : "NO");
+    std::string prefix = "m";
+    prefix += std::to_string(g.net.num_edges());
+    record.metric(bench::key(prefix, "scratch_ms"), scratch_ms)
+        .metric(bench::key(prefix, "gray_ms"), gray_ms)
+        .metric(bench::key(prefix, "parallel_ms"), par_ms)
+        .metric(bench::key(prefix, "gray_speedup"), scratch_ms / gray_ms)
+        .metric(bench::key(prefix, "agree"), agree);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: the Gray-code walk amortizes one flow "
                "repair per configuration and wins over from-scratch; the "
                "parallel sweep scales with available cores.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -15,6 +16,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("kd_sweep");
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   const int max_k = static_cast<int>(args.get_int("max-k", 4));
   const Capacity max_d = args.get_int("max-d", 4);
@@ -76,10 +78,19 @@ int main(int argc, char** argv) {
           .add_cell(b_ms < 0 ? std::string("n/a") : format_double(b_ms, 4))
           .add_cell(n_ms, 4)
           .add_cell(b_ms < 0 ? "-" : (std::abs(r_b - r_n) < 1e-9 ? "yes" : "NO"));
+      std::string prefix = "k";
+      prefix += std::to_string(k);
+      prefix += "_d";
+      prefix += std::to_string(static_cast<long long>(d));
+      record.metric(bench::key(prefix, "assignments_forward"), fwd_count)
+          .metric(bench::key(prefix, "assignments_signed"), signed_count)
+          .metric(bench::key(prefix, "bottleneck_ms"), b_ms)
+          .metric(bench::key(prefix, "naive_ms"), n_ms);
     }
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: |D| grows polynomially in d with degree "
                "k-1; runtime tracks |D| while naive stays flat.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -13,6 +14,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("montecarlo_convergence");
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 23));
 
   Xoshiro256 rng(seed);
@@ -49,10 +51,17 @@ int main(int argc, char** argv) {
         .add_cell(mc.ci95_halfwidth, 6)
         .add_cell(mc.wilson95.contains(exact) ? "yes" : "no")
         .add_cell(ms, 4);
+    std::string prefix = "s";
+    prefix += std::to_string(samples);
+    record.metric(bench::key(prefix, "error"), std::abs(mc.estimate - exact))
+        .metric(bench::key(prefix, "ci95_halfwidth"), mc.ci95_halfwidth)
+        .metric(bench::key(prefix, "covered"), mc.wilson95.contains(exact))
+        .metric(bench::key(prefix, "ms"), ms);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: error and CI half-width shrink as "
                "1/sqrt(samples); the Wilson interval covers the exact value "
                "~95% of the time.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/table.hpp"
@@ -119,10 +120,12 @@ void study_churn() {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  (void)args;
+  bench::BenchReport record("p2p_scenarios");
+  record.metric("studies_run", 3);
   std::cout << "E19: P2P streaming scenario studies\n\n";
   study_trees();
   study_isp();
   study_churn();
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/table.hpp"
@@ -246,5 +247,15 @@ int main(int argc, char** argv) {
   if (all || args.has("e6")) e6_fig5();
   if (all || args.has("e7")) e7_example5();
   if (all || args.has("e8")) e8_example6();
-  return 0;
+  bench::BenchReport record("paper_artifacts");
+  record.metric("e1", all || args.has("e1"))
+      .metric("e2", all || args.has("e2"))
+      .metric("e3", all || args.has("e3"))
+      .metric("e4", all || args.has("e4"))
+      .metric("e5", all || args.has("e5"))
+      .metric("e6", all || args.has("e6"))
+      .metric("e7", all || args.has("e7"))
+      .metric("e8", all || args.has("e8"));
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

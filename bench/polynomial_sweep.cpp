@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -15,6 +16,7 @@ using namespace streamrel;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::BenchReport record("polynomial_sweep");
   const int sweep_points = static_cast<int>(args.get_int("points", 50));
 
   Xoshiro256 rng(4096);
@@ -78,6 +80,10 @@ int main(int argc, char** argv) {
       .add_cell(naive_build_ms + eval_ms, 4);
   table.print(std::cout);
 
+  record.metric("decomposition_build_ms", build_ms)
+      .metric("decomposition_sweep_ms", eval_ms)
+      .metric("rerun_ms", rerun_ms)
+      .metric("naive_build_ms", naive_build_ms);
   std::cout << "\nSample of the curve:\n";
   TextTable curve({"p", "R(p)"});
   for (double p : {0.02, 0.1, 0.2, 0.35, 0.5, 0.7}) {
@@ -88,5 +94,6 @@ int main(int argc, char** argv) {
                "one decomposition, then answers every p for microseconds; "
                "re-running scales with sweep size; the naive build pays "
                "2^|E|.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stats.hpp"
@@ -85,6 +86,12 @@ int main(int argc, char** argv) {
 
   const LineFit naive_fit = fit_line(xs, naive_log);
   const LineFit bottleneck_fit = fit_line(xs, bottleneck_log);
+  bench::BenchReport record("scaling_naive_vs_bottleneck");
+  record.metric("rows", static_cast<std::uint64_t>(xs.size()))
+      .metric("naive_slope", naive_fit.slope)
+      .metric("naive_r2", naive_fit.r_squared)
+      .metric("bottleneck_slope", bottleneck_fit.slope)
+      .metric("bottleneck_r2", bottleneck_fit.r_squared);
   std::cout << "\nempirical exponents (log2 ms per added link):\n"
             << "  naive:         " << format_double(naive_fit.slope, 3)
             << "  (paper predicts ~1.0, R^2 = "
@@ -92,5 +99,6 @@ int main(int argc, char** argv) {
             << "  decomposition: " << format_double(bottleneck_fit.slope, 3)
             << "  (paper predicts ~alpha = 0.5, R^2 = "
             << format_double(bottleneck_fit.r_squared, 3) << ")\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

@@ -4,14 +4,15 @@
 // feasibility engines. Reports wall time, max-flow solver calls, and the
 // incremental bookkeeping counters; verifies the arrays are bitwise
 // identical and the end-to-end reliabilities agree to 1e-12. With
-// --json=FILE the results are also written as a machine-readable record
-// for CI trend tracking.
+// --json=FILE the results are also written as a schema-versioned
+// bench_harness record for CI trend tracking.
 
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "bench_harness.hpp"
 
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
@@ -91,7 +92,6 @@ int main(int argc, char** argv) {
   const Capacity d = args.get_int("demand", 2);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 17));
-  const std::string json_path = args.get("json", "");
 
   // A clustered instance whose SOURCE side carries `side_links` internal
   // links: nodes_s - 1 spanning-tree links plus the remainder as extras.
@@ -160,37 +160,27 @@ int main(int argc, char** argv) {
             << " |delta|=" << delta << (delta < 1e-12 ? " (ok)" : " (DRIFT)")
             << "\n";
 
-  bool json_ok = true;
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"side_links\": " << side.sub.net.num_edges()
-        << ",\n  \"assignments\": " << forward.size()
-        << ",\n  \"demand\": " << d << ",\n  \"seed\": " << seed
-        << ",\n  \"reliability_delta\": " << delta << ",\n  \"rows\": [";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << (i ? "," : "") << "\n    {\"engine\": \"" << r.engine
-          << "\", \"scratch_ms\": " << r.scratch_ms
-          << ", \"gray_ms\": " << r.gray_ms
-          << ", \"gray_pruned_ms\": " << r.pruned_ms
-          << ", \"scratch_calls\": " << r.scratch_calls
-          << ", \"gray_calls\": " << r.gray_calls
-          << ", \"gray_pruned_calls\": " << r.pruned_calls
-          << ", \"pruned_decisions\": " << r.pruned_decisions
-          << ", \"speedup\": " << r.scratch_ms / r.pruned_ms
-          << ", \"call_reduction\": "
-          << static_cast<double>(r.scratch_calls) /
-                 static_cast<double>(r.pruned_calls)
-          << ", \"identical\": " << (r.identical ? "true" : "false") << "}";
-    }
-    out << "\n  ]\n}\n";
-    json_ok = static_cast<bool>(out);
-    if (json_ok) {
-      std::cout << "wrote " << json_path << "\n";
-    } else {
-      std::cerr << "error: could not write " << json_path << "\n";
-    }
+  bench::BenchReport report("side_array_sweep");
+  report.metric("side_links", static_cast<std::int64_t>(side.sub.net.num_edges()))
+      .metric("assignments", static_cast<std::uint64_t>(forward.size()))
+      .metric("demand", static_cast<std::int64_t>(d))
+      .metric("seed", seed)
+      .metric("reliability_delta", delta);
+  for (const Row& r : rows) {
+    report.metric(r.engine + ".scratch_ms", r.scratch_ms)
+        .metric(r.engine + ".gray_ms", r.gray_ms)
+        .metric(r.engine + ".gray_pruned_ms", r.pruned_ms)
+        .metric(r.engine + ".scratch_calls", r.scratch_calls)
+        .metric(r.engine + ".gray_calls", r.gray_calls)
+        .metric(r.engine + ".gray_pruned_calls", r.pruned_calls)
+        .metric(r.engine + ".pruned_decisions", r.pruned_decisions)
+        .metric(r.engine + ".speedup", r.scratch_ms / r.pruned_ms)
+        .metric(r.engine + ".call_reduction",
+                static_cast<double>(r.scratch_calls) /
+                    static_cast<double>(r.pruned_calls))
+        .metric(r.engine + ".identical", r.identical);
   }
+  const bool json_ok = bench::write_if_requested(report, args);
 
   bool ok = json_ok && delta < 1e-12;
   for (const Row& r : rows) ok = ok && r.identical;

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_harness.hpp"
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/table.hpp"
@@ -45,6 +46,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::BenchReport record("upgrade_planning", reps);
+  record.metric("budget", budget)
+      .metric("reliability_before", greedy.reliability_before)
+      .metric("greedy_final", greedy.trajectory.empty()
+                                  ? greedy.reliability_before
+                                  : greedy.trajectory.back())
+      .metric("random_mean_final",
+              random_mean.empty() ? 0.0 : random_mean.back());
   TextTable table({"links added", "greedy R", "random-mean R", "greedy pick"});
   table.new_row()
       .add_cell(0)
@@ -66,5 +75,6 @@ int main(int argc, char** argv) {
                "dominant cut (a direct source-sink link bypassing the "
                "bridge) and jumps far above the random-mean trajectory; "
                "later picks show diminishing returns.\n";
-  return 0;
+  const bool json_ok = bench::write_if_requested(record, args);
+  return json_ok ? 0 : 1;
 }

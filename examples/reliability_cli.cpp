@@ -9,10 +9,16 @@
 //                               [--samples N] [--deadline-ms T] [--threads N]
 //                               [--json] [--bounds] [--importance]
 //                               [--dot out.dot] [--batch queries.json]
+//                               [--trace out.json] [--progress]
 //
 // --deadline-ms bounds the wall clock: on expiry the answer degrades to a
 // status + reliability bounds instead of running on. --json emits the
 // solve report (including the telemetry tree) as one JSON object.
+//
+// --trace records solver spans and writes a Chrome trace-event JSON file
+// (load it in chrome://tracing or Perfetto, or feed it to trace_report).
+// --progress prints a throttled visited/total + rate + ETA line to stderr
+// while the sweep runs. See docs/OBSERVABILITY.md.
 //
 // --batch runs many what-if queries through one QuerySession, so the
 // exponential structural work is paid once and shared. The file holds
@@ -25,6 +31,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
@@ -118,10 +125,16 @@ int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
   BatchOptions options;
   options.deadline_ms = args.get_double("deadline-ms", 0.0);
   options.max_threads = static_cast<int>(args.get_int("threads", 0));
+  if (args.get_bool("progress")) {
+    ProgressOptions popts;
+    popts.label = "batch";
+    options.progress = std::make_shared<ProgressReporter>(nullptr, popts);
+  }
 
   Stopwatch sw;
   const BatchReport batch = evaluator.evaluate(queries, options);
   const double elapsed = sw.elapsed_ms();
+  if (options.progress) options.progress->finish();
 
   for (std::size_t i = 0; i < batch.reports.size(); ++i) {
     const SolveReport& report = batch.reports[i];
@@ -140,12 +153,25 @@ int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
     }
     std::cout << "}\n";
   }
-  std::cout << "{\"summary\": {\"queries\": " << batch.reports.size()
+  // Engines that actually answered (post-kAuto resolution), by count.
+  std::map<std::string, int> engines;
+  for (const SolveReport& report : batch.reports) {
+    engines[std::string(report.engine)]++;
+  }
+  std::cout << "{\"summary\": {\"api_version\": " << STREAMREL_API_VERSION
+            << ", \"queries\": " << batch.reports.size()
             << ", \"exact\": " << batch.exact_count << ", \"cache_hits\": "
             << session.cache_hits() << ", \"cache_misses\": "
             << session.cache_misses() << ", \"cache_evictions\": "
             << session.cache_evictions() << ", \"elapsed_ms\": "
-            << format_double(elapsed, 4) << "}}\n";
+            << format_double(elapsed, 4) << ", \"engines\": {";
+  bool first = true;
+  for (const auto& [engine, count] : engines) {
+    if (!first) std::cout << ", ";
+    first = false;
+    std::cout << "\"" << engine << "\": " << count;
+  }
+  std::cout << "}, \"telemetry\": " << batch.telemetry.to_json() << "}}\n";
   return 0;
 }
 
@@ -154,7 +180,8 @@ int run(const CliArgs& args) {
     std::cerr << "usage: reliability_cli <network-file> [--method ...] "
                  "[--d N] [--source N] [--sink N] [--samples N] "
                  "[--deadline-ms T] [--threads N] [--json] [--bounds] "
-                 "[--importance] [--dot out.dot]\n";
+                 "[--importance] [--dot out.dot] [--batch queries.json] "
+                 "[--trace out.json] [--progress]\n";
     return 2;
   }
   NetworkFile file = read_network_from_file(args.positional().front());
@@ -199,9 +226,25 @@ int run(const CliArgs& args) {
     }
     options.deadline_ms = args.get_double("deadline-ms", 0.0);
     options.max_threads = static_cast<int>(args.get_int("threads", 0));
+    // --progress needs a caller-owned context to hang the reporter on;
+    // replicate the deadline/thread handling compute_reliability would
+    // have done with its internal one.
+    ExecContext progress_ctx;
+    std::shared_ptr<ProgressReporter> progress;
+    if (args.get_bool("progress")) {
+      if (options.deadline_ms > 0.0) {
+        progress_ctx.set_deadline_ms(options.deadline_ms);
+      }
+      progress_ctx.max_threads = options.max_threads;
+      progress = std::make_shared<ProgressReporter>();
+      progress_ctx.progress = progress;
+      options.context = &progress_ctx;
+    }
     const SolveReport report = compute_reliability(file.net, demand, options);
+    if (progress) progress->finish();
     if (args.get_bool("json")) {
-      std::cout << "{\"reliability\": "
+      std::cout << "{\"api_version\": " << STREAMREL_API_VERSION
+                << ", \"reliability\": "
                 << format_double(report.result.reliability, 10)
                 << ", \"status\": \"" << to_string(report.result.status)
                 << "\", \"method\": \"" << to_string(report.method_used)
@@ -277,7 +320,26 @@ int run(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   try {
-    return run(CliArgs(argc, argv));
+    const CliArgs args(argc, argv);
+    const std::string trace_path = args.get("trace", "");
+    if (!trace_path.empty()) Tracer::set_enabled(true);
+    int code = run(args);
+    if (!trace_path.empty()) {
+      Tracer::set_enabled(false);
+      if (Tracer::export_chrome_json_to_file(trace_path)) {
+        std::cerr << "trace: " << Tracer::event_count() << " events -> "
+                  << trace_path;
+        if (Tracer::dropped_count() > 0) {
+          std::cerr << " (" << Tracer::dropped_count()
+                    << " dropped, ring full)";
+        }
+        std::cerr << "\n";
+      } else {
+        std::cerr << "trace: cannot write '" << trace_path << "'\n";
+        if (code == 0) code = 1;
+      }
+    }
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -55,6 +55,9 @@ struct BatchOptions {
   /// Run phase 2 across threads; disable to force fully serial batches
   /// (results are bitwise-identical either way).
   bool parallel_accumulate = true;
+  /// Optional progress/ETA sink, shared by every query's ExecContext (see
+  /// ExecContext::progress). Null costs nothing.
+  std::shared_ptr<ProgressReporter> progress;
 };
 
 struct BatchReport {

@@ -56,3 +56,4 @@
 #include "streamrel/util/exec_context.hpp"        // IWYU pragma: export
 #include "streamrel/util/json.hpp"                // IWYU pragma: export
 #include "streamrel/util/telemetry.hpp"           // IWYU pragma: export
+#include "streamrel/util/trace.hpp"               // IWYU pragma: export

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "streamrel/util/telemetry.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -117,6 +118,12 @@ class ExecContext {
   /// context. Engines merge their per-solve trees in here.
   Telemetry telemetry;
 
+  /// Optional progress/ETA sink, shared with every copy of this context
+  /// (like the cancellation token). Engines feed it visited counts from
+  /// the same kPollStride poll sites that honor the deadline; null costs
+  /// one pointer check per poll.
+  std::shared_ptr<ProgressReporter> progress;
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point deadline_{};
@@ -127,5 +134,11 @@ class ExecContext {
 
 /// Helper for the sweeps: resolves a nullable context's thread cap.
 int exec_resolved_threads(const ExecContext* ctx) noexcept;
+
+/// Helper for the sweeps: the progress reporter of a nullable context
+/// (nullptr when absent), for constructing a ProgressMarker per loop.
+inline ProgressReporter* exec_progress(const ExecContext* ctx) noexcept {
+  return ctx ? ctx->progress.get() : nullptr;
+}
 
 }  // namespace streamrel

@@ -10,6 +10,7 @@
 // shard-local counters are merged in shard order). Timers measure wall
 // clock and are exempt.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,11 +40,52 @@ inline constexpr std::string_view kCacheEvictions = "cache_evictions";
 inline constexpr std::string_view kCacheInvalidations = "cache_invalidations";
 }  // namespace telemetry_keys
 
+/// Mergeable latency histogram with geometric buckets (quarter-powers of
+/// two over microseconds) plus exact count/sum/min/max. Percentiles use
+/// the nearest-rank rule and return the lower bound of the bucket the
+/// ranked sample landed in — fully deterministic, and merging is
+/// associative and commutative (bucket counts just add), so shard-local
+/// histograms can be combined in any grouping with identical results.
+class LatencyHistogram {
+ public:
+  /// Bucket 0 holds non-positive (and non-finite) samples; bucket i >= 1
+  /// covers [2^((i-1)/4), 2^(i/4)) microseconds.
+  static constexpr std::size_t kBuckets = 256;
+
+  static std::size_t bucket_index(double ms) noexcept;
+  /// The value percentile_ms reports for a sample in this bucket (its
+  /// lower bound, in ms; 0 for bucket 0).
+  static double bucket_value_ms(std::size_t index) noexcept;
+
+  void record_ms(double ms) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum_ms() const noexcept { return sum_ms_; }
+  double min_ms() const noexcept { return count_ ? min_ms_ : 0.0; }
+  double max_ms() const noexcept { return count_ ? max_ms_ : 0.0; }
+
+  /// Nearest-rank percentile, `p` in [0, 100]; 0 on an empty histogram.
+  double percentile_ms(double p) const noexcept;
+
+  bool operator==(const LatencyHistogram& other) const noexcept {
+    return buckets_ == other.buckets_ && count_ == other.count_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
 class Telemetry {
  public:
   using Counter = std::uint64_t;
   using CounterMap = std::map<std::string, Counter, std::less<>>;
   using TimerMap = std::map<std::string, double, std::less<>>;
+  using HistogramMap = std::map<std::string, LatencyHistogram, std::less<>>;
   using ChildMap = std::map<std::string, Telemetry, std::less<>>;
 
   /// Mutable reference to a counter, created at 0 on first use.
@@ -56,21 +98,39 @@ class Telemetry {
   double& timer_ms(std::string_view name);
   double timer_ms_or(std::string_view name, double fallback = 0.0) const;
 
+  /// Mutable latency histogram, created empty on first use. Histograms
+  /// render in JSON as "<name>_hist" objects with count and p50/p95/p99.
+  LatencyHistogram& histogram(std::string_view name);
+  /// nullptr when absent.
+  const LatencyHistogram* find_histogram(std::string_view name) const;
+
   /// Mutable child subtree, created empty on first use.
   Telemetry& child(std::string_view name);
   /// nullptr when absent.
   const Telemetry* find_child(std::string_view name) const;
 
-  /// Element-wise sum: counters and timers add, children merge
-  /// recursively. The shard-aggregation primitive.
+  /// Element-wise sum: counters and timers add, histograms combine,
+  /// children merge recursively. The SEQUENTIAL aggregation primitive
+  /// (per-query trees merged in query order, nested phases of one
+  /// thread).
   void merge(const Telemetry& other);
 
+  /// Aggregation across trees recorded CONCURRENTLY (OpenMP shards,
+  /// parallel batch queries): counters still add and histograms still
+  /// combine, but timers take the MAX — concurrent wall-clock intervals
+  /// overlap, so summing them would overstate elapsed time. Sites that
+  /// also want the summed CPU view record an explicit "*_cpu" timer
+  /// before merging (see build_side_array).
+  void merge_parallel(const Telemetry& other);
+
   bool empty() const noexcept {
-    return counters_.empty() && timers_.empty() && children_.empty();
+    return counters_.empty() && timers_.empty() && histograms_.empty() &&
+           children_.empty();
   }
 
   const CounterMap& counters() const noexcept { return counters_; }
   const TimerMap& timers_ms() const noexcept { return timers_; }
+  const HistogramMap& histograms() const noexcept { return histograms_; }
   const ChildMap& children() const noexcept { return children_; }
 
   /// Recursive equality over counters only (timers are wall-clock and
@@ -78,7 +138,9 @@ class Telemetry {
   bool counters_equal(const Telemetry& other) const;
 
   /// Deterministic JSON rendering (std::map iteration order). Timers are
-  /// emitted with a "_ms" suffix; children nest as objects.
+  /// emitted with a "_ms" suffix (non-finite values as null), histograms
+  /// as "_hist" objects; children nest as objects. Keys are escaped per
+  /// RFC 8259, so the output always parses with util/json.
   std::string to_json() const;
 
  private:
@@ -86,6 +148,7 @@ class Telemetry {
 
   CounterMap counters_;
   TimerMap timers_;
+  HistogramMap histograms_;
   ChildMap children_;
 };
 

@@ -1,0 +1,244 @@
+#pragma once
+// Low-overhead span tracing + progress reporting for the solvers.
+//
+// Tracing is process-global and OFF by default. When disabled it costs
+// one relaxed atomic load per span site — nothing measurable on the
+// sweep benches (see docs/OBSERVABILITY.md for the measured numbers).
+// When enabled, every TraceSpan records a complete event (name, category,
+// wall-clock interval, thread, optional args) into a per-thread ring
+// buffer; Tracer::export_chrome_json() renders all buffers as a Chrome
+// trace-event document that chrome://tracing and Perfetto load directly.
+//
+// Span discipline for hot paths: a span per configuration (or per
+// max-flow call) would dominate the work it measures. Hot loops must
+// either create spans at shard granularity or go through the
+// STREAMREL_TRACE_SAMPLED_SPAN macro, which records one span every
+// kTraceSampleStride calls — CI grep-guards this (see .github/workflows).
+//
+// ProgressReporter is the user-facing companion: engines feed it
+// visited-configuration counts from their existing ExecContext poll
+// sites (every ExecContext::kPollStride configurations), and it renders
+// a throttled "visited/total, rate, ETA" line. It is thread-safe; the
+// sweeps hammer add() from OpenMP shards.
+//
+// Lifecycle contract: enable/disable/clear/export are coordination
+// points — call them while no solve is in flight. Recording itself is
+// lock-free per thread.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace streamrel {
+
+namespace trace_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_detail
+
+/// The single hot-path guard: one relaxed load.
+inline bool trace_enabled() noexcept {
+  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span. `category` must point at a string literal (it is
+/// stored unowned); `args` holds a pre-rendered JSON object BODY
+/// ("\"k\": 1, \"s\": \"x\"") or is empty.
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  std::uint64_t start_ns = 0;  ///< since the tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;       ///< tracer-assigned dense thread id
+  std::string args;
+};
+
+/// Process-global trace collector. All members are static: the tracer is
+/// a singleton by construction, like the engine registry.
+class Tracer {
+ public:
+  /// Events kept per thread; older events are overwritten ring-wise and
+  /// counted as dropped.
+  static constexpr std::size_t kRingCapacity = 1 << 15;
+
+  /// Enabling (re)starts the epoch the exported timestamps count from.
+  /// Enable/disable/clear/export must not race a running solve.
+  static void set_enabled(bool on);
+  static void clear();  ///< drops all recorded events, keeps enablement
+
+  /// Records a completed span; called by ~TraceSpan, rarely directly.
+  static void record(TraceEvent event);
+
+  static std::uint64_t event_count();    ///< retained events, all threads
+  static std::uint64_t dropped_count();  ///< ring overwrites since clear
+
+  /// Nanoseconds since the tracer epoch (monotonic).
+  static std::uint64_t now_ns();
+
+  /// The whole buffer as one Chrome trace-event JSON document
+  /// ({"traceEvents": [...], ...}; Perfetto-loadable). Deterministic
+  /// thread order (dense tids), chronological within a thread's ring.
+  static std::string export_chrome_json();
+
+  /// export_chrome_json() to a file; false on I/O failure.
+  static bool export_chrome_json_to_file(const std::string& path);
+};
+
+/// RAII span guard. The two-phase form supports conditional activation:
+///
+///   TraceSpan span("accumulate", "engine");       // active iff enabled
+///   TraceSpan lazy; if (rare) lazy.begin("x");    // caller-guarded
+///
+/// args are attached with arg() before destruction; all arg() overloads
+/// are no-ops on an inactive span.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(std::string_view name, const char* category = "solve") {
+    if (trace_enabled()) begin(name, category);
+  }
+  ~TraceSpan() {
+    if (active_) finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  /// Moving transfers ownership of the open span (the source becomes
+  /// inactive); assignment finishes the destination's span first.
+  TraceSpan(TraceSpan&& other) noexcept
+      : name_(std::move(other.name_)),
+        args_(std::move(other.args_)),
+        category_(other.category_),
+        start_ns_(other.start_ns_),
+        active_(other.active_) {
+    other.active_ = false;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      if (active_) finish();
+      name_ = std::move(other.name_);
+      args_ = std::move(other.args_);
+      category_ = other.category_;
+      start_ns_ = other.start_ns_;
+      active_ = other.active_;
+      other.active_ = false;
+    }
+    return *this;
+  }
+
+  /// Starts the span unconditionally (caller already checked
+  /// trace_enabled()); restartable only after the previous span ended.
+  void begin(std::string_view name, const char* category = "solve");
+
+  bool active() const noexcept { return active_; }
+
+  TraceSpan& arg(std::string_view key, std::string_view value);
+  // Without this overload a string literal would pick the bool one:
+  // const char* -> bool is a standard conversion and beats the
+  // user-defined conversion to string_view.
+  TraceSpan& arg(std::string_view key, const char* value) {
+    return arg(key, std::string_view(value));
+  }
+  TraceSpan& arg(std::string_view key, std::uint64_t value);
+  TraceSpan& arg(std::string_view key, std::int64_t value);
+  TraceSpan& arg(std::string_view key, int value) {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+  TraceSpan& arg(std::string_view key, double value);
+  TraceSpan& arg(std::string_view key, bool value);
+
+ private:
+  void finish();
+
+  std::string name_;
+  std::string args_;
+  const char* category_ = "";
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Hot-loop sampling stride: sites inside per-configuration loops record
+/// one span every this many calls (power of two).
+inline constexpr std::uint64_t kTraceSampleStride = 4096;
+
+/// The ONLY sanctioned way to put a span inside a per-call hot loop:
+/// declares `var` inactive and starts it for 1 call in kTraceSampleStride
+/// when tracing is on. Single relaxed load + mask test per call.
+#define STREAMREL_TRACE_SAMPLED_SPAN(var, counter, name, category)          \
+  streamrel::TraceSpan var;                                                 \
+  if (streamrel::trace_enabled() &&                                         \
+      ((counter) & (streamrel::kTraceSampleStride - 1)) == 0) {             \
+    var.begin((name), (category));                                          \
+  }
+
+/// Throttled progress/ETA line for long sweeps. Engines grow the
+/// denominator with add_total() before sweeping and feed visited counts
+/// with add() from their poll sites; the reporter prints at most one
+/// line per `interval_ms` (carriage-return overwrite) and a final line
+/// from finish(). All counters are atomics — add() is called from inside
+/// OpenMP shards.
+struct ProgressOptions {
+  double interval_ms = 200.0;  ///< minimum time between printed lines
+  std::string label = "sweep";
+};
+
+class ProgressReporter {
+ public:
+  using Options = ProgressOptions;
+
+  /// `out` defaults to std::cerr; tests pass an ostringstream.
+  explicit ProgressReporter(std::ostream* out = nullptr, Options options = {});
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Grows the expected-work denominator (0 total = rate-only display).
+  void add_total(std::uint64_t n) noexcept;
+  /// Reports n more units done; may print (throttled, one thread elected).
+  void add(std::uint64_t n);
+  /// Prints the final line (with a newline) once; idempotent.
+  void finish();
+
+  std::uint64_t visited() const noexcept;
+  std::uint64_t total() const noexcept;
+
+  struct Snapshot {
+    std::uint64_t visited = 0;
+    std::uint64_t total = 0;
+    double elapsed_s = 0.0;
+    double rate_per_s = 0.0;  ///< visited / elapsed
+    double eta_s = 0.0;       ///< remaining / rate; 0 when unknowable
+  };
+  Snapshot snapshot() const;
+
+  /// The line finish()/add() print, for tests: "label: 512/1024 (50.0%)
+  /// 1.2e+04 cfg/s ETA 0.04s".
+  std::string render_line() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Per-loop helper bridging a sweep's poll sites to the context's
+/// reporter: marker.at(i) reports the delta since the previous mark.
+/// Costs one null check when no reporter is attached.
+class ProgressMarker {
+ public:
+  explicit ProgressMarker(ProgressReporter* reporter) noexcept
+      : reporter_(reporter) {}
+
+  void at(std::uint64_t position) {
+    if (reporter_ && position > mark_) {
+      reporter_->add(position - mark_);
+      mark_ = position;
+    }
+  }
+
+ private:
+  ProgressReporter* reporter_;
+  std::uint64_t mark_ = 0;
+};
+
+}  // namespace streamrel

@@ -5,7 +5,7 @@
 // version tracks the CMake project version.
 
 #define STREAMREL_VERSION_MAJOR 1
-#define STREAMREL_VERSION_MINOR 1
+#define STREAMREL_VERSION_MINOR 2
 #define STREAMREL_VERSION_PATCH 0
 
 /// Breaking-change counter of the installed header surface.

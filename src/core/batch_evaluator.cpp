@@ -1,8 +1,10 @@
 #include "streamrel/core/batch_evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "streamrel/reliability/bounds.hpp"
+#include "streamrel/util/trace.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -10,11 +12,22 @@
 
 namespace streamrel {
 
+namespace {
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 struct BatchEvaluator::Slot {
   QuerySession::PreparedQuery prepared;
   SolveOptions options;
-  ExecContext ctx;        ///< shares the batch cancel token
-  bool fallback = false;  ///< facade path (runs serially)
+  ExecContext ctx;          ///< shares the batch cancel token
+  bool fallback = false;    ///< facade path (runs serially)
+  double latency_ms = 0.0;  ///< this query's solve time (either phase)
 };
 
 BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
@@ -30,23 +43,29 @@ BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
   ExecContext batch_ctx;
   if (options.deadline_ms > 0.0) batch_ctx.set_deadline_ms(options.deadline_ms);
   batch_ctx.max_threads = options.max_threads;
+  batch_ctx.progress = options.progress;  // slots copy the shared sink
 
   // Phase 1 — structural prepare, serial: cache lookups and cold builds.
   std::vector<Slot> slots(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const WhatIfQuery& q = queries[i];
-    Slot& slot = slots[i];
-    slot.options = options.base;
-    slot.options.method = q.method;
-    slot.options.context = nullptr;
-    slot.ctx = batch_ctx;  // shared cancel token, own telemetry
-    if (q.deadline_ms > 0.0) {
-      const double batch_left = batch_ctx.remaining_ms();
-      slot.ctx.set_deadline_ms(std::min(q.deadline_ms, batch_left));
+  {
+    TraceSpan phase_span("batch_prepare", "batch");
+    phase_span.arg("queries", static_cast<std::uint64_t>(queries.size()));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const WhatIfQuery& q = queries[i];
+      Slot& slot = slots[i];
+      slot.options = options.base;
+      slot.options.method = q.method;
+      slot.options.context = nullptr;
+      slot.ctx = batch_ctx;  // shared cancel token, own telemetry
+      if (q.deadline_ms > 0.0) {
+        const double batch_left = batch_ctx.remaining_ms();
+        slot.ctx.set_deadline_ms(std::min(q.deadline_ms, batch_left));
+      }
+      session_->telemetry_.counter(telemetry_keys::kQueries) += 1;
+      slot.prepared =
+          session_->prepare_cached(q.demand, slot.options, slot.ctx);
+      slot.fallback = !slot.prepared.bottleneck_path;
     }
-    session_->telemetry_.counter(telemetry_keys::kQueries) += 1;
-    slot.prepared = session_->prepare_cached(q.demand, slot.options, slot.ctx);
-    slot.fallback = !slot.prepared.bottleneck_path;
   }
 
   // Phase 2 — probability-only accumulation over pinned artifacts.
@@ -60,26 +79,35 @@ BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
   }
   const auto accumulate_one = [&](std::size_t i) {
     const WhatIfQuery& q = queries[i];
+    TraceSpan span("batch_query", "batch");
+    span.arg("query", static_cast<std::uint64_t>(i));
+    const auto start = std::chrono::steady_clock::now();
     batch.reports[i] = session_->finish_prepared(
         slots[i].prepared, slots[i].options, q.prob_overrides, &slots[i].ctx);
+    slots[i].latency_ms = elapsed_ms_since(start);
   };
+  {
+    TraceSpan phase_span("batch_accumulate", "batch");
+    phase_span.arg("ready", static_cast<std::uint64_t>(ready.size()));
 #ifdef _OPENMP
-  if (options.parallel_accumulate && ready.size() > 1) {
-    const int threads = batch_ctx.resolved_threads();
-    const auto n = static_cast<std::int64_t>(ready.size());
+    if (options.parallel_accumulate && ready.size() > 1) {
+      const int threads = batch_ctx.resolved_threads();
+      const auto n = static_cast<std::int64_t>(ready.size());
 #pragma omp parallel for num_threads(threads) schedule(dynamic)
-    for (std::int64_t j = 0; j < n; ++j) {
-      accumulate_one(ready[static_cast<std::size_t>(j)]);
+      for (std::int64_t j = 0; j < n; ++j) {
+        accumulate_one(ready[static_cast<std::size_t>(j)]);
+      }
+    } else {
+      for (std::size_t i : ready) accumulate_one(i);
     }
-  } else {
-    for (std::size_t i : ready) accumulate_one(i);
-  }
 #else
-  for (std::size_t i : ready) accumulate_one(i);
+    for (std::size_t i : ready) accumulate_one(i);
 #endif
+  }
 
   // Phase 3 — facade fallbacks (serial: they guard-edit the session
   // network), bounds for degraded answers, telemetry in query order.
+  TraceSpan phase_span("batch_finalize", "batch");
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const WhatIfQuery& q = queries[i];
     Slot& slot = slots[i];
@@ -87,9 +115,11 @@ BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
     if (slot.fallback) {
       session_->telemetry_.counter(telemetry_keys::kFallbackSolves) += 1;
       batch.telemetry.counter(telemetry_keys::kFallbackSolves) += 1;
+      const auto start = std::chrono::steady_clock::now();
       report =
           session_->solve_fallback(q.demand, slot.options, q.prob_overrides,
                                    slot.ctx);
+      slot.latency_ms = elapsed_ms_since(start);
     } else {
       slot.ctx.telemetry.merge(report.result.telemetry);
     }
@@ -100,7 +130,15 @@ BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
     }
     if (report.result.status == SolveStatus::kExact) batch.exact_count += 1;
     batch.telemetry.counter(telemetry_keys::kQueries) += 1;
-    batch.telemetry.merge(slot.ctx.telemetry);
+    if (slot.fallback) {
+      batch.telemetry.merge(slot.ctx.telemetry);
+    } else {
+      // Phase-2 slots ran concurrently, so summing their wall-clock
+      // timers would overstate the batch; merge_parallel takes the max.
+      // Counters still add, keeping the determinism contract intact.
+      batch.telemetry.merge_parallel(slot.ctx.telemetry);
+    }
+    batch.telemetry.histogram("query_latency").record_ms(slot.latency_ms);
     session_->telemetry_.child("solves").merge(report.result.telemetry);
   }
   return batch;

@@ -6,6 +6,7 @@
 #include "streamrel/reliability/naive.hpp"
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/stats.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -28,11 +29,16 @@ BottleneckArtifacts build_bottleneck_artifacts(
 
   // If even the full crossing capacity cannot carry d, reliability is 0
   // (paper: "If c(E') < d, the reliability ... is trivially zero").
-  artifacts.assignments =
-      reuse_assignments
-          ? *reuse_assignments
-          : enumerate_assignments(net, partition, demand.rate,
-                                  options.assignments);
+  {
+    TraceSpan span("assignments", "phase");
+    span.arg("reused", reuse_assignments != nullptr);
+    artifacts.assignments =
+        reuse_assignments
+            ? *reuse_assignments
+            : enumerate_assignments(net, partition, demand.rate,
+                                    options.assignments);
+    span.arg("count", static_cast<std::int64_t>(artifacts.assignments.size()));
+  }
   artifacts.mode_used = artifacts.assignments.mode;
   artifacts.telemetry.counter(telemetry_keys::kAssignments) =
       static_cast<std::uint64_t>(artifacts.assignments.size());
@@ -46,12 +52,18 @@ BottleneckArtifacts build_bottleneck_artifacts(
         make_side_problem(net, demand, partition, /*source_side=*/false);
     SideArrayStats stats_s;
     SideArrayStats stats_t;
-    artifacts.array_s =
-        build_side_array(artifacts.side_s, artifacts.assignments, demand.rate,
-                         options.side, &stats_s, ctx);
-    artifacts.array_t =
-        build_side_array(artifacts.side_t, artifacts.assignments, demand.rate,
-                         options.side, &stats_t, ctx);
+    {
+      TraceSpan span("side_array_s", "phase");
+      artifacts.array_s =
+          build_side_array(artifacts.side_s, artifacts.assignments,
+                           demand.rate, options.side, &stats_s, ctx);
+    }
+    {
+      TraceSpan span("side_array_t", "phase");
+      artifacts.array_t =
+          build_side_array(artifacts.side_t, artifacts.assignments,
+                           demand.rate, options.side, &stats_t, ctx);
+    }
     SideArrayStats combined;
     combined.merge(stats_s);
     combined.merge(stats_t);
@@ -104,6 +116,8 @@ BottleneckResult accumulate_bottleneck(const BottleneckArtifacts& artifacts,
   if (artifacts.assignments.size() == 0) return result;
 
   try {
+    TraceSpan span("accumulate", "phase");
+    span.arg("crossing", static_cast<std::uint64_t>(probs.crossing.size()));
     const MaskDistribution dist_s =
         bucket_side_array(artifacts.side_s, artifacts.array_s, probs.side_s);
     const MaskDistribution dist_t =

@@ -12,6 +12,7 @@
 #include "streamrel/maxflow/config_residual.hpp"
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/stats.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -63,6 +64,16 @@ MaskDistribution build_middle_distribution(
   auto solver = make_solver(algorithm);
 
   const Mask total_configs = Mask{1} << sub.net.num_edges();
+  TraceSpan span("middle_layer_sweep", "sweep");
+  span.arg("links", static_cast<std::int64_t>(sub.net.num_edges()))
+      .arg("pairs", static_cast<std::int64_t>(pairs));
+  if (ProgressReporter* reporter = exec_progress(ctx)) {
+    reporter->add_total(static_cast<std::uint64_t>(total_configs) *
+                        static_cast<std::uint64_t>(pairs));
+  }
+  ProgressMarker progress(exec_progress(ctx));
+  std::uint64_t walked = 0;
+  std::uint64_t calls = 0;
   std::vector<Mask> array(static_cast<std::size_t>(total_configs), 0);
   for (int i = 0; i < d_left.size(); ++i) {
     for (int j = 0; j < d_right.size(); ++j) {
@@ -89,11 +100,15 @@ MaskDistribution build_middle_distribution(
       }
       const int pair_bit = i * d_right.size() + j;
       for (Mask config = 0; config < total_configs; ++config) {
-        if (ctx && (config & (ExecContext::kPollStride - 1)) == 0) {
-          ctx->check();
+        if ((config & (ExecContext::kPollStride - 1)) == 0) {
+          if (ctx) ctx->check();
+          progress.at(walked);
         }
+        ++walked;
         residual.reset(config);
         if (maxflow_calls) ++*maxflow_calls;
+        ++calls;
+        STREAMREL_TRACE_SAMPLED_SPAN(mf_span, calls, "maxflow", "maxflow");
         if (solver->solve(residual.graph(), super_source, super_sink,
                           required) >= required) {
           array[static_cast<std::size_t>(config)] |= bit(pair_bit);
@@ -101,6 +116,7 @@ MaskDistribution build_middle_distribution(
       }
     }
   }
+  progress.at(walked);
 
   const ConfigProbTable probs(sub.net.failure_probs());
   std::unordered_map<Mask, double> buckets;

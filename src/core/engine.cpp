@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "streamrel/util/trace.hpp"
+
 namespace streamrel {
 
 namespace {
@@ -13,6 +15,15 @@ bool all_undirected(const FlowNetwork& net) {
     if (e.directed()) return false;
   }
   return true;
+}
+
+// Every engine opens one top-level span tagged with the instance shape,
+// so a trace always shows which engine ran and for how long.
+TraceSpan engine_span(std::string_view engine, const FlowNetwork& net) {
+  TraceSpan span(engine, "engine");
+  span.arg("nodes", static_cast<std::int64_t>(net.num_nodes()))
+      .arg("links", static_cast<std::int64_t>(net.num_edges()));
+  return span;
 }
 
 class NaiveEngine final : public Engine {
@@ -27,6 +38,7 @@ class NaiveEngine final : public Engine {
   SolveReport solve(const FlowNetwork& net, const FlowDemand& demand,
                     const SolveOptions& options,
                     const ExecContext* ctx) const override {
+    const TraceSpan span = engine_span(name(), net);
     SolveReport report;
     report.method_used = Method::kNaive;
     report.engine = name();
@@ -48,6 +60,7 @@ class FactoringEngine final : public Engine {
   SolveReport solve(const FlowNetwork& net, const FlowDemand& demand,
                     const SolveOptions& options,
                     const ExecContext* ctx) const override {
+    const TraceSpan span = engine_span(name(), net);
     SolveReport report;
     report.method_used = Method::kFactoring;
     report.engine = name();
@@ -67,6 +80,7 @@ class FrontierEngine final : public Engine {
   SolveReport solve(const FlowNetwork& net, const FlowDemand& demand,
                     const SolveOptions& options,
                     const ExecContext* ctx) const override {
+    const TraceSpan span = engine_span(name(), net);
     SolveReport report;
     report.method_used = Method::kFrontier;
     report.engine = name();
@@ -89,6 +103,7 @@ class BottleneckEngine final : public Engine {
   SolveReport solve(const FlowNetwork& net, const FlowDemand& demand,
                     const SolveOptions& options,
                     const ExecContext* ctx) const override {
+    const TraceSpan span = engine_span(name(), net);
     SolveReport report;
     report.method_used = Method::kBottleneck;
     report.engine = name();
@@ -144,6 +159,7 @@ class HybridMcEngine final : public Engine {
   SolveReport solve(const FlowNetwork& net, const FlowDemand& demand,
                     const SolveOptions& options,
                     const ExecContext* ctx) const override {
+    const TraceSpan span = engine_span(name(), net);
     SolveReport report;
     report.method_used = Method::kHybridMc;
     report.engine = name();

@@ -8,6 +8,7 @@
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/prng.hpp"
 #include "streamrel/util/stats.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -24,14 +25,21 @@ MaskDistribution sample_side_distribution(
     MaxFlowAlgorithm algorithm, std::uint64_t samples, Xoshiro256& rng,
     std::uint64_t& maxflow_calls, const ExecContext* ctx,
     std::uint64_t& drawn) {
+  TraceSpan span("sample_side", "sweep");
+  span.arg("side", side.is_source_side ? "s" : "t")
+      .arg("samples", samples);
+  if (ProgressReporter* progress = exec_progress(ctx)) {
+    progress->add_total(samples);
+  }
   SideMaskEvaluator evaluator(side, assignments, rate, algorithm);
   const std::vector<double> probs = side.sub.net.failure_probs();
   std::unordered_map<Mask, std::uint64_t> counts;
+  ProgressMarker progress(exec_progress(ctx));
   drawn = 0;
   for (std::uint64_t i = 0; i < samples; ++i) {
-    if (ctx && (i & (ExecContext::kPollStride - 1)) == 0 &&
-        ctx->should_stop()) {
-      break;
+    if ((i & (ExecContext::kPollStride - 1)) == 0) {
+      if (ctx && ctx->should_stop()) break;
+      progress.at(i);
     }
     Mask config = 0;
     for (std::size_t e = 0; e < probs.size(); ++e) {
@@ -40,6 +48,7 @@ MaskDistribution sample_side_distribution(
     counts[evaluator.realized(config)]++;
     ++drawn;
   }
+  progress.at(drawn);
   maxflow_calls += evaluator.maxflow_calls();
 
   MaskDistribution dist;

@@ -1,10 +1,12 @@
 #include "streamrel/core/query_session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "streamrel/reliability/bounds.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -329,6 +331,8 @@ SolveReport QuerySession::finish_prepared(
     report.result.status = prepared.stop;
     return report;
   }
+  TraceSpan span("query_accumulate", "cache");
+  span.arg("overrides", static_cast<std::uint64_t>(overrides.size()));
   const BottleneckProbabilities probs = gather_probs(
       prepared.partition->partition, prepared.entry->artifacts, overrides);
   report.result =
@@ -348,6 +352,8 @@ SolveReport QuerySession::solve_fallback(const FlowDemand& demand,
                                          const SolveOptions& options,
                                          std::span<const ProbOverride> overrides,
                                          ExecContext& ctx) {
+  TraceSpan span("query_fallback", "cache");
+  span.arg("method", to_string(options.method));
   const OverrideGuard guard(net_, overrides);
   SolveOptions forwarded = options;
   forwarded.context = &ctx;
@@ -373,9 +379,24 @@ SolveReport QuerySession::solve(const FlowDemand& demand,
 
   telemetry_.counter(telemetry_keys::kQueries) += 1;
   const ScopedTimer timer(telemetry_, "query_ms");
+  const auto query_start = std::chrono::steady_clock::now();
 
   SolveReport report;
-  const PreparedQuery prepared = prepare_cached(demand, options, *ctx);
+  PreparedQuery prepared;
+  {
+    TraceSpan span("query_prepare", "cache");
+    // Annotate the span with the cache traffic THIS query caused: the
+    // per-layer hit/miss counters are cheap to aggregate and only read
+    // when a trace is actually being recorded.
+    const std::uint64_t hits = span.active() ? cache_hits() : 0;
+    const std::uint64_t misses = span.active() ? cache_misses() : 0;
+    prepared = prepare_cached(demand, options, *ctx);
+    if (span.active()) {
+      span.arg("cache_hits", cache_hits() - hits)
+          .arg("cache_misses", cache_misses() - misses)
+          .arg("bottleneck_path", prepared.bottleneck_path);
+    }
+  }
   if (prepared.bottleneck_path) {
     report = finish_prepared(prepared, options, overrides, ctx);
     if (report.result.status != SolveStatus::kExact && !report.bounds) {
@@ -387,6 +408,10 @@ SolveReport QuerySession::solve(const FlowDemand& demand,
     report = solve_fallback(demand, options, overrides, *ctx);
   }
   telemetry_.child("solves").merge(report.result.telemetry);
+  telemetry_.histogram("query_latency")
+      .record_ms(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - query_start)
+                     .count());
   return report;
 }
 

@@ -4,6 +4,7 @@
 
 #include "streamrel/core/engine.hpp"
 #include "streamrel/reliability/reductions.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -131,7 +132,11 @@ SolveReport compute_reliability(const FlowNetwork& net,
     ctx = &local;
   }
 
+  TraceSpan span("compute_reliability", "facade");
+  span.arg("method", to_string(options.method));
+
   SolveReport report = dispatch(net, demand, options, *ctx);
+  span.arg("engine", report.engine);
 
   // A deadline/budget stop leaves at best a partial accumulation; attach
   // the cheap polynomial envelope so the caller still gets a bracket.

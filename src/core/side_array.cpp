@@ -9,10 +9,13 @@
 #include <omp.h>
 #endif
 
+#include <chrono>
+
 #include "streamrel/maxflow/config_residual.hpp"
 #include "streamrel/maxflow/incremental_dinic.hpp"
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/stats.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -206,22 +209,32 @@ void sweep_per_assignment(const SideProblem& side,
                           std::vector<Mask>& array, SweepCounters& stats,
                           const ExecContext* ctx, std::atomic<bool>& aborted) {
   SideEvaluator eval(side, algorithm);
+  ProgressMarker progress(exec_progress(ctx));
+  const std::uint64_t span = last - first + 1;
+  const std::uint64_t passes = static_cast<std::uint64_t>(assignments.size());
   for (int j = 0; j < assignments.size(); ++j) {
     const Capacity required =
         eval.configure(assignments.assignments[static_cast<std::size_t>(j)],
                        d);
     for (Mask config = first;; ++config) {
-      if (((config - first) & (ExecContext::kPollStride - 1)) == 0 &&
-          poll_stop(ctx, aborted)) {
-        return;
+      if (((config - first) & (ExecContext::kPollStride - 1)) == 0) {
+        if (poll_stop(ctx, aborted)) return;
+        // This sweep walks the range once PER assignment; progress counts
+        // each configuration once, pro-rated over the passes.
+        progress.at((static_cast<std::uint64_t>(j) * span +
+                     (config - first)) /
+                    passes);
       }
       ++stats.maxflow_calls;
+      STREAMREL_TRACE_SAMPLED_SPAN(mf_span, stats.maxflow_calls, "maxflow",
+                                   "maxflow");
       if (eval.solve(config, required) >= required) {
         array[static_cast<std::size_t>(config)] |= bit(j);
       }
       if (config == last) break;
     }
   }
+  progress.at(span);
 }
 
 void sweep_polymatroid(const SideProblem& side,
@@ -235,15 +248,18 @@ void sweep_polymatroid(const SideProblem& side,
       subset_usage_sums(assignments, subsets);
 
   SideEvaluator eval(side, algorithm);
+  ProgressMarker progress(exec_progress(ctx));
   std::vector<Capacity> f(static_cast<std::size_t>(subsets), 0);
   for (Mask config = first;; ++config) {
-    if (((config - first) & (ExecContext::kPollStride - 1)) == 0 &&
-        poll_stop(ctx, aborted)) {
-      return;
+    if (((config - first) & (ExecContext::kPollStride - 1)) == 0) {
+      if (poll_stop(ctx, aborted)) return;
+      progress.at(config - first);
     }
     for (Mask q = 1; q < subsets; ++q) {
       eval.configure_subset(q, d);
       ++stats.maxflow_calls;
+      STREAMREL_TRACE_SAMPLED_SPAN(mf_span, stats.maxflow_calls, "maxflow",
+                                   "maxflow");
       f[static_cast<std::size_t>(q)] = eval.solve(config, d);
     }
     Mask realized = 0;
@@ -259,6 +275,7 @@ void sweep_polymatroid(const SideProblem& side,
     array[static_cast<std::size_t>(config)] = realized;
     if (config == last) break;
   }
+  progress.at(last - first + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -329,10 +346,16 @@ void sweep_per_assignment_gray(const SideProblem& side,
     engines.push_back(std::move(e));
   }
 
+  ProgressMarker progress(exec_progress(ctx));
+  std::uint64_t sync_ops = 0;
+  bool stopped = false;
   for (Mask rank = first;; ++rank) {
-    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0 &&
-        poll_stop(ctx, aborted)) {
-      break;  // still collect engine counters below
+    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0) {
+      if (poll_stop(ctx, aborted)) {
+        stopped = true;
+        break;  // still collect engine counters below
+      }
+      progress.at(rank - first);
     }
     const Mask config = gray_code(rank);
     Mask realized = 0;
@@ -353,6 +376,9 @@ void sweep_per_assignment_gray(const SideProblem& side,
         ok = false;
         ++stats.pruned_decisions;
       } else {
+        ++sync_ops;
+        STREAMREL_TRACE_SAMPLED_SPAN(mf_span, sync_ops, "maxflow_sync",
+                                     "maxflow");
         e.flow->sync_to(config);
         e.refresh(pruning);
         ok = e.admits;
@@ -362,6 +388,7 @@ void sweep_per_assignment_gray(const SideProblem& side,
     array[static_cast<std::size_t>(config)] = realized;
     if (rank == last) break;
   }
+  if (!stopped) progress.at(last - first + 1);
   for (const auto& e : engines) e->collect(stats);
 }
 
@@ -397,6 +424,7 @@ void sweep_polymatroid_gray(const SideProblem& side,
   // saturated cut is revived, f <= v (the cut's capacity IS v). At the cap
   // (v >= d) the lower bound alone decides; below it both together pin
   // f(config) = v exactly without a sync.
+  std::uint64_t sync_ops = 0;
   const auto f_of = [&](Mask q, Mask config) -> Capacity {
     GrayEngine& e = *engines[static_cast<std::size_t>(q)];
     const Mask state = e.flow->alive_mask();
@@ -411,16 +439,23 @@ void sweep_polymatroid_gray(const SideProblem& side,
         return e.value;
       }
     }
+    ++sync_ops;
+    STREAMREL_TRACE_SAMPLED_SPAN(mf_span, sync_ops, "maxflow_sync", "maxflow");
     e.flow->sync_to(config);
     e.refresh(pruning);
     return e.value;
   };
 
+  ProgressMarker progress(exec_progress(ctx));
+  bool stopped = false;
   Mask realized_prev = 0;
   for (Mask rank = first;; ++rank) {
-    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0 &&
-        poll_stop(ctx, aborted)) {
-      break;  // still collect engine counters below
+    if (((rank - first) & (ExecContext::kPollStride - 1)) == 0) {
+      if (poll_stop(ctx, aborted)) {
+        stopped = true;
+        break;  // still collect engine counters below
+      }
+      progress.at(rank - first);
     }
     const Mask config = gray_code(rank);
     // Assignment-level monotone pruning off the previous Gray step: a
@@ -455,6 +490,7 @@ void sweep_polymatroid_gray(const SideProblem& side,
     realized_prev = realized;
     if (rank == last) break;
   }
+  if (!stopped) progress.at(last - first + 1);
   for (Mask q = 1; q < subsets; ++q) {
     engines[static_cast<std::size_t>(q)]->collect(stats);
   }
@@ -504,6 +540,16 @@ std::vector<Mask> build_side_array(const SideProblem& side,
                         : SideSweepStrategy::kScratch;
   }
 
+  TraceSpan sweep_span("build_side_array", "sweep");
+  sweep_span.arg("side", side.is_source_side ? "s" : "t")
+      .arg("links", static_cast<std::int64_t>(m))
+      .arg("configs", static_cast<std::uint64_t>(total))
+      .arg("gray", sweep == SideSweepStrategy::kGrayIncremental);
+
+  if (ProgressReporter* progress = exec_progress(ctx)) {
+    progress->add_total(static_cast<std::uint64_t>(total));
+  }
+
   std::vector<Mask> array(static_cast<std::size_t>(total), 0);
   SweepCounters local;
   std::atomic<bool> aborted{false};
@@ -550,6 +596,7 @@ std::vector<Mask> build_side_array(const SideProblem& side,
         static_cast<Mask>(exec_resolved_threads(ctx)), shard_count));
     std::vector<SweepCounters> shard_stats(
         static_cast<std::size_t>(shard_count));
+    std::vector<double> shard_ms(static_cast<std::size_t>(shard_count), 0.0);
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(shard_count);
          ++i) {
@@ -557,18 +604,50 @@ std::vector<Mask> build_side_array(const SideProblem& side,
       const Mask last = static_cast<Mask>(i) + 1 == shard_count
                             ? total - 1
                             : first + chunk - 1;
+      TraceSpan shard_span("side_sweep_shard", "sweep");
+      shard_span.arg("shard", static_cast<std::int64_t>(i))
+          .arg("ranks", static_cast<std::uint64_t>(last - first + 1));
+      const auto t0 = std::chrono::steady_clock::now();
       run(first, last, shard_stats[static_cast<std::size_t>(i)]);
+      shard_ms[static_cast<std::size_t>(i)] =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
     }
     if (aborted.load(std::memory_order_relaxed)) {
       throw ExecInterrupted{ctx->stop_status()};
     }
     for (const SweepCounters& s : shard_stats) local.merge(s);
-    if (stats) local.flush(stats->telemetry);
+    if (stats) {
+      local.flush(stats->telemetry);
+      // Shards run concurrently, so wall clock is the slowest shard (the
+      // max), never the sum — the sum is the CPU view and gets its own
+      // key. See Telemetry::merge_parallel for the same rule applied to
+      // whole trees.
+      double wall = 0.0;
+      double cpu = 0.0;
+      for (double t : shard_ms) {
+        wall = std::max(wall, t);
+        cpu += t;
+      }
+      stats->telemetry.timer_ms("sweep") += wall;
+      stats->telemetry.timer_ms("sweep_cpu") += cpu;
+    }
     return array;
   }
 #endif
 
-  run(0, total - 1, local);
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    run(0, total - 1, local);
+    if (stats) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      stats->telemetry.timer_ms("sweep") += ms;
+      stats->telemetry.timer_ms("sweep_cpu") += ms;
+    }
+  }
   if (aborted.load(std::memory_order_relaxed)) {
     throw ExecInterrupted{ctx->stop_status()};
   }

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "streamrel/util/trace.hpp"
+
 namespace streamrel {
 
 std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
@@ -13,6 +15,7 @@ std::optional<ChainPlan> find_chain_plan(const FlowNetwork& net, NodeId s,
   if (!net.valid_node(s) || !net.valid_node(t) || s == t) {
     throw std::invalid_argument("bad endpoints");
   }
+  TraceSpan span("chain_search", "search");
 
   // BFS order from s (direction-insensitive); unreached nodes appended.
   std::vector<int> position(static_cast<std::size_t>(net.num_nodes()), -1);

@@ -4,6 +4,7 @@
 
 #include "streamrel/graph/graph_algos.hpp"
 #include "streamrel/maxflow/maxflow.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -23,6 +24,7 @@ bool better(const PartitionStats& a, const PartitionStats& b) {
 std::vector<PartitionChoice> find_candidate_partitions(
     const FlowNetwork& net, NodeId s, NodeId t,
     const PartitionSearchOptions& options, const ExecContext* ctx) {
+  TraceSpan span("partition_search", "search");
   std::vector<PartitionChoice> candidates;
 
   auto consider = [&](const std::vector<EdgeId>& cut) {
@@ -62,6 +64,7 @@ std::vector<PartitionChoice> find_candidate_partitions(
             [](const PartitionChoice& a, const PartitionChoice& b) {
               return better(a.stats, b.stats);
             });
+  span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
   return candidates;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "streamrel/maxflow/config_residual.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -41,6 +42,8 @@ class FactoringSolver {
     }
     residual_.reset_with(alive_);
     maxflow_calls_++;
+    STREAMREL_TRACE_SAMPLED_SPAN(mf_span, maxflow_calls_, "maxflow",
+                                 "maxflow");
     return solver_->solve(residual_.graph(), demand_.source, demand_.sink,
                           demand_.rate);
   }
@@ -70,8 +73,11 @@ class FactoringSolver {
     if (++tree_nodes_ > options_.max_tree_nodes) {
       throw ExecInterrupted{SolveStatus::kBudgetExhausted};
     }
-    if (ctx_ && (tree_nodes_ & (ExecContext::kPollStride - 1)) == 0) {
-      ctx_->check();
+    if ((tree_nodes_ & (ExecContext::kPollStride - 1)) == 0) {
+      if (ctx_) ctx_->check();
+      // The factoring tree has no meaningful total, so the reporter runs
+      // rate-only (visited tree nodes per second, no ETA).
+      progress_.at(tree_nodes_);
     }
     // Optimistic prune: even with all undecided edges up, no d units fit.
     const Capacity optimistic = bounded_flow(/*optimistic=*/true);
@@ -100,6 +106,7 @@ class FactoringSolver {
   std::unique_ptr<MaxFlowSolver> solver_;
   std::vector<EdgeState> state_;
   std::vector<bool> alive_;
+  ProgressMarker progress_{exec_progress(ctx_)};
   std::uint64_t tree_nodes_ = 0;
   std::uint64_t maxflow_calls_ = 0;
 };

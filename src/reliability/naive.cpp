@@ -12,6 +12,7 @@
 #include "streamrel/maxflow/incremental_dinic.hpp"
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/stats.hpp"
+#include "streamrel/util/trace.hpp"
 
 namespace streamrel {
 
@@ -28,22 +29,28 @@ std::uint64_t sweep_range(const FlowNetwork& net, const FlowDemand& demand,
                           const ExecContext* ctx, std::atomic<bool>& aborted) {
   ConfigResidual residual(net);
   auto solver = make_solver(algorithm);
+  ProgressMarker progress(exec_progress(ctx));
   std::uint64_t visited = 0;
   for (Mask alive = first;; ++alive) {
-    if (ctx && ((alive - first) & (ExecContext::kPollStride - 1)) == 0 &&
-        (aborted.load(std::memory_order_relaxed) || ctx->should_stop())) {
-      aborted.store(true, std::memory_order_relaxed);
-      break;
+    if (((alive - first) & (ExecContext::kPollStride - 1)) == 0) {
+      if (ctx &&
+          (aborted.load(std::memory_order_relaxed) || ctx->should_stop())) {
+        aborted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      progress.at(visited);
     }
     residual.reset(alive);
     ++maxflow_calls;
     ++visited;
+    STREAMREL_TRACE_SAMPLED_SPAN(mf_span, maxflow_calls, "maxflow", "maxflow");
     if (solver->solve(residual.graph(), demand.source, demand.sink,
                       demand.rate) >= demand.rate) {
       sum.add(probs.prob(alive));
     }
     if (alive == last) break;
   }
+  progress.at(visited);
   return visited;
 }
 
@@ -62,19 +69,24 @@ ReliabilityResult naive_gray(const FlowNetwork& net, const FlowDemand& demand,
     inc.set_edge_alive(id, false);
   }
   const Mask total = Mask{1} << net.num_edges();
+  ProgressMarker progress(exec_progress(ctx));
   for (Mask i = 0;; ++i) {
-    if (ctx && (i & (ExecContext::kPollStride - 1)) == 0 &&
-        ctx->should_stop()) {
-      result.status = ctx->stop_status();
-      break;
+    if ((i & (ExecContext::kPollStride - 1)) == 0) {
+      if (ctx && ctx->should_stop()) {
+        result.status = ctx->stop_status();
+        break;
+      }
+      progress.at(i);
     }
     const Mask alive = gray_code(i);
     ++configurations;
+    STREAMREL_TRACE_SAMPLED_SPAN(mf_span, i, "maxflow_sync", "maxflow");
     if (inc.admits()) sum.add(probs.prob(alive));
     if (i + 1 == total) break;
     const int flip = gray_flip_bit(i);
     inc.set_edge_alive(flip, !test_bit(alive, flip));
   }
+  progress.at(configurations);
   result.telemetry.counter(telemetry_keys::kConfigurations) = configurations;
   // One repair per step.
   result.telemetry.counter(telemetry_keys::kMaxflowCalls) = configurations;
@@ -95,6 +107,10 @@ ReliabilityResult reliability_naive(const FlowNetwork& net,
   }
   const ConfigProbTable probs(net.failure_probs());
   const Mask total = Mask{1} << net.num_edges();
+
+  if (ProgressReporter* progress = exec_progress(ctx)) {
+    progress->add_total(static_cast<std::uint64_t>(total));
+  }
 
   if (options.strategy == NaiveStrategy::kGrayIncremental) {
     return naive_gray(net, demand, probs, ctx);

@@ -1,9 +1,69 @@
 #include "streamrel/util/telemetry.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 namespace streamrel {
+
+std::size_t LatencyHistogram::bucket_index(double ms) noexcept {
+  const double us = ms * 1000.0;
+  if (!(us > 0.0) || !std::isfinite(us)) return 0;  // also catches NaN
+  const double idx = std::floor(std::log2(us) * 4.0) + 1.0;
+  if (idx < 1.0) return 1;
+  if (idx >= static_cast<double>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double LatencyHistogram::bucket_value_ms(std::size_t index) noexcept {
+  if (index == 0) return 0.0;
+  const double us =
+      std::exp2(static_cast<double>(index - 1) / 4.0);  // lower bound
+  return us / 1000.0;
+}
+
+void LatencyHistogram::record_ms(double ms) noexcept {
+  if (!std::isfinite(ms)) ms = 0.0;  // non-finite samples count as 0
+  buckets_[bucket_index(ms)] += 1;
+  sum_ms_ += ms;
+  if (count_ == 0) {
+    min_ms_ = max_ms_ = ms;
+  } else {
+    min_ms_ = std::min(min_ms_, ms);
+    max_ms_ = std::max(max_ms_, ms);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  sum_ms_ += other.sum_ms_;
+  if (count_ == 0) {
+    min_ms_ = other.min_ms_;
+    max_ms_ = other.max_ms_;
+  } else {
+    min_ms_ = std::min(min_ms_, other.min_ms_);
+    max_ms_ = std::max(max_ms_, other.max_ms_);
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::percentile_ms(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: the smallest sample index (1-based) covering p percent.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                              static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bucket_value_ms(i);
+  }
+  return bucket_value_ms(kBuckets - 1);
+}
 
 Telemetry::Counter& Telemetry::counter(std::string_view name) {
   const auto it = counters_.find(name);
@@ -28,6 +88,18 @@ double Telemetry::timer_ms_or(std::string_view name, double fallback) const {
   return it != timers_.end() ? it->second : fallback;
 }
 
+LatencyHistogram& Telemetry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), LatencyHistogram{})
+      .first->second;
+}
+
+const LatencyHistogram* Telemetry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
 Telemetry& Telemetry::child(std::string_view name) {
   const auto it = children_.find(name);
   if (it != children_.end()) return it->second;
@@ -42,7 +114,24 @@ const Telemetry* Telemetry::find_child(std::string_view name) const {
 void Telemetry::merge(const Telemetry& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
   for (const auto& [name, value] : other.timers_) timers_[name] += value;
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].merge(hist);
+  }
   for (const auto& [name, sub] : other.children_) children_[name].merge(sub);
+}
+
+void Telemetry::merge_parallel(const Telemetry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.timers_) {
+    double& slot = timers_[name];
+    slot = std::max(slot, value);
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].merge(hist);
+  }
+  for (const auto& [name, sub] : other.children_) {
+    children_[name].merge_parallel(sub);
+  }
 }
 
 bool Telemetry::counters_equal(const Telemetry& other) const {
@@ -62,10 +151,39 @@ namespace {
 void append_quoted(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   out += '"';
+}
+
+/// Timers are wall-clock measurements; a non-finite value (overflowed
+/// arithmetic upstream, a sentinel) must not corrupt the document, so it
+/// renders as null — still valid JSON for util/json and every consumer.
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out += buf;
 }
 
 }  // namespace
@@ -87,9 +205,24 @@ void Telemetry::append_json(std::string& out) const {
     sep();
     append_quoted(out, name + "_ms");
     out += ": ";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.3f", value);
-    out += buf;
+    append_number(out, value);
+  }
+  for (const auto& [name, hist] : histograms_) {
+    sep();
+    append_quoted(out, name + "_hist");
+    out += ": {\"count\": ";
+    out += std::to_string(hist.count());
+    out += ", \"min_ms\": ";
+    append_number(out, hist.min_ms());
+    out += ", \"p50_ms\": ";
+    append_number(out, hist.percentile_ms(50));
+    out += ", \"p95_ms\": ";
+    append_number(out, hist.percentile_ms(95));
+    out += ", \"p99_ms\": ";
+    append_number(out, hist.percentile_ms(99));
+    out += ", \"max_ms\": ";
+    append_number(out, hist.max_ms());
+    out += '}';
   }
   for (const auto& [name, sub] : children_) {
     sep();

@@ -1,0 +1,371 @@
+#include "streamrel/util/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace streamrel {
+
+namespace trace_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_detail
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's ring. Owned by the global registry (shared_ptr) so the
+/// buffer outlives its thread; the thread only keeps a raw pointer.
+/// Writes are single-threaded (the owning thread); reads happen from the
+/// exporting thread at a coordination point (no solve in flight).
+struct ThreadRing {
+  explicit ThreadRing(std::uint32_t id) : tid(id) {
+    events.reserve(Tracer::kRingCapacity);
+  }
+
+  void push(TraceEvent&& event) {
+    event.tid = tid;
+    if (events.size() < Tracer::kRingCapacity) {
+      events.push_back(std::move(event));
+      return;
+    }
+    events[next_overwrite] = std::move(event);
+    next_overwrite = (next_overwrite + 1) % Tracer::kRingCapacity;
+    ++dropped;
+  }
+
+  void clear() {
+    events.clear();
+    next_overwrite = 0;
+    dropped = 0;
+  }
+
+  const std::uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::size_t next_overwrite = 0;  ///< oldest slot once the ring is full
+  std::uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint64_t epoch_ns = steady_now_ns();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // immortal: threads may record late
+  return *r;
+}
+
+ThreadRing& thread_ring() {
+  thread_local ThreadRing* ring = [] {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    auto owned =
+        std::make_shared<ThreadRing>(static_cast<std::uint32_t>(r.rings.size()));
+    r.rings.push_back(owned);
+    return owned.get();
+  }();
+  return *ring;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  // Microseconds with nanosecond precision, the unit Chrome expects.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void Tracer::set_enabled(bool on) {
+  if (on) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.epoch_ns = steady_now_ns();
+  }
+  trace_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& ring : r.rings) ring->clear();
+  r.epoch_ns = steady_now_ns();
+}
+
+std::uint64_t Tracer::now_ns() {
+  Registry& r = registry();
+  return steady_now_ns() - r.epoch_ns;
+}
+
+void Tracer::record(TraceEvent event) { thread_ring().push(std::move(event)); }
+
+std::uint64_t Tracer::event_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) total += ring->events.size();
+  return total;
+}
+
+std::uint64_t Tracer::dropped_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : r.rings) total += ring->dropped;
+  return total;
+}
+
+std::string Tracer::export_chrome_json() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& ring : r.rings) {
+    dropped += ring->dropped;
+    // Chronological order: the slots after next_overwrite are the oldest
+    // once the ring has wrapped.
+    const std::size_t n = ring->events.size();
+    const std::size_t start =
+        n == kRingCapacity ? ring->next_overwrite : std::size_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(start + i) % n];
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"";
+      append_json_escaped(out, e.name);
+      out += "\", \"cat\": \"";
+      append_json_escaped(out, e.category);
+      out += "\", \"ph\": \"X\", \"ts\": ";
+      append_us(out, e.start_ns);
+      out += ", \"dur\": ";
+      append_us(out, e.dur_ns);
+      out += ", \"pid\": 1, \"tid\": ";
+      out += std::to_string(e.tid);
+      if (!e.args.empty()) {
+        out += ", \"args\": {";
+        out += e.args;
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"tool\": "
+         "\"streamrel\", \"dropped_events\": ";
+  out += std::to_string(dropped);
+  out += "}}\n";
+  return out;
+}
+
+bool Tracer::export_chrome_json_to_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << export_chrome_json();
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+
+void TraceSpan::begin(std::string_view name, const char* category) {
+  name_.assign(name);
+  args_.clear();
+  category_ = category;
+  start_ns_ = Tracer::now_ns();
+  active_ = true;
+}
+
+void TraceSpan::finish() {
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.dur_ns = Tracer::now_ns() - start_ns_;
+  event.args = std::move(args_);
+  Tracer::record(std::move(event));
+  active_ = false;
+}
+
+namespace {
+
+void append_arg_key(std::string& args, std::string_view key) {
+  if (!args.empty()) args += ", ";
+  args += '"';
+  append_json_escaped(args, key);
+  args += "\": ";
+}
+
+}  // namespace
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  append_arg_key(args_, key);
+  args_ += '"';
+  append_json_escaped(args_, value);
+  args_ += '"';
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::uint64_t value) {
+  if (!active_) return *this;
+  append_arg_key(args_, key);
+  args_ += std::to_string(value);
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::int64_t value) {
+  if (!active_) return *this;
+  append_arg_key(args_, key);
+  args_ += std::to_string(value);
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, double value) {
+  if (!active_) return *this;
+  append_arg_key(args_, key);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  args_ += buf;
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, bool value) {
+  if (!active_) return *this;
+  append_arg_key(args_, key);
+  args_ += value ? "true" : "false";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// ProgressReporter
+
+struct ProgressReporter::Impl {
+  Options options;
+  std::ostream* out;
+  std::atomic<std::uint64_t> visited{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> last_print_ns{0};
+  std::atomic<bool> finished{false};
+  std::uint64_t start_ns = steady_now_ns();
+  std::mutex print_mutex;
+};
+
+ProgressReporter::ProgressReporter(std::ostream* out, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  impl_->out = out ? out : &std::cerr;
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::add_total(std::uint64_t n) noexcept {
+  impl_->total.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t ProgressReporter::visited() const noexcept {
+  return impl_->visited.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ProgressReporter::total() const noexcept {
+  return impl_->total.load(std::memory_order_relaxed);
+}
+
+ProgressReporter::Snapshot ProgressReporter::snapshot() const {
+  Snapshot s;
+  s.visited = visited();
+  s.total = total();
+  s.elapsed_s =
+      static_cast<double>(steady_now_ns() - impl_->start_ns) * 1e-9;
+  if (s.elapsed_s > 0.0) s.rate_per_s = static_cast<double>(s.visited) / s.elapsed_s;
+  if (s.rate_per_s > 0.0 && s.total > s.visited) {
+    s.eta_s = static_cast<double>(s.total - s.visited) / s.rate_per_s;
+  }
+  return s;
+}
+
+std::string ProgressReporter::render_line() const {
+  const Snapshot s = snapshot();
+  char buf[160];
+  if (s.total > 0) {
+    const double pct = 100.0 * static_cast<double>(s.visited) /
+                       static_cast<double>(s.total);
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %llu/%llu (%.1f%%) %.3g cfg/s ETA %.2fs",
+                  impl_->options.label.c_str(),
+                  static_cast<unsigned long long>(s.visited),
+                  static_cast<unsigned long long>(s.total), pct, s.rate_per_s,
+                  s.eta_s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s: %llu visited, %.3g cfg/s",
+                  impl_->options.label.c_str(),
+                  static_cast<unsigned long long>(s.visited), s.rate_per_s);
+  }
+  return buf;
+}
+
+void ProgressReporter::add(std::uint64_t n) {
+  impl_->visited.fetch_add(n, std::memory_order_relaxed);
+  if (impl_->finished.load(std::memory_order_relaxed)) return;
+
+  // Throttle: one thread wins the CAS per interval and prints; everyone
+  // else returns without touching the stream.
+  const std::uint64_t now = steady_now_ns();
+  std::uint64_t last = impl_->last_print_ns.load(std::memory_order_relaxed);
+  const auto interval_ns =
+      static_cast<std::uint64_t>(impl_->options.interval_ms * 1e6);
+  if (now - last < interval_ns && last != 0) return;
+  if (!impl_->last_print_ns.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(impl_->print_mutex);
+  *impl_->out << '\r' << render_line() << std::flush;
+}
+
+void ProgressReporter::finish() {
+  bool expected = false;
+  if (!impl_->finished.compare_exchange_strong(expected, true)) return;
+  if (impl_->last_print_ns.load(std::memory_order_relaxed) == 0) return;
+  const std::lock_guard<std::mutex> lock(impl_->print_mutex);
+  *impl_->out << '\r' << render_line() << '\n' << std::flush;
+}
+
+}  // namespace streamrel

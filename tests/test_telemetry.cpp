@@ -1,0 +1,222 @@
+// Telemetry JSON edge cases (empty tree, key escaping, non-finite
+// timers), LatencyHistogram percentiles and merge algebra, and the
+// merge vs merge_parallel timer semantics that keep shard wall-clock
+// honest (OpenMP shards overlap in time, so parallel merges take the
+// max while sequential merges sum).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "streamrel/util/json.hpp"
+#include "streamrel/util/telemetry.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+TEST(TelemetryJson, EmptyTreeRendersAsEmptyObject) {
+  const Telemetry t;
+  EXPECT_TRUE(t.empty());
+  const JsonValue doc = parse_json(t.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.as_object().empty());
+}
+
+TEST(TelemetryJson, KeysWithQuotesBackslashesAndControlCharsRoundTrip) {
+  Telemetry t;
+  t.counter("quo\"te") = 1;
+  t.counter("back\\slash") = 2;
+  t.counter("new\nline\ttab") = 3;
+  t.child("odd\"child").counter("x") = 4;
+
+  const JsonValue doc = parse_json(t.to_json());
+  ASSERT_NE(doc.find("quo\"te"), nullptr);
+  EXPECT_EQ(doc.find("quo\"te")->as_number(), 1.0);
+  ASSERT_NE(doc.find("back\\slash"), nullptr);
+  EXPECT_EQ(doc.find("back\\slash")->as_number(), 2.0);
+  ASSERT_NE(doc.find("new\nline\ttab"), nullptr);
+  EXPECT_EQ(doc.find("new\nline\ttab")->as_number(), 3.0);
+  const JsonValue* child = doc.find("odd\"child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->find("x")->as_number(), 4.0);
+}
+
+TEST(TelemetryJson, NonFiniteTimersRenderAsNull) {
+  Telemetry t;
+  t.timer_ms("fine") = 1.5;
+  t.timer_ms("nan") = std::numeric_limits<double>::quiet_NaN();
+  t.timer_ms("inf") = std::numeric_limits<double>::infinity();
+  t.timer_ms("ninf") = -std::numeric_limits<double>::infinity();
+
+  const JsonValue doc = parse_json(t.to_json());
+  EXPECT_EQ(doc.find("fine_ms")->as_number(), 1.5);
+  ASSERT_NE(doc.find("nan_ms"), nullptr);
+  EXPECT_TRUE(doc.find("nan_ms")->is_null());
+  EXPECT_TRUE(doc.find("inf_ms")->is_null());
+  EXPECT_TRUE(doc.find("ninf_ms")->is_null());
+}
+
+TEST(TelemetryJson, HistogramRendersSummaryObject) {
+  Telemetry t;
+  LatencyHistogram& h = t.histogram("query_latency");
+  h.record_ms(1.0);
+  h.record_ms(4.0);
+  h.record_ms(16.0);
+
+  const JsonValue doc = parse_json(t.to_json());
+  const JsonValue* hist = doc.find("query_latency_hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->is_object());
+  EXPECT_EQ(hist->find("count")->as_number(), 3.0);
+  EXPECT_EQ(hist->find("min_ms")->as_number(), 1.0);
+  EXPECT_EQ(hist->find("max_ms")->as_number(), 16.0);
+  // Percentile fields must be present, ordered, and within range.
+  const double p50 = hist->find("p50_ms")->as_number();
+  const double p95 = hist->find("p95_ms")->as_number();
+  const double p99 = hist->find("p99_ms")->as_number();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p99, 16.0);
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ms(50.0), 0.0);
+  EXPECT_EQ(h.percentile_ms(99.0), 0.0);
+  EXPECT_EQ(h.min_ms(), 0.0);
+  EXPECT_EQ(h.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesPickTheNearestRankBucket) {
+  // 50 samples at ~1 ms, 50 at ~100 ms. Nearest-rank: p50 is the 50th
+  // smallest (the 1 ms group), p95/p99 fall in the 100 ms group. The
+  // histogram quantises to quarter-power-of-two buckets and reports the
+  // bucket LOWER bound, so compare against the bucket value, not the raw
+  // sample.
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.record_ms(1.0);
+  for (int i = 0; i < 50; ++i) h.record_ms(100.0);
+
+  const double low = LatencyHistogram::bucket_value_ms(
+      LatencyHistogram::bucket_index(1.0));
+  const double high = LatencyHistogram::bucket_value_ms(
+      LatencyHistogram::bucket_index(100.0));
+  EXPECT_EQ(h.percentile_ms(50.0), low);
+  EXPECT_EQ(h.percentile_ms(95.0), high);
+  EXPECT_EQ(h.percentile_ms(99.0), high);
+  EXPECT_EQ(h.percentile_ms(100.0), high);
+  // Bucket lower bound never exceeds the sample, and the bucket is at
+  // most a quarter power of two wide.
+  EXPECT_LE(low, 1.0);
+  EXPECT_GT(low, 1.0 / std::exp2(0.25));
+  // Exact aggregates are tracked outside the buckets.
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min_ms(), 1.0);
+  EXPECT_EQ(h.max_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 50.0 * 1.0 + 50.0 * 100.0);
+}
+
+TEST(LatencyHistogram, NonPositiveAndNonFiniteSamplesLandInBucketZero) {
+  LatencyHistogram h;
+  h.record_ms(0.0);
+  h.record_ms(-5.0);
+  h.record_ms(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.percentile_ms(50.0), 0.0);
+  EXPECT_EQ(h.percentile_ms(100.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeIsAssociative) {
+  LatencyHistogram a;
+  a.record_ms(0.5);
+  a.record_ms(3.0);
+  LatencyHistogram b;
+  b.record_ms(10.0);
+  b.record_ms(0.02);
+  LatencyHistogram c;
+  c.record_ms(7.0);
+  c.record_ms(1000.0);
+  c.record_ms(0.001);
+
+  LatencyHistogram left = a;   // (a ⊕ b) ⊕ c
+  left.merge(b);
+  left.merge(c);
+  LatencyHistogram bc = b;     // a ⊕ (b ⊕ c)
+  bc.merge(c);
+  LatencyHistogram right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left.count(), 7u);
+  EXPECT_EQ(left.percentile_ms(50.0), right.percentile_ms(50.0));
+  EXPECT_EQ(left.min_ms(), 0.001);
+  EXPECT_EQ(left.max_ms(), 1000.0);
+}
+
+TEST(LatencyHistogram, MergeIsCommutative) {
+  LatencyHistogram a;
+  a.record_ms(2.0);
+  LatencyHistogram b;
+  b.record_ms(64.0);
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(TelemetryMerge, SequentialMergeSumsTimersParallelTakesMax) {
+  Telemetry shard_a;
+  shard_a.timer_ms("sweep") = 5.0;
+  shard_a.counter("configs") = 100;
+  Telemetry shard_b;
+  shard_b.timer_ms("sweep") = 3.0;
+  shard_b.counter("configs") = 40;
+
+  // Sequential phases: wall-clock adds up.
+  Telemetry seq = shard_a;
+  seq.merge(shard_b);
+  EXPECT_DOUBLE_EQ(seq.timer_ms_or("sweep"), 8.0);
+  EXPECT_EQ(seq.counter_or("configs"), 140u);
+
+  // Concurrent shards: the intervals overlap, wall-clock is the longest
+  // shard; counters still add.
+  Telemetry par = shard_a;
+  par.merge_parallel(shard_b);
+  EXPECT_DOUBLE_EQ(par.timer_ms_or("sweep"), 5.0);
+  EXPECT_EQ(par.counter_or("configs"), 140u);
+}
+
+TEST(TelemetryMerge, ParallelMergeRecursesIntoChildrenAndHistograms) {
+  Telemetry shard_a;
+  shard_a.child("side").timer_ms("build") = 9.0;
+  shard_a.histogram("lat").record_ms(1.0);
+  Telemetry shard_b;
+  shard_b.child("side").timer_ms("build") = 11.0;
+  shard_b.histogram("lat").record_ms(100.0);
+
+  Telemetry par = shard_a;
+  par.merge_parallel(shard_b);
+  EXPECT_DOUBLE_EQ(par.child("side").timer_ms_or("build"), 11.0);
+  ASSERT_NE(par.find_histogram("lat"), nullptr);
+  EXPECT_EQ(par.find_histogram("lat")->count(), 2u);
+  EXPECT_EQ(par.find_histogram("lat")->max_ms(), 100.0);
+}
+
+TEST(TelemetryMerge, CountersEqualIsTheDeterminismPredicate) {
+  Telemetry a;
+  a.counter("visited") = 7;
+  a.timer_ms("sweep") = 1.0;
+  Telemetry b;
+  b.counter("visited") = 7;
+  b.timer_ms("sweep") = 99.0;  // timing noise must not break determinism
+  EXPECT_TRUE(a.counters_equal(b));
+  b.counter("visited") = 8;
+  EXPECT_FALSE(a.counters_equal(b));
+}
+
+}  // namespace

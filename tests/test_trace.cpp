@@ -1,0 +1,228 @@
+// Tracer/TraceSpan/ProgressReporter: recording gated on the global
+// enable flag, Chrome-trace export that parses with util/json, ring
+// overflow accounting, the sampled-span macro's stride, and the
+// progress/ETA arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "streamrel/util/json.hpp"
+#include "streamrel/util/trace.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+// The tracer is process-global; every test starts and ends from a clean,
+// disabled state so ordering cannot leak events between tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::set_enabled(false);
+    Tracer::clear();
+  }
+  void TearDown() override {
+    Tracer::set_enabled(false);
+    Tracer::clear();
+  }
+};
+
+const JsonValue* find_event(const JsonValue& doc, std::string_view name) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events) return nullptr;
+  for (const JsonValue& e : events->as_array()) {
+    if (const JsonValue* n = e.find("name")) {
+      if (n->as_string() == name) return &e;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  EXPECT_FALSE(trace_enabled());
+  {
+    TraceSpan span("invisible", "test");
+    span.arg("k", std::uint64_t{1});
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST_F(TraceTest, ExportWithNoEventsIsValidEmptyDocument) {
+  const JsonValue doc = parse_json(Tracer::export_chrome_json());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->as_array().empty());
+}
+
+TEST_F(TraceTest, SpanRecordsNameCategoryAndArgs) {
+  Tracer::set_enabled(true);
+  {
+    TraceSpan span("solve_x", "engine");
+    EXPECT_TRUE(span.active());
+    span.arg("links", std::uint64_t{8})
+        .arg("note", "a\"b\\c")
+        .arg("ratio", 0.5)
+        .arg("neg", std::int64_t{-3})
+        .arg("flag", true);
+  }
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), 1u);
+
+  const JsonValue doc = parse_json(Tracer::export_chrome_json());
+  const JsonValue* e = find_event(doc, "solve_x");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->find("cat")->as_string(), "engine");
+  EXPECT_EQ(e->find("ph")->as_string(), "X");
+  EXPECT_GE(e->find("dur")->as_number(), 0.0);
+  const JsonValue* args = e->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("links")->as_number(), 8.0);
+  EXPECT_EQ(args->find("note")->as_string(), "a\"b\\c");
+  EXPECT_EQ(args->find("ratio")->as_number(), 0.5);
+  EXPECT_EQ(args->find("neg")->as_number(), -3.0);
+  EXPECT_TRUE(args->find("flag")->as_bool());
+
+  // Envelope fields Perfetto relies on.
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->as_number(), 0.0);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  Tracer::set_enabled(true);
+  const std::uint64_t extra = 100;
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + extra; ++i) {
+    TraceEvent e;
+    e.name = std::to_string(i);
+    e.category = "test";
+    Tracer::record(std::move(e));
+  }
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), Tracer::kRingCapacity);
+  EXPECT_EQ(Tracer::dropped_count(), extra);
+
+  // The retained window is the newest kRingCapacity events, exported in
+  // chronological order: the first event must now be `extra`.
+  const JsonValue doc = parse_json(Tracer::export_chrome_json());
+  const auto& events = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), Tracer::kRingCapacity);
+  EXPECT_EQ(events.front().find("name")->as_string(), std::to_string(extra));
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->as_number(),
+            static_cast<double>(extra));
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndResetsDropCounter) {
+  Tracer::set_enabled(true);
+  { TraceSpan span("gone", "test"); }
+  Tracer::clear();
+  EXPECT_EQ(Tracer::event_count(), 0u);
+  EXPECT_EQ(Tracer::dropped_count(), 0u);
+  EXPECT_TRUE(trace_enabled());  // clear() keeps enablement
+}
+
+TEST_F(TraceTest, SampledSpanMacroRecordsOncePerStride) {
+  Tracer::set_enabled(true);
+  for (std::uint64_t i = 0; i < 2 * kTraceSampleStride; ++i) {
+    STREAMREL_TRACE_SAMPLED_SPAN(span, i, "hot_call", "maxflow");
+  }
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), 2u);  // i == 0 and i == stride
+}
+
+TEST_F(TraceTest, SampledSpanMacroIsInertWhenDisabled) {
+  for (std::uint64_t i = 0; i < 2 * kTraceSampleStride; ++i) {
+    STREAMREL_TRACE_SAMPLED_SPAN(span, i, "hot_call", "maxflow");
+  }
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST_F(TraceTest, MoveTransfersTheOpenSpan) {
+  Tracer::set_enabled(true);
+  {
+    TraceSpan a("moved", "test");
+    TraceSpan b(std::move(a));
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): testing it
+    EXPECT_TRUE(b.active());
+  }  // exactly one event, from b
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), 1u);
+}
+
+TEST_F(TraceTest, MoveAssignmentFinishesTheDestinationFirst) {
+  Tracer::set_enabled(true);
+  {
+    TraceSpan span("first", "test");
+    span = TraceSpan("second", "test");  // "first" must finish here
+    EXPECT_TRUE(span.active());
+  }
+  Tracer::set_enabled(false);
+  EXPECT_EQ(Tracer::event_count(), 2u);
+  const JsonValue doc = parse_json(Tracer::export_chrome_json());
+  EXPECT_NE(find_event(doc, "first"), nullptr);
+  EXPECT_NE(find_event(doc, "second"), nullptr);
+}
+
+TEST(ProgressReporter, SnapshotTracksVisitedTotalRateAndEta) {
+  std::ostringstream out;
+  ProgressReporter progress(&out);
+  progress.add_total(100);
+  progress.add(50);
+  const ProgressReporter::Snapshot s = progress.snapshot();
+  EXPECT_EQ(s.visited, 50u);
+  EXPECT_EQ(s.total, 100u);
+  EXPECT_GT(s.elapsed_s, 0.0);
+  EXPECT_GT(s.rate_per_s, 0.0);
+  EXPECT_GT(s.eta_s, 0.0);  // half the work left at a positive rate
+  EXPECT_NE(progress.render_line().find("50/100"), std::string::npos);
+  EXPECT_NE(progress.render_line().find("50.0%"), std::string::npos);
+}
+
+TEST(ProgressReporter, NoTotalRendersRateOnly) {
+  std::ostringstream out;
+  ProgressOptions options;
+  options.label = "walk";
+  ProgressReporter progress(&out, options);
+  progress.add(7);
+  const std::string line = progress.render_line();
+  EXPECT_NE(line.find("walk: 7 visited"), std::string::npos);
+  EXPECT_EQ(progress.snapshot().eta_s, 0.0);  // unknowable without a total
+}
+
+TEST(ProgressReporter, FinishPrintsOnceAndIsIdempotent) {
+  std::ostringstream out;
+  ProgressReporter progress(&out);
+  progress.add_total(4);
+  progress.add(4);
+  progress.finish();
+  const std::string after_first = out.str();
+  progress.finish();
+  progress.add(1);  // post-finish adds must not print
+  EXPECT_EQ(out.str(), after_first);
+  EXPECT_NE(after_first.find("4/4"), std::string::npos);
+  EXPECT_EQ(after_first.back(), '\n');
+}
+
+TEST(ProgressMarker, ReportsDeltasAndIgnoresNonMonotonePositions) {
+  std::ostringstream out;
+  ProgressReporter progress(&out);
+  ProgressMarker marker(&progress);
+  marker.at(10);
+  EXPECT_EQ(progress.visited(), 10u);
+  marker.at(10);  // no new progress
+  EXPECT_EQ(progress.visited(), 10u);
+  marker.at(4);  // going backwards must not underflow
+  EXPECT_EQ(progress.visited(), 10u);
+  marker.at(25);
+  EXPECT_EQ(progress.visited(), 25u);
+}
+
+TEST(ProgressMarker, NullReporterIsANoop) {
+  ProgressMarker marker(nullptr);
+  marker.at(1000);  // must not crash
+}
+
+}  // namespace

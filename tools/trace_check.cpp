@@ -1,0 +1,114 @@
+// CI validator for trace files: parses the document with the in-repo
+// JSON parser (no external tooling in the smoke job), checks the Chrome
+// trace-event envelope, and asserts the spans CI cares about are
+// actually present — a silent regression that stops emitting engine or
+// sweep spans fails here, not in a human's Perfetto session.
+//
+//   trace_check trace.json [--min-events N] [--require name1,name2,...]
+//
+// Exit 0 and a one-line "ok" on success; exit 1 with the first failed
+// check on stderr otherwise.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/json.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "trace_check: " << message << "\n";
+  return 1;
+}
+
+int run(const CliArgs& args) {
+  if (args.positional().empty()) {
+    std::cerr << "usage: trace_check trace.json [--min-events N] "
+                 "[--require name1,name2,...]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const std::exception& e) {
+    return fail("malformed JSON: " + std::string(e.what()));
+  }
+  if (!doc.is_object()) return fail("top level is not an object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    return fail("missing \"traceEvents\" array");
+  }
+
+  std::set<std::string> names;
+  std::uint64_t complete = 0;
+  for (const JsonValue& e : events->as_array()) {
+    if (!e.is_object()) return fail("event is not an object");
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* dur = e.find("dur");
+    const JsonValue* tid = e.find("tid");
+    if (!name || !name->is_string()) return fail("event without a name");
+    if (!ph || !ph->is_string() || ph->as_string() != "X") {
+      return fail("event '" + name->as_string() + "' is not a complete "
+                  "(ph=X) event");
+    }
+    if (!ts || !ts->is_number() || ts->as_number() < 0.0) {
+      return fail("event '" + name->as_string() + "' has a bad ts");
+    }
+    if (!dur || !dur->is_number() || dur->as_number() < 0.0) {
+      return fail("event '" + name->as_string() + "' has a bad dur");
+    }
+    if (!tid || !tid->is_number()) {
+      return fail("event '" + name->as_string() + "' has no tid");
+    }
+    names.insert(name->as_string());
+    complete += 1;
+  }
+
+  const auto min_events =
+      static_cast<std::uint64_t>(args.get_int("min-events", 1));
+  if (complete < min_events) {
+    std::ostringstream msg;
+    msg << "only " << complete << " events, need >= " << min_events;
+    return fail(msg.str());
+  }
+
+  std::stringstream required(args.get("require", ""));
+  std::string want;
+  while (std::getline(required, want, ',')) {
+    if (want.empty()) continue;
+    if (names.count(want) == 0) {
+      return fail("required span '" + want + "' not found");
+    }
+  }
+
+  std::cout << "ok: " << complete << " events, " << names.size()
+            << " distinct spans\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
