@@ -91,8 +91,9 @@ void e4_side_array() {
   const AssignmentSet set = enumerate_assignments(g.net, partition, 2, {});
   const SideProblem side = make_side_problem(g.net, demand, partition, true);
   const auto array = build_side_array(side, set, 2);
-  std::cout << "source side G_s: " << side.sub.net.summary() << ", array of 2^"
-            << side.sub.net.num_edges() << " = " << array.size()
+  std::cout << "source side G_s: " << side.view.num_nodes() << " nodes, "
+            << side.view.num_edges() << " edges, array of 2^"
+            << side.view.num_edges() << " = " << array.size()
             << " elements, each a |D| = " << set.size() << "-bit value\n";
   TextTable t({"config (alive mask)", "bits", "realized assignments"});
   for (Mask config : {Mask{0b11111}, Mask{0b01101}, Mask{0b00101},

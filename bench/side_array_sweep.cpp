@@ -18,10 +18,21 @@
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/stopwatch.hpp"
 #include "streamrel/util/table.hpp"
+#include "streamrel/util/trace.hpp"
 
 using namespace streamrel;
 
 namespace {
+
+std::uint64_t count_occurrences(const std::string& haystack,
+                                const std::string& needle) {
+  std::uint64_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
 
 struct Row {
   std::string engine;
@@ -112,7 +123,7 @@ int main(int argc, char** argv) {
   const SideProblem side = make_side_problem(g.net, demand, partition, true);
 
   std::cout << "E26: side-array sweep strategies, |E_side|="
-            << side.sub.net.num_edges() << " (2^" << side.sub.net.num_edges()
+            << side.view.num_edges() << " (2^" << side.view.num_edges()
             << " configurations), |D|=" << forward.size() << ", d=" << d
             << ", k=" << bottleneck << "\n\n";
 
@@ -160,12 +171,33 @@ int main(int argc, char** argv) {
             << " |delta|=" << delta << (delta < 1e-12 ? " (ok)" : " (DRIFT)")
             << "\n";
 
+  // Zero-copy regression guard: trace one decomposition run and count the
+  // span markers. The side views must come from NetworkView construction
+  // ("network_view" spans), never from a copied FlowNetwork
+  // ("induced_subgraph" spans) — CI diffs these counts via bench_compare.
+  Tracer::set_enabled(true);
+  Tracer::clear();
+  reliability_bottleneck(g.net, demand, partition, gray_opts);
+  const std::string trace = Tracer::export_chrome_json();
+  Tracer::set_enabled(false);
+  const std::uint64_t subgraph_copies =
+      count_occurrences(trace, "{\"name\": \"induced_subgraph\"");
+  const std::uint64_t view_builds =
+      count_occurrences(trace, "{\"name\": \"network_view\"");
+  const bool zero_copy = subgraph_copies == 0 && view_builds > 0;
+  std::cout << "decomposition side views: " << view_builds
+            << " zero-copy builds, " << subgraph_copies
+            << " FlowNetwork copies" << (zero_copy ? " (ok)" : " (COPYING)")
+            << "\n";
+
   bench::BenchReport report("side_array_sweep");
-  report.metric("side_links", static_cast<std::int64_t>(side.sub.net.num_edges()))
+  report.metric("side_links", static_cast<std::int64_t>(side.view.num_edges()))
       .metric("assignments", static_cast<std::uint64_t>(forward.size()))
       .metric("demand", static_cast<std::int64_t>(d))
       .metric("seed", seed)
-      .metric("reliability_delta", delta);
+      .metric("reliability_delta", delta)
+      .metric("trace.subgraph_copies", subgraph_copies)
+      .metric("trace.view_builds", view_builds);
   for (const Row& r : rows) {
     report.metric(r.engine + ".scratch_ms", r.scratch_ms)
         .metric(r.engine + ".gray_ms", r.gray_ms)
@@ -182,7 +214,7 @@ int main(int argc, char** argv) {
   }
   const bool json_ok = bench::write_if_requested(report, args);
 
-  bool ok = json_ok && delta < 1e-12;
+  bool ok = json_ok && delta < 1e-12 && zero_copy;
   for (const Row& r : rows) ok = ok && r.identical;
   return ok ? 0 : 1;
 }

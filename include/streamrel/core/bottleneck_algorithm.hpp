@@ -65,14 +65,19 @@ struct BottleneckResult {
 };
 
 /// Exact reliability via the bottleneck decomposition over `partition`.
-/// Requires both sides to have <= 63 internal links and |D| <= 63.
+/// Requires both sides to have <= 63 internal links and |D| <= 63; a
+/// partition violating the 63-link ceiling on either side or the crossing
+/// set yields status kMaskOverflow (never a shift past the mask width).
 /// A context stop (deadline/cancel) observed inside the side sweeps or
 /// the accumulation loop yields status != kExact with reliability 0.
-BottleneckResult reliability_bottleneck(const FlowNetwork& net,
-                                        const FlowDemand& demand,
-                                        const BottleneckPartition& partition,
-                                        const BottleneckOptions& options = {},
-                                        const ExecContext* ctx = nullptr);
+/// `snapshot` (optional) supplies a pre-compiled view of `net` so
+/// repeated calls share one frozen structure; it must match `net`'s
+/// topology and capacities (probabilities are read from `net` itself).
+BottleneckResult reliability_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition, const BottleneckOptions& options = {},
+    const ExecContext* ctx = nullptr,
+    std::shared_ptr<const CompiledNetwork> snapshot = nullptr);
 
 /// The probability-independent half of the decomposition: the assignment
 /// set, the two side problems, and the side mask arrays. Masks record
@@ -90,8 +95,10 @@ struct BottleneckArtifacts {
   /// reports them (root totals, "side_s"/"side_t" children).
   Telemetry telemetry;
   PartitionStats partition_stats;
-  /// Non-exact when a context stop interrupted the side sweeps; the
-  /// arrays are then unusable and must not be cached.
+  /// Non-exact when a context stop interrupted the side sweeps
+  /// (kDeadlineExpired / kCancelled) or the partition needs more than
+  /// kMaxMaskBits links in one failure mask (kMaskOverflow); the arrays
+  /// are then unusable and must not be cached.
   SolveStatus status = SolveStatus::kExact;
 
   bool usable() const noexcept { return status == SolveStatus::kExact; }
@@ -99,20 +106,25 @@ struct BottleneckArtifacts {
 
 /// Builds the artifacts (the exponential part of the algorithm). Throws
 /// std::invalid_argument for usage errors exactly like
-/// reliability_bottleneck; a context stop returns status != kExact.
+/// reliability_bottleneck; a context stop returns status != kExact, and a
+/// partition whose side or crossing link count exceeds kMaxMaskBits
+/// returns status kMaskOverflow before any enumeration starts.
 /// `reuse_assignments` (may be null) skips the enumeration with a cached
 /// set — it must come from the same (partition, d, options.assignments).
+/// `snapshot` (may be null) pins a pre-compiled view of `net`; when null
+/// the network is compiled on the spot.
 BottleneckArtifacts build_bottleneck_artifacts(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition, const BottleneckOptions& options = {},
     const ExecContext* ctx = nullptr,
-    const AssignmentSet* reuse_assignments = nullptr);
+    const AssignmentSet* reuse_assignments = nullptr,
+    std::shared_ptr<const CompiledNetwork> snapshot = nullptr);
 
 /// Per-link failure probabilities arranged the way the accumulation
 /// consumes them: by side-subgraph edge id and by crossing-edge position.
 struct BottleneckProbabilities {
-  std::vector<double> side_s;    ///< indexed by artifacts.side_s.sub edge ids
-  std::vector<double> side_t;    ///< indexed by artifacts.side_t.sub edge ids
+  std::vector<double> side_s;    ///< indexed by artifacts.side_s.view edge ids
+  std::vector<double> side_t;    ///< indexed by artifacts.side_t.view edge ids
   std::vector<double> crossing;  ///< indexed by crossing-edge position
 };
 

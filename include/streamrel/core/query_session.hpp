@@ -17,8 +17,11 @@
 // topology) then skips straight to the Gray-order accumulation sweep:
 // two streaming folds plus 2^k inclusion–exclusion terms, no max-flow.
 //
-// Invalidation: capacity and topology edits flush all three layers;
-// probability edits flush nothing (the artifacts do not depend on them).
+// Invalidation: capacity and topology edits flush all three layers and
+// mint a fresh CompiledNetwork snapshot (new structure identity);
+// probability edits flush nothing — they overlay the pinned snapshot via
+// with_failure_prob, which preserves the structure id, so "this cache
+// entry is still valid" is literally a structure-identity check.
 //
 // Results are bitwise-identical to a cold compute_reliability call on
 // the same network — the session reuses the facade's arithmetic, it
@@ -119,6 +122,10 @@ class QuerySession {
   struct ArtifactEntry {
     PartitionChoice choice;
     BottleneckArtifacts artifacts;
+    /// Structure identity of the snapshot the artifacts were built
+    /// against; a hit is only served when it matches the session's
+    /// current snapshot.
+    std::uint64_t structure_id = 0;
   };
   struct PartitionEntry {
     PartitionSearchOptions options_used;
@@ -196,7 +203,14 @@ class QuerySession {
   void bump_epoch();
   Telemetry& layer_counters(std::string_view layer);
 
+  /// The session's frozen snapshot, minted lazily on first use.
+  /// Probability edits keep it (overlaying via with_failure_prob, which
+  /// preserves the structure id); capacity/topology edits drop it so the
+  /// next query compiles a fresh structure.
+  const std::shared_ptr<const CompiledNetwork>& snapshot();
+
   FlowNetwork net_;
+  std::shared_ptr<const CompiledNetwork> snapshot_;
   QueryCacheOptions cache_options_;
   Telemetry telemetry_;
 

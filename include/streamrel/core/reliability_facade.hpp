@@ -92,13 +92,4 @@ SolveReport compute_reliability(const FlowNetwork& net,
                                 const FlowDemand& demand,
                                 const SolveOptions& options = {});
 
-/// Deprecated pre-API-v3 spelling: pass the context in SolveOptions.
-[[deprecated("set SolveOptions::context instead")]] inline SolveReport
-compute_reliability(const FlowNetwork& net, const FlowDemand& demand,
-                    const SolveOptions& options, ExecContext& ctx) {
-  SolveOptions forwarded = options;
-  forwarded.context = &ctx;
-  return compute_reliability(net, demand, forwarded);
-}
-
 }  // namespace streamrel

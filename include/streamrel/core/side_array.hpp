@@ -28,23 +28,34 @@
 #include <vector>
 
 #include "streamrel/core/assignments.hpp"
-#include "streamrel/graph/subgraph.hpp"
+#include "streamrel/graph/compiled.hpp"
 #include "streamrel/maxflow/maxflow.hpp"
 #include "streamrel/util/exec_context.hpp"
 #include "streamrel/util/telemetry.hpp"
 
 namespace streamrel {
 
-/// One side of the decomposition, reduced to a compact subnetwork.
+/// One side of the decomposition as a zero-copy view over one compiled
+/// snapshot: no node or edge is duplicated, only index-translation tables
+/// are built, and the snapshot stays pinned for the problem's lifetime.
 struct SideProblem {
-  Subgraph sub;              ///< induced side network (edge ids index masks)
+  NetworkView view;          ///< side view (VIEW edge ids index masks)
   bool is_source_side = true;
-  NodeId anchor = kInvalidNode;         ///< s or t, in SUB node ids
-  std::vector<NodeId> endpoints;        ///< per crossing edge: x_i / y_i, SUB ids
+  NodeId anchor = kInvalidNode;         ///< s or t, in VIEW node ids
+  std::vector<NodeId> endpoints;        ///< per crossing edge: x_i / y_i, VIEW ids
 };
 
 /// Builds the side problem for the source side (s, x_i) or sink side
-/// (t, y_i) of a partition. Throws if the side has more than 63 links.
+/// (t, y_i) of a partition over one compiled snapshot. Throws if the side
+/// has more than 63 links.
+SideProblem make_side_problem(std::shared_ptr<const CompiledNetwork> snapshot,
+                              const FlowDemand& demand,
+                              const BottleneckPartition& partition,
+                              bool source_side);
+
+/// Convenience overload compiling `net` on the spot (one snapshot per
+/// call — callers building both sides should compile once and use the
+/// snapshot overload).
 SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
                               const BottleneckPartition& partition,
                               bool source_side);
@@ -147,7 +158,7 @@ MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array);
 
 /// Same fold under caller-supplied failure probabilities (one per side
-/// link, indexed by side.sub edge id) — the probability-only "what-if"
+/// link, indexed by side.view edge id) — the probability-only "what-if"
 /// path: the cached mask array is reused, only the fold reruns.
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array,

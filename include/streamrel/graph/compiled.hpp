@@ -1,0 +1,232 @@
+#pragma once
+// CompiledNetwork — the immutable, shareable snapshot the solvers run on.
+//
+// FlowNetwork stays the mutable builder: pointer-rich array-of-structs
+// edges plus per-node adjacency vectors, convenient to grow and edit.
+// compile() freezes it into a structure-of-arrays snapshot:
+//
+//   * CSR adjacency — one offsets array plus one packed incident-edge
+//     array, in exactly the builder's per-node incidence order;
+//   * SoA edge columns SPLIT BY MUTATION CLASS — structure (u, v, kind)
+//     and capacities live in an inner `Structure` block shared by
+//     shared_ptr, while the probability columns (p, log(p), log1p(-p))
+//     live in the outer CompiledNetwork.
+//
+// The split is what makes the serving layer's invalidation rule cheap
+// and principled: a probability edit calls with_failure_prob(), which
+// copies only the three probability columns and re-points at the SAME
+// Structure — so "probability edits keep every structural cache" is an
+// identity check on structure_id(), not an epoch heuristic. Capacity or
+// topology edits go back through the builder and compile() a new
+// Structure with a fresh id.
+//
+// NetworkView is the zero-copy companion: a side component of the
+// bottleneck decomposition (§III-C) as index-translation tables over one
+// pinned snapshot — no node or edge is copied, unlike the historical
+// `Subgraph`, which materialized each side as a full FlowNetwork. View
+// edge ids are dense [0, num_edges) in original-edge-id order, the same
+// compact numbering Subgraph used, so failure masks and side arrays are
+// bit-for-bit unchanged.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+class CompiledNetwork {
+ public:
+  /// The capacity/topology half of the snapshot, shared (never copied)
+  /// across probability overlays. `id` is process-unique: two
+  /// CompiledNetworks agree on topology and capacities iff their
+  /// structure ids are equal.
+  struct Structure {
+    int num_nodes = 0;
+    std::vector<NodeId> u;            ///< per edge: tail (directed) / endpoint
+    std::vector<NodeId> v;            ///< per edge: head / other endpoint
+    std::vector<EdgeKind> kind;       ///< per edge
+    std::vector<Capacity> capacity;   ///< per edge
+    std::vector<std::size_t> offsets; ///< CSR: num_nodes + 1 entries
+    std::vector<EdgeId> incident;     ///< CSR: packed incident edge ids
+    std::uint64_t id = 0;             ///< process-unique structure identity
+  };
+
+  /// Freezes `net` into a snapshot. Edge and incidence order are
+  /// preserved exactly, so every enumeration over the snapshot visits
+  /// configurations in the same order as one over the builder.
+  static std::shared_ptr<const CompiledNetwork> compile(
+      const FlowNetwork& net);
+
+  /// Probability overlay: a new snapshot sharing THIS snapshot's
+  /// Structure (same structure_id()), with edge `id` failing with
+  /// probability `p`. Throws std::invalid_argument for a bad edge id or
+  /// p outside [0, 1). Cost: one copy of the probability columns.
+  std::shared_ptr<const CompiledNetwork> with_failure_prob(EdgeId id,
+                                                           double p) const;
+
+  int num_nodes() const noexcept { return structure_->num_nodes; }
+  int num_edges() const noexcept {
+    return static_cast<int>(structure_->u.size());
+  }
+
+  bool valid_node(NodeId n) const noexcept {
+    return n >= 0 && n < structure_->num_nodes;
+  }
+  bool valid_edge(EdgeId e) const noexcept {
+    return e >= 0 && e < num_edges();
+  }
+
+  NodeId edge_u(EdgeId e) const {
+    return structure_->u[static_cast<std::size_t>(e)];
+  }
+  NodeId edge_v(EdgeId e) const {
+    return structure_->v[static_cast<std::size_t>(e)];
+  }
+  EdgeKind edge_kind(EdgeId e) const {
+    return structure_->kind[static_cast<std::size_t>(e)];
+  }
+  bool edge_directed(EdgeId e) const {
+    return edge_kind(e) == EdgeKind::kDirected;
+  }
+  Capacity edge_capacity(EdgeId e) const {
+    return structure_->capacity[static_cast<std::size_t>(e)];
+  }
+  double failure_prob(EdgeId e) const {
+    return failure_prob_[static_cast<std::size_t>(e)];
+  }
+  /// log(p(e)); -inf for p = 0 (callers on the sampling/scoring paths
+  /// branch on p == 0 first).
+  double log_failure(EdgeId e) const {
+    return log_failure_[static_cast<std::size_t>(e)];
+  }
+  /// log1p(-p(e)) — the alive factor's log, precomputed once per snapshot
+  /// so samplers and what-if scorers never re-derive it per configuration.
+  double log_survival(EdgeId e) const {
+    return log_survival_[static_cast<std::size_t>(e)];
+  }
+
+  /// Edge ids incident to `n` (direction-insensitive), CSR slice.
+  std::span<const EdgeId> incident_edges(NodeId n) const {
+    const auto i = static_cast<std::size_t>(n);
+    return {structure_->incident.data() + structure_->offsets[i],
+            structure_->offsets[i + 1] - structure_->offsets[i]};
+  }
+
+  /// Per-edge failure probabilities, indexed by edge id (the whole
+  /// column, no copy).
+  std::span<const double> failure_probs() const noexcept {
+    return failure_prob_;
+  }
+
+  bool fits_mask() const noexcept { return num_edges() <= kMaxMaskBits; }
+
+  /// Topology + capacity identity (see Structure::id).
+  std::uint64_t structure_id() const noexcept { return structure_->id; }
+
+  const Structure& structure() const noexcept { return *structure_; }
+
+ private:
+  CompiledNetwork() = default;
+
+  std::shared_ptr<const Structure> structure_;
+  std::vector<double> failure_prob_;
+  std::vector<double> log_failure_;
+  std::vector<double> log_survival_;
+};
+
+/// Zero-copy view of a node-induced side component of one snapshot:
+/// index-translation tables only, with the snapshot pinned by shared_ptr.
+/// View node/edge ids are dense and ordered by original id — identical
+/// numbering to the historical Subgraph, so side failure masks are
+/// unchanged bit for bit.
+class NetworkView {
+ public:
+  NetworkView() = default;
+
+  /// Whole-network view (identity translation).
+  explicit NetworkView(std::shared_ptr<const CompiledNetwork> snapshot);
+
+  /// View induced by the nodes with `in_side[n] == true`; keeps exactly
+  /// the edges with both endpoints inside. `in_side.size()` must equal
+  /// the snapshot's node count.
+  NetworkView(std::shared_ptr<const CompiledNetwork> snapshot,
+              const std::vector<bool>& in_side);
+
+  int num_nodes() const noexcept { return static_cast<int>(node_map_.size()); }
+  int num_edges() const noexcept { return static_cast<int>(edge_map_.size()); }
+  bool fits_mask() const noexcept { return num_edges() <= kMaxMaskBits; }
+
+  /// Endpoints / attributes of view edge `e`, endpoints in VIEW node ids.
+  NodeId edge_u(EdgeId e) const {
+    return node_to_view_[static_cast<std::size_t>(
+        snapshot_->edge_u(original_edge(e)))];
+  }
+  NodeId edge_v(EdgeId e) const {
+    return node_to_view_[static_cast<std::size_t>(
+        snapshot_->edge_v(original_edge(e)))];
+  }
+  EdgeKind edge_kind(EdgeId e) const {
+    return snapshot_->edge_kind(original_edge(e));
+  }
+  bool edge_directed(EdgeId e) const {
+    return snapshot_->edge_directed(original_edge(e));
+  }
+  Capacity edge_capacity(EdgeId e) const {
+    return snapshot_->edge_capacity(original_edge(e));
+  }
+  double failure_prob(EdgeId e) const {
+    return snapshot_->failure_prob(original_edge(e));
+  }
+
+  /// Per-view-edge failure probabilities (gathered through the
+  /// translation table — the only per-edge copy a view ever makes, and
+  /// only when a caller asks for the compact vector).
+  std::vector<double> failure_probs() const;
+
+  // --- translation --------------------------------------------------
+
+  NodeId original_node(NodeId view_node) const {
+    return node_map_[static_cast<std::size_t>(view_node)];
+  }
+  EdgeId original_edge(EdgeId view_edge) const {
+    return edge_map_[static_cast<std::size_t>(view_edge)];
+  }
+  /// kInvalidNode / kInvalidEdge when outside the view.
+  NodeId view_node(NodeId original) const {
+    return node_to_view_[static_cast<std::size_t>(original)];
+  }
+  EdgeId view_edge(EdgeId original) const {
+    return edge_to_view_[static_cast<std::size_t>(original)];
+  }
+
+  const std::vector<NodeId>& node_map() const noexcept { return node_map_; }
+  const std::vector<EdgeId>& edge_map() const noexcept { return edge_map_; }
+  const std::vector<NodeId>& node_to_view() const noexcept {
+    return node_to_view_;
+  }
+  const std::vector<EdgeId>& edge_to_view() const noexcept {
+    return edge_to_view_;
+  }
+
+  /// Translates an alive-edge mask over the ORIGINAL network into view
+  /// numbering (edges outside the view are dropped) and back.
+  Mask project_mask(Mask original_alive) const;
+  Mask lift_mask(Mask view_alive) const;
+
+  const CompiledNetwork& snapshot() const noexcept { return *snapshot_; }
+  const std::shared_ptr<const CompiledNetwork>& snapshot_ptr() const noexcept {
+    return snapshot_;
+  }
+
+ private:
+  std::shared_ptr<const CompiledNetwork> snapshot_;
+  std::vector<NodeId> node_map_;     ///< view node id -> original node id
+  std::vector<EdgeId> edge_map_;     ///< view edge id -> original edge id
+  std::vector<NodeId> node_to_view_; ///< original node -> view id or invalid
+  std::vector<EdgeId> edge_to_view_; ///< original edge -> view id or invalid
+};
+
+}  // namespace streamrel

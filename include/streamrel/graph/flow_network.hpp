@@ -9,6 +9,7 @@
 // carry up to c(e) sub-streams in each direction.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "streamrel/util/bitops.hpp"
 
 namespace streamrel {
+
+class CompiledNetwork;
 
 using NodeId = std::int32_t;
 using EdgeId = std::int32_t;
@@ -113,6 +116,11 @@ class FlowNetwork {
 
   /// Human-readable one-line summary ("12 nodes, 17 edges (undirected)").
   std::string summary() const;
+
+  /// Freezes the current state into an immutable, shareable snapshot
+  /// (CSR adjacency + structure-of-arrays columns; see graph/compiled.hpp).
+  /// The snapshot does not track later edits to this builder.
+  std::shared_ptr<const CompiledNetwork> compile() const;
 
  private:
   int num_nodes_ = 0;

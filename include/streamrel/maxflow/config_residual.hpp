@@ -4,9 +4,17 @@
 // super nodes/arcs a caller appends) is built once, and reset() restores
 // pristine capacities with the chosen edges alive. Exhaustive reliability
 // sweeps call reset + solve millions of times.
+//
+// The per-edge attributes the hot loops need (capacity, orientation,
+// endpoints) are gathered into flat columns at construction, so reset()
+// walks three contiguous arrays instead of pointer-chasing Edge records —
+// and the same class serves a whole FlowNetwork, a CompiledNetwork
+// snapshot, or a zero-copy NetworkView of one side component (edge ids
+// are then VIEW ids, matching the side failure masks bit for bit).
 
 #include <vector>
 
+#include "streamrel/graph/compiled.hpp"
 #include "streamrel/maxflow/residual_graph.hpp"
 
 namespace streamrel {
@@ -20,6 +28,12 @@ class ConfigResidual {
   };
 
   explicit ConfigResidual(const FlowNetwork& net);
+  explicit ConfigResidual(const CompiledNetwork& net);
+  /// Side-component form: arcs are laid out over VIEW node ids, and every
+  /// edge-indexed call (reset masks, forward_arc, edge_net_flow) uses VIEW
+  /// edge ids. Produces the same residual graph as constructing from the
+  /// equivalent copied subnetwork.
+  explicit ConfigResidual(const NetworkView& view);
 
   /// Appends an extra node (e.g. a super sink); survives resets.
   NodeId add_super_node() { return g_.add_node(); }
@@ -39,7 +53,23 @@ class ConfigResidual {
   void reset_with(const std::vector<bool>& alive);
 
   ResidualGraph& graph() noexcept { return g_; }
-  const FlowNetwork& network() const noexcept { return *net_; }
+
+  // --- flat per-edge columns (gathered once at construction) ----------
+
+  int num_edges() const noexcept { return static_cast<int>(capacity_.size()); }
+  bool valid_edge(EdgeId e) const noexcept {
+    return e >= 0 && e < num_edges();
+  }
+  bool fits_mask() const noexcept { return num_edges() <= kMaxMaskBits; }
+
+  Capacity edge_capacity(EdgeId id) const {
+    return capacity_[static_cast<std::size_t>(id)];
+  }
+  bool edge_directed(EdgeId id) const {
+    return directed_[static_cast<std::size_t>(id)] != 0;
+  }
+  NodeId edge_u(EdgeId id) const { return eu_[static_cast<std::size_t>(id)]; }
+  NodeId edge_v(EdgeId id) const { return ev_[static_cast<std::size_t>(id)]; }
 
   /// Forward residual-arc index of network edge `id` (the reverse arc is
   /// at `arc(index).rev`). Lets incremental engines patch capacities of
@@ -59,13 +89,18 @@ class ConfigResidual {
   /// (positive: u -> v). Only meaningful while the edge was alive.
   Capacity edge_net_flow(EdgeId id) const {
     const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
-    return net_->edge(id).capacity - g_.arc(fi).cap;
+    return capacity_[static_cast<std::size_t>(id)] - g_.arc(fi).cap;
   }
 
  private:
-  const FlowNetwork* net_;
+  void add_edge_arc(NodeId u, NodeId v, Capacity cap, bool directed, EdgeId id);
+
   ResidualGraph g_;
-  std::vector<std::int32_t> fwd_;  ///< per network edge: forward arc index
+  std::vector<Capacity> capacity_;      ///< per edge: pristine capacity
+  std::vector<NodeId> eu_;              ///< per edge: tail / endpoint
+  std::vector<NodeId> ev_;              ///< per edge: head / other endpoint
+  std::vector<std::uint8_t> directed_;  ///< per edge: 1 iff directed
+  std::vector<std::int32_t> fwd_;       ///< per edge: forward arc index
   std::vector<SuperArc> super_arcs_;
 };
 

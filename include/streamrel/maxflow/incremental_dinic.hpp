@@ -53,7 +53,7 @@ class IncrementalMaxFlow {
   /// must not be mutated by anyone else while the engine is attached).
   /// Resets it so exactly the edges in `initial_alive` exist — super arcs
   /// get their pristine capacities — then augments `s -> t` up to
-  /// `target`. Requires residual.network().fits_mask().
+  /// `target`. Requires residual.fits_mask().
   IncrementalMaxFlow(ConfigResidual& residual, NodeId s, NodeId t,
                      Capacity target, Mask initial_alive);
 

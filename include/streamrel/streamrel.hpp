@@ -27,14 +27,17 @@
 #include "streamrel/cuts/chain_search.hpp"        // IWYU pragma: export
 #include "streamrel/cuts/cut_enumeration.hpp"     // IWYU pragma: export
 #include "streamrel/cuts/partition_search.hpp"    // IWYU pragma: export
+#include "streamrel/graph/compiled.hpp"           // IWYU pragma: export
 #include "streamrel/graph/dot_export.hpp"         // IWYU pragma: export
 #include "streamrel/graph/flow_network.hpp"       // IWYU pragma: export
 #include "streamrel/graph/generators.hpp"         // IWYU pragma: export
 #include "streamrel/graph/graph_algos.hpp"        // IWYU pragma: export
 #include "streamrel/graph/io.hpp"                 // IWYU pragma: export
 #include "streamrel/graph/subgraph.hpp"           // IWYU pragma: export
+#include "streamrel/maxflow/edmonds_karp.hpp"     // IWYU pragma: export
 #include "streamrel/maxflow/incremental_dinic.hpp"// IWYU pragma: export
 #include "streamrel/maxflow/maxflow.hpp"          // IWYU pragma: export
+#include "streamrel/maxflow/push_relabel.hpp"     // IWYU pragma: export
 #include "streamrel/p2p/churn.hpp"                // IWYU pragma: export
 #include "streamrel/p2p/mesh_builder.hpp"         // IWYU pragma: export
 #include "streamrel/p2p/optimizer.hpp"            // IWYU pragma: export

@@ -28,6 +28,8 @@ enum class SolveStatus {
   kDeadlineExpired,  ///< stopped by the ExecContext deadline
   kBudgetExhausted,  ///< stopped by the engine's own work budget
   kCancelled,        ///< stopped by an explicit request_cancel()
+  kMaskOverflow,     ///< an enumeration would need more than kMaxMaskBits
+                     ///< links in one failure mask; pick another method
 };
 
 std::string_view to_string(SolveStatus status) noexcept;

@@ -9,7 +9,12 @@
 #define STREAMREL_VERSION_PATCH 0
 
 /// Breaking-change counter of the installed header surface.
-#define STREAMREL_API_VERSION 3
+/// v4: removed the deprecated src/streamrel.hpp shim and the deprecated
+/// compute_reliability(net, demand, options, ctx) overload; the maxflow
+/// reference solvers (edmonds_karp.hpp, push_relabel.hpp) moved into the
+/// installed tree; FlowNetwork::compile() / CompiledNetwork / NetworkView
+/// joined the public graph API.
+#define STREAMREL_API_VERSION 4
 
 namespace streamrel {
 

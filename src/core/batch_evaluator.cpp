@@ -62,6 +62,9 @@ BatchReport BatchEvaluator::evaluate(std::span<const WhatIfQuery> queries,
         slot.ctx.set_deadline_ms(std::min(q.deadline_ms, batch_left));
       }
       session_->telemetry_.counter(telemetry_keys::kQueries) += 1;
+      // Each prepared entry's side views pin the session snapshot, so
+      // the whole batch accumulates against one frozen structure even if
+      // the session is edited while results are still being read.
       slot.prepared =
           session_->prepare_cached(q.demand, slot.options, slot.ctx);
       slot.fallback = !slot.prepared.bottleneck_path;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "streamrel/graph/graph_algos.hpp"
+#include "streamrel/graph/subgraph.hpp"
 #include "streamrel/reliability/naive.hpp"
 #include "streamrel/util/config_prob.hpp"
 #include "streamrel/util/stats.hpp"
@@ -13,7 +14,8 @@ namespace streamrel {
 BottleneckArtifacts build_bottleneck_artifacts(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition, const BottleneckOptions& options,
-    const ExecContext* ctx, const AssignmentSet* reuse_assignments) {
+    const ExecContext* ctx, const AssignmentSet* reuse_assignments,
+    std::shared_ptr<const CompiledNetwork> snapshot) {
   net.check_demand(demand);
   if (partition.side_s.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("partition does not match network");
@@ -26,6 +28,18 @@ BottleneckArtifacts build_bottleneck_artifacts(
   BottleneckArtifacts artifacts;
   artifacts.partition_stats =
       analyze_partition(net, demand.source, demand.sink, partition);
+
+  // Mask-width ceiling: each side sweep and the accumulation enumerate
+  // 2^links configurations in one 64-bit mask. A partition that would
+  // overflow the mask is a legitimate input the decomposition simply
+  // cannot enumerate — report it as a stop status (so kAuto falls through
+  // to a non-enumerating engine) rather than shifting past the mask width.
+  if (artifacts.partition_stats.edges_s > kMaxMaskBits ||
+      artifacts.partition_stats.edges_t > kMaxMaskBits ||
+      artifacts.partition_stats.k > kMaxMaskBits) {
+    artifacts.status = SolveStatus::kMaskOverflow;
+    return artifacts;
+  }
 
   // If even the full crossing capacity cannot carry d, reliability is 0
   // (paper: "If c(E') < d, the reliability ... is trivially zero").
@@ -46,10 +60,12 @@ BottleneckArtifacts build_bottleneck_artifacts(
 
   try {
     // Side arrays (paper §III-C): the exponential, probability-free part.
+    // Both side problems are zero-copy views pinning one shared snapshot.
+    if (!snapshot) snapshot = net.compile();
     artifacts.side_s =
-        make_side_problem(net, demand, partition, /*source_side=*/true);
-    artifacts.side_t =
-        make_side_problem(net, demand, partition, /*source_side=*/false);
+        make_side_problem(snapshot, demand, partition, /*source_side=*/true);
+    artifacts.side_t = make_side_problem(std::move(snapshot), demand,
+                                         partition, /*source_side=*/false);
     SideArrayStats stats_s;
     SideArrayStats stats_t;
     {
@@ -86,8 +102,11 @@ BottleneckProbabilities gather_bottleneck_probabilities(
   BottleneckProbabilities probs;
   const auto gather_side = [&](const SideProblem& side,
                                std::vector<double>& out) {
-    out.reserve(side.sub.edge_map.size());
-    for (EdgeId original : side.sub.edge_map) {
+    // Read the LIVE network, not the side's pinned snapshot: cached views
+    // stay correct across probability edits because only this gather (and
+    // the crossing list below) feeds probabilities into the accumulation.
+    out.reserve(side.view.edge_map().size());
+    for (EdgeId original : side.view.edge_map()) {
       out.push_back(net.edge(original).failure_prob);
     }
   };
@@ -148,13 +167,13 @@ BottleneckResult accumulate_bottleneck(const BottleneckArtifacts& artifacts,
   return result;
 }
 
-BottleneckResult reliability_bottleneck(const FlowNetwork& net,
-                                        const FlowDemand& demand,
-                                        const BottleneckPartition& partition,
-                                        const BottleneckOptions& options,
-                                        const ExecContext* ctx) {
+BottleneckResult reliability_bottleneck(
+    const FlowNetwork& net, const FlowDemand& demand,
+    const BottleneckPartition& partition, const BottleneckOptions& options,
+    const ExecContext* ctx, std::shared_ptr<const CompiledNetwork> snapshot) {
   const BottleneckArtifacts artifacts =
-      build_bottleneck_artifacts(net, demand, partition, options, ctx);
+      build_bottleneck_artifacts(net, demand, partition, options, ctx,
+                                 nullptr, std::move(snapshot));
   if (!artifacts.usable()) {
     BottleneckResult result;
     result.partition_stats = artifacts.partition_stats;
@@ -173,12 +192,13 @@ ThroughputDistribution throughput_bottleneck(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition, const BottleneckOptions& options) {
   net.check_demand(demand);
+  const std::shared_ptr<const CompiledNetwork> snapshot = net.compile();
   ThroughputDistribution dist;
   dist.at_least.reserve(static_cast<std::size_t>(demand.rate));
   for (Capacity v = 1; v <= demand.rate; ++v) {
     dist.at_least.push_back(
         reliability_bottleneck(net, FlowDemand{demand.source, demand.sink, v},
-                               partition, options)
+                               partition, options, nullptr, snapshot)
             .reliability);
   }
   return dist;

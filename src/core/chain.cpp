@@ -33,22 +33,20 @@ struct BoundaryInfo {
 // the layer routes left assignment i's boundary flows into right
 // assignment j's. Bit index: i * |D_right| + j.
 MaskDistribution build_middle_distribution(
-    const FlowNetwork& net, const Subgraph& sub,
-    const std::vector<NodeId>& left_endpoints,
+    const NetworkView& view, const std::vector<NodeId>& left_endpoints,
     const std::vector<NodeId>& right_endpoints, const AssignmentSet& d_left,
     const AssignmentSet& d_right, MaxFlowAlgorithm algorithm,
     std::uint64_t* maxflow_calls, const ExecContext* ctx) {
-  (void)net;
   const int pairs = d_left.size() * d_right.size();
   if (pairs > kMaxMaskBits) {
     throw std::invalid_argument(
         "chain decomposition: |D_left| * |D_right| exceeds 63");
   }
-  if (!sub.net.fits_mask()) {
+  if (!view.fits_mask()) {
     throw std::invalid_argument("chain layer exceeds 63 links");
   }
 
-  ConfigResidual residual(sub.net);
+  ConfigResidual residual(view);
   const NodeId super_source = residual.add_super_node();
   const NodeId super_sink = residual.add_super_node();
   // Super-arc layout: per left endpoint an in/out pair, then per right
@@ -63,9 +61,9 @@ MaskDistribution build_middle_distribution(
   }
   auto solver = make_solver(algorithm);
 
-  const Mask total_configs = Mask{1} << sub.net.num_edges();
+  const Mask total_configs = Mask{1} << view.num_edges();
   TraceSpan span("middle_layer_sweep", "sweep");
-  span.arg("links", static_cast<std::int64_t>(sub.net.num_edges()))
+  span.arg("links", static_cast<std::int64_t>(view.num_edges()))
       .arg("pairs", static_cast<std::int64_t>(pairs));
   if (ProgressReporter* reporter = exec_progress(ctx)) {
     reporter->add_total(static_cast<std::uint64_t>(total_configs) *
@@ -118,7 +116,7 @@ MaskDistribution build_middle_distribution(
   }
   progress.at(walked);
 
-  const ConfigProbTable probs(sub.net.failure_probs());
+  const ConfigProbTable probs(view.failure_probs());
   std::unordered_map<Mask, double> buckets;
   KahanSum total;
   for (Mask config = 0; config < total_configs; ++config) {
@@ -232,23 +230,26 @@ ReliabilityResult reliability_chain(const FlowNetwork& net,
     if (b.assignments.size() == 0) return result;  // a boundary is too thin
   }
 
-  // Per-layer induced subgraphs and boundary endpoints (in sub ids).
-  auto layer_subgraph = [&](int l) {
+  // One frozen snapshot backs the side problems and every per-layer view.
+  const std::shared_ptr<const CompiledNetwork> snapshot = net.compile();
+
+  // Per-layer zero-copy views and boundary endpoints (in view ids).
+  auto layer_view = [&](int l) {
     std::vector<bool> in(static_cast<std::size_t>(net.num_nodes()));
     for (NodeId n = 0; n < net.num_nodes(); ++n) {
       in[static_cast<std::size_t>(n)] =
           layer[static_cast<std::size_t>(n)] == l;
     }
-    return induced_subgraph(net, in);
+    return NetworkView(snapshot, in);
   };
   auto endpoints_in_layer = [&](const BoundaryInfo& b, int l,
-                                const Subgraph& sub) {
+                                const NetworkView& view) {
     std::vector<NodeId> eps;
     for (EdgeId id : b.partition.crossing_edges) {
       const Edge& e = net.edge(id);
       const NodeId orig =
           layer[static_cast<std::size_t>(e.u)] == l ? e.u : e.v;
-      eps.push_back(sub.node_to_sub[static_cast<std::size_t>(orig)]);
+      eps.push_back(view.view_node(orig));
     }
     return eps;
   };
@@ -262,7 +263,7 @@ ReliabilityResult reliability_chain(const FlowNetwork& net,
   try {
     // Source-side state: layer 0's array over D_0.
     const SideProblem first_side = make_side_problem(
-        net, demand, boundaries.front().partition, /*source_side=*/true);
+        snapshot, demand, boundaries.front().partition, /*source_side=*/true);
     const std::vector<Mask> first_array =
         build_side_array(first_side, boundaries.front().assignments,
                          demand.rate, side_opts, &side_stats, ctx);
@@ -278,14 +279,14 @@ ReliabilityResult reliability_chain(const FlowNetwork& net,
       state = filter_boundary(state, boundaries[b]);
       if (b + 1 < boundaries.size()) {
         const int l = static_cast<int>(b) + 1;
-        const Subgraph sub = layer_subgraph(l);
-        const auto left = endpoints_in_layer(boundaries[b], l, sub);
-        const auto right = endpoints_in_layer(boundaries[b + 1], l, sub);
+        const NetworkView view = layer_view(l);
+        const auto left = endpoints_in_layer(boundaries[b], l, view);
+        const auto right = endpoints_in_layer(boundaries[b + 1], l, view);
         const MaskDistribution middle = build_middle_distribution(
-            net, sub, left, right, boundaries[b].assignments,
+            view, left, right, boundaries[b].assignments,
             boundaries[b + 1].assignments, options.algorithm, &middle_calls,
             ctx);
-        configurations += Mask{1} << sub.net.num_edges();
+        configurations += Mask{1} << view.num_edges();
         state = apply_middle(state, middle,
                              boundaries[b + 1].assignments.size());
       }
@@ -293,7 +294,7 @@ ReliabilityResult reliability_chain(const FlowNetwork& net,
 
     // Sink-side finish: last layer's array over D_{last}.
     const SideProblem last_side = make_side_problem(
-        net, demand, boundaries.back().partition, /*source_side=*/false);
+        snapshot, demand, boundaries.back().partition, /*source_side=*/false);
     const std::vector<Mask> last_array =
         build_side_array(last_side, boundaries.back().assignments,
                          demand.rate, side_opts, &side_stats, ctx);

@@ -117,9 +117,13 @@ class BottleneckEngine final : public Engine {
       return report;
     }
 
+    // One frozen snapshot shared by every candidate's side views.
+    const std::shared_ptr<const CompiledNetwork> snapshot = net.compile();
+
     // Try candidates best first; one can still fail for demand-specific
     // reasons (assignment-set blow-up), in which case the next one gets
     // its chance.
+    bool overflowed = false;
     for (PartitionChoice& choice : candidates) {
       // Worthwhile when the decomposition shrinks the enumeration
       // exponent: max side strictly below |E| - k means
@@ -131,13 +135,27 @@ class BottleneckEngine final : public Engine {
           max_side + choice.stats.k < net.num_edges() || !net.fits_mask();
       if (options.method != Method::kBottleneck && !worthwhile) break;
       try {
-        report.result = reliability_bottleneck(
-            net, demand, choice.partition, options.bottleneck, ctx);
+        BottleneckResult result = reliability_bottleneck(
+            net, demand, choice.partition, options.bottleneck, ctx, snapshot);
+        if (result.status == SolveStatus::kMaskOverflow) {
+          // This candidate needs more than kMaxMaskBits links in one
+          // failure mask; a more balanced candidate may still fit.
+          overflowed = true;
+          continue;
+        }
+        report.result = result;
         report.partition = std::move(choice);
         return report;
       } catch (const std::invalid_argument&) {
         continue;
       }
+    }
+    if (overflowed) {
+      // Every usable candidate overflowed the mask: not a usage error but
+      // a capability limit — report the status so kAuto can fall through
+      // to a non-enumerating engine.
+      report.result.status = SolveStatus::kMaskOverflow;
+      return report;
     }
     throw std::invalid_argument(
         "no usable bottleneck partition found for this network");

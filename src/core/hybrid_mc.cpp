@@ -32,7 +32,7 @@ MaskDistribution sample_side_distribution(
     progress->add_total(samples);
   }
   SideMaskEvaluator evaluator(side, assignments, rate, algorithm);
-  const std::vector<double> probs = side.sub.net.failure_probs();
+  const std::vector<double> probs = side.view.failure_probs();
   std::unordered_map<Mask, std::uint64_t> counts;
   ProgressMarker progress(exec_progress(ctx));
   drawn = 0;

@@ -50,12 +50,13 @@ ReliabilityPolynomial polynomial_bottleneck(
     return ReliabilityPolynomial(m_total, std::move(n_j));
   }
 
+  const std::shared_ptr<const CompiledNetwork> snapshot = net.compile();
   const SideProblem side_s =
-      make_side_problem(net, demand, partition, /*source_side=*/true);
+      make_side_problem(snapshot, demand, partition, /*source_side=*/true);
   const SideProblem side_t =
-      make_side_problem(net, demand, partition, /*source_side=*/false);
-  const int m_s = side_s.sub.net.num_edges();
-  const int m_t = side_t.sub.net.num_edges();
+      make_side_problem(snapshot, demand, partition, /*source_side=*/false);
+  const int m_s = side_s.view.num_edges();
+  const int m_t = side_t.view.num_edges();
   const CountTable counts_s = bucket_counts(
       build_side_array(side_s, assignments, demand.rate, options.side), m_s);
   const CountTable counts_t = bucket_counts(

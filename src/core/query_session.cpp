@@ -58,6 +58,11 @@ QuerySession::QuerySession(FlowNetwork net, QueryCacheOptions cache)
 void QuerySession::set_failure_prob(EdgeId id, double p) {
   net_.set_failure_prob(id, p);  // masks are probability-independent:
                                  // every cache layer survives
+  if (snapshot_) {
+    // Overlay the new probability on the pinned snapshot: the structure
+    // id is preserved, so cached artifacts keep matching it.
+    snapshot_ = snapshot_->with_failure_prob(id, p);
+  }
 }
 
 void QuerySession::set_capacity(EdgeId id, Capacity c) {
@@ -76,6 +81,7 @@ void QuerySession::invalidate() { bump_epoch(); }
 
 void QuerySession::bump_epoch() {
   telemetry_.child("cache").counter(telemetry_keys::kCacheInvalidations) += 1;
+  snapshot_.reset();  // the next query mints a fresh structure identity
   partitions_.clear();
   assignments_.clear();
   lru_.clear();
@@ -85,6 +91,11 @@ void QuerySession::bump_epoch() {
 
 Telemetry& QuerySession::layer_counters(std::string_view layer) {
   return telemetry_.child("cache").child(layer);
+}
+
+const std::shared_ptr<const CompiledNetwork>& QuerySession::snapshot() {
+  if (!snapshot_) snapshot_ = net_.compile();
+  return snapshot_;
 }
 
 std::uint64_t QuerySession::cache_hits() const {
@@ -175,9 +186,16 @@ std::shared_ptr<const QuerySession::ArtifactEntry> QuerySession::artifact_entry(
 
   const auto hit = mask_index_.find(key);
   if (hit != mask_index_.end()) {
-    layer_counters("masks").counter(telemetry_keys::kCacheHits) += 1;
-    lru_.splice(lru_.begin(), lru_, hit->second);  // touch
-    return hit->second->second;
+    if (hit->second->second->structure_id == snapshot()->structure_id()) {
+      layer_counters("masks").counter(telemetry_keys::kCacheHits) += 1;
+      lru_.splice(lru_.begin(), lru_, hit->second);  // touch
+      return hit->second->second;
+    }
+    // Built against a different structure. Session edits cannot get here
+    // (capacity/topology edits flush the cache; probability edits keep
+    // the structure id), but never serve a stale structure.
+    lru_.erase(hit->second);
+    mask_index_.erase(hit);
   }
   if (failed_.count(key) != 0) {
     // Structural failures are deterministic per epoch: answer from the
@@ -203,9 +221,10 @@ std::shared_ptr<const QuerySession::ArtifactEntry> QuerySession::artifact_entry(
           net_, choice.partition, demand.rate, options.bottleneck.assignments));
       assignments_.emplace(key, assignments);
     }
-    entry->artifacts =
-        build_bottleneck_artifacts(net_, demand, choice.partition,
-                                   options.bottleneck, ctx, assignments.get());
+    entry->artifacts = build_bottleneck_artifacts(
+        net_, demand, choice.partition, options.bottleneck, ctx,
+        assignments.get(), snapshot());
+    entry->structure_id = snapshot()->structure_id();
   } catch (const std::invalid_argument&) {
     failed_.insert(key);
     throw;
@@ -243,13 +262,23 @@ QuerySession::PreparedQuery QuerySession::prepare_cached(
 
   // The BottleneckEngine candidate walk, byte for byte: best candidate
   // first, worthwhile unless explicitly requested, assignment blow-ups
-  // move on to the next candidate.
+  // and mask overflows move on to the next candidate.
+  bool overflowed = false;
   for (std::size_t i = 0; i < entry->candidates.size(); ++i) {
     const PartitionChoice& choice = entry->candidates[i];
     const int max_side = std::max(choice.stats.edges_s, choice.stats.edges_t);
     const bool worthwhile =
         max_side + choice.stats.k < net_.num_edges() || !net_.fits_mask();
     if (options.method != Method::kBottleneck && !worthwhile) break;
+    if (choice.stats.edges_s > kMaxMaskBits ||
+        choice.stats.edges_t > kMaxMaskBits ||
+        choice.stats.k > kMaxMaskBits) {
+      // Mirrors the mask-width pre-check in build_bottleneck_artifacts
+      // (same stats, so the same verdict) without paying for the
+      // assignment enumeration first.
+      overflowed = true;
+      continue;
+    }
     SolveStatus stop = SolveStatus::kExact;
     std::shared_ptr<const ArtifactEntry> artifacts;
     try {
@@ -268,6 +297,19 @@ QuerySession::PreparedQuery QuerySession::prepare_cached(
     return prepared;
   }
 
+  if (overflowed) {
+    if (options.method == Method::kBottleneck) {
+      // An explicit request reports the capability limit as a status,
+      // exactly like the engine.
+      prepared.bottleneck_path = true;
+      prepared.stop = SolveStatus::kMaskOverflow;
+      return prepared;
+    }
+    // kAuto: fall through to the facade, whose chain retries the
+    // bottleneck engine (reaching the same verdict) and then moves on to
+    // a non-enumerating baseline — bitwise equal to the cold path.
+    return prepared;
+  }
   if (options.method == Method::kBottleneck) {
     throw std::invalid_argument(
         "no usable bottleneck partition found for this network");
@@ -296,10 +338,10 @@ BottleneckProbabilities QuerySession::gather_probs(
     }
     const auto place_side = [&](const SideProblem& side,
                                 std::vector<double>& out) {
-      const auto& to_sub = side.sub.edge_to_sub;
+      const auto& to_view = side.view.edge_to_view();
       const auto idx = static_cast<std::size_t>(o.edge);
-      if (idx < to_sub.size() && to_sub[idx] != kInvalidEdge) {
-        out[static_cast<std::size_t>(to_sub[idx])] = o.failure_prob;
+      if (idx < to_view.size() && to_view[idx] != kInvalidEdge) {
+        out[static_cast<std::size_t>(to_view[idx])] = o.failure_prob;
       }
     };
     place_side(artifacts.side_s, probs.side_s);

@@ -34,8 +34,13 @@ SolveReport solve_auto(const FlowNetwork& net, const FlowDemand& demand,
                        const SolveOptions& options, const ExecContext* ctx,
                        const EngineRegistry& registry) {
   try {
-    return registry.require(Method::kBottleneck)
-        .solve(net, demand, options, ctx);
+    SolveReport report =
+        registry.require(Method::kBottleneck).solve(net, demand, options, ctx);
+    // kMaskOverflow means every candidate partition needed more than
+    // kMaxMaskBits links in one failure mask — a capability limit of the
+    // enumerating decomposition, so the chain moves on to an engine that
+    // never builds masks.
+    if (report.result.status != SolveStatus::kMaskOverflow) return report;
   } catch (const std::invalid_argument&) {
     // No worthwhile partition: fall through to the baselines.
   }

@@ -19,36 +19,53 @@
 
 namespace streamrel {
 
-SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
+SideProblem make_side_problem(std::shared_ptr<const CompiledNetwork> snapshot,
+                              const FlowDemand& demand,
                               const BottleneckPartition& partition,
                               bool source_side) {
-  net.check_demand(demand);
+  if (!snapshot->valid_node(demand.source) ||
+      !snapshot->valid_node(demand.sink)) {
+    throw std::invalid_argument("demand endpoints out of range");
+  }
+  if (demand.source == demand.sink) {
+    throw std::invalid_argument("demand source equals sink");
+  }
+  if (demand.rate <= 0) {
+    throw std::invalid_argument("demand rate must be positive");
+  }
   SideProblem side;
   side.is_source_side = source_side;
 
   std::vector<bool> in_side(partition.side_s);
   if (!source_side) in_side.flip();
-  side.sub = induced_subgraph(net, in_side);
-  if (!side.sub.net.fits_mask()) {
+  side.view = NetworkView(std::move(snapshot), in_side);
+  if (!side.view.fits_mask()) {
     throw std::invalid_argument(
         "side component exceeds 63 links; pick a more balanced partition");
   }
 
+  const CompiledNetwork& net = side.view.snapshot();
   const NodeId anchor_orig = source_side ? demand.source : demand.sink;
-  side.anchor = side.sub.node_to_sub[static_cast<std::size_t>(anchor_orig)];
+  side.anchor = side.view.view_node(anchor_orig);
   if (side.anchor == kInvalidNode) {
     throw std::invalid_argument("demand endpoint not on its side");
   }
   side.endpoints.reserve(partition.crossing_edges.size());
   for (EdgeId id : partition.crossing_edges) {
-    const Edge& e = net.edge(id);
+    const NodeId u = net.edge_u(id);
     const NodeId orig =
-        partition.side_s[static_cast<std::size_t>(e.u)] == source_side ? e.u
-                                                                       : e.v;
-    side.endpoints.push_back(
-        side.sub.node_to_sub[static_cast<std::size_t>(orig)]);
+        partition.side_s[static_cast<std::size_t>(u)] == source_side
+            ? u
+            : net.edge_v(id);
+    side.endpoints.push_back(side.view.view_node(orig));
   }
   return side;
+}
+
+SideProblem make_side_problem(const FlowNetwork& net, const FlowDemand& demand,
+                              const BottleneckPartition& partition,
+                              bool source_side) {
+  return make_side_problem(net.compile(), demand, partition, source_side);
 }
 
 namespace {
@@ -179,7 +196,7 @@ std::vector<std::vector<Capacity>> subset_usage_sums(
 struct SideEvaluator {
   SideEvaluator(const SideProblem& side, MaxFlowAlgorithm algorithm)
       : side_(&side),
-        residual_(side.sub.net),
+        residual_(side.view),
         solver_(make_solver(algorithm)),
         terminals_(add_side_super_arcs(residual_, side)) {}
 
@@ -292,7 +309,7 @@ void sweep_polymatroid(const SideProblem& side,
 // toggles. Output is bitwise-identical to the scratch sweeps.
 
 struct GrayEngine {
-  explicit GrayEngine(const FlowNetwork& net) : residual(net) {}
+  explicit GrayEngine(const NetworkView& view) : residual(view) {}
 
   ConfigResidual residual;
   SuperTerminals terminals;
@@ -334,7 +351,7 @@ void sweep_per_assignment_gray(const SideProblem& side,
   std::vector<std::unique_ptr<GrayEngine>> engines;
   engines.reserve(static_cast<std::size_t>(assignments.size()));
   for (int j = 0; j < assignments.size(); ++j) {
-    auto e = std::make_unique<GrayEngine>(side.sub.net);
+    auto e = std::make_unique<GrayEngine>(side.view);
     e->terminals = add_side_super_arcs(e->residual, side);
     const Capacity required = configure_assignment_arcs(
         e->residual, side, assignments.assignments[static_cast<std::size_t>(j)],
@@ -409,7 +426,7 @@ void sweep_polymatroid_gray(const SideProblem& side,
   std::vector<std::unique_ptr<GrayEngine>> engines(
       static_cast<std::size_t>(subsets));
   for (Mask q = 1; q < subsets; ++q) {
-    auto e = std::make_unique<GrayEngine>(side.sub.net);
+    auto e = std::make_unique<GrayEngine>(side.view);
     e->terminals = add_side_super_arcs(e->residual, side);
     configure_subset_arcs(e->residual, side, q, d);
     e->flow = std::make_unique<IncrementalMaxFlow>(
@@ -523,7 +540,7 @@ std::vector<Mask> build_side_array(const SideProblem& side,
                  : FeasibilityMethod::kPerAssignment;
   }
 
-  const int m = side.sub.net.num_edges();
+  const int m = side.view.num_edges();
   const Mask total = Mask{1} << m;
 
   SideSweepStrategy sweep = options.sweep;
@@ -777,13 +794,13 @@ class FlatBucketTable {
 
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array) {
-  return bucket_side_array(side, array, side.sub.net.failure_probs());
+  return bucket_side_array(side, array, side.view.failure_probs());
 }
 
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array,
                                    std::span<const double> probs) {
-  const int m = side.sub.net.num_edges();
+  const int m = side.view.num_edges();
   if (probs.size() != static_cast<std::size_t>(m)) {
     throw std::invalid_argument("one failure probability per side link");
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "streamrel/util/trace.hpp"
+
 namespace streamrel {
 
 Subgraph induced_subgraph(const FlowNetwork& net,
@@ -9,6 +11,9 @@ Subgraph induced_subgraph(const FlowNetwork& net,
   if (in_side.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("induced_subgraph: side vector size mismatch");
   }
+  // This span is the copy detector: hot paths should build NetworkViews
+  // (span "network_view") instead of materializing a FlowNetwork here.
+  TraceSpan span("induced_subgraph");
   Subgraph sub;
   sub.node_to_sub.assign(in_side.size(), kInvalidNode);
   for (NodeId n = 0; n < net.num_nodes(); ++n) {

@@ -4,13 +4,53 @@
 
 namespace streamrel {
 
-ConfigResidual::ConfigResidual(const FlowNetwork& net)
-    : net_(&net), g_(net.num_nodes()) {
-  fwd_.reserve(static_cast<std::size_t>(net.num_edges()));
+void ConfigResidual::add_edge_arc(NodeId u, NodeId v, Capacity cap,
+                                  bool directed, EdgeId id) {
+  capacity_.push_back(cap);
+  eu_.push_back(u);
+  ev_.push_back(v);
+  directed_.push_back(directed ? std::uint8_t{1} : std::uint8_t{0});
+  fwd_.push_back(g_.add_arc_pair(u, v, cap, directed ? 0 : cap, id));
+}
+
+ConfigResidual::ConfigResidual(const FlowNetwork& net) : g_(net.num_nodes()) {
+  const auto m = static_cast<std::size_t>(net.num_edges());
+  capacity_.reserve(m);
+  eu_.reserve(m);
+  ev_.reserve(m);
+  directed_.reserve(m);
+  fwd_.reserve(m);
+  for (const Edge& e : net.edges()) {
+    add_edge_arc(e.u, e.v, e.capacity, e.directed(),
+                 static_cast<EdgeId>(fwd_.size()));
+  }
+}
+
+ConfigResidual::ConfigResidual(const CompiledNetwork& net)
+    : g_(net.num_nodes()) {
+  const auto m = static_cast<std::size_t>(net.num_edges());
+  capacity_.reserve(m);
+  eu_.reserve(m);
+  ev_.reserve(m);
+  directed_.reserve(m);
+  fwd_.reserve(m);
   for (EdgeId id = 0; id < net.num_edges(); ++id) {
-    const Edge& e = net.edge(id);
-    fwd_.push_back(g_.add_arc_pair(e.u, e.v, e.capacity,
-                                   e.directed() ? 0 : e.capacity, id));
+    add_edge_arc(net.edge_u(id), net.edge_v(id), net.edge_capacity(id),
+                 net.edge_directed(id), id);
+  }
+}
+
+ConfigResidual::ConfigResidual(const NetworkView& view)
+    : g_(view.num_nodes()) {
+  const auto m = static_cast<std::size_t>(view.num_edges());
+  capacity_.reserve(m);
+  eu_.reserve(m);
+  ev_.reserve(m);
+  directed_.reserve(m);
+  fwd_.reserve(m);
+  for (EdgeId id = 0; id < view.num_edges(); ++id) {
+    add_edge_arc(view.edge_u(id), view.edge_v(id), view.edge_capacity(id),
+                 view.edge_directed(id), id);
   }
 }
 
@@ -30,12 +70,14 @@ void ConfigResidual::set_super_arc(std::size_t index, Capacity cap_uv,
 }
 
 void ConfigResidual::reset(Mask alive) {
-  for (EdgeId id = 0; id < net_->num_edges(); ++id) {
-    const Edge& e = net_->edge(id);
+  const int m = num_edges();
+  for (EdgeId id = 0; id < m; ++id) {
+    const auto i = static_cast<std::size_t>(id);
     const bool up = test_bit(alive, id);
-    const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
-    g_.arc(fi).cap = up ? e.capacity : 0;
-    g_.arc(g_.arc(fi).rev).cap = (up && !e.directed()) ? e.capacity : 0;
+    const Capacity cap = capacity_[i];
+    const std::int32_t fi = fwd_[i];
+    g_.arc(fi).cap = up ? cap : 0;
+    g_.arc(g_.arc(fi).rev).cap = (up && directed_[i] == 0) ? cap : 0;
   }
   for (const SuperArc& sa : super_arcs_) {
     g_.arc(sa.arc).cap = sa.cap_uv;
@@ -44,15 +86,17 @@ void ConfigResidual::reset(Mask alive) {
 }
 
 void ConfigResidual::reset_with(const std::vector<bool>& alive) {
-  if (alive.size() != static_cast<std::size_t>(net_->num_edges())) {
+  if (alive.size() != static_cast<std::size_t>(num_edges())) {
     throw std::invalid_argument("alive vector size mismatch");
   }
-  for (EdgeId id = 0; id < net_->num_edges(); ++id) {
-    const Edge& e = net_->edge(id);
-    const bool up = alive[static_cast<std::size_t>(id)];
-    const std::int32_t fi = fwd_[static_cast<std::size_t>(id)];
-    g_.arc(fi).cap = up ? e.capacity : 0;
-    g_.arc(g_.arc(fi).rev).cap = (up && !e.directed()) ? e.capacity : 0;
+  const int m = num_edges();
+  for (EdgeId id = 0; id < m; ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const bool up = alive[i];
+    const Capacity cap = capacity_[i];
+    const std::int32_t fi = fwd_[i];
+    g_.arc(fi).cap = up ? cap : 0;
+    g_.arc(g_.arc(fi).rev).cap = (up && directed_[i] == 0) ? cap : 0;
   }
   for (const SuperArc& sa : super_arcs_) {
     g_.arc(sa.arc).cap = sa.cap_uv;

@@ -1,4 +1,4 @@
-#include "maxflow/edmonds_karp.hpp"
+#include "streamrel/maxflow/edmonds_karp.hpp"
 
 #include <limits>
 

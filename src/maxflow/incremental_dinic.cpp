@@ -22,14 +22,13 @@ IncrementalMaxFlow::IncrementalMaxFlow(ConfigResidual& residual, NodeId s,
                                        NodeId t, Capacity target,
                                        Mask initial_alive)
     : cfg_(&residual), s_(s), t_(t), target_(target) {
-  const FlowNetwork& net = cfg_->network();
-  if (!net.fits_mask()) {
+  if (!cfg_->fits_mask()) {
     throw std::invalid_argument(
         "IncrementalMaxFlow external mode requires a mask-sized network");
   }
   cfg_->reset(initial_alive);
-  alive_.assign(static_cast<std::size_t>(net.num_edges()), false);
-  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+  alive_.assign(static_cast<std::size_t>(cfg_->num_edges()), false);
+  for (EdgeId id = 0; id < cfg_->num_edges(); ++id) {
     alive_[static_cast<std::size_t>(id)] = test_bit(initial_alive, id);
   }
   mask_valid_ = true;
@@ -75,32 +74,32 @@ void IncrementalMaxFlow::apply_toggle(EdgeId id, bool alive) {
   ++toggles_;
 
   ResidualGraph& g = cfg_->graph();
-  const Edge& e = cfg_->network().edge(id);
+  const Capacity cap = cfg_->edge_capacity(id);
+  const bool directed = cfg_->edge_directed(id);
   const std::int32_t fi = cfg_->forward_arc(id);
 
   if (alive) {
     // Dead edges always hold (0, 0); restore pristine capacities.
-    g.arc(fi).cap = e.capacity;
-    g.arc(g.arc(fi).rev).cap = e.directed() ? 0 : e.capacity;
+    g.arc(fi).cap = cap;
+    g.arc(g.arc(fi).rev).cap = directed ? 0 : cap;
     return;
   }
 
   // Net flow currently on the edge: positive means u -> v.
-  const Capacity net_flow = e.capacity - g.arc(fi).cap;
+  const Capacity net_flow = cap - g.arc(fi).cap;
   g.arc(fi).cap = 0;
   g.arc(g.arc(fi).rev).cap = 0;
   if (net_flow == 0) return;
 
   // Orient as tail -> head in flow direction, then repair conservation.
-  const NodeId tail = net_flow > 0 ? e.u : e.v;
-  const NodeId head = net_flow > 0 ? e.v : e.u;
+  const NodeId tail = net_flow > 0 ? cfg_->edge_u(id) : cfg_->edge_v(id);
+  const NodeId head = net_flow > 0 ? cfg_->edge_v(id) : cfg_->edge_u(id);
   const Capacity carried = net_flow > 0 ? net_flow : -net_flow;
   drain(tail, head, carried);
 }
 
 void IncrementalMaxFlow::set_edge_alive(EdgeId id, bool alive) {
-  const FlowNetwork& net = cfg_->network();
-  if (!net.valid_edge(id)) throw std::invalid_argument("bad edge id");
+  if (!cfg_->valid_edge(id)) throw std::invalid_argument("bad edge id");
   if (alive_[static_cast<std::size_t>(id)] == alive) return;
   apply_toggle(id, alive);
   // Cancellation (deletions) or restored capacity (insertions) may have
@@ -173,12 +172,11 @@ Mask IncrementalMaxFlow::support_mask() const {
   if (!mask_valid_) {
     throw std::logic_error("support_mask requires a mask-sized network");
   }
-  const FlowNetwork& net = cfg_->network();
   Mask support = 0;
-  for (EdgeId id = 0; id < net.num_edges(); ++id) {
+  for (EdgeId id = 0; id < cfg_->num_edges(); ++id) {
     if (!alive_[static_cast<std::size_t>(id)]) continue;  // dead: carries 0
     const std::int32_t fi = cfg_->forward_arc(id);
-    if (net.edge(id).capacity != cfg_->graph().arc(fi).cap) {
+    if (cfg_->edge_capacity(id) != cfg_->graph().arc(fi).cap) {
       support |= bit(id);
     }
   }
@@ -190,15 +188,13 @@ Mask IncrementalMaxFlow::cut_mask() const {
     throw std::logic_error("cut_mask requires a mask-sized network");
   }
   const std::vector<bool> reach = cfg_->graph().residual_reachable(s_);
-  const FlowNetwork& net = cfg_->network();
   Mask cut = 0;
-  for (EdgeId id = 0; id < net.num_edges(); ++id) {
-    const Edge& e = net.edge(id);
-    const bool ru = reach[static_cast<std::size_t>(e.u)];
-    const bool rv = reach[static_cast<std::size_t>(e.v)];
+  for (EdgeId id = 0; id < cfg_->num_edges(); ++id) {
+    const bool ru = reach[static_cast<std::size_t>(cfg_->edge_u(id))];
+    const bool rv = reach[static_cast<std::size_t>(cfg_->edge_v(id))];
     // Only orientations with pristine capacity can carry flow out of the
     // reachable set: both for undirected links, u -> v for directed ones.
-    if (e.directed() ? (ru && !rv) : (ru != rv)) cut |= bit(id);
+    if (cfg_->edge_directed(id) ? (ru && !rv) : (ru != rv)) cut |= bit(id);
   }
   return cut;
 }

@@ -3,8 +3,8 @@
 #include <stdexcept>
 
 #include "streamrel/maxflow/dinic.hpp"
-#include "maxflow/edmonds_karp.hpp"
-#include "maxflow/push_relabel.hpp"
+#include "streamrel/maxflow/edmonds_karp.hpp"
+#include "streamrel/maxflow/push_relabel.hpp"
 
 namespace streamrel {
 

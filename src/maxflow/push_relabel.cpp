@@ -1,4 +1,4 @@
-#include "maxflow/push_relabel.hpp"
+#include "streamrel/maxflow/push_relabel.hpp"
 
 #include <deque>
 #include <limits>

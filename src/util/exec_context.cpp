@@ -16,6 +16,8 @@ std::string_view to_string(SolveStatus status) noexcept {
       return "budget_exhausted";
     case SolveStatus::kCancelled:
       return "cancelled";
+    case SolveStatus::kMaskOverflow:
+      return "mask_overflow";
   }
   return "unknown";
 }

@@ -109,12 +109,12 @@ TEST(PaperExamples, Example2ArrayBitSemantics) {
     for (int j = 0; j < assignments.size(); ++j) {
       // Build the side check by hand: flow from s delivering usage[i] to
       // endpoint x_i must total d.
-      ResidualGraph res(side.sub.net.num_nodes() + 1);
-      const NodeId super_sink = side.sub.net.num_nodes();
-      for (EdgeId id = 0; id < side.sub.net.num_edges(); ++id) {
+      ResidualGraph res(side.view.num_nodes() + 1);
+      const NodeId super_sink = side.view.num_nodes();
+      for (EdgeId id = 0; id < side.view.num_edges(); ++id) {
         if (!test_bit(config, id)) continue;
-        const Edge& e = side.sub.net.edge(id);
-        res.add_arc_pair(e.u, e.v, e.capacity, e.capacity);
+        const Capacity cap = side.view.edge_capacity(id);
+        res.add_arc_pair(side.view.edge_u(id), side.view.edge_v(id), cap, cap);
       }
       const auto& usage =
           assignments.assignments[static_cast<std::size_t>(j)].usage;

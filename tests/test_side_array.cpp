@@ -25,20 +25,18 @@ TEST(SideProblem, Fig4Shapes) {
   const SideProblem side_s =
       make_side_problem(fx.g.net, fx.demand, fx.partition, true);
   EXPECT_TRUE(side_s.is_source_side);
-  EXPECT_EQ(side_s.sub.net.num_nodes(), 3);  // s, x1, x2
-  EXPECT_EQ(side_s.sub.net.num_edges(), 5);
+  EXPECT_EQ(side_s.view.num_nodes(), 3);  // s, x1, x2
+  EXPECT_EQ(side_s.view.num_edges(), 5);
   ASSERT_EQ(side_s.endpoints.size(), 2u);
   // Endpoint of edge 7 is x1 (original node 1), of edge 8 is x2 (node 2).
-  EXPECT_EQ(side_s.sub.node_map[static_cast<std::size_t>(side_s.endpoints[0])],
-            1);
-  EXPECT_EQ(side_s.sub.node_map[static_cast<std::size_t>(side_s.endpoints[1])],
-            2);
+  EXPECT_EQ(side_s.view.original_node(side_s.endpoints[0]), 1);
+  EXPECT_EQ(side_s.view.original_node(side_s.endpoints[1]), 2);
 
   const SideProblem side_t =
       make_side_problem(fx.g.net, fx.demand, fx.partition, false);
   EXPECT_FALSE(side_t.is_source_side);
-  EXPECT_EQ(side_t.sub.net.num_edges(), 2);
-  EXPECT_EQ(side_t.sub.node_map[static_cast<std::size_t>(side_t.anchor)], 5);
+  EXPECT_EQ(side_t.view.num_edges(), 2);
+  EXPECT_EQ(side_t.view.original_node(side_t.anchor), 5);
 }
 
 TEST(SideArray, Fig4AssignmentSetIsThePaperTriple) {

@@ -113,7 +113,7 @@ TEST(SideArrayIncremental, ParallelShardsMatchSerial) {
   ASSERT_GT(assignments.size(), 0);
   const SideProblem side =
       make_side_problem(g.net, {g.source, g.sink, 2}, partition, true);
-  ASSERT_GE(side.sub.net.num_edges(), 10);
+  ASSERT_GE(side.view.num_edges(), 10);
 
   SideArrayOptions serial = sweep_options(
       SideSweepStrategy::kGrayIncremental, FeasibilityMethod::kAuto, true);
@@ -213,7 +213,7 @@ TEST(BucketDistributionStreamed, MatchesDirectFold) {
 
     const MaskDistribution dist = bucket_side_array(side, array);
     // Reference fold: direct per-configuration products, numeric order.
-    const std::vector<double> probs = side.sub.net.failure_probs();
+    const std::vector<double> probs = side.view.failure_probs();
     std::unordered_map<Mask, double> reference;
     for (Mask config = 0; config < static_cast<Mask>(array.size());
          ++config) {

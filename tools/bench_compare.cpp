@@ -1,0 +1,159 @@
+// Diffs two schema-versioned bench records (bench_harness.hpp) and fails
+// when the new run regressed. CI's perf gate runs a bench twice — once on
+// the base commit, once on the head — and pipes both BENCH_*.json files
+// through this tool:
+//
+//   bench_compare BENCH_old.json BENCH_new.json [--threshold=0.30]
+//
+// Comparison rules, applied per metric key present in BOTH records:
+//   * keys ending in "_ms" (wall times): fail when new > old * (1 + t),
+//     where t is --threshold (default 0.30 — benches share CI machines,
+//     so small ratios just measure noise);
+//   * boolean metrics: fail on any true -> false flip (these encode
+//     invariants like "identical": bitwise-equal side arrays);
+//   * keys under "trace." (span counters guarding the zero-copy side
+//     views): fail on any increase of a "*copies" counter above zero;
+//   * everything else (call counts, sizes, seeds) is informational.
+// Metrics present in only one record are reported but never fatal —
+// benches grow columns across commits.
+
+#include <fstream>
+#include <limits>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/json.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+struct BenchRecord {
+  std::string bench;
+  std::string git;
+  JsonValue metrics;
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+BenchRecord load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+
+  const JsonValue* schema = doc.find("schema_version");
+  if (schema == nullptr || !schema->is_number()) {
+    throw std::runtime_error(path + ": not a bench_harness record "
+                                    "(missing schema_version)");
+  }
+  if (schema->as_number() != 1.0) {
+    throw std::runtime_error(path + ": unsupported schema_version " +
+                             std::to_string(schema->as_number()));
+  }
+  const JsonValue* bench = doc.find("bench");
+  const JsonValue* metrics = doc.find("metrics");
+  if (bench == nullptr || !bench->is_string() || metrics == nullptr ||
+      !metrics->is_object()) {
+    throw std::runtime_error(path + ": malformed record");
+  }
+  BenchRecord record;
+  record.bench = bench->as_string();
+  const JsonValue* git = doc.find("git");
+  record.git = (git != nullptr && git->is_string()) ? git->as_string() : "?";
+  record.metrics = *metrics;
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().size() != 2) {
+    std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.30]\n";
+    return 2;
+  }
+  const double threshold = args.get_double("threshold", 0.30);
+
+  BenchRecord old_run;
+  BenchRecord new_run;
+  try {
+    old_run = load(args.positional()[0]);
+    new_run = load(args.positional()[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (old_run.bench != new_run.bench) {
+    std::cerr << "error: comparing different benches ('" << old_run.bench
+              << "' vs '" << new_run.bench << "')\n";
+    return 2;
+  }
+
+  std::cout << "bench " << old_run.bench << ": " << old_run.git << " -> "
+            << new_run.git << " (threshold +" << threshold * 100.0 << "%)\n";
+
+  int regressions = 0;
+  for (const auto& [key, old_value] : old_run.metrics.as_object()) {
+    const JsonValue* new_value = new_run.metrics.find(key);
+    if (new_value == nullptr) {
+      std::cout << "  ~ " << key << ": dropped in new run\n";
+      continue;
+    }
+
+    if (old_value.is_bool() && new_value->is_bool()) {
+      if (old_value.as_bool() && !new_value->as_bool()) {
+        std::cout << "  ! " << key << ": true -> false (invariant broken)\n";
+        ++regressions;
+      }
+      continue;
+    }
+    if (!old_value.is_number() || !new_value->is_number()) continue;
+    const double before = old_value.as_number();
+    const double after = new_value->as_number();
+
+    if (ends_with(key, "_ms")) {
+      if (after > before * (1.0 + threshold)) {
+        std::cout << "  ! " << key << ": " << before << " -> " << after
+                  << " ms (+"
+                  << (before > 0.0 ? (after / before - 1.0) * 100.0
+                                   : std::numeric_limits<double>::infinity())
+                  << "%)\n";
+        ++regressions;
+      }
+      continue;
+    }
+    if (starts_with(key, "trace.") && ends_with(key, "copies")) {
+      if (after > before && after > 0.0) {
+        std::cout << "  ! " << key << ": " << before << " -> " << after
+                  << " (zero-copy guarantee lost)\n";
+        ++regressions;
+      }
+      continue;
+    }
+  }
+  for (const auto& [key, value] : new_run.metrics.as_object()) {
+    static_cast<void>(value);
+    if (old_run.metrics.find(key) == nullptr) {
+      std::cout << "  ~ " << key << ": new metric\n";
+    }
+  }
+
+  if (regressions == 0) {
+    std::cout << "  ok: no regressions\n";
+    return 0;
+  }
+  std::cout << "  " << regressions << " regression(s)\n";
+  return 1;
+}

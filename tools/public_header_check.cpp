@@ -4,7 +4,7 @@
 
 #include <streamrel/streamrel.hpp>
 
-static_assert(STREAMREL_API_VERSION >= 3, "stale public surface");
+static_assert(STREAMREL_API_VERSION >= 4, "stale public surface");
 
 namespace {
 
@@ -13,5 +13,13 @@ namespace {
 [[maybe_unused]] streamrel::SolveReport (*const kSolve)(
     const streamrel::FlowNetwork&, const streamrel::FlowDemand&,
     const streamrel::SolveOptions&) = &streamrel::compute_reliability;
+
+// The compiled-snapshot surface (API v4) and the promoted max-flow
+// reference solvers must be reachable from the installed tree alone.
+[[maybe_unused]] std::shared_ptr<const streamrel::CompiledNetwork> (
+    streamrel::FlowNetwork::*const kCompile)() const =
+    &streamrel::FlowNetwork::compile;
+[[maybe_unused]] constexpr std::size_t kSolverSizes =
+    sizeof(streamrel::EdmondsKarpSolver) + sizeof(streamrel::PushRelabelSolver);
 
 }  // namespace
