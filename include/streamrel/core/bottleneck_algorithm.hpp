@@ -89,8 +89,11 @@ struct BottleneckArtifacts {
   AssignmentMode mode_used = AssignmentMode::kForwardOnly;
   SideProblem side_s;
   SideProblem side_t;
-  std::vector<Mask> array_s;
-  std::vector<Mask> array_t;
+  /// The side arrays in slab (Gray-rank-ordered) resting form — what the
+  /// vectorized fold consumes with unit stride. at_config() recovers the
+  /// paper's configuration-indexed view; config_form() materializes it.
+  SlabMaskTable array_s;
+  SlabMaskTable array_t;
   /// Construction-cost counters, laid out exactly as BottleneckResult
   /// reports them (root totals, "side_s"/"side_t" children).
   Telemetry telemetry;

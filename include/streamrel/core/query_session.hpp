@@ -11,11 +11,14 @@
 //   1. bottleneck decompositions, keyed by (s, t) + search options;
 //   2. assignment sets, keyed by (cut, d);
 //   3. side-array mask tables, keyed by (side subgraph, cut capacities,
-//      d) — LRU-bounded, since one table is 2^|E_side| masks.
+//      d) — LRU-bounded, since one table is 2^|E_side| masks. Tables
+//      rest in slab form (SlabMaskTable, Gray-rank order), the layout
+//      the vectorized fold consumes with unit stride.
 //
 // A probability-only "what-if" query (perturbed p(e) after churn, same
-// topology) then skips straight to the Gray-order accumulation sweep:
-// two streaming folds plus 2^k inclusion–exclusion terms, no max-flow.
+// topology) then skips straight to the accumulation: two slab folds
+// (64 configuration probabilities per lane-product kernel call) plus
+// 2^k inclusion–exclusion terms, no max-flow.
 //
 // Invalidation: capacity and topology edits flush all three layers and
 // mint a fresh CompiledNetwork snapshot (new structure identity);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "streamrel/core/assignments.hpp"
+#include "streamrel/core/bit_slabs.hpp"
 #include "streamrel/graph/compiled.hpp"
 #include "streamrel/maxflow/maxflow.hpp"
 #include "streamrel/util/exec_context.hpp"
@@ -79,8 +80,22 @@ enum class SideSweepStrategy {
   /// SideArrayOptions::monotone_pruning) answers most queries without
   /// touching a solver at all. Bitwise-identical output to kScratch.
   kGrayIncremental,
-  /// kGrayIncremental for arrays of >= 1024 configurations, kScratch for
-  /// tiny ones (where engine setup dominates).
+  /// Slab sweep: the Gray walk is cut into 64-rank slabs held in the
+  /// BitSlabs transposed layout, and word-wide kernels decide whole
+  /// lanes of configurations at once — certificate word-ANDs from a
+  /// small per-assignment certificate bank, a 64-lane bit-parallel BFS
+  /// when feasibility degenerates to connectivity (required flow 1), and
+  /// a bit-sliced popcount of the anchor cut against the demand. Only
+  /// the residue the kernels cannot decide consults a (lazily created)
+  /// incremental engine, whose fresh certificate immediately re-runs
+  /// word-wide. Certificates are intrinsic to this strategy, so it
+  /// ignores SideArrayOptions::monotone_pruning. Per-assignment
+  /// feasibility only; a polymatroid request delegates to
+  /// kGrayIncremental. Bitwise-identical output to kScratch.
+  kBitParallel,
+  /// kBitParallel (per-assignment) for arrays of >= 1024 configurations,
+  /// kGrayIncremental for polymatroid feasibility at that size, kScratch
+  /// for tiny arrays (where engine setup dominates).
   kAuto,
 };
 
@@ -117,6 +132,19 @@ struct SideArrayStats {
   std::uint64_t engine_toggles() const {
     return telemetry.counter_or(telemetry_keys::kEngineToggles);
   }
+  /// kBitParallel: per-lane decisions made by word-wide kernels
+  /// (certificate AND + 64-lane BFS + bit-sliced cut popcount combined).
+  std::uint64_t lanes_decided_wordwise() const {
+    return telemetry.counter_or(telemetry_keys::kLanesWordwise);
+  }
+  /// kBitParallel: decisions that still consulted a scalar engine.
+  std::uint64_t scalar_residue() const {
+    return telemetry.counter_or(telemetry_keys::kScalarResidue);
+  }
+  /// Complete by construction: every counter this struct exposes —
+  /// including the accessors above — is a view over `telemetry`, and the
+  /// struct holds NO scalar members outside the telemetry tree, so
+  /// merging the trees merges the whole state.
   void merge(const SideArrayStats& other) { telemetry.merge(other.telemetry); }
 };
 
@@ -142,13 +170,27 @@ std::vector<Mask> build_side_array(const SideProblem& side,
                                    const SideArrayOptions& options = {},
                                    std::uint64_t* maxflow_calls = nullptr);
 
+/// The same array in its rank-ordered resting form (see SlabMaskTable):
+/// what BottleneckArtifacts carries and the slab fold consumes with unit
+/// stride. Identical sweep, identical counters; only the output
+/// permutation differs.
+SlabMaskTable build_side_array_slab(const SideProblem& side,
+                                    const AssignmentSet& assignments,
+                                    Capacity demand_rate,
+                                    const SideArrayOptions& options,
+                                    SideArrayStats* stats,
+                                    const ExecContext* ctx = nullptr);
+
 /// A side array folded into a sparse probability distribution over
 /// realized-assignment masks: bucket (m, P{configurations realizing
 /// exactly the set m}). The accumulation step only needs this. The fold
-/// streams the configurations in Gray-code order, updating the
-/// configuration probability by one link's alive/dead ratio per step
-/// (with periodic exact resyncs to bound drift) and accumulating into a
-/// flat open-addressed bucket table.
+/// streams the configurations in Gray-rank order, 64 at a time: each
+/// slab's probabilities come from the vectorized lane-product kernel
+/// (direct per-configuration products, no ratio chain, no drift) and
+/// accumulate into a flat open-addressed bucket table. The per-lane IEEE
+/// operation sequence is fixed — blend-select then multiply, edges
+/// ascending — so the result is bitwise identical across the scalar and
+/// AVX2 kernel paths and across all sweep strategies.
 struct MaskDistribution {
   std::vector<std::pair<Mask, double>> buckets;
   double total = 0.0;  ///< sum of bucket probabilities (== 1 up to rounding)
@@ -162,6 +204,16 @@ MaskDistribution bucket_side_array(const SideProblem& side,
 /// path: the cached mask array is reused, only the fold reruns.
 MaskDistribution bucket_side_array(const SideProblem& side,
                                    const std::vector<Mask>& array,
+                                   std::span<const double> failure_probs);
+
+/// Slab-form folds: same buckets, same insertion order, same Kahan
+/// total — bitwise identical to the config-indexed overloads — but the
+/// mask reads are unit-stride and the per-configuration probabilities
+/// come 64 at a time from the vectorized lane-product kernel.
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const SlabMaskTable& table);
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const SlabMaskTable& table,
                                    std::span<const double> failure_probs);
 
 /// Point evaluator for single side configurations: which assignments does

@@ -13,6 +13,7 @@
 #include "streamrel/core/accumulate.hpp"          // IWYU pragma: export
 #include "streamrel/core/batch_evaluator.hpp"     // IWYU pragma: export
 #include "streamrel/core/assignments.hpp"         // IWYU pragma: export
+#include "streamrel/core/bit_slabs.hpp"           // IWYU pragma: export
 #include "streamrel/core/bottleneck_algorithm.hpp"// IWYU pragma: export
 #include "streamrel/core/chain.hpp"               // IWYU pragma: export
 #include "streamrel/core/engine.hpp"              // IWYU pragma: export

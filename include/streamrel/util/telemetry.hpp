@@ -31,6 +31,15 @@ inline constexpr std::string_view kSamples = "samples";
 inline constexpr std::string_view kCandidates = "candidates";
 inline constexpr std::string_view kLinksReduced = "links_reduced";
 inline constexpr std::string_view kAssignments = "assignments";
+// Bit-parallel side-array sweep (SideSweepStrategy::kBitParallel):
+// per-lane feasibility decisions made by word-wide kernels vs the scalar
+// residue that still consulted an incremental engine. The kLanes*
+// breakdown partitions kLanesWordwise by kernel.
+inline constexpr std::string_view kLanesWordwise = "lanes_decided_wordwise";
+inline constexpr std::string_view kLanesCertificate = "lanes_certificate";
+inline constexpr std::string_view kLanesConnectivity = "lanes_connectivity";
+inline constexpr std::string_view kLanesPopcount = "lanes_popcount";
+inline constexpr std::string_view kScalarResidue = "scalar_residue";
 // QuerySession / BatchEvaluator serving-layer counters.
 inline constexpr std::string_view kQueries = "queries";
 inline constexpr std::string_view kFallbackSolves = "fallback_solves";

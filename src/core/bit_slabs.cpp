@@ -1,0 +1,166 @@
+#include "streamrel/core/bit_slabs.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define STREAMREL_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace streamrel {
+
+namespace {
+
+// Lane pattern of edge e over the first 64 Gray codes: bit L set iff
+// bit e of gray_code(L). gray_code(L) for L < 64 occupies bits 0..5, so
+// only six patterns are nonzero.
+constexpr std::array<std::uint64_t, 6> kLowPatterns = [] {
+  std::array<std::uint64_t, 6> a{};
+  for (int e = 0; e < 6; ++e) {
+    for (int L = 0; L < 64; ++L) {
+      if (test_bit(gray_code(static_cast<Mask>(L)), e)) {
+        a[static_cast<std::size_t>(e)] |= bit(L);
+      }
+    }
+  }
+  return a;
+}();
+
+}  // namespace
+
+BitSlabs::BitSlabs(int num_edges) {
+  if (num_edges < 0 || num_edges > kMaxMaskBits) {
+    throw std::invalid_argument("BitSlabs: edge count out of mask range");
+  }
+  words_.assign(static_cast<std::size_t>(num_edges), 0);
+}
+
+std::uint64_t BitSlabs::low_pattern(int e) noexcept {
+  return e < 6 ? kLowPatterns[static_cast<std::size_t>(e)] : 0;
+}
+
+void BitSlabs::fill(Mask base_rank) {
+  if ((base_rank & 63) != 0) {
+    throw std::invalid_argument("BitSlabs::fill: base rank must be 64-aligned");
+  }
+  // gray_code(base + L) == gray_code(base) ^ gray_code(L) for an aligned
+  // base (base | L splits XOR-disjointly, even across the bit-5/6 seam),
+  // so each edge's word is its constant low pattern XOR a broadcast of
+  // that edge's bit in gray_code(base).
+  const Mask g = gray_code(base_rank);
+  const int m = num_edges();
+  for (int e = 0; e < m; ++e) {
+    words_[static_cast<std::size_t>(e)] =
+        low_pattern(e) ^ (test_bit(g, e) ? ~std::uint64_t{0} : 0);
+  }
+}
+
+SlabMaskTable slab_form(const std::vector<Mask>& config_indexed,
+                        int num_links) {
+  if (config_indexed.size() != (std::size_t{1} << num_links)) {
+    throw std::invalid_argument("slab_form: array size is not 2^num_links");
+  }
+  SlabMaskTable table;
+  table.num_links = num_links;
+  table.by_rank.resize(config_indexed.size());
+  for (std::size_t rank = 0; rank < config_indexed.size(); ++rank) {
+    table.by_rank[rank] =
+        config_indexed[static_cast<std::size_t>(gray_code(rank))];
+  }
+  return table;
+}
+
+std::vector<Mask> config_form(const SlabMaskTable& table) {
+  std::vector<Mask> array(table.by_rank.size());
+  for (std::size_t rank = 0; rank < table.by_rank.size(); ++rank) {
+    array[static_cast<std::size_t>(gray_code(rank))] = table.by_rank[rank];
+  }
+  return array;
+}
+
+void lane_config_products_portable(std::span<const std::uint64_t> words,
+                                   std::span<const double> probs, int lanes,
+                                   double* out) {
+  for (int L = 0; L < lanes; ++L) {
+    double acc = 1.0;
+    for (std::size_t e = 0; e < words.size(); ++e) {
+      const double p = probs[e];
+      acc *= ((words[e] >> L) & 1) != 0 ? 1.0 - p : p;
+    }
+    out[L] = acc;
+  }
+}
+
+namespace {
+
+using LaneKernel = void (*)(std::span<const std::uint64_t>,
+                            std::span<const double>, int, double*);
+
+#ifdef STREAMREL_X86_DISPATCH
+
+// Four lanes per vector, identical per-lane operation sequence to the
+// portable kernel: one blend-selected multiply per edge, in ascending
+// edge order — so the two paths agree bitwise and the fold's numbers do
+// not depend on the host CPU.
+__attribute__((target("avx2"))) void lane_products_avx2(
+    std::span<const std::uint64_t> words, std::span<const double> probs,
+    int lanes, double* out) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  int L = 0;
+  for (; L + 4 <= lanes; L += 4) {
+    const __m256i shift = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(L)),
+        _mm256_set_epi64x(3, 2, 1, 0));
+    __m256d acc = _mm256_set1_pd(1.0);
+    for (std::size_t e = 0; e < words.size(); ++e) {
+      const double p = probs[e];
+      const __m256i word =
+          _mm256_set1_epi64x(static_cast<long long>(words[e]));
+      const __m256i bits =
+          _mm256_and_si256(_mm256_srlv_epi64(word, shift), one);
+      const __m256d alive_mask =
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(bits, one));
+      acc = _mm256_mul_pd(
+          acc, _mm256_blendv_pd(_mm256_set1_pd(p), _mm256_set1_pd(1.0 - p),
+                                alive_mask));
+    }
+    _mm256_storeu_pd(out + L, acc);
+  }
+  for (; L < lanes; ++L) {
+    double acc = 1.0;
+    for (std::size_t e = 0; e < words.size(); ++e) {
+      const double p = probs[e];
+      acc *= ((words[e] >> L) & 1) != 0 ? 1.0 - p : p;
+    }
+    out[L] = acc;
+  }
+}
+
+#endif  // STREAMREL_X86_DISPATCH
+
+LaneKernel resolve_lane_kernel() noexcept {
+#ifdef STREAMREL_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return &lane_products_avx2;
+#endif
+  return &lane_config_products_portable;
+}
+
+LaneKernel active_lane_kernel() noexcept {
+  static const LaneKernel kernel = resolve_lane_kernel();
+  return kernel;
+}
+
+}  // namespace
+
+void lane_config_products(std::span<const std::uint64_t> words,
+                          std::span<const double> probs, int lanes,
+                          double* out) {
+  active_lane_kernel()(words, probs, lanes, out);
+}
+
+bool lane_kernel_avx2_active() noexcept {
+  return active_lane_kernel() != &lane_config_products_portable;
+}
+
+}  // namespace streamrel

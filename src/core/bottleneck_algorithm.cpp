@@ -71,14 +71,14 @@ BottleneckArtifacts build_bottleneck_artifacts(
     {
       TraceSpan span("side_array_s", "phase");
       artifacts.array_s =
-          build_side_array(artifacts.side_s, artifacts.assignments,
-                           demand.rate, options.side, &stats_s, ctx);
+          build_side_array_slab(artifacts.side_s, artifacts.assignments,
+                                demand.rate, options.side, &stats_s, ctx);
     }
     {
       TraceSpan span("side_array_t", "phase");
       artifacts.array_t =
-          build_side_array(artifacts.side_t, artifacts.assignments,
-                           demand.rate, options.side, &stats_t, ctx);
+          build_side_array_slab(artifacts.side_t, artifacts.assignments,
+                                demand.rate, options.side, &stats_t, ctx);
     }
     SideArrayStats combined;
     combined.merge(stats_s);

@@ -1,7 +1,9 @@
 #include "streamrel/core/side_array.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <memory>
 #include <stdexcept>
 
@@ -77,17 +79,36 @@ struct SweepCounters {
   std::uint64_t maxflow_calls = 0;
   std::uint64_t pruned_decisions = 0;
   std::uint64_t engine_toggles = 0;
+  // Bit-parallel sweep: per-lane decisions by kernel, plus the scalar
+  // residue that consulted an engine. Zero on the other strategies (the
+  // keys are still flushed, so telemetry trees stay structurally
+  // comparable across strategies and thread counts).
+  std::uint64_t lanes_certificate = 0;
+  std::uint64_t lanes_connectivity = 0;
+  std::uint64_t lanes_popcount = 0;
+  std::uint64_t scalar_residue = 0;
 
   void merge(const SweepCounters& other) noexcept {
     maxflow_calls += other.maxflow_calls;
     pruned_decisions += other.pruned_decisions;
     engine_toggles += other.engine_toggles;
+    lanes_certificate += other.lanes_certificate;
+    lanes_connectivity += other.lanes_connectivity;
+    lanes_popcount += other.lanes_popcount;
+    scalar_residue += other.scalar_residue;
   }
 
   void flush(Telemetry& telemetry) const {
     telemetry.counter(telemetry_keys::kMaxflowCalls) += maxflow_calls;
     telemetry.counter(telemetry_keys::kPrunedDecisions) += pruned_decisions;
     telemetry.counter(telemetry_keys::kEngineToggles) += engine_toggles;
+    telemetry.counter(telemetry_keys::kLanesWordwise) +=
+        lanes_certificate + lanes_connectivity + lanes_popcount;
+    telemetry.counter(telemetry_keys::kLanesCertificate) += lanes_certificate;
+    telemetry.counter(telemetry_keys::kLanesConnectivity) +=
+        lanes_connectivity;
+    telemetry.counter(telemetry_keys::kLanesPopcount) += lanes_popcount;
+    telemetry.counter(telemetry_keys::kScalarResidue) += scalar_residue;
   }
 };
 
@@ -129,26 +150,56 @@ SuperTerminals add_side_super_arcs(ConfigResidual& residual,
   return t;
 }
 
+// Resolved super-arc capacities for one assignment: what each arc of the
+// add_side_super_arcs layout is set to, plus the flow total that signals
+// feasibility. The bit-parallel kernels read the plan directly (seed /
+// target sets, anchor-cut bypass); the scalar paths apply it to a
+// residual graph.
+struct SuperArcPlan {
+  Capacity anchor_cap = 0;       ///< super arc 0 (S0 -> anchor or mirror)
+  std::vector<Capacity> in_cap;  ///< per endpoint: S0 -> endpoint
+  std::vector<Capacity> out_cap; ///< per endpoint: endpoint -> T1
+  Capacity required = 0;         ///< d + backflow: the feasibility bound
+};
+
+SuperArcPlan plan_assignment_arcs(const SideProblem& side, const Assignment& a,
+                                  Capacity d) {
+  SuperArcPlan plan;
+  plan.anchor_cap = d;
+  plan.in_cap.resize(a.usage.size());
+  plan.out_cap.resize(a.usage.size());
+  Capacity backflow = 0;
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    const Capacity u = a.usage[i];
+    // Source side: positive usage leaves via the endpoint (out arc);
+    // negative usage enters there. Sink side is the mirror image.
+    const bool leaves = side.is_source_side ? (u > 0) : (u < 0);
+    const Capacity mag = u > 0 ? u : -u;
+    plan.in_cap[i] = leaves ? 0 : mag;
+    plan.out_cap[i] = leaves ? mag : 0;
+    if (u < 0) backflow -= u;
+  }
+  plan.required = d + backflow;
+  return plan;
+}
+
+void apply_assignment_plan(ConfigResidual& residual,
+                           const SuperArcPlan& plan) {
+  residual.set_super_arc(0, plan.anchor_cap, 0);
+  for (std::size_t i = 0; i < plan.in_cap.size(); ++i) {
+    residual.set_super_arc(1 + 2 * i, plan.in_cap[i], 0);
+    residual.set_super_arc(2 + 2 * i, plan.out_cap[i], 0);
+  }
+}
+
 // Configures the super arcs for one assignment; returns the flow total
 // that signals feasibility.
 Capacity configure_assignment_arcs(ConfigResidual& residual,
                                    const SideProblem& side,
                                    const Assignment& a, Capacity d) {
-  residual.set_super_arc(0, d, 0);
-  Capacity backflow = 0;
-  for (std::size_t i = 0; i < a.usage.size(); ++i) {
-    const Capacity u = a.usage[i];
-    const std::size_t in_arc = 1 + 2 * i;
-    const std::size_t out_arc = 2 + 2 * i;
-    // Source side: positive usage leaves via the endpoint (out arc);
-    // negative usage enters there. Sink side is the mirror image.
-    const bool leaves = side.is_source_side ? (u > 0) : (u < 0);
-    const Capacity mag = u > 0 ? u : -u;
-    residual.set_super_arc(in_arc, leaves ? 0 : mag, 0);
-    residual.set_super_arc(out_arc, leaves ? mag : 0, 0);
-    if (u < 0) backflow -= u;
-  }
-  return d + backflow;
+  const SuperArcPlan plan = plan_assignment_arcs(side, a, d);
+  apply_assignment_plan(residual, plan);
+  return plan.required;
 }
 
 // Configures f(Q) probing for the polymatroid path: every endpoint in Q
@@ -513,6 +564,350 @@ void sweep_polymatroid_gray(const SideProblem& side,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Bit-parallel slab sweep (SideSweepStrategy::kBitParallel).
+//
+// The Gray walk is processed in 64-rank slabs held transposed in a
+// BitSlabs window (one word per side edge, bit L = "alive at rank
+// base + L"). Three word-wide kernels decide whole lanes at once, in
+// order of cost:
+//
+//   1. certificate bank — the last few engine verdicts of this
+//      assignment, replayed word-wide: an admitting flow's support
+//      edges AND together into a YES lane set, a saturated cut's dead
+//      crossing edges AND (complemented) into a NO lane set;
+//   2. 64-lane BFS — when the required flow is 1 and every side cap is
+//      >= 1, feasibility IS reachability, and one bit-parallel BFS over
+//      the side adjacency decides all 64 lanes exactly (both ways);
+//   3. anchor-cut popcount — a bit-sliced saturating tally of the alive
+//      capacity crossing the anchor's cut, compared per lane against
+//      the assignment's requirement: lanes whose cut cannot carry the
+//      demand are NO.
+//
+// Only the residue consults a scalar engine (created lazily, synced to
+// the lowest undecided lane); the fresh certificate re-runs word-wide
+// immediately, so one sync typically clears many lanes at once. Every
+// kernel is sound and the engine is exact, so the output array is
+// bitwise identical to kScratch — only the path to each decision (and
+// hence maxflow_calls) differs.
+
+constexpr std::size_t kCertBankSize = 12;
+
+struct WordCert {
+  Mask mask = 0;  ///< YES: support edges; NO: dead crossing cut edges
+  bool admits = false;
+};
+
+/// Fixed-capacity most-recent-first certificate ring.
+struct CertBank {
+  std::array<WordCert, kCertBankSize> certs;
+  std::size_t head = 0;  ///< slot of the most recent certificate
+  std::size_t count = 0;
+
+  void push(const WordCert& cert) {
+    head = (head + kCertBankSize - 1) % kCertBankSize;
+    certs[head] = cert;
+    if (count < kCertBankSize) ++count;
+  }
+  const WordCert& at(std::size_t i) const {  // i == 0: most recent
+    return certs[(head + i) % kCertBankSize];
+  }
+};
+
+/// Word-wide replay of one certificate over the slab: returns the lanes
+/// (drawn from `candidates`) the certificate decides; the decided value
+/// is cert.admits. A YES lane keeps every support edge alive; a NO lane
+/// revives no dead crossing edge of the saturated cut.
+std::uint64_t cert_decided_lanes(const WordCert& cert, const BitSlabs& slabs,
+                                 std::uint64_t candidates) {
+  std::uint64_t w = candidates;
+  if (cert.admits) {
+    for (Mask rest = cert.mask; rest != 0 && w != 0; rest &= rest - 1) {
+      w &= slabs.word(lowest_bit(rest));
+    }
+  } else {
+    for (Mask rest = cert.mask; rest != 0 && w != 0; rest &= rest - 1) {
+      w &= ~slabs.word(lowest_bit(rest));
+    }
+  }
+  return w;
+}
+
+/// Saturating bit-sliced tally over 64 lanes: add() accumulates a small
+/// weight into every lane of a word; less_than() then compares all 64
+/// sums against the threshold at once. Weights are pre-clamped to the
+/// threshold, so bit_width(threshold) value slices plus one overflow
+/// word suffice.
+class LaneTally {
+ public:
+  explicit LaneTally(Capacity threshold)
+      : bits_(static_cast<int>(
+            std::bit_width(static_cast<std::uint64_t>(threshold)))) {}
+
+  void add(std::uint64_t lanes, Capacity weight) {
+    const auto w = static_cast<std::uint64_t>(weight);
+    for (int b = 0; (w >> b) != 0; ++b) {
+      if (((w >> b) & 1) == 0) continue;
+      std::uint64_t carry = lanes;
+      for (int i = b; i < bits_ && carry != 0; ++i) {
+        const std::uint64_t overlap = s_[static_cast<std::size_t>(i)] & carry;
+        s_[static_cast<std::size_t>(i)] ^= carry;
+        carry = overlap;
+      }
+      overflow_ |= carry;
+    }
+  }
+
+  /// Lanes whose tally is strictly below `threshold`.
+  std::uint64_t less_than(Capacity threshold) const {
+    std::uint64_t lt = 0;
+    std::uint64_t ge = overflow_;
+    for (int i = bits_ - 1; i >= 0; --i) {
+      const std::uint64_t open = ~(lt | ge);
+      if (test_bit(static_cast<Mask>(threshold), i)) {
+        lt |= open & ~s_[static_cast<std::size_t>(i)];
+      } else {
+        ge |= open & s_[static_cast<std::size_t>(i)];
+      }
+    }
+    return lt;
+  }
+
+ private:
+  std::array<std::uint64_t, 6> s_{};
+  std::uint64_t overflow_ = 0;
+  int bits_;
+};
+
+/// 64-lane reachability from the seed nodes over the slab's alive edges;
+/// returns the lanes in which any target node is reached. Propagates to
+/// a fixpoint (each pass is O(|E_side|) word ops; the pass count is
+/// bounded by the side's diameter).
+std::uint64_t connected_lanes(const BitSlabs& slabs,
+                              const std::vector<NodeId>& eu,
+                              const std::vector<NodeId>& ev,
+                              const std::vector<std::uint8_t>& undirected,
+                              const std::vector<NodeId>& seeds,
+                              const std::vector<NodeId>& targets,
+                              std::vector<std::uint64_t>& reach) {
+  std::fill(reach.begin(), reach.end(), 0);
+  for (NodeId s : seeds) {
+    reach[static_cast<std::size_t>(s)] = ~std::uint64_t{0};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t e = 0; e < eu.size(); ++e) {
+      const std::uint64_t w = slabs.word(static_cast<int>(e));
+      if (w == 0) continue;
+      const auto u = static_cast<std::size_t>(eu[e]);
+      const auto v = static_cast<std::size_t>(ev[e]);
+      const std::uint64_t fwd = reach[u] & w & ~reach[v];
+      if (fwd != 0) {
+        reach[v] |= fwd;
+        changed = true;
+      }
+      if (undirected[e] != 0) {
+        const std::uint64_t bwd = reach[v] & w & ~reach[u];
+        if (bwd != 0) {
+          reach[u] |= bwd;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::uint64_t out = 0;
+  for (NodeId t : targets) {
+    out |= reach[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+/// Per-assignment sweep state: the resolved super-arc plan, kernel
+/// eligibility data, the certificate ring, and the lazily created
+/// residue engine.
+struct SlabAssignment {
+  SuperArcPlan plan;
+  bool connectivity = false;   ///< required == 1 and all side caps >= 1
+  Capacity cut_threshold = 0;  ///< required - endpoint bypass capacity
+  std::vector<NodeId> seeds;   ///< BFS sources (positive supply arcs)
+  std::vector<NodeId> targets; ///< BFS sinks (positive demand arcs)
+  CertBank bank;
+  std::unique_ptr<GrayEngine> engine;
+};
+
+void sweep_per_assignment_bitparallel(const SideProblem& side,
+                                      const AssignmentSet& assignments,
+                                      Capacity d, Mask first, Mask last,
+                                      std::vector<Mask>& array,
+                                      SweepCounters& stats,
+                                      const ExecContext* ctx,
+                                      std::atomic<bool>& aborted) {
+  const int m = side.view.num_edges();
+
+  // Flat side adjacency (view translation hoisted out of the BFS).
+  std::vector<NodeId> eu(static_cast<std::size_t>(m));
+  std::vector<NodeId> ev(static_cast<std::size_t>(m));
+  std::vector<std::uint8_t> undirected(static_cast<std::size_t>(m));
+  bool unit_or_more = true;
+  for (int e = 0; e < m; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    eu[i] = side.view.edge_u(e);
+    ev[i] = side.view.edge_v(e);
+    undirected[i] = side.view.edge_directed(e) ? 0 : 1;
+    unit_or_more = unit_or_more && side.view.edge_capacity(e) >= 1;
+  }
+
+  // Side edges able to carry flow out of {S0, anchor} (source side),
+  // resp. into {anchor, T1} (sink side) — the configuration-dependent
+  // part of the anchor cut the popcount kernel bounds.
+  std::vector<std::pair<int, Capacity>> anchor_edges;
+  for (int e = 0; e < m; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (eu[i] != side.anchor && ev[i] != side.anchor) continue;
+    if (eu[i] == ev[i]) continue;  // self loop never crosses the cut
+    const bool crosses =
+        undirected[i] != 0 || (side.is_source_side ? eu[i] == side.anchor
+                                                   : ev[i] == side.anchor);
+    if (crosses) anchor_edges.emplace_back(e, side.view.edge_capacity(e));
+  }
+
+  std::vector<SlabAssignment> state(
+      static_cast<std::size_t>(assignments.size()));
+  for (int j = 0; j < assignments.size(); ++j) {
+    SlabAssignment& a = state[static_cast<std::size_t>(j)];
+    a.plan = plan_assignment_arcs(
+        side, assignments.assignments[static_cast<std::size_t>(j)], d);
+    a.connectivity = a.plan.required == 1 && unit_or_more;
+    // Endpoint super arcs crossing the anchor cut regardless of the side
+    // configuration: an endpoint AT the anchor crosses on its
+    // demand-facing arc, every other endpoint on its supply-facing one.
+    Capacity bypass = 0;
+    for (std::size_t i = 0; i < side.endpoints.size(); ++i) {
+      const bool at_anchor = side.endpoints[i] == side.anchor;
+      if (side.is_source_side) {
+        bypass += at_anchor ? a.plan.out_cap[i] : a.plan.in_cap[i];
+      } else {
+        bypass += at_anchor ? a.plan.in_cap[i] : a.plan.out_cap[i];
+      }
+      if (a.plan.in_cap[i] > 0) a.seeds.push_back(side.endpoints[i]);
+      if (a.plan.out_cap[i] > 0) a.targets.push_back(side.endpoints[i]);
+    }
+    // The anchor arc's capacity (d >= 1) makes the anchor a
+    // configuration-independent seed (source side) / target (sink side).
+    if (side.is_source_side) {
+      a.seeds.push_back(side.anchor);
+    } else {
+      a.targets.push_back(side.anchor);
+    }
+    a.cut_threshold = a.plan.required - bypass;
+  }
+
+  BitSlabs slabs(m);
+  std::vector<std::uint64_t> reach(
+      static_cast<std::size_t>(side.view.num_nodes()), 0);
+  std::array<Mask, 64> realized{};
+  ProgressMarker progress(exec_progress(ctx));
+  std::uint64_t sync_ops = 0;
+  bool stopped = false;
+  for (Mask base = first; base <= last; base += 64) {
+    if (((base - first) & (ExecContext::kPollStride - 1)) == 0) {
+      if (poll_stop(ctx, aborted)) {
+        stopped = true;
+        break;  // still collect engine counters below
+      }
+      progress.at(base - first);
+    }
+    const int lanes = static_cast<int>(std::min<Mask>(64, last - base + 1));
+    const std::uint64_t valid = lanes == 64
+                                    ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << lanes) - 1;
+    slabs.fill(base);
+    realized.fill(0);
+    for (int j = 0; j < assignments.size(); ++j) {
+      SlabAssignment& a = state[static_cast<std::size_t>(j)];
+      std::uint64_t undecided = valid;
+      std::uint64_t yes = 0;
+
+      if (a.connectivity) {
+        // Feasibility == reachability: the BFS decides every lane of
+        // the slab exactly, both YES and NO — no engine is ever needed.
+        yes = connected_lanes(slabs, eu, ev, undirected, a.seeds, a.targets,
+                              reach) &
+              undecided;
+        stats.lanes_connectivity +=
+            static_cast<std::uint64_t>(popcount(undecided));
+        undecided = 0;
+      } else {
+        for (std::size_t c = 0; c < a.bank.count && undecided != 0; ++c) {
+          const WordCert& cert = a.bank.at(c);
+          const std::uint64_t w = cert_decided_lanes(cert, slabs, undecided);
+          if (cert.admits) yes |= w;
+          undecided &= ~w;
+          stats.lanes_certificate += static_cast<std::uint64_t>(popcount(w));
+        }
+        if (undecided != 0 && a.cut_threshold >= 1) {
+          LaneTally tally(a.cut_threshold);
+          for (const auto& [e, cap] : anchor_edges) {
+            tally.add(slabs.word(e), std::min(cap, a.cut_threshold));
+          }
+          const std::uint64_t no_w =
+              tally.less_than(a.cut_threshold) & undecided;
+          undecided &= ~no_w;
+          stats.lanes_popcount += static_cast<std::uint64_t>(popcount(no_w));
+        }
+        while (undecided != 0) {
+          const int L = lowest_bit(undecided);
+          const Mask config = gray_code(base + static_cast<Mask>(L));
+          if (!a.engine) {
+            // First residue lane of this assignment: build the engine
+            // directly at `config` (the construction solve is the sync).
+            a.engine = std::make_unique<GrayEngine>(side.view);
+            a.engine->terminals =
+                add_side_super_arcs(a.engine->residual, side);
+            apply_assignment_plan(a.engine->residual, a.plan);
+            a.engine->flow = std::make_unique<IncrementalMaxFlow>(
+                a.engine->residual, a.engine->terminals.source,
+                a.engine->terminals.sink, a.plan.required, config);
+          } else {
+            ++sync_ops;
+            STREAMREL_TRACE_SAMPLED_SPAN(mf_span, sync_ops, "maxflow_sync",
+                                         "maxflow");
+            a.engine->flow->sync_to(config);
+          }
+          a.engine->refresh(/*with_certificates=*/true);
+          WordCert cert;
+          cert.admits = a.engine->admits;
+          cert.mask =
+              cert.admits ? a.engine->support : (a.engine->cut & ~config);
+          a.bank.push(cert);
+          // The fresh certificate always covers its own lane (support
+          // is alive at `config`; no cut edge dead at `config` is alive
+          // there), so the loop strictly shrinks `undecided`.
+          const std::uint64_t w = cert_decided_lanes(cert, slabs, undecided);
+          if (cert.admits) yes |= w;
+          undecided &= ~w;
+          ++stats.scalar_residue;
+          stats.lanes_certificate +=
+              static_cast<std::uint64_t>(popcount(w)) - 1;
+        }
+      }
+      for (std::uint64_t rest = yes; rest != 0; rest &= rest - 1) {
+        realized[static_cast<std::size_t>(lowest_bit(rest))] |= bit(j);
+      }
+    }
+    for (int L = 0; L < lanes; ++L) {
+      array[static_cast<std::size_t>(
+          gray_code(base + static_cast<Mask>(L)))] =
+          realized[static_cast<std::size_t>(L)];
+    }
+  }
+  if (!stopped) progress.at(last - first + 1);
+  for (const SlabAssignment& a : state) {
+    if (a.engine) a.engine->collect(stats);
+  }
+}
+
 }  // namespace
 
 std::vector<Mask> build_side_array(const SideProblem& side,
@@ -546,22 +941,37 @@ std::vector<Mask> build_side_array(const SideProblem& side,
   SideSweepStrategy sweep = options.sweep;
   if (sweep == SideSweepStrategy::kAuto) {
     // Engine setup costs |D| (resp. 2^k - 1) graph builds per shard; only
-    // worth amortizing over a reasonably large walk. The polymatroid
-    // engine bank grows with 2^k, so very wide bottlenecks stay scratch.
-    bool incremental = total >= 1024;
-    if (method == FeasibilityMethod::kPolymatroid &&
-        side.endpoints.size() > 12) {
-      incremental = false;
+    // worth amortizing over a reasonably large walk. Per-assignment
+    // feasibility takes the slab sweep (word-wide kernels decide most
+    // lanes without a solver); polymatroid feasibility keeps the Gray
+    // engine bank, which grows with 2^k, so very wide bottlenecks stay
+    // scratch.
+    if (total < 1024) {
+      sweep = SideSweepStrategy::kScratch;
+    } else if (method == FeasibilityMethod::kPolymatroid) {
+      sweep = side.endpoints.size() > 12 ? SideSweepStrategy::kScratch
+                                         : SideSweepStrategy::kGrayIncremental;
+    } else {
+      sweep = SideSweepStrategy::kBitParallel;
     }
-    sweep = incremental ? SideSweepStrategy::kGrayIncremental
-                        : SideSweepStrategy::kScratch;
+  }
+  // The slab kernels reason about single assignments; a polymatroid
+  // request under kBitParallel falls back to the Gray engine bank.
+  if (sweep == SideSweepStrategy::kBitParallel &&
+      method == FeasibilityMethod::kPolymatroid) {
+    sweep = SideSweepStrategy::kGrayIncremental;
   }
 
+  const char* strategy_name =
+      sweep == SideSweepStrategy::kGrayIncremental ? "gray"
+      : sweep == SideSweepStrategy::kBitParallel   ? "bit_parallel"
+                                                   : "scratch";
   TraceSpan sweep_span("build_side_array", "sweep");
   sweep_span.arg("side", side.is_source_side ? "s" : "t")
       .arg("links", static_cast<std::int64_t>(m))
       .arg("configs", static_cast<std::uint64_t>(total))
-      .arg("gray", sweep == SideSweepStrategy::kGrayIncremental);
+      .arg("strategy", strategy_name)
+      .arg("gray", sweep != SideSweepStrategy::kScratch);
 
   if (ProgressReporter* progress = exec_progress(ctx)) {
     progress->add_total(static_cast<std::uint64_t>(total));
@@ -576,6 +986,10 @@ std::vector<Mask> build_side_array(const SideProblem& side,
   // [0, total) are covered exactly once.
   auto run = [&](Mask first, Mask last, SweepCounters& s) {
     switch (sweep) {
+      case SideSweepStrategy::kBitParallel:
+        sweep_per_assignment_bitparallel(side, assignments, demand_rate, first,
+                                         last, array, s, ctx, aborted);
+        break;
       case SideSweepStrategy::kGrayIncremental:
         if (method == FeasibilityMethod::kPolymatroid) {
           sweep_polymatroid_gray(side, assignments, demand_rate,
@@ -684,6 +1098,17 @@ std::vector<Mask> build_side_array(const SideProblem& side,
   return array;
 }
 
+SlabMaskTable build_side_array_slab(const SideProblem& side,
+                                    const AssignmentSet& assignments,
+                                    Capacity demand_rate,
+                                    const SideArrayOptions& options,
+                                    SideArrayStats* stats,
+                                    const ExecContext* ctx) {
+  return slab_form(
+      build_side_array(side, assignments, demand_rate, options, stats, ctx),
+      side.view.num_edges());
+}
+
 struct SideMaskEvaluator::Impl {
   Impl(const SideProblem& side, const AssignmentSet& assignments, Capacity d,
        MaxFlowAlgorithm algorithm)
@@ -790,6 +1215,38 @@ class FlatBucketTable {
   std::size_t size_ = 0;
 };
 
+// Shared slab fold: walk the ranks in 64-lane slabs, compute all 64
+// configuration probabilities at once with the vectorized lane-product
+// kernel (direct per-lane products in ascending edge order — no ratio
+// chain, so no drift, no resync, and zero failure probabilities need no
+// special casing), and accumulate bucket (mask -> probability) in rank
+// order. The insertion order and the Kahan total are fixed by the rank
+// walk, so every overload — config-indexed or slab-form — produces a
+// bitwise identical distribution.
+template <typename MaskAt>
+MaskDistribution fold_ranks(int m, Mask n, std::span<const double> probs,
+                            MaskAt&& mask_at) {
+  BitSlabs slabs(m);
+  std::array<double, 64> lane_p{};
+  FlatBucketTable buckets;
+  KahanSum total;
+  for (Mask base = 0; base < n; base += 64) {
+    const int lanes = static_cast<int>(std::min<Mask>(64, n - base));
+    slabs.fill(base);
+    lane_config_products(slabs.words(), probs, lanes, lane_p.data());
+    for (int L = 0; L < lanes; ++L) {
+      const double p = lane_p[static_cast<std::size_t>(L)];
+      buckets.add(mask_at(base + static_cast<Mask>(L)), p);
+      total.add(p);
+    }
+  }
+  MaskDistribution dist;
+  dist.buckets = buckets.entries();
+  std::sort(dist.buckets.begin(), dist.buckets.end());
+  dist.total = total.value();
+  return dist;
+}
+
 }  // namespace
 
 MaskDistribution bucket_side_array(const SideProblem& side,
@@ -804,74 +1261,28 @@ MaskDistribution bucket_side_array(const SideProblem& side,
   if (probs.size() != static_cast<std::size_t>(m)) {
     throw std::invalid_argument("one failure probability per side link");
   }
+  return fold_ranks(m, static_cast<Mask>(array.size()), probs,
+                    [&array](Mask rank) {
+                      return array[static_cast<std::size_t>(gray_code(rank))];
+                    });
+}
 
-  // Stream the configurations in Gray-code order: each step flips one
-  // link, so the configuration probability updates by that link's
-  // alive/dead factor ratio instead of an O(m) product. Links with
-  // failure probability 0 would divide by zero, so the zero factors are
-  // counted separately and the running product tracks only the non-zero
-  // ones. An exact O(m) recomputation every 2^12 steps bounds the
-  // multiplicative rounding drift of long divide/multiply chains.
-  double prod = 1.0;
-  int zeros = 0;
-  const auto resync = [&](Mask config) {
-    prod = 1.0;
-    zeros = 0;
-    for (int i = 0; i < m; ++i) {
-      const double factor = test_bit(config, i)
-                                ? 1.0 - probs[static_cast<std::size_t>(i)]
-                                : probs[static_cast<std::size_t>(i)];
-      if (factor == 0.0) {
-        ++zeros;
-      } else {
-        prod *= factor;
-      }
-    }
-  };
-  resync(0);
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const SlabMaskTable& table) {
+  return bucket_side_array(side, table, side.view.failure_probs());
+}
 
-  FlatBucketTable buckets;
-  KahanSum total;
-  const Mask n = static_cast<Mask>(array.size());
-  constexpr Mask kResyncPeriod = Mask{1} << 12;
-  for (Mask rank = 0; rank < n; ++rank) {
-    Mask config = 0;
-    if (rank != 0) {
-      const int b = gray_flip_bit(rank - 1);
-      config = gray_code(rank);
-      if ((rank & (kResyncPeriod - 1)) == 0) {
-        resync(config);
-      } else {
-        const double dead = probs[static_cast<std::size_t>(b)];
-        const double alive = 1.0 - dead;  // > 0 since dead < 1
-        if (test_bit(config, b)) {
-          // Link b came alive: swap its dead factor for its alive factor.
-          if (dead == 0.0) {
-            --zeros;
-          } else {
-            prod /= dead;
-          }
-          prod *= alive;
-        } else {
-          prod /= alive;
-          if (dead == 0.0) {
-            ++zeros;
-          } else {
-            prod *= dead;
-          }
-        }
-      }
-    }
-    const double p = zeros != 0 ? 0.0 : prod;
-    buckets.add(array[static_cast<std::size_t>(config)], p);
-    total.add(p);
+MaskDistribution bucket_side_array(const SideProblem& side,
+                                   const SlabMaskTable& table,
+                                   std::span<const double> probs) {
+  const int m = side.view.num_edges();
+  if (probs.size() != static_cast<std::size_t>(m)) {
+    throw std::invalid_argument("one failure probability per side link");
   }
-
-  MaskDistribution dist;
-  dist.buckets = buckets.entries();
-  std::sort(dist.buckets.begin(), dist.buckets.end());
-  dist.total = total.value();
-  return dist;
+  return fold_ranks(
+      m, static_cast<Mask>(table.by_rank.size()), probs, [&table](Mask rank) {
+        return table.by_rank[static_cast<std::size_t>(rank)];
+      });
 }
 
 }  // namespace streamrel

@@ -187,6 +187,26 @@ TEST(ExecContext, TelemetryCountersIndependentOfThreadCount) {
     options.max_threads = threads;
     const SolveReport report = compute_reliability(g.net, demand, options);
     EXPECT_EQ(report.result.status, SolveStatus::kExact);
+    // The slab sweep serves these sides (2^14 >= 1024 configurations via
+    // kAuto), so its lane accounting is part of the determinism contract:
+    // both per-side subtrees must report word-wide lanes and the scalar
+    // residue, and every (configuration, assignment) decision is counted
+    // exactly once between them.
+    const std::uint64_t num_assignments =
+        report.result.telemetry.counter_or(telemetry_keys::kAssignments);
+    ASSERT_GT(num_assignments, 0u);
+    for (const char* side : {"side_s", "side_t"}) {
+      const Telemetry* sub = report.result.telemetry.find_child(side);
+      ASSERT_NE(sub, nullptr) << side;
+      const std::uint64_t wordwise =
+          sub->counter_or(telemetry_keys::kLanesWordwise);
+      const std::uint64_t residue =
+          sub->counter_or(telemetry_keys::kScalarResidue);
+      EXPECT_GT(wordwise, 0u) << side << " threads=" << threads;
+      EXPECT_EQ(wordwise + residue,
+                (std::uint64_t{1} << 14) * num_assignments)
+          << side << " threads=" << threads;
+    }
     if (first) {
       reference = report;
       first = false;

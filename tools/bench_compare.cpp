@@ -13,6 +13,10 @@
 //     invariants like "identical": bitwise-equal side arrays);
 //   * keys under "trace." (span counters guarding the zero-copy side
 //     views): fail on any increase of a "*copies" counter above zero;
+//   * keys ending in "_coverage" (fractions of work answered by a fast
+//     path, e.g. the slab sweep's word-wide decisions): fail when
+//     new < old * (1 - t) — a coverage drop silently shifts work onto
+//     the slow path and shows up as a perf regression one commit later;
 //   * everything else (call counts, sizes, seeds) is informational.
 // Metrics present in only one record are reported but never fatal —
 // benches grow columns across commits.
@@ -138,6 +142,15 @@ int main(int argc, char** argv) {
       if (after > before && after > 0.0) {
         std::cout << "  ! " << key << ": " << before << " -> " << after
                   << " (zero-copy guarantee lost)\n";
+        ++regressions;
+      }
+      continue;
+    }
+    if (ends_with(key, "_coverage")) {
+      if (before > 0.0 && after < before * (1.0 - threshold)) {
+        std::cout << "  ! " << key << ": " << before << " -> " << after
+                  << " (-" << (1.0 - after / before) * 100.0
+                  << "%, fast-path coverage lost)\n";
         ++regressions;
       }
       continue;
