@@ -1,9 +1,19 @@
-// E24 — closing the loop between the paper's static snapshot model and
-// actual churn dynamics: run the discrete-event simulator with link
-// up/down processes whose stationary unavailability equals each link's
-// p(e), and compare the measured time-average availability with the
-// analytic reliability. Also reports what ONLY the simulator can say:
-// interruption rate and outage durations.
+// E24/E28 — closing the loop between the paper's static snapshot model
+// and actual churn dynamics.
+//
+// E24: run the discrete-event simulator with link up/down processes
+// whose stationary unavailability equals each link's p(e), and compare
+// the measured time-average availability with the analytic reliability.
+// Also reports what ONLY the simulator can say: interruption rate and
+// outage durations.
+//
+// E28: churn replay. Generate a timestamped join/leave/degrade event
+// stream and evaluate the R(t) series twice — warm (one QuerySession
+// absorbing NetworkDelta patches, cut-scoped invalidation keeping
+// artifacts alive across events) and cold (recompile + solve from
+// scratch per event). The two series must be bitwise identical; the
+// headline metrics are the warm-vs-cold speedup and the artifact
+// survival rate, both gated in CI via bench_compare --floor.
 
 #include <cmath>
 #include <iostream>
@@ -15,6 +25,96 @@
 #include "streamrel/util/table.hpp"
 
 using namespace streamrel;
+
+namespace {
+
+void run_replay(const CliArgs& args, bench::BenchReport& record) {
+  const int events = static_cast<int>(args.get_int("events", 48));
+  std::cout << "\nE28: churn replay — warm QuerySession deltas vs cold "
+               "recompile per event (" << events << " events)\n\n";
+
+  Xoshiro256 rng(0xE28);
+  ClusteredParams params;
+  params.nodes_s = 9;
+  params.extra_edges_s = 6;
+  params.nodes_t = 8;
+  params.extra_edges_t = 5;
+  params.bottleneck_links = 3;
+  params.bottleneck_caps = {1, 2};
+  const GeneratedNetwork gen = clustered_bottleneck(rng, params);
+  const FlowDemand demand{gen.source, gen.sink, 2};
+
+  ChurnEventOptions churn;
+  churn.events = events;
+  churn.protect_node = gen.sink;
+  const EventStream stream = random_churn_events(gen.net, gen.source, churn);
+
+  ReplayOptions warm_options;
+  Stopwatch sw;
+  const ReplayReport warm = replay_churn(gen.net, demand, stream, warm_options);
+  const double warm_ms = sw.elapsed_ms();
+
+  ReplayOptions cold_options;
+  cold_options.use_session = false;
+  sw.reset();
+  const ReplayReport cold = replay_churn(gen.net, demand, stream, cold_options);
+  const double cold_ms = sw.elapsed_ms();
+
+  bool identical = warm.series.size() == cold.series.size() &&
+                   warm.initial_reliability == cold.initial_reliability;
+  for (std::size_t i = 0; identical && i < warm.series.size(); ++i) {
+    identical = warm.series[i].reliability == cold.series[i].reliability;
+  }
+
+  std::uint64_t full = 0;
+  std::uint64_t partial = 0;
+  std::uint64_t survived = 0;
+  for (const ReplayEventOutcome& out : warm.series) {
+    full += out.entries_full;
+    partial += out.entries_partial;
+    survived += out.entries_survived;
+  }
+
+  TextTable table({"series", "events", "R(0)", "R(end)", "worst event",
+                   "total_ms", "ms/event"});
+  const auto add_row = [&](const char* name, const ReplayReport& report,
+                           double ms) {
+    table.new_row()
+        .add_cell(name)
+        .add_cell(static_cast<std::int64_t>(report.series.size()))
+        .add_cell(report.initial_reliability, 6)
+        .add_cell(report.final_reliability, 6)
+        .add_cell(report.worst_event)
+        .add_cell(ms, 3)
+        .add_cell(report.series.empty()
+                      ? 0.0
+                      : ms / static_cast<double>(report.series.size()),
+                  4);
+  };
+  add_row("warm (deltas)", warm, warm_ms);
+  add_row("cold (recompile)", cold, cold_ms);
+  table.print(std::cout);
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  std::cout << "\nidentical R(t): " << (identical ? "yes" : "NO")
+            << "; speedup " << speedup << "x; artifact survival rate "
+            << warm.artifact_survival_rate << " (full " << full
+            << ", partial " << partial << ", survived " << survived
+            << ")\n";
+
+  record.metric("replay.events",
+                static_cast<std::uint64_t>(warm.series.size()))
+      .metric("replay.warm_ms", warm_ms)
+      .metric("replay.cold_ms", cold_ms)
+      .metric("replay.speedup_warm_vs_cold", speedup)
+      .metric("replay.artifact_survival_rate", warm.artifact_survival_rate)
+      .metric("replay.entries_full", full)
+      .metric("replay.entries_partial", partial)
+      .metric("replay.entries_survived", survived)
+      .metric("replay.identical", identical);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
@@ -72,6 +172,9 @@ int main(int argc, char** argv) {
                "analytic reliability (validating the snapshot model); the "
                "interruption rate and outage lengths are the extra insight "
                "only dynamics provide.\n";
+
+  run_replay(args, record);
+
   const bool json_ok = bench::write_if_requested(record, args);
   return json_ok ? 0 : 1;
 }

@@ -101,7 +101,8 @@ void study_churn() {
     model.mean_session_minutes = session;
     model.window_minutes = 5.0;
     model.base_link_loss = 0.01;
-    apply_churn(overlay.net(), overlay.server(), model);
+    apply_delta_in_place(overlay.net(),
+                        churn_delta(overlay.net(), overlay.server(), model));
     const double r =
         reliability_naive(overlay.net(),
                           overlay.demand_to(overlay.peer(5), 2))

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     churn.mean_session_minutes = session;
     churn.window_minutes = 5.0;
     churn.base_link_loss = 0.01;
-    apply_churn(overlay.net(), overlay.server(), churn);
+    apply_delta_in_place(overlay.net(),
+                        churn_delta(overlay.net(), overlay.server(), churn));
     const FlowDemand demand = overlay.demand_to(overlay.peer(peers - 1), 2);
 
     const double analytic =

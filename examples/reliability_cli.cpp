@@ -9,6 +9,7 @@
 //                               [--samples N] [--deadline-ms T] [--threads N]
 //                               [--json] [--bounds] [--importance]
 //                               [--dot out.dot] [--batch queries.json]
+//                               [--replay events.json] [--cold]
 //                               [--trace out.json] [--progress]
 //
 // --deadline-ms bounds the wall clock: on expiry the answer degrades to a
@@ -19,6 +20,13 @@
 // (load it in chrome://tracing or Perfetto, or feed it to trace_report).
 // --progress prints a throttled visited/total + rate + ETA line to stderr
 // while the sweep runs. See docs/OBSERVABILITY.md.
+//
+// --replay evaluates a timestamped churn event stream (see
+// include/streamrel/sim/event_stream.hpp for the JSON format) into an
+// R(t) series through one warm QuerySession absorbing NetworkDelta
+// patches; --cold switches to recompiling from scratch per event (same
+// series, for cross-checking). Output is one JSON line per event plus a
+// summary with the worst event and the artifact survival rate.
 //
 // --batch runs many what-if queries through one QuerySession, so the
 // exponential structural work is paid once and shared. The file holds
@@ -175,6 +183,57 @@ int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
   return 0;
 }
 
+int run_replay(const NetworkFile& file, const FlowDemand& demand,
+               const CliArgs& args) {
+  std::ifstream in(args.get("replay", ""));
+  if (!in) {
+    std::cerr << "cannot open event file '" << args.get("replay", "")
+              << "'\n";
+    return 2;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EventStream events = parse_event_stream(text);
+  sort_event_stream(events);
+
+  ReplayOptions options;
+  options.use_session = !args.get_bool("cold");
+  options.solve.deadline_ms = args.get_double("deadline-ms", 0.0);
+  options.solve.max_threads = static_cast<int>(args.get_int("threads", 0));
+
+  Stopwatch sw;
+  const ReplayReport report = replay_churn(file.net, demand, events, options);
+  const double elapsed = sw.elapsed_ms();
+
+  std::cout << "{\"t\": 0, \"reliability\": "
+            << format_double(report.initial_reliability, 10) << "}\n";
+  for (const ReplayEventOutcome& out : report.series) {
+    std::cout << "{\"t\": " << format_double(out.time, 6) << ", \"label\": \""
+              << out.label << "\", \"class\": \"" << to_string(out.applied)
+              << "\", \"reliability\": "
+              << format_double(out.reliability, 10) << ", \"delta_r\": "
+              << format_double(out.delta_r, 10) << ", \"cache\": {\"full\": "
+              << out.entries_full << ", \"partial\": " << out.entries_partial
+              << ", \"survived\": " << out.entries_survived << "}}\n";
+  }
+  std::cout << "{\"summary\": {\"mode\": \""
+            << (options.use_session ? "warm" : "cold")
+            << "\", \"events\": " << report.series.size()
+            << ", \"final_reliability\": "
+            << format_double(report.final_reliability, 10)
+            << ", \"worst_event\": " << report.worst_event;
+  if (report.worst_event >= 0) {
+    std::cout << ", \"worst_label\": \""
+              << report.series[static_cast<std::size_t>(report.worst_event)]
+                     .label
+              << "\"";
+  }
+  std::cout << ", \"artifact_survival_rate\": "
+            << format_double(report.artifact_survival_rate, 6)
+            << ", \"elapsed_ms\": " << format_double(elapsed, 4) << "}}\n";
+  return 0;
+}
+
 int run(const CliArgs& args) {
   if (args.positional().empty()) {
     std::cerr << "usage: reliability_cli <network-file> [--method ...] "
@@ -192,6 +251,7 @@ int run(const CliArgs& args) {
   file.net.check_demand(demand);
 
   if (args.has("batch")) return run_batch(file, demand, args);
+  if (args.has("replay")) return run_replay(file, demand, args);
 
   std::cout << "network: " << file.net.summary() << "\n"
             << "demand: " << demand.rate << " sub-stream(s) "

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
       opts.stripes = stripes;
       add_striped_trees(overlay, opts);
     }
-    apply_churn(overlay.net(), overlay.server(), churn);
+    apply_delta_in_place(overlay.net(),
+                        churn_delta(overlay.net(), overlay.server(), churn));
     const NodeId subscriber = overlay.peer(peers - 1);
 
     auto r_at = [&](Capacity rate) {

@@ -107,6 +107,20 @@ struct BottleneckArtifacts {
   bool usable() const noexcept { return status == SolveStatus::kExact; }
 };
 
+/// One salvaged side of a previously built decomposition: the side
+/// problem, its mask table in slab form, and its construction-counter
+/// subtree. Passing one to build_bottleneck_artifacts skips that side's
+/// exponential sweep entirely and adopts the cached table verbatim —
+/// valid ONLY when the side's topology and internal capacities are
+/// unchanged and the assignment set is the same (side arrays depend on
+/// nothing else; see §III-C). QuerySession proves this via its
+/// edge→(cut, side) index before offering a salvage.
+struct SideReuse {
+  SideProblem side;
+  SlabMaskTable array;
+  Telemetry telemetry;  ///< the side's "side_s"/"side_t" counter subtree
+};
+
 /// Builds the artifacts (the exponential part of the algorithm). Throws
 /// std::invalid_argument for usage errors exactly like
 /// reliability_bottleneck; a context stop returns status != kExact, and a
@@ -115,13 +129,18 @@ struct BottleneckArtifacts {
 /// `reuse_assignments` (may be null) skips the enumeration with a cached
 /// set — it must come from the same (partition, d, options.assignments).
 /// `snapshot` (may be null) pins a pre-compiled view of `net`; when null
-/// the network is compiled on the spot.
+/// the network is compiled on the spot. `reuse_s` / `reuse_t` (may be
+/// null) adopt a salvaged side instead of re-sweeping it; the build MOVES
+/// from the reuse objects, leaving them empty. Because side arrays are
+/// deterministic in their inputs, the result is bitwise-identical to a
+/// build without reuse.
 BottleneckArtifacts build_bottleneck_artifacts(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition, const BottleneckOptions& options = {},
     const ExecContext* ctx = nullptr,
     const AssignmentSet* reuse_assignments = nullptr,
-    std::shared_ptr<const CompiledNetwork> snapshot = nullptr);
+    std::shared_ptr<const CompiledNetwork> snapshot = nullptr,
+    SideReuse* reuse_s = nullptr, SideReuse* reuse_t = nullptr);
 
 /// Per-link failure probabilities arranged the way the accumulation
 /// consumes them: by side-subgraph edge id and by crossing-edge position.

@@ -20,11 +20,26 @@
 // (64 configuration probabilities per lane-product kernel call) plus
 // 2^k inclusion–exclusion terms, no max-flow.
 //
-// Invalidation: capacity and topology edits flush all three layers and
-// mint a fresh CompiledNetwork snapshot (new structure identity);
-// probability edits flush nothing — they overlay the pinned snapshot via
-// with_failure_prob, which preserves the structure id, so "this cache
-// entry is still valid" is literally a structure-identity check.
+// Invalidation is CUT-SCOPED, decided per edit class × artifact layer:
+//
+//   * probability edits flush nothing — they overlay the pinned snapshot
+//     via with_failure_prob, which preserves the structure id, so "this
+//     cache entry is still valid" is literally a structure-identity check;
+//   * capacity edits (apply_delta / set_capacity) keep every partition
+//     (candidate cuts are capacity-independent; their stats are cheaply
+//     re-analyzed), keep assignment sets whose crossing was not touched,
+//     and classify each mask-table entry by WHERE the touched edges fall:
+//     a touch in the crossing drops the entry and its assignment set; a
+//     touch confined to one side drops only that side's array — the other
+//     side is SALVAGED and adopted verbatim on the next rebuild, skipping
+//     half the exponential sweep;
+//   * topology edits flush all three layers (the old shape is dead).
+//
+// The successor snapshot comes from CompiledNetwork::apply_delta — CSR
+// patches sharing untouched blocks — and each capacity/probability delta
+// leaves a DeltaSolveHint that subsequent solves forward to the engine
+// layer. Telemetry splits invalidation outcomes into full / partial /
+// survived per-entry counters.
 //
 // Results are bitwise-identical to a cold compute_reliability call on
 // the same network — the session reuses the facade's arithmetic, it
@@ -66,6 +81,28 @@ struct QueryCacheOptions {
   bool enabled = true;
 };
 
+/// QuerySession::apply_delta result: what the delta did to the session's
+/// network (id translations, as in DeltaApplication) and to its caches
+/// (per-entry invalidation outcome).
+struct DeltaOutcome {
+  DeltaClass applied = DeltaClass::kProbabilityOnly;
+  /// Old id -> new id; kInvalidNode / kInvalidEdge for removed entities.
+  /// Identity maps for non-topology deltas.
+  std::vector<NodeId> node_map;
+  std::vector<EdgeId> edge_map;
+  /// Mask-table entries dropped outright (crossing touched, both sides
+  /// touched, or a topology flush).
+  std::uint64_t entries_full = 0;
+  /// Entries dropped with one side array salvaged for the next rebuild.
+  std::uint64_t entries_partial = 0;
+  /// Entries that remained valid (probability-only deltas).
+  std::uint64_t entries_survived = 0;
+  /// Partition entries kept (always all of them for non-topology deltas).
+  std::uint64_t partitions_survived = 0;
+  /// Assignment sets kept (crossing untouched).
+  std::uint64_t assignments_survived = 0;
+};
+
 class QuerySession {
  public:
   /// The session owns its copy of the network; edit it through the
@@ -74,18 +111,45 @@ class QuerySession {
 
   const FlowNetwork& network() const noexcept { return net_; }
 
+  /// The DOCUMENTED alias for editing the network outside the session's
+  /// edit methods. After editing through it, call invalidate(scope) with
+  /// the strongest edit class performed — a probability-only scope keeps
+  /// every structural artifact (the session re-syncs its snapshot's
+  /// probability columns in place).
+  FlowNetwork& mutable_network() noexcept { return net_; }
+
   // --- edits -------------------------------------------------------
 
   /// Probability edit: structural caches SURVIVE (masks are
   /// probability-independent); only subsequent accumulations change.
   void set_failure_prob(EdgeId id, double p);
-  /// Capacity edit: invalidates every structural cache layer.
+  /// Capacity edit: cut-scoped invalidation (equivalent to apply_delta
+  /// with a single capacity edit).
   void set_capacity(EdgeId id, Capacity c);
   /// Topology edit: invalidates every structural cache layer.
   EdgeId add_edge(NodeId u, NodeId v, Capacity capacity, double failure_prob,
                   EdgeKind kind);
-  /// Explicit full invalidation (e.g. after editing through an alias).
-  void invalidate();
+
+  /// Applies one edit batch to the session network and snapshot (via
+  /// CompiledNetwork::apply_delta) and invalidates the caches CUT-SCOPED:
+  /// see the header comment for the edit class × artifact layer matrix.
+  /// Atomic: an invalid delta throws std::invalid_argument and leaves
+  /// network and caches untouched. Subsequent solves carry a
+  /// DeltaSolveHint describing the delta until the next edit.
+  DeltaOutcome apply_delta(const NetworkDelta& delta);
+
+  /// Explicit invalidation after editing through an alias
+  /// (mutable_network()). `scope` is the strongest edit class performed:
+  ///  * kProbabilityOnly — structural artifacts all SURVIVE; the pinned
+  ///    snapshot's probability columns are re-synced from the network
+  ///    (same structure id), so this is the documented fast path for
+  ///    probability-overlay edits through an alias;
+  ///  * kCapacityOnly / kTopology — the touched-edge set is unknown, so
+  ///    the session flushes every structural layer (use apply_delta for
+  ///    scoped invalidation).
+  /// An alias edit that changed the edge count is treated as kTopology
+  /// regardless of the declared scope.
+  void invalidate(DeltaClass scope = DeltaClass::kTopology);
 
   // --- queries -----------------------------------------------------
 
@@ -110,7 +174,11 @@ class QuerySession {
   std::uint64_t cache_hits() const;        ///< total across the three layers
   std::uint64_t cache_misses() const;      ///< total across the three layers
   std::uint64_t cache_evictions() const;   ///< mask-table LRU evictions
-  std::uint64_t cache_invalidations() const;
+  std::uint64_t cache_invalidations() const;  ///< invalidation EVENTS
+  /// Per-entry invalidation outcomes (see DeltaOutcome).
+  std::uint64_t cache_invalidations_full() const;
+  std::uint64_t cache_invalidations_partial() const;
+  std::uint64_t cache_survived() const;
 
  private:
   friend class BatchEvaluator;
@@ -203,7 +271,22 @@ class QuerySession {
       const BottleneckArtifacts& artifacts,
       std::span<const ProbOverride> overrides) const;
 
+  /// A side array rescued from a partially invalidated entry, plus the
+  /// crossing-edge list of the partition it belongs to (needed to decide
+  /// whether a LATER delta kills the salvage before it is consumed).
+  struct SalvagedSide {
+    SideReuse reuse;
+    std::vector<EdgeId> crossing_edges;
+  };
+
   void bump_epoch();
+  /// Cut-scoped invalidation for a capacity-only delta: classifies every
+  /// cached mask entry by where `touched` falls (side s / side t /
+  /// crossing), drops or salvages accordingly, keeps partitions (stats
+  /// re-analyzed) and uncrossed assignment sets. Fills the entry counters
+  /// of `out`.
+  void invalidate_capacity_scoped(std::span<const EdgeId> touched,
+                                  DeltaOutcome& out);
   Telemetry& layer_counters(std::string_view layer);
 
   /// The session's frozen snapshot, minted lazily on first use.
@@ -225,6 +308,14 @@ class QuerySession {
   /// blow-up, oversized side) — deterministic per epoch, so the failed
   /// enumeration is never re-attempted on warm queries.
   std::set<ArtifactKey> failed_;
+  /// Sides salvaged by cut-scoped invalidation, consumed (moved from) by
+  /// the next rebuild of the same key. salvage_s_ holds reusable SOURCE
+  /// sides, salvage_t_ reusable sink sides.
+  std::map<ArtifactKey, SalvagedSide> salvage_s_;
+  std::map<ArtifactKey, SalvagedSide> salvage_t_;
+  /// Hint describing the latest delta; attached to solves (when the
+  /// caller did not set options.delta_hint) until the next edit.
+  std::optional<DeltaSolveHint> pending_hint_;
 };
 
 }  // namespace streamrel

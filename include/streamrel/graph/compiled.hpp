@@ -33,25 +33,51 @@
 #include <span>
 #include <vector>
 
+#include "streamrel/graph/delta.hpp"
 #include "streamrel/graph/flow_network.hpp"
 
 namespace streamrel {
 
+/// CompiledNetwork::apply_delta result: the successor snapshot plus the
+/// id translations (old id -> successor id; kInvalidNode / kInvalidEdge
+/// for removed entities — identity maps for non-topology deltas).
+/// `touched_edges` lists, in SUCCESSOR edge ids, the surviving edges
+/// whose capacity the delta changed (the cut-scoped invalidation key;
+/// empty for probability-only deltas).
+struct CompiledDelta {
+  std::shared_ptr<const CompiledNetwork> snapshot;
+  std::vector<NodeId> node_map;
+  std::vector<EdgeId> edge_map;
+  std::vector<EdgeId> touched_edges;
+  DeltaClass applied = DeltaClass::kProbabilityOnly;
+};
+
 class CompiledNetwork {
  public:
-  /// The capacity/topology half of the snapshot, shared (never copied)
-  /// across probability overlays. `id` is process-unique: two
-  /// CompiledNetworks agree on topology and capacities iff their
-  /// structure ids are equal.
-  struct Structure {
+  /// The pure-shape third of the snapshot: endpoints, kinds and the CSR
+  /// adjacency — everything a topology edit (and only a topology edit)
+  /// can disturb. Shared by shared_ptr across capacity overlays, so a
+  /// capacity-only delta copies the capacity column and nothing else.
+  struct Topology {
     int num_nodes = 0;
     std::vector<NodeId> u;            ///< per edge: tail (directed) / endpoint
     std::vector<NodeId> v;            ///< per edge: head / other endpoint
     std::vector<EdgeKind> kind;       ///< per edge
-    std::vector<Capacity> capacity;   ///< per edge
     std::vector<std::size_t> offsets; ///< CSR: num_nodes + 1 entries
     std::vector<EdgeId> incident;     ///< CSR: packed incident edge ids
+  };
+
+  /// The capacity/topology half of the snapshot, shared (never copied)
+  /// across probability overlays. `id` is process-unique: two
+  /// CompiledNetworks agree on topology and capacities iff their
+  /// structure ids are equal. `parent_id` links a structure minted by
+  /// apply_delta to the structure it patched (0 = compiled from a
+  /// builder); the full ancestry lives in DeltaJournal.
+  struct Structure {
+    std::shared_ptr<const Topology> topology;
+    std::vector<Capacity> capacity;   ///< per edge
     std::uint64_t id = 0;             ///< process-unique structure identity
+    std::uint64_t parent_id = 0;      ///< structure this one was patched from
   };
 
   /// Freezes `net` into a snapshot. Edge and incidence order are
@@ -67,26 +93,45 @@ class CompiledNetwork {
   std::shared_ptr<const CompiledNetwork> with_failure_prob(EdgeId id,
                                                            double p) const;
 
-  int num_nodes() const noexcept { return structure_->num_nodes; }
+  /// Bulk probability overlay: a new snapshot sharing THIS snapshot's
+  /// Structure with the whole probability column replaced (one entry per
+  /// edge, each in [0, 1)). The fast path for "re-sync probabilities
+  /// after an alias edit" — structural caches keyed on structure_id()
+  /// remain valid by construction.
+  std::shared_ptr<const CompiledNetwork> with_failure_probs(
+      std::span<const double> probs) const;
+
+  /// Successor snapshot under `delta` (see graph/delta.hpp for the edit
+  /// and id semantics). Shares every block the delta does not touch:
+  /// probability-only deltas share the whole Structure (same structure
+  /// id); capacity-only deltas share the Topology block and mint a new
+  /// structure id with parent_id linking back here; topology deltas
+  /// patch the CSR arrays (compaction + append). The result is
+  /// array-identical to rebuilding the edited network and compiling it
+  /// from scratch. Structure-minting deltas are recorded in
+  /// DeltaJournal. Throws std::invalid_argument on an invalid delta.
+  CompiledDelta apply_delta(const NetworkDelta& delta) const;
+
+  int num_nodes() const noexcept { return topology().num_nodes; }
   int num_edges() const noexcept {
-    return static_cast<int>(structure_->u.size());
+    return static_cast<int>(topology().u.size());
   }
 
   bool valid_node(NodeId n) const noexcept {
-    return n >= 0 && n < structure_->num_nodes;
+    return n >= 0 && n < topology().num_nodes;
   }
   bool valid_edge(EdgeId e) const noexcept {
     return e >= 0 && e < num_edges();
   }
 
   NodeId edge_u(EdgeId e) const {
-    return structure_->u[static_cast<std::size_t>(e)];
+    return topology().u[static_cast<std::size_t>(e)];
   }
   NodeId edge_v(EdgeId e) const {
-    return structure_->v[static_cast<std::size_t>(e)];
+    return topology().v[static_cast<std::size_t>(e)];
   }
   EdgeKind edge_kind(EdgeId e) const {
-    return structure_->kind[static_cast<std::size_t>(e)];
+    return topology().kind[static_cast<std::size_t>(e)];
   }
   bool edge_directed(EdgeId e) const {
     return edge_kind(e) == EdgeKind::kDirected;
@@ -110,9 +155,10 @@ class CompiledNetwork {
 
   /// Edge ids incident to `n` (direction-insensitive), CSR slice.
   std::span<const EdgeId> incident_edges(NodeId n) const {
+    const Topology& topo = topology();
     const auto i = static_cast<std::size_t>(n);
-    return {structure_->incident.data() + structure_->offsets[i],
-            structure_->offsets[i + 1] - structure_->offsets[i]};
+    return {topo.incident.data() + topo.offsets[i],
+            topo.offsets[i + 1] - topo.offsets[i]};
   }
 
   /// Per-edge failure probabilities, indexed by edge id (the whole
@@ -125,11 +171,20 @@ class CompiledNetwork {
 
   /// Topology + capacity identity (see Structure::id).
   std::uint64_t structure_id() const noexcept { return structure_->id; }
+  /// Structure this snapshot was delta-patched from (0 = compiled root).
+  std::uint64_t parent_structure_id() const noexcept {
+    return structure_->parent_id;
+  }
 
   const Structure& structure() const noexcept { return *structure_; }
+  const Topology& topology() const noexcept { return *structure_->topology; }
 
  private:
   CompiledNetwork() = default;
+
+  /// Mints a fresh process-unique Structure::id (shared by compile()
+  /// and the delta paths in graph/delta.cpp).
+  static std::uint64_t next_structure_id();
 
   std::shared_ptr<const Structure> structure_;
   std::vector<double> failure_prob_;

@@ -8,6 +8,7 @@
 // the transport itself failed. No relevance between c and p is assumed,
 // matching the paper.
 
+#include "streamrel/graph/delta.hpp"
 #include "streamrel/graph/flow_network.hpp"
 
 namespace streamrel {
@@ -26,8 +27,19 @@ double peer_departure_prob(const ChurnModel& model);
 /// pass `endpoints_churning` = 1 for server-to-peer links.
 double link_failure_prob(const ChurnModel& model, int endpoints_churning = 2);
 
-/// Overwrites every link failure probability in the overlay network:
-/// links incident to `server` count one churning endpoint, the rest two.
+/// The churn model's probability overwrites as a probability-only
+/// NetworkDelta against `net` (left untouched): links incident to
+/// `server` count one churning endpoint, the rest two. Apply with
+/// apply_delta_in_place, or feed it to QuerySession::apply_delta /
+/// a ChurnEvent so every structural cache layer survives the edit.
+NetworkDelta churn_delta(const FlowNetwork& net, NodeId server,
+                         const ChurnModel& model);
+
+/// In-place form, equivalent to apply_delta_in_place(net,
+/// churn_delta(net, server, model)).
+[[deprecated(
+    "mutates the network behind any caches; use churn_delta() with "
+    "apply_delta_in_place or QuerySession::apply_delta instead")]]
 void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model);
 
 }  // namespace streamrel

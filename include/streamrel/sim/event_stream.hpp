@@ -1,0 +1,92 @@
+#pragma once
+// Timestamped churn event streams — the input language of the replay
+// pipeline (sim/churn_replay.hpp).
+//
+// A ChurnEvent is one NetworkDelta stamped with the time it takes
+// effect: a peer joining (node + edge adds), leaving (node removal),
+// a link degrading (probability edit) or being re-provisioned (capacity
+// edit). Identifier semantics follow NetworkDelta exactly: the ids in
+// event k refer to the network state AFTER events 0..k-1 were applied —
+// each delta targets its own pre-delta network, so a replay needs no id
+// translation and a stream can be produced incrementally by any process
+// that watches the live overlay.
+//
+// Streams come from three places:
+//   * hand-written or exported JSON (parse_event_stream; the format is
+//     documented there and an example ships in examples/data/);
+//   * the seeded generator random_churn_events, which synthesizes
+//     reproducible degrade/re-provision/leave/join mixes for benches
+//     and tests;
+//   * p2p/churn.hpp's churn_delta, for the paper's session-statistics
+//     probability overwrites as a single probability-only event.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamrel/graph/delta.hpp"
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+/// One timestamped edit batch against the evolving network.
+struct ChurnEvent {
+  double time = 0.0;   ///< when the delta takes effect (any time unit)
+  std::string label;   ///< free-form attribution tag ("peer 7 left")
+  NetworkDelta delta;
+};
+
+using EventStream = std::vector<ChurnEvent>;
+
+/// Stable-sorts a stream by time (events at equal times keep their
+/// relative order — they were authored against that application order).
+void sort_event_stream(EventStream& events);
+
+/// Parses a JSON event stream document:
+///
+///   { "events": [
+///       { "time": 0.5, "label": "link 3 degrades",
+///         "set_failure_prob": [ {"edge": 3, "p": 0.25} ] },
+///       { "time": 1.0, "set_capacity": [ {"edge": 2, "c": 1} ] },
+///       { "time": 2.0, "label": "peer 5 leaves",
+///         "remove_node": [5] },
+///       { "time": 3.0, "label": "peer joins",
+///         "add_nodes": 1,
+///         "add_edge": [ {"u": 0, "v": 9, "c": 2, "p": 0.05,
+///                        "directed": false} ] } ] }
+///
+/// Every event key except "time" is optional; "directed" defaults to
+/// false; edge/node ids refer to the network state after the preceding
+/// events (see the header comment). The result is returned in document
+/// order WITHOUT sorting — call sort_event_stream if the document is
+/// unordered. Throws std::invalid_argument on malformed input.
+EventStream parse_event_stream(std::string_view json_text);
+
+/// Options for the seeded stream generator. The class mix is a discrete
+/// distribution over event kinds; weights need not sum to one.
+struct ChurnEventOptions {
+  int events = 64;                  ///< stream length
+  double mean_interarrival = 1.0;   ///< exponential inter-event gaps
+  double weight_degrade = 0.70;     ///< probability edit on a random link
+  double weight_capacity = 0.25;    ///< capacity bump on a random link
+  double weight_leave = 0.025;      ///< random non-server node removal
+  double weight_join = 0.025;       ///< node add wired to two random nodes
+  double degrade_max_prob = 0.35;   ///< degraded p drawn from (0, max]
+  Capacity join_capacity = 1;       ///< capacity of a joining peer's links
+  /// Additional node that leave events never remove (the demand sink,
+  /// typically); the server is always protected.
+  NodeId protect_node = kInvalidNode;
+  std::uint64_t seed = 0x0E28;
+};
+
+/// Synthesizes a reproducible churn stream against `net`. The generator
+/// tracks the evolving network internally so every emitted delta is
+/// valid against the state its predecessors produce; `server` (and the
+/// last two remaining nodes) are never removed, so a stream can always
+/// be replayed against demands anchored at the server. Throws
+/// std::invalid_argument on empty networks or non-positive options.
+EventStream random_churn_events(const FlowNetwork& net, NodeId server,
+                                const ChurnEventOptions& options = {});
+
+}  // namespace streamrel

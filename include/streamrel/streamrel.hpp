@@ -29,6 +29,7 @@
 #include "streamrel/cuts/cut_enumeration.hpp"     // IWYU pragma: export
 #include "streamrel/cuts/partition_search.hpp"    // IWYU pragma: export
 #include "streamrel/graph/compiled.hpp"           // IWYU pragma: export
+#include "streamrel/graph/delta.hpp"              // IWYU pragma: export
 #include "streamrel/graph/dot_export.hpp"         // IWYU pragma: export
 #include "streamrel/graph/flow_network.hpp"       // IWYU pragma: export
 #include "streamrel/graph/generators.hpp"         // IWYU pragma: export
@@ -56,6 +57,8 @@
 #include "streamrel/reliability/reductions.hpp"   // IWYU pragma: export
 #include "streamrel/reliability/throughput.hpp"   // IWYU pragma: export
 #include "streamrel/sim/availability_sim.hpp"     // IWYU pragma: export
+#include "streamrel/sim/churn_replay.hpp"         // IWYU pragma: export
+#include "streamrel/sim/event_stream.hpp"         // IWYU pragma: export
 #include "streamrel/sim/link_dynamics.hpp"        // IWYU pragma: export
 #include "streamrel/util/exec_context.hpp"        // IWYU pragma: export
 #include "streamrel/util/json.hpp"                // IWYU pragma: export

@@ -47,6 +47,16 @@ inline constexpr std::string_view kCacheHits = "cache_hits";
 inline constexpr std::string_view kCacheMisses = "cache_misses";
 inline constexpr std::string_view kCacheEvictions = "cache_evictions";
 inline constexpr std::string_view kCacheInvalidations = "cache_invalidations";
+// Cut-scoped invalidation outcome, counted per cached decomposition
+// entry at each invalidation event: dropped outright / dropped with one
+// side array salvaged for reuse / kept valid.
+inline constexpr std::string_view kCacheInvalidationsFull =
+    "cache_invalidations_full";
+inline constexpr std::string_view kCacheInvalidationsPartial =
+    "cache_invalidations_partial";
+inline constexpr std::string_view kCacheSurvived = "cache_survived";
+// Side arrays adopted from salvage instead of re-swept on rebuild.
+inline constexpr std::string_view kSideRepairs = "side_repairs";
 }  // namespace telemetry_keys
 
 /// Mergeable latency histogram with geometric buckets (quarter-powers of

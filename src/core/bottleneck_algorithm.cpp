@@ -15,7 +15,8 @@ BottleneckArtifacts build_bottleneck_artifacts(
     const FlowNetwork& net, const FlowDemand& demand,
     const BottleneckPartition& partition, const BottleneckOptions& options,
     const ExecContext* ctx, const AssignmentSet* reuse_assignments,
-    std::shared_ptr<const CompiledNetwork> snapshot) {
+    std::shared_ptr<const CompiledNetwork> snapshot, SideReuse* reuse_s,
+    SideReuse* reuse_t) {
   net.check_demand(demand);
   if (partition.side_s.size() != static_cast<std::size_t>(net.num_nodes())) {
     throw std::invalid_argument("partition does not match network");
@@ -60,32 +61,47 @@ BottleneckArtifacts build_bottleneck_artifacts(
 
   try {
     // Side arrays (paper §III-C): the exponential, probability-free part.
-    // Both side problems are zero-copy views pinning one shared snapshot.
+    // Both side problems are zero-copy views pinning one shared snapshot
+    // — or, per side, an adopted salvage (which pins the snapshot it was
+    // originally built against; the arrays are identical either way
+    // because the salvage contract guarantees the side's inputs are
+    // unchanged). A salvaged side keeps its original counters so the
+    // telemetry still accounts for the sweep that actually built it.
     if (!snapshot) snapshot = net.compile();
-    artifacts.side_s =
-        make_side_problem(snapshot, demand, partition, /*source_side=*/true);
-    artifacts.side_t = make_side_problem(std::move(snapshot), demand,
-                                         partition, /*source_side=*/false);
-    SideArrayStats stats_s;
-    SideArrayStats stats_t;
-    {
+    Telemetry side_tel_s;
+    Telemetry side_tel_t;
+    if (reuse_s) {
+      artifacts.side_s = std::move(reuse_s->side);
+      artifacts.array_s = std::move(reuse_s->array);
+      side_tel_s = std::move(reuse_s->telemetry);
+    } else {
+      artifacts.side_s =
+          make_side_problem(snapshot, demand, partition, /*source_side=*/true);
+      SideArrayStats stats_s;
       TraceSpan span("side_array_s", "phase");
       artifacts.array_s =
           build_side_array_slab(artifacts.side_s, artifacts.assignments,
                                 demand.rate, options.side, &stats_s, ctx);
+      side_tel_s = std::move(stats_s.telemetry);
     }
-    {
+    if (reuse_t) {
+      artifacts.side_t = std::move(reuse_t->side);
+      artifacts.array_t = std::move(reuse_t->array);
+      side_tel_t = std::move(reuse_t->telemetry);
+    } else {
+      artifacts.side_t = make_side_problem(std::move(snapshot), demand,
+                                           partition, /*source_side=*/false);
+      SideArrayStats stats_t;
       TraceSpan span("side_array_t", "phase");
       artifacts.array_t =
           build_side_array_slab(artifacts.side_t, artifacts.assignments,
                                 demand.rate, options.side, &stats_t, ctx);
+      side_tel_t = std::move(stats_t.telemetry);
     }
-    SideArrayStats combined;
-    combined.merge(stats_s);
-    combined.merge(stats_t);
-    artifacts.telemetry.merge(combined.telemetry);
-    artifacts.telemetry.child("side_s").merge(stats_s.telemetry);
-    artifacts.telemetry.child("side_t").merge(stats_t.telemetry);
+    artifacts.telemetry.merge(side_tel_s);
+    artifacts.telemetry.merge(side_tel_t);
+    artifacts.telemetry.child("side_s").merge(side_tel_s);
+    artifacts.telemetry.child("side_t").merge(side_tel_t);
     artifacts.telemetry.counter(telemetry_keys::kConfigurations) =
         artifacts.array_s.size() + artifacts.array_t.size();
   } catch (const ExecInterrupted& stop) {

@@ -66,27 +66,296 @@ void QuerySession::set_failure_prob(EdgeId id, double p) {
 }
 
 void QuerySession::set_capacity(EdgeId id, Capacity c) {
-  net_.set_capacity(id, c);
-  bump_epoch();
+  NetworkDelta delta;
+  delta.set_capacity(id, c);
+  apply_delta(delta);
 }
 
 EdgeId QuerySession::add_edge(NodeId u, NodeId v, Capacity capacity,
                               double failure_prob, EdgeKind kind) {
-  const EdgeId id = net_.add_edge(u, v, capacity, failure_prob, kind);
-  bump_epoch();
-  return id;
+  NetworkDelta delta;
+  delta.add_edge(u, v, capacity, failure_prob, kind);
+  apply_delta(delta);
+  return static_cast<EdgeId>(net_.num_edges() - 1);
 }
 
-void QuerySession::invalidate() { bump_epoch(); }
+void QuerySession::invalidate(DeltaClass scope) {
+  if (scope == DeltaClass::kProbabilityOnly && snapshot_ &&
+      static_cast<std::size_t>(net_.num_edges()) ==
+          snapshot_->failure_probs().size()) {
+    // The alias fast path: masks, assignment sets and partitions are all
+    // probability-independent, so every structural artifact survives. The
+    // pinned snapshot re-syncs its probability columns in place — the
+    // structure id is preserved, so cached entries keep matching it.
+    const std::vector<double> probs = net_.failure_probs();
+    snapshot_ = snapshot_->with_failure_probs(probs);
+    telemetry_.child("cache").counter(telemetry_keys::kCacheSurvived) +=
+        lru_.size();
+    return;
+  }
+  if (scope == DeltaClass::kProbabilityOnly && !snapshot_) {
+    return;  // nothing pinned, nothing cached: nothing to do
+  }
+  // Capacity/topology scope (or an alias edit that changed the edge
+  // count): the touched-edge set is unknown, so scoped invalidation is
+  // impossible — flush everything.
+  bump_epoch();
+}
 
 void QuerySession::bump_epoch() {
-  telemetry_.child("cache").counter(telemetry_keys::kCacheInvalidations) += 1;
+  Telemetry& cache = telemetry_.child("cache");
+  cache.counter(telemetry_keys::kCacheInvalidations) += 1;
+  cache.counter(telemetry_keys::kCacheInvalidationsFull) += lru_.size();
   snapshot_.reset();  // the next query mints a fresh structure identity
   partitions_.clear();
   assignments_.clear();
   lru_.clear();
   mask_index_.clear();
   failed_.clear();
+  salvage_s_.clear();
+  salvage_t_.clear();
+  pending_hint_.reset();
+}
+
+DeltaOutcome QuerySession::apply_delta(const NetworkDelta& delta) {
+  TraceSpan span("session_delta", "cache");
+  DeltaOutcome out;
+  out.applied = delta.classify();
+  span.arg("class", to_string(out.applied));
+
+  if (out.applied == DeltaClass::kTopology) {
+    // Validates the whole batch before any mutation; the old shape is
+    // dead, so every structural layer flushes (bump_epoch counts the
+    // dropped entries as full invalidations).
+    DeltaApplication app = apply_delta_in_place(net_, delta);
+    out.node_map = std::move(app.node_map);
+    out.edge_map = std::move(app.edge_map);
+    out.entries_full = lru_.size();
+    bump_epoch();
+    return out;
+  }
+
+  // Probability / capacity deltas keep every id. Validate the batch up
+  // front so a bad edit leaves network and caches untouched.
+  for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+    if (!net_.valid_edge(e.edge)) {
+      throw std::invalid_argument("delta: probability edit names a bad edge");
+    }
+    if (!(e.failure_prob >= 0.0) || !(e.failure_prob < 1.0)) {
+      throw std::invalid_argument("delta: failure probability not in [0,1)");
+    }
+  }
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    if (!net_.valid_edge(e.edge)) {
+      throw std::invalid_argument("delta: capacity edit names a bad edge");
+    }
+    if (e.capacity < 0) {
+      throw std::invalid_argument("delta: negative capacity");
+    }
+  }
+
+  const std::uint64_t parent_structure =
+      snapshot_ ? snapshot_->structure_id() : 0;
+
+  // Patch the pinned snapshot: probability deltas share the whole
+  // Structure (same id), capacity deltas share the Topology block and
+  // mint a successor id journaled against the parent.
+  std::vector<EdgeId> touched;
+  if (snapshot_) {
+    CompiledDelta patched = snapshot_->apply_delta(delta);
+    snapshot_ = std::move(patched.snapshot);
+    touched = std::move(patched.touched_edges);
+  } else {
+    for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+      touched.push_back(e.edge);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  }
+  for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+    net_.set_failure_prob(e.edge, e.failure_prob);
+  }
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    net_.set_capacity(e.edge, e.capacity);
+  }
+
+  out.node_map.resize(static_cast<std::size_t>(net_.num_nodes()));
+  for (NodeId n = 0; n < net_.num_nodes(); ++n) {
+    out.node_map[static_cast<std::size_t>(n)] = n;
+  }
+  out.edge_map.resize(static_cast<std::size_t>(net_.num_edges()));
+  for (EdgeId e = 0; e < net_.num_edges(); ++e) {
+    out.edge_map[static_cast<std::size_t>(e)] = e;
+  }
+
+  Telemetry& cache = telemetry_.child("cache");
+  if (out.applied == DeltaClass::kProbabilityOnly) {
+    // Every structural artifact survives; only accumulations change.
+    out.entries_survived = lru_.size();
+    out.partitions_survived = partitions_.size();
+    out.assignments_survived = assignments_.size();
+    cache.counter(telemetry_keys::kCacheSurvived) += lru_.size();
+    DeltaSolveHint hint;
+    hint.parent_structure_id = parent_structure;
+    hint.delta_class = DeltaClass::kProbabilityOnly;
+    for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+      hint.touched_edges.push_back(e.edge);
+    }
+    pending_hint_ = std::move(hint);
+    return out;
+  }
+
+  // Capacity-only: cut-scoped invalidation over the touched edges.
+  cache.counter(telemetry_keys::kCacheInvalidations) += 1;
+  invalidate_capacity_scoped(touched, out);
+  cache.counter(telemetry_keys::kCacheInvalidationsFull) += out.entries_full;
+  cache.counter(telemetry_keys::kCacheInvalidationsPartial) +=
+      out.entries_partial;
+  cache.counter(telemetry_keys::kCacheSurvived) += out.entries_survived;
+  // Structural failures (assignment blow-ups) depend on crossing
+  // capacities; re-decide them against the new structure.
+  failed_.clear();
+  DeltaSolveHint hint;
+  hint.parent_structure_id = parent_structure;
+  hint.delta_class = DeltaClass::kCapacityOnly;
+  hint.touched_edges = std::move(touched);
+  pending_hint_ = std::move(hint);
+  span.arg("full", out.entries_full)
+      .arg("partial", out.entries_partial)
+      .arg("survived", out.entries_survived);
+  return out;
+}
+
+void QuerySession::invalidate_capacity_scoped(std::span<const EdgeId> touched,
+                                              DeltaOutcome& out) {
+  // A pending salvage dies when the touched set reaches its own side (the
+  // array's inputs changed) or its partition's crossing (the assignment
+  // set it was swept against changes).
+  const auto salvage_dead = [&](const SalvagedSide& salvage) {
+    const auto& to_view = salvage.reuse.side.view.edge_to_view();
+    for (const EdgeId e : touched) {
+      const auto i = static_cast<std::size_t>(e);
+      if (i < to_view.size() && to_view[i] != kInvalidEdge) return true;
+      for (const EdgeId crossing : salvage.crossing_edges) {
+        if (crossing == e) return true;
+      }
+    }
+    return false;
+  };
+  const auto sweep_salvage = [&](std::map<ArtifactKey, SalvagedSide>& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      it = salvage_dead(it->second) ? map.erase(it) : std::next(it);
+    }
+  };
+  sweep_salvage(salvage_s_);
+  sweep_salvage(salvage_t_);
+
+  // Classify every cached entry by where the touched edges fall. Every
+  // edge lies in exactly one of side_s / side_t / crossing for any
+  // partition, so the entry's own views decide. (Entries built while the
+  // side views were empty — zero-assignment decompositions — classify
+  // every touch as crossing and drop, which is conservative but safe.)
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const ArtifactKey key = it->first;
+    const ArtifactEntry& entry = *it->second;
+    bool in_s = false;
+    bool in_t = false;
+    bool in_crossing = false;
+    const auto& to_s = entry.artifacts.side_s.view.edge_to_view();
+    const auto& to_t = entry.artifacts.side_t.view.edge_to_view();
+    for (const EdgeId e : touched) {
+      const auto i = static_cast<std::size_t>(e);
+      if (i < to_s.size() && to_s[i] != kInvalidEdge) {
+        in_s = true;
+      } else if (i < to_t.size() && to_t[i] != kInvalidEdge) {
+        in_t = true;
+      } else {
+        in_crossing = true;
+      }
+    }
+    if (!in_s && !in_t && !in_crossing) {
+      out.entries_survived += 1;  // empty touched set
+      ++it;
+      continue;
+    }
+    if (in_crossing) {
+      // The cut itself was crossed: the assignment set (a function of
+      // crossing capacities) is dead, and both side arrays were swept
+      // against it. (The standalone sweep below catches assignment sets
+      // whose mask entry is already gone; erasing here as well keeps the
+      // conservative empty-side-view classification authoritative.)
+      assignments_.erase(key);
+    }
+    const bool salvageable = !in_crossing && (in_s != in_t);
+    if (salvageable) {
+      // Exactly one side touched: rescue the other side's array — its
+      // topology, internal capacities and assignment set are all
+      // unchanged, so the next rebuild adopts it verbatim.
+      auto& target = in_s ? salvage_t_ : salvage_s_;
+      if (target.size() < cache_options_.max_mask_tables) {
+        SalvagedSide salvage;
+        salvage.reuse.side =
+            in_s ? entry.artifacts.side_t : entry.artifacts.side_s;
+        salvage.reuse.array =
+            in_s ? entry.artifacts.array_t : entry.artifacts.array_s;
+        if (const Telemetry* side_tel = entry.artifacts.telemetry.find_child(
+                in_s ? "side_t" : "side_s")) {
+          salvage.reuse.telemetry = *side_tel;
+        }
+        salvage.crossing_edges = entry.choice.partition.crossing_edges;
+        target.insert_or_assign(key, std::move(salvage));
+        out.entries_partial += 1;
+      } else {
+        out.entries_full += 1;  // salvage store full: plain drop
+      }
+    } else {
+      out.entries_full += 1;
+    }
+    mask_index_.erase(key);
+    it = lru_.erase(it);
+  }
+
+  // Assignment sets outlive their mask entries (layer 2 survives layer-3
+  // evictions), so they must be swept against the touched set on their
+  // own: each key names a partition candidate, and its assignment set
+  // dies when the touched edges reach that candidate's crossing. Without
+  // this, a crossing-capacity edit arriving while the mask entry is
+  // absent (evicted, or dropped by an earlier delta) would leave a stale
+  // assignment set to be adopted by the next rebuild.
+  for (auto it = assignments_.begin(); it != assignments_.end();) {
+    const AssignmentKey& akey = it->first;
+    const auto pit =
+        partitions_.find({std::get<0>(akey), std::get<1>(akey)});
+    const auto candidate = static_cast<std::size_t>(std::get<2>(akey));
+    bool dead = true;  // no candidate to check against: drop, conservatively
+    if (pit != partitions_.end() &&
+        candidate < pit->second.candidates.size()) {
+      const std::vector<EdgeId>& crossing =
+          pit->second.candidates[candidate].partition.crossing_edges;
+      dead = false;
+      for (const EdgeId e : touched) {
+        if (std::find(crossing.begin(), crossing.end(), e) !=
+            crossing.end()) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    it = dead ? assignments_.erase(it) : std::next(it);
+  }
+
+  // Partitions survive every capacity edit (candidate cuts are
+  // capacity-independent); only their cached stats re-sum the new
+  // crossing capacities, keeping reported stats identical to a cold
+  // search on the edited network.
+  for (auto& [pkey, pentry] : partitions_) {
+    for (PartitionChoice& choice : pentry.candidates) {
+      choice.stats =
+          analyze_partition(net_, pkey.first, pkey.second, choice.partition);
+    }
+    out.partitions_survived += 1;
+  }
+  out.assignments_survived = assignments_.size();
 }
 
 Telemetry& QuerySession::layer_counters(std::string_view layer) {
@@ -130,6 +399,27 @@ std::uint64_t QuerySession::cache_evictions() const {
 std::uint64_t QuerySession::cache_invalidations() const {
   if (const Telemetry* cache = telemetry_.find_child("cache")) {
     return cache->counter_or(telemetry_keys::kCacheInvalidations);
+  }
+  return 0;
+}
+
+std::uint64_t QuerySession::cache_invalidations_full() const {
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    return cache->counter_or(telemetry_keys::kCacheInvalidationsFull);
+  }
+  return 0;
+}
+
+std::uint64_t QuerySession::cache_invalidations_partial() const {
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    return cache->counter_or(telemetry_keys::kCacheInvalidationsPartial);
+  }
+  return 0;
+}
+
+std::uint64_t QuerySession::cache_survived() const {
+  if (const Telemetry* cache = telemetry_.find_child("cache")) {
+    return cache->counter_or(telemetry_keys::kCacheSurvived);
   }
   return 0;
 }
@@ -221,9 +511,24 @@ std::shared_ptr<const QuerySession::ArtifactEntry> QuerySession::artifact_entry(
           net_, choice.partition, demand.rate, options.bottleneck.assignments));
       assignments_.emplace(key, assignments);
     }
+    // Cut-scoped repair: a capacity delta that touched only one side left
+    // the other side's mask table salvaged. Adopting it (the build MOVES
+    // from the reuse slot) skips that side's sweep entirely and is
+    // bitwise-equal to rebuilding, because side arrays are deterministic
+    // in inputs the delta did not touch.
+    const auto sit = salvage_s_.find(key);
+    const auto tit = salvage_t_.find(key);
+    SideReuse* reuse_s = sit != salvage_s_.end() ? &sit->second.reuse : nullptr;
+    SideReuse* reuse_t = tit != salvage_t_.end() ? &tit->second.reuse : nullptr;
     entry->artifacts = build_bottleneck_artifacts(
         net_, demand, choice.partition, options.bottleneck, ctx,
-        assignments.get(), snapshot());
+        assignments.get(), snapshot(), reuse_s, reuse_t);
+    if (reuse_s || reuse_t) {
+      layer_counters("masks").counter(telemetry_keys::kSideRepairs) +=
+          (reuse_s ? 1u : 0u) + (reuse_t ? 1u : 0u);
+      if (reuse_s) salvage_s_.erase(sit);
+      if (reuse_t) salvage_t_.erase(tit);
+    }
     entry->structure_id = snapshot()->structure_id();
   } catch (const std::invalid_argument&) {
     failed_.insert(key);
@@ -419,6 +724,14 @@ SolveReport QuerySession::solve(const FlowDemand& demand,
     ctx = &local;
   }
 
+  // A delta applied since the last solve leaves an advisory hint; attach
+  // it so a facade fallback keeps kAuto anchored on the delta-aware
+  // engine. Never overrides a hint the caller set themselves.
+  SolveOptions effective = options;
+  if (!effective.delta_hint && pending_hint_) {
+    effective.delta_hint = &*pending_hint_;
+  }
+
   telemetry_.counter(telemetry_keys::kQueries) += 1;
   const ScopedTimer timer(telemetry_, "query_ms");
   const auto query_start = std::chrono::steady_clock::now();
@@ -432,7 +745,7 @@ SolveReport QuerySession::solve(const FlowDemand& demand,
     // when a trace is actually being recorded.
     const std::uint64_t hits = span.active() ? cache_hits() : 0;
     const std::uint64_t misses = span.active() ? cache_misses() : 0;
-    prepared = prepare_cached(demand, options, *ctx);
+    prepared = prepare_cached(demand, effective, *ctx);
     if (span.active()) {
       span.arg("cache_hits", cache_hits() - hits)
           .arg("cache_misses", cache_misses() - misses)
@@ -440,14 +753,15 @@ SolveReport QuerySession::solve(const FlowDemand& demand,
     }
   }
   if (prepared.bottleneck_path) {
-    report = finish_prepared(prepared, options, overrides, ctx);
+    report = finish_prepared(prepared, effective, overrides, ctx);
     if (report.result.status != SolveStatus::kExact && !report.bounds) {
-      report.bounds = bounds_with_overrides(demand, options.bounds, overrides);
+      report.bounds = bounds_with_overrides(demand, effective.bounds,
+                                            overrides);
     }
     ctx->telemetry.merge(report.result.telemetry);
   } else {
     telemetry_.counter(telemetry_keys::kFallbackSolves) += 1;
-    report = solve_fallback(demand, options, overrides, *ctx);
+    report = solve_fallback(demand, effective, overrides, *ctx);
   }
   telemetry_.child("solves").merge(report.result.telemetry);
   telemetry_.histogram("query_latency")

@@ -9,39 +9,37 @@
 
 namespace streamrel {
 
-namespace {
-
-std::uint64_t next_structure_id() {
+std::uint64_t CompiledNetwork::next_structure_id() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-}  // namespace
-
 std::shared_ptr<const CompiledNetwork> CompiledNetwork::compile(
     const FlowNetwork& net) {
-  auto structure = std::make_shared<Structure>();
   const auto num_edges = static_cast<std::size_t>(net.num_edges());
-  structure->num_nodes = net.num_nodes();
-  structure->u.reserve(num_edges);
-  structure->v.reserve(num_edges);
-  structure->kind.reserve(num_edges);
+  auto topology = std::make_shared<Topology>();
+  topology->num_nodes = net.num_nodes();
+  topology->u.reserve(num_edges);
+  topology->v.reserve(num_edges);
+  topology->kind.reserve(num_edges);
+  auto structure = std::make_shared<Structure>();
   structure->capacity.reserve(num_edges);
   for (const Edge& e : net.edges()) {
-    structure->u.push_back(e.u);
-    structure->v.push_back(e.v);
-    structure->kind.push_back(e.kind);
+    topology->u.push_back(e.u);
+    topology->v.push_back(e.v);
+    topology->kind.push_back(e.kind);
     structure->capacity.push_back(e.capacity);
   }
-  structure->offsets.reserve(static_cast<std::size_t>(net.num_nodes()) + 1);
-  structure->offsets.push_back(0);
-  structure->incident.reserve(2 * num_edges);
+  topology->offsets.reserve(static_cast<std::size_t>(net.num_nodes()) + 1);
+  topology->offsets.push_back(0);
+  topology->incident.reserve(2 * num_edges);
   for (NodeId n = 0; n < net.num_nodes(); ++n) {
     const std::vector<EdgeId>& inc = net.incident_edges(n);
-    structure->incident.insert(structure->incident.end(), inc.begin(),
-                               inc.end());
-    structure->offsets.push_back(structure->incident.size());
+    topology->incident.insert(topology->incident.end(), inc.begin(),
+                              inc.end());
+    topology->offsets.push_back(topology->incident.size());
   }
+  structure->topology = std::move(topology);
   structure->id = next_structure_id();
 
   auto compiled = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
@@ -78,6 +76,38 @@ std::shared_ptr<const CompiledNetwork> CompiledNetwork::with_failure_prob(
   overlay->log_failure_[i] =
       p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
   overlay->log_survival_[i] = std::log1p(-p);
+  return overlay;
+}
+
+std::shared_ptr<const CompiledNetwork> CompiledNetwork::with_failure_probs(
+    std::span<const double> probs) const {
+  if (probs.size() != failure_prob_.size()) {
+    throw std::invalid_argument(
+        "with_failure_probs: probability column size mismatch");
+  }
+  auto overlay = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
+  overlay->structure_ = structure_;  // shared, same structure_id()
+  overlay->failure_prob_.assign(probs.begin(), probs.end());
+  overlay->log_failure_.reserve(probs.size());
+  overlay->log_survival_.reserve(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double p = probs[i];
+    if (!(p >= 0.0) || !(p < 1.0)) {
+      throw std::invalid_argument(
+          "with_failure_probs: failure probability not in [0,1)");
+    }
+    if (p == failure_prob_[i]) {
+      // Unchanged entry: copy the derived logs bit-for-bit rather than
+      // re-deriving them (same bits either way; cheaper, and keeps the
+      // overlay honest as a pure re-sync).
+      overlay->log_failure_.push_back(log_failure_[i]);
+      overlay->log_survival_.push_back(log_survival_[i]);
+    } else {
+      overlay->log_failure_.push_back(
+          p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity());
+      overlay->log_survival_.push_back(std::log1p(-p));
+    }
+  }
   return overlay;
 }
 

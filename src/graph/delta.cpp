@@ -1,0 +1,552 @@
+#include "streamrel/graph/delta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "streamrel/graph/compiled.hpp"
+#include "streamrel/util/trace.hpp"
+
+namespace streamrel {
+
+std::string_view to_string(DeltaClass c) noexcept {
+  switch (c) {
+    case DeltaClass::kProbabilityOnly: return "probability";
+    case DeltaClass::kCapacityOnly: return "capacity";
+    case DeltaClass::kTopology: return "topology";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The delta resolved against a concrete pre-delta shape: validated,
+/// with id translations and the final per-old-edge attribute values.
+/// Shared by the builder and the snapshot application paths so both
+/// produce the identical successor.
+struct DeltaPlan {
+  DeltaClass cls = DeltaClass::kProbabilityOnly;
+  int old_nodes = 0;
+  int old_edges = 0;
+  int new_nodes = 0;
+  std::vector<NodeId> node_map;      ///< old id -> new id / kInvalidNode
+  std::vector<EdgeId> edge_map;      ///< old id -> new id / kInvalidEdge
+  std::vector<NodeId> extended_node; ///< extended id (old + added) -> new id
+  std::vector<Capacity> capacity;    ///< final capacity per old edge
+  std::vector<double> prob;          ///< final probability per old edge
+  std::vector<bool> prob_edited;     ///< per old edge
+  std::vector<std::size_t> surviving_adds;  ///< indices into delta.edge_adds
+  std::vector<EdgeId> touched_edges; ///< capacity-edited surviving, NEW ids
+};
+
+void check_prob(double p) {
+  if (!(p >= 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("delta: failure probability not in [0,1)");
+  }
+}
+
+DeltaPlan resolve(const NetworkDelta& delta, int old_nodes, int old_edges,
+                  std::span<const Capacity> old_caps,
+                  std::span<const double> old_probs) {
+  DeltaPlan plan;
+  plan.cls = delta.classify();
+  plan.old_nodes = old_nodes;
+  plan.old_edges = old_edges;
+  if (delta.nodes_added < 0) {
+    throw std::invalid_argument("delta: negative node addition count");
+  }
+
+  // Final attribute values for pre-existing edges (edits in order, last
+  // one wins; edits naming removed edges are rejected below).
+  plan.capacity.assign(old_caps.begin(), old_caps.end());
+  plan.prob.assign(old_probs.begin(), old_probs.end());
+  plan.prob_edited.assign(static_cast<std::size_t>(old_edges), false);
+  std::vector<bool> cap_edited(static_cast<std::size_t>(old_edges), false);
+  for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+    if (e.edge < 0 || e.edge >= old_edges) {
+      throw std::invalid_argument("delta: probability edit names a bad edge");
+    }
+    check_prob(e.failure_prob);
+    plan.prob[static_cast<std::size_t>(e.edge)] = e.failure_prob;
+    plan.prob_edited[static_cast<std::size_t>(e.edge)] = true;
+  }
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    if (e.edge < 0 || e.edge >= old_edges) {
+      throw std::invalid_argument("delta: capacity edit names a bad edge");
+    }
+    if (e.capacity < 0) {
+      throw std::invalid_argument("delta: negative capacity");
+    }
+    plan.capacity[static_cast<std::size_t>(e.edge)] = e.capacity;
+    cap_edited[static_cast<std::size_t>(e.edge)] = true;
+  }
+
+  // Removals (pre-delta ids only, no duplicates).
+  std::vector<bool> node_removed(static_cast<std::size_t>(old_nodes), false);
+  for (const NodeId n : delta.node_removes) {
+    if (n < 0 || n >= old_nodes) {
+      throw std::invalid_argument("delta: node removal names a bad node");
+    }
+    if (node_removed[static_cast<std::size_t>(n)]) {
+      throw std::invalid_argument("delta: duplicate node removal");
+    }
+    node_removed[static_cast<std::size_t>(n)] = true;
+  }
+  std::vector<bool> edge_removed(static_cast<std::size_t>(old_edges), false);
+  for (const EdgeId e : delta.edge_removes) {
+    if (e < 0 || e >= old_edges) {
+      throw std::invalid_argument("delta: edge removal names a bad edge");
+    }
+    if (edge_removed[static_cast<std::size_t>(e)]) {
+      throw std::invalid_argument("delta: duplicate edge removal");
+    }
+    edge_removed[static_cast<std::size_t>(e)] = true;
+  }
+
+  // Node numbering: surviving old nodes keep their relative order, added
+  // nodes append.
+  plan.node_map.assign(static_cast<std::size_t>(old_nodes), kInvalidNode);
+  NodeId next_node = 0;
+  for (NodeId n = 0; n < old_nodes; ++n) {
+    if (!node_removed[static_cast<std::size_t>(n)]) {
+      plan.node_map[static_cast<std::size_t>(n)] = next_node++;
+    }
+  }
+  plan.extended_node = plan.node_map;
+  for (int i = 0; i < delta.nodes_added; ++i) {
+    plan.extended_node.push_back(next_node++);
+  }
+  plan.new_nodes = next_node;
+
+  const auto extended_alive = [&](NodeId n) {
+    return n >= 0 &&
+           n < static_cast<NodeId>(plan.extended_node.size()) &&
+           plan.extended_node[static_cast<std::size_t>(n)] != kInvalidNode;
+  };
+
+  // Edge numbering: surviving old edges first (old order), surviving
+  // added edges after (add order). An edge dies with either endpoint.
+  plan.edge_map.assign(static_cast<std::size_t>(old_edges), kInvalidEdge);
+  EdgeId next_edge = 0;
+  // Snapshot application needs endpoints; the caller passes them via the
+  // survives callback below — but endpoints live in different containers
+  // for the two paths, so survival is finalized by the caller. Here we
+  // only pre-fill removal flags; see finalize_edges.
+  static_cast<void>(next_edge);
+  plan.surviving_adds.reserve(delta.edge_adds.size());
+  for (std::size_t i = 0; i < delta.edge_adds.size(); ++i) {
+    const NetworkDelta::EdgeAdd& add = delta.edge_adds[i];
+    if (add.u < 0 || add.v < 0 ||
+        add.u >= static_cast<NodeId>(plan.extended_node.size()) ||
+        add.v >= static_cast<NodeId>(plan.extended_node.size())) {
+      throw std::invalid_argument("delta: edge addition names a bad node");
+    }
+    if (add.u == add.v) {
+      throw std::invalid_argument("delta: edge addition is a self-loop");
+    }
+    if (add.capacity < 0) {
+      throw std::invalid_argument("delta: negative capacity");
+    }
+    check_prob(add.failure_prob);
+    if (extended_alive(add.u) && extended_alive(add.v)) {
+      plan.surviving_adds.push_back(i);
+    }
+  }
+
+  // Old-edge survival and final numbering need endpoints — done by the
+  // caller via this helper so both paths share the numbering logic.
+  // (Filled in by finalize_edges below.)
+  // Mark removal verdicts for edits referencing dead edges.
+  for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+    if (edge_removed[static_cast<std::size_t>(e.edge)]) {
+      throw std::invalid_argument("delta: probability edit on removed edge");
+    }
+  }
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    if (edge_removed[static_cast<std::size_t>(e.edge)]) {
+      throw std::invalid_argument("delta: capacity edit on removed edge");
+    }
+  }
+
+  // Stash removal flags in edge_map as a sentinel for finalize_edges:
+  // kInvalidEdge - 1 marks "explicitly removed".
+  for (EdgeId e = 0; e < old_edges; ++e) {
+    plan.edge_map[static_cast<std::size_t>(e)] =
+        edge_removed[static_cast<std::size_t>(e)] ? kInvalidEdge - 1
+                                                  : kInvalidEdge;
+  }
+  static_cast<void>(cap_edited);
+  return plan;
+}
+
+/// Assigns final edge ids given per-old-edge endpoints; computes
+/// touched_edges (capacity-edited survivors, new ids).
+void finalize_edges(DeltaPlan& plan, const NetworkDelta& delta,
+                    std::span<const NodeId> old_u,
+                    std::span<const NodeId> old_v) {
+  std::vector<bool> cap_edited(static_cast<std::size_t>(plan.old_edges),
+                               false);
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    cap_edited[static_cast<std::size_t>(e.edge)] = true;
+  }
+  EdgeId next = 0;
+  for (EdgeId e = 0; e < plan.old_edges; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (plan.edge_map[i] == kInvalidEdge - 1) {  // explicitly removed
+      plan.edge_map[i] = kInvalidEdge;
+      continue;
+    }
+    const NodeId nu = plan.node_map[static_cast<std::size_t>(old_u[i])];
+    const NodeId nv = plan.node_map[static_cast<std::size_t>(old_v[i])];
+    if (nu == kInvalidNode || nv == kInvalidNode) {
+      plan.edge_map[i] = kInvalidEdge;  // died with an endpoint
+      continue;
+    }
+    plan.edge_map[i] = next++;
+    if (cap_edited[i]) plan.touched_edges.push_back(plan.edge_map[i]);
+  }
+}
+
+void journal_delta(const DeltaPlan& plan, const NetworkDelta& delta,
+                   std::uint64_t structure_id, std::uint64_t parent_id) {
+  DeltaRecord record;
+  record.structure_id = structure_id;
+  record.parent_structure_id = parent_id;
+  record.delta_class = plan.cls;
+  record.capacity_edits = static_cast<int>(delta.capacity_edits.size());
+  record.edges_added = static_cast<int>(plan.surviving_adds.size());
+  record.nodes_added = delta.nodes_added;
+  record.nodes_removed = static_cast<int>(delta.node_removes.size());
+  // edge_map carries final ids only after finalize_edges (topology
+  // deltas); capacity-only deltas never remove edges.
+  int removed = 0;
+  if (plan.cls == DeltaClass::kTopology) {
+    for (const EdgeId mapped : plan.edge_map) {
+      if (mapped == kInvalidEdge) ++removed;
+    }
+  }
+  record.edges_removed = removed;
+  DeltaJournal::instance().record(record);
+}
+
+}  // namespace
+
+DeltaApplication apply_delta(const FlowNetwork& net,
+                             const NetworkDelta& delta) {
+  std::vector<Capacity> caps;
+  std::vector<double> probs;
+  std::vector<NodeId> u;
+  std::vector<NodeId> v;
+  caps.reserve(static_cast<std::size_t>(net.num_edges()));
+  probs.reserve(caps.capacity());
+  u.reserve(caps.capacity());
+  v.reserve(caps.capacity());
+  for (const Edge& e : net.edges()) {
+    caps.push_back(e.capacity);
+    probs.push_back(e.failure_prob);
+    u.push_back(e.u);
+    v.push_back(e.v);
+  }
+  DeltaPlan plan =
+      resolve(delta, net.num_nodes(), net.num_edges(), caps, probs);
+
+  DeltaApplication out;
+  out.applied = plan.cls;
+  if (plan.cls != DeltaClass::kTopology) {
+    // Identity maps; mutate a copy in place.
+    out.net = net;
+    for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+      out.net.set_failure_prob(e.edge, e.failure_prob);
+    }
+    for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+      out.net.set_capacity(e.edge, e.capacity);
+    }
+    out.node_map.resize(static_cast<std::size_t>(net.num_nodes()));
+    out.edge_map.resize(static_cast<std::size_t>(net.num_edges()));
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      out.node_map[static_cast<std::size_t>(n)] = n;
+    }
+    for (EdgeId e = 0; e < net.num_edges(); ++e) {
+      out.edge_map[static_cast<std::size_t>(e)] = e;
+    }
+    return out;
+  }
+
+  finalize_edges(plan, delta, u, v);
+  FlowNetwork next(plan.new_nodes);
+  for (EdgeId e = 0; e < plan.old_edges; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (plan.edge_map[i] == kInvalidEdge) continue;
+    next.add_edge(plan.node_map[static_cast<std::size_t>(u[i])],
+                  plan.node_map[static_cast<std::size_t>(v[i])],
+                  plan.capacity[i], plan.prob[i], net.edge(e).kind);
+  }
+  for (const std::size_t i : plan.surviving_adds) {
+    const NetworkDelta::EdgeAdd& add = delta.edge_adds[i];
+    next.add_edge(plan.extended_node[static_cast<std::size_t>(add.u)],
+                  plan.extended_node[static_cast<std::size_t>(add.v)],
+                  add.capacity, add.failure_prob, add.kind);
+  }
+  out.net = std::move(next);
+  out.node_map = std::move(plan.node_map);
+  out.edge_map = std::move(plan.edge_map);
+  return out;
+}
+
+DeltaApplication apply_delta_in_place(FlowNetwork& net,
+                                      const NetworkDelta& delta) {
+  DeltaApplication out = apply_delta(net, delta);
+  net = out.net;
+  return out;
+}
+
+CompiledDelta CompiledNetwork::apply_delta(const NetworkDelta& delta) const {
+  TraceSpan span("apply_delta", "graph");
+  const Topology& topo = topology();
+  DeltaPlan plan = resolve(delta, topo.num_nodes,
+                           static_cast<int>(topo.u.size()),
+                           structure_->capacity, failure_prob_);
+  span.arg("class", to_string(plan.cls));
+
+  CompiledDelta out;
+  out.applied = plan.cls;
+  const int old_nodes = topo.num_nodes;
+  const int old_edges = static_cast<int>(topo.u.size());
+  out.node_map.resize(static_cast<std::size_t>(old_nodes));
+  out.edge_map.resize(static_cast<std::size_t>(old_edges));
+
+  const auto set_prob = [](CompiledNetwork& c, std::size_t i, double p) {
+    c.failure_prob_[i] = p;
+    c.log_failure_[i] =
+        p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+    c.log_survival_[i] = std::log1p(-p);
+  };
+
+  if (plan.cls == DeltaClass::kProbabilityOnly) {
+    // Share the whole Structure: same structure id, caches survive.
+    auto overlay = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
+    overlay->structure_ = structure_;
+    overlay->failure_prob_ = failure_prob_;
+    overlay->log_failure_ = log_failure_;
+    overlay->log_survival_ = log_survival_;
+    for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+      set_prob(*overlay, static_cast<std::size_t>(e.edge), e.failure_prob);
+    }
+    for (NodeId n = 0; n < old_nodes; ++n) {
+      out.node_map[static_cast<std::size_t>(n)] = n;
+    }
+    for (EdgeId e = 0; e < old_edges; ++e) {
+      out.edge_map[static_cast<std::size_t>(e)] = e;
+    }
+    out.snapshot = std::move(overlay);
+    return out;
+  }
+
+  if (plan.cls == DeltaClass::kCapacityOnly) {
+    // Share the Topology block; copy only the capacity column (and the
+    // probability columns, which ride in the outer CompiledNetwork).
+    auto structure = std::make_shared<Structure>();
+    structure->topology = structure_->topology;  // shared, never copied
+    structure->capacity = std::move(plan.capacity);
+    structure->id = next_structure_id();
+    structure->parent_id = structure_->id;
+
+    auto compiled = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
+    compiled->structure_ = std::move(structure);
+    compiled->failure_prob_ = failure_prob_;
+    compiled->log_failure_ = log_failure_;
+    compiled->log_survival_ = log_survival_;
+    for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+      set_prob(*compiled, static_cast<std::size_t>(e.edge), e.failure_prob);
+    }
+    for (NodeId n = 0; n < old_nodes; ++n) {
+      out.node_map[static_cast<std::size_t>(n)] = n;
+    }
+    for (EdgeId e = 0; e < old_edges; ++e) {
+      out.edge_map[static_cast<std::size_t>(e)] = e;
+    }
+    for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+      out.touched_edges.push_back(e.edge);
+    }
+    std::sort(out.touched_edges.begin(), out.touched_edges.end());
+    out.touched_edges.erase(
+        std::unique(out.touched_edges.begin(), out.touched_edges.end()),
+        out.touched_edges.end());
+    journal_delta(plan, delta, compiled->structure_->id, structure_->id);
+    out.snapshot = std::move(compiled);
+    return out;
+  }
+
+  // Topology delta: CSR patch — compact the surviving rows in order,
+  // append the additions, rebuild offsets/incident in one pass. The
+  // result is array-identical to a from-scratch compile() of the edited
+  // builder (surviving edges in old order, additions after).
+  finalize_edges(plan, delta, topo.u, topo.v);
+  auto topology = std::make_shared<Topology>();
+  topology->num_nodes = plan.new_nodes;
+  std::size_t new_edges = plan.surviving_adds.size();
+  for (const EdgeId mapped : plan.edge_map) {
+    if (mapped != kInvalidEdge) ++new_edges;
+  }
+  topology->u.reserve(new_edges);
+  topology->v.reserve(new_edges);
+  topology->kind.reserve(new_edges);
+
+  auto structure = std::make_shared<Structure>();
+  structure->capacity.reserve(new_edges);
+  auto compiled = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
+  compiled->failure_prob_.reserve(new_edges);
+  compiled->log_failure_.reserve(new_edges);
+  compiled->log_survival_.reserve(new_edges);
+
+  const auto append_prob = [&](double p, bool copy_from,
+                               std::size_t old_index) {
+    if (copy_from) {
+      // Untouched probability: copy the derived columns bit-for-bit
+      // instead of re-deriving them (same bits either way; cheaper).
+      compiled->failure_prob_.push_back(failure_prob_[old_index]);
+      compiled->log_failure_.push_back(log_failure_[old_index]);
+      compiled->log_survival_.push_back(log_survival_[old_index]);
+    } else {
+      compiled->failure_prob_.push_back(p);
+      compiled->log_failure_.push_back(
+          p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity());
+      compiled->log_survival_.push_back(std::log1p(-p));
+    }
+  };
+
+  for (EdgeId e = 0; e < old_edges; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (plan.edge_map[i] == kInvalidEdge) continue;
+    topology->u.push_back(plan.node_map[static_cast<std::size_t>(topo.u[i])]);
+    topology->v.push_back(plan.node_map[static_cast<std::size_t>(topo.v[i])]);
+    topology->kind.push_back(topo.kind[i]);
+    structure->capacity.push_back(plan.capacity[i]);
+    append_prob(plan.prob[i], !plan.prob_edited[i], i);
+  }
+  for (const std::size_t i : plan.surviving_adds) {
+    const NetworkDelta::EdgeAdd& add = delta.edge_adds[i];
+    topology->u.push_back(
+        plan.extended_node[static_cast<std::size_t>(add.u)]);
+    topology->v.push_back(
+        plan.extended_node[static_cast<std::size_t>(add.v)]);
+    topology->kind.push_back(add.kind);
+    structure->capacity.push_back(add.capacity);
+    append_prob(add.failure_prob, false, 0);
+  }
+
+  // CSR rebuild: edges ascending, pushed to both endpoints — the same
+  // per-node order FlowNetwork::add_edge produces.
+  const auto n_nodes = static_cast<std::size_t>(plan.new_nodes);
+  std::vector<std::size_t> degree(n_nodes, 0);
+  for (std::size_t e = 0; e < topology->u.size(); ++e) {
+    ++degree[static_cast<std::size_t>(topology->u[e])];
+    ++degree[static_cast<std::size_t>(topology->v[e])];
+  }
+  topology->offsets.resize(n_nodes + 1);
+  topology->offsets[0] = 0;
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    topology->offsets[n + 1] = topology->offsets[n] + degree[n];
+  }
+  topology->incident.resize(topology->offsets[n_nodes]);
+  std::vector<std::size_t> cursor(topology->offsets.begin(),
+                                  topology->offsets.end() - 1);
+  for (std::size_t e = 0; e < topology->u.size(); ++e) {
+    topology->incident[cursor[static_cast<std::size_t>(topology->u[e])]++] =
+        static_cast<EdgeId>(e);
+    topology->incident[cursor[static_cast<std::size_t>(topology->v[e])]++] =
+        static_cast<EdgeId>(e);
+  }
+
+  structure->topology = std::move(topology);
+  structure->id = next_structure_id();
+  structure->parent_id = structure_->id;
+  compiled->structure_ = structure;
+
+  // Journal before the maps move into the result: the record counts
+  // removed edges by scanning plan.edge_map.
+  journal_delta(plan, delta, structure->id, structure_->id);
+
+  out.node_map = std::move(plan.node_map);
+  out.edge_map = std::move(plan.edge_map);
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    const EdgeId mapped = out.edge_map[static_cast<std::size_t>(e.edge)];
+    if (mapped != kInvalidEdge) out.touched_edges.push_back(mapped);
+  }
+  std::sort(out.touched_edges.begin(), out.touched_edges.end());
+  out.touched_edges.erase(
+      std::unique(out.touched_edges.begin(), out.touched_edges.end()),
+      out.touched_edges.end());
+  out.snapshot = std::move(compiled);
+  return out;
+}
+
+// --- DeltaJournal ----------------------------------------------------
+
+struct DeltaJournal::Impl {
+  static constexpr std::size_t kMaxRecords = 4096;
+  mutable std::mutex mutex;
+  std::unordered_map<std::uint64_t, DeltaRecord> records;
+  std::deque<std::uint64_t> order;  ///< FIFO eviction
+};
+
+DeltaJournal& DeltaJournal::instance() {
+  static DeltaJournal journal;
+  return journal;
+}
+
+DeltaJournal::Impl& DeltaJournal::impl() const {
+  static Impl storage;
+  return storage;
+}
+
+void DeltaJournal::record(const DeltaRecord& record) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto [it, inserted] =
+      state.records.insert_or_assign(record.structure_id, record);
+  static_cast<void>(it);
+  if (inserted) {
+    state.order.push_back(record.structure_id);
+    while (state.order.size() > Impl::kMaxRecords) {
+      state.records.erase(state.order.front());
+      state.order.pop_front();
+    }
+  }
+}
+
+std::optional<DeltaRecord> DeltaJournal::lookup(
+    std::uint64_t structure_id) const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.records.find(structure_id);
+  if (it == state.records.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DeltaRecord> DeltaJournal::chain(
+    std::uint64_t structure_id) const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<DeltaRecord> out;
+  std::uint64_t id = structure_id;
+  while (id != 0 && out.size() < Impl::kMaxRecords) {
+    const auto it = state.records.find(id);
+    if (it == state.records.end()) break;
+    out.push_back(it->second);
+    id = it->second.parent_structure_id;
+  }
+  return out;
+}
+
+std::size_t DeltaJournal::size() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.records.size();
+}
+
+}  // namespace streamrel

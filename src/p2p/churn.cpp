@@ -25,12 +25,19 @@ double link_failure_prob(const ChurnModel& model, int endpoints_churning) {
   return 1.0 - survive;
 }
 
-void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model) {
+NetworkDelta churn_delta(const FlowNetwork& net, NodeId server,
+                         const ChurnModel& model) {
+  NetworkDelta delta;
   for (EdgeId id = 0; id < net.num_edges(); ++id) {
     const Edge& e = net.edge(id);
     const int churning = (e.u == server || e.v == server) ? 1 : 2;
-    net.set_failure_prob(id, link_failure_prob(model, churning));
+    delta.set_failure_prob(id, link_failure_prob(model, churning));
   }
+  return delta;
+}
+
+void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model) {
+  apply_delta_in_place(net, churn_delta(net, server, model));
 }
 
 }  // namespace streamrel

@@ -1,0 +1,131 @@
+#include "streamrel/sim/churn_replay.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "streamrel/util/trace.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// Carries the demand across a topology event; throws when the event
+// removed an endpoint (the stream is inconsistent with this demand).
+void translate_demand(const std::vector<NodeId>& node_map, FlowDemand& demand,
+                      const ChurnEvent& event, std::size_t index) {
+  const NodeId s = node_map[static_cast<std::size_t>(demand.source)];
+  const NodeId t = node_map[static_cast<std::size_t>(demand.sink)];
+  if (s == kInvalidNode || t == kInvalidNode) {
+    throw std::invalid_argument("replay: event " + std::to_string(index) +
+                                " (" + event.label +
+                                ") removed a demand endpoint");
+  }
+  demand.source = s;
+  demand.sink = t;
+}
+
+void finish_report(ReplayReport& report, bool warm) {
+  double survival_sum = 0.0;
+  std::size_t survival_events = 0;
+  report.worst_event = -1;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < report.series.size(); ++i) {
+    const ReplayEventOutcome& out = report.series[i];
+    const std::uint64_t touched =
+        out.entries_full + out.entries_partial + out.entries_survived;
+    if (touched > 0) {
+      survival_sum += out.survival;
+      survival_events += 1;
+    }
+    if (out.delta_r < worst) {
+      worst = out.delta_r;
+      report.worst_event = static_cast<int>(i);
+    }
+  }
+  report.final_reliability = report.series.empty()
+                                 ? report.initial_reliability
+                                 : report.series.back().reliability;
+  if (!warm) {
+    report.artifact_survival_rate = 0.0;
+  } else if (survival_events > 0) {
+    report.artifact_survival_rate =
+        survival_sum / static_cast<double>(survival_events);
+  } else {
+    report.artifact_survival_rate = 1.0;  // nothing was ever at risk
+  }
+}
+
+}  // namespace
+
+ReplayReport replay_churn(const FlowNetwork& net, const FlowDemand& demand0,
+                          const EventStream& events,
+                          const ReplayOptions& options) {
+  TraceSpan span("churn_replay", "sim");
+  span.arg("events", static_cast<std::uint64_t>(events.size()))
+      .arg("warm", options.use_session);
+
+  ReplayReport report;
+  report.series.reserve(events.size());
+  FlowDemand demand = demand0;
+
+  if (options.use_session) {
+    QuerySession session(net, options.cache);
+    report.initial_reliability =
+        session.solve(demand, options.solve).result.reliability;
+    double prev = report.initial_reliability;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const ChurnEvent& event = events[i];
+      ReplayEventOutcome out;
+      out.time = event.time;
+      out.label = event.label;
+      const DeltaOutcome applied = session.apply_delta(event.delta);
+      out.applied = applied.applied;
+      if (out.applied == DeltaClass::kTopology) {
+        translate_demand(applied.node_map, demand, event, i);
+      }
+      out.entries_full = applied.entries_full;
+      out.entries_partial = applied.entries_partial;
+      out.entries_survived = applied.entries_survived;
+      const std::uint64_t touched =
+          out.entries_full + out.entries_partial + out.entries_survived;
+      out.survival =
+          touched == 0
+              ? 1.0
+              : (static_cast<double>(out.entries_survived) +
+                 0.5 * static_cast<double>(out.entries_partial)) /
+                    static_cast<double>(touched);
+      out.reliability = session.solve(demand, options.solve).result.reliability;
+      out.delta_r = out.reliability - prev;
+      prev = out.reliability;
+      report.series.push_back(std::move(out));
+    }
+    report.telemetry = session.telemetry();
+  } else {
+    FlowNetwork state = net;
+    report.initial_reliability =
+        compute_reliability(state, demand, options.solve).result.reliability;
+    double prev = report.initial_reliability;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const ChurnEvent& event = events[i];
+      ReplayEventOutcome out;
+      out.time = event.time;
+      out.label = event.label;
+      const DeltaApplication applied = apply_delta_in_place(state, event.delta);
+      out.applied = applied.applied;
+      if (out.applied == DeltaClass::kTopology) {
+        translate_demand(applied.node_map, demand, event, i);
+      }
+      out.reliability =
+          compute_reliability(state, demand, options.solve).result.reliability;
+      out.delta_r = out.reliability - prev;
+      prev = out.reliability;
+      report.series.push_back(std::move(out));
+    }
+  }
+
+  finish_report(report, options.use_session);
+  return report;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,190 @@
+#include "streamrel/sim/event_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "streamrel/util/json.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+
+void sort_event_stream(EventStream& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+namespace {
+
+double require_number(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (!v) {
+    throw std::invalid_argument("event stream: missing \"" +
+                                std::string(key) + "\"");
+  }
+  return v->as_number();
+}
+
+int as_id(const JsonValue& v, std::string_view what) {
+  const double n = v.as_number();
+  if (n < 0.0 || n != std::floor(n)) {
+    throw std::invalid_argument("event stream: bad " + std::string(what));
+  }
+  return static_cast<int>(n);
+}
+
+void parse_event(const JsonValue& item, ChurnEvent& event) {
+  event.time = require_number(item, "time");
+  if (const JsonValue* label = item.find("label")) {
+    event.label = label->as_string();
+  }
+  if (const JsonValue* edits = item.find("set_failure_prob")) {
+    for (const JsonValue& e : edits->as_array()) {
+      event.delta.set_failure_prob(as_id(*e.find("edge"), "edge id"),
+                                   require_number(e, "p"));
+    }
+  }
+  if (const JsonValue* edits = item.find("set_capacity")) {
+    for (const JsonValue& e : edits->as_array()) {
+      event.delta.set_capacity(
+          as_id(*e.find("edge"), "edge id"),
+          static_cast<Capacity>(require_number(e, "c")));
+    }
+  }
+  if (const JsonValue* n = item.find("add_nodes")) {
+    event.delta.nodes_added = as_id(*n, "add_nodes count");
+  }
+  if (const JsonValue* adds = item.find("add_edge")) {
+    for (const JsonValue& e : adds->as_array()) {
+      const JsonValue* directed = e.find("directed");
+      event.delta.add_edge(as_id(*e.find("u"), "endpoint"),
+                           as_id(*e.find("v"), "endpoint"),
+                           static_cast<Capacity>(require_number(e, "c")),
+                           require_number(e, "p"),
+                           directed && directed->as_bool()
+                               ? EdgeKind::kDirected
+                               : EdgeKind::kUndirected);
+    }
+  }
+  if (const JsonValue* removes = item.find("remove_edge")) {
+    for (const JsonValue& e : removes->as_array()) {
+      event.delta.remove_edge(as_id(e, "edge id"));
+    }
+  }
+  if (const JsonValue* removes = item.find("remove_node")) {
+    for (const JsonValue& e : removes->as_array()) {
+      event.delta.remove_node(as_id(e, "node id"));
+    }
+  }
+}
+
+}  // namespace
+
+EventStream parse_event_stream(std::string_view json_text) {
+  const JsonValue doc = parse_json(json_text);
+  const JsonValue* events = doc.find("events");
+  if (!events) {
+    throw std::invalid_argument("event stream: missing \"events\" array");
+  }
+  EventStream out;
+  out.reserve(events->as_array().size());
+  for (const JsonValue& item : events->as_array()) {
+    ChurnEvent event;
+    parse_event(item, event);
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+EventStream random_churn_events(const FlowNetwork& net, NodeId server,
+                                const ChurnEventOptions& options) {
+  if (net.num_edges() == 0 || !net.valid_node(server)) {
+    throw std::invalid_argument("churn stream needs a non-empty network");
+  }
+  if (options.events < 0 || options.mean_interarrival <= 0.0) {
+    throw std::invalid_argument("bad churn stream options");
+  }
+  const double total_weight = options.weight_degrade +
+                              options.weight_capacity + options.weight_leave +
+                              options.weight_join;
+  if (!(total_weight > 0.0)) {
+    throw std::invalid_argument("churn stream: all class weights are zero");
+  }
+
+  Xoshiro256 rng(options.seed);
+  // The generator applies each emitted delta to its own copy so every
+  // delta is valid against the state its predecessors produce — the id
+  // contract documented in the header.
+  FlowNetwork state = net;
+  NodeId tracked_server = server;
+  NodeId tracked_protect = options.protect_node;
+  EventStream stream;
+  stream.reserve(static_cast<std::size_t>(options.events));
+  double clock = 0.0;
+
+  for (int i = 0; i < options.events; ++i) {
+    clock += -options.mean_interarrival * std::log1p(-rng.uniform01());
+    ChurnEvent event;
+    event.time = clock;
+
+    double pick = rng.uniform_real(0.0, total_weight);
+    const bool degrade = (pick -= options.weight_degrade) < 0.0;
+    const bool capacity = !degrade && (pick -= options.weight_capacity) < 0.0;
+    const bool leave = !degrade && !capacity &&
+                       (pick -= options.weight_leave) < 0.0;
+    const bool have_edges = state.num_edges() > 0;
+
+    if (degrade && have_edges) {
+      const EdgeId edge = static_cast<EdgeId>(
+          rng.uniform_below(static_cast<std::uint64_t>(state.num_edges())));
+      event.delta.set_failure_prob(
+          edge, rng.uniform_real(0.0, options.degrade_max_prob));
+      event.label = "degrade link " + std::to_string(edge);
+    } else if (capacity && have_edges) {
+      const EdgeId edge = static_cast<EdgeId>(
+          rng.uniform_below(static_cast<std::uint64_t>(state.num_edges())));
+      const Capacity c = state.edge(edge).capacity;
+      event.delta.set_capacity(edge, c > 1 && rng.bernoulli(0.5) ? c - 1
+                                                                 : c + 1);
+      event.label = "re-provision link " + std::to_string(edge);
+    } else if (leave && state.num_nodes() > 3 && have_edges) {
+      NodeId victim = tracked_server;
+      while (victim == tracked_server || victim == tracked_protect) {
+        victim = static_cast<NodeId>(
+            rng.uniform_below(static_cast<std::uint64_t>(state.num_nodes())));
+      }
+      event.delta.remove_node(victim);
+      event.label = "peer " + std::to_string(victim) + " leaves";
+    } else {
+      const NodeId joiner = event.delta.add_node(state.num_nodes());
+      NodeId a = static_cast<NodeId>(
+          rng.uniform_below(static_cast<std::uint64_t>(state.num_nodes())));
+      NodeId b = a;
+      while (b == a) {
+        b = static_cast<NodeId>(
+            rng.uniform_below(static_cast<std::uint64_t>(state.num_nodes())));
+      }
+      const double p = rng.uniform_real(0.01, options.degrade_max_prob);
+      event.delta.add_edge(a, joiner, options.join_capacity, p);
+      event.delta.add_edge(joiner, b, options.join_capacity, p);
+      event.label = "peer joins via " + std::to_string(a) + "," +
+                    std::to_string(b);
+    }
+
+    const DeltaApplication applied = apply_delta_in_place(state, event.delta);
+    if (applied.applied == DeltaClass::kTopology) {
+      tracked_server =
+          applied.node_map[static_cast<std::size_t>(tracked_server)];
+      if (tracked_protect != kInvalidNode) {
+        tracked_protect =
+            applied.node_map[static_cast<std::size_t>(tracked_protect)];
+      }
+    }
+    stream.push_back(std::move(event));
+  }
+  return stream;
+}
+
+}  // namespace streamrel

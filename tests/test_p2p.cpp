@@ -169,7 +169,8 @@ TEST(Churn, ApplyDistinguishesServerLinks) {
   Overlay overlay(3);
   add_single_tree(overlay, {});
   ChurnModel model;
-  apply_churn(overlay.net(), overlay.server(), model);
+  apply_delta_in_place(overlay.net(),
+                        churn_delta(overlay.net(), overlay.server(), model));
   // Edge 0 is server -> peer0 (one churning endpoint); edge 1 is
   // peer -> peer (two churning endpoints) and must be less reliable.
   EXPECT_LT(overlay.net().edge(0).failure_prob,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "streamrel/graph/generators.hpp"
@@ -177,6 +180,197 @@ TEST(QuerySession, TelemetryCountsQueries) {
   session.solve({g.source, g.sink, 1});
   session.solve({g.source, g.sink, 1});
   EXPECT_EQ(session.telemetry().counter_or(telemetry_keys::kQueries), 2u);
+}
+
+// Finds an edge strictly inside the source-side cluster (never crossing).
+EdgeId side_internal_edge(const GeneratedNetwork& g, bool source_side) {
+  for (EdgeId e = 0; e < g.net.num_edges(); ++e) {
+    const Edge& link = g.net.edge(e);
+    const bool u_s = g.side_s[static_cast<std::size_t>(link.u)];
+    const bool v_s = g.side_s[static_cast<std::size_t>(link.v)];
+    if (u_s == v_s && u_s == source_side) return e;
+  }
+  ADD_FAILURE() << "instance has no side-internal edge";
+  return 0;
+}
+
+TEST(QuerySession, SideInternalCapacityEditSalvagesTheOtherSide) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);  // warm: one cached mask entry
+
+  const EdgeId inside_s = side_internal_edge(g, true);
+  NetworkDelta delta;
+  delta.set_capacity(inside_s, g.net.edge(inside_s).capacity + 1);
+  const DeltaOutcome outcome = session.apply_delta(delta);
+
+  // Touch confined to side s: the entry is dropped but side t is
+  // salvaged — a partial invalidation, with the partition kept.
+  EXPECT_EQ(outcome.applied, DeltaClass::kCapacityOnly);
+  EXPECT_EQ(outcome.entries_partial, 1u);
+  EXPECT_EQ(outcome.entries_full, 0u);
+  EXPECT_GE(outcome.partitions_survived, 1u);
+  EXPECT_GE(outcome.assignments_survived, 1u);
+  EXPECT_EQ(session.cache_invalidations_partial(), 1u);
+  EXPECT_EQ(session.cache_invalidations_full(), 0u);
+
+  // The rebuild adopts the salvaged side and stays bitwise-correct.
+  const SolveReport served = session.solve(demand);
+  FlowNetwork edited = g.net;
+  edited.set_capacity(inside_s, edited.edge(inside_s).capacity + 1);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+  const Telemetry* cache = session.telemetry().find_child("cache");
+  ASSERT_NE(cache, nullptr);
+  const Telemetry* masks = cache->find_child("masks");
+  ASSERT_NE(masks, nullptr);
+  EXPECT_EQ(masks->counter_or(telemetry_keys::kSideRepairs), 1u);
+}
+
+TEST(QuerySession, CrossingCapacityEditDropsEntryAndAssignments) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+
+  // A crossing edge joins the two clusters.
+  EdgeId crossing = 0;
+  for (EdgeId e = 0; e < g.net.num_edges(); ++e) {
+    const Edge& link = g.net.edge(e);
+    if (g.side_s[static_cast<std::size_t>(link.u)] !=
+        g.side_s[static_cast<std::size_t>(link.v)]) {
+      crossing = e;
+      break;
+    }
+  }
+  NetworkDelta delta;
+  delta.set_capacity(crossing, g.net.edge(crossing).capacity + 1);
+  const DeltaOutcome outcome = session.apply_delta(delta);
+
+  EXPECT_EQ(outcome.entries_full, 1u);
+  EXPECT_EQ(outcome.entries_partial, 0u);
+  EXPECT_EQ(outcome.assignments_survived, 0u);  // assignment set was dropped
+  EXPECT_GE(outcome.partitions_survived, 1u);   // candidates are kept
+
+  const SolveReport served = session.solve(demand);
+  FlowNetwork edited = g.net;
+  edited.set_capacity(crossing, edited.edge(crossing).capacity + 1);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, ProbabilityDeltaSurvivesAllLayers) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+
+  NetworkDelta delta;
+  delta.set_failure_prob(0, 0.42).set_failure_prob(1, 0.17);
+  const DeltaOutcome outcome = session.apply_delta(delta);
+  EXPECT_EQ(outcome.applied, DeltaClass::kProbabilityOnly);
+  EXPECT_EQ(outcome.entries_survived, 1u);
+  EXPECT_EQ(outcome.entries_full, 0u);
+  EXPECT_EQ(session.cache_survived(), 1u);
+
+  const std::uint64_t misses = session.cache_misses();
+  const SolveReport served = session.solve(demand);
+  EXPECT_EQ(session.cache_misses(), misses);  // no rebuild at all
+
+  FlowNetwork edited = g.net;
+  edited.set_failure_prob(0, 0.42);
+  edited.set_failure_prob(1, 0.17);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, InvalidDeltaIsAtomic) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+  QuerySession session(g.net);
+  session.solve(demand);
+  const std::uint64_t misses = session.cache_misses();
+
+  NetworkDelta bad;
+  bad.set_failure_prob(0, 0.3).set_capacity(g.net.num_edges(), 2);
+  EXPECT_THROW(session.apply_delta(bad), std::invalid_argument);
+
+  // Neither the network nor the caches moved.
+  EXPECT_EQ(session.network().edge(0).failure_prob,
+            g.net.edge(0).failure_prob);
+  session.solve(demand);
+  EXPECT_EQ(session.cache_misses(), misses);
+}
+
+TEST(QuerySession, AliasProbabilityEditFastPathKeepsCaches) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  const SolveReport before = session.solve(demand);
+  (void)before;
+  const std::uint64_t misses = session.cache_misses();
+
+  // The documented alias flow: edit probabilities directly, then declare
+  // the edit class. Structural artifacts must survive.
+  session.mutable_network().set_failure_prob(0, 0.37);
+  session.invalidate(DeltaClass::kProbabilityOnly);
+  EXPECT_EQ(session.cache_invalidations(), 0u);
+  EXPECT_GE(session.cache_survived(), 1u);
+
+  const SolveReport served = session.solve(demand);
+  EXPECT_EQ(session.cache_misses(), misses);  // fast path: no rebuild
+
+  FlowNetwork edited = g.net;
+  edited.set_failure_prob(0, 0.37);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, AliasStructuralEditFlushesEverything) {
+  const GeneratedNetwork g = test_instance();
+  const FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+
+  session.mutable_network().set_capacity(0, g.net.edge(0).capacity + 1);
+  session.invalidate(DeltaClass::kCapacityOnly);  // touched set unknown
+  EXPECT_EQ(session.cache_invalidations(), 1u);
+  EXPECT_GE(session.cache_invalidations_full(), 1u);
+
+  const SolveReport served = session.solve(demand);
+  FlowNetwork edited = g.net;
+  edited.set_capacity(0, edited.edge(0).capacity + 1);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(edited, demand).result.reliability);
+}
+
+TEST(QuerySession, TopologyDeltaTranslatesAndRecovers) {
+  const GeneratedNetwork g = test_instance();
+  FlowDemand demand{g.source, g.sink, 2};
+
+  QuerySession session(g.net);
+  session.solve(demand);
+
+  NetworkDelta join;
+  const NodeId peer = join.add_node(g.net.num_nodes());
+  join.add_edge(g.source, peer, 1, 0.1);
+  join.add_edge(peer, g.sink, 1, 0.1);
+  const DeltaOutcome outcome = session.apply_delta(join);
+  EXPECT_EQ(outcome.applied, DeltaClass::kTopology);
+  EXPECT_EQ(outcome.entries_full, 1u);  // the warm entry was flushed
+
+  demand.source = outcome.node_map[static_cast<std::size_t>(g.source)];
+  demand.sink = outcome.node_map[static_cast<std::size_t>(g.sink)];
+  const SolveReport served = session.solve(demand);
+  EXPECT_EQ(served.result.reliability,
+            compute_reliability(session.network(), demand)
+                .result.reliability);
 }
 
 }  // namespace

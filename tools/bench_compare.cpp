@@ -4,6 +4,7 @@
 // through this tool:
 //
 //   bench_compare BENCH_old.json BENCH_new.json [--threshold=0.30]
+//                 [--floor=key:value,key:value,...]
 //
 // Comparison rules, applied per metric key present in BOTH records:
 //   * keys ending in "_ms" (wall times): fail when new > old * (1 + t),
@@ -14,19 +15,29 @@
 //   * keys under "trace." (span counters guarding the zero-copy side
 //     views): fail on any increase of a "*copies" counter above zero;
 //   * keys ending in "_coverage" (fractions of work answered by a fast
-//     path, e.g. the slab sweep's word-wide decisions): fail when
-//     new < old * (1 - t) — a coverage drop silently shifts work onto
-//     the slow path and shows up as a perf regression one commit later;
+//     path, e.g. the slab sweep's word-wide decisions) and keys ending
+//     in "_survival_rate" (fraction of cached artifacts a churn replay
+//     kept alive across deltas): fail when new < old * (1 - t) — a drop
+//     silently shifts work onto the slow path and shows up as a perf
+//     regression one commit later;
 //   * everything else (call counts, sizes, seeds) is informational.
 // Metrics present in only one record are reported but never fatal —
 // benches grow columns across commits.
+//
+// --floor adds absolute gates on the NEW record, independent of the old
+// run: "replay.artifact_survival_rate:0.5" fails when the metric is
+// missing, non-numeric, or below 0.5. Use it for invariants with a
+// physical meaning (a minimum speedup, a survival rate) where "no worse
+// than the base commit" is too weak a promise.
 
 #include <fstream>
 #include <limits>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "streamrel/util/cli.hpp"
 #include "streamrel/util/json.hpp"
@@ -48,6 +59,35 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+struct Floor {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Parses "key:value,key:value" from --floor. Keys contain dots, so the
+/// split is on the LAST ':' of each comma-separated element.
+std::vector<Floor> parse_floors(const std::string& spec) {
+  std::vector<Floor> floors;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      throw std::runtime_error("bad --floor element '" + item +
+                               "' (want key:value)");
+    }
+    Floor floor;
+    floor.key = item.substr(0, colon);
+    floor.value = std::stod(item.substr(colon + 1));
+    floors.push_back(std::move(floor));
+    start = end + 1;
+  }
+  return floors;
 }
 
 BenchRecord load(const std::string& path) {
@@ -85,16 +125,19 @@ BenchRecord load(const std::string& path) {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.positional().size() != 2) {
-    std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.30]\n";
+    std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.30] "
+                 "[--floor=key:value,...]\n";
     return 2;
   }
   const double threshold = args.get_double("threshold", 0.30);
 
   BenchRecord old_run;
   BenchRecord new_run;
+  std::vector<Floor> floors;
   try {
     old_run = load(args.positional()[0]);
     new_run = load(args.positional()[1]);
+    floors = parse_floors(args.get("floor", ""));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -146,7 +189,7 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    if (ends_with(key, "_coverage")) {
+    if (ends_with(key, "_coverage") || ends_with(key, "_survival_rate")) {
       if (before > 0.0 && after < before * (1.0 - threshold)) {
         std::cout << "  ! " << key << ": " << before << " -> " << after
                   << " (-" << (1.0 - after / before) * 100.0
@@ -154,6 +197,20 @@ int main(int argc, char** argv) {
         ++regressions;
       }
       continue;
+    }
+  }
+  for (const Floor& floor : floors) {
+    const JsonValue* value = new_run.metrics.find(floor.key);
+    if (value == nullptr || !value->is_number()) {
+      std::cout << "  ! " << floor.key << ": missing from new run (floor "
+                << floor.value << ")\n";
+      ++regressions;
+      continue;
+    }
+    if (value->as_number() < floor.value) {
+      std::cout << "  ! " << floor.key << ": " << value->as_number()
+                << " below floor " << floor.value << "\n";
+      ++regressions;
     }
   }
   for (const auto& [key, value] : new_run.metrics.as_object()) {
