@@ -1,0 +1,288 @@
+// E29 — daemon serving throughput: four tenants hammering a worker-pool
+// ReliabilityService through the wire path, then a deliberate overload
+// of a one-worker pool to measure structured shedding.
+//
+// Normal phase: every tenant pipelines interactive solves (generous
+// deadlines) and bulk batches through handle_line; the lane latency
+// percentiles come from the scheduler's own histograms via the stats
+// verb. Also cross-checks that a warm batch renders byte-identically to
+// its cold predecessor (the QuerySession guarantee, now through the
+// service). Overload phase: a single worker is pinned by a bulk sweep
+// while interactive requests arrive with deadlines the queue alone
+// blows — every one of them must still get an "ok": true response, with
+// "shed": true and bounds attached, never a refusal or a throw.
+//
+// Exits non-zero when a response goes missing, the warm/cold cross-check
+// fails, or overload shedding never engages. With --json=FILE a
+// bench_harness record (BENCH_server.json in CI) is written; the CI
+// floor gate holds server.responses_rate at 1 and
+// server.overload_shed_rate above its floor.
+
+#include <atomic>
+#include <cstddef>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "streamrel/streamrel.hpp"
+#include "streamrel/util/cli.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/stopwatch.hpp"
+#include "streamrel/util/table.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+GeneratedNetwork tenant_instance(std::uint64_t seed, int side_links) {
+  Xoshiro256 rng(seed);
+  ClusteredParams params;
+  params.nodes_s = side_links / 2 + 1;
+  params.extra_edges_s = side_links - (params.nodes_s - 1);
+  params.nodes_t = 4;
+  params.extra_edges_t = 1;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {1, 3};
+  return clustered_bottleneck(rng, params);
+}
+
+WireRequest register_request(const GeneratedNetwork& g,
+                             const std::string& tenant) {
+  WireRequest reg;
+  reg.verb = WireVerb::kRegisterNetwork;
+  reg.tenant = tenant;
+  reg.network_text = network_to_string(g.net);
+  reg.query.source = g.source;
+  reg.query.sink = g.sink;
+  reg.query.rate = 2;
+  return reg;
+}
+
+WireRequest batch_request(const std::string& tenant, int queries,
+                          Xoshiro256& rng, int num_edges) {
+  WireRequest req;
+  req.verb = WireVerb::kBatch;
+  req.lane = WireLane::kBulk;
+  req.tenant = tenant;
+  req.queries.resize(static_cast<std::size_t>(queries));
+  for (WireQuery& q : req.queries) {
+    q.overrides.push_back(ProbOverride{
+        static_cast<EdgeId>(
+            rng.uniform_below(static_cast<std::uint64_t>(num_edges))),
+        0.05 + 0.9 * rng.uniform01()});
+  }
+  return req;
+}
+
+double lane_metric(const JsonValue& stats, const char* lane,
+                   const char* field) {
+  const JsonValue* lanes = stats.find("lanes");
+  if (!lanes) return 0.0;
+  const JsonValue* snap = lanes->find(lane);
+  if (!snap) return 0.0;
+  const JsonValue* v = snap->find(field);
+  return v ? v->as_number() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke");
+  const int tenants = static_cast<int>(args.get_int("tenants", 4));
+  const int side_links =
+      static_cast<int>(args.get_int("side-links", smoke ? 8 : 14));
+  const int solves_per_tenant =
+      static_cast<int>(args.get_int("solves", smoke ? 16 : 64));
+  const int batches_per_tenant =
+      static_cast<int>(args.get_int("batches", smoke ? 2 : 8));
+  const int batch_queries =
+      static_cast<int>(args.get_int("batch-queries", smoke ? 4 : 16));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int overload_requests =
+      static_cast<int>(args.get_int("overload-requests", 32));
+
+  bool ok = true;
+  std::uint64_t requests = 0;
+  std::atomic<std::uint64_t> responded{0};
+  std::mutex mu;
+
+  // --- normal phase: multi-tenant pipelined serving -------------------
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = workers;
+  ReliabilityService service(options);
+
+  std::vector<GeneratedNetwork> nets;
+  Xoshiro256 rng(29);
+  for (int t = 0; t < tenants; ++t) {
+    nets.push_back(
+        tenant_instance(static_cast<std::uint64_t>(100 + t), side_links));
+    const std::string tenant = "tenant" + std::to_string(t);
+    if (!service.execute(register_request(nets.back(), tenant)).ok) {
+      std::cerr << "register failed for " << tenant << "\n";
+      return 1;
+    }
+  }
+
+  auto count_response = [&](WireResponse resp) {
+    responded.fetch_add(1);
+    if (!resp.ok) {
+      const std::lock_guard<std::mutex> lock(mu);
+      std::cerr << "unexpected error response: " << resp.error_code << ": "
+                << resp.error_message << "\n";
+    }
+  };
+
+  Stopwatch phase_sw;
+  for (int round = 0; round < solves_per_tenant; ++round) {
+    for (int t = 0; t < tenants; ++t) {
+      const std::string tenant = "tenant" + std::to_string(t);
+      WireRequest solve;
+      solve.verb = WireVerb::kSolve;
+      solve.tenant = tenant;
+      solve.deadline_ms = 10'000.0;
+      solve.query.overrides.push_back(ProbOverride{
+          static_cast<EdgeId>(rng.uniform_below(static_cast<std::uint64_t>(
+              nets[static_cast<std::size_t>(t)].net.num_edges()))),
+          0.5});
+      service.handle_line(serialize_wire_request(solve), count_response);
+      ++requests;
+      if (round < batches_per_tenant) {
+        service.handle_line(
+            serialize_wire_request(batch_request(
+                tenant, batch_queries, rng,
+                nets[static_cast<std::size_t>(t)].net.num_edges())),
+            count_response);
+        ++requests;
+      }
+    }
+  }
+  service.drain();
+  const double serve_ms = phase_sw.elapsed_ms();
+
+  const JsonValue stats = parse_json(service.stats_json());
+  const double interactive_p50 =
+      lane_metric(stats, "interactive", "service_p50_ms");
+  const double interactive_p95 =
+      lane_metric(stats, "interactive", "service_p95_ms");
+  const double interactive_p99 =
+      lane_metric(stats, "interactive", "service_p99_ms");
+  const double bulk_p50 = lane_metric(stats, "bulk", "service_p50_ms");
+  const double bulk_p95 = lane_metric(stats, "bulk", "service_p95_ms");
+  const double bulk_p99 = lane_metric(stats, "bulk", "service_p99_ms");
+
+  // Warm-equals-cold through the service: the same batch twice must
+  // render byte-identical per-query lines.
+  Xoshiro256 check_rng(7);
+  const WireRequest check = batch_request("tenant0", batch_queries, check_rng,
+                                          nets[0].net.num_edges());
+  const WireResponse cold = service.execute(check);
+  const WireResponse warm = service.execute(check);
+  const bool warm_equal_cold =
+      cold.ok && warm.ok && cold.legacy_lines == warm.legacy_lines;
+  if (!warm_equal_cold) {
+    std::cerr << "FAIL: warm batch diverged from cold through the service\n";
+    ok = false;
+  }
+
+  if (responded.load() != requests) {
+    std::cerr << "FAIL: " << requests << " requests but " << responded.load()
+              << " responses\n";
+    ok = false;
+  }
+  const double responses_rate =
+      requests == 0 ? 1.0
+                    : static_cast<double>(responded.load()) /
+                          static_cast<double>(requests);
+
+  // --- overload phase: one worker, deadlines the queue blows ----------
+  ServiceOptions tight;
+  tight.start_workers = true;
+  tight.scheduler.workers = 1;
+  ReliabilityService small(tight);
+  if (!small.execute(register_request(nets[0], "tenant0")).ok) {
+    std::cerr << "overload register failed\n";
+    return 1;
+  }
+  std::atomic<std::uint64_t> overload_responses{0};
+  std::atomic<std::uint64_t> overload_errors{0};
+  std::atomic<std::uint64_t> shed{0};
+  auto overload_done = [&](WireResponse resp) {
+    overload_responses.fetch_add(1);
+    if (!resp.ok) {
+      overload_errors.fetch_add(1);
+    } else if (resp.result_json.find("\"shed\": true") != std::string::npos) {
+      shed.fetch_add(1);
+    }
+  };
+  // Pin the worker with a bulk sweep, then pile on interactive requests
+  // whose deadlines cannot survive the queue.
+  Xoshiro256 overload_rng(11);
+  service.drain();
+  small.handle_line(
+      serialize_wire_request(batch_request("tenant0", batch_queries * 4,
+                                           overload_rng,
+                                           nets[0].net.num_edges())),
+      overload_done);
+  for (int i = 0; i < overload_requests; ++i) {
+    WireRequest solve;
+    solve.verb = WireVerb::kSolve;
+    solve.tenant = "tenant0";
+    solve.deadline_ms = 0.001;
+    small.handle_line(serialize_wire_request(solve), overload_done);
+  }
+  small.drain();
+
+  const std::uint64_t overload_total =
+      static_cast<std::uint64_t>(overload_requests) + 1;
+  if (overload_responses.load() != overload_total ||
+      overload_errors.load() != 0) {
+    std::cerr << "FAIL: overload phase lost responses ("
+              << overload_responses.load() << "/" << overload_total
+              << ", errors " << overload_errors.load() << ")\n";
+    ok = false;
+  }
+  const double shed_rate = static_cast<double>(shed.load()) /
+                           static_cast<double>(overload_requests);
+  if (shed.load() == 0) {
+    std::cerr << "FAIL: overload never shed a request\n";
+    ok = false;
+  }
+
+  std::cout << "server_throughput: " << tenants << " tenants, " << requests
+            << " requests in " << format_double(serve_ms, 2) << " ms ("
+            << workers << " workers)\n"
+            << "  interactive p50/p95/p99 ms: "
+            << format_double(interactive_p50, 4) << " / "
+            << format_double(interactive_p95, 4) << " / "
+            << format_double(interactive_p99, 4) << "\n"
+            << "  bulk        p50/p95/p99 ms: " << format_double(bulk_p50, 4)
+            << " / " << format_double(bulk_p95, 4) << " / "
+            << format_double(bulk_p99, 4) << "\n"
+            << "  warm == cold: " << (warm_equal_cold ? "yes" : "NO")
+            << ", responses " << responded.load() << "/" << requests << "\n"
+            << "  overload: " << shed.load() << "/" << overload_requests
+            << " shed (rate " << format_double(shed_rate, 4) << "), "
+            << overload_responses.load() << "/" << overload_total
+            << " responded\n";
+
+  bench::BenchReport report("server_throughput");
+  report.metric("tenants", static_cast<std::int64_t>(tenants))
+      .metric("workers", static_cast<std::int64_t>(workers))
+      .metric("requests", static_cast<std::int64_t>(requests))
+      .metric("serve_ms", serve_ms)
+      .metric("server.interactive_p50_ms", interactive_p50)
+      .metric("server.interactive_p95_ms", interactive_p95)
+      .metric("server.interactive_p99_ms", interactive_p99)
+      .metric("server.bulk_p50_ms", bulk_p50)
+      .metric("server.bulk_p95_ms", bulk_p95)
+      .metric("server.bulk_p99_ms", bulk_p99)
+      .metric("server.responses_rate", responses_rate)
+      .metric("server.overload_shed_rate", shed_rate)
+      .metric("server.warm_equal_cold", warm_equal_cold);
+  const bool json_ok = bench::write_if_requested(report, args);
+  return ok && json_ok ? 0 : 1;
+}

@@ -35,11 +35,15 @@
 // [{"edge": id, "p": prob}, ...] — per-query failure-probability
 // substitutions. Output is one JSON report per query (JSON lines) plus a
 // summary object with the cache hit/miss/eviction counters.
+//
+// Both modes are in-process clients of the wire schema
+// (include/streamrel/api/wire.hpp): the file becomes a request, a
+// ReliabilityService executes it, and the response's legacy render is
+// printed — the same bytes the daemon's clients see.
 
 #include <fstream>
 #include <iostream>
 #include <iterator>
-#include <map>
 
 #include "streamrel/streamrel.hpp"
 #include "streamrel/util/cli.hpp"
@@ -50,23 +54,19 @@ using namespace streamrel;
 
 namespace {
 
-bool parse_method(const std::string& name, Method* out) {
-  if (name == "auto") {
-    *out = Method::kAuto;
-  } else if (name == "naive") {
-    *out = Method::kNaive;
-  } else if (name == "factoring") {
-    *out = Method::kFactoring;
-  } else if (name == "bottleneck") {
-    *out = Method::kBottleneck;
-  } else if (name == "frontier") {
-    *out = Method::kFrontier;
-  } else if (name == "hybrid") {
-    *out = Method::kHybridMc;
-  } else {
-    return false;
-  }
-  return true;
+// Binds the network file (with the CLI's demand overrides already
+// applied) as the service's "default/default" session.
+WireRequest register_request(const NetworkFile& file,
+                             const FlowDemand& demand,
+                             std::optional<std::size_t> max_mask_tables) {
+  WireRequest reg;
+  reg.verb = WireVerb::kRegisterNetwork;
+  reg.network_text = network_to_string(file.net);
+  reg.query.source = demand.source;
+  reg.query.sink = demand.sink;
+  reg.query.rate = demand.rate;
+  reg.max_mask_tables = max_mask_tables;
+  return reg;
 }
 
 int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
@@ -78,108 +78,41 @@ int run_batch(const NetworkFile& file, const FlowDemand& default_demand,
   }
   const std::string text((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
-  const JsonValue doc = parse_json(text);
-  const JsonValue* list = doc.is_array() ? &doc : doc.find("queries");
-  if (!list || !list->is_array()) {
-    std::cerr << "batch file needs a top-level array or a \"queries\" key\n";
+  WireRequest req;
+  try {
+    // Malformed JSON propagates as std::invalid_argument to main's
+    // "error:" handler (exit 1), exactly like the pre-wire parser.
+    req = parse_batch_file(text);
+  } catch (const WireParseError& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
+  req.deadline_ms = args.get_double("deadline-ms", 0.0);
+  req.max_threads = static_cast<int>(args.get_int("threads", 0));
 
-  std::vector<WhatIfQuery> queries;
-  queries.reserve(list->as_array().size());
-  for (const JsonValue& entry : list->as_array()) {
-    WhatIfQuery q;
-    q.demand = default_demand;
-    if (const JsonValue* v = entry.find("source")) {
-      q.demand.source = static_cast<NodeId>(v->as_number());
-    }
-    if (const JsonValue* v = entry.find("sink")) {
-      q.demand.sink = static_cast<NodeId>(v->as_number());
-    }
-    if (const JsonValue* v = entry.find("d")) {
-      q.demand.rate = static_cast<Capacity>(v->as_number());
-    }
-    if (const JsonValue* v = entry.find("deadline_ms")) {
-      q.deadline_ms = v->as_number();
-    }
-    if (const JsonValue* v = entry.find("method")) {
-      if (!parse_method(v->as_string(), &q.method)) {
-        std::cerr << "unknown method '" << v->as_string()
-                  << "' in batch file\n";
-        return 2;
-      }
-    }
-    if (const JsonValue* v = entry.find("overrides")) {
-      for (const JsonValue& o : v->as_array()) {
-        const JsonValue* edge = o.find("edge");
-        const JsonValue* p = o.find("p");
-        if (!edge || !p) {
-          std::cerr << "override needs \"edge\" and \"p\" members\n";
-          return 2;
-        }
-        q.prob_overrides.push_back(ProbOverride{
-            static_cast<EdgeId>(edge->as_number()), p->as_number()});
-      }
-    }
-    queries.push_back(std::move(q));
-  }
-
-  QueryCacheOptions cache;
-  if (const JsonValue* v = doc.find("max_mask_tables")) {
-    cache.max_mask_tables = static_cast<std::size_t>(v->as_number());
-  }
-  QuerySession session(file.net, cache);
-  BatchEvaluator evaluator(session);
-  BatchOptions options;
-  options.deadline_ms = args.get_double("deadline-ms", 0.0);
-  options.max_threads = static_cast<int>(args.get_int("threads", 0));
+  RequestHooks hooks;
   if (args.get_bool("progress")) {
     ProgressOptions popts;
     popts.label = "batch";
-    options.progress = std::make_shared<ProgressReporter>(nullptr, popts);
+    hooks.progress = std::make_shared<ProgressReporter>(nullptr, popts);
   }
 
-  Stopwatch sw;
-  const BatchReport batch = evaluator.evaluate(queries, options);
-  const double elapsed = sw.elapsed_ms();
-  if (options.progress) options.progress->finish();
-
-  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
-    const SolveReport& report = batch.reports[i];
-    std::cout << "{\"query\": " << i << ", \"source\": "
-              << queries[i].demand.source << ", \"sink\": "
-              << queries[i].demand.sink << ", \"d\": "
-              << queries[i].demand.rate << ", \"reliability\": "
-              << format_double(report.result.reliability, 10)
-              << ", \"status\": \"" << to_string(report.result.status)
-              << "\", \"method\": \"" << to_string(report.method_used)
-              << "\", \"engine\": \"" << report.engine << "\"";
-    if (report.bounds) {
-      std::cout << ", \"bounds\": {\"lower\": "
-                << format_double(report.bounds->lower, 10) << ", \"upper\": "
-                << format_double(report.bounds->upper, 10) << "}";
-    }
-    std::cout << "}\n";
+  ReliabilityService service;  // no workers: verbs execute inline
+  const WireResponse reg =
+      service.execute(register_request(file, default_demand,
+                                       req.max_mask_tables));
+  if (!reg.ok) {
+    std::cerr << reg.error_message << "\n";
+    return 2;
   }
-  // Engines that actually answered (post-kAuto resolution), by count.
-  std::map<std::string, int> engines;
-  for (const SolveReport& report : batch.reports) {
-    engines[std::string(report.engine)]++;
+  const WireResponse resp = service.execute(req, hooks);
+  if (hooks.progress) hooks.progress->finish();
+  if (!resp.ok) {
+    std::cerr << resp.error_message << "\n";
+    return 2;
   }
-  std::cout << "{\"summary\": {\"api_version\": " << STREAMREL_API_VERSION
-            << ", \"queries\": " << batch.reports.size()
-            << ", \"exact\": " << batch.exact_count << ", \"cache_hits\": "
-            << session.cache_hits() << ", \"cache_misses\": "
-            << session.cache_misses() << ", \"cache_evictions\": "
-            << session.cache_evictions() << ", \"elapsed_ms\": "
-            << format_double(elapsed, 4) << ", \"engines\": {";
-  bool first = true;
-  for (const auto& [engine, count] : engines) {
-    if (!first) std::cout << ", ";
-    first = false;
-    std::cout << "\"" << engine << "\": " << count;
-  }
-  std::cout << "}, \"telemetry\": " << batch.telemetry.to_json() << "}}\n";
+  for (const std::string& line : resp.legacy_lines) std::cout << line << "\n";
+  std::cout << resp.legacy_summary << "\n";
   return 0;
 }
 
@@ -193,44 +126,28 @@ int run_replay(const NetworkFile& file, const FlowDemand& demand,
   }
   const std::string text((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
-  EventStream events = parse_event_stream(text);
-  sort_event_stream(events);
+  WireRequest req;
+  req.verb = WireVerb::kReplay;
+  req.lane = WireLane::kBulk;
+  req.events = parse_event_stream(text);
+  req.cold = args.get_bool("cold");
+  req.deadline_ms = args.get_double("deadline-ms", 0.0);
+  req.max_threads = static_cast<int>(args.get_int("threads", 0));
 
-  ReplayOptions options;
-  options.use_session = !args.get_bool("cold");
-  options.solve.deadline_ms = args.get_double("deadline-ms", 0.0);
-  options.solve.max_threads = static_cast<int>(args.get_int("threads", 0));
-
-  Stopwatch sw;
-  const ReplayReport report = replay_churn(file.net, demand, events, options);
-  const double elapsed = sw.elapsed_ms();
-
-  std::cout << "{\"t\": 0, \"reliability\": "
-            << format_double(report.initial_reliability, 10) << "}\n";
-  for (const ReplayEventOutcome& out : report.series) {
-    std::cout << "{\"t\": " << format_double(out.time, 6) << ", \"label\": \""
-              << out.label << "\", \"class\": \"" << to_string(out.applied)
-              << "\", \"reliability\": "
-              << format_double(out.reliability, 10) << ", \"delta_r\": "
-              << format_double(out.delta_r, 10) << ", \"cache\": {\"full\": "
-              << out.entries_full << ", \"partial\": " << out.entries_partial
-              << ", \"survived\": " << out.entries_survived << "}}\n";
+  ReliabilityService service;
+  const WireResponse reg =
+      service.execute(register_request(file, demand, std::nullopt));
+  if (!reg.ok) {
+    std::cerr << reg.error_message << "\n";
+    return 2;
   }
-  std::cout << "{\"summary\": {\"mode\": \""
-            << (options.use_session ? "warm" : "cold")
-            << "\", \"events\": " << report.series.size()
-            << ", \"final_reliability\": "
-            << format_double(report.final_reliability, 10)
-            << ", \"worst_event\": " << report.worst_event;
-  if (report.worst_event >= 0) {
-    std::cout << ", \"worst_label\": \""
-              << report.series[static_cast<std::size_t>(report.worst_event)]
-                     .label
-              << "\"";
+  const WireResponse resp = service.execute(req);
+  if (!resp.ok) {
+    std::cerr << resp.error_message << "\n";
+    return 2;
   }
-  std::cout << ", \"artifact_survival_rate\": "
-            << format_double(report.artifact_survival_rate, 6)
-            << ", \"elapsed_ms\": " << format_double(elapsed, 4) << "}}\n";
+  for (const std::string& line : resp.legacy_lines) std::cout << line << "\n";
+  std::cout << resp.legacy_summary << "\n";
   return 0;
 }
 
@@ -276,7 +193,7 @@ int run(const CliArgs& args) {
               << format_double(sw.elapsed_ms(), 4) << " ms)\n";
   } else {
     SolveOptions options;
-    if (!parse_method(method, &options.method)) {
+    if (!parse_method_name(method, &options.method)) {
       std::cerr << "unknown --method '" << method << "'\n";
       return 2;
     }

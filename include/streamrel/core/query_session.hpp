@@ -180,8 +180,18 @@ class QuerySession {
   std::uint64_t cache_invalidations_partial() const;
   std::uint64_t cache_survived() const;
 
+  // --- cache budget (daemon memory-cap rebalancing) ----------------
+
+  /// Re-bounds the mask-table LRU, evicting (oldest first, counted as
+  /// kCacheEvictions) until the cache fits. The session registry calls
+  /// this when tenants join or leave the global memory cap.
+  void set_cache_budget(std::size_t max_mask_tables);
+  std::size_t cache_budget() const { return cache_options_.max_mask_tables; }
+  std::size_t cached_mask_tables() const { return lru_.size(); }
+
  private:
   friend class BatchEvaluator;
+  friend class TenantSession;
 
   /// (s, t, candidate index, d, assignment mode, assignment cap): one
   /// cached decomposition instance.

@@ -35,11 +35,4 @@ double link_failure_prob(const ChurnModel& model, int endpoints_churning = 2);
 NetworkDelta churn_delta(const FlowNetwork& net, NodeId server,
                          const ChurnModel& model);
 
-/// In-place form, equivalent to apply_delta_in_place(net,
-/// churn_delta(net, server, model)).
-[[deprecated(
-    "mutates the network behind any caches; use churn_delta() with "
-    "apply_delta_in_place or QuerySession::apply_delta instead")]]
-void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model);
-
 }  // namespace streamrel

@@ -1,0 +1,115 @@
+#pragma once
+// ReliabilityService — the verb layer of the daemon: parses wire
+// requests, routes them to TenantSessions through the two-lane
+// scheduler, and renders wire responses. Transport-agnostic: the TCP
+// server, the --stdio mode and the in-process tests all drive the same
+// handle_line()/execute() pair.
+//
+// Shedding semantics (the no-throw SolveStatus contract on the wire):
+// when a compute verb's effective deadline (request "deadline_ms"
+// tightened by the lane budget) is already blown by the estimated queue
+// wait — or has expired by the time a worker picks the job up — the
+// solve runs with a zero deadline, so the machinery returns a
+// kDeadlineExpired result with reliability bounds attached. The client
+// sees "ok": true with "status": "deadline_expired", "bounds" and
+// "shed": true — never a disconnect, never a throw. "ok": false is
+// reserved for protocol/usage errors (parse_error, bad_request,
+// unsupported_version, unknown_verb, unknown_network, overloaded,
+// internal); "overloaded" appears only when a lane queue is FULL and
+// the job cannot even be admitted.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "streamrel/api/wire.hpp"
+#include "streamrel/server/scheduler.hpp"
+#include "streamrel/server/session_registry.hpp"
+
+namespace streamrel {
+
+struct ServiceOptions {
+  QueryCacheOptions default_cache;
+  /// Global memory cap: total mask-table entries across all sessions.
+  std::size_t global_mask_tables = 256;
+  /// Lane deadline budgets (0 = none): every request on the lane runs
+  /// under min(request deadline, lane budget).
+  double interactive_budget_ms = 0.0;
+  double bulk_budget_ms = 0.0;
+  SchedulerOptions scheduler;
+  /// Start the worker pool. Off for in-process clients (the CLI executes
+  /// verbs inline); the daemon turns it on.
+  bool start_workers = false;
+};
+
+/// Per-request sinks, so concurrent tenants never interleave output:
+/// progress goes to the request's own reporter (or nowhere), and trace
+/// spans are captured per request when it asks for them.
+struct RequestHooks {
+  std::shared_ptr<ProgressReporter> progress;
+};
+
+class ReliabilityService {
+ public:
+  explicit ReliabilityService(const ServiceOptions& options = {});
+  ~ReliabilityService();
+  ReliabilityService(const ReliabilityService&) = delete;
+  ReliabilityService& operator=(const ReliabilityService&) = delete;
+
+  /// Executes one parsed request synchronously on the calling thread.
+  WireResponse execute(const WireRequest& request,
+                       const RequestHooks& hooks = {}) {
+    return execute_impl(request, hooks, /*force_expired=*/false);
+  }
+
+  /// Parses and routes one request line. Control verbs run inline;
+  /// compute verbs (solve/batch/replay) go through the scheduler when
+  /// workers are running. `done` is called exactly once — possibly on a
+  /// worker thread, possibly before this returns.
+  void handle_line(std::string_view line,
+                   std::function<void(WireResponse)> done,
+                   const RequestHooks& hooks = {});
+
+  /// Waits for all scheduled work to finish.
+  void drain();
+
+  bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  /// The stats verb's payload (also the daemon's periodic metrics line).
+  std::string stats_json() const;
+
+  std::uint64_t shed_count() const noexcept {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WireResponse execute_impl(const WireRequest& request,
+                            const RequestHooks& hooks, bool force_expired);
+  WireResponse do_register(const WireRequest& request);
+  WireResponse do_solve(const WireRequest& request, const RequestHooks& hooks,
+                        bool force_expired);
+  WireResponse do_batch(const WireRequest& request, const RequestHooks& hooks,
+                        bool force_expired);
+  WireResponse do_apply_delta(const WireRequest& request);
+  WireResponse do_replay(const WireRequest& request, const RequestHooks& hooks,
+                         bool force_expired);
+  std::shared_ptr<TenantSession> find_session(const WireRequest& request,
+                                              WireResponse* error) const;
+  double lane_budget_ms(WireLane lane) const noexcept;
+
+  ServiceOptions options_;
+  SessionRegistry registry_;
+  std::unique_ptr<RequestScheduler> scheduler_;  ///< null without workers
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> errors_total_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+};
+
+}  // namespace streamrel

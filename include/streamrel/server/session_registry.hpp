@@ -1,0 +1,122 @@
+#pragma once
+// TenantSession + SessionRegistry — the daemon's tenancy layer: one
+// QuerySession per registered (tenant, network_id) pair, hardened for
+// concurrent use, with per-session mask-table budgets rebalanced under
+// one global memory cap.
+//
+// QuerySession itself is single-threaded by design (the caches are
+// mutable on the read path). TenantSession wraps one behind a
+// shared_mutex and re-implements the solve() orchestration with split
+// locking (it is a friend of QuerySession): cache preparation, fallback
+// solves and delta application — everything that can mutate the network
+// or the caches — run under the writer lock, while the expensive warm
+// path (finish_prepared: gather probabilities + accumulate, which only
+// READS the cached artifacts) runs under the reader lock, so a tenant's
+// warm what-ifs proceed in parallel. Answers stay bitwise-identical to
+// a plain QuerySession: the orchestration is the same code path in the
+// same order, only the locking is new.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "streamrel/core/batch_evaluator.hpp"
+#include "streamrel/core/query_session.hpp"
+
+namespace streamrel {
+
+class TenantSession {
+ public:
+  TenantSession(FlowNetwork net, FlowDemand default_demand,
+                const QueryCacheOptions& cache_options, bool explicit_budget);
+
+  /// Same contract and bitwise-same answer as QuerySession::solve.
+  /// `options.context` must be set (the service owns the per-request
+  /// ExecContext); the delta hint handling matches QuerySession.
+  SolveReport solve(const FlowDemand& demand, const SolveOptions& options,
+                    std::span<const ProbOverride> overrides);
+
+  /// Whole-batch evaluation under the writer lock (BatchEvaluator may
+  /// touch every cache layer and run its own parallel accumulate).
+  BatchReport batch(std::span<const WhatIfQuery> queries,
+                    const BatchOptions& options);
+
+  DeltaOutcome apply_delta(const NetworkDelta& delta);
+
+  /// Copy of the current network, for read-only replay pipelines.
+  FlowNetwork network_copy() const;
+  FlowDemand default_demand() const;
+
+  void set_cache_budget(std::size_t max_mask_tables);
+  /// True when registration named an explicit max_mask_tables (the
+  /// registry only rebalances implicit budgets).
+  bool explicit_budget() const noexcept { return explicit_budget_; }
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::size_t mask_tables = 0;
+    std::size_t budget = 0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  QuerySession session_;
+  FlowDemand default_demand_;
+  const bool explicit_budget_;
+};
+
+/// Registration outcome, echoed on the wire.
+struct RegisterOutcome {
+  bool replaced = false;        ///< an existing session was dropped
+  std::size_t cache_budget = 0; ///< mask-table budget actually granted
+  int nodes = 0;
+  int edges = 0;
+};
+
+class SessionRegistry {
+ public:
+  /// `global_mask_tables` caps the SUM of all sessions' mask-table
+  /// budgets: explicit per-session requests are clamped to it, implicit
+  /// sessions split it evenly (>= 1 each).
+  explicit SessionRegistry(QueryCacheOptions default_cache,
+                           std::size_t global_mask_tables);
+
+  /// Binds a network (replacing any session under the same key) and
+  /// rebalances implicit budgets.
+  RegisterOutcome register_network(const std::string& tenant,
+                                   const std::string& network_id,
+                                   FlowNetwork net, FlowDemand default_demand,
+                                   std::optional<std::size_t> max_mask_tables);
+
+  /// nullptr when the key was never registered.
+  std::shared_ptr<TenantSession> find(const std::string& tenant,
+                                      const std::string& network_id) const;
+
+  std::size_t size() const;
+
+  /// (tenant "/" network_id, session) pairs for the stats verb.
+  std::vector<std::pair<std::string, std::shared_ptr<TenantSession>>>
+  snapshot() const;
+
+ private:
+  void rebalance_locked();
+
+  const QueryCacheOptions default_cache_;
+  const std::size_t global_mask_tables_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<TenantSession>>
+      sessions_;
+  std::size_t implicit_count_ = 0;
+};
+
+}  // namespace streamrel

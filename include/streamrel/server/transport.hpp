@@ -1,0 +1,76 @@
+#pragma once
+// Transport layer of the reliability daemon: newline-delimited JSON
+// over a stream. Two transports share the framing:
+//
+//   * serve_stream() — any istream/ostream pair (the CLI's --stdio
+//     mode, the in-process tests);
+//   * TcpServer — a POSIX TCP listener, one reader thread per
+//     connection, responses written under a per-connection mutex (the
+//     scheduler may complete them out of order; request ids
+//     disambiguate).
+//
+// Graceful shutdown: install_signal_shutdown_pipe() routes
+// SIGINT/SIGTERM into a self-pipe whose read end TcpServer polls next
+// to the listening socket; on either signal (or a "shutdown" verb) the
+// server stops accepting, closes read sides, drains scheduled work and
+// joins its threads.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "streamrel/server/service.hpp"
+
+namespace streamrel {
+
+struct StreamServeResult {
+  std::uint64_t lines = 0;      ///< non-empty request lines consumed
+  std::uint64_t responses = 0;  ///< response lines written
+  bool shutdown = false;        ///< a shutdown verb ended the stream
+};
+
+/// Serves `in` line by line until EOF or a shutdown verb, writing one
+/// response line per request to `out` (order of completion, not of
+/// arrival). Drains scheduled work before returning.
+StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
+                               std::ostream& out);
+
+struct TcpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see TcpServer::port()
+  /// Optional fd that becomes readable to request shutdown (see
+  /// install_signal_shutdown_pipe); -1 = none.
+  int shutdown_fd = -1;
+};
+
+class TcpServer {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket failure.
+  TcpServer(ReliabilityService& service, const TcpServerOptions& options);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves option port 0).
+  std::uint16_t port() const noexcept;
+
+  /// Accept loop; returns after stop() or a shutdown signal/verb.
+  void run();
+
+  /// Stops accepting, closes connection read sides, joins and drains.
+  /// Safe to call from another thread; idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Installs SIGINT/SIGTERM handlers that write one byte to a self-pipe;
+/// returns the pipe's read fd (pass as TcpServerOptions::shutdown_fd).
+/// Returns -1 on failure. Install once per process.
+int install_signal_shutdown_pipe();
+
+}  // namespace streamrel

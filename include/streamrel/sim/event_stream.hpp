@@ -27,6 +27,7 @@
 
 #include "streamrel/graph/delta.hpp"
 #include "streamrel/graph/flow_network.hpp"
+#include "streamrel/util/json.hpp"
 
 namespace streamrel {
 
@@ -62,6 +63,18 @@ void sort_event_stream(EventStream& events);
 /// order WITHOUT sorting — call sort_event_stream if the document is
 /// unordered. Throws std::invalid_argument on malformed input.
 EventStream parse_event_stream(std::string_view json_text);
+
+/// The delta key language shared by event streams and the wire protocol
+/// (api/wire.hpp): reads the six edit keys ("set_failure_prob",
+/// "set_capacity", "add_nodes", "add_edge", "remove_edge",
+/// "remove_node") from one JSON object, ignoring any other members.
+/// Throws std::invalid_argument on malformed edits.
+NetworkDelta parse_delta_json(const JsonValue& obj);
+
+/// One event object ("time" required, "label" optional, plus the delta
+/// keys) — the element grammar of parse_event_stream, exposed so other
+/// protocols can embed events.
+ChurnEvent parse_churn_event(const JsonValue& obj);
 
 /// Options for the seeded stream generator. The class mix is a discrete
 /// distribution over event kinds; weights need not sum to one.

@@ -10,6 +10,7 @@
 
 #include "streamrel/version.hpp"                  // IWYU pragma: export
 
+#include "streamrel/api/wire.hpp"                 // IWYU pragma: export
 #include "streamrel/core/accumulate.hpp"          // IWYU pragma: export
 #include "streamrel/core/batch_evaluator.hpp"     // IWYU pragma: export
 #include "streamrel/core/assignments.hpp"         // IWYU pragma: export
@@ -56,6 +57,10 @@
 #include "streamrel/reliability/polynomial.hpp"   // IWYU pragma: export
 #include "streamrel/reliability/reductions.hpp"   // IWYU pragma: export
 #include "streamrel/reliability/throughput.hpp"   // IWYU pragma: export
+#include "streamrel/server/scheduler.hpp"         // IWYU pragma: export
+#include "streamrel/server/service.hpp"           // IWYU pragma: export
+#include "streamrel/server/session_registry.hpp"  // IWYU pragma: export
+#include "streamrel/server/transport.hpp"         // IWYU pragma: export
 #include "streamrel/sim/availability_sim.hpp"     // IWYU pragma: export
 #include "streamrel/sim/churn_replay.hpp"         // IWYU pragma: export
 #include "streamrel/sim/event_stream.hpp"         // IWYU pragma: export

@@ -31,16 +31,23 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace streamrel {
 
+class TraceCapture;
+
 namespace trace_detail {
 extern std::atomic<bool> g_enabled;
+/// The thread's active per-request capture (see TraceCapture); non-null
+/// diverts this thread's spans away from the global rings.
+extern thread_local TraceCapture* t_capture;
 }  // namespace trace_detail
 
-/// The single hot-path guard: one relaxed load.
+/// The hot-path guard: one relaxed load plus one thread-local read.
 inline bool trace_enabled() noexcept {
-  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+  return trace_detail::g_enabled.load(std::memory_order_relaxed) ||
+         trace_detail::t_capture != nullptr;
 }
 
 /// One completed span. `category` must point at a string literal (it is
@@ -53,6 +60,40 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;       ///< tracer-assigned dense thread id
   std::string args;
+};
+
+/// Per-request span capture for multi-tenant serving: while one is bound
+/// (RAII, nestable — the innermost wins), the CURRENT THREAD's spans are
+/// recorded into this object instead of the process-global rings, so
+/// concurrent requests never interleave trace output. Spans opened by
+/// OTHER threads (OpenMP shards spawned inside the request) still go to
+/// the global rings — a capture summarizes the request's own thread.
+/// Not thread-safe itself: bind, run, read, destroy on one thread.
+class TraceCapture {
+ public:
+  /// Events retained per capture; later events are dropped (counted).
+  static constexpr std::size_t kMaxEvents = 4096;
+
+  TraceCapture();
+  ~TraceCapture();
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  /// Called by Tracer::record on the bound thread.
+  void push(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Rendered summary for the wire: {"events": N, "dropped": D,
+  /// "spans": {"<name>": {"count": c, "total_us": t}, ...}} with span
+  /// names in lexicographic order.
+  std::string summary_json() const;
+
+ private:
+  TraceCapture* prev_ = nullptr;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Process-global trace collector. All members are static: the tracer is

@@ -14,7 +14,11 @@
 /// reference solvers (edmonds_karp.hpp, push_relabel.hpp) moved into the
 /// installed tree; FlowNetwork::compile() / CompiledNetwork / NetworkView
 /// joined the public graph API.
-#define STREAMREL_API_VERSION 4
+/// v5: removed the deprecated apply_churn(net, server, model) shim (use
+/// churn_delta + apply_delta_in_place); the versioned wire schema
+/// (api/wire.hpp) and the serving daemon (server/*.hpp) joined the
+/// public surface.
+#define STREAMREL_API_VERSION 5
 
 namespace streamrel {
 

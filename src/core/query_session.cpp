@@ -424,6 +424,16 @@ std::uint64_t QuerySession::cache_survived() const {
   return 0;
 }
 
+void QuerySession::set_cache_budget(std::size_t max_mask_tables) {
+  cache_options_.max_mask_tables = max_mask_tables;
+  while (lru_.size() > std::max<std::size_t>(cache_options_.max_mask_tables,
+                                             1)) {
+    layer_counters("masks").counter(telemetry_keys::kCacheEvictions) += 1;
+    mask_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
 bool QuerySession::cacheable(const FlowDemand& demand,
                              const SolveOptions& options) const {
   if (!cache_options_.enabled) return false;

@@ -36,8 +36,4 @@ NetworkDelta churn_delta(const FlowNetwork& net, NodeId server,
   return delta;
 }
 
-void apply_churn(FlowNetwork& net, NodeId server, const ChurnModel& model) {
-  apply_delta_in_place(net, churn_delta(net, server, model));
-}
-
 }  // namespace streamrel

@@ -1,0 +1,461 @@
+#include "streamrel/server/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "streamrel/graph/io.hpp"
+#include "streamrel/util/stopwatch.hpp"
+#include "streamrel/util/table.hpp"
+#include "streamrel/version.hpp"
+
+namespace streamrel {
+
+namespace {
+
+/// Resolves a wire query against the session's registered default
+/// demand: unset members inherit.
+FlowDemand resolve_demand(const FlowDemand& fallback, const WireQuery& query) {
+  FlowDemand demand = fallback;
+  if (query.source) demand.source = *query.source;
+  if (query.sink) demand.sink = *query.sink;
+  if (query.rate) demand.rate = *query.rate;
+  return demand;
+}
+
+std::string lane_json(const LaneSnapshot& snap) {
+  std::string out = "{}";
+  append_json_member(out, "submitted", std::to_string(snap.submitted));
+  append_json_member(out, "completed", std::to_string(snap.completed));
+  append_json_member(out, "rejected", std::to_string(snap.rejected));
+  append_json_member(out, "queued", std::to_string(snap.queued));
+  append_json_member(out, "running", std::to_string(snap.running));
+  append_json_member(out, "ewma_service_ms",
+                     format_double(snap.ewma_service_ms, 4));
+  append_json_member(out, "queue_p50_ms", format_double(snap.queue_p50_ms, 4));
+  append_json_member(out, "queue_p95_ms", format_double(snap.queue_p95_ms, 4));
+  append_json_member(out, "queue_p99_ms", format_double(snap.queue_p99_ms, 4));
+  append_json_member(out, "service_p50_ms",
+                     format_double(snap.service_p50_ms, 4));
+  append_json_member(out, "service_p95_ms",
+                     format_double(snap.service_p95_ms, 4));
+  append_json_member(out, "service_p99_ms",
+                     format_double(snap.service_p99_ms, 4));
+  return out;
+}
+
+}  // namespace
+
+ReliabilityService::ReliabilityService(const ServiceOptions& options)
+    : options_(options),
+      registry_(options.default_cache, options.global_mask_tables) {
+  if (options_.start_workers) {
+    scheduler_ = std::make_unique<RequestScheduler>(options_.scheduler);
+  }
+}
+
+ReliabilityService::~ReliabilityService() {
+  if (scheduler_) scheduler_->stop();
+}
+
+double ReliabilityService::lane_budget_ms(WireLane lane) const noexcept {
+  return lane == WireLane::kInteractive ? options_.interactive_budget_ms
+                                        : options_.bulk_budget_ms;
+}
+
+void ReliabilityService::drain() {
+  if (scheduler_) scheduler_->drain();
+}
+
+std::shared_ptr<TenantSession> ReliabilityService::find_session(
+    const WireRequest& request, WireResponse* error) const {
+  std::shared_ptr<TenantSession> session =
+      registry_.find(request.tenant, request.network_id);
+  if (!session) {
+    *error = make_wire_error(
+        request.id_json, to_string(request.verb), "unknown_network",
+        "unknown tenant/network '" + request.tenant + "/" +
+            request.network_id + "' (register_network first)");
+  }
+  return session;
+}
+
+WireResponse ReliabilityService::do_register(const WireRequest& request) {
+  const NetworkFile file = read_network_from_string(request.network_text);
+  FlowDemand demand = file.demand.value_or(FlowDemand{0, 0, 1});
+  demand = resolve_demand(demand, request.query);
+
+  const RegisterOutcome outcome = registry_.register_network(
+      request.tenant, request.network_id, file.net, demand,
+      request.max_mask_tables);
+
+  WireResponse resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+  std::string result = "{}";
+  append_json_member(result, "tenant", json_quote(request.tenant));
+  append_json_member(result, "network_id", json_quote(request.network_id));
+  append_json_member(result, "nodes", std::to_string(outcome.nodes));
+  append_json_member(result, "edges", std::to_string(outcome.edges));
+  append_json_member(result, "cache_budget",
+                     std::to_string(outcome.cache_budget));
+  append_json_member(result, "replaced", outcome.replaced ? "true" : "false");
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::do_solve(const WireRequest& request,
+                                          const RequestHooks& hooks,
+                                          bool force_expired) {
+  WireResponse resp;
+  const std::shared_ptr<TenantSession> session = find_session(request, &resp);
+  if (!session) return resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+
+  const FlowDemand demand =
+      resolve_demand(session->default_demand(), request.query);
+
+  ExecContext ctx;
+  ctx.max_threads = request.max_threads;
+  ctx.progress = hooks.progress;
+  if (force_expired) {
+    ctx.set_deadline_ms(0.0);
+  } else {
+    ctx.apply_deadline_budgets(request.deadline_ms,
+                               lane_budget_ms(request.lane));
+  }
+
+  SolveOptions options;
+  options.method = request.query.method;
+  options.context = &ctx;
+
+  const Stopwatch timer;
+  const SolveReport report =
+      session->solve(demand, options, request.query.overrides);
+  resp.result_json = render_solve_result(
+      report, timer.elapsed_ms(), request.want_telemetry,
+      force_expired ? std::string_view(", \"shed\": true")
+                    : std::string_view());
+  return resp;
+}
+
+WireResponse ReliabilityService::do_batch(const WireRequest& request,
+                                          const RequestHooks& hooks,
+                                          bool force_expired) {
+  WireResponse resp;
+  const std::shared_ptr<TenantSession> session = find_session(request, &resp);
+  if (!session) return resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+
+  const FlowDemand base_demand = session->default_demand();
+  std::vector<WhatIfQuery> queries;
+  std::vector<FlowDemand> demands;
+  queries.reserve(request.queries.size());
+  demands.reserve(request.queries.size());
+  for (const WireQuery& wq : request.queries) {
+    WhatIfQuery q;
+    q.demand = resolve_demand(base_demand, wq);
+    q.prob_overrides = wq.overrides;
+    q.method = wq.method;
+    q.deadline_ms = wq.deadline_ms;
+    demands.push_back(q.demand);
+    queries.push_back(std::move(q));
+  }
+
+  BatchOptions options;
+  options.max_threads = request.max_threads;
+  options.progress = hooks.progress;
+  if (force_expired) {
+    options.deadline_ms = 1e-9;  // already shed: bounds-only pass
+  } else {
+    double effective = request.deadline_ms;
+    const double budget = lane_budget_ms(request.lane);
+    if (budget > 0.0 && (effective <= 0.0 || budget < effective)) {
+      effective = budget;
+    }
+    options.deadline_ms = effective;
+  }
+
+  const Stopwatch timer;
+  const BatchReport batch = session->batch(queries, options);
+  const double elapsed_ms = timer.elapsed_ms();
+
+  const TenantSession::Stats stats = session->stats();
+  resp.legacy_lines.reserve(batch.reports.size());
+  std::string results = "[";
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    std::string line =
+        render_batch_query_line(i, demands[i], batch.reports[i]);
+    if (i) results += ", ";
+    results += line;
+    resp.legacy_lines.push_back(std::move(line));
+  }
+  results += "]";
+  resp.legacy_summary =
+      render_batch_summary(batch, stats.cache_hits, stats.cache_misses,
+                           stats.cache_evictions, elapsed_ms);
+
+  std::string result = "{}";
+  append_json_member(result, "queries",
+                     std::to_string(batch.reports.size()));
+  append_json_member(result, "exact", std::to_string(batch.exact_count));
+  append_json_member(result, "elapsed_ms", format_double(elapsed_ms, 4));
+  append_json_member(result, "results", results);
+  if (request.want_telemetry) {
+    append_json_member(result, "telemetry", batch.telemetry.to_json());
+  }
+  if (force_expired) append_json_member(result, "shed", "true");
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::do_apply_delta(const WireRequest& request) {
+  WireResponse resp;
+  const std::shared_ptr<TenantSession> session = find_session(request, &resp);
+  if (!session) return resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+
+  const DeltaOutcome outcome = session->apply_delta(request.delta);
+  std::string result = "{}";
+  append_json_member(result, "class",
+                     json_quote(to_string(outcome.applied)));
+  append_json_member(result, "entries_full",
+                     std::to_string(outcome.entries_full));
+  append_json_member(result, "entries_partial",
+                     std::to_string(outcome.entries_partial));
+  append_json_member(result, "entries_survived",
+                     std::to_string(outcome.entries_survived));
+  append_json_member(result, "partitions_survived",
+                     std::to_string(outcome.partitions_survived));
+  append_json_member(result, "assignments_survived",
+                     std::to_string(outcome.assignments_survived));
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::do_replay(const WireRequest& request,
+                                           const RequestHooks& hooks,
+                                           bool force_expired) {
+  (void)hooks;
+  WireResponse resp;
+  const std::shared_ptr<TenantSession> session = find_session(request, &resp);
+  if (!session) return resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+
+  const FlowNetwork net = session->network_copy();
+  const FlowDemand demand = session->default_demand();
+  EventStream events = request.events;
+  sort_event_stream(events);
+
+  ReplayOptions options;
+  options.cache = options_.default_cache;
+  options.use_session = !request.cold;
+  if (force_expired) {
+    options.solve.deadline_ms = 1e-9;
+  } else {
+    double effective = request.deadline_ms;
+    const double budget = lane_budget_ms(request.lane);
+    if (budget > 0.0 && (effective <= 0.0 || budget < effective)) {
+      effective = budget;
+    }
+    options.solve.deadline_ms = effective;
+  }
+  options.solve.max_threads = request.max_threads;
+
+  const Stopwatch timer;
+  const ReplayReport report = replay_churn(net, demand, events, options);
+  const double elapsed_ms = timer.elapsed_ms();
+
+  resp.legacy_lines.reserve(report.series.size() + 1);
+  resp.legacy_lines.push_back(
+      render_replay_initial_line(report.initial_reliability));
+  for (const ReplayEventOutcome& outcome : report.series) {
+    resp.legacy_lines.push_back(render_replay_event_line(outcome));
+  }
+  resp.legacy_summary =
+      render_replay_summary(report, !request.cold, elapsed_ms);
+
+  std::string result = "{}";
+  append_json_member(result, "events", std::to_string(report.series.size()));
+  append_json_member(result, "initial_reliability",
+                     format_double(report.initial_reliability, 10));
+  append_json_member(result, "final_reliability",
+                     format_double(report.final_reliability, 10));
+  append_json_member(result, "artifact_survival_rate",
+                     format_double(report.artifact_survival_rate, 6));
+  append_json_member(result, "mode",
+                     request.cold ? "\"cold\"" : "\"warm\"");
+  if (request.want_telemetry) {
+    append_json_member(result, "telemetry", report.telemetry.to_json());
+  }
+  if (force_expired) append_json_member(result, "shed", "true");
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+std::string ReliabilityService::stats_json() const {
+  std::string out = "{}";
+  append_json_member(out, "wire_schema", std::to_string(kWireSchemaVersion));
+  append_json_member(out, "api_version",
+                     std::to_string(STREAMREL_API_VERSION));
+  append_json_member(out, "sessions", std::to_string(registry_.size()));
+  append_json_member(
+      out, "requests",
+      std::to_string(requests_total_.load(std::memory_order_relaxed)));
+  append_json_member(
+      out, "errors",
+      std::to_string(errors_total_.load(std::memory_order_relaxed)));
+  append_json_member(
+      out, "shed",
+      std::to_string(shed_total_.load(std::memory_order_relaxed)));
+  if (scheduler_) {
+    std::string lanes = "{}";
+    append_json_member(
+        lanes, "interactive",
+        lane_json(scheduler_->lane_snapshot(WireLane::kInteractive)));
+    append_json_member(lanes, "bulk",
+                       lane_json(scheduler_->lane_snapshot(WireLane::kBulk)));
+    append_json_member(out, "lanes", lanes);
+  }
+  std::string tenants = "{}";
+  for (const auto& [name, session] : registry_.snapshot()) {
+    const TenantSession::Stats s = session->stats();
+    std::string t = "{}";
+    append_json_member(t, "queries", std::to_string(s.queries));
+    append_json_member(t, "cache_hits", std::to_string(s.cache_hits));
+    append_json_member(t, "cache_misses", std::to_string(s.cache_misses));
+    append_json_member(t, "cache_evictions",
+                       std::to_string(s.cache_evictions));
+    append_json_member(t, "mask_tables", std::to_string(s.mask_tables));
+    append_json_member(t, "budget", std::to_string(s.budget));
+    append_json_member(tenants, name, t);
+  }
+  append_json_member(out, "tenants", tenants);
+  return out;
+}
+
+WireResponse ReliabilityService::execute_impl(const WireRequest& request,
+                                              const RequestHooks& hooks,
+                                              bool force_expired) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (force_expired) shed_total_.fetch_add(1, std::memory_order_relaxed);
+  WireResponse resp;
+  try {
+    std::optional<TraceCapture> capture;
+    if (request.want_trace) capture.emplace();
+    switch (request.verb) {
+      case WireVerb::kRegisterNetwork:
+        resp = do_register(request);
+        break;
+      case WireVerb::kSolve:
+        resp = do_solve(request, hooks, force_expired);
+        break;
+      case WireVerb::kBatch:
+        resp = do_batch(request, hooks, force_expired);
+        break;
+      case WireVerb::kApplyDelta:
+        resp = do_apply_delta(request);
+        break;
+      case WireVerb::kReplay:
+        resp = do_replay(request, hooks, force_expired);
+        break;
+      case WireVerb::kStats:
+        resp.id_json = request.id_json;
+        resp.verb.assign(to_string(request.verb));
+        resp.result_json = stats_json();
+        break;
+      case WireVerb::kShutdown:
+        shutdown_.store(true, std::memory_order_relaxed);
+        resp.id_json = request.id_json;
+        resp.verb.assign(to_string(request.verb));
+        resp.result_json = "{\"stopping\": true}";
+        break;
+    }
+    if (capture && resp.ok) {
+      append_json_member(resp.result_json, "trace", capture->summary_json());
+    }
+  } catch (const WireParseError& e) {
+    resp = make_wire_error(request.id_json, to_string(request.verb), e.code(),
+                           e.what());
+  } catch (const std::invalid_argument& e) {
+    resp = make_wire_error(request.id_json, to_string(request.verb),
+                           "bad_request", e.what());
+  } catch (const std::exception& e) {
+    resp = make_wire_error(request.id_json, to_string(request.verb),
+                           "internal", e.what());
+  }
+  if (!resp.ok) errors_total_.fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
+void ReliabilityService::handle_line(std::string_view line,
+                                     std::function<void(WireResponse)> done,
+                                     const RequestHooks& hooks) {
+  WireRequest request;
+  try {
+    request = parse_wire_request(line);
+  } catch (const WireParseError& e) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    done(make_wire_error(e.id_json(), e.verb(), e.code(), e.what()));
+    return;
+  }
+
+  const bool compute = request.verb == WireVerb::kSolve ||
+                       request.verb == WireVerb::kBatch ||
+                       request.verb == WireVerb::kReplay;
+  if (!compute || !scheduler_) {
+    done(execute(request, hooks));
+    return;
+  }
+
+  // Effective admission deadline: the request budget tightened by the
+  // lane budget. The scheduler sorts by it; we shed up front when the
+  // estimated queue wait alone would blow it, and again at pick-up time
+  // when the wait actually did.
+  double effective_ms = request.deadline_ms;
+  const double budget = lane_budget_ms(request.lane);
+  if (budget > 0.0 && (effective_ms <= 0.0 || budget < effective_ms)) {
+    effective_ms = budget;
+  }
+  const bool shed_hint =
+      effective_ms > 0.0 &&
+      scheduler_->estimate_queue_ms(request.lane) > effective_ms;
+
+  using Clock = std::chrono::steady_clock;
+  const bool has_deadline = effective_ms > 0.0;
+  const Clock::time_point admitted = Clock::now();
+  const Clock::duration budget_dur =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              has_deadline ? effective_ms : 0.0));
+
+  // std::function requires copyable callables: share the request and
+  // completion across the copies.
+  auto shared_request = std::make_shared<WireRequest>(std::move(request));
+  auto shared_done =
+      std::make_shared<std::function<void(WireResponse)>>(std::move(done));
+  auto shared_hooks = std::make_shared<RequestHooks>(hooks);
+  const bool admitted_ok = scheduler_->submit(
+      shared_request->lane, effective_ms,
+      [this, shared_request, shared_done, shared_hooks, shed_hint,
+       has_deadline, admitted, budget_dur] {
+        const bool expired_in_queue =
+            has_deadline && Clock::now() >= admitted + budget_dur;
+        (*shared_done)(execute_impl(*shared_request, *shared_hooks,
+                                    shed_hint || expired_in_queue));
+      });
+  if (!admitted_ok) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    (*shared_done)(make_wire_error(
+        shared_request->id_json, to_string(shared_request->verb), "overloaded",
+        "lane '" + std::string(to_string(shared_request->lane)) +
+            "' queue is full"));
+  }
+}
+
+}  // namespace streamrel

@@ -1,0 +1,222 @@
+#include "streamrel/server/session_registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "streamrel/util/telemetry.hpp"
+#include "streamrel/util/trace.hpp"
+
+namespace streamrel {
+
+TenantSession::TenantSession(FlowNetwork net, FlowDemand default_demand,
+                             const QueryCacheOptions& cache_options,
+                             bool explicit_budget)
+    : session_(std::move(net), cache_options),
+      default_demand_(default_demand),
+      explicit_budget_(explicit_budget) {}
+
+SolveReport TenantSession::solve(const FlowDemand& demand,
+                                 const SolveOptions& options,
+                                 std::span<const ProbOverride> overrides) {
+  ExecContext* ctx = options.context;
+  // The service always provides the context; a bare local keeps the
+  // QuerySession contract for direct (test) callers.
+  ExecContext local;
+  if (!ctx) {
+    if (options.deadline_ms > 0.0) local.set_deadline_ms(options.deadline_ms);
+    local.max_threads = options.max_threads;
+    ctx = &local;
+  }
+
+  const auto query_start = std::chrono::steady_clock::now();
+  SolveReport report;
+  QuerySession::PreparedQuery prepared;
+  SolveOptions effective = options;
+  // The pending hint must be COPIED out: the member can be rewritten by
+  // a concurrent apply_delta once the writer lock is released.
+  std::optional<DeltaSolveHint> hint_copy;
+
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    session_.validate_overrides(overrides);
+    if (!effective.delta_hint && session_.pending_hint_) {
+      hint_copy = *session_.pending_hint_;
+      effective.delta_hint = &*hint_copy;
+    }
+    session_.telemetry_.counter(telemetry_keys::kQueries) += 1;
+    {
+      TraceSpan span("query_prepare", "cache");
+      const std::uint64_t hits = span.active() ? session_.cache_hits() : 0;
+      const std::uint64_t misses = span.active() ? session_.cache_misses() : 0;
+      prepared = session_.prepare_cached(demand, effective, *ctx);
+      if (span.active()) {
+        span.arg("cache_hits", session_.cache_hits() - hits)
+            .arg("cache_misses", session_.cache_misses() - misses)
+            .arg("bottleneck_path", prepared.bottleneck_path);
+      }
+    }
+    if (!prepared.bottleneck_path) {
+      // The fallback solves against net_ (override guard mutates it):
+      // stay under the writer lock for the whole solve.
+      session_.telemetry_.counter(telemetry_keys::kFallbackSolves) += 1;
+      report = session_.solve_fallback(demand, effective, overrides, *ctx);
+      session_.telemetry_.child("solves").merge(report.result.telemetry);
+      session_.telemetry_.histogram("query_latency")
+          .record_ms(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - query_start)
+                         .count());
+      session_.telemetry_.timer_ms("query_ms") +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - query_start)
+              .count();
+      return report;
+    }
+  }
+
+  {
+    // The warm path only reads the cached artifacts and the partition
+    // entry — concurrent solves of the same tenant share this lock.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    report = session_.finish_prepared(prepared, effective, overrides, ctx);
+  }
+  if (report.result.status != SolveStatus::kExact && !report.bounds) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    report.bounds =
+        session_.bounds_with_overrides(demand, effective.bounds, overrides);
+  }
+  ctx->telemetry.merge(report.result.telemetry);
+
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    session_.telemetry_.child("solves").merge(report.result.telemetry);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - query_start)
+            .count();
+    session_.telemetry_.histogram("query_latency").record_ms(elapsed_ms);
+    session_.telemetry_.timer_ms("query_ms") += elapsed_ms;
+  }
+  return report;
+}
+
+BatchReport TenantSession::batch(std::span<const WhatIfQuery> queries,
+                                 const BatchOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  BatchEvaluator evaluator(session_);
+  return evaluator.evaluate(queries, options);
+}
+
+DeltaOutcome TenantSession::apply_delta(const NetworkDelta& delta) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const DeltaOutcome outcome = session_.apply_delta(delta);
+  // Keep the default demand anchored across topology renumbering.
+  if (outcome.applied == DeltaClass::kTopology) {
+    const auto remap = [&outcome](NodeId id) {
+      return id >= 0 && static_cast<std::size_t>(id) < outcome.node_map.size()
+                 ? outcome.node_map[static_cast<std::size_t>(id)]
+                 : id;
+    };
+    default_demand_.source = remap(default_demand_.source);
+    default_demand_.sink = remap(default_demand_.sink);
+  }
+  return outcome;
+}
+
+FlowNetwork TenantSession::network_copy() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return session_.network();
+}
+
+FlowDemand TenantSession::default_demand() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return default_demand_;
+}
+
+void TenantSession::set_cache_budget(std::size_t max_mask_tables) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  session_.set_cache_budget(max_mask_tables);
+}
+
+TenantSession::Stats TenantSession::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats s;
+  s.queries = session_.telemetry().counter_or(telemetry_keys::kQueries);
+  s.cache_hits = session_.cache_hits();
+  s.cache_misses = session_.cache_misses();
+  s.cache_evictions = session_.cache_evictions();
+  s.mask_tables = session_.cached_mask_tables();
+  s.budget = session_.cache_budget();
+  return s;
+}
+
+SessionRegistry::SessionRegistry(QueryCacheOptions default_cache,
+                                 std::size_t global_mask_tables)
+    : default_cache_(default_cache),
+      global_mask_tables_(std::max<std::size_t>(global_mask_tables, 1)) {}
+
+RegisterOutcome SessionRegistry::register_network(
+    const std::string& tenant, const std::string& network_id, FlowNetwork net,
+    FlowDemand default_demand, std::optional<std::size_t> max_mask_tables) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegisterOutcome outcome;
+  outcome.nodes = net.num_nodes();
+  outcome.edges = net.num_edges();
+
+  QueryCacheOptions cache = default_cache_;
+  const bool explicit_budget = max_mask_tables.has_value();
+  if (explicit_budget) {
+    cache.max_mask_tables = std::min(*max_mask_tables, global_mask_tables_);
+  }
+  auto session = std::make_shared<TenantSession>(
+      std::move(net), default_demand, cache, explicit_budget);
+
+  const auto key = std::make_pair(tenant, network_id);
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    outcome.replaced = true;
+    if (!it->second->explicit_budget()) implicit_count_ -= 1;
+    it->second = session;
+  } else {
+    sessions_.emplace(key, session);
+  }
+  if (!explicit_budget) implicit_count_ += 1;
+  rebalance_locked();
+  outcome.cache_budget = session->stats().budget;
+  return outcome;
+}
+
+void SessionRegistry::rebalance_locked() {
+  if (implicit_count_ == 0) return;
+  // Implicit sessions split the global cap evenly; explicit budgets were
+  // clamped at registration and are left alone.
+  const std::size_t share =
+      std::max<std::size_t>(global_mask_tables_ / implicit_count_, 1);
+  for (auto& [key, session] : sessions_) {
+    if (!session->explicit_budget()) session->set_cache_budget(share);
+  }
+}
+
+std::shared_ptr<TenantSession> SessionRegistry::find(
+    const std::string& tenant, const std::string& network_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(std::make_pair(tenant, network_id));
+  return it != sessions_.end() ? it->second : nullptr;
+}
+
+std::size_t SessionRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<TenantSession>>>
+SessionRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<TenantSession>>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) {
+    out.emplace_back(key.first + "/" + key.second, session);
+  }
+  return out;
+}
+
+}  // namespace streamrel

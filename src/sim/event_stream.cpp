@@ -27,6 +27,15 @@ double require_number(const JsonValue& obj, std::string_view key) {
   return v->as_number();
 }
 
+const JsonValue& require_member(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (!v) {
+    throw std::invalid_argument("event stream: missing \"" +
+                                std::string(key) + "\"");
+  }
+  return *v;
+}
+
 int as_id(const JsonValue& v, std::string_view what) {
   const double n = v.as_number();
   if (n < 0.0 || n != std::floor(n)) {
@@ -35,52 +44,58 @@ int as_id(const JsonValue& v, std::string_view what) {
   return static_cast<int>(n);
 }
 
-void parse_event(const JsonValue& item, ChurnEvent& event) {
-  event.time = require_number(item, "time");
-  if (const JsonValue* label = item.find("label")) {
-    event.label = label->as_string();
-  }
-  if (const JsonValue* edits = item.find("set_failure_prob")) {
+}  // namespace
+
+NetworkDelta parse_delta_json(const JsonValue& obj) {
+  NetworkDelta delta;
+  if (const JsonValue* edits = obj.find("set_failure_prob")) {
     for (const JsonValue& e : edits->as_array()) {
-      event.delta.set_failure_prob(as_id(*e.find("edge"), "edge id"),
-                                   require_number(e, "p"));
+      delta.set_failure_prob(as_id(require_member(e, "edge"), "edge id"),
+                             require_number(e, "p"));
     }
   }
-  if (const JsonValue* edits = item.find("set_capacity")) {
+  if (const JsonValue* edits = obj.find("set_capacity")) {
     for (const JsonValue& e : edits->as_array()) {
-      event.delta.set_capacity(
-          as_id(*e.find("edge"), "edge id"),
-          static_cast<Capacity>(require_number(e, "c")));
+      delta.set_capacity(as_id(require_member(e, "edge"), "edge id"),
+                         static_cast<Capacity>(require_number(e, "c")));
     }
   }
-  if (const JsonValue* n = item.find("add_nodes")) {
-    event.delta.nodes_added = as_id(*n, "add_nodes count");
+  if (const JsonValue* n = obj.find("add_nodes")) {
+    delta.nodes_added = as_id(*n, "add_nodes count");
   }
-  if (const JsonValue* adds = item.find("add_edge")) {
+  if (const JsonValue* adds = obj.find("add_edge")) {
     for (const JsonValue& e : adds->as_array()) {
       const JsonValue* directed = e.find("directed");
-      event.delta.add_edge(as_id(*e.find("u"), "endpoint"),
-                           as_id(*e.find("v"), "endpoint"),
-                           static_cast<Capacity>(require_number(e, "c")),
-                           require_number(e, "p"),
-                           directed && directed->as_bool()
-                               ? EdgeKind::kDirected
-                               : EdgeKind::kUndirected);
+      delta.add_edge(as_id(require_member(e, "u"), "endpoint"),
+                     as_id(require_member(e, "v"), "endpoint"),
+                     static_cast<Capacity>(require_number(e, "c")),
+                     require_number(e, "p"),
+                     directed && directed->as_bool() ? EdgeKind::kDirected
+                                                     : EdgeKind::kUndirected);
     }
   }
-  if (const JsonValue* removes = item.find("remove_edge")) {
+  if (const JsonValue* removes = obj.find("remove_edge")) {
     for (const JsonValue& e : removes->as_array()) {
-      event.delta.remove_edge(as_id(e, "edge id"));
+      delta.remove_edge(as_id(e, "edge id"));
     }
   }
-  if (const JsonValue* removes = item.find("remove_node")) {
+  if (const JsonValue* removes = obj.find("remove_node")) {
     for (const JsonValue& e : removes->as_array()) {
-      event.delta.remove_node(as_id(e, "node id"));
+      delta.remove_node(as_id(e, "node id"));
     }
   }
+  return delta;
 }
 
-}  // namespace
+ChurnEvent parse_churn_event(const JsonValue& obj) {
+  ChurnEvent event;
+  event.time = require_number(obj, "time");
+  if (const JsonValue* label = obj.find("label")) {
+    event.label = label->as_string();
+  }
+  event.delta = parse_delta_json(obj);
+  return event;
+}
 
 EventStream parse_event_stream(std::string_view json_text) {
   const JsonValue doc = parse_json(json_text);
@@ -91,9 +106,7 @@ EventStream parse_event_stream(std::string_view json_text) {
   EventStream out;
   out.reserve(events->as_array().size());
   for (const JsonValue& item : events->as_array()) {
-    ChurnEvent event;
-    parse_event(item, event);
-    out.push_back(std::move(event));
+    out.push_back(parse_churn_event(item));
   }
   return out;
 }

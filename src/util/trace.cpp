@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -11,6 +12,7 @@ namespace streamrel {
 
 namespace trace_detail {
 std::atomic<bool> g_enabled{false};
+thread_local TraceCapture* t_capture = nullptr;
 }  // namespace trace_detail
 
 namespace {
@@ -132,7 +134,56 @@ std::uint64_t Tracer::now_ns() {
   return steady_now_ns() - r.epoch_ns;
 }
 
-void Tracer::record(TraceEvent event) { thread_ring().push(std::move(event)); }
+void Tracer::record(TraceEvent event) {
+  // A bound per-request capture wins over the global rings: the request's
+  // own spans must not leak into (or out of) concurrently traced tenants.
+  if (TraceCapture* capture = trace_detail::t_capture) {
+    capture->push(std::move(event));
+    return;
+  }
+  thread_ring().push(std::move(event));
+}
+
+TraceCapture::TraceCapture() : prev_(trace_detail::t_capture) {
+  trace_detail::t_capture = this;
+}
+
+TraceCapture::~TraceCapture() { trace_detail::t_capture = prev_; }
+
+void TraceCapture::push(TraceEvent event) {
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::string TraceCapture::summary_json() const {
+  struct SpanStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, SpanStats> spans;
+  for (const TraceEvent& event : events_) {
+    SpanStats& s = spans[event.name];
+    s.count += 1;
+    s.total_ns += event.dur_ns;
+  }
+  std::string out = "{\"events\": " + std::to_string(events_.size()) +
+                    ", \"dropped\": " + std::to_string(dropped_) +
+                    ", \"spans\": {";
+  bool first = true;
+  for (const auto& [name, stats] : spans) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(stats.count) +
+           ", \"total_us\": " + std::to_string(stats.total_ns / 1000) + "}";
+  }
+  out += "}}";
+  return out;
+}
 
 std::uint64_t Tracer::event_count() {
   Registry& r = registry();

@@ -1,0 +1,459 @@
+// The daemon stack end to end, in process: service verbs over registered
+// tenants, stream framing, shedding under a saturated scheduler, and the
+// concurrent-tenant isolation the threading hardening promises. The TCP
+// transport gets one loopback smoke (skipped if sockets are unavailable).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "streamrel/api/wire.hpp"
+#include "streamrel/core/batch_evaluator.hpp"
+#include "streamrel/core/query_session.hpp"
+#include "streamrel/graph/generators.hpp"
+#include "streamrel/graph/io.hpp"
+#include "streamrel/server/service.hpp"
+#include "streamrel/server/transport.hpp"
+#include "streamrel/util/json.hpp"
+#include "streamrel/util/prng.hpp"
+#include "streamrel/util/trace.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace streamrel {
+namespace {
+
+/// Minimal blocking loopback client: connects, writes `script`, shuts
+/// down the write side, and reads until `expected` newline-terminated
+/// replies (or EOF). Returns the reply lines.
+std::vector<std::string> tcp_client_exchange(const char* host,
+                                             std::uint16_t port,
+                                             const std::string& script,
+                                             std::size_t expected) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Network byte order by hand; the htons macro trips -Wold-style-cast.
+  unsigned char* port_bytes = reinterpret_cast<unsigned char*>(&addr.sin_port);
+  port_bytes[0] = static_cast<unsigned char>(port >> 8);
+  port_bytes[1] = static_cast<unsigned char>(port & 0xFF);
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < script.size()) {
+    const ssize_t n =
+        ::send(fd, script.data() + sent, script.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  std::vector<std::string> lines;
+  char chunk[4096];
+  while (lines.size() < expected) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    for (std::size_t nl = buffer.find('\n', pos); nl != std::string::npos;
+         nl = buffer.find('\n', pos)) {
+      lines.push_back(buffer.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    buffer.erase(0, pos);
+  }
+  ::close(fd);
+  return lines;
+}
+
+GeneratedNetwork test_instance(std::uint64_t seed = 5) {
+  Xoshiro256 rng(seed);
+  ClusteredParams params;
+  params.nodes_s = 5;
+  params.extra_edges_s = 3;
+  params.nodes_t = 4;
+  params.extra_edges_t = 2;
+  params.bottleneck_links = 2;
+  params.bottleneck_caps = {1, 3};
+  return clustered_bottleneck(rng, params);
+}
+
+WireRequest register_request(const GeneratedNetwork& g,
+                             const std::string& tenant = "default",
+                             const std::string& network_id = "default") {
+  WireRequest reg;
+  reg.verb = WireVerb::kRegisterNetwork;
+  reg.tenant = tenant;
+  reg.network_id = network_id;
+  reg.network_text = network_to_string(g.net);
+  reg.query.source = g.source;
+  reg.query.sink = g.sink;
+  reg.query.rate = 2;
+  return reg;
+}
+
+WireRequest batch_request(const std::string& tenant = "default") {
+  WireRequest req;
+  req.verb = WireVerb::kBatch;
+  req.lane = WireLane::kBulk;
+  req.tenant = tenant;
+  req.queries.resize(3);
+  req.queries[1].rate = 1;
+  req.queries[2].overrides.push_back(ProbOverride{0, 0.5});
+  return req;
+}
+
+TEST(Server, WarmBatchIsBitwiseEqualToColdAndToInProcess) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  const WireResponse cold = service.execute(batch_request());
+  ASSERT_TRUE(cold.ok);
+  ASSERT_EQ(cold.legacy_lines.size(), 3u);
+
+  const WireResponse warm = service.execute(batch_request());
+  ASSERT_TRUE(warm.ok);
+  // Warm answers reuse the cold arithmetic: identical rendered lines.
+  EXPECT_EQ(warm.legacy_lines, cold.legacy_lines);
+
+  // And both match a fresh in-process QuerySession + BatchEvaluator.
+  const FlowDemand demand{g.source, g.sink, 2};
+  QuerySession session(g.net);
+  BatchEvaluator evaluator(session);
+  std::vector<WhatIfQuery> queries(3);
+  for (WhatIfQuery& q : queries) q.demand = demand;
+  queries[1].demand.rate = 1;
+  queries[2].prob_overrides.push_back(ProbOverride{0, 0.5});
+  const BatchReport batch = evaluator.evaluate(queries, {});
+  ASSERT_EQ(batch.reports.size(), 3u);
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    EXPECT_EQ(cold.legacy_lines[i],
+              render_batch_query_line(i, queries[i].demand, batch.reports[i]));
+  }
+}
+
+TEST(Server, DeltaInvalidatesAndWarmMatchesColdOnTheMutatedNetwork) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  const WireResponse before = service.execute(batch_request());
+  ASSERT_TRUE(before.ok);
+
+  WireRequest delta;
+  delta.verb = WireVerb::kApplyDelta;
+  delta.delta.set_failure_prob(0, 0.9);
+  const WireResponse applied = service.execute(delta);
+  ASSERT_TRUE(applied.ok);
+  EXPECT_NE(applied.result_json.find("\"class\""), std::string::npos);
+
+  const WireResponse warm = service.execute(batch_request());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_NE(warm.legacy_lines, before.legacy_lines);
+
+  // Cold reference on the mutated network.
+  FlowNetwork mutated = g.net;
+  mutated.set_failure_prob(0, 0.9);
+  const FlowDemand demand{g.source, g.sink, 2};
+  QuerySession session(mutated);
+  BatchEvaluator evaluator(session);
+  std::vector<WhatIfQuery> queries(3);
+  for (WhatIfQuery& q : queries) q.demand = demand;
+  queries[1].demand.rate = 1;
+  queries[2].prob_overrides.push_back(ProbOverride{0, 0.5});
+  const BatchReport batch = evaluator.evaluate(queries, {});
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    EXPECT_EQ(warm.legacy_lines[i],
+              render_batch_query_line(i, queries[i].demand, batch.reports[i]));
+  }
+}
+
+TEST(Server, DeadlineStopIsAStructuredResultNotAnError) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  solve.deadline_ms = 1e-7;
+  const WireResponse resp = service.execute(solve);
+  ASSERT_TRUE(resp.ok);  // the no-throw contract extends to the wire
+  EXPECT_NE(resp.result_json.find("\"status\": \"deadline_expired\""),
+            std::string::npos);
+  EXPECT_NE(resp.result_json.find("\"bounds\""), std::string::npos);
+}
+
+TEST(Server, UnknownTenantAndVerbErrorsAreStructured) {
+  ReliabilityService service;
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  solve.tenant = "ghost";
+  const WireResponse resp = service.execute(solve);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "unknown_network");
+  EXPECT_NE(resp.error_message.find("ghost/default"), std::string::npos);
+}
+
+TEST(Server, StreamSurvivesMalformedLines) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  std::stringstream in;
+  in << serialize_wire_request(register_request(g)) << "\n"
+     << "this is not json\n"
+     << R"({"v": 1, "id": 2, "verb": "probe"})" << "\n"
+     << R"({"v": 1, "id": 3, "verb": "solve"})" << "\n"
+     << R"({"v": 1, "id": 4, "verb": "shutdown"})" << "\n"
+     << R"({"v": 1, "id": 5, "verb": "stats"})" << "\n";  // after shutdown
+  std::stringstream out;
+  const StreamServeResult served = serve_stream(service, in, out);
+  EXPECT_TRUE(served.shutdown);
+  EXPECT_EQ(served.lines, 5u);  // the post-shutdown line is never read
+  EXPECT_EQ(served.responses, 5u);
+
+  std::vector<JsonValue> docs;
+  std::string line;
+  while (std::getline(out, line)) docs.push_back(parse_json(line));
+  ASSERT_EQ(docs.size(), 5u);
+  EXPECT_TRUE(docs[0].find("ok")->as_bool());
+  EXPECT_FALSE(docs[1].find("ok")->as_bool());
+  EXPECT_EQ(docs[1].find("error")->find("code")->as_string(), "parse_error");
+  EXPECT_FALSE(docs[2].find("ok")->as_bool());
+  EXPECT_EQ(docs[2].find("error")->find("code")->as_string(), "unknown_verb");
+  EXPECT_EQ(docs[2].find("id")->as_number(), 2.0);
+  EXPECT_TRUE(docs[3].find("ok")->as_bool());
+  EXPECT_TRUE(docs[4].find("ok")->as_bool());
+}
+
+TEST(Server, SaturatedSchedulerShedsWithBoundsAttached) {
+  const GeneratedNetwork g = test_instance();
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = 1;
+  ReliabilityService service(options);
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  std::mutex mu;
+  std::vector<WireResponse> responses;
+  auto done = [&](WireResponse resp) {
+    const std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(resp));
+  };
+  // One bulk batch to occupy the single worker, then interactive solves
+  // whose microscopic deadlines are blown by the time a worker frees up.
+  WireRequest bulk = batch_request();
+  bulk.id_json = "\"bulk\"";
+  service.handle_line(serialize_wire_request(bulk), done);
+  for (int i = 0; i < 8; ++i) {
+    WireRequest solve;
+    solve.verb = WireVerb::kSolve;
+    solve.id_json = std::to_string(100 + i);
+    solve.deadline_ms = 1e-6;
+    service.handle_line(serialize_wire_request(solve), done);
+  }
+  service.drain();
+
+  const std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(responses.size(), 9u);  // every request got a response
+  std::size_t shed = 0;
+  for (const WireResponse& resp : responses) {
+    if (resp.id_json == "\"bulk\"") continue;
+    ASSERT_TRUE(resp.ok) << resp.error_message;
+    if (resp.result_json.find("\"shed\": true") != std::string::npos) {
+      ++shed;
+      EXPECT_NE(resp.result_json.find("deadline_expired"), std::string::npos);
+      EXPECT_NE(resp.result_json.find("\"bounds\""), std::string::npos);
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(service.shed_count(), shed);
+}
+
+TEST(Server, ConcurrentTenantsStayIsolated) {
+  constexpr int kTenants = 4;
+  constexpr int kRoundsPerTenant = 12;
+  std::vector<GeneratedNetwork> nets;
+  ReliabilityService service;
+  std::vector<WireResponse> baselines;
+  for (int t = 0; t < kTenants; ++t) {
+    nets.push_back(test_instance(static_cast<std::uint64_t>(7 + t)));
+    const std::string tenant = "tenant" + std::to_string(t);
+    ASSERT_TRUE(service.execute(register_request(nets.back(), tenant)).ok);
+    baselines.push_back(service.execute(batch_request(tenant)));
+    ASSERT_TRUE(baselines.back().ok);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tenant = "tenant" + std::to_string(t);
+      for (int round = 0; round < kRoundsPerTenant; ++round) {
+        // Readers: warm batches must keep answering the registered
+        // network's question no matter what other tenants do.
+        const WireResponse warm = service.execute(batch_request(tenant));
+        if (!warm.ok || warm.legacy_lines != baselines[static_cast<std::size_t>(t)].legacy_lines) {
+          failures.fetch_add(1);
+        }
+        // And a point query through the interactive path.
+        WireRequest solve;
+        solve.verb = WireVerb::kSolve;
+        solve.tenant = tenant;
+        solve.want_trace = true;
+        if (!service.execute(solve).ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const JsonValue stats = parse_json(service.stats_json());
+  EXPECT_EQ(stats.find("sessions")->as_number(), 4.0);
+  const JsonValue* tenants = stats.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  EXPECT_NE(tenants->find("tenant0/default"), nullptr);
+}
+
+TEST(Server, ConcurrentDeltasAndReadsOnOneTenant) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20; ++i) {
+      WireRequest delta;
+      delta.verb = WireVerb::kApplyDelta;
+      delta.delta.set_failure_prob(0, 0.05 + 0.01 * static_cast<double>(i % 5));
+      if (!service.execute(delta).ok) failures.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        WireRequest solve;
+        solve.verb = WireVerb::kSolve;
+        const WireResponse resp = service.execute(solve);
+        if (!resp.ok) failures.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Server, ReplayVerbMatchesTheStandaloneRenderers) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  WireRequest replay;
+  replay.verb = WireVerb::kReplay;
+  replay.events.resize(2);
+  replay.events[0].time = 1.0;
+  replay.events[0].label = "degrade";
+  replay.events[0].delta.set_failure_prob(0, 0.5);
+  replay.events[1].time = 2.0;
+  replay.events[1].delta.set_failure_prob(0, 0.1);
+  const WireResponse warm = service.execute(replay);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.legacy_lines.size(), 3u);  // initial + 2 events
+
+  replay.cold = true;
+  const WireResponse cold = service.execute(replay);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_EQ(cold.legacy_lines.size(), warm.legacy_lines.size());
+  // Warm (session) and cold (recompile) replays agree on the R(t)
+  // series; only the cache columns differ (cold has no cache to keep).
+  for (std::size_t i = 0; i < warm.legacy_lines.size(); ++i) {
+    const JsonValue w = parse_json(warm.legacy_lines[i]);
+    const JsonValue c = parse_json(cold.legacy_lines[i]);
+    EXPECT_EQ(w.find("reliability")->as_number(),
+              c.find("reliability")->as_number());
+  }
+  EXPECT_NE(warm.legacy_summary.find("\"mode\": \"warm\""),
+            std::string::npos);
+  EXPECT_NE(cold.legacy_summary.find("\"mode\": \"cold\""),
+            std::string::npos);
+  // Replay is read-only: the registered session still answers cold.
+  EXPECT_TRUE(service.execute(batch_request()).ok);
+}
+
+TEST(Server, PerRequestTraceCaptureDoesNotLeakAcrossThreads) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  Tracer::clear();
+  WireRequest traced;
+  traced.verb = WireVerb::kSolve;
+  traced.want_trace = true;
+  const WireResponse resp = service.execute(traced);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(resp.result_json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(resp.result_json.find("query_prepare"), std::string::npos);
+  // Captured spans were diverted, not published to the global rings.
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST(Server, TcpLoopbackRoundTrip) {
+  const GeneratedNetwork g = test_instance();
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = 2;
+  ReliabilityService service(options);
+
+  std::unique_ptr<TcpServer> server;
+  try {
+    server = std::make_unique<TcpServer>(service, TcpServerOptions{});
+  } catch (const std::exception& e) {
+    GTEST_SKIP() << "no loopback TCP available: " << e.what();
+  }
+  std::thread runner([&] { server->run(); });
+
+  std::stringstream script;
+  WireRequest reg = register_request(g);
+  reg.id_json = "1";
+  script << serialize_wire_request(reg) << "\n";
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  solve.id_json = "2";
+  script << serialize_wire_request(solve) << "\n";
+
+  const std::vector<std::string> replies =
+      tcp_client_exchange("127.0.0.1", server->port(), script.str(), 2);
+  server->stop();
+  runner.join();
+
+  ASSERT_EQ(replies.size(), 2u);
+  bool saw_solve = false;
+  for (const std::string& line : replies) {
+    const JsonValue doc = parse_json(line);
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+    if (doc.find("id")->as_number() == 2.0) {
+      saw_solve = true;
+      EXPECT_NE(doc.find("result")->find("reliability"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_solve);
+}
+
+}  // namespace
+}  // namespace streamrel

@@ -4,7 +4,7 @@
 
 #include <streamrel/streamrel.hpp>
 
-static_assert(STREAMREL_API_VERSION >= 4, "stale public surface");
+static_assert(STREAMREL_API_VERSION >= 5, "stale public surface");
 
 namespace {
 
@@ -21,5 +21,10 @@ namespace {
     &streamrel::FlowNetwork::compile;
 [[maybe_unused]] constexpr std::size_t kSolverSizes =
     sizeof(streamrel::EdmondsKarpSolver) + sizeof(streamrel::PushRelabelSolver);
+
+// The wire schema (API v5) must be reachable from the installed tree.
+[[maybe_unused]] streamrel::WireRequest (*const kParseWire)(
+    std::string_view) = &streamrel::parse_wire_request;
+static_assert(streamrel::kWireSchemaVersion >= 1, "wire schema regressed");
 
 }  // namespace

@@ -1,0 +1,114 @@
+// The reliability service daemon: multi-tenant QuerySession serving
+// over the versioned wire schema (api/wire.hpp, docs/SERVER.md).
+//
+//   streamrel_serve [--port N] [--bind ADDR] [--stdio]
+//                   [--workers N] [--bulk-share N] [--max-queue N]
+//                   [--memory-cap N] [--interactive-budget-ms MS]
+//                   [--bulk-budget-ms MS] [--metrics-interval-ms MS]
+//
+// --stdio serves newline-delimited JSON on stdin/stdout (the CI smoke
+// job and scripting mode); otherwise a TCP listener on --bind:--port
+// (port 0 picks an ephemeral port, printed on startup). SIGINT/SIGTERM
+// and the "shutdown" verb stop the daemon after in-flight work drains.
+// --memory-cap is the global mask-table budget shared by all sessions;
+// --metrics-interval-ms > 0 prints a periodic stats line to stderr.
+
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "streamrel/server/transport.hpp"
+#include "streamrel/util/cli.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+int run(const CliArgs& args) {
+  ServiceOptions options;
+  options.global_mask_tables =
+      static_cast<std::size_t>(args.get_int("memory-cap", 256));
+  options.interactive_budget_ms =
+      args.get_double("interactive-budget-ms", 0.0);
+  options.bulk_budget_ms = args.get_double("bulk-budget-ms", 0.0);
+  options.scheduler.workers = static_cast<int>(args.get_int("workers", 4));
+  options.scheduler.bulk_share =
+      static_cast<int>(args.get_int("bulk-share", 2));
+  options.scheduler.max_queue =
+      static_cast<std::size_t>(args.get_int("max-queue", 256));
+  options.start_workers = true;
+  ReliabilityService service(options);
+
+  const double metrics_interval_ms =
+      args.get_double("metrics-interval-ms", 0.0);
+  std::mutex metrics_mu;
+  std::condition_variable metrics_cv;
+  bool metrics_stop = false;
+  std::thread metrics_thread;
+  if (metrics_interval_ms > 0.0) {
+    metrics_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(metrics_mu);
+      while (!metrics_stop) {
+        metrics_cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(
+                      metrics_interval_ms),
+            [&] { return metrics_stop; });
+        if (metrics_stop) break;
+        lock.unlock();
+        std::cerr << "metrics " << service.stats_json() << "\n";
+        lock.lock();
+      }
+    });
+  }
+  const auto stop_metrics = [&] {
+    if (!metrics_thread.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mu);
+      metrics_stop = true;
+    }
+    metrics_cv.notify_all();
+    metrics_thread.join();
+  };
+
+  if (args.get_bool("stdio")) {
+    const StreamServeResult result =
+        serve_stream(service, std::cin, std::cout);
+    stop_metrics();
+    std::cerr << "served " << result.lines << " requests, "
+              << result.responses << " responses"
+              << (result.shutdown ? " (shutdown verb)" : "") << "\n";
+    return 0;
+  }
+
+  TcpServerOptions tcp;
+  tcp.bind_address = args.get("bind", "127.0.0.1");
+  tcp.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  tcp.shutdown_fd = install_signal_shutdown_pipe();
+  try {
+    TcpServer server(service, tcp);
+    std::cerr << "streamrel_serve listening on " << tcp.bind_address << ":"
+              << server.port() << "\n";
+    server.run();
+  } catch (const std::exception& e) {
+    stop_metrics();
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  stop_metrics();
+  std::cerr << "streamrel_serve: stopped\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

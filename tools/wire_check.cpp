@@ -1,0 +1,113 @@
+// CI validator for wire-protocol response streams: every line of a
+// JSONL file (or stdin) must be a well-formed response envelope
+// (api/wire.hpp) — correct schema version, an echoed id, an "ok" bool,
+// and a "result" object or an "error" {code, message} to match.
+//
+//   wire_check [responses.jsonl] [--expect N] [--min-ok N]
+//
+// Exit 0 and a one-line summary on success; exit 1 with the first
+// failed check on stderr otherwise.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "streamrel/api/wire.hpp"
+#include "streamrel/util/cli.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+int fail(std::uint64_t line_no, const std::string& message) {
+  std::cerr << "wire_check: line " << line_no << ": " << message << "\n";
+  return 1;
+}
+
+int run(const CliArgs& args) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!args.positional().empty()) {
+    const std::string& path = args.positional().front();
+    file.open(path);
+    if (!file) {
+      std::cerr << "wire_check: cannot open '" << path << "'\n";
+      return 1;
+    }
+    in = &file;
+  }
+
+  std::uint64_t total = 0;
+  std::uint64_t ok_count = 0;
+  std::uint64_t line_no = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ++total;
+
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const std::exception& e) {
+      return fail(line_no, "malformed JSON: " + std::string(e.what()));
+    }
+    if (!doc.is_object()) return fail(line_no, "response is not an object");
+
+    const JsonValue* v = doc.find("v");
+    if (!v || !v->is_number() ||
+        static_cast<int>(v->as_number()) != kWireSchemaVersion) {
+      return fail(line_no, "missing or wrong \"v\"");
+    }
+    if (!doc.find("id")) return fail(line_no, "missing \"id\"");
+    const JsonValue* ok = doc.find("ok");
+    if (!ok || !ok->is_bool()) return fail(line_no, "missing \"ok\" bool");
+    if (ok->as_bool()) {
+      const JsonValue* result = doc.find("result");
+      if (!result || !result->is_object()) {
+        return fail(line_no, "ok response without a \"result\" object");
+      }
+      ++ok_count;
+    } else {
+      const JsonValue* error = doc.find("error");
+      if (!error || !error->is_object()) {
+        return fail(line_no, "error response without an \"error\" object");
+      }
+      const JsonValue* code = error->find("code");
+      const JsonValue* message = error->find("message");
+      if (!code || !code->is_string() || !message || !message->is_string()) {
+        return fail(line_no, "error object needs string code and message");
+      }
+    }
+  }
+
+  const std::int64_t expect = args.get_int("expect", -1);
+  if (expect >= 0 && total != static_cast<std::uint64_t>(expect)) {
+    std::cerr << "wire_check: expected " << expect << " responses, got "
+              << total << "\n";
+    return 1;
+  }
+  const std::int64_t min_ok = args.get_int("min-ok", -1);
+  if (min_ok >= 0 && ok_count < static_cast<std::uint64_t>(min_ok)) {
+    std::cerr << "wire_check: expected >= " << min_ok
+              << " ok responses, got " << ok_count << "\n";
+    return 1;
+  }
+
+  std::cout << "ok: " << total << " responses, " << ok_count << " ok, "
+            << (total - ok_count) << " errors\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "wire_check: " << e.what() << "\n";
+    return 1;
+  }
+}
