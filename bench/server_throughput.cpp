@@ -18,6 +18,7 @@
 // floor gate holds server.responses_rate at 1 and
 // server.overload_shed_rate above its floor.
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <iostream>
@@ -136,8 +137,25 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Prometheus scrapes happen WHILE the pool is busy: a scrape that
+  // blocks on solver locks would stall the whole exporter. Sample the
+  // exposition mid-phase and keep the worst render time.
+  double scrape_ms_max = 0.0;
+  std::uint64_t scrapes = 0;
+  const int scrape_every = std::max(1, solves_per_tenant / 8);
+
   Stopwatch phase_sw;
   for (int round = 0; round < solves_per_tenant; ++round) {
+    if (round % scrape_every == 0) {
+      Stopwatch scrape_sw;
+      const std::string text = service.metrics_text();
+      scrape_ms_max = std::max(scrape_ms_max, scrape_sw.elapsed_ms());
+      ++scrapes;
+      if (text.empty()) {
+        std::cerr << "FAIL: empty metrics exposition under load\n";
+        ok = false;
+      }
+    }
     for (int t = 0; t < tenants; ++t) {
       const std::string tenant = "tenant" + std::to_string(t);
       WireRequest solve;
@@ -162,6 +180,17 @@ int main(int argc, char** argv) {
   }
   service.drain();
   const double serve_ms = phase_sw.elapsed_ms();
+
+  // One more scrape with every series populated — this is the
+  // steady-state cardinality the exporter pays per poll.
+  {
+    Stopwatch scrape_sw;
+    const std::string text = service.metrics_text();
+    scrape_ms_max = std::max(scrape_ms_max, scrape_sw.elapsed_ms());
+    ++scrapes;
+    static_cast<void>(text);
+  }
+  const std::size_t series_count = service.metrics().series_count();
 
   const JsonValue stats = parse_json(service.stats_json());
   const double interactive_p50 =
@@ -264,6 +293,9 @@ int main(int argc, char** argv) {
             << format_double(bulk_p99, 4) << "\n"
             << "  warm == cold: " << (warm_equal_cold ? "yes" : "NO")
             << ", responses " << responded.load() << "/" << requests << "\n"
+            << "  metrics: " << series_count << " series, worst scrape "
+            << format_double(scrape_ms_max, 4) << " ms over " << scrapes
+            << " scrapes\n"
             << "  overload: " << shed.load() << "/" << overload_requests
             << " shed (rate " << format_double(shed_rate, 4) << "), "
             << overload_responses.load() << "/" << overload_total
@@ -282,7 +314,10 @@ int main(int argc, char** argv) {
       .metric("server.bulk_p99_ms", bulk_p99)
       .metric("server.responses_rate", responses_rate)
       .metric("server.overload_shed_rate", shed_rate)
-      .metric("server.warm_equal_cold", warm_equal_cold);
+      .metric("server.warm_equal_cold", warm_equal_cold)
+      .metric("server.scrape_ms", scrape_ms_max)
+      .metric("server.metrics_series_count",
+              static_cast<std::int64_t>(series_count));
   const bool json_ok = bench::write_if_requested(report, args);
   return ok && json_ok ? 0 : 1;
 }

@@ -31,6 +31,9 @@
 //                     "add_edge"/"remove_edge"/"remove_node")
 //   replay            "events": [churn event objects], "cold": bool
 //   stats             none
+//   metrics           none (result: Prometheus text + series count)
+//   dump              optional "path" (file prefix for the flight-
+//                     recorder bundle; records also returned inline)
 //   shutdown          none
 //
 // Response envelope:
@@ -72,6 +75,8 @@ enum class WireVerb {
   kApplyDelta,       ///< churn edit batch, cut-scoped cache invalidation
   kReplay,           ///< R(t) of an inline event stream (read-only)
   kStats,            ///< live telemetry / lane / session metrics
+  kMetrics,          ///< Prometheus text-format exposition scrape
+  kDump,             ///< flight-recorder dump (last N request records)
   kShutdown,         ///< stop serving after in-flight work drains
 };
 
@@ -130,6 +135,8 @@ struct WireRequest {
   // replay
   EventStream events;
   bool cold = false;
+  // dump
+  std::string dump_path;  ///< file prefix for the bundle ("" = inline only)
 };
 
 struct WireResponse {

@@ -188,6 +188,17 @@ class QuerySession {
   void set_cache_budget(std::size_t max_mask_tables);
   std::size_t cache_budget() const { return cache_options_.max_mask_tables; }
   std::size_t cached_mask_tables() const { return lru_.size(); }
+  /// Resident bytes of the cached slab mask tables (the dominant cache
+  /// memory), for budget-vs-usage gauges in the daemon's metrics.
+  std::size_t cached_mask_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& [key, entry] : lru_) {
+      bytes += (entry->artifacts.array_s.by_rank.size() +
+                entry->artifacts.array_t.by_rank.size()) *
+               sizeof(Mask);
+    }
+    return bytes;
+  }
 
  private:
   friend class BatchEvaluator;

@@ -1,0 +1,64 @@
+#pragma once
+
+/// Always-on flight recorder: a bounded ring of the last N finished
+/// request records plus any TraceCapture spans the request produced,
+/// dumpable at any moment (SIGUSR1 or the `dump` admin verb) as a
+/// JSONL + Chrome-trace bundle — post-mortems without reproduction.
+///
+/// Recording cost is one mutex acquisition and a couple of moves per
+/// request (the spans vector is moved in, never copied); the ring never
+/// allocates after the first lap at a given span volume.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "streamrel/obs/request_log.hpp"
+#include "streamrel/util/trace.hpp"
+
+namespace streamrel {
+
+struct FlightEntry {
+  RequestRecord record;
+  std::vector<TraceEvent> spans;  ///< empty unless the request traced
+  std::uint64_t dropped_spans = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  void record(RequestRecord record, std::vector<TraceEvent> spans = {},
+              std::uint64_t dropped_spans = 0);
+
+  /// Oldest-first copy of the ring.
+  std::vector<FlightEntry> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_recorded() const;
+
+  /// One RequestRecord JSON object per line, oldest first (the request
+  /// log format, so one set of tooling reads both).
+  std::string dump_jsonl() const;
+
+  /// Chrome trace-event JSON: every retained span, with `pid` set to
+  /// the owning request's seq so each request renders as its own
+  /// process track in Perfetto.
+  std::string dump_chrome_trace() const;
+
+  /// Writes `<prefix>.jsonl` and `<prefix>.trace.json`. Returns false
+  /// (without throwing) when either file cannot be written.
+  bool dump_to_files(const std::string& prefix) const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEntry> ring_;  ///< grows to capacity_, then wraps
+  std::size_t next_ = 0;           ///< ring_ slot for the next record
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace streamrel

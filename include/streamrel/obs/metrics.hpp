@@ -1,0 +1,170 @@
+#pragma once
+
+/// Production metrics for the reliability daemon: a lock-light registry
+/// of monotonic counters, gauges, and fixed-bucket histograms with
+/// Prometheus text-format exposition.
+///
+/// Design contract (mirrors the serving hot path's needs):
+///  * Handle acquisition (counter()/gauge()/histogram()) takes a shared
+///    lock on the hit path and an exclusive lock only to create a new
+///    series. Callers on hot paths should acquire handles once and keep
+///    the reference — series are node-stable for the registry's
+///    lifetime and never deallocated before it.
+///  * All recording operations (inc/set/observe) are std::atomic with
+///    relaxed ordering: no locks, no allocation, safe from any thread,
+///    including OpenMP shards inside a solve.
+///  * render_prometheus() snapshots under the shared lock — scrapes
+///    never block writers, and writers never block scrapes. A scrape
+///    is a consistent-enough read: each value is an atomic load, and
+///    histogram counts may trail their buckets by in-flight
+///    observations (bounded skew, standard for Prometheus clients;
+///    the renderer clamps so `_count` >= the `+Inf` bucket).
+///
+/// Naming follows Prometheus conventions: counters end in `_total`,
+/// histogram series expose `_bucket{le=...}` (cumulative, closing with
+/// `le="+Inf"`), `_sum`, and `_count`. Label keys render in sorted
+/// order; label values are escaped per the text-format spec.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace streamrel {
+
+/// A sorted, deduplicated label set. Construction sorts by key so the
+/// same logical labels always map to the same series regardless of the
+/// order the call site lists them in.
+class MetricLabels {
+ public:
+  MetricLabels() = default;
+  MetricLabels(
+      std::initializer_list<std::pair<std::string, std::string>> items);
+
+  void set(std::string key, std::string value);
+
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+  bool empty() const { return items_.empty(); }
+
+  /// Canonical rendered form, `{k1="v1",k2="v2"}` with escaping, or ""
+  /// when empty. Doubles as the series key inside a family.
+  std::string render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+/// Monotonic counter. set_at_least() exists for bridged sources that
+/// already maintain their own monotonic count (session caches,
+/// scheduler totals): it advances the exposed value without double
+/// bookkeeping and never moves it backwards.
+class MetricCounter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set_at_least(std::uint64_t floor_value) {
+    std::uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < floor_value &&
+           !value_.compare_exchange_weak(seen, floor_value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class MetricGauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are fixed per family at
+/// registration; observe() is a branch-light scan (bucket counts are
+/// small and bounds are sorted) plus three relaxed atomic updates.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(const std::vector<double>* bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return *bounds_; }
+  std::uint64_t bucket_value(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  const std::vector<double>* bounds_;  ///< owned by the family
+  /// bounds_->size() + 1 non-cumulative cells; the last is the
+  /// overflow (+Inf) cell. Rendered cumulatively.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  /// Double sum maintained by CAS loop (fetch_add on atomic<double>
+  /// is C++20 but not universally lock-free; the loop is).
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets (milliseconds): sub-ms resolution for cache
+/// hits through multi-second bulk solves.
+const std::vector<double>& default_latency_buckets_ms();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. `help` is recorded on first registration of the
+  /// family; later calls may pass "" (mismatched kinds for an existing
+  /// family name throw std::invalid_argument).
+  MetricCounter& counter(std::string_view name, std::string_view help,
+                         const MetricLabels& labels = {});
+  MetricGauge& gauge(std::string_view name, std::string_view help,
+                     const MetricLabels& labels = {});
+  MetricHistogram& histogram(std::string_view name, std::string_view help,
+                             const std::vector<double>& bounds_upper,
+                             const MetricLabels& labels = {});
+
+  /// Prometheus text format (version 0.0.4): # HELP / # TYPE headers,
+  /// families in name order, series in label order.
+  std::string render_prometheus() const;
+
+  /// Number of exposed time series (histograms count one per series:
+  /// buckets/sum/count are views of the same series).
+  std::size_t series_count() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series;
+  struct Family;
+
+  Series& find_or_create(std::string_view name, std::string_view help,
+                         Kind kind, const std::vector<double>* bounds,
+                         const MetricLabels& labels);
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;  ///< name-sorted
+};
+
+/// Content-Type value Prometheus scrapers expect for the text format.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace streamrel

@@ -1,0 +1,51 @@
+#pragma once
+
+/// Structured JSON request logging for the daemon: one self-contained
+/// JSON object per request, one line each, machine-greppable. The same
+/// record type feeds the flight recorder's ring.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace streamrel {
+
+/// Everything the daemon knows about one finished request. Times are
+/// microseconds (the log is for tail analysis; ms would quantize cache
+/// hits to zero).
+struct RequestRecord {
+  std::uint64_t seq = 0;   ///< process-wide request ordinal
+  std::uint64_t unix_ms = 0;  ///< wall-clock completion time
+  std::string id_json;     ///< client request id, pre-rendered JSON ("" = none)
+  std::string tenant;
+  std::string network_id;
+  std::string verb;
+  std::string lane;
+  std::string engine;  ///< post-kAuto engine for solves, "" otherwise
+  std::string status;  ///< SolveStatus for solves, "" otherwise
+  std::string error_code;  ///< wire error code, "" on success
+  bool ok = true;
+  bool shed = false;
+  double queue_us = 0.0;  ///< admit -> pickup
+  double solve_us = 0.0;  ///< pickup -> response rendered
+
+  /// One-line JSON object (no trailing newline), keys in fixed order.
+  std::string to_json() const;
+};
+
+/// Serialized line-at-a-time writer. Thread-safe; a null sink disables
+/// logging with a single branch per request.
+class RequestLogger {
+ public:
+  explicit RequestLogger(std::ostream* sink = nullptr) : sink_(sink) {}
+
+  bool enabled() const { return sink_ != nullptr; }
+  void log(const RequestRecord& record);
+
+ private:
+  std::ostream* sink_;
+  std::mutex mu_;
+};
+
+}  // namespace streamrel

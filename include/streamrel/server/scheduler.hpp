@@ -47,6 +47,9 @@ struct LaneSnapshot {
   std::size_t queued = 0;       ///< waiting now
   std::size_t running = 0;      ///< executing now
   double ewma_service_ms = 0.0;
+  /// estimate_queue_ms at snapshot time: the expected wait the service
+  /// layer sheds against (queued * ewma / effective workers).
+  double queue_estimate_ms = 0.0;
   double queue_p50_ms = 0.0;    ///< time-in-queue percentiles
   double queue_p95_ms = 0.0;
   double queue_p99_ms = 0.0;

@@ -21,12 +21,16 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "streamrel/api/wire.hpp"
+#include "streamrel/obs/flight_recorder.hpp"
+#include "streamrel/obs/metrics.hpp"
+#include "streamrel/obs/request_log.hpp"
 #include "streamrel/server/scheduler.hpp"
 #include "streamrel/server/session_registry.hpp"
 
@@ -44,6 +48,12 @@ struct ServiceOptions {
   /// Start the worker pool. Off for in-process clients (the CLI executes
   /// verbs inline); the daemon turns it on.
   bool start_workers = false;
+  /// Flight-recorder ring size (last N finished requests, always on;
+  /// clamped to >= 1).
+  std::size_t flight_capacity = FlightRecorder::kDefaultCapacity;
+  /// Structured JSON request log: one line per finished request
+  /// (--log-json in the daemon). Null disables with a single branch.
+  std::ostream* request_log = nullptr;
 };
 
 /// Per-request sinks, so concurrent tenants never interleave output:
@@ -84,32 +94,65 @@ class ReliabilityService {
   /// The stats verb's payload (also the daemon's periodic metrics line).
   std::string stats_json() const;
 
+  /// Prometheus text-format exposition of every registered series; the
+  /// `metrics` verb's text, the TCP transport's `GET /metrics` body and
+  /// the daemon's --metrics-out payload. Refreshes the scrape-time
+  /// gauges (scheduler lanes, session caches) first; never blocks
+  /// request recording (snapshot-on-scrape under a shared lock).
+  std::string metrics_text();
+
+  /// The live registry, for instrumentation by embedders and tests.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const FlightRecorder& flight_recorder() const noexcept { return flight_; }
+
   std::uint64_t shed_count() const noexcept {
     return shed_total_.load(std::memory_order_relaxed);
   }
 
  private:
   WireResponse execute_impl(const WireRequest& request,
-                            const RequestHooks& hooks, bool force_expired);
+                            const RequestHooks& hooks, bool force_expired,
+                            double queue_us = -1.0);
   WireResponse do_register(const WireRequest& request);
   WireResponse do_solve(const WireRequest& request, const RequestHooks& hooks,
-                        bool force_expired);
+                        bool force_expired, RequestRecord* record);
   WireResponse do_batch(const WireRequest& request, const RequestHooks& hooks,
                         bool force_expired);
-  WireResponse do_apply_delta(const WireRequest& request);
   WireResponse do_replay(const WireRequest& request, const RequestHooks& hooks,
                          bool force_expired);
+  WireResponse do_apply_delta(const WireRequest& request);
+  WireResponse do_metrics(const WireRequest& request);
+  WireResponse do_dump(const WireRequest& request);
   std::shared_ptr<TenantSession> find_session(const WireRequest& request,
                                               WireResponse* error) const;
   double lane_budget_ms(WireLane lane) const noexcept;
 
+  /// Folds one solve's telemetry counters into engine-labeled series
+  /// (the telemetry -> metrics bridge: no double bookkeeping in the
+  /// engines themselves).
+  void bridge_solve_telemetry(std::string_view engine,
+                              const Telemetry& telemetry);
+  /// Counter/histogram updates for one finished request.
+  void note_request(const RequestRecord& record, double queue_us);
+  /// Sets the scrape-time gauges (lanes, sessions, caches) from the
+  /// scheduler and registry snapshots.
+  void refresh_scrape_gauges();
+  std::atomic<std::uint64_t>& lane_shed(WireLane lane) noexcept {
+    return shed_lane_[static_cast<int>(lane)];
+  }
+
   ServiceOptions options_;
   SessionRegistry registry_;
   std::unique_ptr<RequestScheduler> scheduler_;  ///< null without workers
+  MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  RequestLogger logger_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_total_{0};
   std::atomic<std::uint64_t> errors_total_{0};
   std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> shed_lane_[2] = {};
+  std::atomic<std::uint64_t> request_seq_{0};
 };
 
 }  // namespace streamrel

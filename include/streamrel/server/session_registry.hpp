@@ -62,7 +62,12 @@ class TenantSession {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t cache_evictions = 0;
+    /// Per-entry invalidation outcomes (cut-scoped delta application).
+    std::uint64_t invalidations_full = 0;
+    std::uint64_t invalidations_partial = 0;
+    std::uint64_t invalidations_survived = 0;
     std::size_t mask_tables = 0;
+    std::size_t mask_bytes = 0;  ///< resident slab bytes of cached tables
     std::size_t budget = 0;
   };
   Stats stats() const;

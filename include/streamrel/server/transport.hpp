@@ -73,4 +73,10 @@ class TcpServer {
 /// Returns -1 on failure. Install once per process.
 int install_signal_shutdown_pipe();
 
+/// Same self-pipe pattern for SIGUSR1 (the flight-recorder dump
+/// trigger): returns the read fd a watcher thread blocks on, one byte
+/// per signal. SA_RESTART, so serving syscalls are never interrupted.
+/// Returns -1 on failure. Install once per process.
+int install_sigusr1_pipe();
+
 }  // namespace streamrel

@@ -41,6 +41,9 @@
 #include "streamrel/maxflow/incremental_dinic.hpp"// IWYU pragma: export
 #include "streamrel/maxflow/maxflow.hpp"          // IWYU pragma: export
 #include "streamrel/maxflow/push_relabel.hpp"     // IWYU pragma: export
+#include "streamrel/obs/flight_recorder.hpp"      // IWYU pragma: export
+#include "streamrel/obs/metrics.hpp"              // IWYU pragma: export
+#include "streamrel/obs/request_log.hpp"          // IWYU pragma: export
 #include "streamrel/p2p/churn.hpp"                // IWYU pragma: export
 #include "streamrel/p2p/mesh_builder.hpp"         // IWYU pragma: export
 #include "streamrel/p2p/optimizer.hpp"            // IWYU pragma: export

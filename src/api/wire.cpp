@@ -205,6 +205,8 @@ std::string_view to_string(WireVerb verb) noexcept {
     case WireVerb::kApplyDelta: return "apply_delta";
     case WireVerb::kReplay: return "replay";
     case WireVerb::kStats: return "stats";
+    case WireVerb::kMetrics: return "metrics";
+    case WireVerb::kDump: return "dump";
     case WireVerb::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -223,6 +225,10 @@ bool parse_wire_verb(std::string_view name, WireVerb* out) noexcept {
     *out = WireVerb::kReplay;
   } else if (name == "stats") {
     *out = WireVerb::kStats;
+  } else if (name == "metrics") {
+    *out = WireVerb::kMetrics;
+  } else if (name == "dump") {
+    *out = WireVerb::kDump;
   } else if (name == "shutdown") {
     *out = WireVerb::kShutdown;
   } else {
@@ -400,7 +406,13 @@ WireRequest parse_wire_request(std::string_view line) {
         if (const JsonValue* v = doc.find("cold")) req.cold = v->as_bool();
         break;
       }
+      case WireVerb::kDump:
+        if (const JsonValue* v = doc.find("path")) {
+          req.dump_path = v->as_string();
+        }
+        break;
       case WireVerb::kStats:
+      case WireVerb::kMetrics:
       case WireVerb::kShutdown:
         break;
     }
@@ -493,7 +505,11 @@ std::string serialize_wire_request(const WireRequest& request) {
       if (request.cold) w.member_bool("cold", true);
       break;
     }
+    case WireVerb::kDump:
+      if (!request.dump_path.empty()) w.member_str("path", request.dump_path);
+      break;
     case WireVerb::kStats:
+    case WireVerb::kMetrics:
     case WireVerb::kShutdown:
       break;
   }

@@ -1,0 +1,138 @@
+#include "streamrel/obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <string_view>
+
+namespace streamrel {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  out += std::to_string(ns / 1000);
+  out += '.';
+  out += std::to_string((ns % 1000) / 100);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(RequestRecord record,
+                            std::vector<TraceEvent> spans,
+                            std::uint64_t dropped_spans) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back({std::move(record), std::move(spans), dropped_spans});
+  } else {
+    ring_[next_] = {std::move(record), std::move(spans), dropped_spans};
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<FlightEntry> FlightRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEntry> out;
+  out.reserve(ring_.size());
+  const std::size_t n = ring_.size();
+  // Once wrapped, next_ points at the oldest slot.
+  const std::size_t start = n == capacity_ ? next_ : std::size_t{0};
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string FlightRecorder::dump_jsonl() const {
+  std::string out;
+  for (const FlightEntry& entry : snapshot()) {
+    out += entry.record.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_chrome_trace() const {
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  std::size_t requests_with_spans = 0;
+  for (const FlightEntry& entry : snapshot()) {
+    dropped += entry.dropped_spans;
+    if (!entry.spans.empty()) ++requests_with_spans;
+    for (const TraceEvent& e : entry.spans) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"";
+      append_json_escaped(out, e.name);
+      out += "\", \"cat\": \"";
+      append_json_escaped(out, e.category);
+      out += "\", \"ph\": \"X\", \"ts\": ";
+      append_us(out, e.start_ns);
+      out += ", \"dur\": ";
+      append_us(out, e.dur_ns);
+      // pid = request seq: each request renders as its own process
+      // track, so spans from different requests never nest into each
+      // other in viewers or in trace_report's self-time containment.
+      out += ", \"pid\": ";
+      out += std::to_string(entry.record.seq);
+      out += ", \"tid\": ";
+      out += std::to_string(e.tid);
+      if (!e.args.empty()) {
+        out += ", \"args\": {";
+        out += e.args;
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"tool\": "
+         "\"streamrel-flight\", \"requests_with_spans\": ";
+  out += std::to_string(requests_with_spans);
+  out += ", \"dropped_events\": ";
+  out += std::to_string(dropped);
+  out += "}}\n";
+  return out;
+}
+
+bool FlightRecorder::dump_to_files(const std::string& prefix) const {
+  {
+    std::ofstream jsonl(prefix + ".jsonl");
+    if (!jsonl) return false;
+    jsonl << dump_jsonl();
+    if (!jsonl) return false;
+  }
+  std::ofstream trace(prefix + ".trace.json");
+  if (!trace) return false;
+  trace << dump_chrome_trace();
+  return static_cast<bool>(trace);
+}
+
+}  // namespace streamrel

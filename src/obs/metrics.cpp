@@ -1,0 +1,330 @@
+#include "streamrel/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace streamrel {
+
+namespace {
+
+/// Prometheus text-format escaping for label values: backslash, double
+/// quote, and newline. (HELP text escapes only backslash and newline.)
+void append_label_escaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_help_escaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// Shortest round-trip decimal for sample values; Prometheus parsers
+/// accept scientific notation, and "+Inf" is the spec spelling.
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(seen, seen + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MetricLabels::MetricLabels(
+    std::initializer_list<std::pair<std::string, std::string>> items) {
+  for (const auto& [key, value] : items) set(key, value);
+}
+
+void MetricLabels::set(std::string key, std::string value) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), key,
+      [](const auto& item, const std::string& k) { return item.first < k; });
+  if (it != items_.end() && it->first == key) {
+    it->second = std::move(value);
+    return;
+  }
+  items_.insert(it, {std::move(key), std::move(value)});
+}
+
+std::string MetricLabels::render() const {
+  if (items_.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : items_) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_label_escaped(out, value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+MetricHistogram::MetricHistogram(const std::vector<double>* bounds)
+    : bounds_(bounds), buckets_(bounds->size() + 1) {}
+
+void MetricHistogram::observe(double v) {
+  const auto& b = *bounds_;
+  std::size_t i = 0;
+  while (i < b.size() && v > b[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double MetricHistogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> kBuckets = {
+      0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,   25.0,
+      50.0, 100, 250,  500, 1000., 2500., 5000., 10000., 30000.};
+  return kBuckets;
+}
+
+struct MetricsRegistry::Series {
+  std::string labels_key;  ///< MetricLabels::render(), "" when unlabeled
+  std::unique_ptr<MetricCounter> counter;
+  std::unique_ptr<MetricGauge> gauge;
+  std::unique_ptr<MetricHistogram> histogram;
+};
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::vector<double> bounds;  ///< histogram families only
+  /// labels_key-sorted, node-stable (unique_ptr) so handed-out
+  /// references survive later insertions.
+  std::vector<std::unique_ptr<Series>> series;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(
+    std::string_view name, std::string_view help, Kind kind,
+    const std::vector<double>* bounds, const MetricLabels& labels) {
+  const std::string labels_key = labels.render();
+  auto family_pos = [&](auto& families) {
+    return std::lower_bound(
+        families.begin(), families.end(), name,
+        [](const auto& f, std::string_view n) { return f->name < n; });
+  };
+  auto series_pos = [&](Family& family) {
+    return std::lower_bound(family.series.begin(), family.series.end(),
+                            labels_key, [](const auto& s, const std::string& k) {
+                              return s->labels_key < k;
+                            });
+  };
+
+  {
+    std::shared_lock lock(mu_);
+    auto fit = family_pos(families_);
+    if (fit != families_.end() && (*fit)->name == name) {
+      Family& family = **fit;
+      if (family.kind != kind) {
+        throw std::invalid_argument("metric family kind mismatch: " +
+                                    std::string(name));
+      }
+      auto sit = series_pos(family);
+      if (sit != family.series.end() && (*sit)->labels_key == labels_key) {
+        return **sit;
+      }
+    }
+  }
+
+  std::unique_lock lock(mu_);
+  auto fit = family_pos(families_);
+  if (fit == families_.end() || (*fit)->name != name) {
+    auto family = std::make_unique<Family>();
+    family->name = std::string(name);
+    family->help = std::string(help);
+    family->kind = kind;
+    if (bounds != nullptr) family->bounds = *bounds;
+    fit = families_.insert(fit, std::move(family));
+  } else if ((*fit)->kind != kind) {
+    throw std::invalid_argument("metric family kind mismatch: " +
+                                std::string(name));
+  } else if ((*fit)->help.empty() && !help.empty()) {
+    (*fit)->help = std::string(help);
+  }
+  Family& family = **fit;
+  auto sit = series_pos(family);
+  if (sit != family.series.end() && (*sit)->labels_key == labels_key) {
+    return **sit;
+  }
+  auto series = std::make_unique<Series>();
+  series->labels_key = labels_key;
+  switch (kind) {
+    case Kind::kCounter:
+      series->counter = std::make_unique<MetricCounter>();
+      break;
+    case Kind::kGauge:
+      series->gauge = std::make_unique<MetricGauge>();
+      break;
+    case Kind::kHistogram:
+      series->histogram = std::make_unique<MetricHistogram>(&family.bounds);
+      break;
+  }
+  sit = family.series.insert(sit, std::move(series));
+  return **sit;
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name,
+                                        std::string_view help,
+                                        const MetricLabels& labels) {
+  return *find_or_create(name, help, Kind::kCounter, nullptr, labels).counter;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name,
+                                    std::string_view help,
+                                    const MetricLabels& labels) {
+  return *find_or_create(name, help, Kind::kGauge, nullptr, labels).gauge;
+}
+
+MetricHistogram& MetricsRegistry::histogram(
+    std::string_view name, std::string_view help,
+    const std::vector<double>& bounds_upper, const MetricLabels& labels) {
+  return *find_or_create(name, help, Kind::kHistogram, &bounds_upper, labels)
+              .histogram;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::string out;
+  std::shared_lock lock(mu_);
+  for (const auto& family : families_) {
+    out += "# HELP ";
+    out += family->name;
+    out += ' ';
+    append_help_escaped(out, family->help);
+    out += '\n';
+    out += "# TYPE ";
+    out += family->name;
+    out += ' ';
+    switch (family->kind) {
+      case Kind::kCounter:
+        out += "counter";
+        break;
+      case Kind::kGauge:
+        out += "gauge";
+        break;
+      case Kind::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += '\n';
+    for (const auto& series : family->series) {
+      switch (family->kind) {
+        case Kind::kCounter:
+          out += family->name;
+          out += series->labels_key;
+          out += ' ';
+          out += std::to_string(series->counter->value());
+          out += '\n';
+          break;
+        case Kind::kGauge:
+          out += family->name;
+          out += series->labels_key;
+          out += ' ';
+          out += format_value(series->gauge->value());
+          out += '\n';
+          break;
+        case Kind::kHistogram: {
+          const MetricHistogram& h = *series->histogram;
+          // Re-render the label set with `le` appended; series labels
+          // never contain `le` by construction (callers own no such
+          // label on histogram families).
+          const std::string& base = series->labels_key;
+          auto bucket_line = [&](const std::string& le, std::uint64_t value) {
+            out += family->name;
+            out += "_bucket";
+            if (base.empty()) {
+              out += "{le=\"" + le + "\"}";
+            } else {
+              out.append(base, 0, base.size() - 1);
+              out += ",le=\"" + le + "\"}";
+            }
+            out += ' ';
+            out += std::to_string(value);
+            out += '\n';
+          };
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < family->bounds.size(); ++i) {
+            cumulative += h.bucket_value(i);
+            bucket_line(format_value(family->bounds[i]), cumulative);
+          }
+          cumulative += h.bucket_value(family->bounds.size());
+          bucket_line("+Inf", cumulative);
+          // An in-flight observe() may have bumped count_ but not the
+          // bucket yet (or vice versa — the updates are relaxed).
+          // Render _count as the +Inf cumulative value so the exposed
+          // sample set is always internally consistent (`+Inf` ==
+          // `_count`, the invariant strict parsers check).
+          const std::uint64_t count = cumulative;
+          out += family->name;
+          out += "_sum";
+          out += base;
+          out += ' ';
+          out += format_value(h.sum());
+          out += '\n';
+          out += family->name;
+          out += "_count";
+          out += base;
+          out += ' ';
+          out += std::to_string(count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::shared_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& family : families_) n += family->series.size();
+  return n;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,95 @@
+#include "streamrel/obs/request_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace streamrel {
+
+namespace {
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_micros(std::string& out, double us) {
+  if (!std::isfinite(us)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", us);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RequestRecord::to_json() const {
+  std::string out = "{\"seq\": " + std::to_string(seq);
+  out += ", \"unix_ms\": " + std::to_string(unix_ms);
+  out += ", \"id\": ";
+  out += id_json.empty() ? "null" : id_json;
+  out += ", \"tenant\": ";
+  append_quoted(out, tenant);
+  out += ", \"network_id\": ";
+  append_quoted(out, network_id);
+  out += ", \"verb\": ";
+  append_quoted(out, verb);
+  out += ", \"lane\": ";
+  append_quoted(out, lane);
+  out += ", \"engine\": ";
+  append_quoted(out, engine);
+  out += ", \"status\": ";
+  append_quoted(out, status);
+  out += ", \"ok\": ";
+  out += ok ? "true" : "false";
+  out += ", \"shed\": ";
+  out += shed ? "true" : "false";
+  out += ", \"error_code\": ";
+  append_quoted(out, error_code);
+  out += ", \"queue_us\": ";
+  append_micros(out, queue_us);
+  out += ", \"solve_us\": ";
+  append_micros(out, solve_us);
+  out += '}';
+  return out;
+}
+
+void RequestLogger::log(const RequestRecord& record) {
+  if (sink_ == nullptr) return;
+  const std::string line = record.to_json();
+  std::lock_guard lock(mu_);
+  *sink_ << line << '\n';
+  sink_->flush();
+}
+
+}  // namespace streamrel

@@ -79,6 +79,13 @@ LaneSnapshot RequestScheduler::lane_snapshot(WireLane lane) const {
   snap.queued = l.queue.size();
   snap.running = l.running;
   snap.ewma_service_ms = l.ewma_service_ms;
+  if (l.ewma_primed) {
+    const double effective =
+        lane == WireLane::kBulk ? static_cast<double>(bulk_cap())
+                                : static_cast<double>(workers_);
+    snap.queue_estimate_ms =
+        static_cast<double>(l.queue.size()) * l.ewma_service_ms / effective;
+  }
   snap.queue_p50_ms = l.queue_hist.percentile_ms(50.0);
   snap.queue_p95_ms = l.queue_hist.percentile_ms(95.0);
   snap.queue_p99_ms = l.queue_hist.percentile_ms(99.0);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
+#include <vector>
 
 #include "streamrel/graph/io.hpp"
 #include "streamrel/util/stopwatch.hpp"
@@ -23,15 +25,18 @@ FlowDemand resolve_demand(const FlowDemand& fallback, const WireQuery& query) {
   return demand;
 }
 
-std::string lane_json(const LaneSnapshot& snap) {
+std::string lane_json(const LaneSnapshot& snap, std::uint64_t shed) {
   std::string out = "{}";
   append_json_member(out, "submitted", std::to_string(snap.submitted));
   append_json_member(out, "completed", std::to_string(snap.completed));
   append_json_member(out, "rejected", std::to_string(snap.rejected));
+  append_json_member(out, "shed", std::to_string(shed));
   append_json_member(out, "queued", std::to_string(snap.queued));
   append_json_member(out, "running", std::to_string(snap.running));
   append_json_member(out, "ewma_service_ms",
                      format_double(snap.ewma_service_ms, 4));
+  append_json_member(out, "queue_estimate_ms",
+                     format_double(snap.queue_estimate_ms, 4));
   append_json_member(out, "queue_p50_ms", format_double(snap.queue_p50_ms, 4));
   append_json_member(out, "queue_p95_ms", format_double(snap.queue_p95_ms, 4));
   append_json_member(out, "queue_p99_ms", format_double(snap.queue_p99_ms, 4));
@@ -44,11 +49,29 @@ std::string lane_json(const LaneSnapshot& snap) {
   return out;
 }
 
+/// Splits the registry's "tenant/network_id" snapshot key back into its
+/// halves (tenant names may not contain '/'; network ids may).
+std::pair<std::string, std::string> split_session_key(
+    const std::string& name) {
+  const std::size_t slash = name.find('/');
+  if (slash == std::string::npos) return {name, std::string()};
+  return {name.substr(0, slash), name.substr(slash + 1)};
+}
+
+std::uint64_t unix_millis_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 ReliabilityService::ReliabilityService(const ServiceOptions& options)
     : options_(options),
-      registry_(options.default_cache, options.global_mask_tables) {
+      registry_(options.default_cache, options.global_mask_tables),
+      flight_(options.flight_capacity),
+      logger_(options.request_log) {
   if (options_.start_workers) {
     scheduler_ = std::make_unique<RequestScheduler>(options_.scheduler);
   }
@@ -106,7 +129,8 @@ WireResponse ReliabilityService::do_register(const WireRequest& request) {
 
 WireResponse ReliabilityService::do_solve(const WireRequest& request,
                                           const RequestHooks& hooks,
-                                          bool force_expired) {
+                                          bool force_expired,
+                                          RequestRecord* record) {
   WireResponse resp;
   const std::shared_ptr<TenantSession> session = find_session(request, &resp);
   if (!session) return resp;
@@ -133,6 +157,11 @@ WireResponse ReliabilityService::do_solve(const WireRequest& request,
   const Stopwatch timer;
   const SolveReport report =
       session->solve(demand, options, request.query.overrides);
+  if (record != nullptr) {
+    record->engine.assign(report.engine);
+    record->status.assign(to_string(report.result.status));
+  }
+  bridge_solve_telemetry(report.engine, report.result.telemetry);
   resp.result_json = render_solve_result(
       report, timer.elapsed_ms(), request.want_telemetry,
       force_expired ? std::string_view(", \"shed\": true")
@@ -316,9 +345,14 @@ std::string ReliabilityService::stats_json() const {
     std::string lanes = "{}";
     append_json_member(
         lanes, "interactive",
-        lane_json(scheduler_->lane_snapshot(WireLane::kInteractive)));
-    append_json_member(lanes, "bulk",
-                       lane_json(scheduler_->lane_snapshot(WireLane::kBulk)));
+        lane_json(scheduler_->lane_snapshot(WireLane::kInteractive),
+                  shed_lane_[static_cast<int>(WireLane::kInteractive)].load(
+                      std::memory_order_relaxed)));
+    append_json_member(
+        lanes, "bulk",
+        lane_json(scheduler_->lane_snapshot(WireLane::kBulk),
+                  shed_lane_[static_cast<int>(WireLane::kBulk)].load(
+                      std::memory_order_relaxed)));
     append_json_member(out, "lanes", lanes);
   }
   std::string tenants = "{}";
@@ -330,7 +364,14 @@ std::string ReliabilityService::stats_json() const {
     append_json_member(t, "cache_misses", std::to_string(s.cache_misses));
     append_json_member(t, "cache_evictions",
                        std::to_string(s.cache_evictions));
+    append_json_member(t, "invalidations_full",
+                       std::to_string(s.invalidations_full));
+    append_json_member(t, "invalidations_partial",
+                       std::to_string(s.invalidations_partial));
+    append_json_member(t, "invalidations_survived",
+                       std::to_string(s.invalidations_survived));
     append_json_member(t, "mask_tables", std::to_string(s.mask_tables));
+    append_json_member(t, "mask_bytes", std::to_string(s.mask_bytes));
     append_json_member(t, "budget", std::to_string(s.budget));
     append_json_member(tenants, name, t);
   }
@@ -338,21 +379,248 @@ std::string ReliabilityService::stats_json() const {
   return out;
 }
 
+void ReliabilityService::bridge_solve_telemetry(std::string_view engine,
+                                                const Telemetry& telemetry) {
+  // Top-level counters only: the engine's own root counters are the
+  // bounded, stable vocabulary (maxflow_calls, configurations, ...);
+  // child subtrees would multiply series cardinality per tenant.
+  MetricLabels labels{{"engine", std::string(engine)}, {"counter", ""}};
+  for (const auto& [name, value] : telemetry.counters()) {
+    labels.set("counter", name);
+    metrics_
+        .counter("streamrel_engine_work_total",
+                 "Engine telemetry counters, bridged per solve", labels)
+        .inc(value);
+  }
+}
+
+void ReliabilityService::note_request(const RequestRecord& record,
+                                      double queue_us) {
+  MetricLabels by_code{{"verb", record.verb},
+                       {"lane", record.lane},
+                       {"code", record.error_code.empty()
+                                    ? (record.shed ? "shed" : "ok")
+                                    : record.error_code}};
+  metrics_
+      .counter("streamrel_requests_total",
+               "Finished wire requests by verb, lane and outcome code",
+               by_code)
+      .inc();
+  if (!record.error_code.empty()) {
+    metrics_
+        .counter("streamrel_errors_total", "Error responses by wire code",
+                 MetricLabels{{"code", record.error_code}})
+        .inc();
+  }
+  MetricLabels by_verb{{"verb", record.verb}, {"lane", record.lane}};
+  metrics_
+      .histogram("streamrel_request_latency_ms",
+                 "Request execution latency (pickup to response rendered)",
+                 default_latency_buckets_ms(), by_verb)
+      .observe(record.solve_us / 1000.0);
+  if (queue_us >= 0.0) {
+    metrics_
+        .histogram("streamrel_queue_time_ms",
+                   "Actual time in the scheduler queue",
+                   default_latency_buckets_ms(),
+                   MetricLabels{{"lane", record.lane}})
+        .observe(queue_us / 1000.0);
+  }
+}
+
+void ReliabilityService::refresh_scrape_gauges() {
+  if (scheduler_) {
+    for (const WireLane lane : {WireLane::kInteractive, WireLane::kBulk}) {
+      const LaneSnapshot snap = scheduler_->lane_snapshot(lane);
+      MetricLabels labels{{"lane", std::string(to_string(lane))}};
+      metrics_
+          .gauge("streamrel_queue_depth", "Jobs waiting in the lane queue",
+                 labels)
+          .set(static_cast<double>(snap.queued));
+      metrics_
+          .gauge("streamrel_lane_running", "Jobs executing on the lane",
+                 labels)
+          .set(static_cast<double>(snap.running));
+      metrics_
+          .gauge("streamrel_queue_estimate_ms",
+                 "EWMA-based expected queue wait for new work", labels)
+          .set(snap.queue_estimate_ms);
+      metrics_
+          .gauge("streamrel_lane_ewma_service_ms",
+                 "EWMA of per-job service time", labels)
+          .set(snap.ewma_service_ms);
+      metrics_
+          .counter("streamrel_lane_submitted_total",
+                   "Jobs admitted to the lane", labels)
+          .set_at_least(snap.submitted);
+      metrics_
+          .counter("streamrel_lane_completed_total",
+                   "Jobs finished on the lane", labels)
+          .set_at_least(snap.completed);
+      metrics_
+          .counter("streamrel_lane_rejected_total",
+                   "Jobs refused at admission (queue full)", labels)
+          .set_at_least(snap.rejected);
+      metrics_
+          .counter("streamrel_sheds_total",
+                   "Requests shed (deadline blown in queue or pre-admission)",
+                   labels)
+          .set_at_least(
+              shed_lane_[static_cast<int>(lane)].load(std::memory_order_relaxed));
+    }
+  }
+  metrics_
+      .gauge("streamrel_sessions", "Registered tenant/network sessions")
+      .set(static_cast<double>(registry_.size()));
+  for (const auto& [name, session] : registry_.snapshot()) {
+    const TenantSession::Stats s = session->stats();
+    const auto [tenant, network] = split_session_key(name);
+    MetricLabels labels{{"tenant", tenant}, {"network", network}};
+    metrics_
+        .counter("streamrel_session_queries_total",
+                 "Queries answered by the session", labels)
+        .set_at_least(s.queries);
+    metrics_
+        .counter("streamrel_cache_hits_total",
+                 "Session cache hits (all layers)", labels)
+        .set_at_least(s.cache_hits);
+    metrics_
+        .counter("streamrel_cache_misses_total",
+                 "Session cache misses (all layers)", labels)
+        .set_at_least(s.cache_misses);
+    metrics_
+        .counter("streamrel_cache_evictions_total",
+                 "Mask-table LRU evictions", labels)
+        .set_at_least(s.cache_evictions);
+    MetricLabels outcome = labels;
+    outcome.set("outcome", "full");
+    metrics_
+        .counter("streamrel_cache_invalidations_total",
+                 "Per-entry invalidation outcomes of delta application",
+                 outcome)
+        .set_at_least(s.invalidations_full);
+    outcome.set("outcome", "partial");
+    metrics_
+        .counter("streamrel_cache_invalidations_total", "", outcome)
+        .set_at_least(s.invalidations_partial);
+    outcome.set("outcome", "survived");
+    metrics_
+        .counter("streamrel_cache_invalidations_total", "", outcome)
+        .set_at_least(s.invalidations_survived);
+    metrics_
+        .gauge("streamrel_cache_mask_tables", "Cached mask-table entries",
+               labels)
+        .set(static_cast<double>(s.mask_tables));
+    metrics_
+        .gauge("streamrel_cache_mask_table_budget",
+               "Mask-table entry budget granted to the session", labels)
+        .set(static_cast<double>(s.budget));
+    metrics_
+        .gauge("streamrel_cache_mask_bytes",
+               "Resident bytes of cached slab mask tables", labels)
+        .set(static_cast<double>(s.mask_bytes));
+  }
+  metrics_
+      .counter("streamrel_flight_records_total",
+               "Requests recorded by the flight recorder")
+      .set_at_least(flight_.total_recorded());
+}
+
+std::string ReliabilityService::metrics_text() {
+  const Stopwatch timer;
+  refresh_scrape_gauges();
+  std::string text = metrics_.render_prometheus();
+  // The scrape that reports this value is already rendered; the gauge
+  // lands in the NEXT scrape, the usual client-library behavior.
+  metrics_
+      .gauge("streamrel_scrape_duration_ms",
+             "Wall time of the previous metrics scrape")
+      .set(timer.elapsed_ms());
+  return text;
+}
+
+WireResponse ReliabilityService::do_metrics(const WireRequest& request) {
+  WireResponse resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+  const std::string text = metrics_text();
+  std::string result = "{}";
+  append_json_member(result, "series",
+                     std::to_string(metrics_.series_count()));
+  append_json_member(result, "content_type",
+                     json_quote(kPrometheusContentType));
+  append_json_member(result, "text", json_quote(text));
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::do_dump(const WireRequest& request) {
+  WireResponse resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+  const std::vector<FlightEntry> entries = flight_.snapshot();
+  std::string records = "[";
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) records += ", ";
+    records += entries[i].record.to_json();
+    spans += entries[i].spans.size();
+  }
+  records += "]";
+  std::string result = "{}";
+  append_json_member(result, "records", records);
+  append_json_member(result, "retained", std::to_string(entries.size()));
+  append_json_member(result, "total_recorded",
+                     std::to_string(flight_.total_recorded()));
+  append_json_member(result, "spans", std::to_string(spans));
+  if (!request.dump_path.empty()) {
+    if (!flight_.dump_to_files(request.dump_path)) {
+      return make_wire_error(request.id_json, to_string(request.verb),
+                             "internal",
+                             "cannot write flight bundle to prefix '" +
+                                 request.dump_path + "'");
+    }
+    std::string files = "[";
+    files += json_quote(request.dump_path + ".jsonl");
+    files += ", ";
+    files += json_quote(request.dump_path + ".trace.json");
+    files += "]";
+    append_json_member(result, "files", files);
+  }
+  resp.result_json = std::move(result);
+  return resp;
+}
+
 WireResponse ReliabilityService::execute_impl(const WireRequest& request,
                                               const RequestHooks& hooks,
-                                              bool force_expired) {
+                                              bool force_expired,
+                                              double queue_us) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
-  if (force_expired) shed_total_.fetch_add(1, std::memory_order_relaxed);
+  if (force_expired) {
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    lane_shed(request.lane).fetch_add(1, std::memory_order_relaxed);
+  }
+  RequestRecord record;
+  record.seq = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.id_json = request.id_json;
+  record.tenant = request.tenant;
+  record.network_id = request.network_id;
+  record.verb.assign(to_string(request.verb));
+  record.lane.assign(to_string(request.lane));
+  record.shed = force_expired;
+  record.queue_us = queue_us > 0.0 ? queue_us : 0.0;
+
   WireResponse resp;
+  const Stopwatch exec_timer;
+  std::optional<TraceCapture> capture;
   try {
-    std::optional<TraceCapture> capture;
     if (request.want_trace) capture.emplace();
     switch (request.verb) {
       case WireVerb::kRegisterNetwork:
         resp = do_register(request);
         break;
       case WireVerb::kSolve:
-        resp = do_solve(request, hooks, force_expired);
+        resp = do_solve(request, hooks, force_expired, &record);
         break;
       case WireVerb::kBatch:
         resp = do_batch(request, hooks, force_expired);
@@ -367,6 +635,12 @@ WireResponse ReliabilityService::execute_impl(const WireRequest& request,
         resp.id_json = request.id_json;
         resp.verb.assign(to_string(request.verb));
         resp.result_json = stats_json();
+        break;
+      case WireVerb::kMetrics:
+        resp = do_metrics(request);
+        break;
+      case WireVerb::kDump:
+        resp = do_dump(request);
         break;
       case WireVerb::kShutdown:
         shutdown_.store(true, std::memory_order_relaxed);
@@ -389,6 +663,20 @@ WireResponse ReliabilityService::execute_impl(const WireRequest& request,
                            "internal", e.what());
   }
   if (!resp.ok) errors_total_.fetch_add(1, std::memory_order_relaxed);
+
+  record.ok = resp.ok;
+  record.error_code = resp.error_code;
+  record.solve_us = exec_timer.elapsed_ms() * 1000.0;
+  record.unix_ms = unix_millis_now();
+  note_request(record, queue_us);
+  std::vector<TraceEvent> spans;
+  std::uint64_t dropped_spans = 0;
+  if (capture) {
+    spans = capture->events();
+    dropped_spans = capture->dropped();
+  }
+  logger_.log(record);
+  flight_.record(std::move(record), std::move(spans), dropped_spans);
   return resp;
 }
 
@@ -400,6 +688,25 @@ void ReliabilityService::handle_line(std::string_view line,
     request = parse_wire_request(line);
   } catch (const WireParseError& e) {
     errors_total_.fetch_add(1, std::memory_order_relaxed);
+    // Protocol rejects never reach execute_impl, but they are still
+    // requests the operator wants on dashboards and in the flight
+    // recorder (a client suddenly speaking garbage is an incident).
+    RequestRecord record;
+    record.seq = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    record.id_json = e.id_json() == "null" ? std::string() : e.id_json();
+    record.verb = e.verb().empty() ? "?" : e.verb();
+    record.lane.assign(to_string(WireLane::kInteractive));
+    record.ok = false;
+    record.error_code = e.code();
+    record.unix_ms = unix_millis_now();
+    // The verb label must stay bounded: a client-supplied verb string
+    // would mint a fresh series per typo. The log/flight record keeps
+    // the raw verb for debugging; the metric gets the catch-all.
+    RequestRecord metric_view = record;
+    metric_view.verb = "?";
+    note_request(metric_view, -1.0);
+    logger_.log(record);
+    flight_.record(record);
     done(make_wire_error(e.id_json(), e.verb(), e.code(), e.what()));
     return;
   }
@@ -421,9 +728,13 @@ void ReliabilityService::handle_line(std::string_view line,
   if (budget > 0.0 && (effective_ms <= 0.0 || budget < effective_ms)) {
     effective_ms = budget;
   }
-  const bool shed_hint =
-      effective_ms > 0.0 &&
-      scheduler_->estimate_queue_ms(request.lane) > effective_ms;
+  const double estimate_ms = scheduler_->estimate_queue_ms(request.lane);
+  const bool shed_hint = effective_ms > 0.0 && estimate_ms > effective_ms;
+  metrics_
+      .gauge("streamrel_queue_estimate_ms",
+             "EWMA-based expected queue wait for new work",
+             MetricLabels{{"lane", std::string(to_string(request.lane))}})
+      .set(estimate_ms);
 
   using Clock = std::chrono::steady_clock;
   const bool has_deadline = effective_ms > 0.0;
@@ -442,15 +753,58 @@ void ReliabilityService::handle_line(std::string_view line,
   const bool admitted_ok = scheduler_->submit(
       shared_request->lane, effective_ms,
       [this, shared_request, shared_done, shared_hooks, shed_hint,
-       has_deadline, admitted, budget_dur] {
+       has_deadline, admitted, budget_dur, estimate_ms, effective_ms] {
+        const Clock::time_point picked_up = Clock::now();
         const bool expired_in_queue =
-            has_deadline && Clock::now() >= admitted + budget_dur;
+            has_deadline && picked_up >= admitted + budget_dur;
+        const double queue_ms =
+            std::chrono::duration<double, std::milli>(picked_up - admitted)
+                .count();
+        const MetricLabels lane_labels{
+            {"lane", std::string(to_string(shared_request->lane))}};
+        // Queue-time EWMA vs. actual: the estimator's absolute error,
+        // the signal that tells an operator whether shedding decisions
+        // are being made on good predictions.
+        metrics_
+            .histogram("streamrel_queue_estimate_error_ms",
+                       "Absolute error of the queue-wait estimate at admission",
+                       default_latency_buckets_ms(), lane_labels)
+            .observe(std::abs(queue_ms - estimate_ms));
+        if (has_deadline) {
+          metrics_
+              .histogram(
+                  "streamrel_deadline_margin_ms",
+                  "Effective deadline remaining when a worker picked the job "
+                  "up (zero = shed in queue)",
+                  default_latency_buckets_ms(), lane_labels)
+              .observe(std::max(0.0, effective_ms - queue_ms));
+        }
         (*shared_done)(execute_impl(*shared_request, *shared_hooks,
-                                    shed_hint || expired_in_queue));
+                                    shed_hint || expired_in_queue,
+                                    queue_ms * 1000.0));
       });
   if (!admitted_ok) {
     errors_total_.fetch_add(1, std::memory_order_relaxed);
     shed_total_.fetch_add(1, std::memory_order_relaxed);
+    lane_shed(shared_request->lane)
+        .fetch_add(1, std::memory_order_relaxed);
+    // Refused before admission: execute_impl never runs, so record the
+    // outcome here — overload is exactly the signal the metrics exist
+    // to make visible.
+    RequestRecord record;
+    record.seq = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    record.id_json = shared_request->id_json;
+    record.tenant = shared_request->tenant;
+    record.network_id = shared_request->network_id;
+    record.verb.assign(to_string(shared_request->verb));
+    record.lane.assign(to_string(shared_request->lane));
+    record.ok = false;
+    record.shed = true;
+    record.error_code = "overloaded";
+    record.unix_ms = unix_millis_now();
+    note_request(record, -1.0);
+    logger_.log(record);
+    flight_.record(record);
     (*shared_done)(make_wire_error(
         shared_request->id_json, to_string(shared_request->verb), "overloaded",
         "lane '" + std::string(to_string(shared_request->lane)) +

@@ -144,7 +144,11 @@ TenantSession::Stats TenantSession::stats() const {
   s.cache_hits = session_.cache_hits();
   s.cache_misses = session_.cache_misses();
   s.cache_evictions = session_.cache_evictions();
+  s.invalidations_full = session_.cache_invalidations_full();
+  s.invalidations_partial = session_.cache_invalidations_partial();
+  s.invalidations_survived = session_.cache_survived();
   s.mask_tables = session_.cached_mask_tables();
+  s.mask_bytes = session_.cached_mask_bytes();
   s.budget = session_.cache_budget();
   return s;
 }

@@ -19,6 +19,25 @@
 
 namespace streamrel {
 
+namespace {
+
+/// True for an HTTP-style "GET <path> ..." request line; fills `path`.
+/// The daemon's transports accept `GET /metrics` next to the JSON
+/// protocol so a Prometheus scraper (or curl) needs no JSON client.
+bool parse_get_line(std::string_view line, std::string_view* path) {
+  // HTTP request lines end CRLF; tolerate bare LF from hand-typed
+  // clients too.
+  while (line.ends_with('\r')) line.remove_suffix(1);
+  constexpr std::string_view kGet = "GET ";
+  if (!line.starts_with(kGet)) return false;
+  line.remove_prefix(kGet.size());
+  const std::size_t space = line.find(' ');
+  *path = space == std::string_view::npos ? line : line.substr(0, space);
+  return true;
+}
+
+}  // namespace
+
 StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
                                std::ostream& out) {
   StreamServeResult result;
@@ -26,6 +45,17 @@ StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    std::string_view path;
+    if (parse_get_line(line, &path)) {
+      // Plaintext scrape on the stream transport: the Prometheus text
+      // body, no HTTP framing (stdio has no headers to honor).
+      if (path == "/metrics") {
+        const std::string text = service.metrics_text();
+        const std::lock_guard<std::mutex> lock(write_mu);
+        out << text;
+      }
+      continue;
+    }
     result.lines += 1;
     service.handle_line(line, [&](WireResponse resp) {
       const std::lock_guard<std::mutex> lock(write_mu);
@@ -90,6 +120,12 @@ struct Connection {
     std::string framed = line;
     framed += '\n';
     if (!send_all(fd, framed)) open.store(false, std::memory_order_relaxed);
+  }
+
+  void write_raw(std::string_view data) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_relaxed)) return;
+    if (!send_all(fd, data)) open.store(false, std::memory_order_relaxed);
   }
 };
 
@@ -168,6 +204,32 @@ struct TcpServer::Impl {
         const std::size_t nl = buffer.find('\n', start);
         if (nl == std::string::npos) break;
         const std::string_view line(buffer.data() + start, nl - start);
+        std::string_view get_path;
+        if (parse_get_line(line, &get_path)) {
+          // `GET /metrics` on the JSON port: answer as a one-shot
+          // HTTP/1.0 exchange (what a Prometheus scraper or curl
+          // speaks) and close — remaining header lines are moot.
+          std::string body;
+          const char* status = "200 OK";
+          if (get_path == "/metrics") {
+            body = service.metrics_text();
+          } else {
+            status = "404 Not Found";
+            body = "only /metrics is served here\n";
+          }
+          std::string http = "HTTP/1.0 ";
+          http += status;
+          http += "\r\nContent-Type: ";
+          http += kPrometheusContentType;
+          http += "\r\nContent-Length: ";
+          http += std::to_string(body.size());
+          http += "\r\nConnection: close\r\n\r\n";
+          http += body;
+          conn->write_raw(http);
+          ::shutdown(conn->fd, SHUT_RDWR);
+          conn->open.store(false, std::memory_order_relaxed);
+          return;
+        }
         if (!line.empty()) {
           service.handle_line(line, [conn](WireResponse resp) {
             conn->write_line(serialize_wire_response(resp));
@@ -270,9 +332,18 @@ void TcpServer::stop() { impl_->shut_down(); }
 
 namespace {
 std::atomic<int> g_signal_pipe_write{-1};
+std::atomic<int> g_usr1_pipe_write{-1};
 
 extern "C" void streamrel_signal_handler(int) {
   const int fd = g_signal_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+extern "C" void streamrel_usr1_handler(int) {
+  const int fd = g_usr1_pipe_write.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
@@ -290,6 +361,21 @@ int install_signal_shutdown_pipe() {
   ::sigemptyset(&action.sa_mask);
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  return fds[0];
+}
+
+int install_sigusr1_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  g_usr1_pipe_write.store(fds[1], std::memory_order_relaxed);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = streamrel_usr1_handler;
+  ::sigemptyset(&action.sa_mask);
+  // Restart interrupted syscalls: a flight dump must never surface as
+  // an EINTR error in the serving path.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &action, nullptr);
   return fds[0];
 }
 

@@ -1,0 +1,307 @@
+// The obs metrics subsystem: registry semantics (find-or-create, kind
+// mismatch, node stability), Prometheus text-format exposition pinned
+// against golden strings (escaping, sorted labels, counter/_total and
+// histogram _bucket/+Inf/_count conventions, cumulativity), and the
+// concurrency contract — scrapes under writers always render a
+// well-formed document with monotonic counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "streamrel/obs/flight_recorder.hpp"
+#include "streamrel/obs/metrics.hpp"
+#include "streamrel/obs/request_log.hpp"
+#include "streamrel/util/json.hpp"
+
+#include <sstream>
+
+namespace streamrel {
+namespace {
+
+TEST(MetricLabels, SortsByKeyAndRendersEscaped) {
+  MetricLabels labels{{"zeta", "z"}, {"alpha", "a"}};
+  labels.set("mid", "value with \"quotes\"\nand\\slash");
+  EXPECT_EQ(labels.render(),
+            "{alpha=\"a\",mid=\"value with \\\"quotes\\\"\\nand\\\\slash\","
+            "zeta=\"z\"}");
+  // Insertion order never matters: same logical set, same key.
+  const MetricLabels swapped{{"alpha", "a"}, {"zeta", "z"}};
+  const MetricLabels original{{"zeta", "z"}, {"alpha", "a"}};
+  EXPECT_EQ(swapped.render(), original.render());
+  EXPECT_EQ(MetricLabels{}.render(), "");
+}
+
+TEST(MetricsRegistry, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.counter("app_requests_total", "Requests served").inc(3);
+  registry
+      .counter("app_requests_total", "", MetricLabels{{"verb", "solve"}})
+      .inc(2);
+  registry.gauge("app_depth", "Queue depth").set(1.5);
+  registry
+      .histogram("app_latency_ms", "Latency", {1.0, 10.0},
+                 MetricLabels{{"lane", "fast"}})
+      .observe(0.5);
+  registry
+      .histogram("app_latency_ms", "", {1.0, 10.0},
+                 MetricLabels{{"lane", "fast"}})
+      .observe(5.0);
+
+  // Families in name order, series in label order, histogram buckets
+  // cumulative and closed by +Inf == _count.
+  EXPECT_EQ(registry.render_prometheus(),
+            "# HELP app_depth Queue depth\n"
+            "# TYPE app_depth gauge\n"
+            "app_depth 1.5\n"
+            "# HELP app_latency_ms Latency\n"
+            "# TYPE app_latency_ms histogram\n"
+            "app_latency_ms_bucket{lane=\"fast\",le=\"1\"} 1\n"
+            "app_latency_ms_bucket{lane=\"fast\",le=\"10\"} 2\n"
+            "app_latency_ms_bucket{lane=\"fast\",le=\"+Inf\"} 2\n"
+            "app_latency_ms_sum{lane=\"fast\"} 5.5\n"
+            "app_latency_ms_count{lane=\"fast\"} 2\n"
+            "# HELP app_requests_total Requests served\n"
+            "# TYPE app_requests_total counter\n"
+            "app_requests_total 3\n"
+            "app_requests_total{verb=\"solve\"} 2\n");
+  EXPECT_EQ(registry.series_count(), 4u);
+}
+
+TEST(MetricsRegistry, HandlesAreNodeStableAndSharedAcrossLabelOrder) {
+  MetricsRegistry registry;
+  MetricCounter& a = registry.counter(
+      "x_total", "h", MetricLabels{{"k1", "v1"}, {"k2", "v2"}});
+  MetricCounter& b = registry.counter(
+      "x_total", "", MetricLabels{{"k2", "v2"}, {"k1", "v1"}});
+  EXPECT_EQ(&a, &b);  // same logical series, same node
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Creating more series does not move existing handles.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("x_total", "",
+                     MetricLabels{{"k1", std::to_string(i)}});
+  }
+  a.inc();
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("dual_total", "h");
+  EXPECT_THROW(registry.gauge("dual_total", "h"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dual_total", "h", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(MetricCounter, SetAtLeastIsMonotonic) {
+  MetricCounter c;
+  c.set_at_least(10);
+  EXPECT_EQ(c.value(), 10u);
+  c.set_at_least(4);  // never backwards
+  EXPECT_EQ(c.value(), 10u);
+  c.set_at_least(12);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(MetricHistogram, BucketBoundariesAreInclusive) {
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("h_ms", "h", {1.0, 2.0});
+  h.observe(1.0);  // le="1" is inclusive per the Prometheus spec
+  h.observe(2.5);  // overflow cell
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(1), 0u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);
+}
+
+TEST(MetricsRegistry, HelpTextIsEscaped) {
+  MetricsRegistry registry;
+  registry.counter("esc_total", "line one\nline two \\ backslash");
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(
+      text.find("# HELP esc_total line one\\nline two \\\\ backslash\n"),
+      std::string::npos);
+}
+
+// Joins on scope exit so a failing ASSERT below cannot destroy
+// joinable threads (std::terminate).
+struct WriterPool {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  void join() {
+    stop.store(true);
+    for (std::thread& th : writers) {
+      if (th.joinable()) th.join();
+    }
+  }
+  ~WriterPool() { join(); }
+};
+
+TEST(MetricsRegistry, ScrapesUnderConcurrentWritersStayWellFormed) {
+  MetricsRegistry registry;
+  // On a loaded machine the first scrape can beat every writer thread
+  // to its first registration; a base series keeps it non-empty.
+  registry.counter("writer_total", "per-writer");
+  WriterPool pool;
+  std::atomic<bool>& stop = pool.stop;
+  std::vector<std::thread>& writers = pool.writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&registry, &stop, w] {
+      MetricCounter& mine = registry.counter(
+          "writer_total", "per-writer",
+          MetricLabels{{"writer", std::to_string(w)}});
+      MetricHistogram& lat = registry.histogram(
+          "lat_ms", "latency", default_latency_buckets_ms(),
+          MetricLabels{{"writer", std::to_string(w)}});
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        mine.inc();
+        lat.observe(static_cast<double>(i % 97));
+        // Fresh series mid-scrape exercise the create path too.
+        registry.gauge("spot", "g",
+                       MetricLabels{{"slot", std::to_string(i % 16)}});
+        ++i;
+      }
+    });
+  }
+
+  std::uint64_t last_total = 0;
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    const std::string text = registry.render_prometheus();
+    ASSERT_FALSE(text.empty());
+    // Every sample line must end in a parseable value; counters are
+    // monotonic across scrapes.
+    std::uint64_t total = 0;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      ASSERT_NO_THROW(static_cast<void>(std::stod(line.substr(space + 1))))
+          << line;
+      if (line.rfind("writer_total", 0) == 0) {
+        total += static_cast<std::uint64_t>(std::stod(line.substr(space + 1)));
+      }
+    }
+    EXPECT_GE(total, last_total);
+    last_total = total;
+  }
+  // A final post-join scrape must still be monotone against the last
+  // concurrent one (no writes lost, no counter going backwards).
+  pool.join();
+  std::uint64_t final_total = 0;
+  const std::string text = registry.render_prometheus();
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("writer_total{", 0) == 0) {
+      const std::size_t space = line.rfind(' ');
+      final_total +=
+          static_cast<std::uint64_t>(std::stod(line.substr(space + 1)));
+    }
+  }
+  EXPECT_GE(final_total, last_total);
+}
+
+TEST(RequestLogger, WritesOneJsonLinePerRecord) {
+  std::ostringstream out;
+  RequestLogger logger(&out);
+  ASSERT_TRUE(logger.enabled());
+
+  RequestRecord record;
+  record.seq = 7;
+  record.unix_ms = 123;
+  record.id_json = "42";
+  record.tenant = "acme\"inc";  // exercises escaping
+  record.network_id = "default";
+  record.verb = "solve";
+  record.lane = "interactive";
+  record.engine = "adaptive";
+  record.status = "ok";
+  record.ok = true;
+  record.queue_us = 12.25;
+  record.solve_us = 1000.5;
+  logger.log(record);
+
+  RequestRecord shed;
+  shed.seq = 8;
+  shed.verb = "solve";
+  shed.lane = "interactive";
+  shed.shed = true;
+  shed.error_code = "overloaded";
+  logger.log(shed);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue first = parse_json(line);
+  EXPECT_EQ(first.find("seq")->as_number(), 7.0);
+  EXPECT_EQ(first.find("id")->as_number(), 42.0);
+  EXPECT_EQ(first.find("tenant")->as_string(), "acme\"inc");
+  EXPECT_EQ(first.find("verb")->as_string(), "solve");
+  EXPECT_EQ(first.find("engine")->as_string(), "adaptive");
+  EXPECT_TRUE(first.find("ok")->as_bool());
+  EXPECT_EQ(first.find("queue_us")->as_number(), 12.2);  // %.1f rendering
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue second = parse_json(line);
+  EXPECT_TRUE(second.find("id")->is_null());
+  EXPECT_TRUE(second.find("shed")->as_bool());
+  EXPECT_EQ(second.find("error_code")->as_string(), "overloaded");
+  EXPECT_FALSE(std::getline(lines, line));
+
+  RequestLogger disabled(nullptr);
+  EXPECT_FALSE(disabled.enabled());
+  disabled.log(record);  // no-op, no crash
+}
+
+TEST(FlightRecorder, RingKeepsTheLastNOldestFirst) {
+  FlightRecorder recorder(3);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    RequestRecord record;
+    record.seq = i;
+    record.verb = "solve";
+    recorder.record(record, {}, 0);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  const std::vector<FlightEntry> entries = recorder.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].record.seq, 3u);
+  EXPECT_EQ(entries[1].record.seq, 4u);
+  EXPECT_EQ(entries[2].record.seq, 5u);
+}
+
+TEST(FlightRecorder, ChromeTraceSeparatesRequestsByPid) {
+  FlightRecorder recorder(4);
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    RequestRecord record;
+    record.seq = i;
+    record.verb = "solve";
+    std::vector<TraceEvent> spans(1);
+    spans[0].name = "query_prepare";
+    spans[0].category = "cache";
+    spans[0].dur_ns = 1000;
+    recorder.record(record, std::move(spans), 0);
+  }
+  const JsonValue doc = parse_json(recorder.dump_chrome_trace());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<double> pids;
+  for (const JsonValue& e : events->as_array()) {
+    if (const JsonValue* ph = e.find("ph");
+        ph != nullptr && ph->as_string() == "X") {
+      pids.push_back(e.find("pid")->as_number());
+    }
+  }
+  ASSERT_EQ(pids.size(), 2u);
+  EXPECT_NE(pids[0], pids[1]);  // one track per request
+}
+
+}  // namespace
+}  // namespace streamrel

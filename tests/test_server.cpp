@@ -413,6 +413,273 @@ TEST(Server, PerRequestTraceCaptureDoesNotLeakAcrossThreads) {
   EXPECT_EQ(Tracer::event_count(), 0u);
 }
 
+TEST(Server, StatsExposesQueueEstimateAndPerLaneSheds) {
+  const GeneratedNetwork g = test_instance();
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = 1;
+  ReliabilityService service(options);
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  // Force interactive sheds: pin the worker, then blow deadlines.
+  std::atomic<int> answered{0};
+  auto done = [&](WireResponse) { answered.fetch_add(1); };
+  service.handle_line(serialize_wire_request(batch_request()), done);
+  for (int i = 0; i < 6; ++i) {
+    WireRequest solve;
+    solve.verb = WireVerb::kSolve;
+    solve.deadline_ms = 1e-6;
+    service.handle_line(serialize_wire_request(solve), done);
+  }
+  service.drain();
+  ASSERT_EQ(answered.load(), 7);
+
+  const JsonValue stats = parse_json(service.stats_json());
+  const JsonValue* lanes = stats.find("lanes");
+  ASSERT_NE(lanes, nullptr);
+  for (const char* lane : {"interactive", "bulk"}) {
+    const JsonValue* snap = lanes->find(lane);
+    ASSERT_NE(snap, nullptr) << lane;
+    ASSERT_NE(snap->find("queue_estimate_ms"), nullptr) << lane;
+    ASSERT_NE(snap->find("shed"), nullptr) << lane;
+  }
+  const double interactive_shed =
+      lanes->find("interactive")->find("shed")->as_number();
+  EXPECT_GT(interactive_shed, 0.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(interactive_shed) +
+                static_cast<std::uint64_t>(
+                    lanes->find("bulk")->find("shed")->as_number()),
+            service.shed_count());
+}
+
+TEST(Server, StatsStaysCoherentUnderConcurrentTenantsAndScrapes) {
+  constexpr int kTenants = 4;
+  std::vector<GeneratedNetwork> nets;
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = 2;
+  ReliabilityService service(options);
+  for (int t = 0; t < kTenants; ++t) {
+    nets.push_back(test_instance(static_cast<std::uint64_t>(11 + t)));
+    const std::string tenant = "tenant" + std::to_string(t);
+    ASSERT_TRUE(service.execute(register_request(nets.back(), tenant)).ok);
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int t = 0; t < kTenants; ++t) {
+    load.emplace_back([&, t] {
+      const std::string tenant = "tenant" + std::to_string(t);
+      for (int round = 0; round < 16; ++round) {
+        WireRequest solve;
+        solve.verb = WireVerb::kSolve;
+        solve.tenant = tenant;
+        solve.deadline_ms = 10'000.0;
+        sent.fetch_add(1);
+        service.handle_line(serialize_wire_request(solve),
+                            [&](WireResponse resp) {
+                              if (!resp.ok) failures.fetch_add(1);
+                            });
+      }
+    });
+  }
+  // Scrapers: the stats verb AND the Prometheus exposition, both racing
+  // the load. Every snapshot must parse; neither may block a solve.
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&] {
+      while (!stop.load()) {
+        WireRequest statsv;
+        statsv.verb = WireVerb::kStats;
+        const WireResponse resp = service.execute(statsv);
+        if (!resp.ok) failures.fetch_add(1);
+        try {
+          const JsonValue doc = parse_json(resp.result_json);
+          if (doc.find("lanes") == nullptr ||
+              doc.find("tenants") == nullptr) {
+            failures.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+        if (service.metrics_text().empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : load) th.join();
+  service.drain();
+  stop.store(true);
+  for (std::thread& th : scrapers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The stats scrapers themselves count as requests, so the total is a
+  // lower bound, not an equality.
+  const JsonValue stats = parse_json(service.stats_json());
+  EXPECT_GE(stats.find("requests")->as_number(),
+            static_cast<double>(sent.load()));
+}
+
+TEST(Server, MetricsVerbRendersValidExposition) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  solve.want_telemetry = true;  // feeds the telemetry -> metrics bridge
+  ASSERT_TRUE(service.execute(solve).ok);
+
+  WireRequest metrics;
+  metrics.verb = WireVerb::kMetrics;
+  const WireResponse resp = service.execute(metrics);
+  ASSERT_TRUE(resp.ok);
+  const JsonValue result = parse_json(resp.result_json);
+  EXPECT_GT(result.find("series")->as_number(), 0.0);
+  EXPECT_EQ(result.find("content_type")->as_string(),
+            kPrometheusContentType);
+  const std::string text = result.find("text")->as_string();
+  EXPECT_NE(text.find("# TYPE streamrel_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE streamrel_request_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("streamrel_sessions 1"), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "streamrel_requests_total{code=\"ok\",lane=\"interactive\","
+          "verb=\"solve\"} 1"),
+      std::string::npos);
+  // The engine telemetry bridge produced engine-labeled series (label
+  // keys render sorted: counter before engine).
+  EXPECT_NE(text.find("streamrel_engine_work_total{counter="),
+            std::string::npos);
+  // le="+Inf" closes every histogram series.
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(Server, DumpVerbReturnsFlightRecordsInline) {
+  const GeneratedNetwork g = test_instance();
+  ServiceOptions options;
+  options.flight_capacity = 4;
+  ReliabilityService service(options);
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  for (int i = 0; i < 6; ++i) {
+    WireRequest solve;
+    solve.verb = WireVerb::kSolve;
+    solve.id_json = std::to_string(i);
+    ASSERT_TRUE(service.execute(solve).ok);
+  }
+
+  WireRequest dump;
+  dump.verb = WireVerb::kDump;
+  const WireResponse resp = service.execute(dump);
+  ASSERT_TRUE(resp.ok);
+  const JsonValue result = parse_json(resp.result_json);
+  EXPECT_EQ(result.find("retained")->as_number(), 4.0);
+  EXPECT_EQ(result.find("total_recorded")->as_number(), 7.0);
+  const JsonValue* records = result.find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->as_array().size(), 4u);
+  // Oldest first, and the ring dropped the three earliest requests.
+  EXPECT_EQ(records->as_array().front().find("seq")->as_number(), 4.0);
+  EXPECT_EQ(records->as_array().back().find("seq")->as_number(), 7.0);
+  EXPECT_EQ(records->as_array().back().find("verb")->as_string(), "solve");
+  EXPECT_EQ(records->as_array().back().find("engine")->as_string().empty(),
+            false);
+}
+
+TEST(Server, StreamTransportAnswersGetMetrics) {
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service;
+  std::stringstream in;
+  in << serialize_wire_request(register_request(g)) << "\n"
+     << R"({"v": 1, "id": 1, "verb": "solve"})" << "\n"
+     << "GET /metrics\n"
+     << R"({"v": 1, "id": 2, "verb": "shutdown"})" << "\n";
+  std::stringstream out;
+  const StreamServeResult served = serve_stream(service, in, out);
+  EXPECT_TRUE(served.shutdown);
+  // The GET line is answered with raw exposition, not counted as a
+  // wire request.
+  EXPECT_EQ(served.lines, 3u);
+  EXPECT_EQ(served.responses, 3u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE streamrel_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("streamrel_request_latency_ms_bucket"),
+            std::string::npos);
+}
+
+TEST(Server, RequestLogRecordsEveryRequestThroughTheService) {
+  const GeneratedNetwork g = test_instance();
+  std::ostringstream log;
+  ServiceOptions options;
+  options.request_log = &log;
+  ReliabilityService service(options);
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  solve.id_json = "\"rq-1\"";
+  ASSERT_TRUE(service.execute(solve).ok);
+  WireRequest ghost;
+  ghost.verb = WireVerb::kSolve;
+  ghost.tenant = "ghost";
+  EXPECT_FALSE(service.execute(ghost).ok);
+
+  std::vector<JsonValue> lines;
+  std::istringstream in(log.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(parse_json(line));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find("verb")->as_string(), "register_network");
+  EXPECT_TRUE(lines[0].find("ok")->as_bool());
+  EXPECT_EQ(lines[1].find("id")->as_string(), "rq-1");
+  EXPECT_EQ(lines[1].find("verb")->as_string(), "solve");
+  EXPECT_EQ(lines[1].find("status")->as_string(), "exact");
+  EXPECT_FALSE(lines[1].find("engine")->as_string().empty());
+  EXPECT_GT(lines[1].find("solve_us")->as_number(), 0.0);
+  EXPECT_FALSE(lines[2].find("ok")->as_bool());
+  EXPECT_EQ(lines[2].find("error_code")->as_string(), "unknown_network");
+}
+
+TEST(Server, SolveResultsAreIdenticalWithAndWithoutInstrumentation) {
+  // The acceptance bar: metrics/logging must never perturb the
+  // arithmetic. Same request, one service with every sink enabled and
+  // one bare — bitwise-identical rendered results.
+  const GeneratedNetwork g = test_instance();
+  std::ostringstream log;
+  ServiceOptions instrumented;
+  instrumented.request_log = &log;
+  instrumented.flight_capacity = 8;
+  ReliabilityService with_obs(instrumented);
+  ReliabilityService bare;
+  ASSERT_TRUE(with_obs.execute(register_request(g)).ok);
+  ASSERT_TRUE(bare.execute(register_request(g)).ok);
+
+  for (int i = 0; i < 3; ++i) {
+    WireRequest solve;
+    solve.verb = WireVerb::kSolve;
+    if (i == 2) solve.query.overrides.push_back(ProbOverride{0, 0.42});
+    const WireResponse a = with_obs.execute(solve);
+    const WireResponse b = bare.execute(solve);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    // Everything but the wall-clock field must match bit for bit
+    // (reliability is rendered to full precision).
+    const JsonValue da = parse_json(a.result_json);
+    const JsonValue db = parse_json(b.result_json);
+    EXPECT_EQ(da.find("reliability")->as_number(),
+              db.find("reliability")->as_number());
+    EXPECT_EQ(da.find("status")->as_string(), db.find("status")->as_string());
+    EXPECT_EQ(da.find("method")->as_string(), db.find("method")->as_string());
+    EXPECT_EQ(da.find("engine")->as_string(), db.find("engine")->as_string());
+  }
+  const WireResponse batch_a = with_obs.execute(batch_request());
+  const WireResponse batch_b = bare.execute(batch_request());
+  ASSERT_TRUE(batch_a.ok);
+  EXPECT_EQ(batch_a.legacy_lines, batch_b.legacy_lines);
+}
+
 TEST(Server, TcpLoopbackRoundTrip) {
   const GeneratedNetwork g = test_instance();
   ServiceOptions options;

@@ -5,6 +5,7 @@
 //
 //   bench_compare BENCH_old.json BENCH_new.json [--threshold=0.30]
 //                 [--floor=key:value,key:value,...]
+//                 [--ceil=key:value,key:value,...]
 //
 // Comparison rules, applied per metric key present in BOTH records:
 //   * keys ending in "_ms" (wall times): fail when new > old * (1 + t),
@@ -20,6 +21,10 @@
 //     kept alive across deltas): fail when new < old * (1 - t) — a drop
 //     silently shifts work onto the slow path and shows up as a perf
 //     regression one commit later;
+//   * keys ending in "_series_count" (metric-registry cardinality): fail
+//     when new > old * 2 — a label accidentally carrying an unbounded
+//     value (request id, timestamp) doubles the series set long before
+//     it takes down a Prometheus server;
 //   * everything else (call counts, sizes, seeds) is informational.
 // Metrics present in only one record are reported but never fatal —
 // benches grow columns across commits.
@@ -28,7 +33,10 @@
 // run: "replay.artifact_survival_rate:0.5" fails when the metric is
 // missing, non-numeric, or below 0.5. Use it for invariants with a
 // physical meaning (a minimum speedup, a survival rate) where "no worse
-// than the base commit" is too weak a promise.
+// than the base commit" is too weak a promise. --ceil is the mirror
+// image — an absolute upper bound on the NEW record
+// ("server.scrape_ms:5" fails when the metric is missing, non-numeric,
+// or above 5) for latencies with a hard budget.
 
 #include <fstream>
 #include <limits>
@@ -61,15 +69,17 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
 
-struct Floor {
+struct Gate {
   std::string key;
   double value = 0.0;
 };
 
-/// Parses "key:value,key:value" from --floor. Keys contain dots, so the
-/// split is on the LAST ':' of each comma-separated element.
-std::vector<Floor> parse_floors(const std::string& spec) {
-  std::vector<Floor> floors;
+/// Parses "key:value,key:value" from --floor / --ceil. Keys contain
+/// dots, so the split is on the LAST ':' of each comma-separated
+/// element. `flag` only labels the parse error.
+std::vector<Gate> parse_gates(const std::string& spec,
+                              const std::string& flag) {
+  std::vector<Gate> gates;
   std::size_t start = 0;
   while (start < spec.size()) {
     std::size_t end = spec.find(',', start);
@@ -78,16 +88,16 @@ std::vector<Floor> parse_floors(const std::string& spec) {
     const std::size_t colon = item.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
         colon + 1 >= item.size()) {
-      throw std::runtime_error("bad --floor element '" + item +
+      throw std::runtime_error("bad " + flag + " element '" + item +
                                "' (want key:value)");
     }
-    Floor floor;
-    floor.key = item.substr(0, colon);
-    floor.value = std::stod(item.substr(colon + 1));
-    floors.push_back(std::move(floor));
+    Gate gate;
+    gate.key = item.substr(0, colon);
+    gate.value = std::stod(item.substr(colon + 1));
+    gates.push_back(std::move(gate));
     start = end + 1;
   }
-  return floors;
+  return gates;
 }
 
 BenchRecord load(const std::string& path) {
@@ -126,18 +136,20 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.positional().size() != 2) {
     std::cerr << "usage: bench_compare OLD.json NEW.json [--threshold=0.30] "
-                 "[--floor=key:value,...]\n";
+                 "[--floor=key:value,...] [--ceil=key:value,...]\n";
     return 2;
   }
   const double threshold = args.get_double("threshold", 0.30);
 
   BenchRecord old_run;
   BenchRecord new_run;
-  std::vector<Floor> floors;
+  std::vector<Gate> floors;
+  std::vector<Gate> ceils;
   try {
     old_run = load(args.positional()[0]);
     new_run = load(args.positional()[1]);
-    floors = parse_floors(args.get("floor", ""));
+    floors = parse_gates(args.get("floor", ""), "--floor");
+    ceils = parse_gates(args.get("ceil", ""), "--ceil");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -198,8 +210,16 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (ends_with(key, "_series_count")) {
+      if (after > before * 2.0) {
+        std::cout << "  ! " << key << ": " << before << " -> " << after
+                  << " (more than 2x, metric cardinality explosion)\n";
+        ++regressions;
+      }
+      continue;
+    }
   }
-  for (const Floor& floor : floors) {
+  for (const Gate& floor : floors) {
     const JsonValue* value = new_run.metrics.find(floor.key);
     if (value == nullptr || !value->is_number()) {
       std::cout << "  ! " << floor.key << ": missing from new run (floor "
@@ -210,6 +230,20 @@ int main(int argc, char** argv) {
     if (value->as_number() < floor.value) {
       std::cout << "  ! " << floor.key << ": " << value->as_number()
                 << " below floor " << floor.value << "\n";
+      ++regressions;
+    }
+  }
+  for (const Gate& ceil : ceils) {
+    const JsonValue* value = new_run.metrics.find(ceil.key);
+    if (value == nullptr || !value->is_number()) {
+      std::cout << "  ! " << ceil.key << ": missing from new run (ceiling "
+                << ceil.value << ")\n";
+      ++regressions;
+      continue;
+    }
+    if (value->as_number() > ceil.value) {
+      std::cout << "  ! " << ceil.key << ": " << value->as_number()
+                << " above ceiling " << ceil.value << "\n";
       ++regressions;
     }
   }

@@ -1,0 +1,379 @@
+// Strict validator for Prometheus text-format exposition (the output of
+// the `metrics` verb, `GET /metrics` and --metrics-out). CI's
+// server-smoke job pipes the daemon's scrape through this tool so a
+// malformed exposition — one a real Prometheus server would silently
+// drop series from — fails the build instead of a dashboard weeks
+// later.
+//
+//   metrics_check FILE [--require name1,name2,...]
+//
+// FILE is a path or "-" for stdin. Checks, per the text-format spec:
+//   * every sample belongs to a family declared by a preceding
+//     `# TYPE` line (samples before their TYPE are an error);
+//   * counter family names end in "_total" and their samples carry no
+//     extra suffix;
+//   * gauge samples match their family name exactly;
+//   * histogram samples are only `_bucket` (with an `le` label),
+//     `_sum` and `_count`;
+//   * per histogram series, `le` thresholds strictly increase, bucket
+//     counts never decrease (cumulativity), the last bucket is
+//     `le="+Inf"`, and its value equals the series' `_count`;
+//   * no duplicate series (same name + label set twice);
+//   * sample values parse as numbers.
+// --require lists family names that must be present with at least one
+// sample — the CI assertion that instrumentation did not silently
+// disappear.
+//
+// Exit status: 0 valid, 1 validation errors (all listed), 2 usage.
+
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamrel/util/cli.hpp"
+
+using namespace streamrel;
+
+namespace {
+
+struct Sample {
+  std::string name;        ///< full sample name, suffixes included
+  std::string labels;      ///< raw text between braces ("" when none)
+  double value = 0.0;
+  std::size_t line = 0;
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Splits a raw label body into sorted key="value" pairs; returns false
+/// on malformed syntax. `out` gets the pairs minus any key in `drop`.
+bool parse_labels(std::string_view body, std::string_view drop,
+                  std::map<std::string, std::string>& out,
+                  std::string* dropped_value) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string_view::npos) return false;
+    const std::string key(body.substr(pos, eq - pos));
+    if (key.empty() || eq + 1 >= body.size() || body[eq + 1] != '"') {
+      return false;
+    }
+    std::string value;
+    std::size_t i = eq + 2;
+    for (; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '\\') {
+        if (i + 1 >= body.size()) return false;
+        const char esc = body[i + 1];
+        if (esc == 'n') {
+          value.push_back('\n');
+        } else if (esc == '\\' || esc == '"') {
+          value.push_back(esc);
+        } else {
+          return false;  // the text format allows exactly \n, \\ and \"
+        }
+        ++i;
+      } else if (c == '"') {
+        break;
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (i >= body.size()) return false;  // unterminated value
+    pos = i + 1;
+    if (pos < body.size()) {
+      if (body[pos] != ',') return false;
+      ++pos;
+    }
+    if (key == drop) {
+      if (dropped_value != nullptr) *dropped_value = value;
+    } else if (!out.emplace(key, value).second) {
+      return false;  // duplicate label key
+    }
+  }
+  return true;
+}
+
+std::string canonical_labels(const std::map<std::string, std::string>& kv) {
+  std::string out;
+  for (const auto& [k, v] : kv) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\x1f';
+  }
+  return out;
+}
+
+struct BucketPoint {
+  double le = 0.0;
+  bool le_inf = false;
+  double count = 0.0;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().size() != 1) {
+    std::cerr << "usage: metrics_check FILE [--require name1,name2,...]\n";
+    return 2;
+  }
+
+  std::string text;
+  const std::string& path = args.positional().front();
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  std::vector<std::string> errors;
+  auto fail = [&](std::size_t line, const std::string& what) {
+    errors.push_back("line " + std::to_string(line) + ": " + what);
+  };
+
+  // Pass 1: TYPE declarations and samples, in document order.
+  std::map<std::string, std::string> family_type;  // name -> counter/...
+  std::map<std::string, std::size_t> family_samples;
+  std::vector<Sample> samples;
+  std::set<std::string> seen_series;  // name + canonical labels
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash;
+      std::string kind;
+      std::string name;
+      meta >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        std::string type;
+        meta >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail(lineno, "unknown TYPE '" + type + "' for " + name);
+        }
+        if (!family_type.emplace(name, type).second) {
+          fail(lineno, "duplicate TYPE declaration for " + name);
+        }
+      }
+      continue;  // HELP and comments are free-form
+    }
+
+    Sample s;
+    s.line = lineno;
+    const std::size_t brace = line.find('{');
+    std::size_t value_start;
+    if (brace != std::string::npos) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        fail(lineno, "unterminated label set");
+        continue;
+      }
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace + 1, close - brace - 1);
+      value_start = close + 1;
+    } else {
+      const std::size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        fail(lineno, "sample without value");
+        continue;
+      }
+      s.name = line.substr(0, space);
+      value_start = space;
+    }
+    const std::string value_text = line.substr(value_start);
+    try {
+      std::size_t used = 0;
+      const std::string trimmed =
+          value_text.substr(value_text.find_first_not_of(' '));
+      if (trimmed == "+Inf" || trimmed == "Inf") {
+        s.value = std::numeric_limits<double>::infinity();
+      } else {
+        s.value = std::stod(trimmed, &used);
+        // A trailing timestamp (integer ms) is legal; anything else is
+        // not.
+        for (std::size_t i = used; i < trimmed.size(); ++i) {
+          const char c = trimmed[i];
+          if (c != ' ' && (c < '0' || c > '9') && c != '-' && c != '+') {
+            throw std::invalid_argument("trailing junk");
+          }
+        }
+      }
+    } catch (const std::exception&) {
+      fail(lineno, "unparseable value '" + value_text + "' for " + s.name);
+      continue;
+    }
+    samples.push_back(std::move(s));
+  }
+
+  // Pass 2: family membership and per-sample rules.
+  // Histogram cumulativity state: (series key) -> ordered buckets and
+  // the _count value.
+  std::map<std::string, std::vector<BucketPoint>> hist_buckets;
+  std::map<std::string, std::pair<double, std::size_t>> hist_counts;
+  for (const Sample& s : samples) {
+    // Resolve the family: exact name, or a histogram/summary suffix.
+    std::string family;
+    std::string type;
+    for (const std::string_view suffix :
+         {std::string_view{""}, std::string_view{"_bucket"},
+          std::string_view{"_sum"}, std::string_view{"_count"}}) {
+      if (!ends_with(s.name, suffix)) continue;
+      const std::string candidate =
+          s.name.substr(0, s.name.size() - suffix.size());
+      const auto it = family_type.find(candidate);
+      if (it != family_type.end()) {
+        // A bare match wins; suffix matches only count for histogram/
+        // summary families.
+        if (suffix.empty() || it->second == "histogram" ||
+            it->second == "summary") {
+          family = candidate;
+          type = it->second;
+          break;
+        }
+      }
+    }
+    if (family.empty()) {
+      fail(s.line, "sample '" + s.name + "' has no preceding TYPE family");
+      continue;
+    }
+    ++family_samples[family];
+
+    std::map<std::string, std::string> kv;
+    std::string le_value;
+    if (!parse_labels(s.labels, type == "histogram" ? "le" : "", kv,
+                      &le_value)) {
+      fail(s.line, "malformed labels for " + s.name + " {" + s.labels + "}");
+      continue;
+    }
+    const std::string series_key =
+        s.name + "\x1e" + canonical_labels(kv) +
+        (le_value.empty() ? "" : "\x1e" + le_value);
+    if (!seen_series.insert(series_key).second) {
+      fail(s.line, "duplicate series " + s.name + "{" + s.labels + "}");
+    }
+
+    if (type == "counter") {
+      if (s.name != family) {
+        fail(s.line, "counter sample '" + s.name +
+                         "' does not match family '" + family + "'");
+      }
+      if (!ends_with(family, "_total")) {
+        fail(s.line,
+             "counter family '" + family + "' does not end in _total");
+      }
+      if (s.value < 0.0) {
+        fail(s.line, "negative counter " + s.name);
+      }
+    } else if (type == "gauge") {
+      if (s.name != family) {
+        fail(s.line, "gauge sample '" + s.name + "' does not match family '" +
+                         family + "'");
+      }
+    } else if (type == "histogram") {
+      const std::string sub_key = family + "\x1e" + canonical_labels(kv);
+      if (ends_with(s.name, "_bucket")) {
+        if (le_value.empty()) {
+          fail(s.line, "histogram bucket without le label: " + s.name);
+          continue;
+        }
+        BucketPoint point;
+        point.line = s.line;
+        point.count = s.value;
+        if (le_value == "+Inf") {
+          point.le_inf = true;
+        } else {
+          try {
+            point.le = std::stod(le_value);
+          } catch (const std::exception&) {
+            fail(s.line, "unparseable le=\"" + le_value + "\"");
+            continue;
+          }
+        }
+        hist_buckets[sub_key].push_back(point);
+      } else if (ends_with(s.name, "_count")) {
+        hist_counts[sub_key] = {s.value, s.line};
+      } else if (!ends_with(s.name, "_sum")) {
+        fail(s.line, "histogram sample '" + s.name +
+                         "' is not _bucket/_sum/_count");
+      }
+    }
+  }
+
+  // Pass 3: histogram series invariants.
+  for (const auto& [key, buckets] : hist_buckets) {
+    const std::string display = key.substr(0, key.find('\x1e'));
+    for (std::size_t i = 1; i < buckets.size(); ++i) {
+      if (!buckets[i].le_inf && buckets[i - 1].le_inf) {
+        fail(buckets[i].line,
+             display + ": bucket after le=\"+Inf\"");
+      } else if (!buckets[i].le_inf && buckets[i].le <= buckets[i - 1].le) {
+        fail(buckets[i].line, display + ": le thresholds not increasing");
+      }
+      if (buckets[i].count < buckets[i - 1].count) {
+        fail(buckets[i].line, display + ": bucket counts not cumulative");
+      }
+    }
+    if (buckets.empty() || !buckets.back().le_inf) {
+      fail(buckets.empty() ? 0 : buckets.back().line,
+           display + ": missing le=\"+Inf\" bucket");
+      continue;
+    }
+    const auto count_it = hist_counts.find(key);
+    if (count_it == hist_counts.end()) {
+      fail(buckets.back().line, display + ": missing _count sample");
+    } else if (count_it->second.first != buckets.back().count) {
+      fail(count_it->second.second,
+           display + ": _count != le=\"+Inf\" bucket");
+    }
+  }
+
+  // --require: named families must exist with samples.
+  const std::string require = args.get("require", "");
+  std::size_t start = 0;
+  while (start < require.size()) {
+    std::size_t end = require.find(',', start);
+    if (end == std::string::npos) end = require.size();
+    const std::string name = require.substr(start, end - start);
+    if (!name.empty() && family_samples[name] == 0) {
+      errors.push_back("required family '" + name + "' has no samples");
+    }
+    start = end + 1;
+  }
+
+  if (!errors.empty()) {
+    for (const std::string& e : errors) std::cerr << "metrics_check: " << e
+                                                  << "\n";
+    std::cerr << "metrics_check: " << errors.size() << " error(s) in "
+              << samples.size() << " samples\n";
+    return 1;
+  }
+  std::cout << "metrics_check: ok (" << family_type.size() << " families, "
+            << samples.size() << " samples)\n";
+  return 0;
+}

@@ -5,17 +5,39 @@
 //                   [--workers N] [--bulk-share N] [--max-queue N]
 //                   [--memory-cap N] [--interactive-budget-ms MS]
 //                   [--bulk-budget-ms MS] [--metrics-interval-ms MS]
+//                   [--metrics-out FILE] [--log-json[=FILE]]
+//                   [--flight-capacity N] [--flight-out PREFIX]
 //
 // --stdio serves newline-delimited JSON on stdin/stdout (the CI smoke
 // job and scripting mode); otherwise a TCP listener on --bind:--port
 // (port 0 picks an ephemeral port, printed on startup). SIGINT/SIGTERM
 // and the "shutdown" verb stop the daemon after in-flight work drains.
-// --memory-cap is the global mask-table budget shared by all sessions;
-// --metrics-interval-ms > 0 prints a periodic stats line to stderr.
+// --memory-cap is the global mask-table budget shared by all sessions.
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-interval-ms > 0  prints a periodic stats line to stderr
+//                              and drives the --metrics-out self-scrape
+//   --metrics-out FILE         Prometheus text written atomically every
+//                              interval (default 5 s) and at exit — the
+//                              headless scrape for node_exporter-style
+//                              textfile collection
+//   --log-json[=FILE]          one JSON line per finished request, to
+//                              stderr or FILE
+//   --flight-capacity N        flight-recorder ring size (default 256)
+//   --flight-out PREFIX        SIGUSR1 dumps PREFIX.jsonl +
+//                              PREFIX.trace.json (default
+//                              "streamrel_flight"); the `dump` verb
+//                              does the same on demand
+// A live TCP daemon also answers `GET /metrics` on the wire port.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -25,6 +47,18 @@
 using namespace streamrel;
 
 namespace {
+
+/// Write-then-rename so a scraper never reads a half-written file.
+bool write_metrics_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << text;
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
 
 int run(const CliArgs& args) {
   ServiceOptions options;
@@ -39,10 +73,36 @@ int run(const CliArgs& args) {
   options.scheduler.max_queue =
       static_cast<std::size_t>(args.get_int("max-queue", 256));
   options.start_workers = true;
+  options.flight_capacity =
+      static_cast<std::size_t>(args.get_int("flight-capacity", 256));
+
+  std::ofstream log_file;
+  if (args.has("log-json")) {
+    const std::string log_path = args.get("log-json", "");
+    if (log_path.empty()) {
+      options.request_log = &std::cerr;
+    } else {
+      log_file.open(log_path, std::ios::app);
+      if (!log_file) {
+        std::cerr << "error: cannot open --log-json file '" << log_path
+                  << "'\n";
+        return 1;
+      }
+      options.request_log = &log_file;
+    }
+  }
+
   ReliabilityService service(options);
 
-  const double metrics_interval_ms =
-      args.get_double("metrics-interval-ms", 0.0);
+  const std::string metrics_out = args.get("metrics-out", "");
+  double metrics_interval_ms = args.get_double("metrics-interval-ms", 0.0);
+  // --metrics-out without an explicit interval still wants a periodic
+  // self-scrape; 5 s is the Prometheus-default-adjacent cadence.
+  if (!metrics_out.empty() && metrics_interval_ms <= 0.0) {
+    metrics_interval_ms = 5000.0;
+  }
+  const bool stats_line = args.get_double("metrics-interval-ms", 0.0) > 0.0;
+
   std::mutex metrics_mu;
   std::condition_variable metrics_cv;
   bool metrics_stop = false;
@@ -57,20 +117,53 @@ int run(const CliArgs& args) {
             [&] { return metrics_stop; });
         if (metrics_stop) break;
         lock.unlock();
-        std::cerr << "metrics " << service.stats_json() << "\n";
+        if (stats_line) std::cerr << "metrics " << service.stats_json() << "\n";
+        if (!metrics_out.empty() &&
+            !write_metrics_file(metrics_out, service.metrics_text())) {
+          std::cerr << "warning: cannot write --metrics-out '" << metrics_out
+                    << "'\n";
+        }
         lock.lock();
       }
     });
   }
   const auto stop_metrics = [&] {
-    if (!metrics_thread.joinable()) return;
-    {
-      const std::lock_guard<std::mutex> lock(metrics_mu);
-      metrics_stop = true;
+    if (metrics_thread.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mu);
+        metrics_stop = true;
+      }
+      metrics_cv.notify_all();
+      metrics_thread.join();
     }
-    metrics_cv.notify_all();
-    metrics_thread.join();
+    // Final scrape at exit, so short-lived runs still leave a file.
+    if (!metrics_out.empty() &&
+        !write_metrics_file(metrics_out, service.metrics_text())) {
+      std::cerr << "warning: cannot write --metrics-out '" << metrics_out
+                << "'\n";
+    }
   };
+
+  // SIGUSR1 -> flight-recorder bundle, via a self-pipe watcher thread
+  // (never from the signal handler itself).
+  const std::string flight_out = args.get("flight-out", "streamrel_flight");
+  const int usr1_fd = install_sigusr1_pipe();
+  std::thread flight_thread;
+  if (usr1_fd >= 0) {
+    flight_thread = std::thread([&service, usr1_fd, flight_out] {
+      char byte;
+      while (::read(usr1_fd, &byte, 1) == 1) {
+        if (service.flight_recorder().dump_to_files(flight_out)) {
+          std::cerr << "flight recorder dumped to " << flight_out
+                    << ".jsonl + " << flight_out << ".trace.json\n";
+        } else {
+          std::cerr << "warning: cannot write flight bundle to '" << flight_out
+                    << "'\n";
+        }
+      }
+    });
+    flight_thread.detach();  // blocked on the pipe for process lifetime
+  }
 
   if (args.get_bool("stdio")) {
     const StreamServeResult result =
