@@ -12,15 +12,27 @@
 // blows — every one of them must still get an "ok": true response, with
 // "shed": true and bounds attached, never a refusal or a throw.
 //
+// E30 — durable restore: the same tenant is rebuilt twice, once cold
+// (parse + compile + replay every delta through apply_delta) and once
+// warm (boot a second service from a checkpointed --state-dir and let
+// restore_all adopt the snapshot bitwise). Reports server.restore_ms,
+// server.cold_rebuild_ms and their ratio, and cross-checks that the
+// restored session solves byte-identically to the cold twin.
+//
 // Exits non-zero when a response goes missing, the warm/cold cross-check
-// fails, or overload shedding never engages. With --json=FILE a
-// bench_harness record (BENCH_server.json in CI) is written; the CI
-// floor gate holds server.responses_rate at 1 and
-// server.overload_shed_rate above its floor.
+// fails, overload shedding never engages, or the restored session
+// diverges from its cold rebuild. With --json=FILE a bench_harness
+// record (BENCH_server.json in CI) is written; the CI gates hold
+// server.responses_rate at 1, server.overload_shed_rate and
+// server.restore_speedup above their floors, and server.restore_ms
+// under its ceiling.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <filesystem>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -74,6 +86,31 @@ WireRequest batch_request(const std::string& tenant, int queries,
             rng.uniform_below(static_cast<std::uint64_t>(num_edges))),
         0.05 + 0.9 * rng.uniform01()});
   }
+  return req;
+}
+
+/// Extracts the rendered value of `key` from a flat JSON object string
+/// (up to the next ',' or '}') — pins the reliability member bitwise
+/// without dragging in timing fields that legitimately differ per run.
+std::string json_member(const std::string& object_json,
+                        const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = object_json.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = object_json.find_first_of(",}", start);
+  return object_json.substr(start, end - start);
+}
+
+/// Deterministic churn edit i for the restore phase — regenerated
+/// identically on the cold and warm sides so both lineages match.
+WireRequest scripted_delta_request(int i, int num_edges) {
+  WireRequest req;
+  req.verb = WireVerb::kApplyDelta;
+  req.tenant = "tenant0";
+  req.delta.set_failure_prob(
+      static_cast<EdgeId>(i % num_edges),
+      0.05 + 0.9 * static_cast<double>((i * 37) % 100) / 100.0);
   return req;
 }
 
@@ -281,6 +318,86 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- E30: warm restore from --state-dir vs cold rebuild -------------
+  // Cold side: parse + compile + replay every delta through apply_delta.
+  // Warm side: checkpoint the same lineage (persist verb folds the WAL
+  // into the snapshot) and time a second service booting from the state
+  // dir; the restored session must then solve byte-identically.
+  const int restore_deltas =
+      static_cast<int>(args.get_int("restore-deltas", smoke ? 192 : 512));
+  namespace fs = std::filesystem;
+  const fs::path state_root =
+      fs::temp_directory_path() /
+      ("streamrel_bench_state_" + std::to_string(::getpid()));
+  fs::remove_all(state_root);
+
+  WireRequest restore_solve;
+  restore_solve.verb = WireVerb::kSolve;
+  restore_solve.tenant = "tenant0";
+
+  double cold_rebuild_ms = 0.0;
+  std::string cold_result;
+  {
+    Stopwatch sw;
+    ReliabilityService cold_service{ServiceOptions{}};
+    bool built = cold_service.execute(register_request(nets[0], "tenant0")).ok;
+    for (int i = 0; built && i < restore_deltas; ++i) {
+      built = cold_service
+                  .execute(scripted_delta_request(i, nets[0].net.num_edges()))
+                  .ok;
+    }
+    cold_rebuild_ms = sw.elapsed_ms();
+    const WireResponse solve = cold_service.execute(restore_solve);
+    if (!built || !solve.ok) {
+      std::cerr << "FAIL: cold rebuild for the restore phase failed\n";
+      ok = false;
+    }
+    cold_result = json_member(solve.result_json, "reliability");
+  }
+
+  ServiceOptions durable;
+  durable.state_dir = state_root.string();
+  durable.state_fsync = false;  // scratch dir; durability is tested elsewhere
+  {
+    ReliabilityService seed_service(durable);
+    bool built = seed_service.execute(register_request(nets[0], "tenant0")).ok;
+    for (int i = 0; built && i < restore_deltas; ++i) {
+      built = seed_service
+                  .execute(scripted_delta_request(i, nets[0].net.num_edges()))
+                  .ok;
+    }
+    WireRequest persist;
+    persist.verb = WireVerb::kPersist;
+    persist.tenant = "tenant0";
+    if (!built || !seed_service.execute(persist).ok) {
+      std::cerr << "FAIL: seeding the durable state dir failed\n";
+      ok = false;
+    }
+  }
+
+  Stopwatch restore_sw;
+  ReliabilityService warm_service(durable);
+  const double restore_ms = restore_sw.elapsed_ms();
+  bool restore_identical = false;
+  if (warm_service.boot_restore().restored != 1) {
+    std::cerr << "FAIL: boot restore adopted "
+              << warm_service.boot_restore().restored
+              << " session(s), expected 1\n";
+    ok = false;
+  } else {
+    const WireResponse solve = warm_service.execute(restore_solve);
+    restore_identical =
+        solve.ok && !cold_result.empty() &&
+        json_member(solve.result_json, "reliability") == cold_result;
+    if (!restore_identical) {
+      std::cerr << "FAIL: restored session diverged from its cold rebuild\n";
+      ok = false;
+    }
+  }
+  const double restore_speedup =
+      cold_rebuild_ms / std::max(restore_ms, 1e-6);
+  fs::remove_all(state_root);
+
   std::cout << "server_throughput: " << tenants << " tenants, " << requests
             << " requests in " << format_double(serve_ms, 2) << " ms ("
             << workers << " workers)\n"
@@ -299,7 +416,12 @@ int main(int argc, char** argv) {
             << "  overload: " << shed.load() << "/" << overload_requests
             << " shed (rate " << format_double(shed_rate, 4) << "), "
             << overload_responses.load() << "/" << overload_total
-            << " responded\n";
+            << " responded\n"
+            << "  restore: warm " << format_double(restore_ms, 4)
+            << " ms vs cold rebuild " << format_double(cold_rebuild_ms, 4)
+            << " ms (" << restore_deltas << " deltas, speedup "
+            << format_double(restore_speedup, 2) << "x), identical: "
+            << (restore_identical ? "yes" : "NO") << "\n";
 
   bench::BenchReport report("server_throughput");
   report.metric("tenants", static_cast<std::int64_t>(tenants))
@@ -317,7 +439,13 @@ int main(int argc, char** argv) {
       .metric("server.warm_equal_cold", warm_equal_cold)
       .metric("server.scrape_ms", scrape_ms_max)
       .metric("server.metrics_series_count",
-              static_cast<std::int64_t>(series_count));
+              static_cast<std::int64_t>(series_count))
+      .metric("server.restore_deltas",
+              static_cast<std::int64_t>(restore_deltas))
+      .metric("server.restore_ms", restore_ms)
+      .metric("server.cold_rebuild_ms", cold_rebuild_ms)
+      .metric("server.restore_speedup", restore_speedup)
+      .metric("server.restore_identical", restore_identical);
   const bool json_ok = bench::write_if_requested(report, args);
   return ok && json_ok ? 0 : 1;
 }

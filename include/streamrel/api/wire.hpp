@@ -34,7 +34,12 @@
 //   metrics           none (result: Prometheus text + series count)
 //   dump              optional "path" (file prefix for the flight-
 //                     recorder bundle; records also returned inline)
-//   shutdown          none
+//   persist           none (checkpoint the session's durable store now;
+//                     requires the daemon to run with --state-dir)
+//   restore           none (reload the session from its durable store,
+//                     replacing the live one)
+//   shutdown          none (under --state-dir, checkpoints every
+//                     session before draining)
 //
 // Response envelope:
 //
@@ -44,7 +49,8 @@
 //
 // Error contract mirrors the library's: protocol and usage errors
 // (parse_error, bad_request, unsupported_version, unknown_verb,
-// unknown_network, overloaded, internal) are "ok": false; a deadline or
+// unknown_network, overloaded, state_corrupt, internal) are
+// "ok": false; a deadline or
 // budget stop is NOT an error — it is an "ok": true result whose
 // "status" is the SolveStatus string with reliability bounds attached,
 // exactly like the in-process no-throw contract.
@@ -77,6 +83,8 @@ enum class WireVerb {
   kStats,            ///< live telemetry / lane / session metrics
   kMetrics,          ///< Prometheus text-format exposition scrape
   kDump,             ///< flight-recorder dump (last N request records)
+  kPersist,          ///< checkpoint the session's durable store now
+  kRestore,          ///< reload the session from its durable store
   kShutdown,         ///< stop serving after in-flight work drains
 };
 

@@ -109,6 +109,16 @@ class QuerySession {
   /// session so the caches see every change.
   explicit QuerySession(FlowNetwork net, QueryCacheOptions cache = {});
 
+  /// Warm restore: adopts a pre-compiled snapshot CONSISTENT with `net`
+  /// (the persist layer's replay product — builder and snapshot replayed
+  /// through the same deltas), skipping the lazy first compile so a
+  /// restored session answers its first query against the exact restored
+  /// arrays. Throws std::invalid_argument when net and snapshot disagree
+  /// on node or edge count.
+  QuerySession(FlowNetwork net,
+               std::shared_ptr<const CompiledNetwork> warm_snapshot,
+               QueryCacheOptions cache = {});
+
   const FlowNetwork& network() const noexcept { return net_; }
 
   /// The DOCUMENTED alias for editing the network outside the session's

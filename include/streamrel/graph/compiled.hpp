@@ -86,6 +86,21 @@ class CompiledNetwork {
   static std::shared_ptr<const CompiledNetwork> compile(
       const FlowNetwork& net);
 
+  /// Reassembles a snapshot from previously extracted arrays — the
+  /// deserialization entry point (graph/serialize.hpp). All columns are
+  /// adopted verbatim (the caller vouches for their internal
+  /// consistency; the deserializer validates shapes and ranges before
+  /// calling this), so a persisted snapshot restores BITWISE, including
+  /// the precomputed log columns. Structure identity is process-local
+  /// and therefore NOT restored: a fresh structure id is minted and
+  /// parent_id is 0 — the persisted lineage lives in the store's
+  /// journal, not in the id counter. Throws std::invalid_argument when
+  /// the column lengths disagree with the topology.
+  static std::shared_ptr<const CompiledNetwork> from_parts(
+      Topology topology, std::vector<Capacity> capacity,
+      std::vector<double> failure_prob, std::vector<double> log_failure,
+      std::vector<double> log_survival);
+
   /// Probability overlay: a new snapshot sharing THIS snapshot's
   /// Structure (same structure_id()), with edge `id` failing with
   /// probability `p`. Throws std::invalid_argument for a bad edge id or

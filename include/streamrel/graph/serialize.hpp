@@ -1,0 +1,83 @@
+#pragma once
+// Canonical binary forms for the graph layer's durable objects.
+//
+// Three objects cross the process-lifetime boundary: the compiled
+// snapshot (CSR + SoA columns), the delta (the WAL's record payload),
+// and the delta-record lineage (how a structure came to be). Each gets
+// exactly one versioned encoding here; the persist layer composes them
+// into files but never invents its own field layouts.
+//
+// Encoding contract:
+//   * every payload starts with kGraphFormatVersion (u32) and is split
+//     into CRC-framed sections (util/binio.hpp), so a flipped bit in
+//     any array is detected before the array is adopted;
+//   * doubles are stored as IEEE-754 bit patterns — deserialization of
+//     serialize_compiled output reproduces every column BITWISE,
+//     including the precomputed log(p) / log1p(-p) columns (they are
+//     stored, not re-derived, precisely so no libm round-trip can
+//     perturb them);
+//   * structure identity is process-local and deliberately NOT encoded:
+//     a deserialized snapshot carries a freshly minted structure id
+//     with parent id 0. Persisted ancestry travels as the explicit
+//     DeltaRecord lineage instead.
+//
+// All deserializers validate shapes and ranges (offsets monotone,
+// endpoint/incident ids in range, probabilities in [0, 1), counts under
+// sanity caps) and throw BinReadError on any violation — corrupt input
+// is a recoverable condition for callers, never UB.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamrel/graph/compiled.hpp"
+#include "streamrel/graph/delta.hpp"
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+/// Version stamped into every payload produced by this header. Bump on
+/// any layout change; readers accept [1, kGraphFormatVersion].
+inline constexpr std::uint32_t kGraphFormatVersion = 1;
+
+// --- compiled snapshots ------------------------------------------------
+
+/// Full snapshot: topology CSR, capacity column, and all three
+/// probability columns, each in its own CRC-framed section.
+std::string serialize_compiled(const CompiledNetwork& snapshot);
+
+/// Inverse of serialize_compiled. The returned snapshot's arrays are
+/// bitwise-identical to the serialized one's; its structure id is
+/// freshly minted (see header comment). Throws BinReadError on corrupt
+/// or out-of-range input.
+std::shared_ptr<const CompiledNetwork> deserialize_compiled(
+    std::string_view bytes);
+
+/// Rebuilds a mutable builder that compiles back to this snapshot:
+/// add_nodes + add_edge in edge-id order reproduces the builder the
+/// snapshot was (or could have been) compiled from, so
+/// builder_from_compiled(s).compile() is array-identical to `s` by the
+/// documented apply_delta/compile invariant.
+FlowNetwork builder_from_compiled(const CompiledNetwork& snapshot);
+
+// --- deltas ------------------------------------------------------------
+
+/// One NetworkDelta — the payload of a WAL record.
+std::string serialize_delta(const NetworkDelta& delta);
+
+/// Throws BinReadError on corrupt input. Id validity against a concrete
+/// network is NOT checked here (the delta application path owns that);
+/// only encoding-level sanity is.
+NetworkDelta deserialize_delta(std::string_view bytes);
+
+// --- lineage -----------------------------------------------------------
+
+/// A DeltaRecord chain (DeltaJournal::chain order: most recent first).
+std::string serialize_lineage(const std::vector<DeltaRecord>& lineage);
+
+/// Throws BinReadError on corrupt input.
+std::vector<DeltaRecord> deserialize_lineage(std::string_view bytes);
+
+}  // namespace streamrel

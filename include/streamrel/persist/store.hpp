@@ -1,0 +1,171 @@
+#pragma once
+// Crash-safe per-tenant/network session store: atomic snapshots plus an
+// append-only write-ahead delta journal.
+//
+// Layout of one store directory (one per tenant/network pair):
+//
+//   snapshot.bin   magic "SRELSNP1" | version | CRC-framed sections:
+//                  meta (journal base sequence, default demand, cache
+//                  budget), network (graph/serialize.hpp compiled
+//                  payload), lineage (DeltaRecord chain at checkpoint
+//                  time, diagnostic only).
+//   wal.bin        magic "SRELWAL1" | version | flags, then records:
+//                  20-byte header { payload length u32 | sequence u64 |
+//                  payload crc32 u32 | header crc32 over the first 16
+//                  bytes u32 } + serialized NetworkDelta.
+//
+// Durability protocol:
+//   * checkpoint = write snapshot to a temp file, fsync, rename over
+//     snapshot.bin, fsync the directory, then reset the WAL. The rename
+//     is the commit point; a crash on either side leaves a loadable
+//     store (the snapshot's base sequence makes stale WAL records —
+//     possible when the crash lands between rename and WAL reset —
+//     skippable, not corrupting).
+//   * append = one write() of header + payload to the O_APPEND WAL fd,
+//     then fdatasync (when StoreOptions::fsync). Sequences are assigned
+//     monotonically and survive compaction.
+//   * load = parse snapshot, rebuild the builder network, then replay
+//     every WAL record with sequence > base through BOTH
+//     CompiledNetwork::apply_delta (so the restored snapshot chain is
+//     bitwise-identical to the pre-crash one) and apply_delta_in_place
+//     on the builder (so builder and snapshot stay consistent for the
+//     serving layer's warm-restore constructor).
+//
+// Failure discrimination on load: a record header that does not fit in
+// the remaining bytes, or a payload shorter than its header promises,
+// is a TORN TAIL — the expected shape of a crash mid-append — and is
+// truncated away (when StoreOptions::repair), yielding kOk with fewer
+// records. A checksum mismatch, bad magic, non-monotone sequence, or
+// semantic replay failure is CORRUPTION and yields kCorrupt: the caller
+// cold-starts; the loader itself never crashes on hostile bytes.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "streamrel/graph/compiled.hpp"
+#include "streamrel/graph/delta.hpp"
+#include "streamrel/graph/flow_network.hpp"
+
+namespace streamrel {
+
+enum class StoreStatus {
+  kOk,        ///< operation succeeded (load: possibly after tail repair)
+  kNotFound,  ///< no snapshot in the directory — nothing to restore
+  kCorrupt,   ///< checksum/format/replay violation — cold start required
+  kIoError,   ///< the OS said no (permissions, disk full, ...)
+};
+
+std::string_view to_string(StoreStatus status) noexcept;
+
+struct StoreOptions {
+  /// WAL record count past which needs_compaction() turns true.
+  std::size_t compact_threshold = 64;
+  /// fsync/fdatasync after every durable write. Off is for tests and
+  /// benches that accept losing the tail on power failure.
+  bool fsync = true;
+  /// Truncate a torn WAL tail in place during load(). Off = report the
+  /// torn bytes but leave the file untouched (state_check's mode).
+  bool repair = true;
+};
+
+/// Everything load() reconstructs: the builder network and compiled
+/// snapshot are CONSISTENT (the snapshot is the replayed successor of
+/// the persisted one; the builder replays the same deltas in place), so
+/// a warm session can adopt both without recompiling.
+struct RestoredSession {
+  FlowNetwork net;
+  std::shared_ptr<const CompiledNetwork> snapshot;
+  FlowDemand default_demand;
+  std::optional<std::size_t> max_mask_tables;  ///< explicit cache budget
+  std::vector<DeltaRecord> lineage;  ///< checkpoint-time ancestry (diagnostic)
+  std::uint64_t replayed_deltas = 0;
+  std::uint64_t torn_bytes = 0;  ///< WAL tail bytes dropped (or found torn)
+};
+
+struct StoreStats {
+  std::uint64_t wal_records = 0;    ///< records live in the WAL
+  std::uint64_t last_seq = 0;       ///< highest sequence assigned
+  std::uint64_t bytes_written = 0;  ///< durable bytes this store wrote
+  std::uint64_t checkpoints = 0;
+  std::uint64_t appends = 0;
+};
+
+/// One tenant/network store rooted at a directory. Not thread-safe:
+/// callers serialize access per store (the registry holds one store per
+/// session behind the session's own lock).
+class SessionStore {
+ public:
+  explicit SessionStore(std::filesystem::path dir, StoreOptions options = {});
+  ~SessionStore();
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  /// Restores the session (snapshot + WAL replay). On kCorrupt/kIoError
+  /// `error` (when non-null) receives a one-line diagnosis and `out` is
+  /// untouched.
+  StoreStatus load(RestoredSession& out, std::string* error = nullptr);
+
+  /// Atomically replaces the snapshot with `snapshot` (+ demand and
+  /// cache budget) and resets the WAL. The snapshot's arrays are stored
+  /// bitwise; its DeltaJournal lineage rides along for diagnostics.
+  StoreStatus checkpoint(const CompiledNetwork& snapshot,
+                         const FlowDemand& demand,
+                         std::optional<std::size_t> max_mask_tables,
+                         std::string* error = nullptr);
+
+  /// Appends one delta to the WAL (the write-ahead half: call after the
+  /// in-memory apply succeeded, before acknowledging the client).
+  StoreStatus append(const NetworkDelta& delta, std::string* error = nullptr);
+
+  /// True once the WAL holds more than StoreOptions::compact_threshold
+  /// records — the registry folds the WAL into a fresh checkpoint then.
+  bool needs_compaction() const noexcept;
+
+  const StoreStats& stats() const noexcept { return stats_; }
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  StoreStatus open_wal_for_append(std::string* error);
+  void close_wal() noexcept;
+
+  std::filesystem::path dir_;
+  StoreOptions options_;
+  StoreStats stats_;
+  int wal_fd_ = -1;
+};
+
+/// Maps tenant/network names onto store directories under one root.
+/// Names are percent-encoded per path component (anything outside
+/// [A-Za-z0-9._-], plus a leading '.', becomes %XX), so arbitrary wire
+/// identifiers can never escape the root or collide with dotfiles.
+class StateDir {
+ public:
+  explicit StateDir(std::filesystem::path root) : root_(std::move(root)) {}
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+  std::filesystem::path store_path(std::string_view tenant,
+                                   std::string_view network_id) const;
+
+  struct Entry {
+    std::string tenant;
+    std::string network_id;
+    std::filesystem::path path;
+  };
+  /// All store directories under the root (sorted by tenant, network).
+  /// Directories whose names fail to decode are skipped.
+  std::vector<Entry> enumerate() const;
+
+  static std::string encode_component(std::string_view name);
+  static std::optional<std::string> decode_component(std::string_view enc);
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace streamrel

@@ -54,6 +54,16 @@ struct ServiceOptions {
   /// Structured JSON request log: one line per finished request
   /// (--log-json in the daemon). Null disables with a single branch.
   std::ostream* request_log = nullptr;
+  /// Durable session state root (--state-dir). Empty = in-memory only.
+  /// When set, the constructor restores every loadable store (corrupt
+  /// ones cold-start with a warning in boot_restore()), registrations
+  /// and the shutdown verb checkpoint, and apply_delta journals.
+  std::string state_dir;
+  /// WAL records per session before an inline compaction checkpoint.
+  std::size_t wal_compact_threshold = 64;
+  /// fsync snapshots and fdatasync journal appends. Off trades crash
+  /// durability for latency (tests/benches).
+  bool state_fsync = true;
 };
 
 /// Per-request sinks, so concurrent tenants never interleave output:
@@ -109,6 +119,20 @@ class ReliabilityService {
     return shed_total_.load(std::memory_order_relaxed);
   }
 
+  /// What the constructor's restore-on-boot pass found under state_dir
+  /// (empty report when persistence is off). The daemon logs the
+  /// warnings; corrupt stores cold-start, they never crash the boot.
+  const BootRestoreReport& boot_restore() const noexcept {
+    return boot_restore_;
+  }
+
+  /// Builds the structured `overloaded` rejection for a request line
+  /// refused by connection-level backpressure (transport in-flight cap),
+  /// counting it per lane (streamrel_backpressure_rejects_total). The
+  /// line is parsed only to echo its id/verb/lane; a line that does not
+  /// even parse gets its parse error instead.
+  WireResponse reject_overloaded(std::string_view line);
+
  private:
   WireResponse execute_impl(const WireRequest& request,
                             const RequestHooks& hooks, bool force_expired,
@@ -123,6 +147,8 @@ class ReliabilityService {
   WireResponse do_apply_delta(const WireRequest& request);
   WireResponse do_metrics(const WireRequest& request);
   WireResponse do_dump(const WireRequest& request);
+  WireResponse do_persist(const WireRequest& request);
+  WireResponse do_restore(const WireRequest& request);
   std::shared_ptr<TenantSession> find_session(const WireRequest& request,
                                               WireResponse* error) const;
   double lane_budget_ms(WireLane lane) const noexcept;
@@ -143,6 +169,7 @@ class ReliabilityService {
 
   ServiceOptions options_;
   SessionRegistry registry_;
+  BootRestoreReport boot_restore_;
   std::unique_ptr<RequestScheduler> scheduler_;  ///< null without workers
   MetricsRegistry metrics_;
   FlightRecorder flight_;

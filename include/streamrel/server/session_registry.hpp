@@ -15,6 +15,18 @@
 // warm what-ifs proceed in parallel. Answers stay bitwise-identical to
 // a plain QuerySession: the orchestration is the same code path in the
 // same order, only the locking is new.
+//
+// Durability (optional, RegistryPersistOptions::state_dir): each session
+// owns a persist::SessionStore. The store is only ever touched under the
+// session's WRITER lock, which pins the critical ordering property for
+// free: apply_delta journals the delta in the same critical section that
+// applied it, so the WAL replays deltas in exactly the order the live
+// session saw them — restored state is bitwise-identical to pre-crash
+// state. Registration, the persist verb, WAL compaction and shutdown all
+// checkpoint through the same path (atomic snapshot + journal reset).
+// Journal failures degrade durability, never availability: the in-memory
+// apply already succeeded, so the request is answered and the failure is
+// counted (journal_errors).
 
 #include <map>
 #include <memory>
@@ -27,6 +39,7 @@
 
 #include "streamrel/core/batch_evaluator.hpp"
 #include "streamrel/core/query_session.hpp"
+#include "streamrel/persist/store.hpp"
 
 namespace streamrel {
 
@@ -34,6 +47,22 @@ class TenantSession {
  public:
   TenantSession(FlowNetwork net, FlowDemand default_demand,
                 const QueryCacheOptions& cache_options, bool explicit_budget);
+
+  /// Warm restore: adopts the persist layer's replay product — builder
+  /// network AND compiled snapshot, already consistent — so the first
+  /// query after a restart runs against the exact restored arrays
+  /// without recompiling.
+  TenantSession(RestoredSession restored,
+                const QueryCacheOptions& cache_options, bool explicit_budget);
+
+  /// Hands this session its durable store (nullptr detaches). The store
+  /// is used only under the session's writer lock from here on.
+  void attach_store(std::unique_ptr<SessionStore> store);
+  bool durable() const;
+
+  /// Checkpoint: atomic snapshot write + journal reset (see
+  /// persist/store.hpp for the durability protocol).
+  StoreStatus checkpoint_now(std::string* error = nullptr);
 
   /// Same contract and bitwise-same answer as QuerySession::solve.
   /// `options.context` must be set (the service owns the per-request
@@ -46,6 +75,10 @@ class TenantSession {
   BatchReport batch(std::span<const WhatIfQuery> queries,
                     const BatchOptions& options);
 
+  /// Applies the delta and, when durable, journals it to the WAL in the
+  /// SAME writer critical section (write-ahead of the acknowledgement,
+  /// ordered exactly as applied). A full journal triggers compaction —
+  /// an inline checkpoint — right there.
   DeltaOutcome apply_delta(const NetworkDelta& delta);
 
   /// Copy of the current network, for read-only replay pipelines.
@@ -69,14 +102,30 @@ class TenantSession {
     std::size_t mask_tables = 0;
     std::size_t mask_bytes = 0;  ///< resident slab bytes of cached tables
     std::size_t budget = 0;
+    // --- durability ---------------------------------------------------
+    bool durable = false;     ///< a store is attached
+    bool restored = false;    ///< this session was warm-restored from disk
+    std::uint64_t wal_records = 0;     ///< current journal depth
+    std::uint64_t checkpoints = 0;
+    std::uint64_t wal_appends = 0;
+    std::uint64_t state_bytes_written = 0;
+    std::uint64_t journal_errors = 0;
+    std::uint64_t replayed_deltas = 0;  ///< WAL records replayed at restore
   };
   Stats stats() const;
 
  private:
+  /// Checkpoint body; caller holds the writer lock.
+  StoreStatus checkpoint_locked(std::string* error);
+
   mutable std::shared_mutex mu_;
   QuerySession session_;
   FlowDemand default_demand_;
   const bool explicit_budget_;
+  std::unique_ptr<SessionStore> store_;
+  std::uint64_t journal_errors_ = 0;
+  std::uint64_t replayed_deltas_ = 0;
+  bool restored_ = false;
 };
 
 /// Registration outcome, echoed on the wire.
@@ -85,6 +134,47 @@ struct RegisterOutcome {
   std::size_t cache_budget = 0; ///< mask-table budget actually granted
   int nodes = 0;
   int edges = 0;
+  bool persisted = false;       ///< a durable checkpoint was written
+  std::string persist_error;    ///< non-empty: checkpoint failed (degraded)
+};
+
+/// Durability configuration for the registry. An empty state_dir turns
+/// persistence off entirely (the PR-8 in-memory behavior).
+struct RegistryPersistOptions {
+  std::string state_dir;
+  std::size_t wal_compact_threshold = 64;
+  bool fsync = true;
+};
+
+/// restore_all() outcome: what came back, what was refused as corrupt.
+struct BootRestoreReport {
+  std::size_t restored = 0;
+  std::size_t corrupt = 0;
+  std::uint64_t replayed_deltas = 0;
+  std::vector<std::string> warnings;  ///< one line per refused store
+};
+
+/// Single-session restore outcome (the `restore` verb).
+struct RestoreOutcome {
+  StoreStatus status = StoreStatus::kNotFound;
+  std::string error;
+  int nodes = 0;
+  int edges = 0;
+  std::uint64_t replayed_deltas = 0;
+  std::size_t cache_budget = 0;
+};
+
+/// Aggregated durability counters for stats/metrics.
+struct PersistTotals {
+  bool enabled = false;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_records = 0;  ///< current depth summed over sessions
+  std::uint64_t bytes_written = 0;
+  std::uint64_t journal_errors = 0;
+  std::uint64_t restores = 0;         ///< sessions restored (boot + verb)
+  std::uint64_t corrupt = 0;          ///< stores refused as corrupt
+  std::uint64_t replayed_deltas = 0;  ///< WAL records replayed on restores
 };
 
 class SessionRegistry {
@@ -93,14 +183,40 @@ class SessionRegistry {
   /// budgets: explicit per-session requests are clamped to it, implicit
   /// sessions split it evenly (>= 1 each).
   explicit SessionRegistry(QueryCacheOptions default_cache,
-                           std::size_t global_mask_tables);
+                           std::size_t global_mask_tables,
+                           RegistryPersistOptions persist = {});
+
+  bool persistent() const noexcept { return !persist_.state_dir.empty(); }
 
   /// Binds a network (replacing any session under the same key) and
-  /// rebalances implicit budgets.
+  /// rebalances implicit budgets. Under persistence the new session is
+  /// checkpointed before this returns (RegisterOutcome::persisted).
   RegisterOutcome register_network(const std::string& tenant,
                                    const std::string& network_id,
                                    FlowNetwork net, FlowDemand default_demand,
                                    std::optional<std::size_t> max_mask_tables);
+
+  /// Restores every loadable store under state_dir (boot path). Corrupt
+  /// stores are skipped with a warning — a cold start, never a crash.
+  BootRestoreReport restore_all();
+
+  /// Reloads one session from its store, replacing any live session
+  /// under the key (the `restore` verb). kNotFound when nothing durable
+  /// exists for the key; kCorrupt details in RestoreOutcome::error.
+  RestoreOutcome restore_session(const std::string& tenant,
+                                 const std::string& network_id);
+
+  /// Checkpoints one live session (the `persist` verb). kNotFound when
+  /// the key has no live session or persistence is off.
+  StoreStatus persist_session(const std::string& tenant,
+                              const std::string& network_id,
+                              std::string* error = nullptr);
+
+  /// Checkpoints every live session (shutdown path); returns how many
+  /// checkpoints failed.
+  std::size_t checkpoint_all();
+
+  PersistTotals persist_totals() const;
 
   /// nullptr when the key was never registered.
   std::shared_ptr<TenantSession> find(const std::string& tenant,
@@ -114,14 +230,25 @@ class SessionRegistry {
 
  private:
   void rebalance_locked();
+  StoreOptions store_options() const;
+  std::unique_ptr<SessionStore> make_store(const std::string& tenant,
+                                           const std::string& network_id) const;
+  /// Inserts (or replaces) under the registry lock, maintaining the
+  /// implicit-budget bookkeeping; returns whether a session was replaced.
+  bool adopt_session(const std::string& tenant, const std::string& network_id,
+                     std::shared_ptr<TenantSession> session,
+                     bool explicit_budget);
 
   const QueryCacheOptions default_cache_;
   const std::size_t global_mask_tables_;
+  const RegistryPersistOptions persist_;
   mutable std::mutex mu_;
   std::map<std::pair<std::string, std::string>,
            std::shared_ptr<TenantSession>>
       sessions_;
   std::size_t implicit_count_ = 0;
+  std::uint64_t restores_ = 0;  ///< guarded by mu_
+  std::uint64_t corrupt_ = 0;   ///< guarded by mu_
 };
 
 }  // namespace streamrel

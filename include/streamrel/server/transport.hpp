@@ -29,13 +29,29 @@ struct StreamServeResult {
   std::uint64_t lines = 0;      ///< non-empty request lines consumed
   std::uint64_t responses = 0;  ///< response lines written
   bool shutdown = false;        ///< a shutdown verb ended the stream
+  /// Lines answered `overloaded` by the in-flight cap without entering
+  /// the service (connection-level backpressure).
+  std::uint64_t backpressure_rejects = 0;
+};
+
+/// Connection-level backpressure: both transports cap the number of
+/// requests a single client may have in flight (submitted, response not
+/// yet written). A line past the cap never enters the service — it is
+/// answered immediately with a structured `overloaded` error carrying
+/// the echoed id/verb, counted per lane in
+/// streamrel_backpressure_rejects_total. This bounds the memory one
+/// pipelining client can pin in the scheduler queues; it is independent
+/// of (and cheaper than) the lane-queue admission limit.
+struct StreamServeOptions {
+  std::size_t max_inflight = 64;  ///< 0 = uncapped
 };
 
 /// Serves `in` line by line until EOF or a shutdown verb, writing one
 /// response line per request to `out` (order of completion, not of
 /// arrival). Drains scheduled work before returning.
 StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
-                               std::ostream& out);
+                               std::ostream& out,
+                               const StreamServeOptions& options = {});
 
 struct TcpServerOptions {
   std::string bind_address = "127.0.0.1";
@@ -43,6 +59,8 @@ struct TcpServerOptions {
   /// Optional fd that becomes readable to request shutdown (see
   /// install_signal_shutdown_pipe); -1 = none.
   int shutdown_fd = -1;
+  /// Per-connection in-flight request cap (see StreamServeOptions).
+  std::size_t max_inflight = 64;  ///< 0 = uncapped
 };
 
 class TcpServer {

@@ -36,6 +36,7 @@
 #include "streamrel/graph/generators.hpp"         // IWYU pragma: export
 #include "streamrel/graph/graph_algos.hpp"        // IWYU pragma: export
 #include "streamrel/graph/io.hpp"                 // IWYU pragma: export
+#include "streamrel/graph/serialize.hpp"          // IWYU pragma: export
 #include "streamrel/graph/subgraph.hpp"           // IWYU pragma: export
 #include "streamrel/maxflow/edmonds_karp.hpp"     // IWYU pragma: export
 #include "streamrel/maxflow/incremental_dinic.hpp"// IWYU pragma: export
@@ -44,6 +45,7 @@
 #include "streamrel/obs/flight_recorder.hpp"      // IWYU pragma: export
 #include "streamrel/obs/metrics.hpp"              // IWYU pragma: export
 #include "streamrel/obs/request_log.hpp"          // IWYU pragma: export
+#include "streamrel/persist/store.hpp"            // IWYU pragma: export
 #include "streamrel/p2p/churn.hpp"                // IWYU pragma: export
 #include "streamrel/p2p/mesh_builder.hpp"         // IWYU pragma: export
 #include "streamrel/p2p/optimizer.hpp"            // IWYU pragma: export
@@ -68,6 +70,7 @@
 #include "streamrel/sim/churn_replay.hpp"         // IWYU pragma: export
 #include "streamrel/sim/event_stream.hpp"         // IWYU pragma: export
 #include "streamrel/sim/link_dynamics.hpp"        // IWYU pragma: export
+#include "streamrel/util/binio.hpp"               // IWYU pragma: export
 #include "streamrel/util/exec_context.hpp"        // IWYU pragma: export
 #include "streamrel/util/json.hpp"                // IWYU pragma: export
 #include "streamrel/util/telemetry.hpp"           // IWYU pragma: export

@@ -1,0 +1,175 @@
+#pragma once
+// Binary encoding primitives for the persist layer: explicit
+// little-endian scalars, length-prefixed vectors, CRC32C-checked
+// sections, and a magic+version file header.
+//
+// Everything durable in streamrel (snapshots, WAL records) is built
+// from these three shapes:
+//
+//   * scalars — fixed-width little-endian integers; doubles travel as
+//     their IEEE-754 bit pattern (u64), so a probability column is
+//     restored BITWISE, never re-parsed through decimal text;
+//   * sections — tag(u32) | length(u64) | crc32(u32) | payload. The
+//     CRC covers the payload only; the reader verifies it before the
+//     payload is interpreted, so every single-bit flip inside a store
+//     file surfaces as BinReadError, never as garbage arrays;
+//   * file headers — 8-byte magic + format version (u32), rejecting
+//     foreign files and future formats up front.
+//
+// BinaryReader is a bounds-checked cursor over caller-owned bytes: any
+// underrun, CRC mismatch, or over-limit count throws BinReadError
+// (a std::runtime_error). The persist layer catches it at the store
+// boundary and maps it to its corrupt-state status — the decoder
+// itself never crashes on hostile input.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamrel {
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib one), table-driven.
+/// Chainable: pass the previous result as `seed` to extend a checksum
+/// over discontiguous buffers.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Malformed or truncated binary input. Deliberately distinct from
+/// std::invalid_argument (which the wire layer maps to bad_request):
+/// corrupt durable state is an environment problem, not a caller bug.
+class BinReadError : public std::runtime_error {
+ public:
+  explicit BinReadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian encoder over an owned byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { scalar(v); }
+  void u64(std::uint64_t v) { scalar(v); }
+  void i32(std::int32_t v) { scalar(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { scalar(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern as u64 — bitwise round trip, including every
+  /// -0.0 / subnormal / infinity a probability column may legally hold.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t size) {
+    out_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& bytes() const noexcept { return out_; }
+  std::string take() && { return std::move(out_); }
+  std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  template <typename T>
+  void scalar(T v) {
+    char buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    out_.append(buf, sizeof(T));
+  }
+
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over caller-owned bytes (the
+/// view must outlive the reader). Every accessor throws BinReadError on
+/// underrun; nothing is ever read past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() { return scalar<std::uint32_t>("u32"); }
+  std::uint64_t u64() { return scalar<std::uint64_t>("u64"); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// Counterpart of BinaryWriter::str. `max_size` guards against a
+  /// corrupted length prefix allocating gigabytes before the CRC check
+  /// would have caught it.
+  std::string str(std::size_t max_size = 1u << 20) {
+    const std::uint64_t n = u64();
+    if (n > max_size) throw BinReadError("string length exceeds limit");
+    need(static_cast<std::size_t>(n), "string payload");
+    std::string out(bytes_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+  std::string_view view(std::size_t size) {
+    need(size, "raw view");
+    const std::string_view out = bytes_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw BinReadError(std::string("truncated input reading ") + what);
+    }
+  }
+  template <typename T>
+  T scalar(const char* what) {
+    need(sizeof(T), what);
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// --- section framing ---------------------------------------------------
+
+/// tag(u32) | payload length(u64) | crc32(payload)(u32) | payload.
+void write_section(BinaryWriter& out, std::uint32_t tag,
+                   std::string_view payload);
+
+/// Reads the next section, verifying the tag and the payload CRC.
+/// The returned view aliases the reader's underlying buffer.
+std::string_view read_section(BinaryReader& in, std::uint32_t expected_tag);
+
+// --- file headers ------------------------------------------------------
+
+/// 8 magic bytes + format version (u32).
+void write_file_header(BinaryWriter& out, const char (&magic)[9],
+                       std::uint32_t version);
+
+/// Verifies the magic and that the version is in [1, max_version];
+/// returns the version. Throws BinReadError otherwise.
+std::uint32_t read_file_header(BinaryReader& in, const char (&magic)[9],
+                               std::uint32_t max_version);
+
+}  // namespace streamrel

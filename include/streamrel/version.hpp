@@ -18,7 +18,14 @@
 /// churn_delta + apply_delta_in_place); the versioned wire schema
 /// (api/wire.hpp) and the serving daemon (server/*.hpp) joined the
 /// public surface.
-#define STREAMREL_API_VERSION 5
+/// v6: durable sessions — the binary serializers (graph/serialize.hpp,
+/// util/binio.hpp) and the crash-safe session store (persist/store.hpp)
+/// joined the public surface; the wire schema gained the persist and
+/// restore verbs and the state_corrupt error code; ServiceOptions
+/// gained state_dir/wal_compact_threshold/state_fsync and the stream
+/// transports a per-connection in-flight cap (StreamServeOptions /
+/// TcpServerOptions::max_inflight).
+#define STREAMREL_API_VERSION 6
 
 namespace streamrel {
 

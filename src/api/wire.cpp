@@ -207,6 +207,8 @@ std::string_view to_string(WireVerb verb) noexcept {
     case WireVerb::kStats: return "stats";
     case WireVerb::kMetrics: return "metrics";
     case WireVerb::kDump: return "dump";
+    case WireVerb::kPersist: return "persist";
+    case WireVerb::kRestore: return "restore";
     case WireVerb::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -229,6 +231,10 @@ bool parse_wire_verb(std::string_view name, WireVerb* out) noexcept {
     *out = WireVerb::kMetrics;
   } else if (name == "dump") {
     *out = WireVerb::kDump;
+  } else if (name == "persist") {
+    *out = WireVerb::kPersist;
+  } else if (name == "restore") {
+    *out = WireVerb::kRestore;
   } else if (name == "shutdown") {
     *out = WireVerb::kShutdown;
   } else {
@@ -413,6 +419,8 @@ WireRequest parse_wire_request(std::string_view line) {
         break;
       case WireVerb::kStats:
       case WireVerb::kMetrics:
+      case WireVerb::kPersist:
+      case WireVerb::kRestore:
       case WireVerb::kShutdown:
         break;
     }
@@ -510,6 +518,8 @@ std::string serialize_wire_request(const WireRequest& request) {
       break;
     case WireVerb::kStats:
     case WireVerb::kMetrics:
+    case WireVerb::kPersist:
+    case WireVerb::kRestore:
     case WireVerb::kShutdown:
       break;
   }

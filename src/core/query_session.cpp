@@ -55,6 +55,19 @@ class OverrideGuard {
 QuerySession::QuerySession(FlowNetwork net, QueryCacheOptions cache)
     : net_(std::move(net)), cache_options_(cache) {}
 
+QuerySession::QuerySession(FlowNetwork net,
+                           std::shared_ptr<const CompiledNetwork> warm_snapshot,
+                           QueryCacheOptions cache)
+    : net_(std::move(net)),
+      snapshot_(std::move(warm_snapshot)),
+      cache_options_(cache) {
+  if (snapshot_ && (snapshot_->num_nodes() != net_.num_nodes() ||
+                    snapshot_->num_edges() != net_.num_edges())) {
+    throw std::invalid_argument(
+        "warm snapshot disagrees with network on shape");
+  }
+}
+
 void QuerySession::set_failure_prob(EdgeId id, double p) {
   net_.set_failure_prob(id, p);  // masks are probability-independent:
                                  // every cache layer survives

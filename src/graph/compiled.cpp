@@ -57,6 +57,33 @@ std::shared_ptr<const CompiledNetwork> CompiledNetwork::compile(
   return compiled;
 }
 
+std::shared_ptr<const CompiledNetwork> CompiledNetwork::from_parts(
+    Topology topology, std::vector<Capacity> capacity,
+    std::vector<double> failure_prob, std::vector<double> log_failure,
+    std::vector<double> log_survival) {
+  const std::size_t num_edges = topology.u.size();
+  if (topology.num_nodes < 0 || topology.v.size() != num_edges ||
+      topology.kind.size() != num_edges ||
+      topology.offsets.size() !=
+          static_cast<std::size_t>(topology.num_nodes) + 1 ||
+      capacity.size() != num_edges || failure_prob.size() != num_edges ||
+      log_failure.size() != num_edges || log_survival.size() != num_edges) {
+    throw std::invalid_argument("from_parts: column length mismatch");
+  }
+  auto structure = std::make_shared<Structure>();
+  structure->topology = std::make_shared<Topology>(std::move(topology));
+  structure->capacity = std::move(capacity);
+  structure->id = next_structure_id();
+  structure->parent_id = 0;
+
+  auto compiled = std::shared_ptr<CompiledNetwork>(new CompiledNetwork());
+  compiled->structure_ = std::move(structure);
+  compiled->failure_prob_ = std::move(failure_prob);
+  compiled->log_failure_ = std::move(log_failure);
+  compiled->log_survival_ = std::move(log_survival);
+  return compiled;
+}
+
 std::shared_ptr<const CompiledNetwork> CompiledNetwork::with_failure_prob(
     EdgeId id, double p) const {
   if (!valid_edge(id)) {

@@ -1,0 +1,361 @@
+#include "streamrel/graph/serialize.hpp"
+
+#include <string>
+
+#include "streamrel/util/binio.hpp"
+
+namespace streamrel {
+
+namespace {
+
+// Section tags (arbitrary but stable — part of the v1 format).
+constexpr std::uint32_t kTagTopology = 0x4F504F54;     // "TOPO"
+constexpr std::uint32_t kTagCapacity = 0x53504143;     // "CAPS"
+constexpr std::uint32_t kTagProbability = 0x424F5250;  // "PROB"
+constexpr std::uint32_t kTagDelta = 0x41544C44;        // "DLTA"
+constexpr std::uint32_t kTagLineage = 0x454E494C;      // "LINE"
+
+// Sanity caps: a corrupted count must fail fast, not allocate the
+// machine away. Generous vs. anything the solvers can actually handle.
+constexpr std::uint64_t kMaxNodes = 1u << 28;
+constexpr std::uint64_t kMaxEdges = 1u << 28;
+constexpr std::uint64_t kMaxDeltaEdits = 1u << 24;
+constexpr std::uint64_t kMaxLineage = 1u << 20;
+
+std::uint32_t read_version(BinaryReader& in) {
+  const std::uint32_t version = in.u32();
+  if (version == 0 || version > kGraphFormatVersion) {
+    throw BinReadError("unsupported graph format version " +
+                       std::to_string(version));
+  }
+  return version;
+}
+
+double checked_prob(double p, const char* what) {
+  if (!(p >= 0.0) || !(p < 1.0)) {
+    throw BinReadError(std::string(what) +
+                       ": failure probability outside [0,1)");
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string serialize_compiled(const CompiledNetwork& snapshot) {
+  const CompiledNetwork::Topology& topo = snapshot.topology();
+  const std::size_t num_edges = topo.u.size();
+
+  BinaryWriter topo_w;
+  topo_w.i32(topo.num_nodes);
+  topo_w.u64(num_edges);
+  for (NodeId n : topo.u) topo_w.i32(n);
+  for (NodeId n : topo.v) topo_w.i32(n);
+  for (EdgeKind k : topo.kind) topo_w.u8(static_cast<std::uint8_t>(k));
+  for (std::size_t off : topo.offsets) topo_w.u64(off);
+  topo_w.u64(topo.incident.size());
+  for (EdgeId e : topo.incident) topo_w.i32(e);
+
+  BinaryWriter cap_w;
+  for (Capacity c : snapshot.structure().capacity) cap_w.i64(c);
+
+  BinaryWriter prob_w;
+  for (EdgeId e = 0; e < snapshot.num_edges(); ++e) {
+    prob_w.f64(snapshot.failure_prob(e));
+  }
+  for (EdgeId e = 0; e < snapshot.num_edges(); ++e) {
+    prob_w.f64(snapshot.log_failure(e));
+  }
+  for (EdgeId e = 0; e < snapshot.num_edges(); ++e) {
+    prob_w.f64(snapshot.log_survival(e));
+  }
+
+  BinaryWriter out;
+  out.u32(kGraphFormatVersion);
+  write_section(out, kTagTopology, topo_w.bytes());
+  write_section(out, kTagCapacity, cap_w.bytes());
+  write_section(out, kTagProbability, prob_w.bytes());
+  return std::move(out).take();
+}
+
+std::shared_ptr<const CompiledNetwork> deserialize_compiled(
+    std::string_view bytes) {
+  BinaryReader in(bytes);
+  read_version(in);
+
+  BinaryReader topo_r(read_section(in, kTagTopology));
+  CompiledNetwork::Topology topo;
+  topo.num_nodes = topo_r.i32();
+  if (topo.num_nodes < 0 ||
+      static_cast<std::uint64_t>(topo.num_nodes) > kMaxNodes) {
+    throw BinReadError("snapshot node count out of range");
+  }
+  const std::uint64_t num_edges64 = topo_r.u64();
+  if (num_edges64 > kMaxEdges) {
+    throw BinReadError("snapshot edge count out of range");
+  }
+  const auto num_edges = static_cast<std::size_t>(num_edges64);
+  auto read_endpoint = [&](const char* what) {
+    const NodeId n = topo_r.i32();
+    if (n < 0 || n >= topo.num_nodes) {
+      throw BinReadError(std::string("snapshot ") + what +
+                         " endpoint out of range");
+    }
+    return n;
+  };
+  topo.u.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    topo.u.push_back(read_endpoint("u"));
+  }
+  topo.v.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    topo.v.push_back(read_endpoint("v"));
+  }
+  topo.kind.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const std::uint8_t k = topo_r.u8();
+    if (k > static_cast<std::uint8_t>(EdgeKind::kUndirected)) {
+      throw BinReadError("snapshot edge kind out of range");
+    }
+    topo.kind.push_back(static_cast<EdgeKind>(k));
+  }
+  topo.offsets.reserve(static_cast<std::size_t>(topo.num_nodes) + 1);
+  for (std::size_t i = 0;
+       i <= static_cast<std::size_t>(topo.num_nodes); ++i) {
+    const std::uint64_t off = topo_r.u64();
+    if (!topo.offsets.empty() && off < topo.offsets.back()) {
+      throw BinReadError("snapshot CSR offsets not monotone");
+    }
+    topo.offsets.push_back(static_cast<std::size_t>(off));
+  }
+  if (topo.offsets.front() != 0) {
+    throw BinReadError("snapshot CSR offsets must start at 0");
+  }
+  const std::uint64_t incident_count = topo_r.u64();
+  if (incident_count != topo.offsets.back() ||
+      incident_count > 2 * num_edges64) {
+    throw BinReadError("snapshot CSR incident count inconsistent");
+  }
+  topo.incident.reserve(static_cast<std::size_t>(incident_count));
+  for (std::uint64_t i = 0; i < incident_count; ++i) {
+    const EdgeId e = topo_r.i32();
+    if (e < 0 || static_cast<std::uint64_t>(e) >= num_edges64) {
+      throw BinReadError("snapshot incident edge id out of range");
+    }
+    topo.incident.push_back(e);
+  }
+  if (!topo_r.at_end()) {
+    throw BinReadError("snapshot topology section has trailing bytes");
+  }
+
+  BinaryReader cap_r(read_section(in, kTagCapacity));
+  std::vector<Capacity> capacity;
+  capacity.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const Capacity c = cap_r.i64();
+    if (c < 0) throw BinReadError("snapshot capacity negative");
+    capacity.push_back(c);
+  }
+  if (!cap_r.at_end()) {
+    throw BinReadError("snapshot capacity section has trailing bytes");
+  }
+
+  BinaryReader prob_r(read_section(in, kTagProbability));
+  std::vector<double> failure_prob, log_failure, log_survival;
+  failure_prob.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    failure_prob.push_back(checked_prob(prob_r.f64(), "snapshot"));
+  }
+  // Derived log columns adopted bitwise, never numerically re-checked:
+  // re-deriving through libm could disagree in the last ulp across
+  // hosts, and bitwise restore is the whole contract.
+  log_failure.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    log_failure.push_back(prob_r.f64());
+  }
+  log_survival.reserve(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    log_survival.push_back(prob_r.f64());
+  }
+  if (!prob_r.at_end()) {
+    throw BinReadError("snapshot probability section has trailing bytes");
+  }
+  if (!in.at_end()) {
+    throw BinReadError("snapshot payload has trailing bytes");
+  }
+
+  try {
+    return CompiledNetwork::from_parts(
+        std::move(topo), std::move(capacity), std::move(failure_prob),
+        std::move(log_failure), std::move(log_survival));
+  } catch (const std::invalid_argument& e) {
+    throw BinReadError(std::string("snapshot rejected: ") + e.what());
+  }
+}
+
+FlowNetwork builder_from_compiled(const CompiledNetwork& snapshot) {
+  FlowNetwork net;
+  net.add_nodes(snapshot.num_nodes());
+  for (EdgeId e = 0; e < snapshot.num_edges(); ++e) {
+    net.add_edge(snapshot.edge_u(e), snapshot.edge_v(e),
+                 snapshot.edge_capacity(e), snapshot.failure_prob(e),
+                 snapshot.edge_kind(e));
+  }
+  return net;
+}
+
+std::string serialize_delta(const NetworkDelta& delta) {
+  BinaryWriter body;
+  body.u64(delta.prob_edits.size());
+  for (const NetworkDelta::ProbEdit& e : delta.prob_edits) {
+    body.i32(e.edge);
+    body.f64(e.failure_prob);
+  }
+  body.u64(delta.capacity_edits.size());
+  for (const NetworkDelta::CapacityEdit& e : delta.capacity_edits) {
+    body.i32(e.edge);
+    body.i64(e.capacity);
+  }
+  body.u64(delta.edge_adds.size());
+  for (const NetworkDelta::EdgeAdd& e : delta.edge_adds) {
+    body.i32(e.u);
+    body.i32(e.v);
+    body.i64(e.capacity);
+    body.f64(e.failure_prob);
+    body.u8(static_cast<std::uint8_t>(e.kind));
+  }
+  body.u64(delta.edge_removes.size());
+  for (EdgeId e : delta.edge_removes) body.i32(e);
+  body.u64(delta.node_removes.size());
+  for (NodeId n : delta.node_removes) body.i32(n);
+  body.i32(delta.nodes_added);
+
+  BinaryWriter out;
+  out.u32(kGraphFormatVersion);
+  write_section(out, kTagDelta, body.bytes());
+  return std::move(out).take();
+}
+
+NetworkDelta deserialize_delta(std::string_view bytes) {
+  BinaryReader in(bytes);
+  read_version(in);
+  BinaryReader body(read_section(in, kTagDelta));
+
+  auto read_count = [&](const char* what) {
+    const std::uint64_t n = body.u64();
+    if (n > kMaxDeltaEdits) {
+      throw BinReadError(std::string("delta ") + what + " count out of range");
+    }
+    return static_cast<std::size_t>(n);
+  };
+
+  NetworkDelta delta;
+  const std::size_t num_prob = read_count("prob edit");
+  delta.prob_edits.reserve(num_prob);
+  for (std::size_t i = 0; i < num_prob; ++i) {
+    NetworkDelta::ProbEdit e;
+    e.edge = body.i32();
+    e.failure_prob = checked_prob(body.f64(), "delta");
+    delta.prob_edits.push_back(e);
+  }
+  const std::size_t num_cap = read_count("capacity edit");
+  delta.capacity_edits.reserve(num_cap);
+  for (std::size_t i = 0; i < num_cap; ++i) {
+    NetworkDelta::CapacityEdit e;
+    e.edge = body.i32();
+    e.capacity = body.i64();
+    delta.capacity_edits.push_back(e);
+  }
+  const std::size_t num_adds = read_count("edge add");
+  delta.edge_adds.reserve(num_adds);
+  for (std::size_t i = 0; i < num_adds; ++i) {
+    NetworkDelta::EdgeAdd e;
+    e.u = body.i32();
+    e.v = body.i32();
+    e.capacity = body.i64();
+    e.failure_prob = checked_prob(body.f64(), "delta");
+    const std::uint8_t k = body.u8();
+    if (k > static_cast<std::uint8_t>(EdgeKind::kUndirected)) {
+      throw BinReadError("delta edge kind out of range");
+    }
+    e.kind = static_cast<EdgeKind>(k);
+    delta.edge_adds.push_back(e);
+  }
+  const std::size_t num_eremove = read_count("edge remove");
+  delta.edge_removes.reserve(num_eremove);
+  for (std::size_t i = 0; i < num_eremove; ++i) {
+    delta.edge_removes.push_back(body.i32());
+  }
+  const std::size_t num_nremove = read_count("node remove");
+  delta.node_removes.reserve(num_nremove);
+  for (std::size_t i = 0; i < num_nremove; ++i) {
+    delta.node_removes.push_back(body.i32());
+  }
+  delta.nodes_added = body.i32();
+  if (delta.nodes_added < 0 ||
+      static_cast<std::uint64_t>(delta.nodes_added) > kMaxDeltaEdits) {
+    throw BinReadError("delta nodes_added out of range");
+  }
+  if (!body.at_end()) {
+    throw BinReadError("delta payload has trailing bytes");
+  }
+  if (!in.at_end()) {
+    throw BinReadError("delta envelope has trailing bytes");
+  }
+  return delta;
+}
+
+std::string serialize_lineage(const std::vector<DeltaRecord>& lineage) {
+  BinaryWriter body;
+  body.u64(lineage.size());
+  for (const DeltaRecord& r : lineage) {
+    body.u64(r.structure_id);
+    body.u64(r.parent_structure_id);
+    body.u8(static_cast<std::uint8_t>(r.delta_class));
+    body.i32(r.capacity_edits);
+    body.i32(r.edges_added);
+    body.i32(r.edges_removed);
+    body.i32(r.nodes_added);
+    body.i32(r.nodes_removed);
+  }
+  BinaryWriter out;
+  out.u32(kGraphFormatVersion);
+  write_section(out, kTagLineage, body.bytes());
+  return std::move(out).take();
+}
+
+std::vector<DeltaRecord> deserialize_lineage(std::string_view bytes) {
+  BinaryReader in(bytes);
+  read_version(in);
+  BinaryReader body(read_section(in, kTagLineage));
+  const std::uint64_t count = body.u64();
+  if (count > kMaxLineage) {
+    throw BinReadError("lineage record count out of range");
+  }
+  std::vector<DeltaRecord> lineage;
+  lineage.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DeltaRecord r;
+    r.structure_id = body.u64();
+    r.parent_structure_id = body.u64();
+    const std::uint8_t c = body.u8();
+    if (c > static_cast<std::uint8_t>(DeltaClass::kTopology)) {
+      throw BinReadError("lineage delta class out of range");
+    }
+    r.delta_class = static_cast<DeltaClass>(c);
+    r.capacity_edits = body.i32();
+    r.edges_added = body.i32();
+    r.edges_removed = body.i32();
+    r.nodes_added = body.i32();
+    r.nodes_removed = body.i32();
+    lineage.push_back(r);
+  }
+  if (!body.at_end()) {
+    throw BinReadError("lineage payload has trailing bytes");
+  }
+  if (!in.at_end()) {
+    throw BinReadError("lineage envelope has trailing bytes");
+  }
+  return lineage;
+}
+
+}  // namespace streamrel

@@ -1,0 +1,476 @@
+#include "streamrel/persist/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+#include <tuple>
+
+#include "streamrel/graph/serialize.hpp"
+#include "streamrel/util/binio.hpp"
+
+namespace streamrel {
+
+namespace {
+
+constexpr char kSnapshotMagic[9] = "SRELSNP1";
+constexpr char kWalMagic[9] = "SRELWAL1";
+constexpr std::uint32_t kStoreFormatVersion = 1;
+constexpr std::size_t kWalFileHeaderSize = 16;  // magic + version + flags
+constexpr std::size_t kWalRecordHeaderSize = 20;
+constexpr std::uint32_t kMaxWalPayload = 1u << 26;
+
+constexpr std::uint32_t kTagMeta = 0x4154454D;     // "META"
+constexpr std::uint32_t kTagNetwork = 0x5754454E;  // "NETW"
+constexpr std::uint32_t kTagHistory = 0x54534948;  // "HIST"
+
+const char* kSnapshotFile = "snapshot.bin";
+const char* kWalFile = "wal.bin";
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_directory(const std::filesystem::path& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// write-temp + fsync + rename + fsync(dir): the rename is the commit.
+StoreStatus write_file_atomic(const std::filesystem::path& path,
+                              const std::string& bytes, bool do_fsync,
+                              std::string* error) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = errno_message("open temp file");
+    return StoreStatus::kIoError;
+  }
+  if (!write_all(fd, bytes.data(), bytes.size())) {
+    if (error) *error = errno_message("write temp file");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    if (error) *error = errno_message("fsync temp file");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = errno_message("rename into place");
+    ::unlink(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  if (do_fsync) fsync_directory(path.parent_path());
+  return StoreStatus::kOk;
+}
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+std::string wal_header_bytes() {
+  BinaryWriter w;
+  write_file_header(w, kWalMagic, kStoreFormatVersion);
+  w.u32(0);  // flags, reserved
+  return std::move(w).take();
+}
+
+std::string encode_meta(std::uint64_t base_seq, const FlowDemand& demand,
+                        std::optional<std::size_t> max_mask_tables) {
+  BinaryWriter w;
+  w.u64(base_seq);
+  w.i32(demand.source);
+  w.i32(demand.sink);
+  w.i64(demand.rate);
+  w.u8(max_mask_tables.has_value() ? 1 : 0);
+  w.u64(max_mask_tables.value_or(0));
+  return std::move(w).take();
+}
+
+}  // namespace
+
+std::string_view to_string(StoreStatus status) noexcept {
+  switch (status) {
+    case StoreStatus::kOk:
+      return "ok";
+    case StoreStatus::kNotFound:
+      return "not_found";
+    case StoreStatus::kCorrupt:
+      return "corrupt";
+    case StoreStatus::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+SessionStore::SessionStore(std::filesystem::path dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+SessionStore::~SessionStore() { close_wal(); }
+
+void SessionStore::close_wal() noexcept {
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+}
+
+StoreStatus SessionStore::load(RestoredSession& out, std::string* error) {
+  const std::filesystem::path snap_path = dir_ / kSnapshotFile;
+  const std::filesystem::path wal_path = dir_ / kWalFile;
+  std::error_code ec;
+
+  std::string snap_bytes;
+  if (!read_file(snap_path, snap_bytes)) {
+    if (std::filesystem::exists(wal_path, ec)) {
+      // A journal with no base snapshot can never replay to anything.
+      if (error) *error = "journal present but snapshot missing";
+      return StoreStatus::kCorrupt;
+    }
+    return StoreStatus::kNotFound;
+  }
+
+  RestoredSession restored;
+  std::uint64_t base_seq = 0;
+  try {
+    BinaryReader in(snap_bytes);
+    read_file_header(in, kSnapshotMagic, kStoreFormatVersion);
+
+    BinaryReader meta(read_section(in, kTagMeta));
+    base_seq = meta.u64();
+    restored.default_demand.source = meta.i32();
+    restored.default_demand.sink = meta.i32();
+    restored.default_demand.rate = meta.i64();
+    const bool has_budget = meta.u8() != 0;
+    const std::uint64_t budget = meta.u64();
+    if (has_budget) {
+      restored.max_mask_tables = static_cast<std::size_t>(budget);
+    }
+    if (!meta.at_end()) throw BinReadError("meta section has trailing bytes");
+
+    restored.snapshot = deserialize_compiled(read_section(in, kTagNetwork));
+    restored.lineage = deserialize_lineage(read_section(in, kTagHistory));
+    if (!in.at_end()) throw BinReadError("snapshot file has trailing bytes");
+  } catch (const BinReadError& e) {
+    if (error) *error = std::string("snapshot: ") + e.what();
+    return StoreStatus::kCorrupt;
+  }
+  restored.net = builder_from_compiled(*restored.snapshot);
+
+  // --- WAL replay -----------------------------------------------------
+  std::uint64_t last_seq = base_seq;
+  std::uint64_t wal_records = 0;
+  std::string wal_bytes;
+  const bool have_wal = read_file(wal_path, wal_bytes);
+  if (have_wal) {
+    BinaryReader in(wal_bytes);
+    try {
+      read_file_header(in, kWalMagic, kStoreFormatVersion);
+      in.u32();  // flags
+    } catch (const BinReadError& e) {
+      if (error) *error = std::string("journal header: ") + e.what();
+      return StoreStatus::kCorrupt;
+    }
+    std::uint64_t prev_record_seq = 0;
+    std::size_t valid_end = in.pos();
+    for (;;) {
+      if (in.remaining() == 0) break;
+      if (in.remaining() < kWalRecordHeaderSize) {
+        // Torn tail: crash mid-append left a partial header.
+        break;
+      }
+      const std::string_view header16 = in.view(16);
+      BinaryReader hr(header16);
+      const std::uint32_t len = hr.u32();
+      const std::uint64_t seq = hr.u64();
+      const std::uint32_t payload_crc = hr.u32();
+      const std::uint32_t header_crc = in.u32();
+      if (crc32(header16.data(), header16.size()) != header_crc) {
+        if (error) *error = "journal record header checksum mismatch";
+        return StoreStatus::kCorrupt;
+      }
+      // Header authenticated from here on: inconsistencies are real
+      // corruption, not a torn write.
+      if (len > kMaxWalPayload) {
+        if (error) *error = "journal record length out of range";
+        return StoreStatus::kCorrupt;
+      }
+      if (in.remaining() < len) {
+        // Torn tail: the payload never finished hitting the disk.
+        break;
+      }
+      const std::string_view payload = in.view(len);
+      if (crc32(payload.data(), payload.size()) != payload_crc) {
+        if (error) *error = "journal record payload checksum mismatch";
+        return StoreStatus::kCorrupt;
+      }
+      if (seq <= prev_record_seq) {
+        if (error) *error = "journal sequence numbers not monotone";
+        return StoreStatus::kCorrupt;
+      }
+      prev_record_seq = seq;
+      valid_end = in.pos();
+      if (seq <= base_seq) {
+        // Stale record from before the last checkpoint (crash between
+        // snapshot rename and journal reset) — already folded in.
+        continue;
+      }
+      try {
+        const NetworkDelta delta = deserialize_delta(payload);
+        CompiledDelta applied = restored.snapshot->apply_delta(delta);
+        restored.snapshot = std::move(applied.snapshot);
+        apply_delta_in_place(restored.net, delta);
+      } catch (const BinReadError& e) {
+        if (error) *error = std::string("journal record: ") + e.what();
+        return StoreStatus::kCorrupt;
+      } catch (const std::invalid_argument& e) {
+        if (error) *error = std::string("journal replay rejected: ") + e.what();
+        return StoreStatus::kCorrupt;
+      }
+      last_seq = seq;
+      ++wal_records;
+      ++restored.replayed_deltas;
+    }
+    restored.torn_bytes = wal_bytes.size() - valid_end;
+    if (restored.torn_bytes > 0 && options_.repair) {
+      std::error_code trunc_ec;
+      std::filesystem::resize_file(wal_path, valid_end, trunc_ec);
+      if (trunc_ec) {
+        if (error) *error = "truncating torn journal tail: " + trunc_ec.message();
+        return StoreStatus::kIoError;
+      }
+    }
+  }
+
+  close_wal();  // any previously open fd points past state we just re-read
+  stats_.last_seq = std::max(last_seq, stats_.last_seq);
+  stats_.wal_records = wal_records;
+  out = std::move(restored);
+  return StoreStatus::kOk;
+}
+
+StoreStatus SessionStore::checkpoint(const CompiledNetwork& snapshot,
+                                     const FlowDemand& demand,
+                                     std::optional<std::size_t> max_mask_tables,
+                                     std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    if (error) *error = "create store directory: " + ec.message();
+    return StoreStatus::kIoError;
+  }
+
+  BinaryWriter out;
+  write_file_header(out, kSnapshotMagic, kStoreFormatVersion);
+  write_section(out, kTagMeta,
+                encode_meta(stats_.last_seq, demand, max_mask_tables));
+  write_section(out, kTagNetwork, serialize_compiled(snapshot));
+  write_section(
+      out, kTagHistory,
+      serialize_lineage(DeltaJournal::instance().chain(snapshot.structure_id())));
+  const std::string snap_bytes = std::move(out).take();
+
+  StoreStatus status = write_file_atomic(dir_ / kSnapshotFile, snap_bytes,
+                                         options_.fsync, error);
+  if (status != StoreStatus::kOk) return status;
+
+  // Snapshot committed; reset the journal. A crash before this point
+  // leaves stale records with seq <= the new base — load() skips them.
+  close_wal();
+  const std::string wal_bytes = wal_header_bytes();
+  status = write_file_atomic(dir_ / kWalFile, wal_bytes, options_.fsync, error);
+  if (status != StoreStatus::kOk) return status;
+
+  stats_.wal_records = 0;
+  ++stats_.checkpoints;
+  stats_.bytes_written += snap_bytes.size() + wal_bytes.size();
+  return StoreStatus::kOk;
+}
+
+StoreStatus SessionStore::open_wal_for_append(std::string* error) {
+  if (wal_fd_ >= 0) return StoreStatus::kOk;
+  const std::filesystem::path wal_path = dir_ / kWalFile;
+  wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (wal_fd_ < 0) {
+    if (error) *error = errno_message("open journal");
+    return StoreStatus::kIoError;
+  }
+  struct stat st{};
+  if (::fstat(wal_fd_, &st) == 0 && st.st_size == 0) {
+    const std::string header = wal_header_bytes();
+    if (!write_all(wal_fd_, header.data(), header.size())) {
+      if (error) *error = errno_message("write journal header");
+      close_wal();
+      return StoreStatus::kIoError;
+    }
+    stats_.bytes_written += header.size();
+  }
+  return StoreStatus::kOk;
+}
+
+StoreStatus SessionStore::append(const NetworkDelta& delta,
+                                 std::string* error) {
+  const StoreStatus open_status = open_wal_for_append(error);
+  if (open_status != StoreStatus::kOk) return open_status;
+
+  const std::string payload = serialize_delta(delta);
+  if (payload.size() > kMaxWalPayload) {
+    if (error) *error = "delta payload exceeds journal record limit";
+    return StoreStatus::kIoError;
+  }
+  const std::uint64_t seq = stats_.last_seq + 1;
+  BinaryWriter record;
+  record.u32(static_cast<std::uint32_t>(payload.size()));
+  record.u64(seq);
+  record.u32(crc32(payload.data(), payload.size()));
+  record.u32(crc32(record.bytes().data(), record.bytes().size()));
+  record.raw(payload.data(), payload.size());
+
+  // One write() for header + payload: a crash can only truncate the
+  // record (a torn tail load() repairs), never interleave it.
+  const std::string& bytes = record.bytes();
+  if (!write_all(wal_fd_, bytes.data(), bytes.size())) {
+    if (error) *error = errno_message("append journal record");
+    return StoreStatus::kIoError;
+  }
+  if (options_.fsync && ::fdatasync(wal_fd_) != 0) {
+    if (error) *error = errno_message("fdatasync journal");
+    return StoreStatus::kIoError;
+  }
+  stats_.last_seq = seq;
+  ++stats_.wal_records;
+  ++stats_.appends;
+  stats_.bytes_written += bytes.size();
+  return StoreStatus::kOk;
+}
+
+bool SessionStore::needs_compaction() const noexcept {
+  return stats_.wal_records > options_.compact_threshold;
+}
+
+// --- StateDir ----------------------------------------------------------
+
+namespace {
+
+bool plain_component_char(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '.' || c == '_' || c == '-';
+}
+
+char hex_digit(unsigned v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'A' + (v - 10));
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string StateDir::encode_component(std::string_view name) {
+  if (name.empty()) return "%";  // unambiguous: bare '%' never otherwise occurs
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    // A leading '.' is escaped too: no store directory may masquerade
+    // as a dotfile, "." or "..".
+    if (plain_component_char(c) && !(i == 0 && c == '.')) {
+      out.push_back(c);
+    } else {
+      const auto u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex_digit(u >> 4));
+      out.push_back(hex_digit(u & 0xF));
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> StateDir::decode_component(std::string_view enc) {
+  if (enc == "%") return std::string();
+  std::string out;
+  out.reserve(enc.size());
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    const char c = enc[i];
+    if (c == '%') {
+      if (i + 2 >= enc.size()) return std::nullopt;
+      const int hi = hex_value(enc[i + 1]);
+      const int lo = hex_value(enc[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (plain_component_char(c)) {
+      out.push_back(c);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::filesystem::path StateDir::store_path(std::string_view tenant,
+                                           std::string_view network_id) const {
+  return root_ / encode_component(tenant) / encode_component(network_id);
+}
+
+std::vector<StateDir::Entry> StateDir::enumerate() const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator tenants(root_, ec);
+  if (ec) return entries;
+  for (const auto& tenant_dir : tenants) {
+    if (!tenant_dir.is_directory(ec) || ec) continue;
+    const auto tenant = decode_component(tenant_dir.path().filename().string());
+    if (!tenant) continue;
+    std::filesystem::directory_iterator networks(tenant_dir.path(), ec);
+    if (ec) continue;
+    for (const auto& net_dir : networks) {
+      if (!net_dir.is_directory(ec) || ec) continue;
+      const auto network = decode_component(net_dir.path().filename().string());
+      if (!network) continue;
+      entries.push_back({*tenant, *network, net_dir.path()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.tenant, a.network_id) < std::tie(b.tenant, b.network_id);
+  });
+  return entries;
+}
+
+}  // namespace streamrel

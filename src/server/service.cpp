@@ -69,9 +69,33 @@ std::uint64_t unix_millis_now() {
 
 ReliabilityService::ReliabilityService(const ServiceOptions& options)
     : options_(options),
-      registry_(options.default_cache, options.global_mask_tables),
+      registry_(options.default_cache, options.global_mask_tables,
+                RegistryPersistOptions{options.state_dir,
+                                       options.wal_compact_threshold,
+                                       options.state_fsync}),
       flight_(options.flight_capacity),
       logger_(options.request_log) {
+  // Pre-register the families a quiet daemon must still expose
+  // (metrics_check --require runs before any overload or persist verb).
+  for (const WireLane lane : {WireLane::kInteractive, WireLane::kBulk}) {
+    metrics_
+        .counter("streamrel_backpressure_rejects_total",
+                 "Request lines refused by the connection in-flight cap",
+                 MetricLabels{{"lane", std::string(to_string(lane))}})
+        .inc(0);
+  }
+  if (registry_.persistent()) {
+    metrics_.histogram("streamrel_checkpoint_duration_ms",
+                       "Durable checkpoint wall time (snapshot + WAL reset)",
+                       default_latency_buckets_ms());
+    auto& restore_hist =
+        metrics_.histogram("streamrel_restore_duration_ms",
+                           "Durable restore wall time (snapshot + WAL replay)",
+                           default_latency_buckets_ms());
+    const Stopwatch timer;
+    boot_restore_ = registry_.restore_all();
+    if (boot_restore_.restored > 0) restore_hist.observe(timer.elapsed_ms());
+  }
   if (options_.start_workers) {
     scheduler_ = std::make_unique<RequestScheduler>(options_.scheduler);
   }
@@ -79,6 +103,10 @@ ReliabilityService::ReliabilityService(const ServiceOptions& options)
 
 ReliabilityService::~ReliabilityService() {
   if (scheduler_) scheduler_->stop();
+  // Workers are quiesced: a final checkpoint catches journal tails that
+  // never hit the compaction threshold. Failures only cost warm-restore
+  // depth (the WAL already holds every delta).
+  if (registry_.persistent()) registry_.checkpoint_all();
 }
 
 double ReliabilityService::lane_budget_ms(WireLane lane) const noexcept {
@@ -123,6 +151,14 @@ WireResponse ReliabilityService::do_register(const WireRequest& request) {
   append_json_member(result, "cache_budget",
                      std::to_string(outcome.cache_budget));
   append_json_member(result, "replaced", outcome.replaced ? "true" : "false");
+  if (registry_.persistent()) {
+    append_json_member(result, "persisted",
+                       outcome.persisted ? "true" : "false");
+    if (!outcome.persist_error.empty()) {
+      append_json_member(result, "persist_error",
+                         json_quote(outcome.persist_error));
+    }
+  }
   resp.result_json = std::move(result);
   return resp;
 }
@@ -355,6 +391,21 @@ std::string ReliabilityService::stats_json() const {
                       std::memory_order_relaxed)));
     append_json_member(out, "lanes", lanes);
   }
+  const PersistTotals persist = registry_.persist_totals();
+  std::string pjson = "{}";
+  append_json_member(pjson, "enabled", persist.enabled ? "true" : "false");
+  append_json_member(pjson, "checkpoints", std::to_string(persist.checkpoints));
+  append_json_member(pjson, "wal_appends", std::to_string(persist.wal_appends));
+  append_json_member(pjson, "wal_records", std::to_string(persist.wal_records));
+  append_json_member(pjson, "bytes_written",
+                     std::to_string(persist.bytes_written));
+  append_json_member(pjson, "journal_errors",
+                     std::to_string(persist.journal_errors));
+  append_json_member(pjson, "restores", std::to_string(persist.restores));
+  append_json_member(pjson, "corrupt", std::to_string(persist.corrupt));
+  append_json_member(pjson, "replayed_deltas",
+                     std::to_string(persist.replayed_deltas));
+  append_json_member(out, "persist", pjson);
   std::string tenants = "{}";
   for (const auto& [name, session] : registry_.snapshot()) {
     const TenantSession::Stats s = session->stats();
@@ -373,6 +424,14 @@ std::string ReliabilityService::stats_json() const {
     append_json_member(t, "mask_tables", std::to_string(s.mask_tables));
     append_json_member(t, "mask_bytes", std::to_string(s.mask_bytes));
     append_json_member(t, "budget", std::to_string(s.budget));
+    append_json_member(t, "durable", s.durable ? "true" : "false");
+    if (s.durable) {
+      append_json_member(t, "restored", s.restored ? "true" : "false");
+      append_json_member(t, "wal_records", std::to_string(s.wal_records));
+      append_json_member(t, "checkpoints", std::to_string(s.checkpoints));
+      append_json_member(t, "journal_errors",
+                         std::to_string(s.journal_errors));
+    }
     append_json_member(tenants, name, t);
   }
   append_json_member(out, "tenants", tenants);
@@ -520,6 +579,41 @@ void ReliabilityService::refresh_scrape_gauges() {
                "Resident bytes of cached slab mask tables", labels)
         .set(static_cast<double>(s.mask_bytes));
   }
+  const PersistTotals persist = registry_.persist_totals();
+  if (persist.enabled) {
+    metrics_
+        .counter("streamrel_checkpoints_total",
+                 "Durable checkpoints written (snapshot + journal reset)")
+        .set_at_least(persist.checkpoints);
+    metrics_
+        .counter("streamrel_wal_appends_total",
+                 "Delta records appended to write-ahead journals")
+        .set_at_least(persist.wal_appends);
+    metrics_
+        .counter("streamrel_state_bytes_written_total",
+                 "Bytes committed to durable state (snapshots + WAL records)")
+        .set_at_least(persist.bytes_written);
+    metrics_
+        .counter("streamrel_restores_total",
+                 "Sessions restored from durable state (boot + restore verb)")
+        .set_at_least(persist.restores);
+    metrics_
+        .counter("streamrel_state_corrupt_total",
+                 "Durable stores refused as corrupt (cold-started instead)")
+        .set_at_least(persist.corrupt);
+    metrics_
+        .counter("streamrel_replayed_deltas_total",
+                 "WAL delta records replayed during restores")
+        .set_at_least(persist.replayed_deltas);
+    metrics_
+        .counter("streamrel_journal_errors_total",
+                 "Journal append/compaction failures (durability degraded)")
+        .set_at_least(persist.journal_errors);
+    metrics_
+        .gauge("streamrel_wal_records",
+               "Current write-ahead journal depth summed over sessions")
+        .set(static_cast<double>(persist.wal_records));
+  }
   metrics_
       .counter("streamrel_flight_records_total",
                "Requests recorded by the flight recorder")
@@ -591,6 +685,142 @@ WireResponse ReliabilityService::do_dump(const WireRequest& request) {
   return resp;
 }
 
+WireResponse ReliabilityService::do_persist(const WireRequest& request) {
+  if (!registry_.persistent()) {
+    return make_wire_error(request.id_json, to_string(request.verb),
+                           "bad_request",
+                           "persistence is off (start the daemon with "
+                           "--state-dir)");
+  }
+  WireResponse resp;
+  const std::shared_ptr<TenantSession> session = find_session(request, &resp);
+  if (!session) return resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+
+  const Stopwatch timer;
+  std::string error;
+  const StoreStatus status =
+      registry_.persist_session(request.tenant, request.network_id, &error);
+  const double elapsed_ms = timer.elapsed_ms();
+  if (status != StoreStatus::kOk) {
+    return make_wire_error(
+        request.id_json, to_string(request.verb), "state_corrupt",
+        error.empty() ? std::string(to_string(status)) : error);
+  }
+  metrics_
+      .histogram("streamrel_checkpoint_duration_ms",
+                 "Durable checkpoint wall time (snapshot + WAL reset)",
+                 default_latency_buckets_ms())
+      .observe(elapsed_ms);
+
+  const TenantSession::Stats stats = session->stats();
+  std::string result = "{}";
+  append_json_member(result, "tenant", json_quote(request.tenant));
+  append_json_member(result, "network_id", json_quote(request.network_id));
+  append_json_member(result, "checkpoints", std::to_string(stats.checkpoints));
+  append_json_member(result, "state_bytes_written",
+                     std::to_string(stats.state_bytes_written));
+  append_json_member(result, "elapsed_ms", format_double(elapsed_ms, 4));
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::do_restore(const WireRequest& request) {
+  if (!registry_.persistent()) {
+    return make_wire_error(request.id_json, to_string(request.verb),
+                           "bad_request",
+                           "persistence is off (start the daemon with "
+                           "--state-dir)");
+  }
+  const Stopwatch timer;
+  const RestoreOutcome outcome =
+      registry_.restore_session(request.tenant, request.network_id);
+  const double elapsed_ms = timer.elapsed_ms();
+  if (outcome.status == StoreStatus::kNotFound) {
+    return make_wire_error(request.id_json, to_string(request.verb),
+                           "unknown_network",
+                           "no durable state for '" + request.tenant + "/" +
+                               request.network_id + "'");
+  }
+  if (outcome.status != StoreStatus::kOk) {
+    return make_wire_error(
+        request.id_json, to_string(request.verb), "state_corrupt",
+        outcome.error.empty() ? std::string(to_string(outcome.status))
+                              : outcome.error);
+  }
+  metrics_
+      .histogram("streamrel_restore_duration_ms",
+                 "Durable restore wall time (snapshot + WAL replay)",
+                 default_latency_buckets_ms())
+      .observe(elapsed_ms);
+
+  WireResponse resp;
+  resp.id_json = request.id_json;
+  resp.verb.assign(to_string(request.verb));
+  std::string result = "{}";
+  append_json_member(result, "tenant", json_quote(request.tenant));
+  append_json_member(result, "network_id", json_quote(request.network_id));
+  append_json_member(result, "nodes", std::to_string(outcome.nodes));
+  append_json_member(result, "edges", std::to_string(outcome.edges));
+  append_json_member(result, "replayed_deltas",
+                     std::to_string(outcome.replayed_deltas));
+  append_json_member(result, "cache_budget",
+                     std::to_string(outcome.cache_budget));
+  append_json_member(result, "elapsed_ms", format_double(elapsed_ms, 4));
+  resp.result_json = std::move(result);
+  return resp;
+}
+
+WireResponse ReliabilityService::reject_overloaded(std::string_view line) {
+  errors_total_.fetch_add(1, std::memory_order_relaxed);
+  RequestRecord record;
+  record.seq = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.ok = false;
+  record.unix_ms = unix_millis_now();
+
+  std::string id_json = "null";
+  std::string verb;
+  WireLane lane = WireLane::kInteractive;
+  try {
+    const WireRequest request = parse_wire_request(line);
+    id_json = request.id_json;
+    verb.assign(to_string(request.verb));
+    lane = request.lane;
+    record.id_json = request.id_json;
+    record.tenant = request.tenant;
+    record.network_id = request.network_id;
+  } catch (const WireParseError& e) {
+    // A line that does not even parse is refused for what it is — the
+    // in-flight cap only shapes well-formed traffic.
+    record.id_json = e.id_json() == "null" ? std::string() : e.id_json();
+    record.verb = e.verb().empty() ? "?" : e.verb();
+    record.lane.assign(to_string(WireLane::kInteractive));
+    record.error_code = e.code();
+    RequestRecord metric_view = record;
+    metric_view.verb = "?";
+    note_request(metric_view, -1.0);
+    logger_.log(record);
+    flight_.record(record);
+    return make_wire_error(e.id_json(), e.verb(), e.code(), e.what());
+  }
+
+  metrics_
+      .counter("streamrel_backpressure_rejects_total",
+               "Request lines refused by the connection in-flight cap",
+               MetricLabels{{"lane", std::string(to_string(lane))}})
+      .inc();
+  record.verb = verb;
+  record.lane.assign(to_string(lane));
+  record.error_code = "overloaded";
+  note_request(record, -1.0);
+  logger_.log(record);
+  flight_.record(record);
+  return make_wire_error(id_json, verb, "overloaded",
+                         "connection has too many in-flight requests; retry "
+                         "after a response drains");
+}
+
 WireResponse ReliabilityService::execute_impl(const WireRequest& request,
                                               const RequestHooks& hooks,
                                               bool force_expired,
@@ -642,12 +872,37 @@ WireResponse ReliabilityService::execute_impl(const WireRequest& request,
       case WireVerb::kDump:
         resp = do_dump(request);
         break;
-      case WireVerb::kShutdown:
+      case WireVerb::kPersist:
+        resp = do_persist(request);
+        break;
+      case WireVerb::kRestore:
+        resp = do_restore(request);
+        break;
+      case WireVerb::kShutdown: {
+        std::string result = "{\"stopping\": true}";
+        if (registry_.persistent()) {
+          // Checkpoint BEFORE acknowledging the stop: the client's next
+          // boot restores exactly what it saw acknowledged.
+          const Stopwatch timer;
+          const std::size_t failures = registry_.checkpoint_all();
+          metrics_
+              .histogram("streamrel_checkpoint_duration_ms",
+                         "Durable checkpoint wall time (snapshot + WAL reset)",
+                         default_latency_buckets_ms())
+              .observe(timer.elapsed_ms());
+          append_json_member(
+              result, "checkpointed",
+              std::to_string(registry_.size() -
+                             std::min(failures, registry_.size())));
+          append_json_member(result, "checkpoint_failures",
+                             std::to_string(failures));
+        }
         shutdown_.store(true, std::memory_order_relaxed);
         resp.id_json = request.id_json;
         resp.verb.assign(to_string(request.verb));
-        resp.result_json = "{\"stopping\": true}";
+        resp.result_json = std::move(result);
         break;
+      }
     }
     if (capture && resp.ok) {
       append_json_member(resp.result_json, "trace", capture->summary_json());

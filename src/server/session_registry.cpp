@@ -15,6 +15,45 @@ TenantSession::TenantSession(FlowNetwork net, FlowDemand default_demand,
       default_demand_(default_demand),
       explicit_budget_(explicit_budget) {}
 
+TenantSession::TenantSession(RestoredSession restored,
+                             const QueryCacheOptions& cache_options,
+                             bool explicit_budget)
+    : session_(std::move(restored.net), std::move(restored.snapshot),
+               cache_options),
+      default_demand_(restored.default_demand),
+      explicit_budget_(explicit_budget),
+      replayed_deltas_(restored.replayed_deltas),
+      restored_(true) {}
+
+void TenantSession::attach_store(std::unique_ptr<SessionStore> store) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+bool TenantSession::durable() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return store_ != nullptr;
+}
+
+StoreStatus TenantSession::checkpoint_now(std::string* error) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return checkpoint_locked(error);
+}
+
+StoreStatus TenantSession::checkpoint_locked(std::string* error) {
+  if (!store_) {
+    if (error) *error = "no durable store attached";
+    return StoreStatus::kNotFound;
+  }
+  // snapshot() mints the compiled form lazily — checkpointing a freshly
+  // registered session doubles as warming its first compile.
+  const std::shared_ptr<const CompiledNetwork>& snapshot = session_.snapshot();
+  const std::optional<std::size_t> budget =
+      explicit_budget_ ? std::optional<std::size_t>(session_.cache_budget())
+                       : std::nullopt;
+  return store_->checkpoint(*snapshot, default_demand_, budget, error);
+}
+
 SolveReport TenantSession::solve(const FlowDemand& demand,
                                  const SolveOptions& options,
                                  std::span<const ProbOverride> overrides) {
@@ -119,6 +158,18 @@ DeltaOutcome TenantSession::apply_delta(const NetworkDelta& delta) {
     default_demand_.source = remap(default_demand_.source);
     default_demand_.sink = remap(default_demand_.sink);
   }
+  if (store_) {
+    // Journal inside the same writer critical section that applied the
+    // delta: WAL order == application order, the property bitwise replay
+    // rests on. Failures degrade durability, not availability.
+    std::string err;
+    if (store_->append(delta, &err) != StoreStatus::kOk) {
+      ++journal_errors_;
+    } else if (store_->needs_compaction() &&
+               checkpoint_locked(&err) != StoreStatus::kOk) {
+      ++journal_errors_;
+    }
+  }
   return outcome;
 }
 
@@ -150,18 +201,65 @@ TenantSession::Stats TenantSession::stats() const {
   s.mask_tables = session_.cached_mask_tables();
   s.mask_bytes = session_.cached_mask_bytes();
   s.budget = session_.cache_budget();
+  s.durable = store_ != nullptr;
+  s.restored = restored_;
+  if (store_) {
+    const StoreStats& st = store_->stats();
+    s.wal_records = st.wal_records;
+    s.checkpoints = st.checkpoints;
+    s.wal_appends = st.appends;
+    s.state_bytes_written = st.bytes_written;
+  }
+  s.journal_errors = journal_errors_;
+  s.replayed_deltas = replayed_deltas_;
   return s;
 }
 
 SessionRegistry::SessionRegistry(QueryCacheOptions default_cache,
-                                 std::size_t global_mask_tables)
+                                 std::size_t global_mask_tables,
+                                 RegistryPersistOptions persist)
     : default_cache_(default_cache),
-      global_mask_tables_(std::max<std::size_t>(global_mask_tables, 1)) {}
+      global_mask_tables_(std::max<std::size_t>(global_mask_tables, 1)),
+      persist_(std::move(persist)) {}
+
+StoreOptions SessionRegistry::store_options() const {
+  StoreOptions options;
+  options.compact_threshold = persist_.wal_compact_threshold;
+  options.fsync = persist_.fsync;
+  options.repair = true;
+  return options;
+}
+
+std::unique_ptr<SessionStore> SessionRegistry::make_store(
+    const std::string& tenant, const std::string& network_id) const {
+  const StateDir state_dir(persist_.state_dir);
+  return std::make_unique<SessionStore>(
+      state_dir.store_path(tenant, network_id), store_options());
+}
+
+bool SessionRegistry::adopt_session(const std::string& tenant,
+                                    const std::string& network_id,
+                                    std::shared_ptr<TenantSession> session,
+                                    bool explicit_budget) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool replaced = false;
+  const auto key = std::make_pair(tenant, network_id);
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    replaced = true;
+    if (!it->second->explicit_budget()) implicit_count_ -= 1;
+    it->second = std::move(session);
+  } else {
+    sessions_.emplace(key, std::move(session));
+  }
+  if (!explicit_budget) implicit_count_ += 1;
+  rebalance_locked();
+  return replaced;
+}
 
 RegisterOutcome SessionRegistry::register_network(
     const std::string& tenant, const std::string& network_id, FlowNetwork net,
     FlowDemand default_demand, std::optional<std::size_t> max_mask_tables) {
-  const std::lock_guard<std::mutex> lock(mu_);
   RegisterOutcome outcome;
   outcome.nodes = net.num_nodes();
   outcome.edges = net.num_edges();
@@ -173,20 +271,136 @@ RegisterOutcome SessionRegistry::register_network(
   }
   auto session = std::make_shared<TenantSession>(
       std::move(net), default_demand, cache, explicit_budget);
+  if (persistent()) session->attach_store(make_store(tenant, network_id));
 
-  const auto key = std::make_pair(tenant, network_id);
-  const auto it = sessions_.find(key);
-  if (it != sessions_.end()) {
-    outcome.replaced = true;
-    if (!it->second->explicit_budget()) implicit_count_ -= 1;
-    it->second = session;
-  } else {
-    sessions_.emplace(key, session);
+  outcome.replaced = adopt_session(tenant, network_id, session,
+                                   explicit_budget);
+  if (persistent()) {
+    std::string err;
+    outcome.persisted =
+        session->checkpoint_now(&err) == StoreStatus::kOk;
+    if (!outcome.persisted) outcome.persist_error = err;
   }
-  if (!explicit_budget) implicit_count_ += 1;
-  rebalance_locked();
   outcome.cache_budget = session->stats().budget;
   return outcome;
+}
+
+BootRestoreReport SessionRegistry::restore_all() {
+  BootRestoreReport report;
+  if (!persistent()) return report;
+  const StateDir state_dir(persist_.state_dir);
+  for (const StateDir::Entry& entry : state_dir.enumerate()) {
+    auto store = std::make_unique<SessionStore>(entry.path, store_options());
+    RestoredSession restored;
+    std::string err;
+    const StoreStatus status = store->load(restored, &err);
+    if (status == StoreStatus::kNotFound) continue;
+    if (status != StoreStatus::kOk) {
+      report.warnings.push_back(entry.tenant + "/" + entry.network_id + ": " +
+                                std::string(to_string(status)) +
+                                (err.empty() ? "" : " (" + err + ")"));
+      ++report.corrupt;
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_;
+      continue;
+    }
+    QueryCacheOptions cache = default_cache_;
+    const bool explicit_budget = restored.max_mask_tables.has_value();
+    if (explicit_budget) {
+      cache.max_mask_tables =
+          std::min(*restored.max_mask_tables, global_mask_tables_);
+    }
+    report.replayed_deltas += restored.replayed_deltas;
+    auto session = std::make_shared<TenantSession>(std::move(restored), cache,
+                                                   explicit_budget);
+    session->attach_store(std::move(store));
+    adopt_session(entry.tenant, entry.network_id, std::move(session),
+                  explicit_budget);
+    ++report.restored;
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++restores_;
+  }
+  return report;
+}
+
+RestoreOutcome SessionRegistry::restore_session(const std::string& tenant,
+                                                const std::string& network_id) {
+  RestoreOutcome outcome;
+  if (!persistent()) {
+    outcome.status = StoreStatus::kNotFound;
+    outcome.error = "persistence disabled (no --state-dir)";
+    return outcome;
+  }
+  auto store = make_store(tenant, network_id);
+  RestoredSession restored;
+  outcome.status = store->load(restored, &outcome.error);
+  if (outcome.status != StoreStatus::kOk) {
+    if (outcome.status == StoreStatus::kCorrupt ||
+        outcome.status == StoreStatus::kIoError) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_;
+    }
+    return outcome;
+  }
+  QueryCacheOptions cache = default_cache_;
+  const bool explicit_budget = restored.max_mask_tables.has_value();
+  if (explicit_budget) {
+    cache.max_mask_tables =
+        std::min(*restored.max_mask_tables, global_mask_tables_);
+  }
+  outcome.replayed_deltas = restored.replayed_deltas;
+  auto session = std::make_shared<TenantSession>(std::move(restored), cache,
+                                                 explicit_budget);
+  session->attach_store(std::move(store));
+  outcome.nodes = session->network_copy().num_nodes();
+  outcome.edges = session->network_copy().num_edges();
+  adopt_session(tenant, network_id, session, explicit_budget);
+  outcome.cache_budget = session->stats().budget;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++restores_;
+  return outcome;
+}
+
+StoreStatus SessionRegistry::persist_session(const std::string& tenant,
+                                             const std::string& network_id,
+                                             std::string* error) {
+  if (!persistent()) {
+    if (error) *error = "persistence disabled (no --state-dir)";
+    return StoreStatus::kNotFound;
+  }
+  const std::shared_ptr<TenantSession> session = find(tenant, network_id);
+  if (!session) {
+    if (error) *error = "no session registered under this key";
+    return StoreStatus::kNotFound;
+  }
+  return session->checkpoint_now(error);
+}
+
+std::size_t SessionRegistry::checkpoint_all() {
+  std::size_t failures = 0;
+  for (const auto& [key, session] : snapshot()) {
+    if (!session->durable()) continue;
+    if (session->checkpoint_now() != StoreStatus::kOk) ++failures;
+  }
+  return failures;
+}
+
+PersistTotals SessionRegistry::persist_totals() const {
+  PersistTotals totals;
+  totals.enabled = persistent();
+  for (const auto& [key, session] : snapshot()) {
+    const TenantSession::Stats s = session->stats();
+    totals.checkpoints += s.checkpoints;
+    totals.wal_appends += s.wal_appends;
+    totals.wal_records += s.wal_records;
+    totals.bytes_written += s.state_bytes_written;
+    totals.journal_errors += s.journal_errors;
+    totals.replayed_deltas += s.replayed_deltas;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  totals.restores = restores_;
+  totals.corrupt = corrupt_;
+  return totals;
 }
 
 void SessionRegistry::rebalance_locked() {

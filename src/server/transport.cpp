@@ -39,9 +39,14 @@ bool parse_get_line(std::string_view line, std::string_view* path) {
 }  // namespace
 
 StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
-                               std::ostream& out) {
+                               std::ostream& out,
+                               const StreamServeOptions& options) {
   StreamServeResult result;
   std::mutex write_mu;
+  // Submitted-but-unanswered requests on this stream. done callbacks may
+  // fire on worker threads; drain() below fences every decrement before
+  // the function returns.
+  std::atomic<std::size_t> inflight{0};
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -57,10 +62,23 @@ StreamServeResult serve_stream(ReliabilityService& service, std::istream& in,
       continue;
     }
     result.lines += 1;
-    service.handle_line(line, [&](WireResponse resp) {
+    if (options.max_inflight > 0 &&
+        inflight.load(std::memory_order_relaxed) >= options.max_inflight) {
+      const WireResponse resp = service.reject_overloaded(line);
+      result.backpressure_rejects += 1;
       const std::lock_guard<std::mutex> lock(write_mu);
       out << serialize_wire_response(resp) << "\n";
       result.responses += 1;
+      continue;
+    }
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    service.handle_line(line, [&](WireResponse resp) {
+      {
+        const std::lock_guard<std::mutex> lock(write_mu);
+        out << serialize_wire_response(resp) << "\n";
+        result.responses += 1;
+      }
+      inflight.fetch_sub(1, std::memory_order_relaxed);
     });
     if (service.shutdown_requested()) {
       result.shutdown = true;
@@ -109,6 +127,9 @@ struct Connection {
   int fd = -1;
   std::mutex write_mu;
   std::atomic<bool> open{true};
+  /// Requests submitted on this connection whose response has not been
+  /// written yet (the backpressure counter).
+  std::atomic<std::size_t> inflight{0};
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -231,9 +252,18 @@ struct TcpServer::Impl {
           return;
         }
         if (!line.empty()) {
-          service.handle_line(line, [conn](WireResponse resp) {
-            conn->write_line(serialize_wire_response(resp));
-          });
+          if (options.max_inflight > 0 &&
+              conn->inflight.load(std::memory_order_relaxed) >=
+                  options.max_inflight) {
+            conn->write_line(
+                serialize_wire_response(service.reject_overloaded(line)));
+          } else {
+            conn->inflight.fetch_add(1, std::memory_order_relaxed);
+            service.handle_line(line, [conn](WireResponse resp) {
+              conn->write_line(serialize_wire_response(resp));
+              conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+            });
+          }
           if (service.shutdown_requested()) wake();
         }
         start = nl + 1;

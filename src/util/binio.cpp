@@ -1,0 +1,81 @@
+#include "streamrel/util/binio.hpp"
+
+#include <array>
+
+namespace streamrel {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_section(BinaryWriter& out, std::uint32_t tag,
+                   std::string_view payload) {
+  out.u32(tag);
+  out.u64(payload.size());
+  out.u32(crc32(payload.data(), payload.size()));
+  out.raw(payload.data(), payload.size());
+}
+
+std::string_view read_section(BinaryReader& in, std::uint32_t expected_tag) {
+  const std::uint32_t tag = in.u32();
+  if (tag != expected_tag) {
+    throw BinReadError("unexpected section tag " + std::to_string(tag) +
+                       " (wanted " + std::to_string(expected_tag) + ")");
+  }
+  const std::uint64_t len = in.u64();
+  const std::uint32_t want_crc = in.u32();
+  if (len > in.remaining()) {
+    throw BinReadError("section length exceeds remaining input");
+  }
+  const std::string_view payload = in.view(static_cast<std::size_t>(len));
+  const std::uint32_t got_crc = crc32(payload.data(), payload.size());
+  if (got_crc != want_crc) {
+    throw BinReadError("section checksum mismatch for tag " +
+                       std::to_string(expected_tag));
+  }
+  return payload;
+}
+
+void write_file_header(BinaryWriter& out, const char (&magic)[9],
+                       std::uint32_t version) {
+  out.raw(magic, 8);
+  out.u32(version);
+}
+
+std::uint32_t read_file_header(BinaryReader& in, const char (&magic)[9],
+                               std::uint32_t max_version) {
+  const std::string_view got = in.view(8);
+  if (got != std::string_view(magic, 8)) {
+    throw BinReadError("bad file magic");
+  }
+  const std::uint32_t version = in.u32();
+  if (version == 0 || version > max_version) {
+    throw BinReadError("unsupported format version " +
+                       std::to_string(version));
+  }
+  return version;
+}
+
+}  // namespace streamrel

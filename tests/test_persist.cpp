@@ -1,0 +1,447 @@
+// persist/store.hpp: the crash-safety contract. Checkpoint + WAL replay
+// must restore a session bitwise; a torn journal tail (crash mid-append)
+// repairs to the last complete record; any checksum-level corruption is
+// kCorrupt, never a crash; and a real SIGKILL mid-append stream leaves a
+// store whose restored solve state equals an uninterrupted twin that
+// applied the same acknowledged deltas.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "streamrel/graph/compiled.hpp"
+#include "streamrel/graph/delta.hpp"
+#include "streamrel/graph/flow_network.hpp"
+#include "streamrel/persist/store.hpp"
+#include "streamrel/util/prng.hpp"
+
+namespace streamrel {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("streamrel_persist_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+FlowNetwork base_network() {
+  FlowNetwork net(5);
+  net.add_undirected_edge(0, 1, 2, 0.1);
+  net.add_undirected_edge(1, 2, 1, 0.2);
+  net.add_directed_edge(0, 3, 3, 0.05);
+  net.add_undirected_edge(3, 2, 2, 1.0 / 3.0);
+  net.add_undirected_edge(1, 3, 1, 0.4);
+  net.add_undirected_edge(2, 4, 2, 0.15);
+  return net;
+}
+
+/// The deterministic delta stream both the crash child and the twin
+/// regenerate independently: index -> delta, no shared state.
+NetworkDelta scripted_delta(int i, int num_edges) {
+  NetworkDelta delta;
+  const EdgeId edge = static_cast<EdgeId>(i % num_edges);
+  delta.set_failure_prob(edge, 0.01 + 0.9 * ((i * 37) % 100) / 100.0);
+  if (i % 5 == 3) delta.set_capacity(edge, 1 + (i % 4));
+  return delta;
+}
+
+void expect_bitwise_equal(const CompiledNetwork& a, const CompiledNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e)) << "edge " << e;
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e)) << "edge " << e;
+    EXPECT_EQ(a.edge_capacity(e), b.edge_capacity(e)) << "edge " << e;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.failure_prob(e)),
+              std::bit_cast<std::uint64_t>(b.failure_prob(e)))
+        << "p, edge " << e;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.log_failure(e)),
+              std::bit_cast<std::uint64_t>(b.log_failure(e)))
+        << "log p, edge " << e;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.log_survival(e)),
+              std::bit_cast<std::uint64_t>(b.log_survival(e)))
+        << "log1p(-p), edge " << e;
+  }
+}
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+StoreOptions test_options(std::size_t compact_threshold = 1000) {
+  StoreOptions options;
+  options.compact_threshold = compact_threshold;
+  options.fsync = false;  // tmpfs scratch; crash tests opt back in
+  return options;
+}
+
+TEST(SessionStore, LoadOnEmptyDirIsNotFound) {
+  const ScratchDir scratch("notfound");
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  EXPECT_EQ(store.load(restored, &error), StoreStatus::kNotFound);
+}
+
+TEST(SessionStore, CheckpointThenLoadRoundTripsBitwise) {
+  const ScratchDir scratch("roundtrip");
+  const auto snapshot = CompiledNetwork::compile(base_network());
+  const FlowDemand demand{0, 4, 2};
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    ASSERT_EQ(store.checkpoint(*snapshot, demand, std::size_t{12}),
+              StoreStatus::kOk);
+  }
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  ASSERT_EQ(store.load(restored, &error), StoreStatus::kOk) << error;
+  expect_bitwise_equal(*snapshot, *restored.snapshot);
+  EXPECT_EQ(restored.default_demand.source, demand.source);
+  EXPECT_EQ(restored.default_demand.sink, demand.sink);
+  EXPECT_EQ(restored.default_demand.rate, demand.rate);
+  ASSERT_TRUE(restored.max_mask_tables.has_value());
+  EXPECT_EQ(*restored.max_mask_tables, 12u);
+  EXPECT_EQ(restored.replayed_deltas, 0u);
+  // Builder and snapshot are consistent: recompiling the builder
+  // reproduces the snapshot's arrays.
+  expect_bitwise_equal(*restored.snapshot,
+                       *CompiledNetwork::compile(restored.net));
+}
+
+TEST(SessionStore, WalReplayMatchesInMemoryTwinBitwise) {
+  const ScratchDir scratch("replay");
+  auto twin = CompiledNetwork::compile(base_network());
+  const int num_edges = twin->num_edges();
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    ASSERT_EQ(store.checkpoint(*twin, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+    for (int i = 0; i < 23; ++i) {
+      const NetworkDelta delta = scripted_delta(i, num_edges);
+      ASSERT_EQ(store.append(delta), StoreStatus::kOk) << "delta " << i;
+      twin = twin->apply_delta(delta).snapshot;
+    }
+    EXPECT_EQ(store.stats().wal_records, 23u);
+  }
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  ASSERT_EQ(store.load(restored, &error), StoreStatus::kOk) << error;
+  EXPECT_EQ(restored.replayed_deltas, 23u);
+  EXPECT_EQ(restored.torn_bytes, 0u);
+  expect_bitwise_equal(*twin, *restored.snapshot);
+  expect_bitwise_equal(*restored.snapshot,
+                       *CompiledNetwork::compile(restored.net));
+}
+
+TEST(SessionStore, CompactionFoldsWalIntoSnapshot) {
+  const ScratchDir scratch("compact");
+  auto twin = CompiledNetwork::compile(base_network());
+  SessionStore store(scratch.path / "s", test_options(/*compact=*/4));
+  ASSERT_EQ(store.checkpoint(*twin, FlowDemand{0, 4, 1}, std::nullopt),
+            StoreStatus::kOk);
+  for (int i = 0; i < 5; ++i) {
+    const NetworkDelta delta = scripted_delta(i, twin->num_edges());
+    ASSERT_EQ(store.append(delta), StoreStatus::kOk);
+    twin = twin->apply_delta(delta).snapshot;
+  }
+  ASSERT_TRUE(store.needs_compaction());
+  ASSERT_EQ(store.checkpoint(*twin, FlowDemand{0, 4, 1}, std::nullopt),
+            StoreStatus::kOk);
+  EXPECT_FALSE(store.needs_compaction());
+  EXPECT_EQ(store.stats().wal_records, 0u);
+  // Sequences survive compaction: post-compaction appends replay, the
+  // pre-compaction ones are folded into the snapshot.
+  const NetworkDelta tail = scripted_delta(99, twin->num_edges());
+  ASSERT_EQ(store.append(tail), StoreStatus::kOk);
+  twin = twin->apply_delta(tail).snapshot;
+
+  SessionStore reopened(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  ASSERT_EQ(reopened.load(restored, &error), StoreStatus::kOk) << error;
+  EXPECT_EQ(restored.replayed_deltas, 1u);
+  expect_bitwise_equal(*twin, *restored.snapshot);
+}
+
+TEST(SessionStore, TornWalTailIsRepairedToLastCompleteRecord) {
+  const ScratchDir scratch("torn");
+  auto twin = CompiledNetwork::compile(base_network());
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    ASSERT_EQ(store.checkpoint(*twin, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(store.append(scripted_delta(i, twin->num_edges())),
+                StoreStatus::kOk);
+    }
+  }
+  // Tear 5 bytes off the last record: a crash mid-write.
+  const fs::path wal = scratch.path / "s" / "wal.bin";
+  const std::string bytes = read_bytes(wal);
+  write_bytes(wal, bytes.substr(0, bytes.size() - 5));
+
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  ASSERT_EQ(store.load(restored, &error), StoreStatus::kOk) << error;
+  EXPECT_EQ(restored.replayed_deltas, 3u);
+  EXPECT_GT(restored.torn_bytes, 0u);
+  for (int i = 0; i < 3; ++i) {
+    twin = twin->apply_delta(scripted_delta(i, twin->num_edges())).snapshot;
+  }
+  expect_bitwise_equal(*twin, *restored.snapshot);
+
+  // The repair truncated the file: a second open sees a clean journal.
+  SessionStore again(scratch.path / "s", test_options());
+  RestoredSession restored2;
+  ASSERT_EQ(again.load(restored2, &error), StoreStatus::kOk) << error;
+  EXPECT_EQ(restored2.torn_bytes, 0u);
+  EXPECT_EQ(restored2.replayed_deltas, 3u);
+}
+
+TEST(SessionStore, EveryWalTruncationLoadsOrDiagnoses) {
+  // Sweep every truncation point of the journal: each prefix must load
+  // (torn tail) — never crash, never corrupt a record that is complete.
+  const ScratchDir scratch("sweep");
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    const auto snapshot = CompiledNetwork::compile(base_network());
+    ASSERT_EQ(store.checkpoint(*snapshot, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(store.append(scripted_delta(i, snapshot->num_edges())),
+                StoreStatus::kOk);
+    }
+  }
+  const fs::path wal = scratch.path / "s" / "wal.bin";
+  const std::string bytes = read_bytes(wal);
+  std::uint64_t last_replayed = 0;
+  for (std::size_t keep = bytes.size(); keep > 0; --keep) {
+    write_bytes(wal, bytes.substr(0, keep));
+    StoreOptions options = test_options();
+    options.repair = false;  // keep the prefix intact for the next lap
+    SessionStore store(scratch.path / "s", options);
+    RestoredSession restored;
+    std::string error;
+    const StoreStatus status = store.load(restored, &error);
+    ASSERT_TRUE(status == StoreStatus::kOk || status == StoreStatus::kCorrupt)
+        << "kept " << keep << ": " << error;
+    if (status == StoreStatus::kOk) last_replayed = restored.replayed_deltas;
+  }
+  EXPECT_EQ(last_replayed, 0u);  // by keep==1 nothing replays
+}
+
+TEST(SessionStore, SeededByteFlipsAreCorruptNeverACrash) {
+  const ScratchDir scratch("fuzz");
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    const auto snapshot = CompiledNetwork::compile(base_network());
+    ASSERT_EQ(store.checkpoint(*snapshot, FlowDemand{0, 4, 1}, std::size_t{8}),
+              StoreStatus::kOk);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_EQ(store.append(scripted_delta(i, snapshot->num_edges())),
+                StoreStatus::kOk);
+    }
+  }
+  Xoshiro256 rng(0xC0FFEE);
+  for (const char* file : {"snapshot.bin", "wal.bin"}) {
+    const fs::path path = scratch.path / "s" / file;
+    const std::string clean = read_bytes(path);
+    ASSERT_FALSE(clean.empty());
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_below(clean.size()));
+      std::string mutated = clean;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          (1u << rng.uniform_below(8)));
+      write_bytes(path, mutated);
+      StoreOptions options = test_options();
+      options.repair = false;
+      SessionStore store(scratch.path / "s", options);
+      RestoredSession restored;
+      std::string error;
+      const StoreStatus status = store.load(restored, &error);
+      EXPECT_EQ(status, StoreStatus::kCorrupt)
+          << file << " byte " << pos << " -> " << to_string(status);
+      EXPECT_FALSE(error.empty()) << file << " byte " << pos;
+    }
+    write_bytes(path, clean);
+  }
+}
+
+TEST(SessionStore, TruncatedSnapshotIsCorrupt) {
+  const ScratchDir scratch("snaptrunc");
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    const auto snapshot = CompiledNetwork::compile(base_network());
+    ASSERT_EQ(store.checkpoint(*snapshot, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+  }
+  const fs::path snap = scratch.path / "s" / "snapshot.bin";
+  const std::string bytes = read_bytes(snap);
+  write_bytes(snap, bytes.substr(0, bytes.size() / 2));
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  EXPECT_EQ(store.load(restored, &error), StoreStatus::kCorrupt);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SessionStore, MissingSnapshotWithLiveWalIsCorrupt) {
+  const ScratchDir scratch("nosnap");
+  {
+    SessionStore store(scratch.path / "s", test_options());
+    const auto snapshot = CompiledNetwork::compile(base_network());
+    ASSERT_EQ(store.checkpoint(*snapshot, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+    ASSERT_EQ(store.append(scripted_delta(0, snapshot->num_edges())),
+              StoreStatus::kOk);
+  }
+  fs::remove(scratch.path / "s" / "snapshot.bin");
+  SessionStore store(scratch.path / "s", test_options());
+  RestoredSession restored;
+  std::string error;
+  EXPECT_EQ(store.load(restored, &error), StoreStatus::kCorrupt);
+}
+
+TEST(SessionStore, SigkillMidAppendRestoresBitwiseTwin) {
+  const ScratchDir scratch("crash");
+  const fs::path dir = scratch.path / "s";
+  const auto base = CompiledNetwork::compile(base_network());
+  const int num_edges = base->num_edges();
+  {
+    // The base checkpoint happens in the parent so the child only ever
+    // appends — the crash lands inside the journaling path by design.
+    SessionStore store(dir, test_options());
+    ASSERT_EQ(store.checkpoint(*base, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+  }
+
+  int progress[2];
+  ASSERT_EQ(::pipe(progress), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: append the scripted stream with real fdatasync, one pipe
+    // byte per DURABLE append, until killed. _exit keeps gtest's atexit
+    // machinery out of the forked copy.
+    ::close(progress[0]);
+    StoreOptions options;
+    options.compact_threshold = 1000;
+    options.fsync = true;
+    SessionStore store(dir, options);
+    for (int i = 0; i < 4000; ++i) {
+      if (store.append(scripted_delta(i, num_edges)) != StoreStatus::kOk) {
+        _exit(2);
+      }
+      const char byte = 1;
+      if (::write(progress[1], &byte, 1) != 1) _exit(3);
+    }
+    _exit(0);
+  }
+  ::close(progress[1]);
+  // Let a prefix of the stream become durable, then kill mid-flight.
+  const int acknowledged = 25;
+  char byte;
+  int seen = 0;
+  while (seen < acknowledged && ::read(progress[0], &byte, 1) == 1) ++seen;
+  ASSERT_EQ(seen, acknowledged);
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  ::close(progress[0]);
+
+  // Restart: every acknowledged delta must be there; a final
+  // unacknowledged one may have landed too (killed after write, before
+  // the pipe byte). The restored state must equal an uninterrupted twin
+  // that applied exactly the replayed prefix.
+  SessionStore store(dir, test_options());
+  RestoredSession restored;
+  std::string error;
+  ASSERT_EQ(store.load(restored, &error), StoreStatus::kOk) << error;
+  ASSERT_GE(restored.replayed_deltas,
+            static_cast<std::uint64_t>(acknowledged));
+  auto twin = base;
+  for (std::uint64_t i = 0; i < restored.replayed_deltas; ++i) {
+    twin = twin->apply_delta(scripted_delta(static_cast<int>(i), num_edges))
+               .snapshot;
+  }
+  expect_bitwise_equal(*twin, *restored.snapshot);
+  expect_bitwise_equal(*restored.snapshot,
+                       *CompiledNetwork::compile(restored.net));
+}
+
+TEST(StateDir, EncodingIsInvertibleAndSandboxed) {
+  const std::vector<std::string> names = {
+      "default", "alpha-1", "a/b", "..", ".hidden", "", "sp ace",
+      "per%cent", "uni\xC3\xA9", "CAPS.and_under-scores"};
+  for (const std::string& name : names) {
+    const std::string enc = StateDir::encode_component(name);
+    // Encoded names never escape the store root or collide with
+    // dotfiles: no separators, no leading dot, never empty.
+    EXPECT_EQ(enc.find('/'), std::string::npos) << name;
+    EXPECT_FALSE(enc.empty()) << name;
+    EXPECT_NE(enc.front(), '.') << name;
+    const auto dec = StateDir::decode_component(enc);
+    ASSERT_TRUE(dec.has_value()) << name;
+    EXPECT_EQ(*dec, name);
+  }
+  EXPECT_FALSE(StateDir::decode_component("%zz").has_value());
+  EXPECT_FALSE(StateDir::decode_component("%4").has_value());
+}
+
+TEST(StateDir, EnumerateFindsStoresSorted) {
+  const ScratchDir scratch("enumerate");
+  const StateDir state(scratch.path);
+  const auto snapshot = CompiledNetwork::compile(base_network());
+  for (const auto& [tenant, network] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"beta", "net/1"}, {"alpha", "x"}, {"alpha", "a"}}) {
+    SessionStore store(state.store_path(tenant, network), test_options());
+    ASSERT_EQ(store.checkpoint(*snapshot, FlowDemand{0, 4, 1}, std::nullopt),
+              StoreStatus::kOk);
+  }
+  const std::vector<StateDir::Entry> entries = state.enumerate();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].tenant, "alpha");
+  EXPECT_EQ(entries[0].network_id, "a");
+  EXPECT_EQ(entries[1].tenant, "alpha");
+  EXPECT_EQ(entries[1].network_id, "x");
+  EXPECT_EQ(entries[2].tenant, "beta");
+  EXPECT_EQ(entries[2].network_id, "net/1");
+}
+
+}  // namespace
+}  // namespace streamrel

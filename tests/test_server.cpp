@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -18,6 +20,7 @@
 #include "streamrel/core/query_session.hpp"
 #include "streamrel/graph/generators.hpp"
 #include "streamrel/graph/io.hpp"
+#include "streamrel/persist/store.hpp"
 #include "streamrel/server/service.hpp"
 #include "streamrel/server/transport.hpp"
 #include "streamrel/util/json.hpp"
@@ -720,6 +723,284 @@ TEST(Server, TcpLoopbackRoundTrip) {
     }
   }
   EXPECT_TRUE(saw_solve);
+}
+
+// --- durable sessions (--state-dir) ------------------------------------
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch state root per test, removed on destruction.
+struct ScratchStateDir {
+  fs::path path;
+  explicit ScratchStateDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("streamrel_server_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~ScratchStateDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+ServiceOptions durable_options(const ScratchStateDir& scratch) {
+  ServiceOptions options;
+  options.state_dir = scratch.path.string();
+  options.state_fsync = false;  // scratch dirs; the crash test opts back in
+  return options;
+}
+
+/// Extracts the rendered value of `key` from a flat JSON object string
+/// (up to the next ',' or '}') — enough to pin a member bitwise.
+std::string json_member(const std::string& object_json,
+                        const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = object_json.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = object_json.find_first_of(",}", start);
+  return object_json.substr(start, end - start);
+}
+
+WireRequest solve_request() {
+  WireRequest solve;
+  solve.verb = WireVerb::kSolve;
+  return solve;
+}
+
+TEST(ServerPersist, RestartFromStateDirAnswersBitwiseIdentically) {
+  const ScratchStateDir scratch("restart");
+  const GeneratedNetwork g = test_instance();
+  std::string reliability_before;
+  std::vector<std::string> batch_before;
+  {
+    ReliabilityService service(durable_options(scratch));
+    const WireResponse reg = service.execute(register_request(g));
+    ASSERT_TRUE(reg.ok);
+    EXPECT_EQ(json_member(reg.result_json, "persisted"), "true");
+
+    WireRequest delta;
+    delta.verb = WireVerb::kApplyDelta;
+    delta.delta.set_failure_prob(0, 0.35);
+    delta.delta.set_capacity(1, 2);
+    ASSERT_TRUE(service.execute(delta).ok);  // journaled to the WAL
+
+    const WireResponse solve = service.execute(solve_request());
+    ASSERT_TRUE(solve.ok);
+    reliability_before = json_member(solve.result_json, "reliability");
+    ASSERT_FALSE(reliability_before.empty());
+    const WireResponse batch = service.execute(batch_request());
+    ASSERT_TRUE(batch.ok);
+    batch_before = batch.legacy_lines;
+
+    // The shutdown verb checkpoints every session before stopping.
+    WireRequest shutdown;
+    shutdown.verb = WireVerb::kShutdown;
+    const WireResponse stop = service.execute(shutdown);
+    ASSERT_TRUE(stop.ok);
+    EXPECT_EQ(json_member(stop.result_json, "checkpointed"), "1");
+    EXPECT_EQ(json_member(stop.result_json, "checkpoint_failures"), "0");
+  }
+
+  ReliabilityService service(durable_options(scratch));
+  EXPECT_EQ(service.boot_restore().restored, 1u);
+  EXPECT_EQ(service.boot_restore().corrupt, 0u);
+
+  // No re-register: the restored session answers, bitwise.
+  const WireResponse solve = service.execute(solve_request());
+  ASSERT_TRUE(solve.ok);
+  EXPECT_EQ(json_member(solve.result_json, "reliability"),
+            reliability_before);
+  const WireResponse batch = service.execute(batch_request());
+  ASSERT_TRUE(batch.ok);
+  EXPECT_EQ(batch.legacy_lines, batch_before);
+
+  // stats surfaces the durability counters.
+  const std::string stats = service.stats_json();
+  EXPECT_NE(stats.find("\"persist\""), std::string::npos);
+  EXPECT_NE(stats.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(stats.find("\"restores\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"durable\": true"), std::string::npos);
+}
+
+TEST(ServerPersist, RestartAfterDtorCheckpointAlsoRestores) {
+  const ScratchStateDir scratch("dtor");
+  const GeneratedNetwork g = test_instance();
+  std::string before;
+  {
+    ReliabilityService service(durable_options(scratch));
+    ASSERT_TRUE(service.execute(register_request(g)).ok);
+    WireRequest delta;
+    delta.verb = WireVerb::kApplyDelta;
+    delta.delta.set_failure_prob(2, 0.6);
+    ASSERT_TRUE(service.execute(delta).ok);
+    const WireResponse solve = service.execute(solve_request());
+    ASSERT_TRUE(solve.ok);
+    before = json_member(solve.result_json, "reliability");
+  }  // no shutdown verb: the destructor checkpoints
+
+  ReliabilityService service(durable_options(scratch));
+  ASSERT_EQ(service.boot_restore().restored, 1u);
+  const WireResponse solve = service.execute(solve_request());
+  ASSERT_TRUE(solve.ok);
+  EXPECT_EQ(json_member(solve.result_json, "reliability"), before);
+}
+
+TEST(ServerPersist, PersistAndRestoreVerbsRoundTrip) {
+  const ScratchStateDir scratch("verbs");
+  const GeneratedNetwork g = test_instance();
+  ReliabilityService service(durable_options(scratch));
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  WireRequest delta;
+  delta.verb = WireVerb::kApplyDelta;
+  delta.delta.set_failure_prob(1, 0.8);
+  ASSERT_TRUE(service.execute(delta).ok);
+  const WireResponse before = service.execute(solve_request());
+  ASSERT_TRUE(before.ok);
+
+  WireRequest persist;
+  persist.verb = WireVerb::kPersist;
+  const WireResponse persisted = service.execute(persist);
+  ASSERT_TRUE(persisted.ok) << persisted.error_message;
+  EXPECT_EQ(json_member(persisted.result_json, "checkpoints"), "2");
+
+  WireRequest restore;
+  restore.verb = WireVerb::kRestore;
+  const WireResponse restored = service.execute(restore);
+  ASSERT_TRUE(restored.ok) << restored.error_message;
+  EXPECT_EQ(json_member(restored.result_json, "replayed_deltas"), "0");
+
+  // The freshly restored session solves identically to the live one it
+  // replaced (the WAL held every applied delta).
+  const WireResponse after = service.execute(solve_request());
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(json_member(after.result_json, "reliability"),
+            json_member(before.result_json, "reliability"));
+}
+
+TEST(ServerPersist, VerbsWithoutStateDirAreBadRequests) {
+  ReliabilityService service;  // no state_dir
+  const GeneratedNetwork g = test_instance();
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  for (const WireVerb verb : {WireVerb::kPersist, WireVerb::kRestore}) {
+    WireRequest req;
+    req.verb = verb;
+    const WireResponse resp = service.execute(req);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error_code, "bad_request");
+  }
+}
+
+TEST(ServerPersist, CorruptStateColdStartsAndRestoreSaysStateCorrupt) {
+  const ScratchStateDir scratch("corrupt");
+  const GeneratedNetwork g = test_instance();
+  {
+    ReliabilityService service(durable_options(scratch));
+    ASSERT_TRUE(service.execute(register_request(g)).ok);
+  }
+  // Flip one byte of the snapshot: the boot must cold-start with a
+  // warning, never crash, never adopt the bytes.
+  const StateDir state(scratch.path);
+  const fs::path snap = state.store_path("default", "default") / "snapshot.bin";
+  {
+    std::fstream file(snap,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(40);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(40);
+    file.write(&byte, 1);
+  }
+
+  ReliabilityService service(durable_options(scratch));
+  EXPECT_EQ(service.boot_restore().restored, 0u);
+  EXPECT_EQ(service.boot_restore().corrupt, 1u);
+  ASSERT_FALSE(service.boot_restore().warnings.empty());
+
+  // Not restored: the session is gone until re-registered...
+  const WireResponse missing = service.execute(solve_request());
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error_code, "unknown_network");
+
+  // ...and an explicit restore reports the structured corruption error.
+  WireRequest restore;
+  restore.verb = WireVerb::kRestore;
+  const WireResponse resp = service.execute(restore);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "state_corrupt");
+
+  // Re-registering heals the store (fresh checkpoint over the bad one).
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+  const WireResponse healed = service.execute(restore);
+  EXPECT_TRUE(healed.ok) << healed.error_message;
+
+  // Two refusals: the boot pass and the failed restore verb.
+  const std::string metrics = service.metrics_text();
+  EXPECT_NE(metrics.find("streamrel_state_corrupt_total 2"),
+            std::string::npos);
+}
+
+TEST(ServerPersist, RejectOverloadedEchoesIdVerbAndCountsPerLane) {
+  ReliabilityService service;
+  const WireResponse resp = service.reject_overloaded(
+      "{\"v\": 1, \"id\": 42, \"verb\": \"batch\", \"queries\": []}");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "overloaded");
+  EXPECT_EQ(resp.id_json, "42");
+  EXPECT_EQ(resp.verb, "batch");
+  // batch defaults to the bulk lane; the reject is counted there.
+  const std::string metrics = service.metrics_text();
+  EXPECT_NE(
+      metrics.find("streamrel_backpressure_rejects_total{lane=\"bulk\"} 1"),
+      std::string::npos);
+  EXPECT_NE(metrics.find(
+                "streamrel_backpressure_rejects_total{lane=\"interactive\"} 0"),
+            std::string::npos);
+
+  // A line that cannot parse gets its parse error, not `overloaded`.
+  const WireResponse garbage = service.reject_overloaded("{nope");
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_EQ(garbage.error_code, "parse_error");
+}
+
+TEST(ServerPersist, StreamTransportCapsInflightRequests) {
+  // With a zero-size worker pool... the inline path never queues, so the
+  // cap is exercised through reject_overloaded by a saturated scheduler
+  // instead: one worker, a queue of one, and a stream of batches.
+  const ScratchStateDir scratch("inflight");
+  const GeneratedNetwork g = test_instance();
+  ServiceOptions options;
+  options.start_workers = true;
+  options.scheduler.workers = 1;
+  ReliabilityService service(options);
+  ASSERT_TRUE(service.execute(register_request(g)).ok);
+
+  std::string script;
+  for (int i = 0; i < 8; ++i) {
+    WireRequest req = batch_request();
+    req.id_json = std::to_string(i);
+    script += serialize_wire_request(req);
+    script += "\n";
+  }
+  std::istringstream in(script);
+  std::ostringstream out;
+  StreamServeOptions stream;
+  stream.max_inflight = 1;
+  const StreamServeResult result = serve_stream(service, in, out, stream);
+  EXPECT_EQ(result.lines, 8u);
+  EXPECT_EQ(result.responses, 8u);  // rejects are answered too
+  // Every line got exactly one response; any line past the cap carries
+  // the structured overloaded error.
+  std::size_t overloaded = 0;
+  std::istringstream replies(out.str());
+  std::string line;
+  while (std::getline(replies, line)) {
+    if (line.find("\"overloaded\"") != std::string::npos) ++overloaded;
+  }
+  EXPECT_EQ(overloaded, result.backpressure_rejects);
 }
 
 }  // namespace

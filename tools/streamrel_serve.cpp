@@ -3,10 +3,12 @@
 //
 //   streamrel_serve [--port N] [--bind ADDR] [--stdio]
 //                   [--workers N] [--bulk-share N] [--max-queue N]
-//                   [--memory-cap N] [--interactive-budget-ms MS]
-//                   [--bulk-budget-ms MS] [--metrics-interval-ms MS]
-//                   [--metrics-out FILE] [--log-json[=FILE]]
-//                   [--flight-capacity N] [--flight-out PREFIX]
+//                   [--max-inflight N] [--memory-cap N]
+//                   [--interactive-budget-ms MS] [--bulk-budget-ms MS]
+//                   [--state-dir DIR] [--wal-compact N] [--no-state-fsync]
+//                   [--metrics-interval-ms MS] [--metrics-out FILE]
+//                   [--log-json[=FILE]] [--flight-capacity N]
+//                   [--flight-out PREFIX]
 //
 // --stdio serves newline-delimited JSON on stdin/stdout (the CI smoke
 // job and scripting mode); otherwise a TCP listener on --bind:--port
@@ -29,6 +31,19 @@
 //                              "streamrel_flight"); the `dump` verb
 //                              does the same on demand
 // A live TCP daemon also answers `GET /metrics` on the wire port.
+//
+// Durability (docs/PERSISTENCE.md):
+//   --state-dir DIR       durable session state: restore every loadable
+//                         store on boot (corrupt stores cold-start with
+//                         a warning, never a crash), checkpoint on
+//                         register/shutdown, journal every apply_delta
+//   --wal-compact N       journal records per session before an inline
+//                         compaction checkpoint (default 64)
+//   --no-state-fsync      skip fsync/fdatasync on the durability path
+//                         (benchmarks; crash durability is lost)
+// --max-inflight caps requests one connection may pipeline before the
+// transport answers `overloaded` without entering the service
+// (default 64, 0 = uncapped).
 
 #include <unistd.h>
 
@@ -75,6 +90,12 @@ int run(const CliArgs& args) {
   options.start_workers = true;
   options.flight_capacity =
       static_cast<std::size_t>(args.get_int("flight-capacity", 256));
+  options.state_dir = args.get("state-dir", "");
+  options.wal_compact_threshold =
+      static_cast<std::size_t>(args.get_int("wal-compact", 64));
+  options.state_fsync = !args.get_bool("no-state-fsync");
+  const std::size_t max_inflight =
+      static_cast<std::size_t>(args.get_int("max-inflight", 64));
 
   std::ofstream log_file;
   if (args.has("log-json")) {
@@ -93,6 +114,19 @@ int run(const CliArgs& args) {
   }
 
   ReliabilityService service(options);
+  if (!options.state_dir.empty()) {
+    const BootRestoreReport& boot = service.boot_restore();
+    for (const std::string& warning : boot.warnings) {
+      std::cerr << "warning: " << warning << "\n";
+    }
+    std::cerr << "state: restored " << boot.restored << " session(s) from '"
+              << options.state_dir << "' (" << boot.replayed_deltas
+              << " journaled delta(s) replayed";
+    if (boot.corrupt > 0) {
+      std::cerr << ", " << boot.corrupt << " store(s) refused as corrupt";
+    }
+    std::cerr << ")\n";
+  }
 
   const std::string metrics_out = args.get("metrics-out", "");
   double metrics_interval_ms = args.get_double("metrics-interval-ms", 0.0);
@@ -166,8 +200,10 @@ int run(const CliArgs& args) {
   }
 
   if (args.get_bool("stdio")) {
+    StreamServeOptions stream;
+    stream.max_inflight = max_inflight;
     const StreamServeResult result =
-        serve_stream(service, std::cin, std::cout);
+        serve_stream(service, std::cin, std::cout, stream);
     stop_metrics();
     std::cerr << "served " << result.lines << " requests, "
               << result.responses << " responses"
@@ -178,6 +214,7 @@ int run(const CliArgs& args) {
   TcpServerOptions tcp;
   tcp.bind_address = args.get("bind", "127.0.0.1");
   tcp.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  tcp.max_inflight = max_inflight;
   tcp.shutdown_fd = install_signal_shutdown_pipe();
   try {
     TcpServer server(service, tcp);
